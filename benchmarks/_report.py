@@ -1,0 +1,46 @@
+"""Reporting helpers shared by the benchmark harness.
+
+Each experiment prints the same rows/series the paper plots and mirrors
+them to ``benchmarks/results/<experiment>.txt`` so the artefacts survive
+pytest's output capture.  ``EXPERIMENTS.md`` quotes these files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from collections.abc import Callable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a report block and persist it under ``benchmarks/results``."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def time_call(fn: Callable[[], object]) -> tuple[float, object]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def series_table(header: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width table used by every experiment report."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(str(header[i]).rjust(widths[i]) for i in range(len(header)))]
+    for row in rows:
+        lines.append("  ".join(str(row[i]).rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def ms(seconds: float) -> str:
+    """Milliseconds with three digits."""
+    return f"{seconds * 1e3:.3f}"

@@ -1,0 +1,82 @@
+"""Experiment E10 — §4's Bloom-filter directory cooperation.
+
+Paper text: "The probability of a false positive depends on the
+parameters k ... and m ... These values can be chosen so that the
+probability of false positive is minimized."  The experiment sweeps (m, k)
+and measures the realized false-positive rate of directory summaries, then
+evaluates forwarding quality in a multi-directory population: queries must
+never skip a directory that holds a match (no false negatives) and should
+contact few irrelevant ones.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import save_report, series_table
+from repro.core.summaries import DirectorySummary
+from repro.services.generator import ServiceWorkload
+from repro.services.profile import Capability
+
+SWEEP = [(64, 2), (128, 4), (256, 4), (512, 4), (1024, 6)]
+STORED = 60
+PROBES = 300
+
+
+def synthetic_capability(index: int, namespaces: list[str]) -> Capability:
+    return Capability.build(
+        f"urn:x:cap:{index}",
+        f"C{index}",
+        outputs=[f"{ns}#Out{index}" for ns in namespaces],
+    )
+
+
+def test_summary_add(benchmark):
+    summary = DirectorySummary()
+    capability = synthetic_capability(0, ["http://o.org/1", "http://o.org/2"])
+    benchmark(summary.add_capability, capability)
+
+
+def test_summary_probe(benchmark):
+    summary = DirectorySummary()
+    for i in range(STORED):
+        summary.add_capability(synthetic_capability(i, [f"http://o.org/{i % 10}"]))
+    probe = synthetic_capability(999, ["http://o.org/3"])
+    assert benchmark(summary.might_hold, probe)
+
+
+def test_e10_report(benchmark, directory_workload: ServiceWorkload):
+    # --- (m, k) sweep on synthetic footprints (shared experiment) -----
+    from repro.experiments import e10_bloom_summaries
+
+    sweep = e10_bloom_summaries(stored=STORED, probes=PROBES)
+    assert sweep.extras["fp_m1024k6"] < sweep.extras["fp_m64k2"]
+    sweep_table = sweep.render()
+
+    # --- forwarding quality over a partitioned population --------------
+    directories = 8
+    summaries = [DirectorySummary(m=512, k=4) for _ in range(directories)]
+    holders: dict[str, set[int]] = {}
+    profiles = directory_workload.make_services(80)
+    for index, profile in enumerate(profiles):
+        home = index % directories
+        for capability in profile.provided:
+            summaries[home].add_capability(capability)
+        holders[profile.uri] = {home}
+    contacted_total = 0
+    relevant_total = 0
+    queries = 40
+    for index in range(queries):
+        target = profiles[index]
+        request = directory_workload.matching_request(target)
+        contacted = {
+            d for d in range(directories) if summaries[d].might_answer(request)
+        }
+        assert holders[target.uri] <= contacted, "forwarding skipped the holder"
+        contacted_total += len(contacted)
+        relevant_total += len(holders[target.uri])
+    forwarding = (
+        f"\nforwarding: contacted {contacted_total / queries:.1f} of {directories}"
+        f" directories per query (>= {relevant_total / queries:.1f} holding a match;"
+        " extras are Bloom false positives + genuinely overlapping content)"
+    )
+    save_report("e10_bloom_summaries", sweep_table + forwarding)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

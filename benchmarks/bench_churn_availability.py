@@ -1,0 +1,134 @@
+"""Extension experiment E12 — availability under directory churn.
+
+§2.4's requirement: "service discovery needs to be efficient enough to
+ensure service availability despite the network's dynamics."  This
+experiment crashes directories at increasing rates (no handoff — state is
+lost) while clients advertise with soft-state refresh, and measures query
+recall.  Expected shape: availability stays high for crash intervals
+comfortably above the refresh interval and degrades as churn approaches
+it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._report import save_report, series_table
+from repro.core.codes import CodeTable
+from repro.network.election import ElectionConfig
+from repro.ontology.registry import OntologyRegistry
+from repro.protocols.deployment import Deployment, DeploymentConfig
+from repro.services.xml_codec import profile_to_xml, request_to_xml
+
+FAST_ELECTION = ElectionConfig(
+    advert_interval=5.0,
+    advert_hops=2,
+    directory_timeout=10.0,
+    check_interval=2.0,
+    reply_window=1.0,
+    election_hops=2,
+)
+REFRESH = 15.0
+SERVICES = 10
+QUERY_ROUNDS = 12
+
+
+def run_scenario(workload, table, crash_interval: float | None, seed: int = 8) -> dict:
+    deployment = Deployment(
+        DeploymentConfig(
+            node_count=25,
+            protocol="sariadne",
+            election=FAST_ELECTION,
+            seed=seed,
+            directory_capable_fraction=1.0,
+        ),
+        table=table,
+    )
+    deployment.run_until_directories(minimum=1)
+    services = workload.make_services(SERVICES)
+    for index, profile in enumerate(services):
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        deployment.clients[index % 25].advertise(
+            document, profile.uri, refresh_interval=REFRESH
+        )
+    deployment.sim.run(until=deployment.sim.now + 5.0)
+
+    rng = random.Random(seed)
+    crashes = 0
+    if crash_interval is not None:
+        def crash() -> None:
+            nonlocal crashes
+            directories = deployment.directory_ids()
+            if len(directories) > 0:
+                victim = rng.choice(directories)
+                deployment.crash_directory(victim)
+                crashes += 1
+
+        deployment.sim.schedule_every(crash_interval, crash)
+
+    hits = 0
+    issued = 0
+    for round_index in range(QUERY_ROUNDS):
+        deployment.sim.run(until=deployment.sim.now + 10.0)
+        target = services[round_index % SERVICES]
+        request = workload.matching_request(target)
+        document = request_to_xml(
+            request,
+            annotations=table.annotate(request.capabilities),
+            codes_version=table.version,
+        )
+        response = deployment.query_from((round_index * 5 + 1) % 25, document)
+        issued += 1
+        if response is not None and any(row[0] == target.uri for row in response[1]):
+            hits += 1
+    return {
+        "recall": hits / issued,
+        "crashes": crashes,
+        "directories_left": len(deployment.directory_ids()),
+    }
+
+
+@pytest.fixture(scope="module")
+def table(directory_workload):
+    return CodeTable(OntologyRegistry(directory_workload.ontologies))
+
+
+def test_no_churn_baseline(benchmark, directory_workload, table):
+    stats = benchmark.pedantic(
+        run_scenario, args=(directory_workload, table, None), rounds=1, iterations=1
+    )
+    assert stats["recall"] == 1.0
+
+
+def test_churn_report(benchmark, directory_workload, table):
+    rows = []
+    recalls = {}
+    for label, interval in [("none", None), ("60s", 60.0), ("30s", 30.0)]:
+        stats = run_scenario(directory_workload, table, interval)
+        recalls[label] = stats["recall"]
+        rows.append(
+            [
+                label,
+                f"{stats['recall']:.0%}",
+                stats["crashes"],
+                stats["directories_left"],
+            ]
+        )
+    # Soft-state refresh keeps availability high under moderate churn.
+    assert recalls["none"] == 1.0
+    assert recalls["60s"] >= 0.8
+    table_text = series_table(
+        ["crash interval", "recall", "crashes", "directories left"], rows
+    )
+    table_text += (
+        f"\nsoft-state refresh every {REFRESH:.0f}s restores content on surviving/"
+        "newly elected directories after each crash"
+    )
+    save_report("churn_availability", table_text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,95 @@
+"""Extension benchmark — composition schemes (§2.2).
+
+Measures the centrally coordinated planner (global backtracking, minimal
+total distance) against the peer-to-peer scheme (greedy local bindings) on
+populations where a fraction of services carry transitive requirements:
+plan quality (total semantic distance, resolution rate) vs planning cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._report import save_report, series_table
+from repro.core.composition import Composer
+from repro.core.directory import SemanticDirectory
+from repro.services.generator import ServiceWorkload
+from repro.services.profile import Capability, ServiceProfile, ServiceRequest
+
+SERVICES = 40
+TASKS = 15
+
+
+@pytest.fixture(scope="module")
+def composed_directory(directory_workload: ServiceWorkload, directory_table):
+    """A population where every third service requires another's output."""
+    directory = SemanticDirectory(directory_table)
+    profiles = directory_workload.make_services(SERVICES)
+    for index, profile in enumerate(profiles):
+        if index % 3 == 0 and index + 1 < SERVICES:
+            # Require (a descendant of) the next service's capability.
+            dependency_request = directory_workload.matching_request(profiles[index + 1])
+            profile = ServiceProfile(
+                uri=profile.uri,
+                name=profile.name,
+                provided=profile.provided,
+                required=(
+                    Capability.build(
+                        f"{profile.uri}:need",
+                        f"Need_{index}",
+                        inputs=dependency_request.capabilities[0].inputs,
+                        outputs=dependency_request.capabilities[0].outputs,
+                        properties=dependency_request.capabilities[0].properties,
+                    ),
+                ),
+                device=profile.device,
+                grounding=profile.grounding,
+            )
+        directory.publish(profile)
+    return directory
+
+
+def _tasks(directory_workload: ServiceWorkload) -> list[ServiceRequest]:
+    return [
+        directory_workload.matching_request(directory_workload.make_service(index))
+        for index in range(TASKS)
+    ]
+
+
+@pytest.mark.parametrize("scheme", ["central", "p2p"])
+def test_compose(benchmark, composed_directory, directory_workload, scheme):
+    composer = Composer(composed_directory)
+    task = directory_workload.matching_request(directory_workload.make_service(0))
+    plan = benchmark(composer.compose, task, scheme)
+    assert plan.bindings
+
+
+def test_composition_report(benchmark, composed_directory, directory_workload):
+    composer = Composer(composed_directory)
+    rows = []
+    for scheme in ("central", "p2p"):
+        resolved = 0
+        total_distance = 0
+        bindings = 0
+        start = time.perf_counter()
+        for task in _tasks(directory_workload):
+            plan = composer.compose(task, scheme=scheme)
+            resolved += plan.resolved
+            total_distance += plan.total_distance
+            bindings += len(plan.bindings)
+        elapsed = (time.perf_counter() - start) / TASKS
+        rows.append(
+            [scheme, f"{resolved}/{TASKS}", bindings, total_distance, f"{elapsed * 1e3:.2f}"]
+        )
+    table = series_table(
+        ["scheme", "resolved", "bindings", "total distance", "ms/task"], rows
+    )
+    central_distance = rows[0][3]
+    p2p_distance = rows[1][3]
+    # Global planning never produces worse total distance than greedy.
+    assert central_distance <= p2p_distance
+    table += "\ncentral planning never yields a worse total distance than the greedy p2p scheme"
+    save_report("composition_schemes", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""Experiment E7 — §3.2's encoding scalability claims.
+
+Paper text: "for p=2 and k=5, and a system encoding real numbers as 64
+bits doubles, the maximum number of entries that we can have on the first
+level of the hierarchy is 1071 and the maximum number of levels ... is
+462".  Our slot layout differs in constants; this experiment measures the
+same two capacities for it, plus the float-vs-exact ablation (exact
+Fractions remove the limits at a CPU cost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import save_report
+from repro.core.encoding import IntervalEncoder
+from repro.ontology.generator import OntologyShape, generate_ontology
+from repro.ontology.reasoner import Reasoner
+
+
+@pytest.fixture(scope="module")
+def deep_taxonomy():
+    onto = generate_ontology(
+        "http://repro.example.org/enc",
+        OntologyShape(concepts=300, properties=20),
+        seed=9,
+    )
+    return Reasoner().load([onto]).classify()
+
+
+def test_encode_300_concepts_float(benchmark, deep_taxonomy):
+    encoded = benchmark(IntervalEncoder(exact=False).encode, deep_taxonomy)
+    assert len(encoded) >= 300
+
+
+def test_encode_300_concepts_exact(benchmark, deep_taxonomy):
+    encoded = benchmark(IntervalEncoder(exact=True).encode, deep_taxonomy)
+    assert len(encoded) >= 300
+
+
+def test_e7_report(benchmark):
+    from repro.experiments import e7_encoding_scalability
+
+    result = e7_encoding_scalability()
+    # Same order of magnitude as the paper's constants (1071 / 462).
+    assert result.extras["first_p2k5"] >= 200
+    assert result.extras["depth_p2k5"] >= 200
+    # Exact arithmetic trades CPU for unlimited capacity.
+    assert result.extras["exact_seconds"] > result.extras["float_seconds"]
+    save_report("e7_encoding_scalability", result.render())
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,95 @@
+"""Experiment E6 — Fig. 10: Ariadne vs S-Ariadne response time.
+
+Paper setting (§5): directories caching 1→100 services; Ariadne performs
+classical syntactic matching ("syntactically comparing the WSDL
+descriptions" — descriptions are kept as documents and processed per
+query), while S-Ariadne parses once at publication, matches numerically
+and searches classified graphs.  Findings to reproduce in shape:
+
+* Ariadne's response time grows with the number of cached services;
+* S-Ariadne's stays nearly stable — and is the faster of the two at the
+  paper's maximum population.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._report import ms, save_report
+from repro.core.directory import SemanticDirectory
+from repro.registry.syntactic import WsdlDocumentRegistry
+from repro.services.generator import ServiceWorkload
+from repro.services.xml_codec import profile_to_xml, request_to_xml, wsdl_to_xml
+
+DIRECTORY_SIZES = [1, 20, 40, 60, 80, 100]
+REPEATS = 10
+
+
+@pytest.fixture(scope="module")
+def populations(directory_workload: ServiceWorkload, directory_table):
+    table = directory_table
+    ariadne = {}
+    sariadne = {}
+    for size in DIRECTORY_SIZES:
+        syntactic = WsdlDocumentRegistry()
+        semantic = SemanticDirectory(table)
+        for index in range(size):
+            profile = directory_workload.make_service(index)
+            syntactic.publish_xml(wsdl_to_xml(ServiceWorkload.wsdl_twin(profile)))
+            semantic.publish_xml(
+                profile_to_xml(
+                    profile,
+                    annotations=table.annotate(profile.provided),
+                    codes_version=table.version,
+                )
+            )
+        ariadne[size] = syntactic
+        sariadne[size] = semantic
+    target = directory_workload.make_service(0)
+    request = directory_workload.matching_request(target)
+    request_doc = request_to_xml(
+        request,
+        annotations=table.annotate(request.capabilities),
+        codes_version=table.version,
+    )
+    wsdl_request_doc = wsdl_to_xml(ServiceWorkload.wsdl_request_for(target))
+    return ariadne, sariadne, request_doc, wsdl_request_doc
+
+
+def _mean_seconds(fn, repeats=REPEATS) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def test_ariadne_query_100(benchmark, populations):
+    ariadne, _sariadne, _request_doc, wsdl_request_doc = populations
+    hits = benchmark(ariadne[100].query_xml, wsdl_request_doc)
+    assert hits
+
+
+def test_sariadne_query_100(benchmark, populations):
+    _ariadne, sariadne, request_doc, _wsdl = populations
+    hits = benchmark(sariadne[100].query_xml, request_doc)
+    assert hits
+
+
+def test_fig10_report(benchmark):
+    """Regenerates the Fig. 10 series."""
+    from repro.experiments import fig10_ariadne_vs_sariadne
+
+    result = fig10_ariadne_vs_sariadne()
+    ariadne_times = [result.extras[f"ariadne_{size}"] for size in DIRECTORY_SIZES]
+    sariadne_times = [result.extras[f"sariadne_{size}"] for size in DIRECTORY_SIZES]
+    # Shape: Ariadne grows (document processing per query), S-Ariadne is
+    # ~stable and wins at scale.
+    assert ariadne_times[-1] > 5 * ariadne_times[0]
+    assert ariadne_times[-1] > sariadne_times[-1]
+    sariadne_growth = sariadne_times[-1] / max(sariadne_times[0], 1e-9)
+    ariadne_growth = ariadne_times[-1] / max(ariadne_times[0], 1e-9)
+    assert sariadne_growth < ariadne_growth / 2
+    save_report("fig10_ariadne_vs_sariadne", result.render())
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""Experiment E1/E2 — Fig. 2: cost of on-line semantic matching.
+
+Paper setting (§2.4): match one requested against one provided capability,
+7 inputs and 3 outputs each, over an ontology with 99 OWL classes and 39
+properties, using three reasoners (Racer, FaCT++, Pellet → our three
+classification strategies).  Paper findings to reproduce in shape:
+
+* on-line semantic matching is orders of magnitude slower than syntactic
+  matching (paper: seconds vs ~160 ms UDDI; we report the measured ratio);
+* loading + classifying the ontologies takes 76–78 % of the total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import save_report
+from repro.ontology.owl_xml import ontology_to_xml
+from repro.ontology.reasoner import ClassificationStrategy
+from repro.registry.naive_semantic import OnlineMatchmaker
+from repro.registry.syntactic import SyntacticRegistry
+from repro.services.generator import ServiceWorkload
+from repro.services.xml_codec import profile_to_xml, request_to_xml, wsdl_to_xml
+
+
+@pytest.fixture(scope="module")
+def documents(fig2_workload: ServiceWorkload):
+    profile = fig2_workload.make_service(0)
+    request = fig2_workload.matching_request(profile)
+    return {
+        "profile": profile_to_xml(profile),
+        "request": request_to_xml(request),
+        "ontologies": [ontology_to_xml(onto) for onto in fig2_workload.ontologies],
+        "wsdl": wsdl_to_xml(ServiceWorkload.wsdl_twin(profile)),
+        "wsdl_request": wsdl_to_xml(ServiceWorkload.wsdl_request_for(profile)),
+    }
+
+
+@pytest.mark.parametrize("strategy", list(ClassificationStrategy), ids=lambda s: s.value)
+def test_online_match_per_reasoner(benchmark, documents, strategy):
+    """One full on-line match (parse + load + classify + query) per
+    'reasoner'."""
+    matchmaker = OnlineMatchmaker(strategy=strategy)
+
+    def run():
+        return matchmaker.match_documents(
+            documents["profile"], documents["request"], documents["ontologies"]
+        )
+
+    report = benchmark(run)
+    assert report.outcome.matched
+
+
+def test_syntactic_match_reference(benchmark, documents):
+    """The UDDI-style reference point: publish + conformance query."""
+    registry = SyntacticRegistry()
+    registry.publish_xml(documents["wsdl"])
+
+    def run():
+        return registry.query_xml(documents["wsdl_request"])
+
+    hits = benchmark(run)
+    assert hits
+
+
+def test_fig2_report(benchmark):
+    """Regenerates the Fig. 2 rows: per-reasoner phase breakdown."""
+    from repro.experiments import fig2_reasoner_cost
+
+    result = fig2_reasoner_cost()
+    # Paper: 76–78 % across reasoners.  Our enumerative strategy lands in
+    # that band; the pruned strategies do less classification work by
+    # design, so the floor is generous (parse is stdlib ElementTree, far
+    # faster than a 2006 DOM stack, which also shrinks the share).
+    assert result.extras["share_enumerative"] > 0.55
+    for strategy in ClassificationStrategy:
+        assert result.extras[f"share_{strategy.value}"] > 0.35, strategy
+    # The headline gap: on-line semantic matching is orders of magnitude
+    # slower than syntactic conformance checking.
+    assert result.extras["semantic_syntactic_ratio"] > 20
+    save_report("fig2_reasoner_cost", result.render())
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

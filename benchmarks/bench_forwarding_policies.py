@@ -1,0 +1,116 @@
+"""Ablation E10b — query-forwarding policies on the directory backbone.
+
+§4's cooperation scheme forwards a missed query only to directories whose
+exchanged Bloom summaries admit it, optionally further narrowed by
+distance/battery ranking.  This ablation runs the same discovery workload
+under three policies and reports remote queries sent, recall and traffic:
+
+* ``flood``   — forward to every known peer (no summaries);
+* ``bloom``   — the paper's summary preselection;
+* ``bloom+2`` — summaries plus a 2-peer cap with distance/battery ranking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import save_report, series_table
+from repro.core.codes import CodeTable
+from repro.network.election import ElectionConfig
+from repro.ontology.registry import OntologyRegistry
+from repro.protocols.deployment import Deployment, DeploymentConfig
+from repro.services.xml_codec import profile_to_xml, request_to_xml
+
+FAST_ELECTION = ElectionConfig(
+    advert_interval=5.0,
+    advert_hops=2,
+    directory_timeout=10.0,
+    check_interval=2.0,
+    reply_window=1.0,
+    election_hops=2,
+)
+QUERIES = 15
+SERVICES = 30
+
+
+def run_policy(directory_workload, table, policy: str) -> dict[str, float]:
+    deployment = Deployment(
+        DeploymentConfig(
+            node_count=36, protocol="sariadne", election=FAST_ELECTION, seed=9
+        ),
+        table=table,
+    )
+    deployment.run_until_directories(minimum=2)
+    deployment.sim.run(until=deployment.sim.now + 30.0)
+    for agent in deployment.directory_agents.values():
+        if policy == "flood":
+            agent.use_summaries = False
+        elif policy == "bloom+2":
+            agent.max_forward_peers = 2
+    services = directory_workload.make_services(SERVICES)
+    for index, profile in enumerate(services):
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        deployment.publish_from(index % 36, document, service_uri=profile.uri)
+    hits = 0
+    for index in range(QUERIES):
+        target = services[index]
+        request = directory_workload.matching_request(target)
+        document = request_to_xml(
+            request,
+            annotations=table.annotate(request.capabilities),
+            codes_version=table.version,
+        )
+        response = deployment.query_from((index * 7 + 2) % 36, document)
+        if response is not None and any(row[0] == target.uri for row in response[1]):
+            hits += 1
+    forwarded = sum(a.queries_forwarded for a in deployment.directory_agents.values())
+    return {
+        "directories": len(deployment.directory_agents),
+        "forwarded": forwarded,
+        "recall": hits / QUERIES,
+        "kib": deployment.network.stats.bytes_sent / 1024,
+    }
+
+
+@pytest.fixture(scope="module")
+def table(directory_workload):
+    return CodeTable(OntologyRegistry(directory_workload.ontologies))
+
+
+@pytest.mark.parametrize("policy", ["flood", "bloom", "bloom+2"])
+def test_policy_runs(benchmark, directory_workload, table, policy):
+    stats = benchmark.pedantic(
+        run_policy, args=(directory_workload, table, policy), rounds=1, iterations=1
+    )
+    assert stats["recall"] >= 0.9, (policy, stats)
+
+
+def test_forwarding_report(benchmark, directory_workload, table):
+    rows = []
+    results = {}
+    for policy in ("flood", "bloom", "bloom+2"):
+        stats = run_policy(directory_workload, table, policy)
+        results[policy] = stats
+        rows.append(
+            [
+                policy,
+                int(stats["directories"]),
+                int(stats["forwarded"]),
+                f"{stats['recall']:.0%}",
+                f"{stats['kib']:.0f}",
+            ]
+        )
+    # Bloom preselection must cut forwarded queries without losing recall.
+    assert results["bloom"]["forwarded"] <= results["flood"]["forwarded"]
+    assert results["bloom"]["recall"] >= results["flood"]["recall"] - 1e-9
+    assert results["bloom+2"]["forwarded"] <= results["bloom"]["forwarded"]
+    table_text = series_table(
+        ["policy", "directories", "remote queries", "recall", "KiB sent"], rows
+    )
+    table_text += "\nBloom preselection cuts remote queries at equal recall; the peer cap cuts further"
+    save_report("forwarding_policies", table_text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Experiment E8 — §3.1's numeric-index trade-off (after [3]).
+
+Paper text: "Combining both encoding and indexing techniques allows
+performing efficient service search, in the order of milliseconds for
+trees of 10000 entries.  However, insertion within trees of the previous
+size is still a heavy process" (paper: ~3 s in 2003).  The experiment
+measures search vs insertion on the R-tree at growing sizes: searches must
+stay in the sub-millisecond/millisecond range while bulk insertion costs
+orders of magnitude more.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._report import save_report
+from repro.registry.gist import GistIndex, Rect
+
+SIZES = [100, 1_000, 5_000, 10_000]
+
+
+def random_rect(rng: random.Random) -> Rect:
+    x = rng.random() * 0.99
+    width = rng.random() * 0.01 + 1e-6
+    return Rect(x, min(1.0, x + width), 0.0, 1.0)
+
+
+def build_index(size: int, seed: int = 0) -> GistIndex:
+    rng = random.Random(seed)
+    index = GistIndex()
+    for i in range(size):
+        index.insert(random_rect(rng), f"svc{i}")
+    return index
+
+
+@pytest.fixture(scope="module")
+def big_index():
+    return build_index(10_000)
+
+
+def test_search_10k(benchmark, big_index):
+    rng = random.Random(99)
+    probes = [random_rect(rng) for _ in range(100)]
+
+    def run():
+        return [big_index.search(probe) for probe in probes]
+
+    results = benchmark(run)
+    assert len(results) == 100
+
+
+def test_insert_one_into_10k(benchmark, big_index):
+    rng = random.Random(7)
+
+    def run():
+        big_index.insert(random_rect(rng), "probe")
+
+    benchmark(run)
+
+
+def test_e8_report(benchmark):
+    from repro.experiments import e8_gist_directory
+
+    result = e8_gist_directory(sizes=SIZES)
+    for size in SIZES:
+        # The paper's shape: searching stays cheap; building the directory
+        # costs orders of magnitude more than one search.
+        assert result.extras[f"search_{size}"] < 0.005
+        assert result.extras[f"build_{size}"] > 50 * result.extras[f"search_{size}"]
+    save_report("e8_gist_directory", result.render())
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+"""Extension benchmark — directory state transfer (the Fig. 7 scenario).
+
+When a directory leaves, its successor must host the cached descriptions
+(§5).  Two mechanisms exist: re-publishing the raw documents
+(`DirectoryHandoff`) and importing a full state snapshot (codes included,
+no reasoning on the receiving side).  This benchmark measures snapshot
+size and export/import time against directory size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._report import ms, save_report, series_table
+from repro.core.directory import SemanticDirectory
+
+SIZES = [20, 60, 100]
+
+
+@pytest.fixture(scope="module")
+def populated(directory_workload, directory_table):
+    directories = {}
+    for size in SIZES:
+        directory = SemanticDirectory(directory_table)
+        for index in range(size):
+            directory.publish(directory_workload.make_service(index))
+        directories[size] = directory
+    return directories
+
+
+def test_export_state_100(benchmark, populated):
+    snapshot = benchmark(populated[100].export_state)
+    assert "DirectoryState" in snapshot
+
+
+def test_import_state_100(benchmark, populated):
+    snapshot = populated[100].export_state()
+    restored = benchmark(SemanticDirectory.from_state, snapshot)
+    assert len(restored) == 100
+
+
+def test_handoff_report(benchmark, populated, directory_workload):
+    rows = []
+    for size in SIZES:
+        directory = populated[size]
+        start = time.perf_counter()
+        snapshot = directory.export_state()
+        export_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        restored = SemanticDirectory.from_state(snapshot)
+        import_seconds = time.perf_counter() - start
+        if len(restored) != size:
+            raise AssertionError(f"snapshot lost services at size {size}")
+        # The successor must answer identically.
+        request = directory_workload.matching_request(directory_workload.make_service(0))
+        original = [(m.service_uri, m.distance) for m in directory.query(request)]
+        recovered = [(m.service_uri, m.distance) for m in restored.query(request)]
+        assert original == recovered
+        rows.append(
+            [
+                size,
+                f"{len(snapshot) / 1024:.0f}",
+                ms(export_seconds),
+                ms(import_seconds),
+            ]
+        )
+    table = series_table(
+        ["services", "snapshot KiB", "export(ms)", "import(ms)"], rows
+    )
+    table += "\nthe successor rebuilds graphs from the snapshot without running a reasoner"
+    save_report("handoff_state_transfer", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,105 @@
+"""Experiment E11 — §4's deployment behaviour over the simulated MANET.
+
+Not a paper figure but the protocol machinery §4 describes: directory
+election coverage, backbone formation, and end-to-end discovery latency in
+*simulated* network time (the paper's Figs. 7–10 are directory-side CPU
+measurements, reproduced by the other benchmarks; this one characterizes
+the distributed path: client → directory → peer directories → client).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import save_report, series_table
+from repro.network.election import ElectionConfig
+from repro.protocols.deployment import Deployment, DeploymentConfig
+from repro.services.xml_codec import profile_to_xml, request_to_xml
+
+FAST_ELECTION = ElectionConfig(
+    advert_interval=5.0,
+    advert_hops=2,
+    directory_timeout=10.0,
+    check_interval=2.0,
+    reply_window=1.0,
+    election_hops=2,
+)
+
+
+def build_deployment(directory_workload, table, node_count=36, seed=3):
+    config = DeploymentConfig(
+        node_count=node_count,
+        protocol="sariadne",
+        election=FAST_ELECTION,
+        seed=seed,
+    )
+    deployment = Deployment(config, table=table)
+    deployment.run_until_directories(minimum=2)
+    deployment.sim.run(until=deployment.sim.now + 30.0)
+    services = directory_workload.make_services(20)
+    for index, profile in enumerate(services):
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        deployment.publish_from(index % node_count, document, service_uri=profile.uri)
+    return deployment, services
+
+
+@pytest.fixture(scope="module")
+def scenario(directory_workload, directory_table):
+    return build_deployment(directory_workload, directory_table)
+
+
+def test_query_roundtrip_cpu(benchmark, scenario, directory_workload, directory_table):
+    """CPU cost of driving one full simulated query round-trip."""
+    deployment, services = scenario
+    request = directory_workload.matching_request(services[4])
+    document = request_to_xml(
+        request,
+        annotations=directory_table.annotate(request.capabilities),
+        codes_version=directory_table.version,
+    )
+
+    def run():
+        return deployment.query_from(17, document)
+
+    response = benchmark(run)
+    assert response is not None
+
+
+def test_e11_report(benchmark, scenario, directory_workload, directory_table):
+    deployment, services = scenario
+    rows = []
+    latencies = []
+    found = 0
+    queries = 12
+    for index in range(queries):
+        target = services[index]
+        request = directory_workload.matching_request(target)
+        document = request_to_xml(
+            request,
+            annotations=directory_table.annotate(request.capabilities),
+            codes_version=directory_table.version,
+        )
+        response = deployment.query_from((index * 7) % 36, document)
+        assert response is not None
+        latency, results = response
+        hit = any(row[0] == target.uri for row in results)
+        found += hit
+        latencies.append(latency)
+        rows.append([index, f"{latency * 1e3:.1f}", "hit" if hit else "miss"])
+    stats = deployment.network.stats
+    table = series_table(["query", "simulated latency(ms)", "outcome"], rows)
+    table += (
+        f"\ndirectories elected: {len(deployment.directory_ids())} of 36 nodes"
+        f"\ncoverage: {deployment.coverage():.0%}"
+        f"\nrecall: {found}/{queries}"
+        f"\ntraffic: {stats.broadcasts} broadcasts, {stats.unicasts} unicasts,"
+        f" {stats.bytes_sent / 1024:.0f} KiB, {stats.drops_unreachable} drops"
+    )
+    save_report("e11_network_discovery", table)
+    assert found == queries, "every advertised service must be discoverable"
+    assert deployment.coverage() == 1.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures: the paper's workloads at benchmark scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codes import CodeTable
+from repro.ontology.registry import OntologyRegistry
+from repro.services.generator import PAPER_FIG2_SHAPE, ServiceWorkload, WorkloadShape
+
+
+@pytest.fixture(scope="session")
+def fig2_workload():
+    """§2.4 setting: one 99-class / 39-property ontology, 7-in/3-out caps."""
+    return ServiceWorkload(PAPER_FIG2_SHAPE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def directory_workload():
+    """§5 setting: 22 ontologies, one provided capability per service."""
+    return ServiceWorkload(WorkloadShape(), seed=42)
+
+
+@pytest.fixture(scope="session")
+def directory_registry(directory_workload):
+    return OntologyRegistry(directory_workload.ontologies)
+
+
+@pytest.fixture(scope="session")
+def directory_table(directory_registry):
+    return CodeTable(directory_registry)

@@ -1,0 +1,156 @@
+"""Every matchmaker in the repository, head to head on one workload.
+
+Runs the same §5-style population (22 ontologies, 60 services) and the
+same 20 requests through each discovery mechanism the paper discusses,
+and prints what each one costs where:
+
+* **on-line reasoning** (§2.4's baseline): parse + load + classify per
+  query;
+* **annotated taxonomy** ([13]): heavy publish, lookup-only queries;
+* **GiST numeric index** ([3]): rectangle preselection + code matching;
+* **syntactic WSDL** (Ariadne local): string conformance, no semantics;
+* **S-Ariadne directory** (§3): codes + capability graphs.
+
+The point the paper makes — and this script shows — is that only the last
+one is simultaneously semantic, fast at query time, AND cheap at publish
+time.
+
+Run:  python examples/matchmaker_shootout.py
+"""
+
+import time
+
+from repro import CodeMatcher, CodeTable, OntologyRegistry, SemanticDirectory, ServiceWorkload
+from repro.ontology.owl_xml import ontology_to_xml
+from repro.registry.gist import GistIndex
+from repro.registry.naive_semantic import OnlineSemanticRegistry
+from repro.registry.srinivasan import AnnotatedTaxonomyRegistry
+from repro.registry.syntactic import SyntacticRegistry
+from repro.services.xml_codec import profile_to_xml, request_to_xml
+
+SERVICES = 60
+QUERIES = 20
+
+
+def main() -> None:
+    workload = ServiceWorkload(seed=7)
+    registry = OntologyRegistry(workload.ontologies)
+    table = CodeTable(registry)
+    services = workload.make_services(SERVICES)
+    requests = [workload.matching_request(services[i * 2]) for i in range(QUERIES)]
+    expected = [services[i * 2].uri for i in range(QUERIES)]
+
+    rows = []
+
+    def record(name, publish_seconds, query_seconds, hits, semantic):
+        rows.append(
+            (
+                name,
+                f"{publish_seconds * 1e3 / SERVICES:8.3f}",
+                f"{query_seconds * 1e3 / QUERIES:8.3f}",
+                f"{hits}/{QUERIES}",
+                "yes" if semantic else "no",
+            )
+        )
+
+    # --- on-line reasoning --------------------------------------------
+    online = OnlineSemanticRegistry(workload.ontologies)
+    start = time.perf_counter()
+    for profile in services:
+        online.publish_xml(profile_to_xml(profile))
+    online_publish = time.perf_counter() - start
+    start = time.perf_counter()
+    online_hits = 0
+    for request, uri in zip(requests[:5], expected[:5]):  # 5 only: it is slow
+        found = online.query_xml(request_to_xml(request))
+        online_hits += any(service == uri for service, _d in found)
+    online_query = (time.perf_counter() - start) * (QUERIES / 5)
+    record("on-line reasoning", online_publish, online_query, online_hits * 4, True)
+
+    # --- annotated taxonomy ([13]) --------------------------------------
+    annotated = AnnotatedTaxonomyRegistry(workload.taxonomy)
+    start = time.perf_counter()
+    for profile in services:
+        annotated.publish(profile)
+    annotated_publish = time.perf_counter() - start
+    start = time.perf_counter()
+    annotated_hits = 0
+    for request, uri in zip(requests, expected):
+        ranked = annotated.query(request.capabilities[0])
+        annotated_hits += any(r.service_uri == uri for r in ranked)
+    annotated_query = time.perf_counter() - start
+    record("annotated taxonomy [13]", annotated_publish, annotated_query, annotated_hits, True)
+
+    # --- GiST numeric index ([3]) + code matching -----------------------
+    gist = GistIndex()
+    matcher = CodeMatcher(table=table)
+    start = time.perf_counter()
+    for profile in services:
+        for capability in profile.provided:
+            gist.insert_capability(capability, table, profile.uri)
+    gist_publish = time.perf_counter() - start
+    capability_by_service = {p.uri: p.provided[0] for p in services}
+    start = time.perf_counter()
+    gist_hits = 0
+    for request, uri in zip(requests, expected):
+        candidates = gist.search_capability(request.capabilities[0], table)
+        confirmed = [
+            c
+            for c in candidates
+            if matcher.match(capability_by_service[c], request.capabilities[0])
+        ]
+        gist_hits += uri in confirmed
+    gist_query = time.perf_counter() - start
+    record("GiST index [3] + codes", gist_publish, gist_query, gist_hits, True)
+
+    # --- syntactic WSDL ---------------------------------------------------
+    syntactic = SyntacticRegistry()
+    start = time.perf_counter()
+    for profile in services:
+        syntactic.publish(ServiceWorkload.wsdl_twin(profile))
+    syntactic_publish = time.perf_counter() - start
+    start = time.perf_counter()
+    syntactic_hits = 0
+    for index, uri in enumerate(expected):
+        # The syntactic client must already know the exact interface.
+        request = ServiceWorkload.wsdl_request_for(services[index * 2])
+        found = syntactic.query(request)
+        syntactic_hits += any(d.uri == uri for d in found)
+    syntactic_query = time.perf_counter() - start
+    record("syntactic WSDL (Ariadne)", syntactic_publish, syntactic_query, syntactic_hits, False)
+
+    # --- S-Ariadne directory ---------------------------------------------
+    directory = SemanticDirectory(table)
+    start = time.perf_counter()
+    for profile in services:
+        directory.publish_xml(
+            profile_to_xml(
+                profile,
+                annotations=table.annotate(profile.provided),
+                codes_version=table.version,
+            )
+        )
+    sariadne_publish = time.perf_counter() - start
+    start = time.perf_counter()
+    sariadne_hits = 0
+    for request, uri in zip(requests, expected):
+        matches = directory.query(request)
+        sariadne_hits += any(m.service_uri == uri for m in matches)
+    sariadne_query = time.perf_counter() - start
+    record("S-Ariadne directory (§3)", sariadne_publish, sariadne_query, sariadne_hits, True)
+
+    print(f"workload: {SERVICES} services over 22 ontologies, {QUERIES} derived requests\n")
+    header = f"{'matchmaker':<26}{'publish ms/svc':>15}{'query ms/req':>14}{'recall':>8}{'semantic':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, publish, query, hits, semantic in rows:
+        print(f"{name:<26}{publish:>15}{query:>14}{hits:>8}{semantic:>10}")
+    print(
+        "\nonly the S-Ariadne directory combines semantics, sub-ms queries and"
+        " cheap publication\n(the one-off cost it relies on: classify + encode ="
+        " the CodeTable built once per ontology snapshot)"
+    )
+
+
+if __name__ == "__main__":
+    main()

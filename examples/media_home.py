@@ -1,0 +1,121 @@
+"""The paper's Fig. 1 scenario: a PDA discovers a media workstation.
+
+Reproduces the worked example of §2.2–2.3 end to end:
+
+* two ontologies (digital resources and servers);
+* a workstation providing two dependent capabilities —
+  ``SendDigitalStream`` (generic) which *includes* ``ProvideGame``
+  (specific), both separately accessible;
+* a PDA requiring ``GetVideoStream`` (category VideoServer, input a
+  VideoResource, output a video Stream).
+
+The semantic matcher must select ``SendDigitalStream`` with
+``SemanticDistance = 3``, exactly as the paper reports, and the capability
+graph must classify ``SendDigitalStream`` as the root above
+``ProvideGame``.
+
+Run:  python examples/media_home.py
+"""
+
+from repro import (
+    Capability,
+    CodeTable,
+    OntologyRegistry,
+    SemanticDirectory,
+    ServiceProfile,
+    ServiceRequest,
+    TaxonomyMatcher,
+)
+from repro.ontology.generator import media_home_ontologies
+
+NS = "http://repro.example.org/media"
+
+
+def r(name: str) -> str:
+    return f"{NS}/resources#{name}"
+
+
+def s(name: str) -> str:
+    return f"{NS}/servers#{name}"
+
+
+def build_workstation() -> ServiceProfile:
+    send_digital_stream = Capability.build(
+        "urn:media:cap:SendDigitalStream",
+        "SendDigitalStream",
+        inputs=[r("DigitalResource")],
+        outputs=[r("Stream")],
+        category=s("DigitalServer"),
+        includes=("urn:media:cap:ProvideGame",),
+    )
+    provide_game = Capability.build(
+        "urn:media:cap:ProvideGame",
+        "ProvideGame",
+        inputs=[r("GameResource")],
+        outputs=[r("Stream")],
+        category=s("GameServer"),
+    )
+    return ServiceProfile(
+        uri="urn:media:svc:workstation",
+        name="MediaWorkstation",
+        provided=(send_digital_stream, provide_game),
+        device="workstation",
+    )
+
+
+def build_pda_request() -> ServiceRequest:
+    get_video_stream = Capability.build(
+        "urn:media:cap:GetVideoStream",
+        "GetVideoStream",
+        inputs=[r("VideoResource")],
+        outputs=[r("VideoStream")],
+        category=s("VideoServer"),
+    )
+    return ServiceRequest(
+        uri="urn:media:req:pda", capabilities=(get_video_stream,), requester="urn:media:dev:pda"
+    )
+
+
+def main() -> None:
+    print("== Fig. 1: the pervasive media home ==\n")
+    resources, servers = media_home_ontologies(NS)
+    registry = OntologyRegistry([resources, servers])
+    table = CodeTable(registry)
+
+    workstation = build_workstation()
+    request = build_pda_request()
+
+    # --- the raw Match relation (§2.3) --------------------------------
+    matcher = TaxonomyMatcher(table.taxonomy)
+    outcome = matcher.match_outcome(workstation.provided[0], request.capabilities[0])
+    print("Match(SendDigitalStream, GetVideoStream):", outcome.matched)
+    print("SemanticDistance:", outcome.distance, "(paper: 3)")
+    for kind, provided, requested, distance in outcome.pairings:
+        print(f"  {kind:<9} {provided.rsplit('#')[-1]:<16} ⊒ {requested.rsplit('#')[-1]:<16} d={distance}")
+    assert outcome.distance == 3
+
+    game_outcome = matcher.match_outcome(workstation.provided[1], request.capabilities[0])
+    print("\nMatch(ProvideGame, GetVideoStream):", game_outcome.matched, "(a game server cannot substitute)")
+    assert not game_outcome.matched
+
+    # --- directory classification (§3.3) --------------------------------
+    directory = SemanticDirectory(table)
+    directory.publish(workstation)
+    for key, graph in directory.graphs().items():
+        roots = [n.representative.name for n in graph.roots()]
+        leaves = [n.representative.name for n in graph.leaves()]
+        print(f"\ncapability graph over {sorted(o.rsplit('/')[-1] for o in key)}:")
+        print(f"  roots  = {roots}   (most generic)")
+        print(f"  leaves = {leaves}   (most specific)")
+
+    # --- discovery --------------------------------------------------------
+    matches = directory.query(request)
+    print("\nPDA request resolved to:")
+    for match in matches:
+        print(f"  {match.capability.name} @ {match.service_uri} (distance {match.distance})")
+    assert matches[0].capability.name == "SendDigitalStream"
+    print("\nThe right choice: SendDigitalStream also includes GetVideoStream's functionality.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""A pervasive office on hand-crafted ontologies: the full feature tour.
+
+A visitor's laptop wants to print a color photo.  The office network
+hosts an inkjet printer, a laser printer, a projector and a format
+converter, described over the `repro.ontology.fixtures` suite.  Per the
+paper's §2.3 matching direction, providers advertise *general* concepts
+and requests name *specific* needs (Fig. 1: provided DigitalServer ⊒
+requested VideoServer).  The scenario exercises:
+
+1. **inference** — the inkjet advertises the *defined* class
+   ``ColorPrinter`` (≡ Printer ⊓ ∃supports.ColorOutput); the request
+   names ``InkjetPrinter``, and the subsumption
+   ``ColorPrinter ⊒ InkjetPrinter`` exists *only by inference* (no told
+   edge) — it was baked into the interval codes at classification time;
+2. **semantic matching** — the laser printer matches a generic print
+   request but not the inkjet-class color request;
+3. **conversations** — the inkjet requires ``submit → confirm``; a client
+   planning a bare ``submit`` is rejected by the process check;
+4. **composition** — the inkjet requires PDF input; a converter service
+   provides Photo→PDF, and the planner wires it in transitively.
+
+Run:  python examples/pervasive_office.py
+"""
+
+from repro import (
+    Capability,
+    CodeTable,
+    Composer,
+    OntologyRegistry,
+    SemanticDirectory,
+    ServiceProfile,
+    ServiceRequest,
+)
+from repro.core.selection import filter_by_conversation
+from repro.ontology.fixtures import device, document, office_suite, service
+from repro.services.process import Invoke, Repeat, choice, sequence
+
+
+def build_services() -> list[ServiceProfile]:
+    inkjet = ServiceProfile(
+        uri="urn:office:svc:inkjet",
+        name="LobbyInkjet",
+        provided=(
+            Capability.build(
+                "urn:office:cap:inkjet-print",
+                "PrintColor",
+                inputs=[document("Pdf")],
+                outputs=[document("PrintReceipt")],
+                properties=[device("ColorPrinter")],
+                category=service("PrintService"),
+            ),
+        ),
+        required=(
+            Capability.build(
+                "urn:office:cap:need-pdf",
+                "NeedPdfConversion",
+                inputs=[document("Photo")],
+                outputs=[document("Pdf")],
+            ),
+        ),
+        process=sequence(Invoke("submit"), Invoke("confirm")),
+    )
+    laser = ServiceProfile(
+        uri="urn:office:svc:laser",
+        name="CopyRoomLaser",
+        provided=(
+            Capability.build(
+                "urn:office:cap:laser-print",
+                "PrintMono",
+                inputs=[document("Pdf")],
+                outputs=[document("PrintReceipt")],
+                properties=[device("LaserPrinter")],
+                category=service("PrintService"),
+            ),
+        ),
+        # Fire-and-forget: confirmation is optional on the laser.
+        process=sequence(
+            Invoke("submit"), Repeat(body=choice(Invoke("confirm"), Invoke("cancel")))
+        ),
+    )
+    converter = ServiceProfile(
+        uri="urn:office:svc:converter",
+        name="FormatConverter",
+        provided=(
+            Capability.build(
+                "urn:office:cap:convert",
+                "PhotoToPdf",
+                inputs=[document("Image")],
+                outputs=[document("Pdf")],
+                category=service("ConversionService"),
+            ),
+        ),
+        process=Repeat(body=Invoke("convert")),
+    )
+    projector = ServiceProfile(
+        uri="urn:office:svc:projector",
+        name="MeetingRoomProjector",
+        provided=(
+            Capability.build(
+                "urn:office:cap:project",
+                "ProjectSlides",
+                inputs=[document("Presentation")],
+                outputs=[document("Artefact")],
+                properties=[device("Projector")],
+                category=service("ProjectionService"),
+            ),
+        ),
+    )
+    return [inkjet, laser, converter, projector]
+
+
+def main() -> None:
+    table = CodeTable(OntologyRegistry(office_suite()))
+    directory = SemanticDirectory(table)
+    for profile in build_services():
+        directory.publish(profile)
+    print(f"directory: {directory}\n")
+
+    # 1 + 2: the color print request — its property names InkjetPrinter
+    # (the device class the visitor's driver stack targets).  Only the
+    # inkjet qualifies: its advertised *defined* class ColorPrinter
+    # subsumes InkjetPrinter purely by inference.
+    color_request = ServiceRequest(
+        uri="urn:office:req:color-print",
+        capabilities=(
+            Capability.build(
+                "urn:office:req:cap",
+                "PrintMyPhoto",
+                inputs=[document("Pdf")],
+                outputs=[document("PrintReceipt")],
+                properties=[device("InkjetPrinter")],
+                category=service("ColorPrintService"),
+            ),
+        ),
+    )
+    matches = directory.query(color_request)
+    print("color print request (property: InkjetPrinter):")
+    for match in matches:
+        print(f"  {match.capability.name} @ {match.service_uri} (d={match.distance})")
+    assert [m.service_uri for m in matches] == ["urn:office:svc:inkjet"]
+    print(
+        "  -> matched through ColorPrinter ⊒ InkjetPrinter, an edge that exists"
+        " only by inference (∃supports.ColorOutput)\n"
+    )
+
+    # Generic print request: both printers qualify (no device property).
+    generic = ServiceRequest(
+        uri="urn:office:req:any-print",
+        capabilities=(
+            Capability.build(
+                "urn:office:req:cap2",
+                "PrintAnything",
+                inputs=[document("Pdf")],
+                outputs=[document("PrintReceipt")],
+                category=service("PrintService"),
+            ),
+        ),
+    )
+    generic_matches = directory.query(generic)
+    print(f"generic print request: {[m.service_uri.rsplit(':', 1)[-1] for m in generic_matches]}")
+
+    # 3: conversation check — a client that only submits (never confirms)
+    # cannot drive the inkjet's submit→confirm protocol.
+    impatient_client = Invoke("submit")
+    compatible = filter_by_conversation(generic_matches, impatient_client, directory)
+    print(
+        "after conversation check (client plans bare 'submit'):"
+        f" {[m.service_uri.rsplit(':', 1)[-1] for m in compatible]}"
+    )
+    assert [m.service_uri for m in compatible] == ["urn:office:svc:laser"]
+    polite_client = sequence(Invoke("submit"), Invoke("confirm"))
+    compatible = filter_by_conversation(generic_matches, polite_client, directory)
+    assert any(m.service_uri == "urn:office:svc:inkjet" for m in compatible)
+    print("a submit→confirm client may use both printers\n")
+
+    # 4: composition — the inkjet itself needs a Photo→Pdf conversion.
+    plan = Composer(directory).compose(color_request)
+    print("composition plan for the color print task:")
+    for binding in plan.bindings:
+        print(
+            f"  {binding.consumer_uri.rsplit(':', 1)[-1]:<16} needs"
+            f" {binding.required_capability.name:<18} ->"
+            f" {binding.provider_uri.rsplit(':', 1)[-1]} (d={binding.distance})"
+        )
+    assert plan.resolved
+    assert "urn:office:svc:converter" in plan.services()
+    print(f"  resolved with total distance {plan.total_distance}\n")
+
+    # 5: consumption — drive the selected inkjet's conversation at runtime.
+    from repro.services.runtime import ProtocolViolation, ServiceRuntime
+
+    inkjet_profile = next(p for p in directory.services() if p.uri == "urn:office:svc:inkjet")
+    runtime = ServiceRuntime(inkjet_profile)
+    runtime.on("submit", lambda job="photo.pdf": f"queued {job}")
+    runtime.on("confirm", lambda: "printing")
+    session = runtime.open_session()
+    print("consuming the inkjet (submit -> confirm conversation):")
+    print(f"  submit  -> {runtime.call(session, 'submit', job='holiday.pdf')}")
+    try:
+        session.close()  # too early: the protocol still expects confirm
+    except ProtocolViolation as exc:
+        print(f"  close   -> rejected ({exc})")
+    print(f"  confirm -> {runtime.call(session, 'confirm')}")
+    session.close()
+    print(f"  session complete: {session.state.invocations}")
+
+
+if __name__ == "__main__":
+    main()

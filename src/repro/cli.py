@@ -1,0 +1,276 @@
+"""Command-line interface: run experiments, generate workloads, inspect
+encodings.
+
+Usage::
+
+    python -m repro.cli experiment fig2        # one paper experiment
+    python -m repro.cli experiment all         # every registered one
+    python -m repro.cli workload --services 20 --seed 7 --outdir /tmp/wl
+    python -m repro.cli capacity --p 2 --k 5   # §3.2 float64 limits
+    python -m repro.cli match <profile.xml> <request.xml> --ontologies dir/
+
+The same functions back the benchmark harness, so CLI output matches the
+``benchmarks/results/`` artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core.codes import CodeTable
+from repro.core.encoding import first_level_capacity, nesting_capacity
+from repro.core.matching import TaxonomyMatcher
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.ontology.owl_xml import ontology_from_xml, ontology_to_xml
+from repro.ontology.reasoner import Reasoner
+from repro.ontology.registry import OntologyRegistry
+from repro.services.generator import ServiceWorkload, WorkloadShape
+from repro.services.xml_codec import (
+    profile_from_xml,
+    profile_to_xml,
+    request_from_xml,
+    request_to_xml,
+    wsdl_to_xml,
+)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        try:
+            result = run_experiment(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(f"===== {name} =====")
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    workload = ServiceWorkload(WorkloadShape(ontology_count=args.ontologies), seed=args.seed)
+    table = CodeTable(OntologyRegistry(workload.ontologies))
+    for onto in workload.ontologies:
+        name = onto.uri.rsplit("/", 1)[-1]
+        (outdir / f"ontology_{name}.xml").write_text(ontology_to_xml(onto))
+    for index in range(args.services):
+        profile = workload.make_service(index)
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        (outdir / f"service_{index:03d}.xml").write_text(document)
+        request = workload.matching_request(profile)
+        request_doc = request_to_xml(
+            request,
+            annotations=table.annotate(request.capabilities),
+            codes_version=table.version,
+        )
+        (outdir / f"request_{index:03d}.xml").write_text(request_doc)
+        if args.wsdl:
+            (outdir / f"service_{index:03d}.wsdl.xml").write_text(
+                wsdl_to_xml(ServiceWorkload.wsdl_twin(profile))
+            )
+    print(
+        f"wrote {args.services} services (+requests), {len(workload.ontologies)} ontologies"
+        f" to {outdir} (code version {table.version})"
+    )
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    first = first_level_capacity(args.p, args.k)
+    depth = nesting_capacity(args.p, args.k)
+    print(f"p={args.p} k={args.k} (float64):")
+    print(f"  first-level entries: {first}")
+    print(f"  nesting levels     : {depth}")
+    print("  paper's layout reported 1071 / 462 for p=2, k=5")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    ontologies = []
+    for path in sorted(pathlib.Path(args.ontologies).glob("ontology_*.xml")):
+        ontologies.append(ontology_from_xml(path.read_text()))
+    if not ontologies:
+        print(f"no ontology_*.xml files under {args.ontologies}", file=sys.stderr)
+        return 2
+    taxonomy = Reasoner().load(ontologies).classify()
+    matcher = TaxonomyMatcher(taxonomy)
+    profile, _ = profile_from_xml(pathlib.Path(args.profile).read_text())
+    request, _ = request_from_xml(pathlib.Path(args.request).read_text())
+    exit_code = 1
+    for requested in request.capabilities:
+        for provided in profile.provided:
+            outcome = matcher.match_outcome(provided, requested)
+            verdict = (
+                f"distance={outcome.distance}" if outcome.matched else "NO MATCH"
+            )
+            print(f"Match({provided.name}, {requested.name}): {verdict}")
+            if outcome.matched:
+                exit_code = 0
+                for kind, over, under, d in outcome.pairings:
+                    print(f"  {kind:<9} {over} ⊒ {under} (d={d})")
+    return exit_code
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Validate a workload directory: parsable documents, known concepts,
+    consistent code versions."""
+    from repro.ontology.model import OntologyError
+    from repro.services.xml_codec import ServiceSyntaxError
+
+    root = pathlib.Path(args.workload_dir)
+    problems: list[str] = []
+    ontologies = []
+    for path in sorted(root.glob("ontology_*.xml")):
+        try:
+            ontologies.append(ontology_from_xml(path.read_text()))
+        except (OntologyError, ValueError) as exc:
+            problems.append(f"{path.name}: {exc}")
+    if not ontologies:
+        print(f"no ontology_*.xml files under {root}", file=sys.stderr)
+        return 2
+    registry = OntologyRegistry(ontologies)
+    table = CodeTable(registry)
+    known = {c for onto in ontologies for c in onto.concepts}
+
+    def check_capabilities(path: pathlib.Path, capabilities, version) -> None:
+        for capability in capabilities:
+            for concept in sorted(capability.concepts()):
+                if concept not in known:
+                    problems.append(f"{path.name}: unknown concept {concept}")
+        if version is not None and version != table.version:
+            problems.append(
+                f"{path.name}: stale codes (version {version}, registry at {table.version})"
+            )
+
+    service_count = request_count = 0
+    for path in sorted(root.glob("service_*.xml")):
+        if path.name.endswith(".wsdl.xml"):
+            continue
+        try:
+            profile, annotations = profile_from_xml(path.read_text())
+        except ServiceSyntaxError as exc:
+            problems.append(f"{path.name}: {exc}")
+            continue
+        service_count += 1
+        check_capabilities(path, (*profile.provided, *profile.required), annotations.version)
+    for path in sorted(root.glob("request_*.xml")):
+        try:
+            request, annotations = request_from_xml(path.read_text())
+        except ServiceSyntaxError as exc:
+            problems.append(f"{path.name}: {exc}")
+            continue
+        request_count += 1
+        check_capabilities(path, request.capabilities, annotations.version)
+
+    print(
+        f"checked {len(ontologies)} ontologies, {service_count} services,"
+        f" {request_count} requests (code version {table.version})"
+    )
+    if problems:
+        for problem in problems:
+            print(f"  PROBLEM {problem}")
+        print(f"{len(problems)} problem(s) found")
+        return 1
+    print("no problems found")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.directory import SemanticDirectory
+
+    root = pathlib.Path(args.workload_dir)
+    ontologies = [
+        ontology_from_xml(path.read_text()) for path in sorted(root.glob("ontology_*.xml"))
+    ]
+    if not ontologies:
+        print(f"no ontology_*.xml files under {root}", file=sys.stderr)
+        return 2
+    registry = OntologyRegistry(ontologies)
+    directory = SemanticDirectory(CodeTable(registry))
+    count = 0
+    for path in sorted(root.glob("service_*.xml")):
+        if path.name.endswith(".wsdl.xml"):
+            continue
+        directory.publish_xml(path.read_text())
+        count += 1
+    print(f"loaded {count} service(s) from {root}\n")
+    print(directory.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-discovery",
+        description="S-Ariadne reproduction: experiments, workloads, matching.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a paper experiment and print its series"
+    )
+    experiment.add_argument(
+        "name", choices=[*sorted(EXPERIMENTS), "all"], help="experiment id"
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    workload = subparsers.add_parser(
+        "workload", help="generate an XML workload (ontologies, services, requests)"
+    )
+    workload.add_argument("--services", type=int, default=10)
+    workload.add_argument("--ontologies", type=int, default=22)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--outdir", required=True)
+    workload.add_argument("--wsdl", action="store_true", help="also write WSDL twins")
+    workload.set_defaults(func=_cmd_workload)
+
+    capacity = subparsers.add_parser(
+        "capacity", help="measure §3.2 float64 encoding capacities"
+    )
+    capacity.add_argument("--p", type=int, default=2)
+    capacity.add_argument("--k", type=int, default=5)
+    capacity.set_defaults(func=_cmd_capacity)
+
+    match = subparsers.add_parser(
+        "match", help="match a service profile against a request (files)"
+    )
+    match.add_argument("profile")
+    match.add_argument("request")
+    match.add_argument("--ontologies", required=True, help="directory of ontology_*.xml")
+    match.set_defaults(func=_cmd_match)
+
+    inspect = subparsers.add_parser(
+        "inspect",
+        help="build a directory from a workload dir and print its capability graphs",
+    )
+    inspect.add_argument("workload_dir", help="output of the 'workload' command")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="check a workload dir: parsable XML, known concepts, fresh codes",
+    )
+    validate.add_argument("workload_dir", help="output of the 'workload' command")
+    validate.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

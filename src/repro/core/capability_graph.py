@@ -1,0 +1,356 @@
+"""Capability DAGs: classification of service advertisements (paper §3.3).
+
+Advertised capabilities are organized into directed acyclic graphs where an
+edge ``C1 → C2`` means ``Match(C1, C2)`` holds — ``C1`` is *more generic*
+(can substitute ``C2``).  Equivalent capabilities share a single vertex.
+Roots are the most generic capabilities; the query algorithm matches a
+request against roots only and descends toward the smallest semantic
+distance, so answering a request needs a handful of semantic matches
+instead of one per cached capability (the Fig. 9 effect).
+
+The paper's insertion pseudocode is under-specified (its root/leaf loops do
+not pin down the final edge set); we implement the standard partial-order
+insertion it sketches — find the *minimal subsumers* with a pruned
+top-down search from the roots and the *maximal subsumees* with a pruned
+bottom-up search from the leaves, then rewire the transitive reduction.
+Both prunings are sound because ``Match`` is transitive (a property test
+verifies transitivity of the implemented relation).
+
+Deviations from the paper, by necessity:
+
+* the paper merges two capabilities into one vertex only when they match
+  mutually *with distance 0*; mutual matches with non-zero distance would
+  create a 2-cycle, so we merge on mutual match regardless of distance and
+  keep the individual capabilities as separate entries of the vertex;
+* the paper's query returns as soon as one graph yields a match; we rank
+  all candidate graphs and return the globally best entries, plus expose
+  the paper's first-hit behaviour via ``first_only``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.matching import Matcher
+from repro.services.profile import Capability
+
+
+class QueryMode(enum.Enum):
+    """How a request is matched against a DAG."""
+
+    #: The paper's algorithm: match roots, descend toward minimal distance.
+    GREEDY = "greedy"
+    #: Evaluate every vertex (upper bound on recall; Fig. 9's baseline).
+    EXHAUSTIVE = "exhaustive"
+
+
+@dataclass
+class DagEntry:
+    """One advertised capability stored in a vertex."""
+
+    capability: Capability
+    service_uri: str
+
+
+@dataclass
+class DagNode:
+    """A vertex: an equivalence class of advertised capabilities."""
+
+    node_id: int
+    representative: Capability
+    entries: list[DagEntry] = field(default_factory=list)
+    parents: set[int] = field(default_factory=set)
+    children: set[int] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class GraphMatch:
+    """A query hit: an advertised capability with its semantic distance."""
+
+    capability: Capability
+    service_uri: str
+    distance: int
+
+
+class CapabilityDag:
+    """One classified graph of capabilities (vertices + reduction edges)."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, DagNode] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def size(self) -> int:
+        """Number of stored capability entries (≥ number of vertices)."""
+        return sum(len(node.entries) for node in self._nodes.values())
+
+    def nodes(self) -> list[DagNode]:
+        """All vertices."""
+        return list(self._nodes.values())
+
+    def roots(self) -> list[DagNode]:
+        """Vertices without predecessors — the most generic capabilities."""
+        return [node for node in self._nodes.values() if not node.parents]
+
+    def leaves(self) -> list[DagNode]:
+        """Vertices without successors — the most specific capabilities."""
+        return [node for node in self._nodes.values() if not node.children]
+
+    def ontologies(self) -> frozenset[str]:
+        """Union of ontology sets over all stored capabilities (the index)."""
+        result: frozenset[str] = frozenset()
+        for node in self._nodes.values():
+            for entry in node.entries:
+                result |= entry.capability.ontologies()
+        return result
+
+    # ------------------------------------------------------------------
+    # Insertion (§3.3 "Adding a New Service Advertisement")
+    # ------------------------------------------------------------------
+    def insert(self, capability: Capability, service_uri: str, matcher: Matcher) -> int:
+        """Classify one capability into the graph; returns its vertex id."""
+        uppers = self._minimal_subsumers(capability, matcher)
+        equal = next(
+            (
+                node_id
+                for node_id in uppers
+                if matcher.match(capability, self._nodes[node_id].representative)
+            ),
+            None,
+        )
+        if equal is not None:
+            self._nodes[equal].entries.append(DagEntry(capability, service_uri))
+            return equal
+        lowers = self._maximal_subsumees(capability, matcher)
+
+        node = DagNode(node_id=next(self._ids), representative=capability)
+        node.entries.append(DagEntry(capability, service_uri))
+        self._nodes[node.node_id] = node
+
+        # Remove reduction edges that the new vertex now interposes.
+        for lower_id in lowers:
+            lower = self._nodes[lower_id]
+            for old_parent in [p for p in lower.parents if p in uppers or self._above(p, uppers)]:
+                lower.parents.discard(old_parent)
+                self._nodes[old_parent].children.discard(lower_id)
+        for upper_id in uppers:
+            self._nodes[upper_id].children.add(node.node_id)
+            node.parents.add(upper_id)
+        for lower_id in lowers:
+            self._nodes[lower_id].parents.add(node.node_id)
+            node.children.add(lower_id)
+        return node.node_id
+
+    def _above(self, node_id: int, uppers: set[int]) -> bool:
+        """True iff ``node_id`` is an ancestor of any vertex in ``uppers``."""
+        stack = list(uppers)
+        seen: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            parents = self._nodes[current].parents
+            if node_id in parents:
+                return True
+            stack.extend(parents)
+        return False
+
+    def _minimal_subsumers(self, capability: Capability, matcher: Matcher) -> set[int]:
+        """Vertices N with ``Match(N, capability)`` minimal in the order.
+
+        Top search from the roots: subsumers are ancestor-closed (Match is
+        transitive), so children of a non-matching vertex never match.
+        """
+        matching_memo: dict[int, bool] = {}
+
+        def matches(node_id: int) -> bool:
+            if node_id not in matching_memo:
+                matching_memo[node_id] = matcher.match(
+                    self._nodes[node_id].representative, capability
+                )
+            return matching_memo[node_id]
+
+        result: set[int] = set()
+        stack = [node.node_id for node in self.roots() if matches(node.node_id)]
+        seen: set[int] = set()
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            narrower = [c for c in self._nodes[node_id].children if matches(c)]
+            if narrower:
+                stack.extend(narrower)
+            else:
+                result.add(node_id)
+        return result
+
+    def _maximal_subsumees(self, capability: Capability, matcher: Matcher) -> set[int]:
+        """Vertices N with ``Match(capability, N)`` maximal in the order.
+
+        Bottom search from the leaves: subsumees are descendant-closed, so
+        parents of a non-subsumed vertex are never subsumed.
+        """
+        matching_memo: dict[int, bool] = {}
+
+        def matches(node_id: int) -> bool:
+            if node_id not in matching_memo:
+                matching_memo[node_id] = matcher.match(
+                    capability, self._nodes[node_id].representative
+                )
+            return matching_memo[node_id]
+
+        result: set[int] = set()
+        stack = [node.node_id for node in self.leaves() if matches(node.node_id)]
+        seen: set[int] = set()
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            wider = [p for p in self._nodes[node_id].parents if matches(p)]
+            if wider:
+                stack.extend(wider)
+            else:
+                result.add(node_id)
+        return result
+
+    # ------------------------------------------------------------------
+    # Removal
+    # ------------------------------------------------------------------
+    def remove_service(self, service_uri: str) -> int:
+        """Withdraw every capability advertised by ``service_uri``.
+
+        Returns the number of entries removed.  Vertices left empty are
+        deleted and their parents re-linked to their children where no
+        alternative path exists (keeping the transitive reduction).
+        """
+        removed = 0
+        for node_id in [nid for nid, n in self._nodes.items()]:
+            node = self._nodes.get(node_id)
+            if node is None:
+                continue
+            before = len(node.entries)
+            node.entries = [e for e in node.entries if e.service_uri != service_uri]
+            removed += before - len(node.entries)
+            if not node.entries:
+                self._delete_node(node_id)
+        return removed
+
+    def _delete_node(self, node_id: int) -> None:
+        node = self._nodes.pop(node_id)
+        for parent_id in node.parents:
+            self._nodes[parent_id].children.discard(node_id)
+        for child_id in node.children:
+            self._nodes[child_id].parents.discard(node_id)
+        for parent_id in node.parents:
+            for child_id in node.children:
+                if not self._has_path(parent_id, child_id):
+                    self._nodes[parent_id].children.add(child_id)
+                    self._nodes[child_id].parents.add(parent_id)
+
+    def _has_path(self, from_id: int, to_id: int) -> bool:
+        stack = [from_id]
+        seen: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current == to_id:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._nodes[current].children)
+        return False
+
+    # ------------------------------------------------------------------
+    # Query (§3.3 "Answering User Requests")
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        requested: Capability,
+        matcher: Matcher,
+        mode: QueryMode = QueryMode.GREEDY,
+    ) -> list[GraphMatch]:
+        """Find advertised capabilities matching ``requested``.
+
+        Returns matches sorted by ascending semantic distance.  In
+        ``GREEDY`` mode (the paper's algorithm) each root that matches is
+        descended toward strictly smaller distances; in ``EXHAUSTIVE`` mode
+        every vertex is evaluated.
+        """
+        hits: dict[int, int] = {}
+        if mode is QueryMode.EXHAUSTIVE:
+            for node in self._nodes.values():
+                distance = matcher.semantic_distance(node.representative, requested)
+                if distance is not None:
+                    hits[node.node_id] = distance
+        else:
+            for root in self.roots():
+                distance = matcher.semantic_distance(root.representative, requested)
+                if distance is None:
+                    continue
+                current_id, current_distance = root.node_id, distance
+                hits[current_id] = min(hits.get(current_id, current_distance), current_distance)
+                improved = True
+                while improved and current_distance > 0:
+                    improved = False
+                    for child_id in self._nodes[current_id].children:
+                        child_distance = matcher.semantic_distance(
+                            self._nodes[child_id].representative, requested
+                        )
+                        if child_distance is not None and child_distance < current_distance:
+                            current_id, current_distance = child_id, child_distance
+                            improved = True
+                    hits[current_id] = min(
+                        hits.get(current_id, current_distance), current_distance
+                    )
+
+        results = [
+            GraphMatch(entry.capability, entry.service_uri, distance)
+            for node_id, distance in hits.items()
+            for entry in self._nodes[node_id].entries
+        ]
+        results.sort(key=lambda m: (m.distance, m.service_uri))
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection rendering
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """ASCII rendering of the DAG, roots first, indentation = depth.
+
+        Vertices reached through several parents are printed once per
+        path with a ``^`` marker after the first occurrence.
+        """
+        lines: list[str] = []
+        printed: set[int] = set()
+
+        def render(node_id: int, depth: int) -> None:
+            node = self._nodes[node_id]
+            entries = ", ".join(sorted(e.service_uri for e in node.entries))
+            marker = " ^" if node_id in printed else ""
+            lines.append(f"{'  ' * depth}- {node.representative.name} [{entries}]{marker}")
+            if node_id in printed:
+                return
+            printed.add(node_id)
+            for child_id in sorted(node.children):
+                render(child_id, depth + 1)
+
+        for root in sorted(self.roots(), key=lambda n: n.representative.name):
+            render(root.node_id, 0)
+        return "\n".join(lines) if lines else "(empty graph)"
+
+    def __repr__(self) -> str:
+        return (
+            f"CapabilityDag({len(self._nodes)} vertices, {self.size} entries, "
+            f"{len(self.roots())} roots)"
+        )

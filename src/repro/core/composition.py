@@ -1,0 +1,260 @@
+"""Service composition over provided/required capabilities (paper §2.2).
+
+Amigo-S "explicitly model[s] provided capabilities as capabilities
+supported by a service, and required capabilities as capabilities needed
+by a service, which will be sought on other networked services.  This
+enables support for any service composition scheme, such as a peer-to-peer
+scheme or a centrally coordinated scheme."
+
+This module implements both schemes on top of a semantic directory:
+
+* **centrally coordinated** — the directory resolves the whole dependency
+  closure at once and *optimizes globally*: a backtracking search picks,
+  among semantically admissible providers, the combination minimizing the
+  total semantic distance of all bindings;
+* **peer-to-peer** — each selected provider resolves its own required
+  capabilities greedily (best local match, no backtracking), which is what
+  independent peers without a coordinator can do.
+
+Both return a :class:`CompositionPlan`: the set of bindings
+``(consumer, required capability) → (provider, provided capability)``
+plus any unresolved requirements.  Cycles between services are permitted
+(A may require from B while B requires from A); each service's
+requirements are expanded once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.directory import SemanticDirectory
+from repro.services.profile import Capability, ServiceRequest
+
+
+class CompositionError(RuntimeError):
+    """Raised when a composition bound (depth/expansions) is exceeded."""
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One resolved requirement."""
+
+    consumer_uri: str
+    required_capability: Capability
+    provider_uri: str
+    provided_capability: Capability
+    distance: int
+
+
+@dataclass
+class CompositionPlan:
+    """The outcome of a composition attempt.
+
+    Args:
+        request_uri: the root request being served.
+        bindings: resolved requirements, in resolution order.
+        unresolved: ``(consumer_uri, capability)`` pairs nothing matched.
+    """
+
+    request_uri: str
+    bindings: list[Binding] = field(default_factory=list)
+    unresolved: list[tuple[str, Capability]] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> bool:
+        """True iff every requirement found a provider."""
+        return not self.unresolved
+
+    @property
+    def total_distance(self) -> int:
+        """Sum of semantic distances over all bindings (plan quality)."""
+        return sum(binding.distance for binding in self.bindings)
+
+    def services(self) -> list[str]:
+        """Every provider participating in the plan."""
+        seen: dict[str, None] = {}
+        for binding in self.bindings:
+            seen.setdefault(binding.provider_uri)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        state = "resolved" if self.resolved else f"{len(self.unresolved)} unresolved"
+        return (
+            f"CompositionPlan({self.request_uri}, {len(self.bindings)} bindings, "
+            f"total_distance={self.total_distance}, {state})"
+        )
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    provider_uri: str
+    capability: Capability
+    distance: int
+
+
+class Composer:
+    """Resolves requests and transitive service requirements.
+
+    Args:
+        directory: the semantic directory holding the advertisements.
+        max_expansions: safety bound on obligation expansions.
+        max_candidates: per-requirement fan-out considered by the central
+            scheme's backtracking (candidates are distance-ordered, so a
+            small number retains the optimum in practice).
+    """
+
+    def __init__(
+        self,
+        directory: SemanticDirectory,
+        max_expansions: int = 200,
+        max_candidates: int = 5,
+    ) -> None:
+        self._directory = directory
+        self.max_expansions = max_expansions
+        self.max_candidates = max_candidates
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def _candidates(self, capability: Capability) -> list[_Candidate]:
+        request = ServiceRequest(uri="urn:repro:composer:probe", capabilities=(capability,))
+        matches = self._directory.query(request)
+        return [
+            _Candidate(m.service_uri, m.capability, m.distance)
+            for m in matches[: self.max_candidates]
+        ]
+
+    def _requirements_of(self, service_uri: str) -> tuple[Capability, ...]:
+        for profile in self._directory.services():
+            if profile.uri == service_uri:
+                return profile.required
+        return ()
+
+    # ------------------------------------------------------------------
+    # Peer-to-peer scheme (greedy, local decisions)
+    # ------------------------------------------------------------------
+    def compose_peer_to_peer(self, request: ServiceRequest) -> CompositionPlan:
+        """Greedy resolution: each consumer binds its best local match.
+
+        Raises:
+            CompositionError: when the expansion bound is exceeded.
+        """
+        plan = CompositionPlan(request_uri=request.uri)
+        expanded: set[str] = set()
+        obligations: list[tuple[str, Capability]] = [
+            (request.uri, capability) for capability in request.capabilities
+        ]
+        expansions = 0
+        while obligations:
+            expansions += 1
+            if expansions > self.max_expansions:
+                raise CompositionError(
+                    f"composition exceeded {self.max_expansions} expansions"
+                )
+            consumer, needed = obligations.pop(0)
+            candidates = self._candidates(needed)
+            if not candidates:
+                plan.unresolved.append((consumer, needed))
+                continue
+            chosen = candidates[0]
+            plan.bindings.append(
+                Binding(consumer, needed, chosen.provider_uri, chosen.capability, chosen.distance)
+            )
+            if chosen.provider_uri not in expanded:
+                expanded.add(chosen.provider_uri)
+                obligations.extend(
+                    (chosen.provider_uri, requirement)
+                    for requirement in self._requirements_of(chosen.provider_uri)
+                )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Centrally coordinated scheme (global optimization)
+    # ------------------------------------------------------------------
+    def compose_central(self, request: ServiceRequest) -> CompositionPlan:
+        """Backtracking search minimizing the plan's total distance.
+
+        Among fully resolvable plans, returns one with minimal total
+        semantic distance; when no full plan exists, returns the plan with
+        the fewest unresolved requirements (ties broken by distance).
+
+        Raises:
+            CompositionError: when the expansion bound is exceeded.
+        """
+        best: CompositionPlan | None = None
+        counter = itertools.count()
+
+        def better(a: CompositionPlan, b: CompositionPlan | None) -> bool:
+            if b is None:
+                return True
+            return (len(a.unresolved), a.total_distance) < (
+                len(b.unresolved),
+                b.total_distance,
+            )
+
+        def search(
+            obligations: list[tuple[str, Capability]],
+            expanded: frozenset[str],
+            bindings: list[Binding],
+            unresolved: list[tuple[str, Capability]],
+        ) -> None:
+            nonlocal best
+            if next(counter) > self.max_expansions:
+                raise CompositionError(
+                    f"composition exceeded {self.max_expansions} expansions"
+                )
+            # Prune against the best fully resolved plan: distances are
+            # non-negative, so a partial plan that is already unresolved or
+            # already at least as expensive can never win.
+            if best is not None and best.resolved:
+                if unresolved:
+                    return
+                if sum(b.distance for b in bindings) > best.total_distance:
+                    return
+            if not obligations:
+                plan = CompositionPlan(
+                    request_uri=request.uri,
+                    bindings=list(bindings),
+                    unresolved=list(unresolved),
+                )
+                if better(plan, best):
+                    best = plan
+                return
+            consumer, needed = obligations[0]
+            rest = obligations[1:]
+            candidates = self._candidates(needed)
+            if not candidates:
+                search(rest, expanded, bindings, unresolved + [(consumer, needed)])
+                return
+            for candidate in candidates:
+                binding = Binding(
+                    consumer, needed, candidate.provider_uri, candidate.capability, candidate.distance
+                )
+                new_obligations = list(rest)
+                new_expanded = expanded
+                if candidate.provider_uri not in expanded:
+                    new_expanded = expanded | {candidate.provider_uri}
+                    new_obligations.extend(
+                        (candidate.provider_uri, requirement)
+                        for requirement in self._requirements_of(candidate.provider_uri)
+                    )
+                search(new_obligations, new_expanded, bindings + [binding], unresolved)
+
+        roots = [(request.uri, capability) for capability in request.capabilities]
+        search(roots, frozenset(), [], [])
+        assert best is not None  # search always records at least one plan
+        return best
+
+    def compose(self, request: ServiceRequest, scheme: str = "central") -> CompositionPlan:
+        """Dispatch on the composition scheme (§2.2).
+
+        Raises:
+            ValueError: on an unknown scheme name.
+            CompositionError: when search bounds are exceeded.
+        """
+        if scheme == "central":
+            return self.compose_central(request)
+        if scheme == "p2p":
+            return self.compose_peer_to_peer(request)
+        raise ValueError(f"unknown composition scheme {scheme!r}")

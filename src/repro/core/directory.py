@@ -1,0 +1,354 @@
+"""Semantic service directories (paper §3.3 + §5 measurements).
+
+:class:`SemanticDirectory` is the optimized directory S-Ariadne deploys on
+elected nodes: it parses Amigo-S advertisements (XML), encodes their
+concepts with the code table, classifies their capabilities into
+:class:`~repro.core.capability_graph.CapabilityDag` graphs *indexed by the
+ontology sets they use*, and answers requests with a handful of numeric
+matches.  :class:`FlatDirectory` is the unclassified baseline of Fig. 9:
+same code-based matching, but every cached capability is evaluated per
+request.
+
+Timing: ``publish``/``query`` record per-phase durations (parse / encode /
+classify / match) in a :class:`~repro.util.timing.PhaseTimer`, which is
+exactly the decomposition plotted in Figs. 7–9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.capability_graph import CapabilityDag, GraphMatch, QueryMode
+from repro.core.codes import CodeTable, StaleCodesError
+from repro.core.matching import CodeMatcher, Matcher
+from repro.core.summaries import DirectorySummary
+from repro.services.profile import Capability, ServiceProfile, ServiceRequest
+from repro.services.xml_codec import profile_from_xml, request_from_xml
+from repro.util.timing import PhaseTimer
+
+
+@dataclass(frozen=True)
+class DirectoryMatch:
+    """One ranked answer to a discovery request."""
+
+    requested: Capability
+    capability: Capability
+    service_uri: str
+    distance: int
+
+
+class SemanticDirectory:
+    """The §3.3 optimized directory: encoded matching + classified graphs.
+
+    Args:
+        table: code table snapshotting the ontologies in force.
+        query_mode: how graphs are searched (paper default: greedy).
+        summary_bits / summary_hashes: Bloom summary parameters (§4).
+    """
+
+    def __init__(
+        self,
+        table: CodeTable,
+        query_mode: QueryMode = QueryMode.GREEDY,
+        summary_bits: int = 512,
+        summary_hashes: int = 4,
+        preselection: str = "superset",
+    ) -> None:
+        if preselection not in ("superset", "intersection"):
+            raise ValueError(f"unknown preselection {preselection!r}")
+        self.table = table
+        self.query_mode = query_mode
+        self.preselection = preselection
+        self.summary = DirectorySummary(m=summary_bits, k=summary_hashes)
+        self._graphs: dict[frozenset[str], CapabilityDag] = {}
+        self._profiles: dict[str, ServiceProfile] = {}
+        self.timer = PhaseTimer()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def graph_count(self) -> int:
+        """Number of capability DAGs currently maintained."""
+        return len(self._graphs)
+
+    @property
+    def capability_count(self) -> int:
+        """Total advertised capabilities across graphs."""
+        return sum(graph.size for graph in self._graphs.values())
+
+    def graphs(self) -> dict[frozenset[str], CapabilityDag]:
+        """The ontology-set index (read-only use)."""
+        return dict(self._graphs)
+
+    def services(self) -> list[ServiceProfile]:
+        """All cached service profiles."""
+        return list(self._profiles.values())
+
+    def capabilities(self) -> list[Capability]:
+        """All cached provided capabilities."""
+        return [cap for profile in self._profiles.values() for cap in profile.provided]
+
+    def _matcher(self, extra_codes: dict | None = None) -> Matcher:
+        return CodeMatcher(table=self.table, extra_codes=extra_codes)
+
+    # ------------------------------------------------------------------
+    # Publication (§3.3 insertion, Figs. 7–8)
+    # ------------------------------------------------------------------
+    def publish_xml(self, document: str) -> ServiceProfile:
+        """Parse and publish an advertisement document.
+
+        Raises:
+            ServiceSyntaxError: malformed document.
+            StaleCodesError: embedded codes minted against another snapshot.
+        """
+        with self.timer.phase("parse"):
+            profile, annotations = profile_from_xml(document)
+        extra = None
+        if annotations:
+            with self.timer.phase("encode"):
+                extra = self.table.resolve_annotations(annotations.codes, annotations.version)
+        self._publish(profile, extra)
+        return profile
+
+    def publish(self, profile: ServiceProfile) -> None:
+        """Publish an already-parsed advertisement."""
+        self._publish(profile, None)
+
+    def _publish(self, profile: ServiceProfile, extra_codes: dict | None) -> None:
+        if profile.uri in self._profiles:
+            self.unpublish(profile.uri)
+        matcher = self._matcher(extra_codes)
+        with self.timer.phase("classify"):
+            for capability in profile.provided:
+                key = capability.ontologies()
+                graph = self._graphs.setdefault(key, CapabilityDag())
+                graph.insert(capability, profile.uri, matcher)
+                self.summary.add_capability(capability)
+        self._profiles[profile.uri] = profile
+
+    def unpublish(self, service_uri: str) -> int:
+        """Withdraw a service; rebuilds the Bloom summary.
+
+        Returns the number of capability entries removed.
+        """
+        profile = self._profiles.pop(service_uri, None)
+        if profile is None:
+            return 0
+        removed = 0
+        for key in [k for k in self._graphs]:
+            graph = self._graphs[key]
+            removed += graph.remove_service(service_uri)
+            if len(graph) == 0:
+                del self._graphs[key]
+        self.summary.rebuild(self.capabilities())
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries (§3.3 answering, Fig. 9)
+    # ------------------------------------------------------------------
+    def _candidate_graphs(self, capability: Capability) -> list[CapabilityDag]:
+        """Graphs preselected by the ontology index.
+
+        Graphs whose key shares no ontology with the request are always
+        filtered out (the paper's DAG2/O3 example).  In the default
+        ``superset`` mode the filter is stronger: a matching advertisement
+        must provide outputs/properties that *subsume* the requested ones,
+        and (with ontologies defining disjoint concept spaces) a subsumer
+        lives in the same ontology as the subsumee — so a graph can only
+        contain a match if its key covers every ontology the request's
+        outputs and properties come from.  This is what keeps the number
+        of semantic matches per query nearly independent of directory size
+        (Fig. 9).  ``intersection`` mode keeps the weaker filter for
+        ontology suites with cross-namespace bridging axioms.
+        """
+        from repro.services.profile import ontology_of
+
+        wanted = capability.ontologies()
+        required = frozenset(
+            ontology_of(c) for c in capability.outputs | capability.properties
+        )
+        scored: list[tuple[int, int, CapabilityDag]] = []
+        for key, graph in self._graphs.items():
+            overlap = len(key & wanted)
+            if overlap == 0:
+                continue
+            if self.preselection == "superset" and required and not required <= key:
+                continue
+            exact = 0 if key == wanted else 1
+            scored.append((exact, -overlap, graph))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        return [graph for _exact, _overlap, graph in scored]
+
+    def query_xml(self, document: str) -> list[DirectoryMatch]:
+        """Parse a request document and answer it.
+
+        Raises:
+            ServiceSyntaxError: malformed document.
+            StaleCodesError: embedded codes minted against another snapshot.
+        """
+        with self.timer.phase("parse"):
+            request, annotations = request_from_xml(document)
+        extra = None
+        if annotations:
+            with self.timer.phase("encode"):
+                extra = self.table.resolve_annotations(annotations.codes, annotations.version)
+        return self._query(request, extra)
+
+    def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
+        """Answer an already-parsed request: best matches per requested
+        capability, each list sorted by ascending semantic distance."""
+        return self._query(request, None)
+
+    def _query(self, request: ServiceRequest, extra_codes: dict | None) -> list[DirectoryMatch]:
+        matcher = self._matcher(extra_codes)
+        results: list[DirectoryMatch] = []
+        with self.timer.phase("match"):
+            for capability in request.capabilities:
+                hits: list[GraphMatch] = []
+                for graph in self._candidate_graphs(capability):
+                    hits.extend(graph.query(capability, matcher, self.query_mode))
+                    if self.query_mode is QueryMode.GREEDY and any(
+                        hit.distance == 0 for hit in hits
+                    ):
+                        break  # a perfect substitute exists; stop scanning graphs
+                hits.sort(key=lambda m: (m.distance, m.service_uri))
+                results.extend(
+                    DirectoryMatch(capability, hit.capability, hit.service_uri, hit.distance)
+                    for hit in hits
+                )
+        return results
+
+    def describe(self) -> str:
+        """Human-readable dump of the ontology index and every graph."""
+        lines = [repr(self)]
+        for key in sorted(self._graphs, key=lambda k: sorted(k)):
+            graph = self._graphs[key]
+            names = ", ".join(sorted(uri.rsplit("/", 1)[-1] for uri in key))
+            lines.append(f"\ngraph over {{{names}}} ({len(graph)} vertices):")
+            lines.append(graph.to_text())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # State snapshot (restart / handoff with codes included)
+    # ------------------------------------------------------------------
+    def export_state(self) -> str:
+        """Serialize the directory: code table + every cached profile.
+
+        The §5 Fig. 7 scenario ("a directory leaves ... another one has to
+        host the set of service descriptions") needs exactly this: the
+        successor re-creates graphs from the snapshot without ever running
+        a reasoner.
+        """
+        import xml.etree.ElementTree as ET
+
+        from repro.services.xml_codec import profile_to_xml
+
+        root = ET.Element("DirectoryState", {"version": str(self.table.version)})
+        table_el = ET.SubElement(root, "Codes")
+        table_el.append(ET.fromstring(self.table.to_xml()))
+        services_el = ET.SubElement(root, "Services")
+        for profile in self._profiles.values():
+            services_el.append(ET.fromstring(profile_to_xml(profile)))
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_state(cls, document: str, **kwargs) -> "SemanticDirectory":
+        """Reconstruct a directory from :meth:`export_state` output.
+
+        Raises:
+            ValueError: on malformed snapshots.
+        """
+        import xml.etree.ElementTree as ET
+
+        from repro.services.xml_codec import profile_from_xml
+
+        try:
+            root = ET.fromstring(document)
+        except ET.ParseError as exc:
+            raise ValueError(f"not well-formed XML: {exc}") from exc
+        if root.tag != "DirectoryState":
+            raise ValueError(f"expected <DirectoryState> root, got <{root.tag}>")
+        codes_el = root.find("Codes")
+        services_el = root.find("Services")
+        if codes_el is None or len(codes_el) != 1 or services_el is None:
+            raise ValueError("snapshot must contain <Codes> and <Services>")
+        table = CodeTable.from_xml(ET.tostring(codes_el[0], encoding="unicode"))
+        directory = cls(table, **kwargs)
+        for service_el in services_el:
+            profile, _annotations = profile_from_xml(
+                ET.tostring(service_el, encoding="unicode")
+            )
+            directory.publish(profile)
+        return directory
+
+    def __repr__(self) -> str:
+        return (
+            f"SemanticDirectory({len(self)} services, {self.capability_count} capabilities, "
+            f"{self.graph_count} graphs)"
+        )
+
+
+class FlatDirectory:
+    """Fig. 9's unclassified baseline: code-based matching over a flat list.
+
+    Same parsing and encoded matching as :class:`SemanticDirectory`, but no
+    capability graphs: every cached capability is matched per request.
+    """
+
+    def __init__(self, table: CodeTable) -> None:
+        self.table = table
+        self._entries: list[tuple[Capability, str]] = []
+        self._profiles: dict[str, ServiceProfile] = {}
+        self.timer = PhaseTimer()
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def capability_count(self) -> int:
+        """Number of cached capabilities."""
+        return len(self._entries)
+
+    def publish(self, profile: ServiceProfile) -> None:
+        """Cache an advertisement (no classification work)."""
+        if profile.uri in self._profiles:
+            self.unpublish(profile.uri)
+        self._profiles[profile.uri] = profile
+        for capability in profile.provided:
+            self._entries.append((capability, profile.uri))
+
+    def publish_xml(self, document: str) -> ServiceProfile:
+        """Parse and cache an advertisement document."""
+        with self.timer.phase("parse"):
+            profile, _annotations = profile_from_xml(document)
+        self.publish(profile)
+        return profile
+
+    def unpublish(self, service_uri: str) -> int:
+        """Withdraw a service."""
+        before = len(self._entries)
+        self._entries = [(c, s) for c, s in self._entries if s != service_uri]
+        self._profiles.pop(service_uri, None)
+        return before - len(self._entries)
+
+    def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
+        """Match every cached capability against every requested one."""
+        matcher = CodeMatcher(table=self.table)
+        results: list[DirectoryMatch] = []
+        with self.timer.phase("match"):
+            for requested in request.capabilities:
+                hits = []
+                for capability, service_uri in self._entries:
+                    distance = matcher.semantic_distance(capability, requested)
+                    if distance is not None:
+                        hits.append(DirectoryMatch(requested, capability, service_uri, distance))
+                hits.sort(key=lambda m: (m.distance, m.service_uri))
+                results.extend(hits)
+        return results
+
+    def __repr__(self) -> str:
+        return f"FlatDirectory({len(self)} services, {self.capability_count} capabilities)"

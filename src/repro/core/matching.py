@@ -1,0 +1,244 @@
+"""The ``Match`` relation and ``SemanticDistance`` function (paper §2.3).
+
+``Match(C1, C2)`` decides whether provided capability ``C1`` can substitute
+required capability ``C2``; ``SemanticDistance(C1, C2)`` scores how close
+the substitution is (0 = perfect), used to rank advertisements.
+
+Direction of the concept pairs
+------------------------------
+
+The paper's prose formula and its worked example disagree on the argument
+order for *inputs*: read literally, the formula would require the
+requester-offered input concept to subsume the provider-expected one, which
+makes the paper's own Fig. 1 example (``Match(SendDigitalStream,
+GetVideoStream)`` holds with distance 3: DigitalResource vs VideoResource,
+Stream vs VideoStream, DigitalServer vs VideoServer — one level each) fail.
+We implement the direction that reproduces the worked example exactly, and
+that is also the standard substitutability reading:
+
+* **inputs** — every input the provider expects must *subsume* some input
+  the requester offers (the provider can consume what it will be handed):
+  ``∀ in' ∈ C1.In, ∃ in ∈ C2.In : d(in', in) ≥ 0``;
+* **outputs** — every output the requester expects must be subsumed by
+  some output the provider offers:
+  ``∀ out' ∈ C2.Out, ∃ out ∈ C1.Out : d(out, out') ≥ 0``;
+* **properties** — every property the requester demands must be subsumed
+  by a provided property: ``∀ p' ∈ C2.P, ∃ p ∈ C1.P : d(p, p') ≥ 0``.
+
+``SemanticDistance`` sums, per required pairing, the *minimum* distance
+over the admissible partners (the paper assumes a designated pairing; the
+minimum makes the score well defined when several partners qualify).
+
+Two interchangeable distance oracles implement ``d``:
+
+* :class:`TaxonomyMatcher` — asks a classified
+  :class:`~repro.ontology.taxonomy.Taxonomy` (requires the reasoner; this
+  is what on-line matchmakers pay for on every request);
+* :class:`CodeMatcher` — pure numeric comparison of interval codes from a
+  :class:`~repro.core.codes.CodeTable` or from codes embedded in received
+  documents (§3.2's optimization: no reasoning at discovery time).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.codes import CodeTable, ConceptCode
+from repro.ontology.taxonomy import Taxonomy
+from repro.services.profile import Capability
+
+
+@dataclass
+class MatcherStats:
+    """Counters: how many capability matches / concept comparisons ran."""
+
+    capability_matches: int = 0
+    concept_comparisons: int = 0
+
+
+class Matcher:
+    """Base class wiring the §2.3 formulas to a concept-distance oracle.
+
+    Subclasses supply :meth:`concept_distance`; everything else — the
+    ``Match`` relation, ``SemanticDistance``, detailed outcomes — is shared.
+    """
+
+    def __init__(self) -> None:
+        self.stats = MatcherStats()
+
+    # -- oracle ---------------------------------------------------------
+    def concept_distance(self, over: str, under: str) -> int | None:
+        """The paper's ``d(over, under)``: levels when ``over ⊒ under``,
+        else ``None``.  Subclasses must implement."""
+        raise NotImplementedError
+
+    def _d(self, over: str, under: str) -> int | None:
+        self.stats.concept_comparisons += 1
+        return self.concept_distance(over, under)
+
+    def concept_degree(self, provided: str, requested: str) -> "MatchDegree":
+        """Paolucci-style degree for one requested/provided concept pair."""
+        down = self._d(provided, requested)  # provided ⊒ requested?
+        if down == 0:
+            return MatchDegree.EXACT
+        up = self._d(requested, provided)  # requested ⊒ provided?
+        if up == 0:
+            return MatchDegree.EXACT
+        if up is not None:
+            return MatchDegree.PLUGIN
+        if down is not None:
+            return MatchDegree.SUBSUMES
+        return MatchDegree.FAIL
+
+    def output_degree(self, provided: Capability, requested: Capability) -> "MatchDegree":
+        """Aggregate output degree: the worst over the requested outputs,
+        each taken at its best provided partner (the [13] scoring)."""
+        worst = MatchDegree.EXACT
+        for requested_output in sorted(requested.outputs):
+            best = MatchDegree.FAIL
+            for provided_output in sorted(provided.outputs):
+                degree = self.concept_degree(provided_output, requested_output)
+                if degree < best:
+                    best = degree
+                if best is MatchDegree.EXACT:
+                    break
+            if best > worst:
+                worst = best
+            if worst is MatchDegree.FAIL:
+                break
+        return worst
+
+    # -- §2.3 relations ---------------------------------------------------
+    def match(self, provided: Capability, requested: Capability) -> bool:
+        """The relation ``Match(provided, requested)``."""
+        return self.match_outcome(provided, requested).matched
+
+    def semantic_distance(self, provided: Capability, requested: Capability) -> int | None:
+        """``SemanticDistance(provided, requested)``; ``None`` if no match."""
+        outcome = self.match_outcome(provided, requested)
+        return outcome.distance if outcome.matched else None
+
+    def match_outcome(self, provided: Capability, requested: Capability) -> "MatchOutcome":
+        """Full result: match flag, distance, per-concept pairings."""
+        self.stats.capability_matches += 1
+        pairings: list[tuple[str, str, str, int]] = []
+        total = 0
+
+        def best_partner(needed: str, candidates: frozenset[str], flip: bool) -> tuple[str, int] | None:
+            best: tuple[str, int] | None = None
+            for candidate in sorted(candidates):
+                d = self._d(needed, candidate) if not flip else self._d(candidate, needed)
+                if d is not None and (best is None or d < best[1]):
+                    best = (candidate, d)
+                    if d == 0:
+                        break
+            return best
+
+        for expected_input in sorted(provided.inputs):
+            found = best_partner(expected_input, requested.inputs, flip=False)
+            if found is None:
+                return MatchOutcome(False, None, tuple(pairings))
+            pairings.append(("input", expected_input, found[0], found[1]))
+            total += found[1]
+        for expected_output in sorted(requested.outputs):
+            found = best_partner(expected_output, provided.outputs, flip=True)
+            if found is None:
+                return MatchOutcome(False, None, tuple(pairings))
+            pairings.append(("output", found[0], expected_output, found[1]))
+            total += found[1]
+        for required_property in sorted(requested.properties):
+            found = best_partner(required_property, provided.properties, flip=True)
+            if found is None:
+                return MatchOutcome(False, None, tuple(pairings))
+            pairings.append(("property", found[0], required_property, found[1]))
+            total += found[1]
+        return MatchOutcome(True, total, tuple(pairings))
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """Result of one ``Match``/``SemanticDistance`` evaluation.
+
+    Args:
+        matched: whether ``Match(provided, requested)`` holds.
+        distance: ``SemanticDistance`` when matched, else ``None``.
+        pairings: per-concept evidence as
+            ``(kind, provided_concept, requested_concept, distance)``.
+    """
+
+    matched: bool
+    distance: int | None
+    pairings: tuple[tuple[str, str, str, int], ...] = ()
+
+
+class MatchDegree(enum.IntEnum):
+    """Paolucci-style degrees of match (the related-work ranking [13]
+    uses; ordered best-first).
+
+    Applied per requested output concept against the best provided one:
+
+    * ``EXACT``    — same (or equivalent) concept;
+    * ``PLUGIN``   — requested subsumes provided (the provider delivers
+      something more specific than asked: fully usable);
+    * ``SUBSUMES`` — provided subsumes requested (more general: the §2.3
+      relation's accepted direction, weaker per Paolucci);
+    * ``FAIL``     — unrelated.
+    """
+
+    EXACT = 0
+    PLUGIN = 1
+    SUBSUMES = 2
+    FAIL = 3
+
+
+class TaxonomyMatcher(Matcher):
+    """``d`` backed by a classified taxonomy (on-line reasoning path)."""
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        super().__init__()
+        self._taxonomy = taxonomy
+
+    def concept_distance(self, over: str, under: str) -> int | None:
+        if over not in self._taxonomy or under not in self._taxonomy:
+            return None
+        return self._taxonomy.distance(over, under)
+
+
+class CodeMatcher(Matcher):
+    """``d`` backed by interval codes: pure numeric comparison (§3.2).
+
+    Args:
+        table: the directory's code table (used for concepts not covered by
+            ``extra_codes``).
+        extra_codes: codes embedded in a received document, already
+            validated against the table version via
+            :meth:`repro.core.codes.CodeTable.resolve_annotations`; lets a
+            directory match concepts it has not locally encoded.
+    """
+
+    def __init__(
+        self,
+        table: CodeTable | None = None,
+        extra_codes: dict[str, ConceptCode] | None = None,
+    ) -> None:
+        super().__init__()
+        if table is None and not extra_codes:
+            raise ValueError("CodeMatcher needs a code table and/or embedded codes")
+        self._table = table
+        self._extra = extra_codes or {}
+
+    def _lookup(self, concept: str) -> ConceptCode | None:
+        code = self._extra.get(concept)
+        if code is not None:
+            return code
+        if self._table is not None and concept in self._table:
+            return self._table.code(concept)
+        return None
+
+    def concept_distance(self, over: str, under: str) -> int | None:
+        code_over = self._lookup(over)
+        code_under = self._lookup(under)
+        if code_over is None or code_under is None:
+            return None
+        return code_over.distance_to(code_under)

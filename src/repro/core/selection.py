@@ -1,0 +1,146 @@
+"""QoS- and context-aware service selection (paper §2.2's Amigo-S promise).
+
+Semantic matching (§2.3) decides *which* advertisements can substitute a
+required capability; in a pervasive environment several usually can, and
+"QoS and context ... affect decisively the actual user's experience".
+:class:`QosAwareSelector` refines a directory's semantically ranked
+answers:
+
+1. drop candidates whose context condition does not hold in the
+   requester's current :class:`~repro.services.qos.ContextSnapshot`;
+2. drop candidates violating a hard QoS constraint;
+3. re-rank the survivors by ``(semantic distance, -QoS utility)`` —
+   semantics first (the paper's ranking), QoS as the tie-breaker, unless
+   ``qos_first=True`` flips the priorities for QoS-critical requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.directory import DirectoryMatch, SemanticDirectory
+from repro.services.profile import ServiceRequest
+from repro.services.qos import ContextSnapshot, QosProfile, QosRequirement
+
+
+@dataclass(frozen=True)
+class RankedMatch:
+    """A directory match enriched with its QoS utility."""
+
+    match: DirectoryMatch
+    utility: float
+
+    @property
+    def service_uri(self) -> str:
+        return self.match.service_uri
+
+    @property
+    def distance(self) -> int:
+        return self.match.distance
+
+
+class QosAwareSelector:
+    """Selects among semantically matching advertisements using QoS/context.
+
+    Args:
+        directory: the semantic directory answering requests.
+        qos_first: rank by utility before semantic distance (default is
+            the paper's semantics-first ordering).
+    """
+
+    def __init__(self, directory: SemanticDirectory, qos_first: bool = False) -> None:
+        self._directory = directory
+        self.qos_first = qos_first
+        self._qos_profiles: dict[str, QosProfile] = {}
+
+    # ------------------------------------------------------------------
+    # QoS registration
+    # ------------------------------------------------------------------
+    def register_qos(self, service_uri: str, profile: QosProfile) -> None:
+        """Attach QoS/context annotations to a published service."""
+        self._qos_profiles[service_uri] = profile
+
+    def unregister_qos(self, service_uri: str) -> None:
+        """Drop annotations (e.g. on service withdrawal)."""
+        self._qos_profiles.pop(service_uri, None)
+
+    def qos_profile(self, service_uri: str) -> QosProfile:
+        """Annotations for a service (empty profile when unknown)."""
+        return self._qos_profiles.get(service_uri, QosProfile())
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        request: ServiceRequest,
+        requirement: QosRequirement | None = None,
+        context: ContextSnapshot | None = None,
+    ) -> list[RankedMatch]:
+        """Answer a request with QoS/context filtering and re-ranking.
+
+        Args:
+            request: the semantic discovery request.
+            requirement: QoS constraints/weights; None means "no QoS".
+            context: the requester's context; None means "empty context"
+                (offers with context conditions are then filtered out,
+                since their validity cannot be established).
+        """
+        requirement = requirement if requirement is not None else QosRequirement()
+        context = context if context is not None else ContextSnapshot()
+        ranked: list[RankedMatch] = []
+        for match in self._directory.query(request):
+            profile = self.qos_profile(match.service_uri)
+            condition = profile.condition_for(match.capability.uri)
+            if not condition.holds_in(context):
+                continue
+            offer = profile.offer_for(match.capability.uri)
+            if requirement.constraints and not requirement.satisfied_by(offer):
+                continue
+            ranked.append(RankedMatch(match=match, utility=requirement.utility(offer)))
+        if self.qos_first:
+            ranked.sort(key=lambda r: (-r.utility, r.distance, r.service_uri))
+        else:
+            ranked.sort(key=lambda r: (r.distance, -r.utility, r.service_uri))
+        return ranked
+
+    def best(
+        self,
+        request: ServiceRequest,
+        requirement: QosRequirement | None = None,
+        context: ContextSnapshot | None = None,
+    ) -> RankedMatch | None:
+        """The single best candidate, or None when nothing qualifies."""
+        ranked = self.select(request, requirement, context)
+        return ranked[0] if ranked else None
+
+
+def filter_by_conversation(
+    matches: list[DirectoryMatch],
+    client_protocol,
+    directory: SemanticDirectory,
+) -> list[DirectoryMatch]:
+    """Keep only matches whose service conversation the client can drive.
+
+    The OWL-S process model (§2.1) constrains the interaction protocol;
+    semantic capability matching alone does not guarantee the client's
+    planned interaction sequence is valid.  Services without a declared
+    process model are unconstrained and always pass.
+
+    Args:
+        matches: output of :meth:`SemanticDirectory.query`.
+        client_protocol: the client's planned interactions, a
+            :class:`repro.services.process.ProcessTerm`.
+        directory: the directory that produced the matches (profile
+            lookup).
+    """
+    from repro.services.process import conversations_compatible
+
+    profiles = {profile.uri: profile for profile in directory.services()}
+    kept: list[DirectoryMatch] = []
+    for match in matches:
+        profile = profiles.get(match.service_uri)
+        process = profile.process if profile is not None else None
+        if process is None or conversations_compatible(client_protocol, process):
+            kept.append(match)
+    return kept

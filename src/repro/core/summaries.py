@@ -1,0 +1,86 @@
+"""Bloom-filter directory summaries (paper §4).
+
+"For each capability C provided by a networked service, and stored in a
+directory, the capability description in terms of used ontologies is
+hashed with k independent hash functions" — the summary answers, without
+contacting the directory, whether it *may* cache a capability relevant to a
+request.
+
+Items hashed are: (a) the canonical string of the capability's whole
+ontology set ``O(C)`` — the paper's scheme — and (b) each individual
+ontology URI.  Adding the individual URIs preserves the no-false-negative
+guarantee when a request's ontology set is a *subset* of an
+advertisement's (the whole-set hash alone would miss it), at a marginal
+increase in false positives; the E10 benchmark quantifies both.
+"""
+
+from __future__ import annotations
+
+from repro.services.profile import Capability, ServiceRequest
+from repro.util.bloom import BloomFilter
+
+#: Default summary parameters; E10 sweeps them.
+DEFAULT_BITS = 512
+DEFAULT_HASHES = 4
+
+
+def _canonical_set(ontologies: frozenset[str]) -> str:
+    return "|".join(sorted(ontologies))
+
+
+class DirectorySummary:
+    """Compact overview of one directory's content for query forwarding."""
+
+    def __init__(self, m: int = DEFAULT_BITS, k: int = DEFAULT_HASHES) -> None:
+        self._filter = BloomFilter(m=m, k=k)
+
+    @classmethod
+    def from_bloom(cls, bloom: BloomFilter) -> "DirectorySummary":
+        """Wrap a filter received from a peer directory (exchanged bits)."""
+        summary = cls(m=bloom.m, k=bloom.k)
+        summary._filter = bloom
+        return summary
+
+    @property
+    def bloom(self) -> BloomFilter:
+        """The underlying filter (exchanged between directories)."""
+        return self._filter
+
+    def add_capability(self, capability: Capability) -> None:
+        """Record a cached capability's ontology footprint."""
+        ontologies = capability.ontologies()
+        self._filter.add(_canonical_set(ontologies))
+        for uri in ontologies:
+            self._filter.add(uri)
+
+    def might_hold(self, capability: Capability) -> bool:
+        """Could the summarized directory hold a match for this required
+        capability?  False ⇒ definitely not; True ⇒ probably (§4)."""
+        ontologies = capability.ontologies()
+        if _canonical_set(ontologies) in self._filter:
+            return True
+        return all(uri in self._filter for uri in ontologies)
+
+    def might_answer(self, request: ServiceRequest) -> bool:
+        """True iff the directory may hold a match for *any* requested
+        capability."""
+        return any(self.might_hold(cap) for cap in request.capabilities)
+
+    def rebuild(self, capabilities: list[Capability]) -> None:
+        """Recompute the summary from scratch (after withdrawals)."""
+        self._filter.clear()
+        for capability in capabilities:
+            self.add_capability(capability)
+
+    @property
+    def saturated(self) -> bool:
+        """True when false positives exceed ~10% — time to re-exchange with
+        larger parameters (the paper's reactive exchange trigger)."""
+        return self._filter.false_positive_probability() > 0.1
+
+    def snapshot(self) -> BloomFilter:
+        """An immutable copy suitable for sending to peer directories."""
+        return self._filter.copy()
+
+    def __repr__(self) -> str:
+        return f"DirectorySummary({self._filter!r})"

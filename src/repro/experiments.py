@@ -1,0 +1,538 @@
+"""Reproduction experiments as a library: one function per paper figure.
+
+Each function regenerates the series behind a table/figure of the paper's
+evaluation and returns an :class:`ExperimentResult` with the raw series
+(for assertions and further processing) and a rendered, paper-style text
+table.  The benchmark harness (``benchmarks/``) and the CLI
+(``python -m repro.cli experiment <name>``) both call these functions, so
+there is exactly one implementation of every experiment.
+
+See ``EXPERIMENTS.md`` for the paper-vs-measured discussion of each.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.directory import FlatDirectory, SemanticDirectory
+from repro.core.encoding import IntervalEncoder, first_level_capacity, nesting_capacity
+from repro.ontology.owl_xml import ontology_to_xml
+from repro.ontology.reasoner import ClassificationStrategy
+from repro.ontology.registry import OntologyRegistry
+from repro.core.codes import CodeTable
+from repro.registry.naive_semantic import OnlineMatchmaker
+from repro.registry.syntactic import SyntacticRegistry, WsdlDocumentRegistry
+from repro.services.generator import PAPER_FIG2_SHAPE, ServiceWorkload, WorkloadShape
+from repro.services.xml_codec import profile_to_xml, request_to_xml, wsdl_to_xml
+
+#: Directory sizes swept by the §5 experiments (the paper: 1 → 100).
+DIRECTORY_SIZES = [1, 20, 40, 60, 80, 100]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's regenerated data.
+
+    Args:
+        name: experiment id (``fig2`` ... ``e7``).
+        header: column names of the series.
+        rows: the series, one list per plotted point.
+        notes: free-form lines appended to the rendered table (paper
+            reference values, caveats).
+        extras: named scalar findings (ratios, shares) for assertions.
+    """
+
+    name: str
+    header: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Fixed-width table plus notes — the paper-style report block."""
+        widths = [
+            max(len(str(self.header[i])), *(len(str(row[i])) for row in self.rows))
+            if self.rows
+            else len(str(self.header[i]))
+            for i in range(len(self.header))
+        ]
+        lines = ["  ".join(str(self.header[i]).rjust(widths[i]) for i in range(len(self.header)))]
+        for row in self.rows:
+            lines.append("  ".join(str(row[i]).rjust(widths[i]) for i in range(len(row))))
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def _mean_seconds(fn: Callable[[], object], repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+# ---------------------------------------------------------------------------
+# Workload construction helpers
+# ---------------------------------------------------------------------------
+
+
+def fig2_workload(seed: int = 42) -> ServiceWorkload:
+    """§2.4 setting: 99-class/39-property ontology, 7-in/3-out capability."""
+    return ServiceWorkload(PAPER_FIG2_SHAPE, seed=seed)
+
+
+def directory_workload(seed: int = 42) -> ServiceWorkload:
+    """§5 setting: 22 ontologies, one provided capability per service."""
+    return ServiceWorkload(WorkloadShape(), seed=seed)
+
+
+def _table_for(workload: ServiceWorkload) -> CodeTable:
+    return CodeTable(OntologyRegistry(workload.ontologies))
+
+
+def _annotated_profile_doc(workload: ServiceWorkload, table: CodeTable, index: int) -> str:
+    profile = workload.make_service(index)
+    return profile_to_xml(
+        profile, annotations=table.annotate(profile.provided), codes_version=table.version
+    )
+
+
+def _annotated_request_doc(workload: ServiceWorkload, table: CodeTable, index: int) -> str:
+    request = workload.matching_request(workload.make_service(index))
+    return request_to_xml(
+        request, annotations=table.annotate(request.capabilities), codes_version=table.version
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — cost of on-line semantic matching
+# ---------------------------------------------------------------------------
+
+
+def fig2_reasoner_cost(seed: int = 42, repeats: int = 5) -> ExperimentResult:
+    """E1/E2: per-'reasoner' phase breakdown of one on-line match plus the
+    syntactic reference point.
+
+    Each strategy is measured ``repeats`` times and the fastest run kept —
+    a single shot is vulnerable to scheduler/GC pauses that distort the
+    phase shares.
+    """
+    workload = fig2_workload(seed)
+    profile = workload.make_service(0)
+    request = workload.matching_request(profile)
+    profile_doc = profile_to_xml(profile)
+    request_doc = request_to_xml(request)
+    ontology_docs = [ontology_to_xml(onto) for onto in workload.ontologies]
+
+    result = ExperimentResult(
+        name="fig2",
+        header=["reasoner", "parse(ms)", "load+classify(ms)", "match(ms)", "total(ms)", "reasoning", "tests"],
+    )
+    enumerative_total = None
+    for strategy in ClassificationStrategy:
+        report = None
+        for _ in range(max(1, repeats)):
+            candidate = OnlineMatchmaker(strategy=strategy).match_documents(
+                profile_doc, request_doc, ontology_docs
+            )
+            if report is None or candidate.total_seconds < report.total_seconds:
+                report = candidate
+        if not report.outcome.matched:
+            raise RuntimeError(f"fig2 workload must match (strategy {strategy.value})")
+        result.rows.append(
+            [
+                strategy.value,
+                _ms(report.parse_seconds),
+                _ms(report.load_seconds + report.classify_seconds),
+                _ms(report.match_seconds),
+                _ms(report.total_seconds),
+                f"{report.reasoning_share:.1%}",
+                report.subsumption_tests,
+            ]
+        )
+        result.extras[f"share_{strategy.value}"] = report.reasoning_share
+        if strategy is ClassificationStrategy.ENUMERATIVE:
+            enumerative_total = report.total_seconds
+
+    registry = SyntacticRegistry()
+    registry.publish(ServiceWorkload.wsdl_twin(profile))
+    wsdl_request = ServiceWorkload.wsdl_request_for(profile)
+    syntactic_seconds = _mean_seconds(lambda: registry.query(wsdl_request), repeats=50)
+    ratio = enumerative_total / max(syntactic_seconds, 1e-9)
+    result.extras["syntactic_seconds"] = syntactic_seconds
+    result.extras["semantic_syntactic_ratio"] = ratio
+    result.notes = [
+        "",
+        f"syntactic (UDDI-style) query: {_ms(syntactic_seconds)} ms",
+        f"semantic/syntactic ratio (enumerative): {ratio:.0f}x",
+        "paper: ~4-5 s semantic vs ~160 ms UDDI; load+classify 76-78% of total",
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — creating graphs in an empty directory
+# ---------------------------------------------------------------------------
+
+
+def fig7_graph_creation(seed: int = 42, sizes: list[int] | None = None) -> ExperimentResult:
+    """E3: parse / create-graphs / total for bulk loading a directory."""
+    sizes = sizes if sizes is not None else DIRECTORY_SIZES
+    workload = directory_workload(seed)
+    table = _table_for(workload)
+    documents = [_annotated_profile_doc(workload, table, i) for i in range(max(sizes))]
+
+    result = ExperimentResult(
+        name="fig7", header=["services", "parse(ms)", "create graphs(ms)", "total(ms)"]
+    )
+    for size in sizes:
+        directory = SemanticDirectory(table)
+        for document in documents[:size]:
+            directory.publish_xml(document)
+        parse = directory.timer.seconds("parse")
+        classify = directory.timer.seconds("classify") + directory.timer.seconds("encode")
+        result.rows.append([size, _ms(parse), _ms(classify), _ms(parse + classify)])
+        result.extras[f"parse_{size}"] = parse
+        result.extras[f"classify_{size}"] = classify
+    result.notes = [
+        "paper Fig.7: graph creation negligible vs XML parse; total <= ~350 ms at 100 services",
+        "note: our XML parse is much faster relative to matching than the paper's 2006",
+        "stack, so the two phases are comparable here; both grow linearly as in the paper",
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — publishing one advertisement
+# ---------------------------------------------------------------------------
+
+
+def fig8_publish(seed: int = 42, sizes: list[int] | None = None, repeats: int = 20) -> ExperimentResult:
+    """E4: parse / insert / total for one publication vs directory size."""
+    sizes = sizes if sizes is not None else DIRECTORY_SIZES
+    workload = directory_workload(seed)
+    table = _table_for(workload)
+    probe_profile = workload.make_service(10_000)
+    probe_doc = profile_to_xml(
+        probe_profile, annotations=table.annotate(probe_profile.provided), codes_version=table.version
+    )
+
+    result = ExperimentResult(
+        name="fig8", header=["directory size", "parse(ms)", "insert(ms)", "total(ms)"]
+    )
+    for size in sizes:
+        directory = SemanticDirectory(table)
+        for index in range(size):
+            directory.publish(workload.make_service(index))
+        from repro.util.timing import PhaseTimer
+
+        directory.timer = PhaseTimer()
+        for _ in range(repeats):
+            directory.publish_xml(probe_doc)
+            directory.unpublish(probe_profile.uri)
+        parse = directory.timer.seconds("parse") / repeats
+        insert = (
+            directory.timer.seconds("classify") + directory.timer.seconds("encode")
+        ) / repeats
+        result.rows.append([size, _ms(parse), _ms(insert), _ms(parse + insert)])
+        result.extras[f"insert_{size}"] = insert
+        result.extras[f"parse_{size}"] = parse
+    result.notes = ["paper Fig.8: insert nearly constant and negligible vs parse"]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — matching a request: classified vs flat
+# ---------------------------------------------------------------------------
+
+
+def fig9_match_request(
+    seed: int = 42, sizes: list[int] | None = None, repeats: int = 50
+) -> ExperimentResult:
+    """E5: optimized (classified) vs non-optimized query time."""
+    sizes = sizes if sizes is not None else DIRECTORY_SIZES
+    workload = directory_workload(seed)
+    table = _table_for(workload)
+    request = workload.matching_request(workload.make_service(0))
+
+    result = ExperimentResult(
+        name="fig9", header=["services", "optimized query(us)", "non-optimized query(us)"]
+    )
+    for size in sizes:
+        classified = SemanticDirectory(table)
+        flat = FlatDirectory(table)
+        for index in range(size):
+            profile = workload.make_service(index)
+            classified.publish(profile)
+            flat.publish(profile)
+        optimized = _mean_seconds(lambda: classified.query(request), repeats)
+        unoptimized = _mean_seconds(lambda: flat.query(request), repeats)
+        result.rows.append([size, f"{optimized * 1e6:.1f}", f"{unoptimized * 1e6:.1f}"])
+        result.extras[f"optimized_{size}"] = optimized
+        result.extras[f"flat_{size}"] = unoptimized
+    overhead = result.extras[f"flat_{sizes[-1]}"] / result.extras[f"optimized_{sizes[-1]}"] - 1
+    result.extras["overhead_at_max"] = overhead
+    result.notes = [
+        f"non-optimized overhead at {sizes[-1]} services: {overhead:.0%}",
+        "paper Fig.9: non-optimized ~+50% over optimized; optimized ~constant, few ms",
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — Ariadne vs S-Ariadne
+# ---------------------------------------------------------------------------
+
+
+def fig10_ariadne_vs_sariadne(
+    seed: int = 42, sizes: list[int] | None = None, repeats: int = 10
+) -> ExperimentResult:
+    """E6: syntactic (document-scanning) vs semantic (optimized) response."""
+    sizes = sizes if sizes is not None else DIRECTORY_SIZES
+    workload = directory_workload(seed)
+    table = _table_for(workload)
+    target = workload.make_service(0)
+    request_doc = _annotated_request_doc(workload, table, 0)
+    wsdl_request_doc = wsdl_to_xml(ServiceWorkload.wsdl_request_for(target))
+
+    result = ExperimentResult(
+        name="fig10", header=["services", "Ariadne(ms)", "S-Ariadne(ms)"]
+    )
+    for size in sizes:
+        ariadne = WsdlDocumentRegistry()
+        sariadne = SemanticDirectory(table)
+        for index in range(size):
+            profile = workload.make_service(index)
+            ariadne.publish_xml(wsdl_to_xml(ServiceWorkload.wsdl_twin(profile)))
+            sariadne.publish_xml(_annotated_profile_doc(workload, table, index))
+        a = _mean_seconds(lambda: ariadne.query_xml(wsdl_request_doc), repeats)
+        s = _mean_seconds(lambda: sariadne.query_xml(request_doc), repeats)
+        result.rows.append([size, _ms(a), _ms(s)])
+        result.extras[f"ariadne_{size}"] = a
+        result.extras[f"sariadne_{size}"] = s
+    result.notes = [
+        "paper Fig.10: Ariadne grows with directory size; S-Ariadne almost stable",
+        "and faster at 100 services",
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E7 — §3.2 encoding scalability
+# ---------------------------------------------------------------------------
+
+
+def e7_encoding_scalability(seed: int = 9, concepts: int = 300) -> ExperimentResult:
+    """E7: float64 capacities of the slot layout + float-vs-exact ablation."""
+    from repro.ontology.generator import OntologyShape, generate_ontology
+    from repro.ontology.reasoner import Reasoner
+
+    result = ExperimentResult(
+        name="e7", header=["parameters", "first-level entries", "nesting levels"]
+    )
+    for p, k in [(2, 5), (2, 10), (3, 5), (4, 5)]:
+        first = first_level_capacity(p, k)
+        depth = nesting_capacity(p, k)
+        result.rows.append([f"p={p},k={k}", first, depth])
+        result.extras[f"first_p{p}k{k}"] = first
+        result.extras[f"depth_p{p}k{k}"] = depth
+
+    onto = generate_ontology(
+        "http://repro.example.org/enc",
+        OntologyShape(concepts=concepts, properties=20),
+        seed=seed,
+    )
+    taxonomy = Reasoner().load([onto]).classify()
+    start = time.perf_counter()
+    IntervalEncoder(exact=False).encode(taxonomy)
+    float_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    IntervalEncoder(exact=True).encode(taxonomy)
+    exact_seconds = time.perf_counter() - start
+    result.extras["float_seconds"] = float_seconds
+    result.extras["exact_seconds"] = exact_seconds
+    result.notes = [
+        "",
+        "paper (its layout, p=2, k=5): 1071 first-level entries, 462 levels",
+        f"encode {concepts} concepts: float {float_seconds * 1e3:.2f} ms,"
+        f" exact Fractions {exact_seconds * 1e3:.2f} ms"
+        f" ({exact_seconds / max(float_seconds, 1e-9):.1f}x slower, no capacity limit)",
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E8 — §3.1 numeric-index trade-off (after [3])
+# ---------------------------------------------------------------------------
+
+
+def e8_gist_directory(sizes: list[int] | None = None, seed: int = 0) -> ExperimentResult:
+    """E8: R-tree search stays cheap while bulk insertion costs orders of
+    magnitude more (the [3] trade-off the paper cites)."""
+    import random
+
+    from repro.registry.gist import GistIndex, Rect
+
+    sizes = sizes if sizes is not None else [100, 1_000, 5_000, 10_000]
+
+    def random_rect(rng: random.Random) -> Rect:
+        x = rng.random() * 0.99
+        return Rect(x, min(1.0, x + rng.random() * 0.01 + 1e-6), 0.0, 1.0)
+
+    result = ExperimentResult(
+        name="e8", header=["entries", "bulk insert(ms)", "search(us)", "depth"]
+    )
+    for size in sizes:
+        rng = random.Random(seed)
+        index = GistIndex()
+        start = time.perf_counter()
+        for i in range(size):
+            index.insert(random_rect(rng), f"svc{i}")
+        build_seconds = time.perf_counter() - start
+        probe_rng = random.Random(99)
+        probes = [random_rect(probe_rng) for _ in range(200)]
+        start = time.perf_counter()
+        for probe in probes:
+            index.search(probe)
+        search_seconds = (time.perf_counter() - start) / len(probes)
+        result.rows.append(
+            [size, _ms(build_seconds), f"{search_seconds * 1e6:.1f}", index.depth()]
+        )
+        result.extras[f"build_{size}"] = build_seconds
+        result.extras[f"search_{size}"] = search_seconds
+    result.notes = ["paper ([3], 2003 hardware): search ~ms at 10k entries, insertion ~3 s"]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E9 — §3.1 annotated-taxonomy trade-off (after [13])
+# ---------------------------------------------------------------------------
+
+
+def e9_srinivasan_registry(seed: int = 42, services: int = 100) -> ExperimentResult:
+    """E9: publish is a clear multiple of a plain registry's; queries are
+    lookup-only."""
+    from repro.registry.srinivasan import AnnotatedTaxonomyRegistry
+
+    workload = directory_workload(seed)
+    profiles = workload.make_services(services)
+    twins = [ServiceWorkload.wsdl_twin(profile) for profile in profiles]
+
+    # Best-of-3: the syntactic baseline is microseconds per publish and a
+    # single noisy run would distort the ratio.
+    syntactic_publish = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        syntactic = SyntacticRegistry()
+        for twin in twins:
+            syntactic.publish(twin)
+        syntactic_publish = min(
+            syntactic_publish, (time.perf_counter() - start) / services
+        )
+
+    annotated = None
+    annotated_publish = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        annotated = AnnotatedTaxonomyRegistry(workload.taxonomy)
+        for profile in profiles:
+            annotated.publish(profile)
+        annotated_publish = min(
+            annotated_publish, (time.perf_counter() - start) / services
+        )
+
+    request = workload.matching_request(profiles[3]).capabilities[0]
+    query_seconds = _mean_seconds(lambda: annotated.query(request), repeats=200)
+    ratio = annotated_publish / max(syntactic_publish, 1e-9)
+    result = ExperimentResult(name="e9", header=["metric", "value"])
+    result.rows = [
+        ["syntactic publish (per svc)", f"{syntactic_publish * 1e6:.1f} us"],
+        ["annotated publish (per svc)", f"{annotated_publish * 1e6:.1f} us"],
+        ["publish ratio", f"{ratio:.1f}x"],
+        ["annotated query", f"{query_seconds * 1e6:.1f} us"],
+        ["annotation records written", annotated.publish_work],
+    ]
+    result.extras["publish_ratio"] = ratio
+    result.extras["query_seconds"] = query_seconds
+    result.notes = [
+        "paper ([13]): publish ~7x UDDI publish; query in milliseconds without reasoning"
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E10 — §4 Bloom-filter summary quality
+# ---------------------------------------------------------------------------
+
+
+def e10_bloom_summaries(stored: int = 60, probes: int = 300) -> ExperimentResult:
+    """E10: false-positive rate across (m, k); never a false negative."""
+    from repro.core.summaries import DirectorySummary
+    from repro.services.profile import Capability
+
+    def synthetic(index: int, namespace: str) -> Capability:
+        return Capability.build(
+            f"urn:x:cap:{index}", f"C{index}", outputs=[f"{namespace}#Out{index}"]
+        )
+
+    result = ExperimentResult(
+        name="e10", header=["parameters", "false positives", "fill"]
+    )
+    for m, k in [(64, 2), (128, 4), (256, 4), (512, 4), (1024, 6)]:
+        summary = DirectorySummary(m=m, k=k)
+        namespaces = [f"http://stored.org/{i}" for i in range(stored)]
+        for index, namespace in enumerate(namespaces):
+            summary.add_capability(synthetic(index, namespace))
+        missed = sum(
+            1
+            for index, namespace in enumerate(namespaces)
+            if not summary.might_hold(synthetic(index, namespace))
+        )
+        if missed:
+            raise RuntimeError("Bloom summaries must never produce false negatives")
+        false_hits = sum(
+            1
+            for index in range(probes)
+            if summary.might_hold(synthetic(index, f"http://absent.org/{index}"))
+        )
+        rate = false_hits / probes
+        result.rows.append([f"m={m},k={k}", f"{rate:.2%}", f"{summary.bloom.fill_ratio:.2f}"])
+        result.extras[f"fp_m{m}k{k}"] = rate
+    result.notes = [
+        'paper §4: "values can be chosen so that the probability of false positive is minimized"'
+    ]
+    return result
+
+
+#: Registry of runnable experiments (used by the CLI and tests).
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig2": fig2_reasoner_cost,
+    "fig7": fig7_graph_creation,
+    "fig8": fig8_publish,
+    "fig9": fig9_match_request,
+    "fig10": fig10_ariadne_vs_sariadne,
+    "e7": e7_encoding_scalability,
+    "e8": e8_gist_directory,
+    "e9": e9_srinivasan_registry,
+    "e10": e10_bloom_summaries,
+}
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Raises:
+        KeyError: for unknown experiment names.
+    """
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    return runner()

@@ -1,0 +1,188 @@
+"""Protocol message payloads exchanged over the simulated network.
+
+Each message travels inside an :class:`Envelope` (added by the fabric) and
+carries one of the payload dataclasses below.  Payload sizes are estimated
+for the latency model: XML documents count their actual length, fixed-form
+messages use small constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Routing wrapper the network fabric adds around a payload.
+
+    Args:
+        kind: payload discriminator (the payload class name).
+        payload: one of the dataclasses below.
+        source: originating node id.
+        dest: destination node id for unicast, ``None`` for broadcast.
+        msg_id: globally unique id (duplicate suppression in floods).
+        ttl: remaining hops for flooded messages.
+        hops: hops travelled so far.
+    """
+
+    kind: str
+    payload: object
+    source: int
+    dest: int | None
+    msg_id: int
+    ttl: int = 0
+    hops: int = 0
+
+
+def payload_size(payload: object) -> int:
+    """Approximate wire size in bytes (drives transmission delay)."""
+    for attr in ("document", "documents"):
+        value = getattr(payload, attr, None)
+        if isinstance(value, str):
+            return 64 + len(value)
+        if isinstance(value, (list, tuple)):
+            return 64 + sum(len(v) for v in value)
+    data = getattr(payload, "bloom_bits", None)
+    if isinstance(data, bytes):
+        return 32 + len(data)
+    return 64
+
+
+# --- directory deployment (§4) --------------------------------------------
+
+
+@dataclass(frozen=True)
+class DirectoryAdvert:
+    """Periodic 'I am a directory' beacon, flooded up to H hops."""
+
+    directory_id: int
+
+
+@dataclass(frozen=True)
+class ElectionCall:
+    """Election initiation, flooded up to H hops."""
+
+    initiator: int
+    election_id: int
+
+
+@dataclass(frozen=True)
+class ElectionReply:
+    """A candidate's willingness + fitness, unicast to the initiator."""
+
+    candidate: int
+    election_id: int
+    fitness: float
+
+
+@dataclass(frozen=True)
+class Appointment:
+    """The initiator's choice, unicast to the winning candidate."""
+
+    directory_id: int
+    election_id: int
+
+
+# --- directory cooperation (§4) --------------------------------------------
+
+
+@dataclass(frozen=True)
+class DirectoryAnnounce:
+    """Backbone formation: a new directory introduces itself network-wide
+    so peer directories learn about each other ("a backbone of directories
+    constituting a virtual network")."""
+
+    directory_id: int
+    reply_expected: bool = True
+
+
+@dataclass(frozen=True)
+class SummaryExchange:
+    """A directory's Bloom summary, shared with peer directories."""
+
+    directory_id: int
+    bloom_bits: bytes
+    bloom_m: int
+    bloom_k: int
+
+
+@dataclass(frozen=True)
+class SummaryRequest:
+    """Reactive request for a fresh summary (false positives too high)."""
+
+    requester_directory: int
+
+
+@dataclass(frozen=True)
+class DirectoryHandoff:
+    """A departing directory transfers its cached advertisements to a
+    successor ("when a directory leaves the network and ... another one
+    is elected and has to host the set of service descriptions available
+    in its vicinity" — §5's Fig. 7 scenario)."""
+
+    documents: tuple[str, ...]
+    from_directory: int
+
+
+@dataclass(frozen=True)
+class CodeRefreshResponse:
+    """Fresh interval codes after a stale-code publication (§3.2:
+    "services periodically check the version of codes that they are using
+    and update their codes in the case of ontology evolution")."""
+
+    version: int
+    codes: tuple[tuple[str, str], ...]
+
+
+# --- service discovery ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PublishService:
+    """A client registers a service advertisement (XML document)."""
+
+    document: str
+
+
+@dataclass(frozen=True)
+class WithdrawService:
+    """A client withdraws a service."""
+
+    service_uri: str
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A client's discovery request (XML document)."""
+
+    query_id: int
+    document: str
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Directory → client: matched services for a query.
+
+    ``results`` is a tuple of ``(service_uri, capability_uri, distance)``;
+    syntactic directories use a distance of 0 for all hits.
+    """
+
+    query_id: int
+    results: tuple[tuple[str, str, int], ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class RemoteQuery:
+    """Directory → peer directory: forwarded query (§4 step 3)."""
+
+    query_id: int
+    document: str
+    origin_directory: int
+
+
+@dataclass(frozen=True)
+class RemoteResponse:
+    """Peer directory → origin directory: remote hits (§4 step 5)."""
+
+    query_id: int
+    results: tuple[tuple[str, str, int], ...] = field(default_factory=tuple)

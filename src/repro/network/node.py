@@ -1,0 +1,385 @@
+"""Nodes, protocol agents and the wireless fabric.
+
+The fabric implements three primitives the §4 protocol needs:
+
+* **neighbor broadcast** — delivered to every node in radio range;
+* **TTL flooding** — each node rebroadcasts unseen flood messages with a
+  decremented TTL and a small forwarding jitter (duplicate suppression per
+  message id), giving the "up to a given number of hops" propagation of
+  directory advertisements and election calls;
+* **multi-hop unicast** — routed along the current shortest hop path
+  (recomputed per send, which abstracts the underlying MANET routing
+  protocol — the original Ariadne work sits on top of one), with per-hop
+  latency plus a size/bandwidth term.
+
+Traffic counters (messages, bytes, drops) feed the protocol benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.network.messages import Envelope, payload_size
+from repro.network.simulator import Simulator
+from repro.network.topology import Bounds, Position, StaticPlacement
+
+
+class ProtocolAgent:
+    """Base class for protocol state machines attached to a node.
+
+    Subclasses override :meth:`on_start` (called when the simulation is
+    wired up) and :meth:`on_message`.
+    """
+
+    def __init__(self) -> None:
+        self.node: NetNode | None = None
+
+    def attach(self, node: "NetNode") -> None:
+        """Bind the agent to its node (done by ``NetNode.add_agent``)."""
+        self.node = node
+
+    def on_start(self) -> None:
+        """Called once when the network starts."""
+
+    def on_message(self, envelope: Envelope) -> None:
+        """Called for every envelope delivered to this node."""
+
+
+@dataclass
+class TrafficStats:
+    """Fabric counters."""
+
+    broadcasts: int = 0
+    unicasts: int = 0
+    floods_forwarded: int = 0
+    deliveries: int = 0
+    bytes_sent: int = 0
+    drops_unreachable: int = 0
+    drops_lost: int = 0
+
+
+class NetNode:
+    """A wireless device: position, battery, attached protocol agents."""
+
+    def __init__(self, node_id: int, position: Position, battery: float = 1.0) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.battery = battery
+        self.agents: list[ProtocolAgent] = []
+        self.network: Network | None = None
+        self._seen_floods: set[int] = set()
+        self._seen_order: deque[int] = deque()
+
+    def add_agent(self, agent: ProtocolAgent) -> ProtocolAgent:
+        """Attach a protocol agent."""
+        agent.attach(self)
+        self.agents.append(agent)
+        return agent
+
+    # -- sending ---------------------------------------------------------
+    def broadcast(self, payload: object, ttl: int = 1) -> None:
+        """Flood ``payload`` up to ``ttl`` hops from this node."""
+        assert self.network is not None, "node not added to a network"
+        self.network.flood(self, payload, ttl)
+
+    def unicast(self, dest: int, payload: object) -> bool:
+        """Send ``payload`` to node ``dest`` over the current topology.
+
+        Returns False if no route exists (message dropped).
+        """
+        assert self.network is not None, "node not added to a network"
+        return self.network.unicast(self, dest, payload)
+
+    # -- receiving ---------------------------------------------------------
+    def deliver(self, envelope: Envelope) -> None:
+        """Hand an envelope to every attached agent."""
+        for agent in list(self.agents):
+            agent.on_message(envelope)
+
+    def note_flood(self, msg_id: int, max_remembered: int = 4096) -> bool:
+        """Record a flood id; returns True when seen for the first time."""
+        if msg_id in self._seen_floods:
+            return False
+        self._seen_floods.add(msg_id)
+        self._seen_order.append(msg_id)
+        if len(self._seen_order) > max_remembered:
+            self._seen_floods.discard(self._seen_order.popleft())
+        return True
+
+    def __repr__(self) -> str:
+        return f"NetNode({self.node_id}, pos=({self.position.x:.0f},{self.position.y:.0f}))"
+
+
+class Network:
+    """The wireless fabric tying nodes, topology and the event engine.
+
+    Args:
+        sim: the discrete-event engine.
+        bounds: deployment area.
+        radio_range: unit-disc radius (m).
+        per_hop_latency: MAC + propagation delay per hop (s).
+        bandwidth: bytes/s for the transmission-delay term.
+        mobility: placement/mobility model (default static).
+        mobility_interval: how often positions advance (s); 0 disables.
+        seed: RNG seed for placement, jitter and mobility.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bounds: Bounds = Bounds(500.0, 500.0),
+        radio_range: float = 120.0,
+        per_hop_latency: float = 0.004,
+        bandwidth: float = 250_000.0,
+        mobility=None,
+        mobility_interval: float = 1.0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.bounds = bounds
+        self.radio_range = radio_range
+        self.per_hop_latency = per_hop_latency
+        self.bandwidth = bandwidth
+        self.mobility = mobility if mobility is not None else StaticPlacement()
+        self.mobility_interval = mobility_interval
+        self.loss_rate = loss_rate
+        #: Battery drained per KiB sent/received (radio dominates energy on
+        #: small devices); 0 disables the energy model.
+        self.battery_cost_per_kb = 0.0
+        #: Optional :class:`repro.network.trace.EventTrace` recording fabric
+        #: and protocol events.
+        self.trace = None
+        self.rng = random.Random(seed)
+        self.nodes: dict[int, NetNode] = {}
+        self.stats = TrafficStats()
+        self._msg_ids = itertools.count(1)
+        self._wired: dict[int, set[int]] = {}
+        self.wired_latency = per_hop_latency / 4
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, position: Position | None = None, battery: float = 1.0) -> NetNode:
+        """Create and register a node.
+
+        Raises:
+            ValueError: on duplicate node ids.
+        """
+        if node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node_id}")
+        if position is None:
+            position = self.mobility.initial_position(node_id, self.bounds, self.rng)
+        node = NetNode(node_id, position, battery)
+        node.network = self
+        self.nodes[node_id] = node
+        return node
+
+    def start(self) -> None:
+        """Start agents and the mobility clock (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        if self.mobility_interval > 0 and not isinstance(self.mobility, StaticPlacement):
+            self.sim.schedule_every(self.mobility_interval, self._mobility_tick)
+        for node in self.nodes.values():
+            for agent in node.agents:
+                agent.on_start()
+
+    def _mobility_tick(self) -> None:
+        for node in self.nodes.values():
+            node.position = self.mobility.step(
+                node.node_id, node.position, self.mobility_interval, self.bounds, self.rng
+            )
+
+    def add_wired_link(self, a: int, b: int) -> None:
+        """Connect two nodes with an infrastructure (wired) link.
+
+        The paper targets hybrid environments "that integrate heterogeneous
+        wireless network technologies (i.e., ad hoc and infrastructure-
+        based networking)" (§1): infrastructure nodes are reachable
+        regardless of radio range and with lower per-hop latency.
+
+        Raises:
+            KeyError: if either node id is unknown.
+        """
+        if a not in self.nodes or b not in self.nodes:
+            raise KeyError((a, b))
+        if a == b:
+            raise ValueError("cannot wire a node to itself")
+        self._wired.setdefault(a, set()).add(b)
+        self._wired.setdefault(b, set()).add(a)
+
+    def is_wired(self, a: int, b: int) -> bool:
+        """True iff a wired link exists between the two nodes."""
+        return b in self._wired.get(a, ())
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    def neighbors(self, node_id: int) -> list[NetNode]:
+        """Nodes reachable in one hop: radio range plus wired links."""
+        origin = self.nodes[node_id]
+        wired = self._wired.get(node_id, set())
+        return [
+            node
+            for node in self.nodes.values()
+            if node.node_id != node_id
+            and (
+                node.node_id in wired
+                or origin.position.distance_to(node.position) <= self.radio_range
+            )
+        ]
+
+    def shortest_path(self, source: int, dest: int) -> list[int] | None:
+        """Hop-shortest path between two nodes on the current topology."""
+        if source == dest:
+            return [source]
+        parents: dict[int, int] = {source: source}
+        queue: deque[int] = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                nid = neighbor.node_id
+                if nid in parents:
+                    continue
+                parents[nid] = current
+                if nid == dest:
+                    path = [dest]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(nid)
+        return None
+
+    def is_connected(self) -> bool:
+        """True iff every node can reach every other node."""
+        if not self.nodes:
+            return True
+        start = next(iter(self.nodes))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            for neighbor in self.neighbors(queue.popleft()):
+                if neighbor.node_id not in seen:
+                    seen.add(neighbor.node_id)
+                    queue.append(neighbor.node_id)
+        return len(seen) == len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Communication primitives
+    # ------------------------------------------------------------------
+    def _delay(self, payload: object, hops: int = 1) -> float:
+        return hops * (self.per_hop_latency + payload_size(payload) / self.bandwidth)
+
+    def record(self, actor: int, kind: str, detail: str = "") -> None:
+        """Record a trace event if tracing is enabled (no-op otherwise)."""
+        if self.trace is not None:
+            self.trace.record(self.sim.now, actor, kind, detail)
+
+    def flood(self, origin: NetNode, payload: object, ttl: int) -> None:
+        """TTL-bounded flooding with per-node duplicate suppression."""
+        self.record(origin.node_id, "flood", f"{type(payload).__name__} ttl={ttl}")
+        envelope = Envelope(
+            kind=type(payload).__name__,
+            payload=payload,
+            source=origin.node_id,
+            dest=None,
+            msg_id=next(self._msg_ids),
+            ttl=ttl,
+        )
+        origin.note_flood(envelope.msg_id)
+        self._radiate(origin, envelope)
+
+    def _drain(self, node: NetNode, size: int) -> None:
+        if self.battery_cost_per_kb:
+            node.battery = max(0.0, node.battery - self.battery_cost_per_kb * size / 1024)
+
+    def _radiate(self, sender: NetNode, envelope: Envelope) -> None:
+        self.stats.broadcasts += 1
+        size = payload_size(envelope.payload)
+        self.stats.bytes_sent += size
+        self._drain(sender, size)
+        delay = self._delay(envelope.payload)
+        for neighbor in self.neighbors(sender.node_id):
+            if self.loss_rate and self.rng.random() < self.loss_rate:
+                self.stats.drops_lost += 1
+                continue
+            self.sim.schedule(delay, lambda n=neighbor: self._flood_receive(n, envelope))
+
+    def _flood_receive(self, node: NetNode, envelope: Envelope) -> None:
+        if not node.note_flood(envelope.msg_id):
+            return
+        self.stats.deliveries += 1
+        self._drain(node, payload_size(envelope.payload))
+        delivered = Envelope(
+            kind=envelope.kind,
+            payload=envelope.payload,
+            source=envelope.source,
+            dest=None,
+            msg_id=envelope.msg_id,
+            ttl=envelope.ttl - 1,
+            hops=envelope.hops + 1,
+        )
+        node.deliver(delivered)
+        if delivered.ttl > 0:
+            self.stats.floods_forwarded += 1
+            jitter = self.rng.uniform(0.0, 0.002)
+            self.sim.schedule(jitter, lambda: self._radiate(node, delivered))
+
+    def unicast(self, origin: NetNode, dest: int, payload: object) -> bool:
+        """Route a message along the current shortest path.
+
+        Returns False and counts a drop when the destination is
+        unreachable.
+        """
+        if dest not in self.nodes:
+            raise KeyError(dest)
+        self.record(origin.node_id, "unicast", f"{type(payload).__name__} -> {dest}")
+        path = self.shortest_path(origin.node_id, dest)
+        if path is None:
+            self.stats.drops_unreachable += 1
+            return False
+        hops = max(1, len(path) - 1)
+        envelope = Envelope(
+            kind=type(payload).__name__,
+            payload=payload,
+            source=origin.node_id,
+            dest=dest,
+            msg_id=next(self._msg_ids),
+            hops=hops,
+        )
+        self.stats.unicasts += 1
+        size = payload_size(payload)
+        self.stats.bytes_sent += size * hops
+        self._drain(origin, size)
+        # Per-hop independent loss: the message dies if any hop loses it.
+        if self.loss_rate:
+            survive = (1.0 - self.loss_rate) ** hops
+            if self.rng.random() > survive:
+                self.stats.drops_lost += 1
+                return True  # sender cannot tell; the message is just gone
+        # Per-hop latency: wired infrastructure hops are cheaper.
+        delay = 0.0
+        for a, b in zip(path, path[1:]):
+            hop_latency = self.wired_latency if self.is_wired(a, b) else self.per_hop_latency
+            delay += hop_latency + size / self.bandwidth
+        delay = delay if delay > 0 else self._delay(payload)
+        target = self.nodes[dest]
+        self.sim.schedule(delay, lambda: self._unicast_receive(target, envelope))
+        return True
+
+    def _unicast_receive(self, node: NetNode, envelope: Envelope) -> None:
+        self.stats.deliveries += 1
+        self._drain(node, payload_size(envelope.payload))
+        node.deliver(envelope)
+
+    def __repr__(self) -> str:
+        return f"Network({len(self.nodes)} nodes, range={self.radio_range})"

@@ -1,0 +1,149 @@
+"""Deterministic discrete-event simulation engine.
+
+A single priority queue of timestamped events; ties break on insertion
+order so runs are exactly reproducible.  No wall clock is consulted inside
+a simulation — all randomness comes from seeded RNGs owned by the models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("callback", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop: schedule callbacks, run until a horizon or idle."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+        #: True while :meth:`run` is executing (re-entrancy guard for
+        #: callbacks that would otherwise call ``run`` recursively).
+        self.running = False
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Raises:
+            ValueError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulation time.
+
+        Raises:
+            ValueError: if ``time`` is in the past.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time}, now is {self.now}")
+        event = Event(time, callback)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), event))
+        return event
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+        rng=None,
+    ) -> Callable[[], None]:
+        """Run ``callback`` every ``interval`` seconds (optionally jittered).
+
+        Returns a cancel function that stops future firings.
+
+        Raises:
+            ValueError: if ``interval`` is not positive.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        state = {"stopped": False, "event": None}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            delay = interval
+            if jitter and rng is not None:
+                delay += rng.uniform(-jitter, jitter)
+            state["event"] = self.schedule(max(1e-9, delay), fire)
+
+        state["event"] = self.schedule(interval, fire)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            if state["event"] is not None:
+                state["event"].cancel()
+
+        return cancel
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
+        """Process events in timestamp order.
+
+        Args:
+            until: stop once the next event would be after this time (the
+                clock is advanced to ``until``); ``None`` drains the queue.
+            max_events: hard safety limit.
+
+        Raises:
+            RuntimeError: if ``max_events`` is exceeded (runaway model) or
+                if called from inside an event callback (re-entrancy).
+        """
+        if self.running:
+            raise RuntimeError("Simulator.run() called re-entrantly from an event callback")
+        self.running = True
+        try:
+            processed = 0
+            while self._queue:
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if entry.event.cancelled:
+                    continue
+                if processed >= max_events:
+                    raise RuntimeError(f"simulation exceeded {max_events} events")
+                self.now = entry.time
+                entry.event.callback()
+                processed += 1
+                self.events_processed += 1
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self.running = False
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self.now:.3f}, pending={self.pending})"

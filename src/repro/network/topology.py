@@ -1,0 +1,129 @@
+"""Positions, placement and mobility for the wireless substrate.
+
+Connectivity uses the unit-disc model: two nodes hear each other iff their
+Euclidean distance is at most the radio range.  Mobility follows the
+random-waypoint model standard in MANET evaluations: each node picks a
+random destination and speed, travels there, pauses, and repeats.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the plane (meters)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def moved_toward(self, target: "Position", step: float) -> "Position":
+        """The point ``step`` meters from here toward ``target`` (clamped)."""
+        total = self.distance_to(target)
+        if total <= step or total == 0.0:
+            return target
+        ratio = step / total
+        return Position(self.x + (target.x - self.x) * ratio, self.y + (target.y - self.y) * ratio)
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """A rectangular deployment area ``[0, width] × [0, height]``."""
+
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"bounds must be positive, got {self.width}×{self.height}")
+
+    def random_position(self, rng: random.Random) -> Position:
+        """A uniformly random point inside the area."""
+        return Position(rng.uniform(0, self.width), rng.uniform(0, self.height))
+
+
+class StaticPlacement:
+    """No movement: nodes stay where they were placed."""
+
+    def initial_position(self, node_id: int, bounds: Bounds, rng: random.Random) -> Position:
+        """Uniform random placement."""
+        return bounds.random_position(rng)
+
+    def step(self, node_id: int, position: Position, dt: float, bounds: Bounds, rng: random.Random) -> Position:
+        """Positions are fixed."""
+        return position
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility.
+
+    Args:
+        min_speed / max_speed: travel speed range (m/s); a zero min speed
+            is clamped to 0.1 to avoid the well-known speed-decay artefact.
+        pause_time: dwell time at each waypoint (s).
+    """
+
+    def __init__(self, min_speed: float = 0.5, max_speed: float = 2.0, pause_time: float = 5.0) -> None:
+        if max_speed < min_speed:
+            raise ValueError(f"max_speed {max_speed} < min_speed {min_speed}")
+        self.min_speed = max(0.1, min_speed)
+        self.max_speed = max(self.min_speed, max_speed)
+        self.pause_time = pause_time
+        self._targets: dict[int, Position] = {}
+        self._speeds: dict[int, float] = {}
+        self._pause_left: dict[int, float] = {}
+
+    def initial_position(self, node_id: int, bounds: Bounds, rng: random.Random) -> Position:
+        """Uniform random placement; also seeds the first waypoint."""
+        position = bounds.random_position(rng)
+        self._pick_waypoint(node_id, bounds, rng)
+        return position
+
+    def _pick_waypoint(self, node_id: int, bounds: Bounds, rng: random.Random) -> None:
+        self._targets[node_id] = bounds.random_position(rng)
+        self._speeds[node_id] = rng.uniform(self.min_speed, self.max_speed)
+        self._pause_left[node_id] = 0.0
+
+    def step(self, node_id: int, position: Position, dt: float, bounds: Bounds, rng: random.Random) -> Position:
+        """Advance one node by ``dt`` seconds."""
+        if node_id not in self._targets:
+            self._pick_waypoint(node_id, bounds, rng)
+        pause = self._pause_left.get(node_id, 0.0)
+        if pause > 0:
+            consumed = min(pause, dt)
+            self._pause_left[node_id] = pause - consumed
+            dt -= consumed
+            if dt <= 0:
+                return position
+        target = self._targets[node_id]
+        speed = self._speeds[node_id]
+        new_position = position.moved_toward(target, speed * dt)
+        if new_position == target:
+            self._pause_left[node_id] = self.pause_time
+            self._pick_waypoint(node_id, bounds, rng)
+            self._pause_left[node_id] = self.pause_time
+        return new_position
+
+
+def grid_positions(count: int, bounds: Bounds, margin: float = 10.0) -> list[Position]:
+    """Evenly spaced grid placement (deterministic topologies for tests)."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    columns = math.ceil(math.sqrt(count))
+    rows = math.ceil(count / columns)
+    usable_w = max(bounds.width - 2 * margin, 1.0)
+    usable_h = max(bounds.height - 2 * margin, 1.0)
+    positions = []
+    for index in range(count):
+        row, col = divmod(index, columns)
+        x = margin + (usable_w * col / max(columns - 1, 1))
+        y = margin + (usable_h * row / max(rows - 1, 1))
+        positions.append(Position(x, y))
+    return positions

@@ -1,0 +1,89 @@
+"""Protocol event tracing for simulated deployments.
+
+Attach an :class:`EventTrace` to a :class:`~repro.network.node.Network`
+(``network.trace = EventTrace()``) and both the fabric and the protocol
+agents record what happens — floods, unicasts, publications, forwarded
+queries, elections — as timestamped events.  Useful for debugging
+deployments, asserting protocol behaviour in tests (e.g. "the Fig. 6
+steps happened in order"), and rendering timelines in examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event.
+
+    Args:
+        time: simulation time (s).
+        actor: node id the event happened at.
+        kind: event class, e.g. ``"flood"``, ``"unicast"``, ``"publish"``,
+            ``"query"``, ``"forward"``, ``"respond"``, ``"promote"``.
+        detail: free-form description.
+    """
+
+    time: float
+    actor: int
+    kind: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time:9.3f}s] node {self.actor:>3}  {self.kind:<10} {self.detail}"
+
+
+class EventTrace:
+    """An append-only log of :class:`TraceEvent`.
+
+    Args:
+        capacity: oldest events are dropped beyond this bound (0 keeps
+            everything — beware long simulations).
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: float, actor: int, kind: str, detail: str = "") -> None:
+        """Append one event (dropping the oldest past capacity)."""
+        self.events.append(TraceEvent(time=time, actor=actor, kind=kind, detail=detail))
+        if self.capacity and len(self.events) > self.capacity:
+            overflow = len(self.events) - self.capacity
+            del self.events[:overflow]
+            self.dropped += overflow
+
+    def filter(self, kind: str | None = None, actor: int | None = None) -> list[TraceEvent]:
+        """Events matching the given kind and/or actor."""
+        return [
+            event
+            for event in self.events
+            if (kind is None or event.kind == kind)
+            and (actor is None or event.actor == actor)
+        ]
+
+    def kinds(self) -> dict[str, int]:
+        """Event counts per kind."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def timeline(self, limit: int | None = None, kind: str | None = None) -> str:
+        """Render the (optionally filtered) last ``limit`` events."""
+        events = self.filter(kind=kind) if kind else self.events
+        if limit is not None:
+            events = events[-limit:]
+        if not events:
+            return "(no events)"
+        return "\n".join(str(event) for event in events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"EventTrace({len(self.events)} events, dropped={self.dropped})"

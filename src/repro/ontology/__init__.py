@@ -1,0 +1,51 @@
+"""Ontology substrate: model, reasoning, classification, serialization.
+
+This package implements the Semantic-Web machinery the paper depends on —
+the part that Racer / FaCT++ / Pellet and an OWL parser provided in the
+original system.  It is a self-contained, pure-Python description-logic
+fragment sufficient for semantic service matching:
+
+* :mod:`repro.ontology.model` — concepts, object properties, existential
+  restrictions, ontologies (OWL's class-hierarchy fragment);
+* :mod:`repro.ontology.reasoner` — structural-subsumption reasoning with
+  three classification strategies (the paper's Fig. 2 compares three
+  reasoners);
+* :mod:`repro.ontology.taxonomy` — the classified hierarchy with the
+  level-counting ``distance`` function of §2.3;
+* :mod:`repro.ontology.owl_xml` — an OWL-flavoured XML codec so parse time
+  is a real, measurable phase (Figs. 2, 7, 8);
+* :mod:`repro.ontology.generator` — synthetic ontologies (e.g. the
+  99-class / 39-property ontology of §2.4);
+* :mod:`repro.ontology.registry` — URI-addressed ontology store with
+  versioning, backing the code tables of §3.2.
+"""
+
+from repro.ontology.model import (
+    Concept,
+    ObjectProperty,
+    Ontology,
+    OntologyError,
+    Restriction,
+    THING,
+)
+from repro.ontology.reasoner import (
+    ClassificationStrategy,
+    Reasoner,
+    StructuralSubsumption,
+)
+from repro.ontology.taxonomy import Taxonomy
+from repro.ontology.registry import OntologyRegistry
+
+__all__ = [
+    "Concept",
+    "ObjectProperty",
+    "Ontology",
+    "OntologyError",
+    "Restriction",
+    "THING",
+    "ClassificationStrategy",
+    "Reasoner",
+    "StructuralSubsumption",
+    "Taxonomy",
+    "OntologyRegistry",
+]

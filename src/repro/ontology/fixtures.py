@@ -1,0 +1,179 @@
+"""Hand-crafted pervasive-computing ontologies.
+
+The paper's motivating environment is the networked home/office populated
+with heterogeneous devices (§1, §2.2's home example).  The synthetic
+generator produces statistically shaped ontologies; this module provides a
+*meaningful* suite for examples, documentation and ground-truth tests:
+
+* **devices** — device taxonomy with *defined* concepts exercising real
+  inference (e.g. ``ColorPrinter ≡ Printer ⊓ ∃supports.ColorOutput``, so
+  any printer asserting that restriction classifies under it);
+* **documents** — printable/renderable artefact types and formats;
+* **places** — rooms and zones of a smart building;
+* **office services** — service categories (print, scan, display, ...).
+
+All concepts of one ontology stay in its namespace (the suite is loaded
+together for classification, like the paper's 22 ontologies).
+"""
+
+from __future__ import annotations
+
+from repro.ontology.model import Ontology, Restriction
+from repro.util.ids import join_namespace
+
+BASE = "http://repro.example.org/office"
+
+DEVICES = f"{BASE}/devices"
+DOCUMENTS = f"{BASE}/documents"
+PLACES = f"{BASE}/places"
+SERVICES = f"{BASE}/services"
+
+
+def device(name: str) -> str:
+    """Concept URI in the devices ontology."""
+    return join_namespace(DEVICES, name)
+
+
+def document(name: str) -> str:
+    """Concept URI in the documents ontology."""
+    return join_namespace(DOCUMENTS, name)
+
+
+def place(name: str) -> str:
+    """Concept URI in the places ontology."""
+    return join_namespace(PLACES, name)
+
+
+def service(name: str) -> str:
+    """Concept URI in the office-services ontology."""
+    return join_namespace(SERVICES, name)
+
+
+def devices_ontology() -> Ontology:
+    """Device taxonomy with inferred printer/display classes."""
+    onto = Ontology(uri=DEVICES, version="1")
+    d = device
+    onto.object_property(d("supports"))
+    onto.object_property(d("locatedIn"))
+    onto.object_property(d("renders"), parents=(d("supports"),))
+
+    onto.concept(d("Capability_"), label="DeviceCapability")
+    onto.concept(d("ColorOutput"), parents=(d("Capability_"),))
+    onto.concept(d("DuplexOutput"), parents=(d("Capability_"),))
+    onto.concept(d("HighResolution"), parents=(d("Capability_"),))
+    onto.concept(d("AudioOutput"), parents=(d("Capability_"),))
+
+    onto.concept(d("Device"))
+    onto.concept(d("OutputDevice"), parents=(d("Device"),))
+    onto.concept(d("InputDevice"), parents=(d("Device"),))
+
+    onto.concept(d("Printer"), parents=(d("OutputDevice"),))
+    onto.concept(
+        d("LaserPrinter"),
+        parents=(d("Printer"),),
+        restrictions=(Restriction(d("supports"), d("DuplexOutput")),),
+    )
+    onto.concept(
+        d("InkjetPrinter"),
+        parents=(d("Printer"),),
+        restrictions=(Restriction(d("supports"), d("ColorOutput")),),
+    )
+    # Defined: anything that is a Printer supporting colour IS a
+    # ColorPrinter — InkjetPrinter must classify under it by inference.
+    onto.concept(
+        d("ColorPrinter"),
+        parents=(d("Printer"),),
+        restrictions=(Restriction(d("supports"), d("ColorOutput")),),
+        defined=True,
+    )
+
+    onto.concept(d("Display"), parents=(d("OutputDevice"),))
+    onto.concept(
+        d("Projector"),
+        parents=(d("Display"),),
+        restrictions=(Restriction(d("supports"), d("HighResolution")),),
+    )
+    onto.concept(d("Monitor"), parents=(d("Display"),))
+    onto.concept(
+        d("HiResDisplay"),
+        parents=(d("Display"),),
+        restrictions=(Restriction(d("supports"), d("HighResolution")),),
+        defined=True,
+    )
+    onto.concept(d("Speaker"), parents=(d("OutputDevice"),),
+                 restrictions=(Restriction(d("supports"), d("AudioOutput")),))
+
+    onto.concept(d("Scanner"), parents=(d("InputDevice"),))
+    onto.concept(d("Camera"), parents=(d("InputDevice"),))
+    onto.concept(d("Sensor"), parents=(d("InputDevice"),))
+    onto.concept(d("MotionSensor"), parents=(d("Sensor"),))
+    onto.concept(d("TemperatureSensor"), parents=(d("Sensor"),))
+    onto.validate()
+    return onto
+
+
+def documents_ontology() -> Ontology:
+    """Artefact types services consume and produce."""
+    onto = Ontology(uri=DOCUMENTS, version="1")
+    c = document
+    onto.object_property(c("encodedAs"))
+    onto.concept(c("Artefact"))
+    onto.concept(c("Document"), parents=(c("Artefact"),))
+    onto.concept(c("TextDocument"), parents=(c("Document"),))
+    onto.concept(c("Spreadsheet"), parents=(c("Document"),))
+    onto.concept(c("Presentation"), parents=(c("Document"),))
+    onto.concept(c("Invoice"), parents=(c("TextDocument"),))
+    onto.concept(c("Report"), parents=(c("TextDocument"),))
+    onto.concept(c("Image"), parents=(c("Artefact"),))
+    onto.concept(c("Photo"), parents=(c("Image"),))
+    onto.concept(c("Diagram"), parents=(c("Image"),))
+    onto.concept(c("PrintJob"))
+    onto.concept(c("PrintReceipt"))
+    onto.concept(c("Format"))
+    onto.concept(c("Pdf"), parents=(c("Format"),))
+    onto.concept(c("PostScript"), parents=(c("Format"),))
+    onto.concept(c("Jpeg"), parents=(c("Format"),))
+    onto.validate()
+    return onto
+
+
+def places_ontology() -> Ontology:
+    """Where devices and people are."""
+    onto = Ontology(uri=PLACES, version="1")
+    p = place
+    onto.concept(p("Place"))
+    onto.concept(p("Building"), parents=(p("Place"),))
+    onto.concept(p("Zone"), parents=(p("Place"),))
+    onto.concept(p("Room"), parents=(p("Zone"),))
+    onto.concept(p("MeetingRoom"), parents=(p("Room"),))
+    onto.concept(p("Office"), parents=(p("Room"),))
+    onto.concept(p("OpenSpace"), parents=(p("Zone"),))
+    onto.concept(p("PrinterCorner"), parents=(p("Zone"),))
+    onto.validate()
+    return onto
+
+
+def office_services_ontology() -> Ontology:
+    """Service categories of the office environment."""
+    onto = Ontology(uri=SERVICES, version="1")
+    s = service
+    onto.concept(s("OfficeService"))
+    onto.concept(s("PrintService"), parents=(s("OfficeService"),))
+    onto.concept(s("ColorPrintService"), parents=(s("PrintService"),))
+    onto.concept(s("ScanService"), parents=(s("OfficeService"),))
+    onto.concept(s("DisplayService"), parents=(s("OfficeService"),))
+    onto.concept(s("ProjectionService"), parents=(s("DisplayService"),))
+    onto.concept(s("ConversionService"), parents=(s("OfficeService"),))
+    onto.concept(s("StorageService"), parents=(s("OfficeService"),))
+    onto.validate()
+    return onto
+
+
+def office_suite() -> list[Ontology]:
+    """The full hand-crafted suite (devices, documents, places, services)."""
+    return [
+        devices_ontology(),
+        documents_ontology(),
+        places_ontology(),
+        office_services_ontology(),
+    ]

@@ -1,0 +1,190 @@
+"""Synthetic ontology generation for workloads and benchmarks.
+
+The paper's experiments use concrete ontologies we do not have: §2.4 uses
+"an ontology containing 99 OWL classes and 39 properties", §5 uses "22
+different ontologies".  This module generates random — but seeded, hence
+reproducible — ontologies with controlled shape so every experiment can be
+regenerated:
+
+* a concept forest with configurable depth and branching;
+* a property hierarchy;
+* a configurable fraction of *defined* concepts (conjunctions with
+  restrictions), which is what makes classification do real inference work
+  (Fig. 2's dominant phase);
+* the :func:`media_home_ontologies` fixture reproduces the two ontologies
+  of the paper's Fig. 1 (digital resources and servers) exactly, for
+  examples and ground-truth tests.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.ontology.model import Ontology, Restriction
+from repro.util.ids import join_namespace
+
+
+@dataclass(frozen=True)
+class OntologyShape:
+    """Shape parameters for :func:`generate_ontology`.
+
+    Args:
+        concepts: number of named concepts (paper §2.4: 99).
+        properties: number of object properties (paper §2.4: 39).
+        max_branching: maximum children attached under one parent while
+            growing the told tree.
+        multi_parent_fraction: fraction of concepts receiving a second told
+            parent (turns the tree into a DAG).
+        defined_fraction: fraction of concepts that are *defined* with an
+            extra restriction (drives inference work).
+        restriction_fraction: fraction of primitive concepts that carry a
+            told restriction (provides entailment targets).
+    """
+
+    concepts: int = 99
+    properties: int = 39
+    max_branching: int = 4
+    multi_parent_fraction: float = 0.1
+    defined_fraction: float = 0.15
+    restriction_fraction: float = 0.25
+
+
+#: The shape used by the paper's reasoner-cost experiment (§2.4).
+PAPER_REASONER_SHAPE = OntologyShape(concepts=99, properties=39)
+
+
+def generate_ontology(
+    uri: str,
+    shape: OntologyShape = OntologyShape(),
+    seed: int = 0,
+    version: str = "1",
+) -> Ontology:
+    """Generate a random ontology with the given shape.
+
+    The told hierarchy is grown as a random tree under a handful of root
+    concepts, then a fraction of nodes gain a second parent, restrictions
+    and definitions.  Deterministic for a given ``(uri, shape, seed)``.
+
+    Raises:
+        ValueError: if the shape asks for fewer than 1 concept.
+    """
+    if shape.concepts < 1:
+        raise ValueError(f"shape.concepts must be >= 1, got {shape.concepts}")
+    # Seed from a *stable* hash of the URI: the built-in hash() is salted
+    # per process (PYTHONHASHSEED), which would make "deterministic"
+    # ontologies differ between runs.
+    uri_hash = zlib.crc32(uri.encode("utf-8"))
+    rng = random.Random(uri_hash ^ seed)
+    onto = Ontology(uri=uri, version=version)
+
+    # --- property hierarchy -------------------------------------------
+    prop_uris: list[str] = []
+    for i in range(shape.properties):
+        puri = join_namespace(uri, f"prop{i}")
+        parents: tuple[str, ...] = ()
+        if prop_uris and rng.random() < 0.5:
+            parents = (rng.choice(prop_uris),)
+        onto.object_property(puri, parents=parents)
+        prop_uris.append(puri)
+
+    # --- concept tree --------------------------------------------------
+    concept_uris: list[str] = []
+    children_count: dict[str, int] = {}
+    for i in range(shape.concepts):
+        curi = join_namespace(uri, f"C{i}")
+        attachable = [c for c in concept_uris if children_count[c] < shape.max_branching]
+        if attachable and rng.random() > 0.08:  # ~8% extra roots
+            parent = rng.choice(attachable)
+            parents = [parent]
+            children_count[parent] += 1
+        else:
+            parents = []
+        # Second parent (DAG edge) — must come from earlier concepts to keep
+        # the told hierarchy acyclic.
+        if parents and len(concept_uris) > 1 and rng.random() < shape.multi_parent_fraction:
+            second = rng.choice(concept_uris)
+            if second not in parents and second != curi:
+                parents.append(second)
+        restrictions: list[Restriction] = []
+        defined = False
+        if prop_uris and concept_uris:
+            if rng.random() < shape.defined_fraction:
+                defined = True
+                restrictions.append(
+                    Restriction(prop=rng.choice(prop_uris), filler=rng.choice(concept_uris))
+                )
+            elif rng.random() < shape.restriction_fraction:
+                restrictions.append(
+                    Restriction(prop=rng.choice(prop_uris), filler=rng.choice(concept_uris))
+                )
+        onto.concept(
+            curi,
+            parents=tuple(parents),
+            restrictions=tuple(restrictions),
+            defined=defined,
+            label=f"C{i}",
+        )
+        concept_uris.append(curi)
+        children_count[curi] = 0
+
+    onto.validate()
+    return onto
+
+
+def generate_ontology_suite(
+    count: int = 22,
+    shape: OntologyShape = OntologyShape(concepts=40, properties=10),
+    seed: int = 0,
+    namespace: str = "http://repro.example.org/onto",
+) -> list[Ontology]:
+    """Generate the paper's §5 setting: a suite of distinct ontologies.
+
+    The paper's directory experiments use 22 different ontologies; each
+    ontology in the suite gets its own URI and an independent seed.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [
+        generate_ontology(f"{namespace}/{i}", shape=shape, seed=seed * 1_000_003 + i)
+        for i in range(count)
+    ]
+
+
+def media_home_ontologies(
+    namespace: str = "http://repro.example.org/media",
+) -> tuple[Ontology, Ontology]:
+    """The two ontologies of the paper's Fig. 1, verbatim.
+
+    Returns ``(resources, servers)``:
+
+    * *resources*: ``DigitalResource`` with children ``VideoResource``,
+      ``SoundResource`` and ``GameResource``, plus ``Stream``; the worked
+      example relies on ``d(DigitalResource, VideoResource) = 1``.
+    * *servers*: ``Server`` over ``DigitalServer`` over ``VideoServer`` /
+      ``GameServer`` / ``SoundServer``; the example match
+      ``Match(SendDigitalStream, GetVideoStream)`` scores a total semantic
+      distance of 3 using these levels.
+    """
+    resources = Ontology(uri=f"{namespace}/resources", version="1")
+    r = lambda name: join_namespace(resources.uri, name)  # noqa: E731
+    resources.concept(r("Resource"))
+    resources.concept(r("DigitalResource"), parents=(r("Resource"),))
+    resources.concept(r("VideoResource"), parents=(r("DigitalResource"),))
+    resources.concept(r("SoundResource"), parents=(r("DigitalResource"),))
+    resources.concept(r("GameResource"), parents=(r("DigitalResource"),))
+    resources.concept(r("Stream"))
+    resources.concept(r("VideoStream"), parents=(r("Stream"),))
+    resources.concept(r("Title"))
+    resources.validate()
+
+    servers = Ontology(uri=f"{namespace}/servers", version="1")
+    s = lambda name: join_namespace(servers.uri, name)  # noqa: E731
+    servers.concept(s("Server"))
+    servers.concept(s("DigitalServer"), parents=(s("Server"),))
+    servers.concept(s("VideoServer"), parents=(s("DigitalServer"),))
+    servers.concept(s("GameServer"), parents=(s("DigitalServer"),))
+    servers.concept(s("SoundServer"), parents=(s("DigitalServer"),))
+    servers.validate()
+    return resources, servers

@@ -1,0 +1,319 @@
+"""Ontology model: concepts, properties, restrictions, ontologies.
+
+The paper's matching relation (§2.3) only needs the class-hierarchy
+fragment of OWL: named concepts organized by subsumption, object properties
+with their own hierarchy, and concept definitions built from conjunctions
+of named concepts and existential restrictions (``∃p.C``).  This module
+models exactly that fragment:
+
+* a **primitive** concept is subsumed only by its told ancestors;
+* a **defined** concept is *equivalent* to the conjunction of its told
+  parents and restrictions, so the reasoner may infer that other concepts
+  fall under it (this is what makes classification non-trivial and gives
+  Fig. 2 its "load and classify dominates" shape).
+
+All entities are identified by absolute URIs; instances are immutable so
+they can be shared freely between directories and the network simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.ids import validate_uri
+
+#: URI of the universal concept (the root of every classified hierarchy).
+THING = "http://www.w3.org/2002/07/owl#Thing"
+
+
+class OntologyError(ValueError):
+    """Raised for structurally invalid ontologies (unknown references, cycles
+    in told parents where forbidden, duplicate definitions)."""
+
+
+@dataclass(frozen=True)
+class Restriction:
+    """An existential restriction ``∃ prop . filler``.
+
+    Args:
+        prop: URI of the object property being restricted.
+        filler: URI of the concept the property value must belong to.
+    """
+
+    prop: str
+    filler: str
+
+    def __post_init__(self) -> None:
+        validate_uri(self.prop)
+        validate_uri(self.filler)
+
+    def __repr__(self) -> str:
+        return f"Restriction(∃{self.prop}.{self.filler})"
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A named concept (OWL class).
+
+    Args:
+        uri: absolute URI identifying the concept.
+        parents: told (asserted) named superconcepts.  An empty tuple means
+            the concept sits directly under ``owl:Thing``.
+        restrictions: told existential restrictions the concept satisfies.
+        defined: when True the concept is *defined* — equivalent to the
+            conjunction of ``parents`` and ``restrictions`` — so subsumption
+            of other concepts under it can be inferred.  When False the
+            concept is primitive: the conjunction is necessary, not
+            sufficient.
+        label: optional human-readable name (defaults to the URI fragment).
+    """
+
+    uri: str
+    parents: tuple[str, ...] = ()
+    restrictions: tuple[Restriction, ...] = ()
+    defined: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        validate_uri(self.uri)
+        for parent in self.parents:
+            validate_uri(parent)
+        if self.uri in self.parents:
+            raise OntologyError(f"concept {self.uri} lists itself as a parent")
+
+    def __repr__(self) -> str:
+        kind = "defined" if self.defined else "primitive"
+        return f"Concept({self.uri}, {kind}, parents={len(self.parents)}, restr={len(self.restrictions)})"
+
+
+@dataclass(frozen=True)
+class ObjectProperty:
+    """An object property (role) with its own told hierarchy.
+
+    Args:
+        uri: absolute URI identifying the property.
+        parents: told super-properties.
+        domain: optional concept URI constraining subjects (informational).
+        range: optional concept URI constraining values (informational).
+    """
+
+    uri: str
+    parents: tuple[str, ...] = ()
+    domain: str | None = None
+    range: str | None = None
+
+    def __post_init__(self) -> None:
+        validate_uri(self.uri)
+        for parent in self.parents:
+            validate_uri(parent)
+        if self.uri in self.parents:
+            raise OntologyError(f"property {self.uri} lists itself as a parent")
+
+
+@dataclass
+class Ontology:
+    """A set of concepts and properties under one namespace URI.
+
+    The ontology is a *told* structure: it records asserted axioms only.
+    Inferred subsumption (classification) is the reasoner's job
+    (:mod:`repro.ontology.reasoner`), producing a
+    :class:`repro.ontology.taxonomy.Taxonomy`.
+
+    Args:
+        uri: the ontology's identifying URI (its "namespace").
+        version: monotonically meaningful version tag; code tables embed it
+            so stale interval codes are detectable (§3.2).
+    """
+
+    uri: str
+    version: str = "1"
+    concepts: dict[str, Concept] = field(default_factory=dict)
+    properties: dict[str, ObjectProperty] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validate_uri(self.uri)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_concept(self, concept: Concept) -> Concept:
+        """Add a concept; duplicate URIs are rejected.
+
+        Raises:
+            OntologyError: if a concept with the same URI already exists.
+        """
+        if concept.uri in self.concepts:
+            raise OntologyError(f"duplicate concept {concept.uri} in {self.uri}")
+        self.concepts[concept.uri] = concept
+        return concept
+
+    def add_property(self, prop: ObjectProperty) -> ObjectProperty:
+        """Add an object property; duplicate URIs are rejected.
+
+        Raises:
+            OntologyError: if a property with the same URI already exists.
+        """
+        if prop.uri in self.properties:
+            raise OntologyError(f"duplicate property {prop.uri} in {self.uri}")
+        self.properties[prop.uri] = prop
+        return prop
+
+    def concept(
+        self,
+        uri: str,
+        parents: tuple[str, ...] | list[str] = (),
+        restrictions: tuple[Restriction, ...] | list[Restriction] = (),
+        defined: bool = False,
+        label: str = "",
+    ) -> Concept:
+        """Convenience builder: create and add a :class:`Concept`."""
+        return self.add_concept(
+            Concept(
+                uri=uri,
+                parents=tuple(parents),
+                restrictions=tuple(restrictions),
+                defined=defined,
+                label=label,
+            )
+        )
+
+    def object_property(
+        self,
+        uri: str,
+        parents: tuple[str, ...] | list[str] = (),
+        domain: str | None = None,
+        range: str | None = None,
+    ) -> ObjectProperty:
+        """Convenience builder: create and add an :class:`ObjectProperty`."""
+        return self.add_property(
+            ObjectProperty(uri=uri, parents=tuple(parents), domain=domain, range=range)
+        )
+
+    # ------------------------------------------------------------------
+    # Validation and told-hierarchy queries
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check referential integrity of the told structure.
+
+        Every parent, restriction property and restriction filler must be a
+        known URI (``owl:Thing`` is implicitly known), and the told parent
+        relations of both concepts and properties must be acyclic —
+        equivalence between named concepts is expressed with ``defined``
+        concepts, not with told cycles.
+
+        Raises:
+            OntologyError: on any dangling reference or told cycle.
+        """
+        for concept in self.concepts.values():
+            for parent in concept.parents:
+                if parent != THING and parent not in self.concepts:
+                    raise OntologyError(
+                        f"concept {concept.uri} references unknown parent {parent}"
+                    )
+            for restriction in concept.restrictions:
+                if restriction.prop not in self.properties:
+                    raise OntologyError(
+                        f"concept {concept.uri} restricts unknown property {restriction.prop}"
+                    )
+                if restriction.filler != THING and restriction.filler not in self.concepts:
+                    raise OntologyError(
+                        f"concept {concept.uri} references unknown filler {restriction.filler}"
+                    )
+        for prop in self.properties.values():
+            for parent in prop.parents:
+                if parent not in self.properties:
+                    raise OntologyError(
+                        f"property {prop.uri} references unknown parent {parent}"
+                    )
+        self._check_acyclic(
+            {uri: [p for p in c.parents if p != THING] for uri, c in self.concepts.items()},
+            "concept",
+        )
+        self._check_acyclic({uri: list(p.parents) for uri, p in self.properties.items()}, "property")
+
+    @staticmethod
+    def _check_acyclic(edges: dict[str, list[str]], kind: str) -> None:
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = dict.fromkeys(edges, WHITE)
+        for start in edges:
+            if color[start] != WHITE:
+                continue
+            stack: list[tuple[str, int]] = [(start, 0)]
+            color[start] = GREY
+            while stack:
+                node, idx = stack[-1]
+                children = edges[node]
+                if idx < len(children):
+                    stack[-1] = (node, idx + 1)
+                    child = children[idx]
+                    state = color.get(child, BLACK)
+                    if state == GREY:
+                        raise OntologyError(f"told {kind} hierarchy has a cycle through {child}")
+                    if state == WHITE:
+                        color[child] = GREY
+                        stack.append((child, 0))
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+
+    def told_concept_ancestors(self, uri: str) -> frozenset[str]:
+        """Transitive told superconcepts of ``uri`` (exclusive of itself).
+
+        ``owl:Thing`` is always included.  Unknown URIs raise ``KeyError``.
+        """
+        if uri != THING and uri not in self.concepts:
+            raise KeyError(uri)
+        result: set[str] = {THING}
+        stack = [p for p in self.concepts[uri].parents] if uri != THING else []
+        while stack:
+            parent = stack.pop()
+            if parent in result or parent == THING:
+                result.add(parent)
+                continue
+            result.add(parent)
+            stack.extend(self.concepts[parent].parents)
+        return frozenset(result)
+
+    def told_property_ancestors(self, uri: str) -> frozenset[str]:
+        """Transitive told super-properties of ``uri`` (inclusive of itself)."""
+        if uri not in self.properties:
+            raise KeyError(uri)
+        result: set[str] = set()
+        stack = [uri]
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            result.add(current)
+            stack.extend(self.properties[current].parents)
+        return frozenset(result)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, uri: str) -> bool:
+        return uri == THING or uri in self.concepts
+
+    def __len__(self) -> int:
+        return len(self.concepts)
+
+    def stats(self) -> dict[str, int]:
+        """Size summary: concept, property, restriction and axiom counts."""
+        restriction_count = sum(len(c.restrictions) for c in self.concepts.values())
+        axiom_count = (
+            sum(len(c.parents) for c in self.concepts.values())
+            + restriction_count
+            + sum(len(p.parents) for p in self.properties.values())
+        )
+        return {
+            "concepts": len(self.concepts),
+            "properties": len(self.properties),
+            "restrictions": restriction_count,
+            "axioms": axiom_count,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Ontology({self.uri!r}, v{self.version}, "
+            f"{len(self.concepts)} concepts, {len(self.properties)} properties)"
+        )

@@ -1,0 +1,115 @@
+"""OWL-flavoured XML serialization and parsing of ontologies.
+
+The paper's measurements repeatedly single out XML parsing as a real cost
+("the time to create the graphs is negligible compared to the time to
+parse service descriptions, i.e., XML parsing time, which is mandatory due
+to the use of Web services and Semantic Web technologies" — §5).  To keep
+that phase honest, ontologies and service descriptions in this
+reproduction are exchanged as actual XML documents and parsed with
+``xml.etree.ElementTree``.
+
+The dialect mirrors OWL's RDF/XML structure without pulling in an RDF
+stack: one ``<Ontology>`` root, ``<Class>`` elements with
+``<subClassOf>`` references and ``<Restriction>`` children, and
+``<ObjectProperty>`` elements with ``<subPropertyOf>`` references.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.ontology.model import Concept, ObjectProperty, Ontology, Restriction
+
+
+class OwlSyntaxError(ValueError):
+    """Raised when an ontology document is malformed."""
+
+
+def ontology_to_xml(onto: Ontology) -> str:
+    """Serialize an ontology to its XML document form."""
+    root = ET.Element("Ontology", {"uri": onto.uri, "version": onto.version})
+    for prop in onto.properties.values():
+        el = ET.SubElement(root, "ObjectProperty", {"uri": prop.uri})
+        for parent in prop.parents:
+            ET.SubElement(el, "subPropertyOf", {"resource": parent})
+        if prop.domain:
+            ET.SubElement(el, "domain", {"resource": prop.domain})
+        if prop.range:
+            ET.SubElement(el, "range", {"resource": prop.range})
+    for concept in onto.concepts.values():
+        attrs = {"uri": concept.uri}
+        if concept.defined:
+            attrs["defined"] = "true"
+        if concept.label:
+            attrs["label"] = concept.label
+        el = ET.SubElement(root, "Class", attrs)
+        for parent in concept.parents:
+            ET.SubElement(el, "subClassOf", {"resource": parent})
+        for restriction in concept.restrictions:
+            ET.SubElement(
+                el,
+                "Restriction",
+                {"onProperty": restriction.prop, "someValuesFrom": restriction.filler},
+            )
+    return ET.tostring(root, encoding="unicode")
+
+
+def _require(el: ET.Element, attr: str) -> str:
+    value = el.get(attr)
+    if not value:
+        raise OwlSyntaxError(f"<{el.tag}> is missing required attribute {attr!r}")
+    return value
+
+
+def ontology_from_xml(document: str) -> Ontology:
+    """Parse an XML document produced by :func:`ontology_to_xml`.
+
+    Raises:
+        OwlSyntaxError: on malformed XML or missing required attributes.
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise OwlSyntaxError(f"not well-formed XML: {exc}") from exc
+    if root.tag != "Ontology":
+        raise OwlSyntaxError(f"expected <Ontology> root, got <{root.tag}>")
+    onto = Ontology(uri=_require(root, "uri"), version=root.get("version", "1"))
+    for el in root:
+        if el.tag == "ObjectProperty":
+            onto.add_property(
+                ObjectProperty(
+                    uri=_require(el, "uri"),
+                    parents=tuple(
+                        _require(sub, "resource") for sub in el if sub.tag == "subPropertyOf"
+                    ),
+                    domain=next(
+                        (_require(sub, "resource") for sub in el if sub.tag == "domain"), None
+                    ),
+                    range=next(
+                        (_require(sub, "resource") for sub in el if sub.tag == "range"), None
+                    ),
+                )
+            )
+        elif el.tag == "Class":
+            onto.add_concept(
+                Concept(
+                    uri=_require(el, "uri"),
+                    parents=tuple(
+                        _require(sub, "resource") for sub in el if sub.tag == "subClassOf"
+                    ),
+                    restrictions=tuple(
+                        Restriction(
+                            prop=_require(sub, "onProperty"),
+                            filler=_require(sub, "someValuesFrom"),
+                        )
+                        for sub in el
+                        if sub.tag == "Restriction"
+                    ),
+                    defined=el.get("defined", "false").lower() == "true",
+                    label=el.get("label", ""),
+                )
+            )
+        else:
+            raise OwlSyntaxError(f"unexpected element <{el.tag}> in <Ontology>")
+    onto.validate()
+    return onto

@@ -1,0 +1,96 @@
+"""Ontology registry: URI-addressed storage with snapshot versioning.
+
+Directories and code tables (§3.2) need a shared notion of "the ontologies
+currently in force" plus a way to detect that interval codes were computed
+against an outdated snapshot ("service advertisements and service requests
+specify the version of the codes being used" — §3.2).  The registry tracks
+a monotonically increasing snapshot version that bumps whenever an ontology
+is added, replaced or removed.
+"""
+
+from __future__ import annotations
+
+from repro.ontology.model import Ontology
+
+
+class UnknownOntologyError(KeyError):
+    """Raised when a URI names no registered ontology."""
+
+
+class OntologyRegistry:
+    """A mutable set of ontologies keyed by URI with a snapshot version."""
+
+    def __init__(self, ontologies: list[Ontology] | None = None) -> None:
+        self._ontologies: dict[str, Ontology] = {}
+        self._snapshot = 0
+        for onto in ontologies or []:
+            self.register(onto)
+
+    @property
+    def snapshot_version(self) -> int:
+        """Monotonic counter; bumps on every mutation."""
+        return self._snapshot
+
+    def register(self, onto: Ontology) -> None:
+        """Add or replace an ontology (validated first); bumps the snapshot."""
+        onto.validate()
+        self._ontologies[onto.uri] = onto
+        self._snapshot += 1
+
+    def remove(self, uri: str) -> None:
+        """Remove an ontology; bumps the snapshot.
+
+        Raises:
+            UnknownOntologyError: if ``uri`` is not registered.
+        """
+        if uri not in self._ontologies:
+            raise UnknownOntologyError(uri)
+        del self._ontologies[uri]
+        self._snapshot += 1
+
+    def get(self, uri: str) -> Ontology:
+        """Return the ontology registered under ``uri``.
+
+        Raises:
+            UnknownOntologyError: if ``uri`` is not registered.
+        """
+        try:
+            return self._ontologies[uri]
+        except KeyError:
+            raise UnknownOntologyError(uri) from None
+
+    def get_many(self, uris: list[str] | frozenset[str]) -> list[Ontology]:
+        """Return ontologies for all ``uris`` (sorted by URI for determinism).
+
+        Raises:
+            UnknownOntologyError: if any URI is not registered.
+        """
+        return [self.get(uri) for uri in sorted(uris)]
+
+    def uris(self) -> list[str]:
+        """All registered ontology URIs."""
+        return list(self._ontologies)
+
+    def all(self) -> list[Ontology]:
+        """All registered ontologies."""
+        return list(self._ontologies.values())
+
+    def owner_of(self, concept_uri: str) -> Ontology:
+        """Find the ontology defining ``concept_uri``.
+
+        Raises:
+            UnknownOntologyError: if no registered ontology defines it.
+        """
+        for onto in self._ontologies.values():
+            if concept_uri in onto.concepts:
+                return onto
+        raise UnknownOntologyError(concept_uri)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._ontologies
+
+    def __len__(self) -> int:
+        return len(self._ontologies)
+
+    def __repr__(self) -> str:
+        return f"OntologyRegistry({len(self)} ontologies, snapshot={self._snapshot})"

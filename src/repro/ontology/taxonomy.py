@@ -1,0 +1,242 @@
+"""Classified concept hierarchies and the paper's ``distance`` function.
+
+A :class:`Taxonomy` is the output of classification ("semantic reasoning on
+ontology specifications" — paper footnote 9): a directed acyclic graph of
+*inferred* subsumption between named concepts, with equivalent concepts
+merged into a single node.  It supports the two queries the matching
+machinery needs:
+
+* ``subsumes(a, b)`` — does ``a`` subsume ``b`` in the classified
+  hierarchy;
+* ``distance(a, b)`` — the paper's ``d(concept1, concept2)`` (§2.3): the
+  number of levels separating ``a`` from ``b`` when ``a`` subsumes ``b``
+  (0 for equivalent concepts), and ``None`` otherwise.
+
+"Number of levels" is implemented as the length of the shortest directed
+path in the transitive reduction of the classified hierarchy, which matches
+the paper's worked example (Fig. 1: ``d(DigitalResource, VideoResource)=1``
+contributes to a total distance of 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.ontology.model import THING
+
+
+class Taxonomy:
+    """An immutable classified hierarchy over one or more ontologies.
+
+    Construct via :meth:`from_subsumptions` (the reasoner does this) with
+    the full inferred subsumption relation; the constructor computes
+    equivalence classes, the transitive reduction, per-node depths and
+    ancestor sets for O(1) subsumption queries.
+    """
+
+    def __init__(
+        self,
+        canonical: dict[str, str],
+        members: dict[str, frozenset[str]],
+        parents: dict[str, frozenset[str]],
+        children: dict[str, frozenset[str]],
+        ancestors: dict[str, frozenset[str]],
+        depth: dict[str, int],
+    ) -> None:
+        self._canonical = canonical
+        self._members = members
+        self._parents = parents
+        self._children = children
+        self._ancestors = ancestors
+        self._depth = depth
+        self._distance_cache: dict[tuple[str, str], int | None] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_subsumptions(
+        cls, concepts: list[str], subsumers: dict[str, set[str]]
+    ) -> "Taxonomy":
+        """Build a taxonomy from the full subsumption relation.
+
+        Args:
+            concepts: every named concept URI (``owl:Thing`` is implicit).
+            subsumers: maps each concept to the set of concepts that
+                subsume it, *excluding* itself and ``owl:Thing`` (both are
+                implied).  The relation must already be transitively closed
+                — reasoners produce it that way.
+        """
+        all_uris = list(dict.fromkeys([THING, *concepts]))
+        strict: dict[str, set[str]] = {uri: set() for uri in all_uris}
+        for uri in concepts:
+            for over in subsumers.get(uri, ()):
+                if over != uri and over != THING:
+                    strict[uri].add(over)
+
+        # Equivalence classes: mutual subsumption.  Canonical = first in
+        # deterministic (sorted) order so taxonomies are reproducible.
+        canonical: dict[str, str] = {}
+        members: dict[str, set[str]] = {}
+        for uri in sorted(all_uris):
+            if uri in canonical:
+                continue
+            group = {uri} | {o for o in strict[uri] if uri in strict[o]}
+            canon = min(group)
+            for member in group:
+                canonical[member] = canon
+            members[canon] = group
+        canon_of = canonical.__getitem__
+
+        # Strict ancestors between canonical representatives.
+        ancestors: dict[str, set[str]] = {c: set() for c in members}
+        for uri in concepts:
+            canon = canon_of(uri)
+            for over in strict[uri]:
+                over_c = canon_of(over)
+                if over_c != canon:
+                    ancestors[canon].add(over_c)
+        for canon in members:
+            if canon != THING:
+                ancestors[canon].add(THING)
+        ancestors[THING] = set()
+
+        # Transitive reduction: parent = ancestor not dominated by another
+        # ancestor.  The ancestor sets are transitively closed, so an
+        # ancestor A is a direct parent iff no other ancestor B has A among
+        # *its* ancestors.
+        parents: dict[str, frozenset[str]] = {}
+        children: dict[str, set[str]] = {c: set() for c in members}
+        for canon, ancs in ancestors.items():
+            direct = {
+                a
+                for a in ancs
+                if not any(a in ancestors[b] for b in ancs if b != a)
+            }
+            parents[canon] = frozenset(direct)
+            for parent in direct:
+                children[parent].add(canon)
+
+        # Depth: shortest hop count from owl:Thing along the reduction.
+        depth: dict[str, int] = {THING: 0}
+        queue: deque[str] = deque([THING])
+        while queue:
+            node = queue.popleft()
+            for child in children[node]:
+                if child not in depth:
+                    depth[child] = depth[node] + 1
+                    queue.append(child)
+
+        return cls(
+            canonical=canonical,
+            members={c: frozenset(m) for c, m in members.items()},
+            parents=parents,
+            children={c: frozenset(k) for c, k in children.items()},
+            ancestors={c: frozenset(a) for c, a in ancestors.items()},
+            depth=depth,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._canonical
+
+    def concepts(self) -> list[str]:
+        """All known concept URIs (including equivalence-class members)."""
+        return list(self._canonical)
+
+    def canonical(self, uri: str) -> str:
+        """Canonical representative of ``uri``'s equivalence class."""
+        return self._canonical[uri]
+
+    def equivalents(self, uri: str) -> frozenset[str]:
+        """All concepts equivalent to ``uri`` (including itself)."""
+        return self._members[self._canonical[uri]]
+
+    def parents(self, uri: str) -> frozenset[str]:
+        """Direct subsumers in the transitive reduction (canonical URIs)."""
+        return self._parents[self._canonical[uri]]
+
+    def children(self, uri: str) -> frozenset[str]:
+        """Direct subsumees in the transitive reduction (canonical URIs)."""
+        return self._children[self._canonical[uri]]
+
+    def ancestors(self, uri: str) -> frozenset[str]:
+        """All strict subsumers of ``uri`` (canonical URIs, incl. Thing)."""
+        return self._ancestors[self._canonical[uri]]
+
+    def depth(self, uri: str) -> int:
+        """Shortest-path depth of ``uri`` below ``owl:Thing``."""
+        return self._depth[self._canonical[uri]]
+
+    def subsumes(self, a: str, b: str) -> bool:
+        """True iff ``a`` subsumes ``b`` (reflexively) in the hierarchy.
+
+        Raises:
+            KeyError: if either URI is unknown to this taxonomy.
+        """
+        ca, cb = self._canonical[a], self._canonical[b]
+        return ca == cb or ca in self._ancestors[cb]
+
+    def distance(self, a: str, b: str) -> int | None:
+        """The paper's ``d(a, b)``: levels from ``a`` down to ``b``.
+
+        Returns ``None`` when ``a`` does not subsume ``b`` (the paper's
+        NULL), ``0`` when they are equivalent, and otherwise the length of
+        the shortest directed path from ``a`` to ``b`` in the transitive
+        reduction.
+
+        Raises:
+            KeyError: if either URI is unknown to this taxonomy.
+        """
+        ca, cb = self._canonical[a], self._canonical[b]
+        if ca == cb:
+            return 0
+        key = (ca, cb)
+        if key in self._distance_cache:
+            return self._distance_cache[key]
+        if ca not in self._ancestors[cb]:
+            self._distance_cache[key] = None
+            return None
+        # BFS downward from ``a``; prune branches that are not ancestors of
+        # ``b`` (or ``b`` itself) since they cannot reach it.
+        target_ancestors = self._ancestors[cb]
+        dist = None
+        seen = {ca}
+        queue: deque[tuple[str, int]] = deque([(ca, 0)])
+        while queue:
+            node, d = queue.popleft()
+            if node == cb:
+                dist = d
+                break
+            for child in self._children[node]:
+                if child in seen:
+                    continue
+                if child != cb and child not in target_ancestors:
+                    continue
+                seen.add(child)
+                queue.append((child, d + 1))
+        self._distance_cache[key] = dist
+        return dist
+
+    def roots(self) -> frozenset[str]:
+        """Canonical concepts directly below ``owl:Thing``."""
+        return self._children[THING]
+
+    def leaves(self) -> list[str]:
+        """Canonical concepts with no children."""
+        return [c for c, kids in self._children.items() if not kids]
+
+    def max_depth(self) -> int:
+        """Depth of the deepest concept."""
+        return max(self._depth.values(), default=0)
+
+    def __len__(self) -> int:
+        return len(self._canonical) - 1  # exclude owl:Thing
+
+    def __repr__(self) -> str:
+        return (
+            f"Taxonomy({len(self)} concepts, "
+            f"{len(self._members)} classes, max_depth={self.max_depth()})"
+        )

@@ -1,0 +1,25 @@
+"""Discovery protocols over the simulated network.
+
+* :mod:`repro.protocols.base` — shared directory/client machinery: the
+  backbone of cooperating directories, Bloom-summary exchange, query
+  forwarding (§4 steps 1–6);
+* :mod:`repro.protocols.ariadne` — the syntactic baseline protocol
+  (WSDL conformance matching, keyword summaries);
+* :mod:`repro.protocols.sariadne` — S-Ariadne: semantic directories with
+  encoded matching and capability graphs, ontology-set summaries;
+* :mod:`repro.protocols.deployment` — turn-key deployments used by the
+  examples, integration tests and protocol benchmarks.
+"""
+
+from repro.protocols.ariadne import AriadneClientAgent, AriadneDirectoryAgent
+from repro.protocols.deployment import Deployment, DeploymentConfig
+from repro.protocols.sariadne import SAriadneClientAgent, SAriadneDirectoryAgent
+
+__all__ = [
+    "AriadneClientAgent",
+    "AriadneDirectoryAgent",
+    "SAriadneClientAgent",
+    "SAriadneDirectoryAgent",
+    "Deployment",
+    "DeploymentConfig",
+]

@@ -1,0 +1,55 @@
+"""Ariadne: the syntactic semi-distributed discovery baseline (§5).
+
+Ariadne is the protocol S-Ariadne extends: the same semi-distributed
+architecture (elected directories, Bloom-filter cooperation) but WSDL-based
+syntactic matching locally.  Directory summaries hash the *keywords* of
+cached WSDL descriptions; a request is forwarded to a peer only if all its
+keywords are present in the peer's summary.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import ClientAgentBase, DirectoryAgentBase, ResultRow
+from repro.registry.syntactic import SyntacticRegistry
+from repro.services.wsdl import WsdlRequest
+from repro.services.xml_codec import ServiceSyntaxError, wsdl_from_xml
+from repro.util.bloom import BloomFilter
+
+
+class AriadneDirectoryAgent(DirectoryAgentBase):
+    """A directory running syntactic WSDL matching."""
+
+    def __init__(self, forward_window: float = 1.0, summary_bits: int = 512, summary_hashes: int = 4) -> None:
+        super().__init__(forward_window, summary_bits, summary_hashes)
+        self.registry = SyntacticRegistry()
+
+    def local_publish(self, document: str) -> str:
+        return self.registry.publish_xml(document).uri
+
+    def local_withdraw(self, service_uri: str) -> None:
+        self.registry.unpublish(service_uri)
+
+    def local_query(self, document: str) -> list[ResultRow]:
+        hits = self.registry.query_xml(document)
+        # Syntactic conformance is binary: every hit gets distance 0.
+        return [(description.uri, description.port_type, 0) for description in hits]
+
+    def build_summary(self) -> BloomFilter:
+        bloom = BloomFilter(self.summary_bits, self.summary_hashes)
+        for description in self.registry.descriptions():
+            for keyword in description.keywords:
+                bloom.add(keyword)
+        return bloom
+
+    def summary_admits(self, summary: BloomFilter, document: str) -> bool:
+        try:
+            parsed = wsdl_from_xml(document)
+        except ServiceSyntaxError:
+            return False
+        if not isinstance(parsed, WsdlRequest) or not parsed.keywords:
+            return True  # nothing to preselect on; must forward
+        return all(keyword in summary for keyword in parsed.keywords)
+
+
+class AriadneClientAgent(ClientAgentBase):
+    """A client speaking the syntactic protocol (WSDL documents)."""

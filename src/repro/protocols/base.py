@@ -1,0 +1,480 @@
+"""Shared protocol machinery: directory backbone, forwarding, clients.
+
+Implements the §4 interaction pattern common to Ariadne and S-Ariadne
+(Fig. 6): a client sends its request to the directory of its vicinity
+(step 1); the directory answers from its local cache (step 2); for misses
+it forwards the request to the subset of peer directories whose exchanged
+summaries suggest they may hold relevant advertisements (step 3); remote
+directories answer locally (4) and reply (5); the origin directory merges
+and responds to the client (6).
+
+Concrete protocols plug in three things: how to *match locally*, how to
+*summarize* content, and how to *test* a request against a peer summary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.codes import StaleCodesError
+from repro.network.messages import (
+    CodeRefreshResponse,
+    DirectoryAnnounce,
+    DirectoryHandoff,
+    Envelope,
+    PublishService,
+    QueryRequest,
+    QueryResponse,
+    RemoteQuery,
+    RemoteResponse,
+    SummaryExchange,
+    SummaryRequest,
+    WithdrawService,
+)
+from repro.network.node import ProtocolAgent
+from repro.services.xml_codec import ServiceSyntaxError
+from repro.util.bloom import BloomFilter
+
+#: Hop budget for backbone formation floods (network-wide reach).
+BACKBONE_TTL = 16
+
+ResultRow = tuple[str, str, int]
+
+
+@dataclass
+class PendingQuery:
+    """Book-keeping for a query awaiting remote responses."""
+
+    query_id: int
+    client_id: int
+    results: list[ResultRow] = field(default_factory=list)
+    outstanding: set[int] = field(default_factory=set)
+    concluded: bool = False
+
+
+class DirectoryAgentBase(ProtocolAgent):
+    """A cooperating directory (§4).  Subclasses implement the hooks:
+
+    * :meth:`local_publish` — cache one advertisement document;
+    * :meth:`local_withdraw` — drop a service;
+    * :meth:`local_query` — answer a request document from the cache;
+    * :meth:`build_summary` — Bloom filter over the current content;
+    * :meth:`summary_admits` — does a peer summary admit this request?
+
+    Args:
+        forward_window: how long to wait for remote responses (s).
+        summary_bits / summary_hashes: Bloom parameters for exchange.
+    """
+
+    def __init__(
+        self,
+        forward_window: float = 1.0,
+        summary_bits: int = 512,
+        summary_hashes: int = 4,
+        summary_push_delay: float = 0.5,
+        max_forward_peers: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.forward_window = forward_window
+        #: Cap on peers queried per request; admitted peers are ranked by
+        #: hop distance and remaining battery (§4: "selected according to
+        #: their Bloom filters and additional parameters such as remaining
+        #: battery lifetime and the distance between the respective
+        #: directories").  ``None`` queries every admitted peer.
+        self.max_forward_peers = max_forward_peers
+        #: Disable Bloom preselection entirely (the flood-to-all baseline
+        #: the §4 cooperation scheme improves on; ablation E10b).
+        self.use_summaries = True
+        self.summary_bits = summary_bits
+        self.summary_hashes = summary_hashes
+        self.summary_push_delay = summary_push_delay
+        self.peer_summaries: dict[int, BloomFilter] = {}
+        self.known_peers: set[int] = set()
+        self._pending: dict[int, PendingQuery] = {}
+        self._summary_flush_scheduled = False
+        self._documents_by_service: dict[str, str] = {}
+        self.queries_answered = 0
+        self.queries_forwarded = 0
+        self.publish_errors = 0
+        self.stale_publishes = 0
+        # Reactive summary exchange (§4): track, per peer, how many
+        # forwarded queries came back empty; past the threshold the peer's
+        # summary is treated as stale and re-requested.
+        self.false_positive_threshold = 0.5
+        self.false_positive_min_samples = 5
+        self._peer_forwarded: dict[int, int] = {}
+        self._peer_empty: dict[int, int] = {}
+        self.summary_refreshes_requested = 0
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def local_publish(self, document: str) -> str:
+        """Cache one advertisement document; returns the service URI."""
+        raise NotImplementedError
+
+    def local_withdraw(self, service_uri: str) -> None:
+        """Remove a cached service."""
+        raise NotImplementedError
+
+    def local_query(self, document: str) -> list[ResultRow]:
+        """Answer a request document from the local cache."""
+        raise NotImplementedError
+
+    def build_summary(self) -> BloomFilter:
+        """Bloom summary of the current content."""
+        raise NotImplementedError
+
+    def summary_admits(self, summary: BloomFilter, document: str) -> bool:
+        """Could a directory with ``summary`` hold a match for the request?"""
+        raise NotImplementedError
+
+    def refresh_codes_for(self, document: str) -> CodeRefreshResponse | None:
+        """Fresh interval codes for a stale-coded document (§3.2).
+
+        Semantic directories override this; the syntactic protocol has no
+        codes and returns None (nothing to refresh).
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Backbone membership
+    # ------------------------------------------------------------------
+    def join_backbone(self) -> None:
+        """Announce this directory network-wide and push the first summary.
+
+        Called when the node is promoted to directory (election hook).
+        """
+        self.node.broadcast(
+            DirectoryAnnounce(self.node.node_id, reply_expected=True), ttl=BACKBONE_TTL
+        )
+
+    def _send_summary_to(self, peer_id: int) -> None:
+        bloom = self.build_summary()
+        self.node.unicast(
+            peer_id,
+            SummaryExchange(
+                directory_id=self.node.node_id,
+                bloom_bits=bloom.to_bytes(),
+                bloom_m=bloom.m,
+                bloom_k=bloom.k,
+            ),
+        )
+
+    def broadcast_summary(self) -> None:
+        """Push a fresh summary to every known peer (e.g. after churn)."""
+        for peer_id in sorted(self.known_peers):
+            self._send_summary_to(peer_id)
+
+    def _mark_content_changed(self) -> None:
+        """Debounced summary re-exchange after publish/withdraw: peers must
+        learn about new content or forwarding would filter on stale bits."""
+        if self._summary_flush_scheduled:
+            return
+        self._summary_flush_scheduled = True
+
+        def flush() -> None:
+            self._summary_flush_scheduled = False
+            self.broadcast_summary()
+
+        self.node.network.sim.schedule(self.summary_push_delay, flush)
+
+    def _rank_forward_peers(self, document: str) -> list[int]:
+        """Peers to forward a request to: Bloom-admitted, ranked by hop
+        distance then by remaining battery, capped at
+        :attr:`max_forward_peers`."""
+        network = self.node.network
+        admitted = []
+        for peer_id in sorted(self.known_peers):
+            if self.use_summaries:
+                summary = self.peer_summaries.get(peer_id)
+                if summary is not None and not self.summary_admits(summary, document):
+                    continue
+            path = network.shortest_path(self.node.node_id, peer_id)
+            if path is None:
+                continue
+            battery = network.nodes[peer_id].battery if peer_id in network.nodes else 0.0
+            admitted.append((len(path) - 1, -battery, peer_id))
+        admitted.sort()
+        ranked = [peer_id for _hops, _battery, peer_id in admitted]
+        if self.max_forward_peers is not None:
+            ranked = ranked[: self.max_forward_peers]
+        return ranked
+
+    def _note_false_positive(self, peer_id: int) -> None:
+        """A forwarded query to ``peer_id`` returned nothing: its summary
+        admitted a miss.  Past the threshold, request a fresh summary —
+        the §4 reactive exchange."""
+        self._peer_empty[peer_id] = self._peer_empty.get(peer_id, 0) + 1
+        forwarded = self._peer_forwarded.get(peer_id, 0)
+        empty = self._peer_empty[peer_id]
+        if (
+            forwarded >= self.false_positive_min_samples
+            and empty / forwarded > self.false_positive_threshold
+        ):
+            self._peer_forwarded[peer_id] = 0
+            self._peer_empty[peer_id] = 0
+            self.summary_refreshes_requested += 1
+            self.node.unicast(peer_id, SummaryRequest(requester_directory=self.node.node_id))
+
+    # ------------------------------------------------------------------
+    # Handoff (§5's Fig. 7 scenario: directory leaves, successor hosts)
+    # ------------------------------------------------------------------
+    def cached_documents(self) -> list[str]:
+        """The advertisement documents this directory currently hosts."""
+        return list(self._documents_by_service.values())
+
+    def hand_off_to(self, successor_id: int) -> bool:
+        """Transfer all cached advertisements to a successor directory and
+        empty this one.  Returns False when the successor is unreachable
+        (state is then kept)."""
+        documents = tuple(self._documents_by_service.values())
+        accepted = self.node.unicast(
+            successor_id, DirectoryHandoff(documents=documents, from_directory=self.node.node_id)
+        )
+        if accepted:
+            for service_uri in list(self._documents_by_service):
+                self.local_withdraw(service_uri)
+            self._documents_by_service.clear()
+            self._mark_content_changed()
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Publication plumbing
+    # ------------------------------------------------------------------
+    def _handle_publish(self, source: int, document: str) -> None:
+        try:
+            service_uri = self.local_publish(document)
+        except StaleCodesError:
+            self.stale_publishes += 1
+            refresh = self.refresh_codes_for(document)
+            if refresh is not None:
+                self.node.unicast(source, refresh)
+            return
+        except ServiceSyntaxError:
+            self.publish_errors += 1
+            return
+        self.node.network.record(self.node.node_id, "publish", service_uri)
+        self._documents_by_service[service_uri] = document
+        self._mark_content_changed()
+
+    # ------------------------------------------------------------------
+    # Query orchestration (Fig. 6)
+    # ------------------------------------------------------------------
+    def _handle_client_query(self, client_id: int, query: QueryRequest) -> None:
+        self.node.network.record(
+            self.node.node_id, "query", f"#{query.query_id} from node {client_id}"
+        )
+        local = self.local_query(query.document)  # step 2
+        pending = PendingQuery(query.query_id, client_id, results=list(local))
+        self._pending[query.query_id] = pending
+        if not local:
+            # Step 3: forward to peers whose summaries admit the request,
+            # preferring nearby, well-charged directories (§4).
+            for peer_id in self._rank_forward_peers(query.document):
+                if self.node.unicast(
+                    peer_id,
+                    RemoteQuery(query.query_id, query.document, self.node.node_id),
+                ):
+                    pending.outstanding.add(peer_id)
+                    self.queries_forwarded += 1
+                    self._peer_forwarded[peer_id] = self._peer_forwarded.get(peer_id, 0) + 1
+                    self.node.network.record(
+                        self.node.node_id, "forward", f"#{query.query_id} -> directory {peer_id}"
+                    )
+        if pending.outstanding:
+            self.node.network.sim.schedule(
+                self.forward_window, lambda: self._conclude(query.query_id)
+            )
+        else:
+            self._conclude(query.query_id)
+
+    def _conclude(self, query_id: int) -> None:
+        pending = self._pending.pop(query_id, None)
+        if pending is None or pending.concluded:
+            return
+        pending.concluded = True
+        ranked = sorted(set(pending.results), key=lambda row: (row[2], row[0]))
+        self.queries_answered += 1
+        self.node.network.record(
+            self.node.node_id, "respond", f"#{query_id}: {len(ranked)} result(s)"
+        )
+        self.node.unicast(pending.client_id, QueryResponse(query_id, tuple(ranked)))  # step 6
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, PublishService):
+            self._handle_publish(envelope.source, payload.document)
+        elif isinstance(payload, WithdrawService):
+            self.local_withdraw(payload.service_uri)
+            self._documents_by_service.pop(payload.service_uri, None)
+            self._mark_content_changed()
+        elif isinstance(payload, DirectoryHandoff):
+            for document in payload.documents:
+                self._handle_publish(envelope.source, document)
+        elif isinstance(payload, QueryRequest):
+            self._handle_client_query(envelope.source, payload)
+        elif isinstance(payload, RemoteQuery):
+            results = self.local_query(payload.document)  # step 4
+            self.node.unicast(
+                payload.origin_directory, RemoteResponse(payload.query_id, tuple(results))
+            )  # step 5
+        elif isinstance(payload, RemoteResponse):
+            if not payload.results:
+                self._note_false_positive(envelope.source)
+            pending = self._pending.get(payload.query_id)
+            if pending is not None and not pending.concluded:
+                pending.results.extend(payload.results)
+                pending.outstanding.discard(envelope.source)
+                if not pending.outstanding:
+                    self._conclude(payload.query_id)
+        elif isinstance(payload, SummaryExchange):
+            self.peer_summaries[payload.directory_id] = BloomFilter.from_bytes(
+                payload.bloom_bits, payload.bloom_m, payload.bloom_k
+            )
+            self.known_peers.add(payload.directory_id)
+        elif isinstance(payload, SummaryRequest):
+            self._send_summary_to(payload.requester_directory)
+        elif isinstance(payload, DirectoryAnnounce):
+            if payload.directory_id != self.node.node_id:
+                self.known_peers.add(payload.directory_id)
+                self._send_summary_to(payload.directory_id)
+                if payload.reply_expected:
+                    self.node.unicast(
+                        payload.directory_id,
+                        DirectoryAnnounce(self.node.node_id, reply_expected=False),
+                    )
+
+
+class ClientAgentBase(ProtocolAgent):
+    """A service consumer/provider node.
+
+    Publishes advertisement documents to its vicinity directory and issues
+    discovery requests, recording results and simulated response times.
+    """
+
+    def __init__(self, directory_resolver: Callable[[], int | None]) -> None:
+        super().__init__()
+        self._resolve_directory = directory_resolver
+        self.responses: dict[int, tuple[float, tuple[ResultRow, ...]]] = {}
+        self._issue_times: dict[int, float] = {}
+        self._published_at: dict[str, int] = {}
+        self._next_query_id = 1
+        #: Fresh codes received after a stale-coded publication (§3.2):
+        #: the application re-annotates its documents from these.
+        self.code_updates: dict[str, str] = {}
+        self.latest_code_version: int | None = None
+        self.retries_sent = 0
+        self._advertised: dict[str, str] = {}
+        self._refresh_cancel = None
+
+    def directory_id(self) -> int | None:
+        """The directory currently responsible for this node's area."""
+        return self._resolve_directory()
+
+    def publish(self, document: str, service_uri: str | None = None) -> bool:
+        """Register an advertisement with the vicinity directory.
+
+        Returns False when no directory is known/reachable.  When
+        ``service_uri`` is given, the responsible directory is remembered
+        so a later :meth:`withdraw` reaches the directory actually holding
+        the advertisement (the vicinity directory may change between the
+        two as elections proceed).
+        """
+        directory = self.directory_id()
+        if directory is None:
+            return False
+        accepted = self.node.unicast(directory, PublishService(document))
+        if accepted and service_uri is not None:
+            self._published_at[service_uri] = directory
+        return accepted
+
+    def withdraw(self, service_uri: str) -> bool:
+        """Withdraw a previously published service (from the directory it
+        was published to, falling back to the current vicinity one)."""
+        self._advertised.pop(service_uri, None)
+        directory = self._published_at.pop(service_uri, None)
+        if directory is None:
+            directory = self.directory_id()
+        if directory is None:
+            return False
+        return self.node.unicast(directory, WithdrawService(service_uri))
+
+    def advertise(self, document: str, service_uri: str, refresh_interval: float = 30.0) -> bool:
+        """Soft-state publication: publish now and re-publish periodically.
+
+        Directory caches are soft state in dynamic networks — a crashed or
+        departed directory loses its content, and periodic refresh is what
+        restores it on whichever directory now covers the client's
+        vicinity (the same pattern SLP/UPnP use).  :meth:`withdraw` stops
+        the refresh.
+        """
+        self._advertised[service_uri] = document
+        accepted = self.publish(document, service_uri=service_uri)
+        if not self._refresh_cancel:
+            self._refresh_cancel = self.node.network.sim.schedule_every(
+                refresh_interval, self._refresh_advertisements
+            )
+        return accepted
+
+    def _refresh_advertisements(self) -> None:
+        for service_uri, document in list(self._advertised.items()):
+            # Re-resolve the directory each round: the vicinity may have
+            # changed (election churn, crash, mobility).
+            self._published_at.pop(service_uri, None)
+            self.publish(document, service_uri=service_uri)
+
+    def query(self, document: str, retries: int = 0, retry_timeout: float = 3.0) -> int | None:
+        """Issue a discovery request; returns the query id (None if no
+        directory is reachable).  The response arrives asynchronously in
+        :attr:`responses` as ``query_id -> (latency_seconds, results)``.
+
+        Args:
+            retries: how many times to re-send when no response arrives
+                within ``retry_timeout`` (lossy-network recovery; the
+                latency recorded is from the *first* attempt).
+            retry_timeout: silence window before a re-send (s).
+        """
+        directory = self.directory_id()
+        if directory is None:
+            return None
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        self._issue_times[query_id] = self.node.network.sim.now
+        if not self.node.unicast(directory, QueryRequest(query_id, document)):
+            del self._issue_times[query_id]
+            return None
+        if retries > 0:
+            self._schedule_retry(query_id, document, retries, retry_timeout)
+        return query_id
+
+    def _schedule_retry(
+        self, query_id: int, document: str, retries_left: int, retry_timeout: float
+    ) -> None:
+        def retry() -> None:
+            if query_id in self.responses or query_id not in self._issue_times:
+                return
+            directory = self.directory_id()
+            if directory is None:
+                return
+            self.retries_sent += 1
+            self.node.unicast(directory, QueryRequest(query_id, document))
+            if retries_left > 1:
+                self._schedule_retry(query_id, document, retries_left - 1, retry_timeout)
+
+        self.node.network.sim.schedule(retry_timeout, retry)
+
+    def on_message(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, QueryResponse):
+            issued = self._issue_times.pop(payload.query_id, None)
+            if issued is not None:
+                latency = self.node.network.sim.now - issued
+                self.responses[payload.query_id] = (latency, payload.results)
+        elif isinstance(payload, CodeRefreshResponse):
+            self.latest_code_version = payload.version
+            self.code_updates.update(payload.codes)

@@ -1,0 +1,85 @@
+"""S-Ariadne: semantic discovery over the directory backbone (§4–5).
+
+Each elected directory hosts a :class:`~repro.core.directory.SemanticDirectory`
+(encoded matching + capability graphs) and summarizes the ontology
+footprint of its cached capabilities in a Bloom filter; requests are
+forwarded only to directories whose summaries admit the request's
+ontologies — §4's cooperation scheme.
+"""
+
+from __future__ import annotations
+
+from repro.core.codes import CodeTable
+from repro.core.directory import SemanticDirectory
+from repro.core.summaries import DirectorySummary
+from repro.network.messages import CodeRefreshResponse
+from repro.protocols.base import ClientAgentBase, DirectoryAgentBase, ResultRow
+from repro.services.xml_codec import ServiceSyntaxError, profile_from_xml, request_from_xml
+from repro.util.bloom import BloomFilter
+
+
+class SAriadneDirectoryAgent(DirectoryAgentBase):
+    """A directory running optimized semantic matching.
+
+    Args:
+        table: the code table for the ontologies in force (shared by all
+            participants of a deployment — §3.2's versioned codes).
+    """
+
+    def __init__(
+        self,
+        table: CodeTable,
+        forward_window: float = 1.0,
+        summary_bits: int = 512,
+        summary_hashes: int = 4,
+    ) -> None:
+        super().__init__(forward_window, summary_bits, summary_hashes)
+        self.directory = SemanticDirectory(
+            table, summary_bits=summary_bits, summary_hashes=summary_hashes
+        )
+
+    def local_publish(self, document: str) -> str:
+        return self.directory.publish_xml(document).uri
+
+    def local_withdraw(self, service_uri: str) -> None:
+        self.directory.unpublish(service_uri)
+
+    def local_query(self, document: str) -> list[ResultRow]:
+        matches = self.directory.query_xml(document)
+        return [(m.service_uri, m.capability.uri, m.distance) for m in matches]
+
+    def build_summary(self) -> BloomFilter:
+        summary = DirectorySummary(m=self.summary_bits, k=self.summary_hashes)
+        for capability in self.directory.capabilities():
+            summary.add_capability(capability)
+        return summary.bloom
+
+    def summary_admits(self, summary: BloomFilter, document: str) -> bool:
+        try:
+            request, _annotations = request_from_xml(document)
+        except ServiceSyntaxError:
+            return False
+        return DirectorySummary.from_bloom(summary).might_answer(request)
+
+    def refresh_codes_for(self, document: str) -> CodeRefreshResponse | None:
+        """Answer a stale-coded publication with the current codes (§3.2).
+
+        The concepts are read from the document itself; codes are returned
+        for every concept this directory's table covers, so the publisher
+        can re-annotate and retry.
+        """
+        try:
+            profile, _annotations = profile_from_xml(document)
+        except ServiceSyntaxError:
+            return None
+        table = self.directory.table
+        codes: list[tuple[str, str]] = []
+        for capability in (*profile.provided, *profile.required):
+            for concept in sorted(capability.concepts()):
+                if concept in table:
+                    codes.append((concept, table.code(concept).serialize()))
+        return CodeRefreshResponse(version=table.version, codes=tuple(codes))
+
+
+class SAriadneClientAgent(ClientAgentBase):
+    """A client speaking the semantic protocol (Amigo-S documents)."""

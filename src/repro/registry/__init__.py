@@ -1,0 +1,28 @@
+"""Baseline matchmakers and registries the paper compares against.
+
+* :mod:`repro.registry.naive_semantic` — the on-line-reasoning matchmaker
+  whose cost breakdown is the paper's Fig. 2 (parse / load+classify /
+  match per request);
+* :mod:`repro.registry.syntactic` — WSDL/UDDI-style syntactic registry
+  (Ariadne's local matching, the §2.4 "160 ms" reference point);
+* :mod:`repro.registry.srinivasan` — the annotated-taxonomy registry of
+  Srinivasan et al. [13] (§3.1: slow publish, millisecond queries);
+* :mod:`repro.registry.gist` — the numeric-rectangle directory index of
+  Constantinescu & Faltings [3] (§3.1: an R-tree-style GiST).
+"""
+
+from repro.registry.naive_semantic import MatchCostReport, OnlineMatchmaker, OnlineSemanticRegistry
+from repro.registry.syntactic import SyntacticRegistry
+from repro.registry.srinivasan import AnnotatedTaxonomyRegistry, MatchDegree
+from repro.registry.gist import GistIndex, Rect
+
+__all__ = [
+    "MatchCostReport",
+    "OnlineMatchmaker",
+    "OnlineSemanticRegistry",
+    "SyntacticRegistry",
+    "AnnotatedTaxonomyRegistry",
+    "MatchDegree",
+    "GistIndex",
+    "Rect",
+]

@@ -1,0 +1,268 @@
+"""A GiST-style numeric directory index after Constantinescu & Faltings [3].
+
+Background system of §3.1: service descriptions are "numerically encoded"
+— ontology classes and properties become intervals — so a description maps
+to a set of rectangles (property interval × class interval), and the
+directory is "created and maintained" with a Generalized Search Tree.  The
+paper cites the measured behaviour: searches in milliseconds for ~10k
+entries, but insertions of about 3 seconds at that size.
+
+This module implements the data structure honestly: an R-tree (the classic
+GiST instantiation) with quadratic-split node overflow handling, storing
+one rectangle per (role-dimension × concept-interval) of each capability,
+built on the same interval codes as §3.2.  Benchmark E8 reproduces the
+search-fast / insert-heavier shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.codes import CodeTable
+from repro.services.profile import Capability
+
+#: Role dimensions: rectangles separate inputs, outputs and properties on
+#: the y axis so a query only meets rectangles of the same role.
+_ROLE_Y = {"input": (0.0, 1.0), "output": (1.0, 2.0), "property": (2.0, 3.0)}
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[x_lo, x_hi] × [y_lo, y_hi]``."""
+
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+
+    def __post_init__(self) -> None:
+        if self.x_lo > self.x_hi or self.y_lo > self.y_hi:
+            raise ValueError(f"malformed rectangle {self}")
+
+    def area(self) -> float:
+        return (self.x_hi - self.x_lo) * (self.y_hi - self.y_lo)
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.x_lo, other.x_lo),
+            max(self.x_hi, other.x_hi),
+            min(self.y_lo, other.y_lo),
+            max(self.y_hi, other.y_hi),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.x_lo <= other.x_hi
+            and other.x_lo <= self.x_hi
+            and self.y_lo <= other.y_hi
+            and other.y_lo <= self.y_hi
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth if ``other`` were merged into this rectangle."""
+        return self.union(other).area() - self.area()
+
+
+@dataclass
+class _Node:
+    leaf: bool
+    mbr: Rect | None = None
+    children: list["_Node"] = field(default_factory=list)  # internal nodes
+    entries: list[tuple[Rect, str]] = field(default_factory=list)  # leaves
+
+
+class GistIndex:
+    """An R-tree over capability rectangles.
+
+    Args:
+        max_entries: node capacity before a quadratic split (GiST M).
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 4:
+            raise ValueError(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = max_entries
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Encoding capabilities as rectangles
+    # ------------------------------------------------------------------
+    @staticmethod
+    def rectangles_for(capability: Capability, table: CodeTable, probe: bool = False) -> list[Rect]:
+        """The rectangle set of a capability under a code table.
+
+        Advertisements (``probe=False``) are indexed with one rectangle per
+        *code* interval — the merged union covering the concept and every
+        concept it subsumes — because ``Match`` requires provided concepts
+        to subsume requested ones, and in a DAG a subsumee's tree interval
+        can lie outside the subsumer's own tree interval.  Requests
+        (``probe=True``) probe with their tree interval only, so every true
+        match intersects by construction (no false dismissals).
+        """
+        rects: list[Rect] = []
+        for role, concepts in (
+            ("input", capability.inputs),
+            ("output", capability.outputs),
+            ("property", capability.properties),
+        ):
+            y_lo, y_hi = _ROLE_Y[role]
+            for concept in sorted(concepts):
+                if concept not in table:
+                    continue
+                code = table.code(concept)
+                if probe:
+                    rects.append(Rect(code.tree_lo, code.tree_hi, y_lo, y_hi))
+                else:
+                    rects.extend(Rect(lo, hi, y_lo, y_hi) for lo, hi in code.code)
+        return rects
+
+    def insert_capability(self, capability: Capability, table: CodeTable, key: str) -> int:
+        """Index a capability's rectangles under ``key``; returns how many
+        rectangles were inserted."""
+        rects = self.rectangles_for(capability, table, probe=False)
+        for rect in rects:
+            self.insert(rect, key)
+        return len(rects)
+
+    # ------------------------------------------------------------------
+    # R-tree insertion (quadratic split)
+    # ------------------------------------------------------------------
+    def insert(self, rect: Rect, key: str) -> None:
+        """Insert one rectangle."""
+        split = self._insert(self._root, rect, key)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(leaf=False, children=[old_root, split])
+            self._root.mbr = _mbr_of(self._root)
+        self._size += 1
+
+    def _insert(self, node: _Node, rect: Rect, key: str) -> _Node | None:
+        node.mbr = rect if node.mbr is None else node.mbr.union(rect)
+        if node.leaf:
+            node.entries.append((rect, key))
+            if len(node.entries) > self.max_entries:
+                return self._split_leaf(node)
+            return None
+        child = min(
+            node.children,
+            key=lambda c: (c.mbr.enlargement(rect) if c.mbr else rect.area(), c.mbr.area() if c.mbr else 0.0),
+        )
+        split = self._insert(child, rect, key)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.max_entries:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> _Node:
+        groups = _quadratic_split(node.entries, lambda entry: entry[0], self.max_entries)
+        node.entries = groups[0]
+        node.mbr = _mbr_of(node)
+        sibling = _Node(leaf=True, entries=groups[1])
+        sibling.mbr = _mbr_of(sibling)
+        return sibling
+
+    def _split_internal(self, node: _Node) -> _Node:
+        groups = _quadratic_split(node.children, lambda child: child.mbr, self.max_entries)
+        node.children = groups[0]
+        node.mbr = _mbr_of(node)
+        sibling = _Node(leaf=False, children=groups[1])
+        sibling.mbr = _mbr_of(sibling)
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, rect: Rect) -> set[str]:
+        """Keys of all indexed rectangles intersecting ``rect``."""
+        result: set[str] = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(rect):
+                continue
+            if node.leaf:
+                result.update(key for r, key in node.entries if r.intersects(rect))
+            else:
+                stack.extend(node.children)
+        return result
+
+    def search_capability(self, requested: Capability, table: CodeTable) -> set[str]:
+        """Candidate keys whose rectangles intersect all request rectangles.
+
+        This is the [3] preselection: survivors still undergo the full
+        ``Match`` check; non-survivors are guaranteed misses.
+        """
+        rects = self.rectangles_for(requested, table, probe=True)
+        if not rects:
+            return set()
+        candidates: set[str] | None = None
+        for rect in rects:
+            found = self.search(rect)
+            candidates = found if candidates is None else candidates & found
+            if not candidates:
+                return set()
+        return candidates or set()
+
+    def depth(self) -> int:
+        """Tree height (diagnostics)."""
+        depth, node = 1, self._root
+        while not node.leaf:
+            node = node.children[0]
+            depth += 1
+        return depth
+
+    def __repr__(self) -> str:
+        return f"GistIndex({self._size} rectangles, depth={self.depth()})"
+
+
+def _mbr_of(node: _Node) -> Rect | None:
+    rects = [r for r, _ in node.entries] if node.leaf else [c.mbr for c in node.children if c.mbr]
+    if not rects:
+        return None
+    result = rects[0]
+    for rect in rects[1:]:
+        result = result.union(rect)
+    return result
+
+
+def _quadratic_split(items: list, rect_of, max_entries: int) -> tuple[list, list]:
+    """Guttman's quadratic split: pick the two most wasteful seeds, then
+    assign each remaining item to the group whose MBR grows least."""
+    worst_pair = (0, 1)
+    worst_waste = -1.0
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            r1, r2 = rect_of(items[i]), rect_of(items[j])
+            waste = r1.union(r2).area() - r1.area() - r2.area()
+            if waste > worst_waste:
+                worst_waste = waste
+                worst_pair = (i, j)
+    seed_a, seed_b = worst_pair
+    group_a, group_b = [items[seed_a]], [items[seed_b]]
+    mbr_a, mbr_b = rect_of(items[seed_a]), rect_of(items[seed_b])
+    min_fill = max(1, max_entries // 3)
+    remaining = [item for idx, item in enumerate(items) if idx not in (seed_a, seed_b)]
+    for index, item in enumerate(remaining):
+        # Force-assign the tail if one group risks underfilling.
+        left = len(remaining) - index
+        if len(group_a) + left <= min_fill:
+            group_a.append(item)
+            mbr_a = mbr_a.union(rect_of(item))
+            continue
+        if len(group_b) + left <= min_fill:
+            group_b.append(item)
+            mbr_b = mbr_b.union(rect_of(item))
+            continue
+        rect = rect_of(item)
+        if mbr_a.enlargement(rect) <= mbr_b.enlargement(rect):
+            group_a.append(item)
+            mbr_a = mbr_a.union(rect)
+        else:
+            group_b.append(item)
+            mbr_b = mbr_b.union(rect)
+    return group_a, group_b

@@ -1,0 +1,203 @@
+"""The annotated-taxonomy registry of Srinivasan, Paolucci & Sycara [13].
+
+Background system discussed in §3.1: a UDDI registry augmented with OWL-S
+where "the publishing phase is not a time critical task", so subsumption
+information is *precomputed at publication*.  The registry maintains the
+classified taxonomy of all concepts; each taxonomy concept carries two
+annotation lists — one for inputs, one for outputs — recording, for every
+advertisement, the degree with which a request pointing at that concept
+would match it (``[<Adv1, exact>, <Adv2, subsumes>, ...]``).
+
+Querying then involves no reasoning: per requested output concept, read
+the annotation list at that concept and intersect across concepts.  The
+paper cites the measured trade-off — publishing ≈ 7× a plain UDDI publish,
+queries in milliseconds — which benchmark E9 reproduces in shape.
+
+Match degrees follow Paolucci et al.:
+
+* ``EXACT``    — request concept equals the advertised concept;
+* ``PLUGIN``   — advertised output is more specific than requested
+  (request concept subsumes it): fully usable;
+* ``SUBSUMES`` — advertised output is more general than requested: weaker;
+* (no entry)  — fail.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.ontology.taxonomy import Taxonomy
+from repro.services.profile import Capability, ServiceProfile
+
+
+class MatchDegree(enum.IntEnum):
+    """Degree of match, ordered best-first (lower is better)."""
+
+    EXACT = 0
+    PLUGIN = 1
+    SUBSUMES = 2
+
+
+@dataclass
+class _ConceptAnnotations:
+    """Annotation lists attached to one taxonomy concept."""
+
+    outputs: dict[str, MatchDegree] = field(default_factory=dict)
+    inputs: dict[str, MatchDegree] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RankedService:
+    """A query answer: service URI with its aggregate degree."""
+
+    service_uri: str
+    degree: MatchDegree
+
+
+class AnnotatedTaxonomyRegistry:
+    """Publish-time precomputation, lookup-only queries (after [13]).
+
+    Args:
+        taxonomy: the classified taxonomy of every ontology in force (the
+            registry assumes "no additional ontologies have to be loaded",
+            like the paper's evaluation of [13] does).
+    """
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self._taxonomy = taxonomy
+        self._annotations: dict[str, _ConceptAnnotations] = defaultdict(_ConceptAnnotations)
+        self._services: dict[str, ServiceProfile] = {}
+        self.publish_work = 0  # concepts annotated; E9's publish-cost proxy
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    # ------------------------------------------------------------------
+    # Publication (the expensive phase)
+    # ------------------------------------------------------------------
+    def publish(self, profile: ServiceProfile) -> None:
+        """Annotate the taxonomy with this advertisement's capabilities.
+
+        For each advertised output concept ``O``: requests asking exactly
+        ``O`` match EXACT; requests asking any ancestor of ``O`` match
+        PLUGIN (they get something more specific); requests asking a
+        descendant match SUBSUMES.  Inputs are annotated with the dual
+        orientation (an advertisement *expecting* input ``I`` serves
+        requests offering ``I`` or any descendant).
+        """
+        if profile.uri in self._services:
+            self.unpublish(profile.uri)
+        self._services[profile.uri] = profile
+        for capability in profile.provided:
+            self._annotate_capability(capability, profile.uri)
+
+    def _annotate_capability(self, capability: Capability, service_uri: str) -> None:
+        taxonomy = self._taxonomy
+        for concept in capability.outputs:
+            if concept not in taxonomy:
+                continue
+            canon = taxonomy.canonical(concept)
+            self._record_output(canon, service_uri, MatchDegree.EXACT)
+            for ancestor in taxonomy.ancestors(canon):
+                self._record_output(ancestor, service_uri, MatchDegree.PLUGIN)
+            for descendant in self._descendants(canon):
+                self._record_output(descendant, service_uri, MatchDegree.SUBSUMES)
+        for concept in capability.inputs:
+            if concept not in taxonomy:
+                continue
+            canon = taxonomy.canonical(concept)
+            self._record_input(canon, service_uri, MatchDegree.EXACT)
+            for descendant in self._descendants(canon):
+                self._record_input(descendant, service_uri, MatchDegree.PLUGIN)
+
+    def _descendants(self, concept: str) -> list[str]:
+        result: list[str] = []
+        stack = list(self._taxonomy.children(concept))
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            result.append(node)
+            stack.extend(self._taxonomy.children(node))
+        return result
+
+    def _record_output(self, concept: str, service_uri: str, degree: MatchDegree) -> None:
+        self.publish_work += 1
+        existing = self._annotations[concept].outputs.get(service_uri)
+        if existing is None or degree < existing:
+            self._annotations[concept].outputs[service_uri] = degree
+
+    def _record_input(self, concept: str, service_uri: str, degree: MatchDegree) -> None:
+        self.publish_work += 1
+        existing = self._annotations[concept].inputs.get(service_uri)
+        if existing is None or degree < existing:
+            self._annotations[concept].inputs[service_uri] = degree
+
+    def unpublish(self, service_uri: str) -> bool:
+        """Withdraw a service and strip its annotations."""
+        if service_uri not in self._services:
+            return False
+        del self._services[service_uri]
+        for annotations in self._annotations.values():
+            annotations.outputs.pop(service_uri, None)
+            annotations.inputs.pop(service_uri, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Query (lookups + intersections only)
+    # ------------------------------------------------------------------
+    def query(self, requested: Capability) -> list[RankedService]:
+        """Answer a request without any reasoning.
+
+        Every requested output concept must be covered by the
+        advertisement (its annotation list contains the service), and every
+        offered input must be acceptable; the aggregate degree is the worst
+        over the concepts (standard [13] scoring), results best-first.
+        """
+        taxonomy = self._taxonomy
+        candidates: dict[str, MatchDegree] | None = None
+        for concept in requested.outputs:
+            if concept not in taxonomy:
+                return []
+            entries = self._annotations[taxonomy.canonical(concept)].outputs
+            candidates = self._intersect(candidates, entries)
+            if not candidates:
+                return []
+        for concept in requested.inputs:
+            if concept not in taxonomy:
+                return []
+            entries = self._annotations[taxonomy.canonical(concept)].inputs
+            # Inputs must be acceptable but do not narrow the degree below.
+            if candidates is not None:
+                candidates = {
+                    uri: degree for uri, degree in candidates.items() if uri in entries
+                }
+                if not candidates:
+                    return []
+        if candidates is None:
+            return []
+        ranked = [RankedService(uri, degree) for uri, degree in candidates.items()]
+        ranked.sort(key=lambda r: (r.degree, r.service_uri))
+        return ranked
+
+    @staticmethod
+    def _intersect(
+        current: dict[str, MatchDegree] | None, entries: dict[str, MatchDegree]
+    ) -> dict[str, MatchDegree]:
+        if current is None:
+            return dict(entries)
+        return {
+            uri: max(degree, entries[uri])
+            for uri, degree in current.items()
+            if uri in entries
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AnnotatedTaxonomyRegistry({len(self)} services, "
+            f"{len(self._annotations)} annotated concepts)"
+        )

@@ -1,0 +1,165 @@
+"""Syntactic WSDL registry: Ariadne's local matching / UDDI reference.
+
+Classical SDPs "support the discovery of services according to syntactic
+interface descriptions, and thus assume worldwide knowledge and agreement
+about service interfaces" (§1).  The registry below is that baseline: a
+linear scan of cached WSDL descriptions with string-equality interface
+conformance (:meth:`repro.services.wsdl.WsdlDescription.conforms_to`),
+optionally accelerated by a keyword inverted index.
+
+Its response time grows with the number of cached services — the rising
+Ariadne curve of Fig. 10 — because nothing about a WSDL description allows
+the directory to rule services out without inspecting them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.services.wsdl import WsdlDescription, WsdlRequest
+from repro.services.xml_codec import ServiceSyntaxError, wsdl_from_xml
+from repro.util.timing import PhaseTimer
+
+
+class SyntacticRegistry:
+    """A WSDL/UDDI-style registry with linear-scan interface matching.
+
+    Args:
+        use_keyword_index: maintain an inverted keyword index used only to
+            shortlist candidates when the request carries keywords (UDDI's
+            category-bag analogue); conformance is still checked per
+            candidate.
+    """
+
+    def __init__(self, use_keyword_index: bool = True) -> None:
+        self.use_keyword_index = use_keyword_index
+        self._services: dict[str, WsdlDescription] = {}
+        self._by_keyword: dict[str, set[str]] = defaultdict(set)
+        self.timer = PhaseTimer()
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def descriptions(self) -> list[WsdlDescription]:
+        """All cached WSDL descriptions."""
+        return list(self._services.values())
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def publish(self, description: WsdlDescription) -> None:
+        """Cache a WSDL description (republish replaces)."""
+        self.unpublish(description.uri)
+        self._services[description.uri] = description
+        for keyword in description.keywords:
+            self._by_keyword[keyword].add(description.uri)
+
+    def publish_xml(self, document: str) -> WsdlDescription:
+        """Parse and cache a WSDL document.
+
+        Raises:
+            ServiceSyntaxError: malformed document, or a request document.
+        """
+        with self.timer.phase("parse"):
+            parsed = wsdl_from_xml(document)
+        if not isinstance(parsed, WsdlDescription):
+            raise ServiceSyntaxError("expected a <Definitions> document, got a request")
+        self.publish(parsed)
+        return parsed
+
+    def unpublish(self, uri: str) -> bool:
+        """Withdraw a service; returns True if it was cached."""
+        description = self._services.pop(uri, None)
+        if description is None:
+            return False
+        for keyword in description.keywords:
+            self._by_keyword[keyword].discard(uri)
+        return True
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _candidates(self, request: WsdlRequest) -> list[WsdlDescription]:
+        if self.use_keyword_index and request.keywords:
+            # The shortlist is authoritative: keyword preselection, like the
+            # §4 Bloom summaries, may miss but never falls back to a scan.
+            uris: set[str] = set()
+            for keyword in request.keywords:
+                uris |= self._by_keyword.get(keyword, set())
+            return [self._services[uri] for uri in sorted(uris)]
+        return list(self._services.values())
+
+    def query(self, request: WsdlRequest) -> list[WsdlDescription]:
+        """All cached services whose interface conforms to the request."""
+        with self.timer.phase("match"):
+            return [
+                description
+                for description in self._candidates(request)
+                if description.conforms_to(request)
+            ]
+
+    def query_xml(self, document: str) -> list[WsdlDescription]:
+        """Parse a request document and answer it.
+
+        Raises:
+            ServiceSyntaxError: malformed document, or a description
+                document where a request was expected.
+        """
+        with self.timer.phase("parse"):
+            parsed = wsdl_from_xml(document)
+        if not isinstance(parsed, WsdlRequest):
+            raise ServiceSyntaxError("expected an <InterfaceRequest> document")
+        return self.query(parsed)
+
+    def __repr__(self) -> str:
+        return f"SyntacticRegistry({len(self)} services)"
+
+
+class WsdlDocumentRegistry:
+    """Ariadne's original directory behaviour: store WSDL *documents*.
+
+    The paper attributes Ariadne's linearly growing response time (Fig. 10)
+    to the fact that, unlike S-Ariadne, "the matching is performed by
+    syntactically comparing the WSDL descriptions" at query time — cached
+    advertisements are kept as documents and processed per request, whereas
+    S-Ariadne parses once at publication.  This registry reproduces that
+    behaviour: :meth:`query_xml` parses every stored document before the
+    conformance scan.
+    """
+
+    def __init__(self) -> None:
+        self._documents: dict[str, str] = {}
+        self.timer = PhaseTimer()
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def publish_xml(self, document: str) -> None:
+        """Store an advertisement document verbatim (publication is a cache
+        write; all processing is deferred to query time)."""
+        parsed = wsdl_from_xml(document)  # reject garbage at the door
+        if not isinstance(parsed, WsdlDescription):
+            raise ServiceSyntaxError("expected a <Definitions> document, got a request")
+        self._documents[parsed.uri] = document
+
+    def unpublish(self, uri: str) -> bool:
+        """Drop a stored document."""
+        return self._documents.pop(uri, None) is not None
+
+    def query_xml(self, request_document: str) -> list[WsdlDescription]:
+        """Parse the request and every stored description, then scan."""
+        with self.timer.phase("parse"):
+            request = wsdl_from_xml(request_document)
+            if not isinstance(request, WsdlRequest):
+                raise ServiceSyntaxError("expected an <InterfaceRequest> document")
+            descriptions = [wsdl_from_xml(doc) for doc in self._documents.values()]
+        with self.timer.phase("match"):
+            return [
+                description
+                for description in descriptions
+                if isinstance(description, WsdlDescription)
+                and description.conforms_to(request)
+            ]
+
+    def __repr__(self) -> str:
+        return f"WsdlDocumentRegistry({len(self)} documents)"

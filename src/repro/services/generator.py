@@ -1,0 +1,257 @@
+"""Service workload generation for the paper's experiments.
+
+The evaluation settings (§2.4, §5) are: service descriptions drawn over 22
+different ontologies, one provided capability per service, and — for the
+reasoner-cost experiment — capabilities with 7 inputs and 3 outputs over a
+99-class / 39-property ontology.  :class:`ServiceWorkload` regenerates all
+of that from a seed:
+
+* random service profiles whose capability concepts are drawn from a suite
+  of ontologies;
+* *matching* requests derived from a chosen advertisement by walking
+  **down** the classified hierarchy (so ``Match(advertised, request)`` is
+  guaranteed by construction: provided inputs/outputs/properties subsume
+  the request's);
+* *non-matching* requests using fresh, unrelated concepts;
+* syntactic WSDL twins of every semantic service, so Ariadne and S-Ariadne
+  are compared over the same population (Fig. 10).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ontology.generator import OntologyShape, generate_ontology_suite
+from repro.ontology.model import Ontology, THING
+from repro.ontology.reasoner import Reasoner
+from repro.ontology.taxonomy import Taxonomy
+from repro.services.profile import Capability, Grounding, ServiceProfile, ServiceRequest
+from repro.services.wsdl import WsdlDescription, WsdlOperation, WsdlRequest
+from repro.util.ids import uri_fragment
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Parameters of a synthetic service population.
+
+    Defaults follow the paper's §5 setting: 22 ontologies, one provided
+    capability per service, small IOPE sets.
+    """
+
+    ontology_count: int = 22
+    ontology_shape: OntologyShape = field(
+        default_factory=lambda: OntologyShape(concepts=40, properties=10)
+    )
+    ontologies_per_service: int = 2
+    inputs_per_capability: int = 3
+    outputs_per_capability: int = 2
+    properties_per_capability: int = 1
+    capabilities_per_service: int = 1
+
+
+#: §2.4 setting for the reasoner-cost experiment: 7 inputs, 3 outputs, one
+#: 99-class / 39-property ontology.
+PAPER_FIG2_SHAPE = WorkloadShape(
+    ontology_count=1,
+    ontology_shape=OntologyShape(concepts=99, properties=39),
+    ontologies_per_service=1,
+    inputs_per_capability=7,
+    outputs_per_capability=3,
+    properties_per_capability=1,
+)
+
+
+class ServiceWorkload:
+    """A reproducible population of ontologies, services and requests.
+
+    Args:
+        shape: population parameters.
+        seed: RNG seed; identical seeds give identical workloads.
+        namespace: URI prefix for the generated ontologies.
+    """
+
+    def __init__(
+        self,
+        shape: WorkloadShape = WorkloadShape(),
+        seed: int = 0,
+        namespace: str = "http://repro.example.org/onto",
+    ) -> None:
+        self.shape = shape
+        self.seed = seed
+        self.ontologies: list[Ontology] = generate_ontology_suite(
+            count=shape.ontology_count,
+            shape=shape.ontology_shape,
+            seed=seed,
+            namespace=namespace,
+        )
+        self._reasoner = Reasoner().load(self.ontologies)
+        self.taxonomy: Taxonomy = self._reasoner.classify()
+        self._concepts_by_ontology: dict[str, list[str]] = {
+            onto.uri: sorted(onto.concepts) for onto in self.ontologies
+        }
+
+    # ------------------------------------------------------------------
+    # Concept picking
+    # ------------------------------------------------------------------
+    def _rng_for(self, purpose: str, index: int | str) -> random.Random:
+        """A dedicated RNG per (purpose, index) so every generated artefact
+        is a pure function of the workload seed and its own index."""
+        return random.Random(f"{self.seed}:{purpose}:{index}")
+
+    def _pick_concepts(self, rng: random.Random, ontology_uris: list[str], count: int) -> list[str]:
+        pool = [c for uri in ontology_uris for c in self._concepts_by_ontology[uri]]
+        if count > len(pool):
+            raise ValueError(
+                f"cannot pick {count} concepts from a pool of {len(pool)}; "
+                "increase the ontology size"
+            )
+        return rng.sample(pool, count)
+
+    def _descendant_or_self(self, rng: random.Random, concept: str, max_steps: int = 2) -> str:
+        """Random walk down the classified hierarchy from ``concept``."""
+        current = self.taxonomy.canonical(concept)
+        for _ in range(rng.randint(0, max_steps)):
+            children = [c for c in self.taxonomy.children(current) if c != THING]
+            if not children:
+                break
+            current = rng.choice(sorted(children))
+        return current
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+    def make_service(self, index: int) -> ServiceProfile:
+        """Generate the ``index``-th service profile of the population.
+
+        Deterministic per ``(workload seed, index)``: repeated calls with
+        the same index return the same profile.
+        """
+        shape = self.shape
+        rng = self._rng_for("service", index)
+        onto_uris = rng.sample(
+            [o.uri for o in self.ontologies],
+            min(shape.ontologies_per_service, len(self.ontologies)),
+        )
+        capabilities = []
+        for cap_index in range(shape.capabilities_per_service):
+            concepts = self._pick_concepts(
+                rng,
+                onto_uris,
+                shape.inputs_per_capability
+                + shape.outputs_per_capability
+                + shape.properties_per_capability,
+            )
+            inputs = concepts[: shape.inputs_per_capability]
+            outputs = concepts[
+                shape.inputs_per_capability : shape.inputs_per_capability
+                + shape.outputs_per_capability
+            ]
+            properties = concepts[shape.inputs_per_capability + shape.outputs_per_capability :]
+            capabilities.append(
+                Capability.build(
+                    uri=f"urn:repro:capability:s{index}c{cap_index}",
+                    name=f"Capability_{index}_{cap_index}",
+                    inputs=inputs,
+                    outputs=outputs,
+                    properties=properties[1:],
+                    category=properties[0] if properties else None,
+                )
+            )
+        return ServiceProfile(
+            uri=f"urn:repro:service:{index}",
+            name=f"Service{index}",
+            provided=tuple(capabilities),
+            device=f"device-{index % 7}",
+            grounding=Grounding(endpoint=f"http://10.0.0.{index % 250 + 1}:8080/svc"),
+        )
+
+    def make_services(self, count: int) -> list[ServiceProfile]:
+        """Generate ``count`` service profiles."""
+        return [self.make_service(i) for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def matching_request(
+        self, profile: ServiceProfile, capability_index: int = 0
+    ) -> ServiceRequest:
+        """Derive a request guaranteed to be matched by ``profile``.
+
+        The request's inputs, outputs and properties are descendants (or
+        equals) of the advertised capability's, so every pair is related by
+        subsumption in the direction ``Match`` requires.
+        """
+        advertised = profile.provided[capability_index]
+        rng = self._rng_for("request", profile.uri)
+        inputs = [self._descendant_or_self(rng, c) for c in sorted(advertised.inputs)]
+        outputs = [self._descendant_or_self(rng, c) for c in sorted(advertised.outputs)]
+        properties = [self._descendant_or_self(rng, c) for c in sorted(advertised.properties)]
+        capability = Capability.build(
+            uri=f"urn:repro:request:for:{uri_fragment(advertised.uri)}",
+            name=f"Require_{advertised.name}",
+            inputs=inputs,
+            outputs=outputs,
+            properties=properties,
+        )
+        return ServiceRequest(
+            uri=f"urn:repro:request:{profile.uri.rsplit(':', 1)[-1]}",
+            capabilities=(capability,),
+        )
+
+    def unrelated_request(self, index: int = 0) -> ServiceRequest:
+        """A request over fresh root-level concepts (matches nothing by
+        construction unless the population accidentally covers it)."""
+        rng = self._rng_for("unrelated", index)
+        onto = rng.choice(self.ontologies)
+        concepts = rng.sample(sorted(onto.concepts), min(3, len(onto.concepts)))
+        capability = Capability.build(
+            uri=f"urn:repro:request:unrelated:{index}",
+            name=f"Unrelated{index}",
+            inputs=concepts[:1],
+            outputs=concepts[1:2],
+            properties=concepts[2:3],
+        )
+        return ServiceRequest(uri=f"urn:repro:request:u{index}", capabilities=(capability,))
+
+    # ------------------------------------------------------------------
+    # Syntactic twins (Ariadne baseline, Fig. 10)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def wsdl_twin(profile: ServiceProfile) -> WsdlDescription:
+        """The WSDL rendering Ariadne would advertise for ``profile``."""
+        operations = tuple(
+            WsdlOperation(
+                name=cap.name,
+                inputs=tuple(sorted(uri_fragment(c) for c in cap.inputs)),
+                outputs=tuple(sorted(uri_fragment(c) for c in cap.outputs)),
+            )
+            for cap in profile.provided
+        )
+        keywords = {cap.name for cap in profile.provided}
+        keywords.update(uri_fragment(c) for cap in profile.provided for c in cap.concepts())
+        return WsdlDescription(
+            uri=profile.uri,
+            port_type=profile.name,
+            operations=operations,
+            keywords=tuple(sorted(keywords)),
+        )
+
+    @staticmethod
+    def wsdl_request_for(profile: ServiceProfile, capability_index: int = 0) -> WsdlRequest:
+        """The syntactic request that conforms to ``profile`` exactly.
+
+        Syntactic discovery presumes requester and provider share interface
+        strings, so the request repeats the advertised signature verbatim.
+        """
+        cap = profile.provided[capability_index]
+        operation = WsdlOperation(
+            name=cap.name,
+            inputs=tuple(sorted(uri_fragment(c) for c in cap.inputs)),
+            outputs=tuple(sorted(uri_fragment(c) for c in cap.outputs)),
+        )
+        return WsdlRequest(
+            uri=f"urn:repro:wsdl-request:{profile.uri.rsplit(':', 1)[-1]}",
+            operations=(operation,),
+            keywords=(cap.name,),
+        )

@@ -1,0 +1,267 @@
+"""QoS and context model for Amigo-S services (paper §2.2).
+
+"Another key feature of pervasive services is the need for awareness of
+context and quality of service, as these two factors affect decisively the
+actual user's experience" — Amigo-S "enables QoS- and context-awareness
+for service provisioning" (after refs [8, 10] of the paper).
+
+The model is deliberately small and declarative, in the Amigo-S spirit:
+
+* a :class:`QosOffer` attaches measurable attributes to a *provided*
+  capability (latency, throughput, battery cost, ...);
+* a :class:`QosRequirement` constrains and weights those attributes on
+  the *required* side;
+* a :class:`ContextCondition` states when an offer is valid at all
+  (location, time-of-day, device state) against a :class:`ContextSnapshot`.
+
+Attributes have a *direction*: for ``LOWER_IS_BETTER`` attributes (e.g.
+latency) a requirement's bound is a maximum; for ``HIGHER_IS_BETTER``
+(e.g. throughput) it is a minimum.  Scoring normalizes each satisfied
+attribute into [0, 1] and combines them by the requirement's weights —
+this utility refines, never overrides, the semantic ranking (see
+:mod:`repro.core.selection`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Direction(enum.Enum):
+    """Whether larger or smaller attribute values are preferable."""
+
+    LOWER_IS_BETTER = "lower"
+    HIGHER_IS_BETTER = "higher"
+
+
+#: Conventional attribute directions; unknown attributes must be declared.
+WELL_KNOWN_ATTRIBUTES: dict[str, Direction] = {
+    "latency_ms": Direction.LOWER_IS_BETTER,
+    "jitter_ms": Direction.LOWER_IS_BETTER,
+    "battery_cost": Direction.LOWER_IS_BETTER,
+    "price": Direction.LOWER_IS_BETTER,
+    "throughput_kbps": Direction.HIGHER_IS_BETTER,
+    "reliability": Direction.HIGHER_IS_BETTER,
+    "resolution": Direction.HIGHER_IS_BETTER,
+}
+
+
+class UnknownAttributeError(ValueError):
+    """Raised when an attribute has no declared direction."""
+
+
+def direction_of(attribute: str, extra: dict[str, Direction] | None = None) -> Direction:
+    """Resolve an attribute's direction.
+
+    Raises:
+        UnknownAttributeError: if neither well-known nor in ``extra``.
+    """
+    if extra and attribute in extra:
+        return extra[attribute]
+    try:
+        return WELL_KNOWN_ATTRIBUTES[attribute]
+    except KeyError:
+        raise UnknownAttributeError(
+            f"attribute {attribute!r} has no declared direction; "
+            f"pass it via extra_directions"
+        ) from None
+
+
+@dataclass(frozen=True)
+class QosOffer:
+    """Measured/promised QoS attributes of a provided capability.
+
+    Args:
+        attributes: attribute name → value (floats; units by convention).
+    """
+
+    attributes: tuple[tuple[str, float], ...] = ()
+
+    @classmethod
+    def of(cls, **attributes: float) -> "QosOffer":
+        """Keyword-style constructor: ``QosOffer.of(latency_ms=20)``."""
+        return cls(attributes=tuple(sorted(attributes.items())))
+
+    def value(self, attribute: str) -> float | None:
+        """The offered value, or None when the attribute is not promised."""
+        for name, val in self.attributes:
+            if name == attribute:
+                return val
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.attributes)
+
+
+@dataclass(frozen=True)
+class QosConstraint:
+    """One required attribute: a bound plus a preference weight.
+
+    Args:
+        attribute: attribute name.
+        bound: maximum (lower-is-better) or minimum (higher-is-better)
+            acceptable value.
+        weight: relative importance for scoring; must be positive.
+        hard: when True, an offer violating the bound (or omitting the
+            attribute) disqualifies the candidate; when False it only
+            scores zero for this attribute.
+    """
+
+    attribute: str
+    bound: float
+    weight: float = 1.0
+    hard: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class QosRequirement:
+    """The QoS side of a required capability."""
+
+    constraints: tuple[QosConstraint, ...] = ()
+    extra_directions: tuple[tuple[str, Direction], ...] = ()
+
+    @classmethod
+    def where(cls, *constraints: QosConstraint, **directions: Direction) -> "QosRequirement":
+        """Builder: ``QosRequirement.where(QosConstraint("latency_ms", 50))``."""
+        return cls(
+            constraints=tuple(constraints),
+            extra_directions=tuple(sorted(directions.items())),
+        )
+
+    def _directions(self) -> dict[str, Direction]:
+        return dict(self.extra_directions)
+
+    def satisfied_by(self, offer: QosOffer) -> bool:
+        """True iff every *hard* constraint is met by the offer."""
+        extra = self._directions()
+        for constraint in self.constraints:
+            if not constraint.hard:
+                continue
+            value = offer.value(constraint.attribute)
+            if value is None:
+                return False
+            direction = direction_of(constraint.attribute, extra)
+            if direction is Direction.LOWER_IS_BETTER and value > constraint.bound:
+                return False
+            if direction is Direction.HIGHER_IS_BETTER and value < constraint.bound:
+                return False
+        return True
+
+    def utility(self, offer: QosOffer) -> float:
+        """Weighted utility in [0, 1]; 1.0 when unconstrained.
+
+        Each constraint contributes a normalized margin: how far the offer
+        is *inside* its bound (an offer exactly at the bound scores 0.5 of
+        that attribute's scale; twice-better-than-bound approaches 1).
+        Soft-constraint violations contribute 0 instead of disqualifying.
+        """
+        if not self.constraints:
+            return 1.0
+        extra = self._directions()
+        total_weight = sum(c.weight for c in self.constraints)
+        score = 0.0
+        for constraint in self.constraints:
+            value = offer.value(constraint.attribute)
+            if value is None:
+                continue
+            direction = direction_of(constraint.attribute, extra)
+            if direction is Direction.LOWER_IS_BETTER:
+                if value > constraint.bound:
+                    continue
+                # value == bound -> 0.5; value -> 0 gives 1.0.
+                margin = 1.0 - value / (2.0 * constraint.bound) if constraint.bound else 1.0
+            else:
+                if value < constraint.bound:
+                    continue
+                # value == bound -> 0.5; value >= 2*bound saturates to 1.0.
+                margin = min(1.0, 0.5 * value / constraint.bound) if constraint.bound else 1.0
+            score += constraint.weight * margin
+        return score / total_weight
+
+
+@dataclass(frozen=True)
+class ContextSnapshot:
+    """The requester's (or environment's) current context."""
+
+    values: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def of(cls, **values: str) -> "ContextSnapshot":
+        """Keyword-style constructor: ``ContextSnapshot.of(location="home")``."""
+        return cls(values=tuple(sorted(values.items())))
+
+    def get(self, key: str) -> str | None:
+        for name, value in self.values:
+            if name == key:
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class ContextCondition:
+    """Validity condition of an offer: required context key/values.
+
+    A condition with no entries is always valid.  Every listed key must be
+    present in the snapshot with one of the accepted values.
+    """
+
+    required: tuple[tuple[str, tuple[str, ...]], ...] = ()
+
+    @classmethod
+    def requires(cls, **alternatives: str | tuple[str, ...]) -> "ContextCondition":
+        """Builder: ``ContextCondition.requires(location=("home", "office"))``."""
+        normalized = tuple(
+            (key, (value,) if isinstance(value, str) else tuple(value))
+            for key, value in sorted(alternatives.items())
+        )
+        return cls(required=normalized)
+
+    def holds_in(self, snapshot: ContextSnapshot) -> bool:
+        """True iff the snapshot satisfies every required entry."""
+        for key, accepted in self.required:
+            if snapshot.get(key) not in accepted:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class QosProfile:
+    """QoS/context annotations for the capabilities of one service.
+
+    Maps capability URI → (offer, validity condition).  Kept separate from
+    :class:`~repro.services.profile.ServiceProfile` so the semantic layer
+    stays oblivious to QoS (as in Amigo-S, where they are distinct profile
+    sections).
+    """
+
+    entries: tuple[tuple[str, QosOffer, ContextCondition], ...] = ()
+
+    @classmethod
+    def build(
+        cls, entries: dict[str, tuple[QosOffer, ContextCondition]]
+    ) -> "QosProfile":
+        """Construct from a dict keyed by capability URI."""
+        return cls(
+            entries=tuple(
+                (uri, offer, condition) for uri, (offer, condition) in sorted(entries.items())
+            )
+        )
+
+    def offer_for(self, capability_uri: str) -> QosOffer:
+        """The offer for a capability (empty offer when unannotated)."""
+        for uri, offer, _condition in self.entries:
+            if uri == capability_uri:
+                return offer
+        return QosOffer()
+
+    def condition_for(self, capability_uri: str) -> ContextCondition:
+        """The validity condition (always-valid when unannotated)."""
+        for uri, _offer, condition in self.entries:
+            if uri == capability_uri:
+                return condition
+        return ContextCondition()

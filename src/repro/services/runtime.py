@@ -1,0 +1,172 @@
+"""Consuming a discovered service: conversation sessions.
+
+Discovery's whole point is "the discovery and *further consumption* of
+networked resources" (abstract).  After a capability is selected, the
+client interacts with the service following its process model (§2.1).
+This module provides the run-time side:
+
+* :class:`ServiceSession` — a stateful session over a service's compiled
+  process NFA: each client invocation is validated against the
+  conversation; out-of-protocol operations raise, completion is
+  detectable;
+* :class:`ServiceRuntime` — hosts sessions for a service profile and
+  dispatches valid invocations to registered operation handlers (the
+  "implementation" behind the advertised capabilities).
+
+A service without a process model accepts any operation sequence (the
+unconstrained default, as in discovery-time filtering).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.services.process import Nfa, ProcessTerm, compile_process
+from repro.services.profile import ServiceProfile
+
+
+class ProtocolViolation(RuntimeError):
+    """Raised when a client invokes an operation the conversation does not
+    allow in the current session state."""
+
+
+class UnknownOperationError(KeyError):
+    """Raised when no handler is registered for an allowed operation."""
+
+
+@dataclass
+class SessionState:
+    """Progress of one conversation."""
+
+    invocations: list[str] = field(default_factory=list)
+    closed: bool = False
+
+
+class ServiceSession:
+    """One client's conversation with a service.
+
+    Args:
+        process: the service's process term, or ``None`` for an
+            unconstrained service.
+    """
+
+    def __init__(self, process: ProcessTerm | None) -> None:
+        self._nfa: Nfa | None = compile_process(process) if process is not None else None
+        self._states = (
+            self._nfa.epsilon_closure(frozenset({self._nfa.start}))
+            if self._nfa is not None
+            else None
+        )
+        self.state = SessionState()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def allowed_operations(self) -> frozenset[str]:
+        """Operations the conversation permits right now (all operations of
+        the alphabet for unconstrained services)."""
+        if self._nfa is None:
+            return frozenset()
+        return frozenset(
+            symbol
+            for symbol in self._nfa.alphabet()
+            if self._nfa.step(self._states, symbol)
+        )
+
+    @property
+    def can_finish(self) -> bool:
+        """True iff the conversation is in an accepting state (the client
+        may stop here without violating the protocol)."""
+        if self._nfa is None:
+            return True
+        return self._nfa.accept in self._nfa.epsilon_closure(self._states)
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`close` succeeded."""
+        return self.state.closed
+
+    # ------------------------------------------------------------------
+    # Interaction
+    # ------------------------------------------------------------------
+    def invoke(self, operation: str) -> None:
+        """Advance the conversation by one operation.
+
+        Raises:
+            ProtocolViolation: if the session is closed or the operation
+                is not allowed in the current state.
+        """
+        if self.state.closed:
+            raise ProtocolViolation("session is closed")
+        if self._nfa is not None:
+            next_states = self._nfa.step(self._states, operation)
+            if not next_states:
+                allowed = ", ".join(sorted(self.allowed_operations())) or "(none)"
+                raise ProtocolViolation(
+                    f"operation {operation!r} not allowed here; expected one of: {allowed}"
+                )
+            self._states = next_states
+        self.state.invocations.append(operation)
+
+    def close(self) -> None:
+        """End the conversation.
+
+        Raises:
+            ProtocolViolation: if the conversation is not in an accepting
+                state (the client abandoned the service mid-protocol).
+        """
+        if not self.can_finish:
+            allowed = ", ".join(sorted(self.allowed_operations())) or "(none)"
+            raise ProtocolViolation(
+                f"conversation incomplete; continue with one of: {allowed}"
+            )
+        self.state.closed = True
+
+
+class ServiceRuntime:
+    """Hosts a service implementation behind its advertised profile.
+
+    Args:
+        profile: the Amigo-S profile (its ``process`` governs sessions).
+
+    Operation handlers are plain callables ``(**kwargs) -> object``
+    registered per operation name; :meth:`call` validates the conversation
+    first, then dispatches.
+    """
+
+    def __init__(self, profile: ServiceProfile) -> None:
+        self.profile = profile
+        self._handlers: dict[str, Callable[..., object]] = {}
+        self.sessions: list[ServiceSession] = []
+
+    def on(self, operation: str, handler: Callable[..., object]) -> "ServiceRuntime":
+        """Register (or replace) the handler for an operation; chainable."""
+        self._handlers[operation] = handler
+        return self
+
+    def open_session(self) -> ServiceSession:
+        """Start a new conversation."""
+        session = ServiceSession(self.profile.process)
+        self.sessions.append(session)
+        return session
+
+    def call(self, session: ServiceSession, operation: str, **kwargs) -> object:
+        """Validate and dispatch one invocation.
+
+        Raises:
+            ProtocolViolation: out-of-protocol invocation (the session does
+                not advance).
+            UnknownOperationError: allowed by the conversation but no
+                handler is registered.
+        """
+        if operation not in self._handlers:
+            # Check protocol first so violations dominate missing handlers
+            # only when the operation is genuinely out of order.
+            probe = ServiceSession(self.profile.process)
+            for done in session.state.invocations:
+                probe.invoke(done)
+            probe.invoke(operation)  # raises ProtocolViolation if not allowed
+            raise UnknownOperationError(operation)
+        session.invoke(operation)
+        return self._handlers[operation](**kwargs)

@@ -1,0 +1,108 @@
+"""WSDL-like syntactic service descriptions for the Ariadne baseline.
+
+Ariadne (the paper's §5 baseline) "uses basic WSDL-based syntactic matching
+of Web services": a request matches an advertisement when the required
+interface syntactically conforms to the provided one — same operation
+names, same message part names/types as strings.  No semantics, no
+ontologies; common understanding of these strings is exactly the
+assumption the paper argues is unrealistic in open environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.ids import validate_uri
+
+
+@dataclass(frozen=True)
+class WsdlOperation:
+    """One WSDL operation: a name plus typed message part names.
+
+    Args:
+        name: operation name (syntactic identity).
+        inputs: input message part type names.
+        outputs: output message part type names.
+    """
+
+    name: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    def signature(self) -> tuple[str, frozenset[str], frozenset[str]]:
+        """Canonical syntactic signature used for conformance checks."""
+        return (self.name, frozenset(self.inputs), frozenset(self.outputs))
+
+
+@dataclass(frozen=True)
+class WsdlDescription:
+    """A WSDL service: port type name plus operations.
+
+    Args:
+        uri: service URI.
+        port_type: interface name.
+        operations: the provided operations.
+        keywords: free-text keywords (service name tokens etc.) that feed
+            the syntactic directory summaries.
+    """
+
+    uri: str
+    port_type: str
+    operations: tuple[WsdlOperation, ...] = ()
+    keywords: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        validate_uri(self.uri)
+        names = [op.name for op in self.operations]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate operation names in {self.uri}")
+
+    def operation(self, name: str) -> WsdlOperation:
+        """Look up an operation by name.
+
+        Raises:
+            KeyError: if the operation does not exist.
+        """
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise KeyError(name)
+
+    def conforms_to(self, required: "WsdlRequest") -> bool:
+        """Syntactic interface conformance (Ariadne's match).
+
+        Every required operation must exist with the same name, the
+        provided operation must accept exactly the required input parts and
+        produce at least the required output parts — all compared as plain
+        strings.
+        """
+        for req_op in required.operations:
+            try:
+                offered = self.operation(req_op.name)
+            except KeyError:
+                return False
+            if frozenset(offered.inputs) != frozenset(req_op.inputs):
+                return False
+            if not frozenset(req_op.outputs) <= frozenset(offered.outputs):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class WsdlRequest:
+    """A syntactic discovery request: interface the client expects.
+
+    Args:
+        uri: request URI.
+        operations: required operations (names + part names).
+        keywords: free-text keywords for directory preselection.
+    """
+
+    uri: str
+    operations: tuple[WsdlOperation, ...]
+    keywords: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        validate_uri(self.uri)
+        if not self.operations:
+            raise ValueError(f"WSDL request {self.uri} has no operations")

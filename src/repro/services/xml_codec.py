@@ -1,0 +1,406 @@
+"""XML codec for Amigo-S profiles, requests and WSDL descriptions.
+
+Service descriptions travel as XML in this reproduction — the paper's
+Figs. 7 and 8 show that XML parsing dominates publication cost, so the
+parse phase must be real work.  The dialect is a compact rendering of the
+Amigo-S profile structure::
+
+    <Service uri="..." name="..." device="..." middleware="...">
+      <Grounding endpoint="..." protocol="..."/>
+      <Qos key="latency" value="low"/>
+      <Capability uri="..." name="..." provided="true" category="...">
+        <input concept="..."/>
+        <output concept="..."/>
+        <property concept="..."/>
+        <includes capability="..."/>
+      </Capability>
+    </Service>
+
+Per §3.2, "service advertisements and service requests already contain the
+codes corresponding to the concepts that they involve", stamped with a code
+version.  The codec therefore accepts an optional ``annotations`` mapping
+(concept URI → serialized interval code, produced by
+:class:`repro.core.codes.CodeTable`) written as ``code`` attributes, and
+the parsers return any annotations found alongside the parsed object.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro.services.process import (
+    AnyOrder,
+    Choice,
+    Invoke,
+    ProcessTerm,
+    Repeat,
+    Sequence as ProcessSequence,
+)
+from repro.services.profile import Capability, Grounding, ServiceProfile, ServiceRequest
+from repro.services.wsdl import WsdlDescription, WsdlOperation, WsdlRequest
+
+
+class ServiceSyntaxError(ValueError):
+    """Raised when a service document is malformed."""
+
+
+@dataclass
+class CodeAnnotations:
+    """Interval codes embedded in a service document (§3.2).
+
+    Args:
+        version: the code-table snapshot version the codes were minted
+            against, or ``None`` when the document carries no codes.
+        codes: concept URI → serialized code string.
+    """
+
+    version: int | None = None
+    codes: dict[str, str] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.version is not None
+
+
+def _require(el: ET.Element, attr: str) -> str:
+    value = el.get(attr)
+    if not value:
+        raise ServiceSyntaxError(f"<{el.tag}> is missing required attribute {attr!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Capabilities
+# ---------------------------------------------------------------------------
+
+
+def _capability_to_element(
+    cap: Capability,
+    provided: bool,
+    annotations: dict[str, str] | None,
+) -> ET.Element:
+    attrs = {"uri": cap.uri, "name": cap.name, "provided": "true" if provided else "false"}
+    if cap.category:
+        attrs["category"] = cap.category
+    el = ET.Element("Capability", attrs)
+
+    def concept_el(tag: str, concept: str) -> None:
+        concept_attrs = {"concept": concept}
+        if annotations and concept in annotations:
+            concept_attrs["code"] = annotations[concept]
+        ET.SubElement(el, tag, concept_attrs)
+
+    for concept in sorted(cap.inputs):
+        concept_el("input", concept)
+    for concept in sorted(cap.outputs):
+        concept_el("output", concept)
+    for concept in sorted(cap.properties):
+        concept_el("property", concept)
+    for included in cap.includes:
+        ET.SubElement(el, "includes", {"capability": included})
+    return el
+
+
+def _capability_from_element(
+    el: ET.Element, annotations: CodeAnnotations
+) -> tuple[Capability, bool]:
+    inputs: list[str] = []
+    outputs: list[str] = []
+    properties: list[str] = []
+    includes: list[str] = []
+    buckets = {"input": inputs, "output": outputs, "property": properties}
+    for sub in el:
+        if sub.tag in buckets:
+            concept = _require(sub, "concept")
+            buckets[sub.tag].append(concept)
+            code = sub.get("code")
+            if code:
+                annotations.codes[concept] = code
+        elif sub.tag == "includes":
+            includes.append(_require(sub, "capability"))
+        else:
+            raise ServiceSyntaxError(f"unexpected element <{sub.tag}> in <Capability>")
+    provided = el.get("provided", "true").lower() == "true"
+    return (
+        Capability.build(
+            uri=_require(el, "uri"),
+            name=el.get("name", ""),
+            inputs=inputs,
+            outputs=outputs,
+            properties=properties,
+            category=el.get("category"),
+            includes=tuple(includes),
+        ),
+        provided,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Process models (OWL-S-style conversations)
+# ---------------------------------------------------------------------------
+
+_PROCESS_TAGS = {"Invoke", "Sequence", "Choice", "Repeat", "AnyOrder"}
+
+
+def _process_to_element(term: ProcessTerm) -> ET.Element:
+    if isinstance(term, Invoke):
+        return ET.Element("Invoke", {"operation": term.operation})
+    if isinstance(term, ProcessSequence):
+        el = ET.Element("Sequence")
+        for part in term.parts:
+            el.append(_process_to_element(part))
+        return el
+    if isinstance(term, Choice):
+        el = ET.Element("Choice")
+        for branch in term.branches:
+            el.append(_process_to_element(branch))
+        return el
+    if isinstance(term, Repeat):
+        el = ET.Element("Repeat")
+        el.append(_process_to_element(term.body))
+        return el
+    if isinstance(term, AnyOrder):
+        el = ET.Element("AnyOrder")
+        for part in term.parts:
+            el.append(_process_to_element(part))
+        return el
+    raise ServiceSyntaxError(f"unknown process term {term!r}")
+
+
+def _process_from_element(el: ET.Element) -> ProcessTerm:
+    if el.tag == "Invoke":
+        return Invoke(operation=_require(el, "operation"))
+    children = [_process_from_element(sub) for sub in el]
+    if el.tag == "Sequence":
+        return ProcessSequence(parts=tuple(children))
+    if el.tag == "Choice":
+        return Choice(branches=tuple(children))
+    if el.tag == "Repeat":
+        if len(children) != 1:
+            raise ServiceSyntaxError("<Repeat> needs exactly one child")
+        return Repeat(body=children[0])
+    if el.tag == "AnyOrder":
+        return AnyOrder(parts=tuple(children))
+    raise ServiceSyntaxError(f"unexpected element <{el.tag}> in <Process>")
+
+
+# ---------------------------------------------------------------------------
+# Service profiles
+# ---------------------------------------------------------------------------
+
+
+def profile_to_xml(
+    profile: ServiceProfile,
+    annotations: dict[str, str] | None = None,
+    codes_version: int | None = None,
+) -> str:
+    """Serialize a service profile, optionally embedding interval codes."""
+    attrs = {"uri": profile.uri, "name": profile.name}
+    if profile.device:
+        attrs["device"] = profile.device
+    if profile.middleware:
+        attrs["middleware"] = profile.middleware
+    if codes_version is not None:
+        attrs["codesVersion"] = str(codes_version)
+    root = ET.Element("Service", attrs)
+    grounding = profile.grounding
+    if grounding.endpoint or grounding.wsdl_uri:
+        ET.SubElement(
+            root,
+            "Grounding",
+            {
+                "endpoint": grounding.endpoint,
+                "protocol": grounding.protocol,
+                "wsdl": grounding.wsdl_uri,
+            },
+        )
+    for key, value in profile.qos:
+        ET.SubElement(root, "Qos", {"key": key, "value": value})
+    if profile.process is not None:
+        process_el = ET.SubElement(root, "Process")
+        process_el.append(_process_to_element(profile.process))
+    for cap in profile.provided:
+        root.append(_capability_to_element(cap, provided=True, annotations=annotations))
+    for cap in profile.required:
+        root.append(_capability_to_element(cap, provided=False, annotations=annotations))
+    return ET.tostring(root, encoding="unicode")
+
+
+def profile_from_xml(document: str) -> tuple[ServiceProfile, CodeAnnotations]:
+    """Parse a service profile document.
+
+    Returns the profile and any interval-code annotations it carried.
+
+    Raises:
+        ServiceSyntaxError: on malformed XML or missing attributes.
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ServiceSyntaxError(f"not well-formed XML: {exc}") from exc
+    if root.tag != "Service":
+        raise ServiceSyntaxError(f"expected <Service> root, got <{root.tag}>")
+    version_attr = root.get("codesVersion")
+    annotations = CodeAnnotations(version=int(version_attr) if version_attr else None)
+    provided: list[Capability] = []
+    required: list[Capability] = []
+    grounding = Grounding()
+    qos: list[tuple[str, str]] = []
+    process = None
+    for el in root:
+        if el.tag == "Capability":
+            cap, is_provided = _capability_from_element(el, annotations)
+            (provided if is_provided else required).append(cap)
+        elif el.tag == "Grounding":
+            grounding = Grounding(
+                endpoint=el.get("endpoint", ""),
+                protocol=el.get("protocol", "soap-http"),
+                wsdl_uri=el.get("wsdl", ""),
+            )
+        elif el.tag == "Qos":
+            qos.append((_require(el, "key"), el.get("value", "")))
+        elif el.tag == "Process":
+            if len(el) != 1:
+                raise ServiceSyntaxError("<Process> needs exactly one root term")
+            process = _process_from_element(el[0])
+        else:
+            raise ServiceSyntaxError(f"unexpected element <{el.tag}> in <Service>")
+    profile = ServiceProfile(
+        uri=_require(root, "uri"),
+        name=root.get("name", ""),
+        provided=tuple(provided),
+        required=tuple(required),
+        device=root.get("device", ""),
+        middleware=root.get("middleware", "ws-soap"),
+        qos=tuple(qos),
+        grounding=grounding,
+        process=process,
+    )
+    return profile, annotations
+
+
+# ---------------------------------------------------------------------------
+# Service requests
+# ---------------------------------------------------------------------------
+
+
+def request_to_xml(
+    request: ServiceRequest,
+    annotations: dict[str, str] | None = None,
+    codes_version: int | None = None,
+) -> str:
+    """Serialize a discovery request, optionally embedding interval codes."""
+    attrs = {"uri": request.uri}
+    if request.requester:
+        attrs["requester"] = request.requester
+    if codes_version is not None:
+        attrs["codesVersion"] = str(codes_version)
+    root = ET.Element("Request", attrs)
+    for cap in request.capabilities:
+        root.append(_capability_to_element(cap, provided=False, annotations=annotations))
+    return ET.tostring(root, encoding="unicode")
+
+
+def request_from_xml(document: str) -> tuple[ServiceRequest, CodeAnnotations]:
+    """Parse a discovery request document.
+
+    Raises:
+        ServiceSyntaxError: on malformed XML or missing attributes.
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ServiceSyntaxError(f"not well-formed XML: {exc}") from exc
+    if root.tag != "Request":
+        raise ServiceSyntaxError(f"expected <Request> root, got <{root.tag}>")
+    version_attr = root.get("codesVersion")
+    annotations = CodeAnnotations(version=int(version_attr) if version_attr else None)
+    capabilities: list[Capability] = []
+    for el in root:
+        if el.tag != "Capability":
+            raise ServiceSyntaxError(f"unexpected element <{el.tag}> in <Request>")
+        cap, _provided = _capability_from_element(el, annotations)
+        capabilities.append(cap)
+    request = ServiceRequest(
+        uri=_require(root, "uri"),
+        capabilities=tuple(capabilities),
+        requester=root.get("requester", ""),
+    )
+    return request, annotations
+
+
+# ---------------------------------------------------------------------------
+# WSDL (syntactic baseline)
+# ---------------------------------------------------------------------------
+
+
+def wsdl_to_xml(description: WsdlDescription | WsdlRequest) -> str:
+    """Serialize a WSDL description or request."""
+    if isinstance(description, WsdlDescription):
+        root = ET.Element(
+            "Definitions", {"uri": description.uri, "portType": description.port_type}
+        )
+        keywords = description.keywords
+        operations = description.operations
+    else:
+        root = ET.Element("InterfaceRequest", {"uri": description.uri})
+        keywords = description.keywords
+        operations = description.operations
+    for keyword in keywords:
+        ET.SubElement(root, "keyword", {"value": keyword})
+    for op in operations:
+        op_el = ET.SubElement(root, "operation", {"name": op.name})
+        for part in op.inputs:
+            ET.SubElement(op_el, "input", {"part": part})
+        for part in op.outputs:
+            ET.SubElement(op_el, "output", {"part": part})
+    return ET.tostring(root, encoding="unicode")
+
+
+def _operations_from(root: ET.Element) -> tuple[list[WsdlOperation], list[str]]:
+    operations: list[WsdlOperation] = []
+    keywords: list[str] = []
+    for el in root:
+        if el.tag == "operation":
+            operations.append(
+                WsdlOperation(
+                    name=_require(el, "name"),
+                    inputs=tuple(_require(sub, "part") for sub in el if sub.tag == "input"),
+                    outputs=tuple(_require(sub, "part") for sub in el if sub.tag == "output"),
+                )
+            )
+        elif el.tag == "keyword":
+            keywords.append(_require(el, "value"))
+        else:
+            raise ServiceSyntaxError(f"unexpected element <{el.tag}> in <{root.tag}>")
+    return operations, keywords
+
+
+def wsdl_from_xml(document: str) -> WsdlDescription | WsdlRequest:
+    """Parse a WSDL document (description or interface request).
+
+    Raises:
+        ServiceSyntaxError: on malformed XML or missing attributes.
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ServiceSyntaxError(f"not well-formed XML: {exc}") from exc
+    if root.tag == "Definitions":
+        operations, keywords = _operations_from(root)
+        return WsdlDescription(
+            uri=_require(root, "uri"),
+            port_type=root.get("portType", ""),
+            operations=tuple(operations),
+            keywords=tuple(keywords),
+        )
+    if root.tag == "InterfaceRequest":
+        operations, keywords = _operations_from(root)
+        return WsdlRequest(
+            uri=_require(root, "uri"),
+            operations=tuple(operations),
+            keywords=tuple(keywords),
+        )
+    raise ServiceSyntaxError(
+        f"expected <Definitions> or <InterfaceRequest> root, got <{root.tag}>"
+    )

@@ -1,0 +1,19 @@
+"""Shared utilities: identifiers, Bloom filters, phase timing.
+
+These are small, dependency-free building blocks used across the ontology
+substrate, the directories and the network simulator.
+"""
+
+from repro.util.bloom import BloomFilter, optimal_parameters
+from repro.util.ids import uri_fragment, make_urn, validate_uri
+from repro.util.timing import PhaseTimer, TimingReport
+
+__all__ = [
+    "BloomFilter",
+    "optimal_parameters",
+    "uri_fragment",
+    "make_urn",
+    "validate_uri",
+    "PhaseTimer",
+    "TimingReport",
+]

@@ -1,0 +1,167 @@
+"""Bloom filters for directory content summaries (paper §4).
+
+S-Ariadne directories summarize the set of ontologies used by their cached
+capabilities in a Bloom filter and exchange these summaries so that a query
+is only forwarded to directories that are *likely* to hold a matching
+capability.  The implementation below is a classic m-bit / k-hash Bloom
+filter with double hashing (Kirsch & Mitzenmacher) over SHA-256, which
+gives k independent-enough hash functions from two.
+
+The filter hashes *items* — for S-Ariadne an item is the canonical string
+form of a capability's ontology set (see :mod:`repro.core.summaries`), but
+the structure is generic and is also used by the syntactic Ariadne baseline
+over WSDL keywords.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Iterable
+
+
+def _base_hashes(item: str) -> tuple[int, int]:
+    digest = hashlib.sha256(item.encode("utf-8")).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:16], "big")
+    # h2 must be odd so that the double-hashing probe sequence cycles
+    # through all positions for power-of-two sizes as well.
+    return h1, h2 | 1
+
+
+def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple[int, int]:
+    """Return ``(m, k)`` minimizing size for a target false-positive rate.
+
+    Standard Bloom sizing: ``m = -n ln p / (ln 2)^2`` and ``k = m/n ln 2``.
+
+    Raises:
+        ValueError: if ``expected_items < 1`` or the rate is not in (0, 1).
+    """
+    if expected_items < 1:
+        raise ValueError(f"expected_items must be >= 1, got {expected_items}")
+    if not 0.0 < false_positive_rate < 1.0:
+        raise ValueError(f"false_positive_rate must be in (0, 1), got {false_positive_rate}")
+    m = math.ceil(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2))
+    k = max(1, round(m / expected_items * math.log(2)))
+    return m, k
+
+
+class BloomFilter:
+    """An m-bit Bloom filter with k hash functions.
+
+    Supports adding string items, membership tests (with false positives,
+    never false negatives), union (for aggregating summaries along a
+    directory backbone), and a compact wire representation.
+    """
+
+    __slots__ = ("m", "k", "_bits", "_count")
+
+    def __init__(self, m: int = 256, k: int = 4) -> None:
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.m = m
+        self.k = k
+        self._bits = 0
+        self._count = 0
+
+    @classmethod
+    def for_capacity(cls, expected_items: int, false_positive_rate: float = 0.01) -> "BloomFilter":
+        """Construct a filter sized for ``expected_items`` at the given rate."""
+        m, k = optimal_parameters(expected_items, false_positive_rate)
+        return cls(m=m, k=k)
+
+    def _positions(self, item: str) -> list[int]:
+        h1, h2 = _base_hashes(item)
+        return [(h1 + i * h2) % self.m for i in range(self.k)]
+
+    def add(self, item: str) -> None:
+        """Set the k bit positions for ``item``."""
+        for pos in self._positions(item):
+            self._bits |= 1 << pos
+        self._count += 1
+
+    def update(self, items: Iterable[str]) -> None:
+        """Add every item in ``items``."""
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: str) -> bool:
+        return all(self._bits >> pos & 1 for pos in self._positions(item))
+
+    def might_contain(self, item: str) -> bool:
+        """Alias of ``in`` with a name that advertises the false positives."""
+        return item in self
+
+    @property
+    def approximate_items(self) -> int:
+        """Number of ``add`` calls recorded (not deduplicated)."""
+        return self._count
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set; a saturation indicator for re-exchange."""
+        return self._bits.bit_count() / self.m
+
+    def false_positive_probability(self) -> float:
+        """Estimated false-positive probability at the current fill.
+
+        Uses ``(fill_ratio)^k``, the standard estimate once the actual bit
+        density is known.
+        """
+        return self.fill_ratio**self.k
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Return the bitwise union of two equally-parameterized filters.
+
+        Raises:
+            ValueError: if ``m`` or ``k`` differ (unions would be unsound).
+        """
+        if (self.m, self.k) != (other.m, other.k):
+            raise ValueError(
+                f"cannot union Bloom filters with different parameters: "
+                f"(m={self.m}, k={self.k}) vs (m={other.m}, k={other.k})"
+            )
+        merged = BloomFilter(self.m, self.k)
+        merged._bits = self._bits | other._bits
+        merged._count = self._count + other._count
+        return merged
+
+    def copy(self) -> "BloomFilter":
+        """Return an independent copy of this filter."""
+        clone = BloomFilter(self.m, self.k)
+        clone._bits = self._bits
+        clone._count = self._count
+        return clone
+
+    def clear(self) -> None:
+        """Reset all bits (used when a directory rebuilds its summary)."""
+        self._bits = 0
+        self._count = 0
+
+    def to_bytes(self) -> bytes:
+        """Serialize the bit vector for exchange between directories."""
+        nbytes = (self.m + 7) // 8
+        return self._bits.to_bytes(nbytes, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, m: int, k: int) -> "BloomFilter":
+        """Deserialize a filter previously produced by :meth:`to_bytes`."""
+        bloom = cls(m=m, k=k)
+        bits = int.from_bytes(data, "big")
+        if bits >> m:
+            raise ValueError("serialized filter has bits beyond its declared size")
+        bloom._bits = bits
+        return bloom
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return (self.m, self.k, self._bits) == (other.m, other.k, other._bits)
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(m={self.m}, k={self.k}, "
+            f"items~{self._count}, fill={self.fill_ratio:.3f})"
+        )

@@ -1,0 +1,118 @@
+"""Phase timing instrumentation.
+
+The paper's figures decompose operations into phases (parse / classify /
+insert / match).  :class:`PhaseTimer` records named phases with
+``time.perf_counter`` and :class:`TimingReport` aggregates many runs so the
+benchmark harness can print the same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class PhaseTimer:
+    """Accumulates wall-clock durations for named phases.
+
+    Example::
+
+        timer = PhaseTimer()
+        with timer.phase("parse"):
+            doc = parse(xml)
+        with timer.phase("classify"):
+            directory.publish(doc)
+        timer.total()  # sum of all phases, seconds
+    """
+
+    def __init__(self) -> None:
+        self._durations: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one phase; durations accumulate per name."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._durations[name] = self._durations.get(name, 0.0) + elapsed
+
+    def record(self, name: str, seconds: float) -> None:
+        """Accumulate an externally measured duration."""
+        if seconds < 0:
+            raise ValueError(f"duration must be >= 0, got {seconds}")
+        self._durations[name] = self._durations.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (0.0 if never recorded)."""
+        return self._durations.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self._durations.values())
+
+    def share(self, name: str) -> float:
+        """Fraction of the total spent in ``name`` (0.0 on an empty timer)."""
+        total = self.total()
+        return self._durations.get(name, 0.0) / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of phase name -> seconds."""
+        return dict(self._durations)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in self._durations.items())
+        return f"PhaseTimer({parts})"
+
+
+@dataclass
+class TimingReport:
+    """Aggregates repeated :class:`PhaseTimer` runs for tabular reporting."""
+
+    runs: list[dict[str, float]] = field(default_factory=list)
+
+    def add(self, timer: PhaseTimer) -> None:
+        """Record one run's phase breakdown."""
+        self.runs.append(timer.as_dict())
+
+    def phases(self) -> list[str]:
+        """All phase names seen, in first-seen order."""
+        seen: dict[str, None] = {}
+        for run in self.runs:
+            for name in run:
+                seen.setdefault(name)
+        return list(seen)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds for a phase across runs (missing phases count 0)."""
+        if not self.runs:
+            return 0.0
+        return statistics.fmean(run.get(name, 0.0) for run in self.runs)
+
+    def mean_total(self) -> float:
+        """Mean of per-run totals."""
+        if not self.runs:
+            return 0.0
+        return statistics.fmean(sum(run.values()) for run in self.runs)
+
+    def mean_share(self, name: str) -> float:
+        """Mean fraction of each run spent in ``name``."""
+        total = self.mean_total()
+        return self.mean(name) / total if total else 0.0
+
+    def table(self, unit: str = "ms") -> str:
+        """Render a fixed-width table of mean phase durations.
+
+        Args:
+            unit: ``"ms"`` or ``"s"``.
+        """
+        scale = 1e3 if unit == "ms" else 1.0
+        lines = [f"{'phase':<24}{'mean (' + unit + ')':>14}{'share':>9}"]
+        for name in self.phases():
+            lines.append(f"{name:<24}{self.mean(name) * scale:>14.3f}{self.mean_share(name):>8.1%}")
+        lines.append(f"{'TOTAL':<24}{self.mean_total() * scale:>14.3f}{'':>9}")
+        return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Shared fixtures: paper ontologies, workloads, code tables.
+
+Session-scoped where construction is expensive (classification, encoding)
+and the object is immutable in practice; tests that mutate build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codes import CodeTable
+from repro.ontology.generator import media_home_ontologies
+from repro.ontology.reasoner import Reasoner
+from repro.ontology.registry import OntologyRegistry
+from repro.services.generator import ServiceWorkload, WorkloadShape
+from repro.ontology.generator import OntologyShape
+
+MEDIA_NS = "http://repro.example.org/media"
+
+
+def media_uri(ontology: str, name: str) -> str:
+    """Concept URI in the Fig. 1 media ontologies."""
+    return f"{MEDIA_NS}/{ontology}#{name}"
+
+
+@pytest.fixture(scope="session")
+def media_ontologies():
+    """The paper's Fig. 1 ontologies: (resources, servers)."""
+    return media_home_ontologies(MEDIA_NS)
+
+
+@pytest.fixture(scope="session")
+def media_taxonomy(media_ontologies):
+    """Classified Fig. 1 ontologies."""
+    return Reasoner().load(list(media_ontologies)).classify()
+
+
+@pytest.fixture(scope="session")
+def media_registry(media_ontologies):
+    """Registry holding the Fig. 1 ontologies."""
+    return OntologyRegistry(list(media_ontologies))
+
+
+@pytest.fixture(scope="session")
+def media_table(media_registry):
+    """Code table over the Fig. 1 ontologies."""
+    return CodeTable(media_registry)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A compact §5-style workload (fewer/smaller ontologies for speed)."""
+    shape = WorkloadShape(
+        ontology_count=6,
+        ontology_shape=OntologyShape(concepts=25, properties=6),
+        ontologies_per_service=2,
+        inputs_per_capability=2,
+        outputs_per_capability=2,
+        properties_per_capability=1,
+    )
+    return ServiceWorkload(shape=shape, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_registry(small_workload):
+    """Registry over the small workload's ontologies."""
+    return OntologyRegistry(small_workload.ontologies)
+
+
+@pytest.fixture(scope="session")
+def small_table(small_registry):
+    """Code table over the small workload's ontologies."""
+    return CodeTable(small_registry)

@@ -1,0 +1,313 @@
+"""Tests for capability DAG classification (§3.3): insertion, ordering
+invariants, query modes, removal."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.capability_graph import CapabilityDag, QueryMode
+from repro.core.matching import TaxonomyMatcher
+from repro.services.profile import Capability
+
+NS = "http://repro.example.org/media"
+
+
+def r(name: str) -> str:
+    return f"{NS}/resources#{name}"
+
+
+def s(name: str) -> str:
+    return f"{NS}/servers#{name}"
+
+
+def cap(name, inputs=(), outputs=(), category=None) -> Capability:
+    return Capability.build(
+        f"urn:x:cap:{name}", name, inputs=inputs, outputs=outputs, category=category
+    )
+
+
+@pytest.fixture()
+def matcher(media_taxonomy):
+    return TaxonomyMatcher(media_taxonomy)
+
+
+@pytest.fixture()
+def fig1_dag(matcher):
+    """SendDigitalStream (generic) over ProvideGame (specific)."""
+    dag = CapabilityDag()
+    dag.insert(
+        cap("SendDigitalStream", [r("DigitalResource")], [r("Stream")], s("DigitalServer")),
+        "urn:x:svc:workstation",
+        matcher,
+    )
+    dag.insert(
+        cap("ProvideGame", [r("GameResource")], [r("Stream")], s("GameServer")),
+        "urn:x:svc:workstation",
+        matcher,
+    )
+    return dag
+
+
+class TestInsertion:
+    def test_generic_becomes_root(self, fig1_dag):
+        roots = fig1_dag.roots()
+        assert len(roots) == 1
+        assert roots[0].representative.name == "SendDigitalStream"
+
+    def test_specific_becomes_leaf(self, fig1_dag):
+        leaves = fig1_dag.leaves()
+        assert len(leaves) == 1
+        assert leaves[0].representative.name == "ProvideGame"
+
+    def test_edge_direction_generic_to_specific(self, fig1_dag):
+        root = fig1_dag.roots()[0]
+        leaf = fig1_dag.leaves()[0]
+        assert leaf.node_id in root.children
+        assert root.node_id in leaf.parents
+
+    def test_insertion_order_irrelevant(self, matcher):
+        dag = CapabilityDag()
+        dag.insert(cap("ProvideGame", [r("GameResource")], [r("Stream")], s("GameServer")), "w", matcher)
+        dag.insert(
+            cap("SendDigitalStream", [r("DigitalResource")], [r("Stream")], s("DigitalServer")),
+            "w",
+            matcher,
+        )
+        assert dag.roots()[0].representative.name == "SendDigitalStream"
+        assert dag.leaves()[0].representative.name == "ProvideGame"
+
+    def test_equivalent_capabilities_merge(self, matcher):
+        dag = CapabilityDag()
+        n1 = dag.insert(cap("A", outputs=[r("Stream")]), "svc1", matcher)
+        n2 = dag.insert(cap("B", outputs=[r("Stream")]), "svc2", matcher)
+        assert n1 == n2
+        assert len(dag) == 1
+        assert dag.size == 2
+
+    def test_unrelated_capabilities_are_separate_roots(self, matcher):
+        dag = CapabilityDag()
+        dag.insert(cap("A", outputs=[r("Stream")]), "s1", matcher)
+        dag.insert(cap("B", outputs=[r("Title")]), "s2", matcher)
+        assert len(dag.roots()) == 2
+
+    def test_middle_insertion_rewires_reduction(self, matcher):
+        """Insert generic, then specific, then the middle one: the direct
+        generic→specific edge must be replaced by the two-step chain."""
+        dag = CapabilityDag()
+        top = dag.insert(cap("Top", outputs=[r("Resource")]), "s", matcher)
+        bottom = dag.insert(cap("Bottom", outputs=[r("VideoResource")]), "s", matcher)
+        middle = dag.insert(cap("Middle", outputs=[r("DigitalResource")]), "s", matcher)
+        nodes = {n.node_id: n for n in dag.nodes()}
+        assert nodes[top].children == {middle}
+        assert nodes[middle].children == {bottom}
+        assert nodes[bottom].parents == {middle}
+
+    def test_ontology_index(self, fig1_dag):
+        ontologies = fig1_dag.ontologies()
+        assert f"{NS}/resources" in ontologies
+        assert f"{NS}/servers" in ontologies
+
+
+class TestQuery:
+    @pytest.fixture()
+    def request_video(self):
+        return cap("GetVideoStream", [r("VideoResource")], [r("VideoStream")], s("VideoServer"))
+
+    def test_greedy_finds_fig1_match(self, fig1_dag, matcher, request_video):
+        hits = fig1_dag.query(request_video, matcher, QueryMode.GREEDY)
+        assert hits
+        assert hits[0].capability.name == "SendDigitalStream"
+        assert hits[0].distance == 3
+
+    def test_exhaustive_agrees_with_greedy_here(self, fig1_dag, matcher, request_video):
+        greedy = fig1_dag.query(request_video, matcher, QueryMode.GREEDY)
+        exhaustive = fig1_dag.query(request_video, matcher, QueryMode.EXHAUSTIVE)
+        assert greedy[0].distance == exhaustive[0].distance
+
+    def test_no_match_returns_empty(self, fig1_dag, matcher):
+        hits = fig1_dag.query(cap("X", outputs=[r("Title")]), matcher)
+        assert hits == []
+
+    def test_greedy_descends_to_more_specific(self, matcher):
+        dag = CapabilityDag()
+        dag.insert(cap("Generic", outputs=[r("Resource")], category=s("Server")), "s1", matcher)
+        dag.insert(
+            cap("Specific", outputs=[r("VideoResource")], category=s("VideoServer")),
+            "s2",
+            matcher,
+        )
+        request = cap("Want", outputs=[r("VideoResource")], category=s("VideoServer"))
+        hits = dag.query(request, matcher, QueryMode.GREEDY)
+        assert hits[0].capability.name == "Specific"
+        assert hits[0].distance == 0
+
+    def test_results_sorted_by_distance(self, matcher):
+        dag = CapabilityDag()
+        dag.insert(cap("Far", outputs=[r("Resource")]), "s1", matcher)
+        dag.insert(cap("Near", outputs=[r("DigitalResource")]), "s2", matcher)
+        request = cap("Want", outputs=[r("VideoResource")])
+        hits = dag.query(request, matcher, QueryMode.EXHAUSTIVE)
+        assert [h.capability.name for h in hits] == ["Near", "Far"]
+        assert [h.distance for h in hits] == [1, 2]
+
+    def test_query_uses_few_matches(self, matcher):
+        """The §3.3 point: greedy querying touches roots + one path, not
+        every stored capability."""
+        dag = CapabilityDag()
+        chain = ["Resource", "DigitalResource", "VideoResource"]
+        for i, concept in enumerate(chain):
+            dag.insert(cap(f"C{i}", outputs=[r(concept)]), f"s{i}", matcher)
+        # Several unrelated roots to pad the graph.
+        dag.insert(cap("U1", outputs=[r("Title")]), "u1", matcher)
+        before = matcher.stats.capability_matches
+        dag.query(cap("Want", outputs=[r("VideoStream")]), matcher, QueryMode.GREEDY)
+        used = matcher.stats.capability_matches - before
+        assert used <= len(dag.nodes()) + 1
+
+
+class TestRemoval:
+    def test_remove_service_drops_entries(self, fig1_dag):
+        removed = fig1_dag.remove_service("urn:x:svc:workstation")
+        assert removed == 2
+        assert len(fig1_dag) == 0
+
+    def test_remove_one_of_merged_entries_keeps_node(self, matcher):
+        dag = CapabilityDag()
+        dag.insert(cap("A", outputs=[r("Stream")]), "svc1", matcher)
+        dag.insert(cap("B", outputs=[r("Stream")]), "svc2", matcher)
+        assert dag.remove_service("svc1") == 1
+        assert len(dag) == 1
+        assert dag.size == 1
+
+    def test_remove_middle_relinks(self, matcher):
+        dag = CapabilityDag()
+        dag.insert(cap("Top", outputs=[r("Resource")]), "keep", matcher)
+        dag.insert(cap("Middle", outputs=[r("DigitalResource")]), "gone", matcher)
+        dag.insert(cap("Bottom", outputs=[r("VideoResource")]), "keep", matcher)
+        dag.remove_service("gone")
+        nodes = {n.representative.name: n for n in dag.nodes()}
+        assert nodes["Top"].children == {nodes["Bottom"].node_id}
+        assert nodes["Bottom"].parents == {nodes["Top"].node_id}
+
+    def test_remove_unknown_service_noop(self, fig1_dag):
+        assert fig1_dag.remove_service("urn:x:svc:nobody") == 0
+
+
+class TestDagInvariants:
+    """Property tests: the graph stays a transitively-reduced partial order
+    consistent with the Match relation, whatever the insertion order."""
+
+    @given(st.permutations(range(6)), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_random_populations(self, small_workload, order, base):
+        matcher = TaxonomyMatcher(small_workload.taxonomy)
+        dag = CapabilityDag()
+        profiles = [small_workload.make_service(base + i) for i in range(6)]
+        for index in order:
+            dag.insert(profiles[index].provided[0], profiles[index].uri, matcher)
+
+        nodes = {n.node_id: n for n in dag.nodes()}
+        assert dag.size == 6
+        # 1. Edges agree with Match (parent substitutes child).
+        for node in nodes.values():
+            for child_id in node.children:
+                child = nodes[child_id]
+                assert matcher.match(node.representative, child.representative)
+                assert child_id != node.node_id
+        # 2. Acyclic.
+        seen_stack = []
+
+        def visit(node_id, trail):
+            assert node_id not in trail, "cycle"
+            for child_id in nodes[node_id].children:
+                visit(child_id, trail | {node_id})
+
+        for node in dag.roots():
+            visit(node.node_id, set())
+        # 3. Roots have no parents; leaves no children; symmetry of links.
+        for node in nodes.values():
+            for child_id in node.children:
+                assert node.node_id in nodes[child_id].parents
+            for parent_id in node.parents:
+                assert node.node_id in nodes[parent_id].children
+        # 4. Completeness: every subsuming pair is connected by a path.
+        def reachable(from_id):
+            out, stack = set(), [from_id]
+            while stack:
+                current = stack.pop()
+                for child_id in nodes[current].children:
+                    if child_id not in out:
+                        out.add(child_id)
+                        stack.append(child_id)
+            return out
+
+        for a in nodes.values():
+            reach = reachable(a.node_id)
+            for b in nodes.values():
+                if a.node_id == b.node_id:
+                    continue
+                if matcher.match(a.representative, b.representative) and not matcher.match(
+                    b.representative, a.representative
+                ):
+                    assert b.node_id in reach, "missing order path"
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_never_worse_than_exhaustive_roots(self, small_workload, base):
+        """Greedy explores from matching roots; any hit it returns must be
+        a genuine match with correct distance."""
+        matcher = TaxonomyMatcher(small_workload.taxonomy)
+        dag = CapabilityDag()
+        profiles = [small_workload.make_service(base + i) for i in range(8)]
+        for profile in profiles:
+            dag.insert(profile.provided[0], profile.uri, matcher)
+        request = small_workload.matching_request(profiles[0]).capabilities[0]
+        for hit in dag.query(request, matcher, QueryMode.GREEDY):
+            assert matcher.semantic_distance(hit.capability, request) == hit.distance
+
+
+class TestMutualMatchMerging:
+    """Documented deviation: the paper merges vertices only at mutual
+    distance 0; mutual matches at non-zero distance would create a 2-cycle,
+    so we merge them too (entries stay separate)."""
+
+    def test_mutual_match_nonzero_distance_exists_and_merges(self, matcher):
+        a = cap("A", outputs=[r("DigitalResource")])
+        b = cap("B", outputs=[r("DigitalResource"), r("VideoResource")])
+        # Mutual match with asymmetric distances:
+        assert matcher.match(a, b) and matcher.match(b, a)
+        assert matcher.semantic_distance(a, b) == 1
+        assert matcher.semantic_distance(b, a) == 0
+        dag = CapabilityDag()
+        dag.insert(a, "svc-a", matcher)
+        dag.insert(b, "svc-b", matcher)
+        assert len(dag) == 1  # merged: no 2-cycle
+        assert dag.size == 2
+        # Both entries are returned on a query hitting the vertex.
+        hits = dag.query(cap("W", outputs=[r("DigitalResource")]), matcher)
+        assert {h.service_uri for h in hits} == {"svc-a", "svc-b"}
+
+
+class TestTextRendering:
+    def test_hierarchy_rendered(self, fig1_dag):
+        text = fig1_dag.to_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("- SendDigitalStream")
+        assert lines[1].startswith("  - ProvideGame")
+        assert "urn:x:svc:workstation" in text
+
+    def test_empty_graph(self):
+        assert CapabilityDag().to_text() == "(empty graph)"
+
+    def test_shared_child_marked_once(self, matcher):
+        """A diamond: the shared bottom vertex prints with a revisit mark."""
+        dag = CapabilityDag()
+        dag.insert(cap("TopA", outputs=[r("Resource")], category=s("Server")), "a", matcher)
+        dag.insert(cap("TopB", outputs=[r("Resource")], category=s("DigitalServer")), "b", matcher)
+        dag.insert(
+            cap("Bottom", outputs=[r("VideoResource")], category=s("VideoServer")),
+            "c",
+            matcher,
+        )
+        text = dag.to_text()
+        assert text.count("Bottom") >= 1  # rendered under at least one root

@@ -1,0 +1,307 @@
+"""Tests for service composition over required capabilities (§2.2)."""
+
+import pytest
+
+from repro.core.composition import Composer, CompositionError
+from repro.core.directory import SemanticDirectory
+from repro.services.profile import Capability, ServiceProfile, ServiceRequest
+
+NS = "http://repro.example.org/media"
+
+
+def r(name: str) -> str:
+    return f"{NS}/resources#{name}"
+
+
+def s(name: str) -> str:
+    return f"{NS}/servers#{name}"
+
+
+def cap(uri, name, outputs=(), inputs=(), category=None) -> Capability:
+    return Capability.build(uri, name, inputs=inputs, outputs=outputs, category=category)
+
+
+def request_for(*capabilities) -> ServiceRequest:
+    return ServiceRequest(uri="urn:x:req:root", capabilities=tuple(capabilities))
+
+
+@pytest.fixture()
+def directory(media_table):
+    return SemanticDirectory(media_table)
+
+
+class TestSimpleResolution:
+    def test_single_binding(self, directory):
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:streamer",
+                name="Streamer",
+                provided=(cap("urn:x:c:stream", "Stream", outputs=[r("Stream")]),),
+            )
+        )
+        composer = Composer(directory)
+        plan = composer.compose(request_for(cap("urn:x:c:want", "Want", outputs=[r("VideoStream")])))
+        assert plan.resolved
+        assert len(plan.bindings) == 1
+        assert plan.bindings[0].provider_uri == "urn:x:svc:streamer"
+
+    def test_unresolved_reported(self, directory):
+        composer = Composer(directory)
+        plan = composer.compose(request_for(cap("urn:x:c:want", "Want", outputs=[r("Title")])))
+        assert not plan.resolved
+        assert len(plan.unresolved) == 1
+
+    def test_unknown_scheme(self, directory):
+        with pytest.raises(ValueError):
+            Composer(directory).compose(
+                request_for(cap("urn:x:c:w", "W", outputs=[r("Stream")])), scheme="quantum"
+            )
+
+
+class TestTransitiveResolution:
+    @pytest.fixture()
+    def chain(self, directory):
+        """Streamer requires a Catalog; Catalog requires nothing."""
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:streamer",
+                name="Streamer",
+                provided=(cap("urn:x:c:stream", "Stream", outputs=[r("Stream")]),),
+                required=(cap("urn:x:c:needcat", "NeedCatalog", outputs=[r("Title")]),),
+            )
+        )
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:catalog",
+                name="Catalog",
+                provided=(cap("urn:x:c:titles", "Titles", outputs=[r("Title")]),),
+            )
+        )
+        return directory
+
+    @pytest.mark.parametrize("scheme", ["central", "p2p"])
+    def test_dependencies_expanded(self, chain, scheme):
+        composer = Composer(chain)
+        plan = composer.compose(
+            request_for(cap("urn:x:c:want", "Want", outputs=[r("Stream")])), scheme=scheme
+        )
+        assert plan.resolved
+        assert set(plan.services()) == {"urn:x:svc:streamer", "urn:x:svc:catalog"}
+        consumers = {binding.consumer_uri for binding in plan.bindings}
+        assert consumers == {"urn:x:req:root", "urn:x:svc:streamer"}
+
+    @pytest.mark.parametrize("scheme", ["central", "p2p"])
+    def test_missing_dependency_surfaces(self, chain, scheme):
+        chain.unpublish("urn:x:svc:catalog")
+        composer = Composer(chain)
+        plan = composer.compose(
+            request_for(cap("urn:x:c:want", "Want", outputs=[r("Stream")])), scheme=scheme
+        )
+        assert not plan.resolved
+        assert plan.unresolved[0][0] == "urn:x:svc:streamer"
+
+
+class TestCycles:
+    @pytest.mark.parametrize("scheme", ["central", "p2p"])
+    def test_mutual_requirements_terminate(self, directory, scheme):
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:a",
+                name="A",
+                provided=(cap("urn:x:c:a", "A", outputs=[r("Stream")]),),
+                required=(cap("urn:x:c:a:need", "NeedTitle", outputs=[r("Title")]),),
+            )
+        )
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:b",
+                name="B",
+                provided=(cap("urn:x:c:b", "B", outputs=[r("Title")]),),
+                required=(cap("urn:x:c:b:need", "NeedStream", outputs=[r("Stream")]),),
+            )
+        )
+        composer = Composer(directory)
+        plan = composer.compose(
+            request_for(cap("urn:x:c:want", "Want", outputs=[r("Stream")])), scheme=scheme
+        )
+        assert plan.resolved
+        # A requires B, B requires A; A is bound twice (root + B's need)
+        # but expanded only once.
+        assert len(plan.bindings) == 3
+
+
+class TestCentralOptimization:
+    def test_central_beats_greedy_when_local_best_is_globally_bad(self, directory):
+        """The greedy p2p scheme picks the semantically closest provider
+        even when its transitive needs are unresolvable; the central
+        scheme backtracks to a fully resolvable plan."""
+        # Provider X: perfect match but requires something nobody offers.
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:perfect-but-needy",
+                name="Needy",
+                provided=(
+                    cap(
+                        "urn:x:c:x",
+                        "X",
+                        outputs=[r("VideoStream")],
+                        category=s("VideoServer"),
+                    ),
+                ),
+                required=(cap("urn:x:c:x:need", "NeedGame", outputs=[r("GameResource")]),),
+            )
+        )
+        # Provider Y: semantically farther (Stream ⊒ VideoStream) but
+        # self-contained.
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:selfcontained",
+                name="SelfContained",
+                provided=(
+                    cap(
+                        "urn:x:c:y",
+                        "Y",
+                        outputs=[r("Stream")],
+                        category=s("DigitalServer"),
+                    ),
+                ),
+            )
+        )
+        want = cap(
+            "urn:x:c:want", "Want", outputs=[r("VideoStream")], category=s("VideoServer")
+        )
+        composer = Composer(directory)
+        greedy = composer.compose(request_for(want), scheme="p2p")
+        central = composer.compose(request_for(want), scheme="central")
+        assert not greedy.resolved  # bound to X, stuck on its requirement
+        assert central.resolved
+        assert central.services() == ["urn:x:svc:selfcontained"]
+
+    def test_central_minimizes_total_distance(self, directory):
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:exact",
+                name="Exact",
+                provided=(cap("urn:x:c:e", "E", outputs=[r("VideoStream")]),),
+            )
+        )
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:general",
+                name="General",
+                provided=(cap("urn:x:c:g", "G", outputs=[r("Stream")]),),
+            )
+        )
+        composer = Composer(directory)
+        plan = composer.compose(
+            request_for(cap("urn:x:c:want", "Want", outputs=[r("VideoStream")]))
+        )
+        assert plan.total_distance == 0
+        assert plan.services() == ["urn:x:svc:exact"]
+
+
+class TestBounds:
+    def test_expansion_bound_enforced(self, directory):
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:streamer",
+                name="Streamer",
+                provided=(cap("urn:x:c:stream", "Stream", outputs=[r("Stream")]),),
+            )
+        )
+        wants = tuple(
+            cap(f"urn:x:c:want{i}", f"Want{i}", outputs=[r("Stream")]) for i in range(5)
+        )
+        composer = Composer(directory, max_expansions=2)
+        with pytest.raises(CompositionError):
+            composer.compose(request_for(*wants), scheme="p2p")
+        with pytest.raises(CompositionError):
+            composer.compose(request_for(*wants), scheme="central")
+
+    def test_identical_requirements_all_bound(self, directory):
+        directory.publish(
+            ServiceProfile(
+                uri="urn:x:svc:streamer",
+                name="Streamer",
+                provided=(cap("urn:x:c:stream", "Stream", outputs=[r("Stream")]),),
+            )
+        )
+        wants = tuple(
+            cap(f"urn:x:c:want{i}", f"Want{i}", outputs=[r("Stream")]) for i in range(3)
+        )
+        plan = Composer(directory).compose(request_for(*wants))
+        assert plan.resolved
+        assert len(plan.bindings) == 3
+
+    def test_homogeneous_chain_terminates(self, directory):
+        """Self-satisfiable requirement loops must not run away: each
+        provider's requirements are expanded once."""
+        for index in range(10):
+            directory.publish(
+                ServiceProfile(
+                    uri=f"urn:x:svc:chain{index}",
+                    name=f"Chain{index}",
+                    provided=(cap(f"urn:x:c:p{index}", f"P{index}", outputs=[r("Stream")]),),
+                    required=(cap(f"urn:x:c:n{index}", f"N{index}", outputs=[r("Stream")]),),
+                )
+            )
+        plan = Composer(directory, max_expansions=50).compose(
+            request_for(cap("urn:x:c:want", "Want", outputs=[r("Stream")])), scheme="p2p"
+        )
+        assert plan.resolved
+
+
+class TestPlanInvariants:
+    """Property tests: whatever the population, plans are internally valid."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(min_value=0, max_value=40), st.integers(min_value=3, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_plan_validity_on_random_populations(self, small_workload, small_table, base, count):
+        from repro.core.matching import CodeMatcher
+        from repro.core.directory import SemanticDirectory
+
+        directory = SemanticDirectory(small_table)
+        profiles = [small_workload.make_service(base + i) for i in range(count)]
+        for profile in profiles:
+            directory.publish(profile)
+        composer = Composer(directory)
+        request = small_workload.matching_request(profiles[0])
+        matcher = CodeMatcher(table=small_table)
+        for scheme in ("central", "p2p"):
+            plan = composer.compose(request, scheme=scheme)
+            # 1. Every binding is a genuine semantic match with the right
+            #    distance.
+            for binding in plan.bindings:
+                distance = matcher.semantic_distance(
+                    binding.provided_capability, binding.required_capability
+                )
+                assert distance == binding.distance
+            # 2. Every provider named in a binding is published.
+            published = {p.uri for p in profiles}
+            for binding in plan.bindings:
+                assert binding.provider_uri in published
+            # 3. Root request obligations are all accounted for.
+            root_needs = {cap.uri for cap in request.capabilities}
+            bound = {b.required_capability.uri for b in plan.bindings if b.consumer_uri == request.uri}
+            unresolved = {c.uri for consumer, c in plan.unresolved if consumer == request.uri}
+            assert root_needs == bound | unresolved
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_central_distance_never_worse_than_p2p(self, small_workload, small_table, base):
+        from repro.core.directory import SemanticDirectory
+
+        directory = SemanticDirectory(small_table)
+        for i in range(8):
+            directory.publish(small_workload.make_service(base + i))
+        composer = Composer(directory)
+        request = small_workload.matching_request(small_workload.make_service(base))
+        central = composer.compose(request, scheme="central")
+        p2p = composer.compose(request, scheme="p2p")
+        if central.resolved and p2p.resolved:
+            assert central.total_distance <= p2p.total_distance
+        # Central never resolves less than p2p (it can backtrack).
+        assert len(central.unresolved) <= len(p2p.unresolved)

@@ -1,0 +1,283 @@
+"""Tests for the semantic directory (§3.3) and the flat baseline (Fig. 9)."""
+
+import pytest
+
+from repro.core.codes import StaleCodesError
+from repro.core.directory import FlatDirectory, SemanticDirectory
+from repro.core.capability_graph import QueryMode
+from repro.services.profile import Capability, ServiceProfile, ServiceRequest
+from repro.services.xml_codec import ServiceSyntaxError, profile_to_xml, request_to_xml
+
+NS = "http://repro.example.org/media"
+
+
+def r(name: str) -> str:
+    return f"{NS}/resources#{name}"
+
+
+def s(name: str) -> str:
+    return f"{NS}/servers#{name}"
+
+
+def workstation() -> ServiceProfile:
+    send = Capability.build(
+        "urn:x:cap:SendDigitalStream",
+        "SendDigitalStream",
+        inputs=[r("DigitalResource")],
+        outputs=[r("Stream")],
+        category=s("DigitalServer"),
+        includes=("urn:x:cap:ProvideGame",),
+    )
+    game = Capability.build(
+        "urn:x:cap:ProvideGame",
+        "ProvideGame",
+        inputs=[r("GameResource")],
+        outputs=[r("Stream")],
+        category=s("GameServer"),
+    )
+    return ServiceProfile(uri="urn:x:svc:workstation", name="Workstation", provided=(send, game))
+
+
+def video_request() -> ServiceRequest:
+    capability = Capability.build(
+        "urn:x:cap:GetVideoStream",
+        "GetVideoStream",
+        inputs=[r("VideoResource")],
+        outputs=[r("VideoStream")],
+        category=s("VideoServer"),
+    )
+    return ServiceRequest(uri="urn:x:req:video", capabilities=(capability,))
+
+
+class TestPublish:
+    def test_publish_and_counts(self, media_table):
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        assert len(directory) == 1
+        assert directory.capability_count == 2
+        assert directory.graph_count >= 1
+
+    def test_publish_xml_roundtrip(self, media_table):
+        directory = SemanticDirectory(media_table)
+        profile = workstation()
+        doc = profile_to_xml(
+            profile,
+            annotations=media_table.annotate(profile.provided),
+            codes_version=media_table.version,
+        )
+        restored = directory.publish_xml(doc)
+        assert restored.uri == profile.uri
+        assert directory.capability_count == 2
+
+    def test_stale_codes_rejected(self, media_table):
+        directory = SemanticDirectory(media_table)
+        profile = workstation()
+        doc = profile_to_xml(
+            profile,
+            annotations=media_table.annotate(profile.provided),
+            codes_version=media_table.version + 5,
+        )
+        with pytest.raises(StaleCodesError):
+            directory.publish_xml(doc)
+
+    def test_republish_replaces(self, media_table):
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        directory.publish(workstation())
+        assert len(directory) == 1
+        assert directory.capability_count == 2
+
+    def test_malformed_document(self, media_table):
+        with pytest.raises(ServiceSyntaxError):
+            SemanticDirectory(media_table).publish_xml("<nope>")
+
+
+class TestQuery:
+    def test_fig1_scenario(self, media_table):
+        """The PDA's GetVideoStream should select SendDigitalStream (which
+        includes GetVideoStream's functionality) at distance 3."""
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        matches = directory.query(video_request())
+        assert matches
+        assert matches[0].capability.name == "SendDigitalStream"
+        assert matches[0].distance == 3
+        assert matches[0].service_uri == "urn:x:svc:workstation"
+
+    def test_query_xml(self, media_table):
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        request = video_request()
+        doc = request_to_xml(
+            request,
+            annotations=media_table.annotate(request.capabilities),
+            codes_version=media_table.version,
+        )
+        matches = directory.query_xml(doc)
+        assert matches and matches[0].distance == 3
+
+    def test_graph_preselection_filters_foreign_ontologies(self, media_table):
+        """The paper's DAG2/O3 example: graphs sharing no ontology with the
+        request are never searched."""
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        foreign = Capability.build(
+            "urn:x:req:foreign", "F", outputs=["http://elsewhere.org/onto#Thing2"]
+        )
+        request = ServiceRequest(uri="urn:x:req:f", capabilities=(foreign,))
+        assert directory.query(request) == []
+
+    def test_empty_directory(self, media_table):
+        assert SemanticDirectory(media_table).query(video_request()) == []
+
+    def test_exhaustive_mode(self, media_table):
+        directory = SemanticDirectory(media_table, query_mode=QueryMode.EXHAUSTIVE)
+        directory.publish(workstation())
+        matches = directory.query(video_request())
+        assert matches[0].distance == 3
+
+    def test_best_match_ranked_first(self, media_table):
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        exact = ServiceProfile(
+            uri="urn:x:svc:videoserver",
+            name="VideoServer",
+            provided=(
+                Capability.build(
+                    "urn:x:cap:GetVideoStreamImpl",
+                    "GetVideoStreamImpl",
+                    inputs=[r("VideoResource")],
+                    outputs=[r("VideoStream")],
+                    category=s("VideoServer")),
+            ),
+        )
+        directory.publish(exact)
+        matches = directory.query(video_request())
+        assert matches[0].service_uri == "urn:x:svc:videoserver"
+        assert matches[0].distance == 0
+
+
+class TestUnpublish:
+    def test_unpublish_removes(self, media_table):
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        removed = directory.unpublish("urn:x:svc:workstation")
+        assert removed == 2
+        assert directory.query(video_request()) == []
+        assert directory.graph_count == 0
+
+    def test_unpublish_unknown(self, media_table):
+        assert SemanticDirectory(media_table).unpublish("urn:x:svc:none") == 0
+
+    def test_summary_rebuilt_after_unpublish(self, media_table):
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        directory.unpublish("urn:x:svc:workstation")
+        assert not directory.summary.might_answer(video_request())
+
+
+class TestFlatDirectory:
+    def test_same_answers_as_classified(self, media_table):
+        classified = SemanticDirectory(media_table)
+        flat = FlatDirectory(media_table)
+        classified.publish(workstation())
+        flat.publish(workstation())
+        c = classified.query(video_request())
+        f = flat.query(video_request())
+        assert c[0].distance == f[0].distance == 3
+        assert c[0].service_uri == f[0].service_uri
+
+    def test_flat_matches_all_capabilities(self, small_workload, small_table):
+        """Fig. 9's point: the flat baseline's match count scales with the
+        directory size, the classified one's does not."""
+        from repro.core.matching import CodeMatcher
+
+        flat = FlatDirectory(small_table)
+        classified = SemanticDirectory(small_table)
+        services = small_workload.make_services(30)
+        for profile in services:
+            flat.publish(profile)
+            classified.publish(profile)
+        request = small_workload.matching_request(services[5])
+
+        flat_hits = flat.query(request)
+        classified_hits = classified.query(request)
+        assert {h.service_uri for h in classified_hits} <= {
+            h.service_uri for h in flat_hits
+        } or classified_hits[0].distance == flat_hits[0].distance
+        # Best answer is the same.
+        assert classified_hits[0].distance == flat_hits[0].distance
+
+    def test_unpublish(self, media_table):
+        flat = FlatDirectory(media_table)
+        flat.publish(workstation())
+        assert flat.unpublish("urn:x:svc:workstation") == 2
+        assert flat.capability_count == 0
+
+    def test_publish_xml(self, media_table):
+        flat = FlatDirectory(media_table)
+        profile = workstation()
+        flat.publish_xml(profile_to_xml(profile))
+        assert len(flat) == 1
+
+
+class TestWorkloadScale:
+    def test_all_derived_requests_resolved(self, small_workload, small_table):
+        """Every matching_request must find its advertiser (§5 recall)."""
+        directory = SemanticDirectory(small_table)
+        services = small_workload.make_services(40)
+        for profile in services:
+            directory.publish(profile)
+        missing = []
+        for profile in services:
+            request = small_workload.matching_request(profile)
+            matches = directory.query(request)
+            if not any(m.service_uri == profile.uri for m in matches):
+                missing.append(profile.uri)
+        assert not missing, missing
+
+
+class TestStateSnapshot:
+    """Directory persistence: export/import with codes, no reasoner on the
+    importing side (the Fig. 7 successor-directory scenario)."""
+
+    def test_roundtrip_preserves_answers(self, media_table):
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        restored = SemanticDirectory.from_state(directory.export_state())
+        assert len(restored) == 1
+        assert restored.capability_count == 2
+        original = directory.query(video_request())
+        recovered = restored.query(video_request())
+        assert [(m.service_uri, m.distance) for m in recovered] == [
+            (m.service_uri, m.distance) for m in original
+        ]
+
+    def test_restored_table_has_no_taxonomy(self, media_table):
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        restored = SemanticDirectory.from_state(directory.export_state())
+        assert restored.table.taxonomy is None
+        assert restored.table.version == media_table.version
+
+    def test_empty_directory_roundtrip(self, media_table):
+        directory = SemanticDirectory(media_table)
+        restored = SemanticDirectory.from_state(directory.export_state())
+        assert len(restored) == 0
+        assert restored.query(video_request()) == []
+
+    def test_malformed_snapshot_rejected(self, media_table):
+        with pytest.raises(ValueError):
+            SemanticDirectory.from_state("<nope")
+        with pytest.raises(ValueError):
+            SemanticDirectory.from_state("<Wrong/>")
+        with pytest.raises(ValueError):
+            SemanticDirectory.from_state("<DirectoryState version='1'/>")
+
+    def test_kwargs_forwarded(self, media_table):
+        directory = SemanticDirectory(media_table)
+        directory.publish(workstation())
+        restored = SemanticDirectory.from_state(
+            directory.export_state(), query_mode=QueryMode.EXHAUSTIVE
+        )
+        assert restored.query_mode is QueryMode.EXHAUSTIVE

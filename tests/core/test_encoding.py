@@ -1,0 +1,187 @@
+"""Tests for interval encoding: slots, unions, and the central §3.2
+property — subsumption in the taxonomy ⟺ interval containment in codes."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    Interval,
+    IntervalEncoder,
+    PrecisionExhaustedError,
+    linkinvexp,
+    merge_intervals,
+    slot,
+    slot_width,
+    union_contains,
+)
+from repro.ontology.generator import OntologyShape, generate_ontology
+from repro.ontology.model import THING
+from repro.ontology.reasoner import Reasoner
+from repro.ontology.taxonomy import Taxonomy
+
+
+class TestLinkinvexp:
+    def test_paper_formula_values(self):
+        # linKinvexp(x) = (1/p^⌊x/k⌋)(1 + (x mod k)/k) with p=2, k=5.
+        assert linkinvexp(0) == pytest.approx(1.0)
+        assert linkinvexp(1) == pytest.approx(1.2)
+        assert linkinvexp(4) == pytest.approx(1.8)
+        assert linkinvexp(5) == pytest.approx(0.5)
+        assert linkinvexp(9) == pytest.approx(0.9)
+        assert linkinvexp(10) == pytest.approx(0.25)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            linkinvexp(-1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            linkinvexp(0, p=1)
+        with pytest.raises(ValueError):
+            linkinvexp(0, k=0)
+
+
+class TestSlots:
+    def test_widths_decay_by_block(self):
+        assert slot_width(0) == Fraction(1, 10)  # (1/5)·(1/2)
+        assert slot_width(4) == Fraction(1, 10)
+        assert slot_width(5) == Fraction(1, 20)
+        assert slot_width(10) == Fraction(1, 40)
+
+    def test_slots_tile_without_overlap(self):
+        previous_end = Fraction(0)
+        for index in range(50):
+            offset, width = slot(index)
+            assert offset == previous_end
+            previous_end = offset + width
+
+    def test_total_never_exceeds_unit(self):
+        offset, width = slot(10_000)
+        assert offset + width < 1
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=100)
+    def test_offset_matches_cumulative_width(self, index):
+        offset, _ = slot(index)
+        assert offset == sum(slot_width(i) for i in range(index))
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=100)
+    def test_closed_form_any_parameters(self, index, p, k):
+        offset, _ = slot(index, p, k)
+        assert offset == sum(slot_width(i, p, k) for i in range(index))
+
+
+class TestInterval:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.5, 0.5)
+
+    def test_contains(self):
+        assert Interval(0.0, 1.0).contains(Interval(0.2, 0.4))
+        assert not Interval(0.2, 0.4).contains(Interval(0.0, 1.0))
+
+    def test_overlaps(self):
+        assert Interval(0.0, 0.5).overlaps(Interval(0.4, 0.8))
+        assert not Interval(0.0, 0.4).overlaps(Interval(0.4, 0.8))  # half-open
+
+    def test_merge_adjacent(self):
+        merged = merge_intervals([Interval(0.0, 0.3), Interval(0.3, 0.5), Interval(0.7, 0.8)])
+        assert merged == (Interval(0.0, 0.5), Interval(0.7, 0.8))
+
+    def test_merge_empty(self):
+        assert merge_intervals([]) == ()
+
+    def test_union_contains_binary_search(self):
+        union = merge_intervals([Interval(0.0, 0.2), Interval(0.4, 0.6), Interval(0.8, 1.0)])
+        assert union_contains(union, Interval(0.45, 0.55))
+        assert not union_contains(union, Interval(0.15, 0.45))  # spans a gap
+        assert not union_contains(union, Interval(0.25, 0.3))
+
+
+def taxonomy_of(onto) -> Taxonomy:
+    return Reasoner().load([onto]).classify()
+
+
+class TestEncoderCorrectness:
+    @pytest.mark.parametrize("exact", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_subsumption_iff_containment(self, seed, exact):
+        """The §3.2 soundness/completeness property on random DAGs."""
+        onto = generate_ontology(
+            "http://x.org/enc",
+            OntologyShape(concepts=40, properties=8, multi_parent_fraction=0.3),
+            seed=seed,
+        )
+        taxonomy = taxonomy_of(onto)
+        encoded = IntervalEncoder(exact=exact).encode(taxonomy)
+        concepts = [c for c in taxonomy.concepts() if c != THING]
+        for a in concepts:
+            for b in concepts:
+                expected = taxonomy.subsumes(a, b)
+                actual = encoded[a].subsumes(encoded[b])
+                assert actual == expected, (a, b, expected)
+
+    def test_equivalent_concepts_share_code(self, media_taxonomy):
+        encoded = IntervalEncoder().encode(media_taxonomy)
+        for concept in media_taxonomy.concepts():
+            canon = media_taxonomy.canonical(concept)
+            assert encoded[concept] is encoded[canon]
+
+    def test_depths_recorded(self, media_taxonomy):
+        encoded = IntervalEncoder().encode(media_taxonomy)
+        ns = "http://repro.example.org/media"
+        assert encoded[f"{ns}/resources#VideoResource"].depth == 3
+
+    def test_thing_gets_unit_interval(self, media_taxonomy):
+        encoded = IntervalEncoder().encode(media_taxonomy)
+        assert encoded[THING].tree_interval == Interval(0.0, 1.0)
+
+    def test_sibling_tree_intervals_disjoint(self, media_taxonomy):
+        encoded = IntervalEncoder().encode(media_taxonomy)
+        ns = "http://repro.example.org/media"
+        siblings = [
+            encoded[f"{ns}/servers#VideoServer"].tree_interval,
+            encoded[f"{ns}/servers#GameServer"].tree_interval,
+            encoded[f"{ns}/servers#SoundServer"].tree_interval,
+        ]
+        for i, a in enumerate(siblings):
+            for b in siblings[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_deterministic(self, media_taxonomy):
+        a = IntervalEncoder().encode(media_taxonomy)
+        b = IntervalEncoder().encode(media_taxonomy)
+        for concept in media_taxonomy.concepts():
+            assert a[concept].tree_interval == b[concept].tree_interval
+
+
+class TestChildInterval:
+    def test_nested_in_parent(self):
+        encoder = IntervalEncoder()
+        parent = Interval(0.25, 0.5)
+        child = encoder.child_interval(parent, 3)
+        assert parent.contains(child)
+
+    def test_float_precision_error_raised(self):
+        encoder = IntervalEncoder()
+        # Width shrinks 10× per nesting; 50 nestings from 1e-13 underflow
+        # well past what float64 can distinguish around 0.5.
+        current = Interval(0.5, 0.5 + 1e-13)
+        with pytest.raises(PrecisionExhaustedError):
+            for _ in range(50):
+                current = encoder.child_interval(current, 0)
+
+    def test_exact_mode_never_exhausts(self):
+        encoder = IntervalEncoder(exact=True)
+        current = Interval(Fraction(0), Fraction(1))
+        for _ in range(600):  # beyond the paper's 462-level float limit
+            current = encoder.child_interval(current, 0)
+        assert current.width > 0

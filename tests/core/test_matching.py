@@ -1,0 +1,216 @@
+"""Tests for the §2.3 Match relation and SemanticDistance, including the
+paper's worked example (Fig. 1, total distance 3) and the transitivity
+property the capability DAG relies on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import CodeMatcher, TaxonomyMatcher
+from repro.services.profile import Capability
+
+NS = "http://repro.example.org/media"
+
+
+def r(name: str) -> str:
+    return f"{NS}/resources#{name}"
+
+
+def s(name: str) -> str:
+    return f"{NS}/servers#{name}"
+
+
+@pytest.fixture()
+def send_digital_stream() -> Capability:
+    """The workstation's provided capability (Fig. 1)."""
+    return Capability.build(
+        "urn:x:cap:SendDigitalStream",
+        "SendDigitalStream",
+        inputs=[r("DigitalResource")],
+        outputs=[r("Stream")],
+        category=s("DigitalServer"),
+    )
+
+
+@pytest.fixture()
+def get_video_stream() -> Capability:
+    """The PDA's required capability (Fig. 1)."""
+    return Capability.build(
+        "urn:x:cap:GetVideoStream",
+        "GetVideoStream",
+        inputs=[r("VideoResource")],
+        outputs=[r("VideoStream")],
+        category=s("VideoServer"),
+    )
+
+
+@pytest.fixture()
+def provide_game() -> Capability:
+    """The workstation's second capability (Fig. 1)."""
+    return Capability.build(
+        "urn:x:cap:ProvideGame",
+        "ProvideGame",
+        inputs=[r("GameResource")],
+        outputs=[r("Stream")],
+        category=s("GameServer"),
+    )
+
+
+@pytest.fixture(params=["taxonomy", "codes"])
+def matcher(request, media_taxonomy, media_table):
+    """Both oracles must implement identical semantics."""
+    if request.param == "taxonomy":
+        return TaxonomyMatcher(media_taxonomy)
+    return CodeMatcher(table=media_table)
+
+
+class TestWorkedExample:
+    def test_match_holds(self, matcher, send_digital_stream, get_video_stream):
+        assert matcher.match(send_digital_stream, get_video_stream)
+
+    def test_distance_is_three(self, matcher, send_digital_stream, get_video_stream):
+        """'The semantic distance between these capabilities is equal to 3'
+        — 1 (input) + 1 (output) + 1 (category)."""
+        assert matcher.semantic_distance(send_digital_stream, get_video_stream) == 3
+
+    def test_reverse_does_not_match(self, matcher, send_digital_stream, get_video_stream):
+        # GetVideoStream cannot substitute SendDigitalStream.
+        assert not matcher.match(get_video_stream, send_digital_stream)
+
+    def test_provide_game_does_not_match_video_request(
+        self, matcher, provide_game, get_video_stream
+    ):
+        # GameServer does not subsume VideoServer; inputs mismatch too.
+        assert not matcher.match(provide_game, get_video_stream)
+
+    def test_exact_match_distance_zero(self, matcher, get_video_stream):
+        twin = Capability.build(
+            "urn:x:cap:twin",
+            "Twin",
+            inputs=[r("VideoResource")],
+            outputs=[r("VideoStream")],
+            category=s("VideoServer"),
+        )
+        assert matcher.semantic_distance(twin, get_video_stream) == 0
+
+    def test_send_digital_more_generic_than_provide_game(
+        self, matcher, send_digital_stream, provide_game
+    ):
+        """§3.3: 'SendDigitalStream is more generic than ProvideGame'."""
+        assert matcher.match(send_digital_stream, provide_game)
+        assert not matcher.match(provide_game, send_digital_stream)
+
+    def test_pairings_reported(self, matcher, send_digital_stream, get_video_stream):
+        outcome = matcher.match_outcome(send_digital_stream, get_video_stream)
+        kinds = {p[0] for p in outcome.pairings}
+        assert kinds == {"input", "output", "property"}
+        assert all(p[3] == 1 for p in outcome.pairings)
+
+
+class TestMatchSemantics:
+    def test_provider_missing_output_fails(self, matcher):
+        provided = Capability.build("urn:x:p", "P", outputs=[r("Stream")])
+        requested = Capability.build(
+            "urn:x:q", "Q", outputs=[r("Stream"), r("Title")]
+        )
+        assert not matcher.match(provided, requested)
+
+    def test_provider_extra_outputs_ok(self, matcher):
+        provided = Capability.build("urn:x:p", "P", outputs=[r("Stream"), r("Title")])
+        requested = Capability.build("urn:x:q", "Q", outputs=[r("Stream")])
+        assert matcher.match(provided, requested)
+
+    def test_provider_input_without_requester_offer_fails(self, matcher):
+        provided = Capability.build("urn:x:p", "P", inputs=[r("Title")], outputs=[r("Stream")])
+        requested = Capability.build("urn:x:q", "Q", outputs=[r("Stream")])
+        assert not matcher.match(provided, requested)
+
+    def test_requester_extra_inputs_ok(self, matcher):
+        provided = Capability.build("urn:x:p", "P", outputs=[r("Stream")])
+        requested = Capability.build(
+            "urn:x:q", "Q", inputs=[r("Title"), r("GameResource")], outputs=[r("Stream")]
+        )
+        assert matcher.match(provided, requested)
+
+    def test_empty_capabilities_match_trivially(self, matcher):
+        provided = Capability.build("urn:x:p", "P")
+        requested = Capability.build("urn:x:q", "Q")
+        assert matcher.semantic_distance(provided, requested) == 0
+
+    def test_unknown_concept_fails_gracefully(self, matcher):
+        provided = Capability.build("urn:x:p", "P", outputs=["http://nowhere.org/o#X"])
+        requested = Capability.build("urn:x:q", "Q", outputs=["http://nowhere.org/o#X"])
+        # Unknown concepts cannot be proven to subsume: no match, no crash.
+        assert not matcher.match(provided, requested)
+
+    def test_distance_picks_minimum_partner(self, matcher):
+        provided = Capability.build(
+            "urn:x:p", "P", outputs=[r("Stream"), r("VideoStream")]
+        )
+        requested = Capability.build("urn:x:q", "Q", outputs=[r("VideoStream")])
+        # VideoStream matched by provided VideoStream at distance 0, not by
+        # Stream at distance 1.
+        assert matcher.semantic_distance(provided, requested) == 0
+
+    def test_stats_counted(self, media_taxonomy, send_digital_stream, get_video_stream):
+        matcher = TaxonomyMatcher(media_taxonomy)
+        matcher.match(send_digital_stream, get_video_stream)
+        assert matcher.stats.capability_matches == 1
+        assert matcher.stats.concept_comparisons >= 3
+
+
+class TestOraclesAgree:
+    def test_taxonomy_and_codes_identical_on_workload(self, small_workload, small_table):
+        taxonomy_matcher = TaxonomyMatcher(small_workload.taxonomy)
+        code_matcher = CodeMatcher(table=small_table)
+        services = small_workload.make_services(20)
+        for i, provider in enumerate(services):
+            request = small_workload.matching_request(provider)
+            for profile in services:
+                for cap in profile.provided:
+                    for req_cap in request.capabilities:
+                        assert taxonomy_matcher.match(cap, req_cap) == code_matcher.match(
+                            cap, req_cap
+                        ), (i, profile.uri)
+
+
+class TestTransitivity:
+    """Match transitivity is what makes the DAG prunings sound (§3.3)."""
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_match_transitive_on_random_triples(self, small_workload, seed):
+        import random
+
+        taxonomy = small_workload.taxonomy
+        matcher = TaxonomyMatcher(taxonomy)
+        rng = random.Random(seed)
+        services = [small_workload.make_service(rng.randrange(60)) for _ in range(3)]
+        caps = [svc.provided[0] for svc in services]
+        a, b, c = caps
+        if matcher.match(a, b) and matcher.match(b, c):
+            assert matcher.match(a, c)
+
+    def test_match_reflexive(self, matcher, send_digital_stream):
+        assert matcher.match(send_digital_stream, send_digital_stream)
+        assert matcher.semantic_distance(send_digital_stream, send_digital_stream) == 0
+
+
+class TestCodeMatcherConstruction:
+    def test_requires_some_source(self):
+        with pytest.raises(ValueError):
+            CodeMatcher()
+
+    def test_extra_codes_without_table(self, media_table, get_video_stream):
+        annotations = media_table.annotate([get_video_stream])
+        codes = media_table.resolve_annotations(annotations, media_table.version)
+        matcher = CodeMatcher(extra_codes=codes)
+        assert matcher.match(get_video_stream, get_video_stream)
+
+    def test_extra_codes_extend_table(self, media_table):
+        # A concept only present in embedded codes is still matchable.
+        code = media_table.code(r("Stream"))
+        matcher = CodeMatcher(table=None, extra_codes={r("Stream"): code})
+        provided = Capability.build("urn:x:p", "P", outputs=[r("Stream")])
+        requested = Capability.build("urn:x:q", "Q", outputs=[r("Stream")])
+        assert matcher.match(provided, requested)

@@ -1,0 +1,132 @@
+"""Scale and stress tests: larger populations, multi-capability services,
+ontology evolution end to end."""
+
+import pytest
+
+from repro.core.codes import CodeTable
+from repro.core.directory import FlatDirectory, SemanticDirectory
+from repro.ontology.generator import OntologyShape
+from repro.ontology.registry import OntologyRegistry
+from repro.services.generator import ServiceWorkload, WorkloadShape
+
+
+@pytest.fixture(scope="module")
+def multi_cap_workload():
+    """Services advertising three capabilities each (the paper's Amigo-S
+    explicitly supports several capabilities per service)."""
+    shape = WorkloadShape(
+        ontology_count=8,
+        ontology_shape=OntologyShape(concepts=30, properties=6),
+        ontologies_per_service=2,
+        inputs_per_capability=2,
+        outputs_per_capability=1,
+        properties_per_capability=1,
+        capabilities_per_service=3,
+    )
+    return ServiceWorkload(shape=shape, seed=23)
+
+
+class TestMultiCapabilityServices:
+    def test_all_capabilities_classified(self, multi_cap_workload):
+        table = CodeTable(OntologyRegistry(multi_cap_workload.ontologies))
+        directory = SemanticDirectory(table)
+        for profile in multi_cap_workload.make_services(20):
+            directory.publish(profile)
+        assert directory.capability_count == 60
+
+    def test_requests_resolve_any_capability_index(self, multi_cap_workload):
+        table = CodeTable(OntologyRegistry(multi_cap_workload.ontologies))
+        directory = SemanticDirectory(table)
+        services = multi_cap_workload.make_services(20)
+        for profile in services:
+            directory.publish(profile)
+        for cap_index in range(3):
+            request = multi_cap_workload.matching_request(services[4], capability_index=cap_index)
+            matches = directory.query(request)
+            assert any(m.service_uri == services[4].uri for m in matches), cap_index
+
+    def test_unpublish_removes_all_capabilities(self, multi_cap_workload):
+        table = CodeTable(OntologyRegistry(multi_cap_workload.ontologies))
+        directory = SemanticDirectory(table)
+        services = multi_cap_workload.make_services(5)
+        for profile in services:
+            directory.publish(profile)
+        assert directory.unpublish(services[2].uri) == 3
+        assert directory.capability_count == 12
+
+
+class TestLargePopulation:
+    @pytest.fixture(scope="class")
+    def big(self):
+        workload = ServiceWorkload(WorkloadShape(), seed=5)
+        table = CodeTable(OntologyRegistry(workload.ontologies))
+        directory = SemanticDirectory(table)
+        services = workload.make_services(300)
+        for profile in services:
+            directory.publish(profile)
+        return workload, table, directory, services
+
+    def test_population_cached(self, big):
+        _workload, _table, directory, _services = big
+        assert len(directory) == 300
+        assert directory.capability_count == 300
+
+    def test_recall_over_sample(self, big):
+        workload, _table, directory, services = big
+        for index in range(0, 300, 23):
+            request = workload.matching_request(services[index])
+            matches = directory.query(request)
+            assert any(m.service_uri == services[index].uri for m in matches), index
+
+    def test_classified_agrees_with_flat_best(self, big):
+        workload, table, directory, services = big
+        flat = FlatDirectory(table)
+        for profile in services:
+            flat.publish(profile)
+        for index in (1, 77, 150, 299):
+            request = workload.matching_request(services[index])
+            classified_best = directory.query(request)
+            flat_best = flat.query(request)
+            assert bool(classified_best) == bool(flat_best)
+            if classified_best:
+                assert classified_best[0].distance == flat_best[0].distance
+
+    def test_churn(self, big):
+        """Publish/unpublish cycles keep the index consistent."""
+        workload, _table, directory, services = big
+        for index in range(50):
+            directory.unpublish(services[index].uri)
+        assert len(directory) == 250
+        for index in range(50):
+            directory.publish(services[index])
+        assert len(directory) == 300
+        request = workload.matching_request(services[10])
+        assert any(m.service_uri == services[10].uri for m in directory.query(request))
+
+
+class TestOntologyEvolutionEndToEnd:
+    def test_new_ontology_requires_new_table_and_works(self):
+        workload = ServiceWorkload(
+            WorkloadShape(ontology_count=4, ontology_shape=OntologyShape(concepts=20, properties=4)),
+            seed=3,
+        )
+        registry = OntologyRegistry(workload.ontologies)
+        old_table = CodeTable(registry)
+        directory = SemanticDirectory(old_table)
+        services = workload.make_services(10)
+        for profile in services:
+            directory.publish(profile)
+
+        # Evolution: a new ontology arrives; codes must be re-minted.
+        from repro.ontology.generator import generate_ontology
+
+        registry.register(generate_ontology("http://x.org/new-domain", seed=9))
+        new_table = CodeTable(registry)
+        assert new_table.version > old_table.version
+
+        # A directory rebuilt on the new table still answers everything.
+        refreshed = SemanticDirectory(new_table)
+        for profile in services:
+            refreshed.publish(profile)
+        request = workload.matching_request(services[3])
+        assert any(m.service_uri == services[3].uri for m in refreshed.query(request))

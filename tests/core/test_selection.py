@@ -1,0 +1,176 @@
+"""Tests for QoS- and context-aware selection over the semantic directory."""
+
+import pytest
+
+from repro.core.directory import SemanticDirectory
+from repro.core.selection import QosAwareSelector
+from repro.services.profile import Capability, ServiceProfile, ServiceRequest
+from repro.services.qos import (
+    ContextCondition,
+    ContextSnapshot,
+    QosConstraint,
+    QosOffer,
+    QosProfile,
+    QosRequirement,
+)
+
+NS = "http://repro.example.org/media"
+
+
+def r(name: str) -> str:
+    return f"{NS}/resources#{name}"
+
+
+def s(name: str) -> str:
+    return f"{NS}/servers#{name}"
+
+
+def provider(uri: str, output: str = "Stream", category: str = "DigitalServer") -> ServiceProfile:
+    cap = Capability.build(
+        f"{uri}:cap",
+        f"Cap_{uri.rsplit(':', 1)[-1]}",
+        inputs=[r("DigitalResource")],
+        outputs=[r(output)],
+        category=s(category),
+    )
+    return ServiceProfile(uri=uri, name=uri, provided=(cap,))
+
+
+def video_request() -> ServiceRequest:
+    cap = Capability.build(
+        "urn:x:req:cap",
+        "GetVideoStream",
+        inputs=[r("VideoResource")],
+        outputs=[r("VideoStream")],
+        category=s("VideoServer"),
+    )
+    return ServiceRequest(uri="urn:x:req:video", capabilities=(cap,))
+
+
+@pytest.fixture()
+def selector(media_table):
+    directory = SemanticDirectory(media_table)
+    fast = provider("urn:x:svc:fast")
+    slow = provider("urn:x:svc:slow")
+    home_only = provider("urn:x:svc:home")
+    directory.publish(fast)
+    directory.publish(slow)
+    directory.publish(home_only)
+    selector = QosAwareSelector(directory)
+    selector.register_qos(
+        fast.uri,
+        QosProfile.build({fast.provided[0].uri: (QosOffer.of(latency_ms=10.0), ContextCondition())}),
+    )
+    selector.register_qos(
+        slow.uri,
+        QosProfile.build({slow.provided[0].uri: (QosOffer.of(latency_ms=90.0), ContextCondition())}),
+    )
+    selector.register_qos(
+        home_only.uri,
+        QosProfile.build(
+            {
+                home_only.provided[0].uri: (
+                    QosOffer.of(latency_ms=1.0),
+                    ContextCondition.requires(location="home"),
+                )
+            }
+        ),
+    )
+    return selector
+
+
+class TestSelection:
+    def test_without_qos_all_semantic_matches_survive(self, selector):
+        ranked = selector.select(video_request(), context=ContextSnapshot.of(location="home"))
+        assert len(ranked) == 3
+
+    def test_context_filters_invalid_offers(self, selector):
+        ranked = selector.select(video_request(), context=ContextSnapshot.of(location="office"))
+        assert {m.service_uri for m in ranked} == {"urn:x:svc:fast", "urn:x:svc:slow"}
+
+    def test_empty_context_filters_conditional_offers(self, selector):
+        ranked = selector.select(video_request())
+        assert "urn:x:svc:home" not in {m.service_uri for m in ranked}
+
+    def test_hard_constraint_disqualifies(self, selector):
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 50.0))
+        ranked = selector.select(
+            video_request(), requirement, ContextSnapshot.of(location="office")
+        )
+        assert [m.service_uri for m in ranked] == ["urn:x:svc:fast"]
+
+    def test_qos_breaks_semantic_ties(self, selector):
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 200.0))
+        ranked = selector.select(
+            video_request(), requirement, ContextSnapshot.of(location="office")
+        )
+        # Both at the same semantic distance; lower latency first.
+        assert ranked[0].service_uri == "urn:x:svc:fast"
+        assert ranked[0].utility > ranked[1].utility
+
+    def test_semantics_outrank_qos_by_default(self, media_table, selector):
+        # An exact (distance 0) but slow provider must still beat a distant
+        # fast one under the default ordering.
+        directory = selector._directory
+        exact = ServiceProfile(
+            uri="urn:x:svc:exact",
+            name="exact",
+            provided=(
+                Capability.build(
+                    "urn:x:svc:exact:cap",
+                    "ExactCap",
+                    inputs=[r("VideoResource")],
+                    outputs=[r("VideoStream")],
+                    category=s("VideoServer"),
+                ),
+            ),
+        )
+        directory.publish(exact)
+        selector.register_qos(
+            exact.uri,
+            QosProfile.build(
+                {exact.provided[0].uri: (QosOffer.of(latency_ms=150.0), ContextCondition())}
+            ),
+        )
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 200.0))
+        ranked = selector.select(
+            video_request(), requirement, ContextSnapshot.of(location="office")
+        )
+        assert ranked[0].service_uri == "urn:x:svc:exact"
+        assert ranked[0].distance == 0
+
+    def test_qos_first_mode_flips_priorities(self, media_table):
+        directory = SemanticDirectory(media_table)
+        exact_slow = provider("urn:x:svc:exactslow", output="VideoStream", category="VideoServer")
+        distant_fast = provider("urn:x:svc:fast2")
+        directory.publish(exact_slow)
+        directory.publish(distant_fast)
+        selector = QosAwareSelector(directory, qos_first=True)
+        selector.register_qos(
+            exact_slow.uri,
+            QosProfile.build(
+                {exact_slow.provided[0].uri: (QosOffer.of(latency_ms=150.0), ContextCondition())}
+            ),
+        )
+        selector.register_qos(
+            distant_fast.uri,
+            QosProfile.build(
+                {distant_fast.provided[0].uri: (QosOffer.of(latency_ms=5.0), ContextCondition())}
+            ),
+        )
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 200.0))
+        ranked = selector.select(video_request(), requirement, ContextSnapshot())
+        assert ranked[0].service_uri == "urn:x:svc:fast2"
+
+    def test_best_returns_none_when_everything_filtered(self, selector):
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 0.5))
+        assert selector.best(video_request(), requirement, ContextSnapshot()) is None
+
+    def test_unregister(self, selector):
+        selector.unregister_qos("urn:x:svc:fast")
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 50.0))
+        ranked = selector.select(
+            video_request(), requirement, ContextSnapshot.of(location="home")
+        )
+        # fast lost its annotations: empty offer fails the hard constraint.
+        assert {m.service_uri for m in ranked} == {"urn:x:svc:home"}

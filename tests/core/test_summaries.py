@@ -1,0 +1,102 @@
+"""Tests for Bloom-filter directory summaries (§4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.summaries import DirectorySummary
+from repro.services.profile import Capability, ServiceRequest
+
+
+def cap(name: str, namespaces: list[str]) -> Capability:
+    return Capability.build(
+        f"urn:x:cap:{name}",
+        name,
+        outputs=[f"{ns}#Out{name}" for ns in namespaces],
+    )
+
+
+def request_for(capability: Capability) -> ServiceRequest:
+    return ServiceRequest(uri="urn:x:req:1", capabilities=(capability,))
+
+
+class TestMightHold:
+    def test_exact_ontology_set_hit(self):
+        summary = DirectorySummary()
+        stored = cap("A", ["http://o.org/1", "http://o.org/2"])
+        summary.add_capability(stored)
+        probe = cap("B", ["http://o.org/1", "http://o.org/2"])
+        assert summary.might_hold(probe)
+
+    def test_subset_ontology_request_hit(self):
+        """A request using fewer ontologies than the advertisement must not
+        be filtered out (no false negatives for subset footprints)."""
+        summary = DirectorySummary()
+        summary.add_capability(cap("A", ["http://o.org/1", "http://o.org/2"]))
+        probe = cap("B", ["http://o.org/1"])
+        assert summary.might_hold(probe)
+
+    def test_unrelated_ontology_filtered(self):
+        summary = DirectorySummary()
+        summary.add_capability(cap("A", ["http://o.org/1"]))
+        probe = cap("B", ["http://elsewhere.org/9"])
+        assert not summary.might_hold(probe)
+
+    def test_empty_summary_rejects(self):
+        assert not DirectorySummary().might_hold(cap("A", ["http://o.org/1"]))
+
+    def test_might_answer_any_capability(self):
+        summary = DirectorySummary()
+        summary.add_capability(cap("A", ["http://o.org/1"]))
+        request = ServiceRequest(
+            uri="urn:x:req:2",
+            capabilities=(cap("Nope", ["http://x.org/7"]), cap("Yes", ["http://o.org/1"])),
+        )
+        assert summary.might_answer(request)
+
+
+class TestNoFalseNegatives:
+    @given(
+        st.lists(
+            st.lists(st.sampled_from([f"http://o.org/{i}" for i in range(8)]), min_size=1, max_size=3, unique=True),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60)
+    def test_stored_footprints_always_admitted(self, footprints):
+        summary = DirectorySummary()
+        capabilities = [cap(f"C{i}", spaces) for i, spaces in enumerate(footprints)]
+        for capability in capabilities:
+            summary.add_capability(capability)
+        for capability in capabilities:
+            assert summary.might_hold(capability)
+
+
+class TestRebuildAndSaturation:
+    def test_rebuild_reflects_current_content(self):
+        summary = DirectorySummary()
+        a = cap("A", ["http://o.org/1"])
+        b = cap("B", ["http://o.org/2"])
+        summary.add_capability(a)
+        summary.add_capability(b)
+        summary.rebuild([b])
+        assert summary.might_hold(b)
+        assert not summary.might_hold(a)
+
+    def test_saturation_flag(self):
+        summary = DirectorySummary(m=32, k=2)
+        for i in range(60):
+            summary.add_capability(cap(f"C{i}", [f"http://o{i}.org/x"]))
+        assert summary.saturated
+
+    def test_snapshot_is_copy(self):
+        summary = DirectorySummary()
+        snap = summary.snapshot()
+        summary.add_capability(cap("A", ["http://o.org/1"]))
+        assert snap.fill_ratio == 0.0
+
+    def test_from_bloom_wraps_exchanged_bits(self):
+        summary = DirectorySummary()
+        summary.add_capability(cap("A", ["http://o.org/1"]))
+        wrapped = DirectorySummary.from_bloom(summary.snapshot())
+        assert wrapped.might_hold(cap("B", ["http://o.org/1"]))

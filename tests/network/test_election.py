@@ -1,0 +1,116 @@
+"""Tests for the §4 directory election protocol."""
+
+import pytest
+
+from repro.network.election import ElectionAgent, ElectionConfig
+from repro.network.node import Network
+from repro.network.simulator import Simulator
+from repro.network.topology import Bounds, Position, grid_positions
+
+FAST = ElectionConfig(
+    advert_interval=5.0,
+    advert_hops=2,
+    directory_timeout=10.0,
+    check_interval=2.0,
+    reply_window=1.0,
+    election_hops=2,
+)
+
+
+def build(count=9, radio_range=160.0, capable=None, config=FAST, promoted=None):
+    sim = Simulator()
+    network = Network(sim, bounds=Bounds(300, 300), radio_range=radio_range, seed=1)
+    agents = {}
+    positions = grid_positions(count, Bounds(300, 300))
+    for i in range(count):
+        node = network.add_node(i, positions[i])
+        agent = ElectionAgent(
+            config=config,
+            directory_capable=(capable is None or i in capable),
+            on_promoted=(lambda nid=i: promoted.append(nid)) if promoted is not None else None,
+        )
+        node.add_agent(agent)
+        agents[i] = agent
+    network.start()
+    return sim, network, agents
+
+
+class TestElection:
+    def test_directory_emerges_after_timeout(self):
+        sim, _network, agents = build()
+        sim.run(until=60.0)
+        assert any(agent.is_directory for agent in agents.values())
+
+    def test_nodes_learn_their_directory(self):
+        sim, _network, agents = build()
+        sim.run(until=120.0)
+        directors = {i for i, a in agents.items() if a.is_directory}
+        covered = sum(
+            1 for a in agents.values() if a.current_directory is not None
+        )
+        assert directors
+        assert covered >= len(agents) - 1
+
+    def test_only_capable_nodes_serve(self):
+        sim, _network, agents = build(capable={3})
+        sim.run(until=120.0)
+        serving = {i for i, a in agents.items() if a.is_directory}
+        assert serving == {3}
+
+    def test_promotion_callback_fires(self):
+        promoted = []
+        sim, _network, _agents = build(promoted=promoted)
+        sim.run(until=60.0)
+        assert promoted
+
+    def test_fitness_prefers_coverage(self):
+        sim = Simulator()
+        network = Network(sim, bounds=Bounds(300, 300), radio_range=150.0)
+        # Center node hears everyone; corners hear only the center.
+        center = network.add_node(0, Position(150, 150))
+        corner = network.add_node(1, Position(50, 50))
+        network.add_node(2, Position(250, 250))
+        center_agent = ElectionAgent(config=FAST)
+        corner_agent = ElectionAgent(config=FAST)
+        center.add_agent(center_agent)
+        corner.add_agent(corner_agent)
+        network.nodes[2].add_agent(ElectionAgent(config=FAST))
+        network.start()
+        assert center_agent.fitness() > corner_agent.fitness()
+
+    def test_mobile_nodes_penalized(self):
+        sim, network, _ = build(count=2)
+        stable = ElectionAgent(config=FAST, is_mobile=False)
+        mobile = ElectionAgent(config=FAST, is_mobile=True)
+        stable.attach(network.nodes[0])
+        mobile.attach(network.nodes[0])
+        assert mobile.fitness() <= stable.fitness()
+
+    def test_adverts_suppress_new_elections(self):
+        sim, _network, agents = build()
+        sim.run(until=120.0)
+        directors_early = {i for i, a in agents.items() if a.is_directory}
+        sim.run(until=240.0)
+        directors_late = {i for i, a in agents.items() if a.is_directory}
+        # Advertisements keep re-elections from multiplying directories
+        # without bound (vicinity nodes stay quiet).
+        assert len(directors_late) <= len(directors_early) + 2
+
+    def test_step_down_stops_advertising(self):
+        sim, network, agents = build()
+        sim.run(until=60.0)
+        director_id = next(i for i, a in agents.items() if a.is_directory)
+        agents[director_id].step_down()
+        assert not agents[director_id].is_directory
+
+    def test_reelection_after_directory_leaves(self):
+        sim, network, agents = build()
+        sim.run(until=60.0)
+        directors = [i for i, a in agents.items() if a.is_directory]
+        for i in directors:
+            agents[i].step_down()
+            agents[i].directory_capable = False
+        sim.run(until=sim.now + 120.0)
+        new_directors = [i for i, a in agents.items() if a.is_directory]
+        assert new_directors
+        assert set(new_directors).isdisjoint(directors)

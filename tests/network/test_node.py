@@ -1,0 +1,154 @@
+"""Tests for the wireless fabric: neighbors, flooding, unicast routing."""
+
+import pytest
+
+from repro.network.messages import Envelope, PublishService, payload_size
+from repro.network.node import Network, ProtocolAgent
+from repro.network.simulator import Simulator
+from repro.network.topology import Bounds, Position
+
+
+class Recorder(ProtocolAgent):
+    """Collects every delivered envelope."""
+
+    def __init__(self):
+        super().__init__()
+        self.received: list[Envelope] = []
+
+    def on_message(self, envelope: Envelope) -> None:
+        self.received.append(envelope)
+
+
+def line_network(count=4, spacing=100.0, radio_range=120.0):
+    """Nodes on a line, each hearing only its direct neighbors."""
+    sim = Simulator()
+    network = Network(sim, bounds=Bounds(1000, 100), radio_range=radio_range)
+    recorders = {}
+    for i in range(count):
+        node = network.add_node(i, Position(spacing * i, 50.0))
+        recorders[i] = node.add_agent(Recorder())
+    network.start()
+    return sim, network, recorders
+
+
+class TestNeighbors:
+    def test_line_adjacency(self):
+        _sim, network, _ = line_network()
+        assert {n.node_id for n in network.neighbors(1)} == {0, 2}
+        assert {n.node_id for n in network.neighbors(0)} == {1}
+
+    def test_connectivity(self):
+        _sim, network, _ = line_network()
+        assert network.is_connected()
+
+    def test_partition_detected(self):
+        sim = Simulator()
+        network = Network(sim, radio_range=50.0)
+        network.add_node(0, Position(0, 0))
+        network.add_node(1, Position(400, 400))
+        assert not network.is_connected()
+
+    def test_duplicate_node_id_rejected(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.add_node(0, Position(0, 0))
+        with pytest.raises(ValueError):
+            network.add_node(0, Position(1, 1))
+
+
+class TestFlooding:
+    def test_ttl_limits_reach(self):
+        sim, network, recorders = line_network(count=5)
+        network.nodes[0].broadcast(PublishService("<x/>"), ttl=2)
+        sim.run()
+        assert len(recorders[1].received) == 1
+        assert len(recorders[2].received) == 1
+        assert recorders[3].received == []  # 3 hops away
+
+    def test_duplicate_suppression(self):
+        sim, network, recorders = line_network(count=3, spacing=50.0, radio_range=200.0)
+        # Full mesh: everyone hears everyone; each node must deliver once.
+        network.nodes[0].broadcast(PublishService("<x/>"), ttl=3)
+        sim.run()
+        assert len(recorders[1].received) == 1
+        assert len(recorders[2].received) == 1
+
+    def test_origin_does_not_self_deliver(self):
+        sim, network, recorders = line_network(count=3)
+        network.nodes[1].broadcast(PublishService("<x/>"), ttl=2)
+        sim.run()
+        assert recorders[1].received == []
+
+    def test_hop_count_recorded(self):
+        sim, network, recorders = line_network(count=4)
+        network.nodes[0].broadcast(PublishService("<x/>"), ttl=3)
+        sim.run()
+        assert recorders[1].received[0].hops == 1
+        assert recorders[2].received[0].hops == 2
+
+    def test_flood_stats(self):
+        sim, network, _ = line_network(count=4)
+        network.nodes[0].broadcast(PublishService("<x/>"), ttl=3)
+        sim.run()
+        assert network.stats.broadcasts >= 1
+        assert network.stats.deliveries == 3
+
+
+class TestUnicast:
+    def test_direct_delivery(self):
+        sim, network, recorders = line_network()
+        assert network.nodes[0].unicast(1, PublishService("<x/>"))
+        sim.run()
+        assert len(recorders[1].received) == 1
+        assert recorders[1].received[0].dest == 1
+
+    def test_multi_hop_delivery(self):
+        sim, network, recorders = line_network(count=5)
+        assert network.nodes[0].unicast(4, PublishService("<x/>"))
+        sim.run()
+        assert len(recorders[4].received) == 1
+        assert recorders[4].received[0].hops == 4
+
+    def test_unreachable_dropped(self):
+        sim = Simulator()
+        network = Network(sim, radio_range=10.0)
+        a = network.add_node(0, Position(0, 0))
+        network.add_node(1, Position(400, 400))
+        assert not a.unicast(1, PublishService("<x/>"))
+        assert network.stats.drops_unreachable == 1
+
+    def test_unknown_destination_raises(self):
+        sim, network, _ = line_network()
+        with pytest.raises(KeyError):
+            network.nodes[0].unicast(99, PublishService("<x/>"))
+
+    def test_latency_scales_with_hops(self):
+        sim, network, recorders = line_network(count=5)
+        timestamps = {}
+
+        class Stamper(ProtocolAgent):
+            def __init__(self, label):
+                super().__init__()
+                self.label = label
+
+            def on_message(self, envelope):
+                timestamps[self.label] = sim.now
+
+        network.nodes[1].add_agent(Stamper("near"))
+        network.nodes[4].add_agent(Stamper("far"))
+        network.nodes[0].unicast(1, PublishService("<x/>"))
+        network.nodes[0].unicast(4, PublishService("<x/>"))
+        sim.run()
+        assert timestamps["far"] > timestamps["near"]
+
+
+class TestPayloadSize:
+    def test_document_payload_counts_length(self):
+        small = payload_size(PublishService("<x/>"))
+        large = payload_size(PublishService("<x>" + "a" * 1000 + "</x>"))
+        assert large > small
+
+    def test_fixed_payload_default(self):
+        from repro.network.messages import DirectoryAdvert
+
+        assert payload_size(DirectoryAdvert(1)) == 64

@@ -1,0 +1,110 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.network.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_on_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(1.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_clock_advances_to_until_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.001, loop)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(until=1000.0, max_events=100)
+
+
+class TestPeriodic:
+    def test_schedule_every_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_every(1.0, lambda: fired.append(sim.now))
+        sim.run(until=5.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_cancel_stops_firing(self):
+        sim = Simulator()
+        fired = []
+        cancel = sim.schedule_every(1.0, lambda: fired.append(sim.now))
+        sim.run(until=2.5)
+        cancel()
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_every(0.0, lambda: None)

@@ -1,0 +1,101 @@
+"""Tests for positions, placement and mobility."""
+
+import random
+
+import pytest
+
+from repro.network.topology import (
+    Bounds,
+    Position,
+    RandomWaypoint,
+    StaticPlacement,
+    grid_positions,
+)
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+    def test_moved_toward_partial(self):
+        moved = Position(0, 0).moved_toward(Position(10, 0), 4)
+        assert moved == Position(4.0, 0.0)
+
+    def test_moved_toward_clamps_at_target(self):
+        assert Position(0, 0).moved_toward(Position(1, 0), 5) == Position(1, 0)
+
+    def test_moved_toward_zero_distance(self):
+        assert Position(2, 2).moved_toward(Position(2, 2), 1) == Position(2, 2)
+
+
+class TestBounds:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Bounds(0, 10)
+
+    def test_random_position_inside(self):
+        bounds = Bounds(100, 50)
+        rng = random.Random(0)
+        for _ in range(100):
+            p = bounds.random_position(rng)
+            assert 0 <= p.x <= 100 and 0 <= p.y <= 50
+
+
+class TestStaticPlacement:
+    def test_step_is_identity(self):
+        placement = StaticPlacement()
+        p = Position(5, 5)
+        assert placement.step(1, p, 10.0, Bounds(10, 10), random.Random(0)) == p
+
+
+class TestRandomWaypoint:
+    def test_nodes_move(self):
+        bounds = Bounds(100, 100)
+        rng = random.Random(1)
+        model = RandomWaypoint(min_speed=1.0, max_speed=2.0, pause_time=0.0)
+        p0 = model.initial_position(1, bounds, rng)
+        p1 = model.step(1, p0, 5.0, bounds, rng)
+        assert p1 != p0
+
+    def test_positions_stay_in_bounds(self):
+        bounds = Bounds(50, 50)
+        rng = random.Random(2)
+        model = RandomWaypoint(min_speed=2.0, max_speed=5.0, pause_time=1.0)
+        position = model.initial_position(1, bounds, rng)
+        for _ in range(200):
+            position = model.step(1, position, 1.0, bounds, rng)
+            assert 0 <= position.x <= 50 and 0 <= position.y <= 50
+
+    def test_pause_holds_position(self):
+        bounds = Bounds(100, 100)
+        rng = random.Random(3)
+        model = RandomWaypoint(min_speed=100.0, max_speed=100.0, pause_time=10.0)
+        position = model.initial_position(1, bounds, rng)
+        # One big step reaches the waypoint and triggers the pause.
+        at_waypoint = model.step(1, position, 10.0, bounds, rng)
+        held = model.step(1, at_waypoint, 5.0, bounds, rng)
+        assert held == at_waypoint
+
+    def test_invalid_speeds(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(min_speed=5.0, max_speed=1.0)
+
+    def test_zero_speed_clamped(self):
+        model = RandomWaypoint(min_speed=0.0, max_speed=0.0)
+        assert model.min_speed > 0
+
+
+class TestGridPositions:
+    def test_count(self):
+        assert len(grid_positions(10, Bounds(100, 100))) == 10
+
+    def test_positions_distinct(self):
+        positions = grid_positions(9, Bounds(100, 100))
+        assert len(set(positions)) == 9
+
+    def test_single_node(self):
+        assert len(grid_positions(1, Bounds(100, 100))) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            grid_positions(0, Bounds(10, 10))

@@ -1,0 +1,85 @@
+"""Tests for the hand-crafted office ontology suite — including the
+inference ground truths the examples rely on."""
+
+import pytest
+
+from repro.core.codes import CodeTable
+from repro.ontology.fixtures import (
+    device,
+    document,
+    office_suite,
+    place,
+    service,
+)
+from repro.ontology.reasoner import ClassificationStrategy, Reasoner
+from repro.ontology.registry import OntologyRegistry
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return Reasoner().load(office_suite()).classify()
+
+
+class TestSuiteStructure:
+    def test_four_ontologies_all_valid(self):
+        suite = office_suite()
+        assert len(suite) == 4
+        for onto in suite:
+            onto.validate()
+
+    def test_namespaces_disjoint(self):
+        suite = office_suite()
+        seen: set[str] = set()
+        for onto in suite:
+            for concept in onto.concepts:
+                assert concept not in seen
+                seen.add(concept)
+
+
+class TestInference:
+    def test_inkjet_is_inferred_color_printer(self, taxonomy):
+        """InkjetPrinter carries ∃supports.ColorOutput, so the *defined*
+        ColorPrinter must subsume it even without a told edge."""
+        assert taxonomy.subsumes(device("ColorPrinter"), device("InkjetPrinter"))
+
+    def test_laser_is_not_color_printer(self, taxonomy):
+        assert not taxonomy.subsumes(device("ColorPrinter"), device("LaserPrinter"))
+
+    def test_projector_is_inferred_hires_display(self, taxonomy):
+        assert taxonomy.subsumes(device("HiResDisplay"), device("Projector"))
+
+    def test_monitor_is_not_hires(self, taxonomy):
+        assert not taxonomy.subsumes(device("HiResDisplay"), device("Monitor"))
+
+    def test_told_chains(self, taxonomy):
+        assert taxonomy.subsumes(device("Device"), device("InkjetPrinter"))
+        assert taxonomy.subsumes(document("Artefact"), document("Photo"))
+        assert taxonomy.subsumes(place("Zone"), place("MeetingRoom"))
+        assert taxonomy.subsumes(service("OfficeService"), service("ColorPrintService"))
+
+    def test_distances(self, taxonomy):
+        assert taxonomy.distance(document("Document"), document("Invoice")) == 2
+        assert taxonomy.distance(service("PrintService"), service("ColorPrintService")) == 1
+
+    def test_all_strategies_agree(self):
+        reference = (
+            Reasoner(strategy=ClassificationStrategy.ENUMERATIVE)
+            .load(office_suite())
+            .classify()
+        )
+        for strategy in (ClassificationStrategy.TRAVERSAL, ClassificationStrategy.MEMOIZED):
+            taxonomy = Reasoner(strategy=strategy).load(office_suite()).classify()
+            for concept in reference.concepts():
+                assert taxonomy.ancestors(concept) == reference.ancestors(concept)
+
+
+class TestEncodedSuite:
+    def test_codes_agree_with_taxonomy(self, taxonomy):
+        table = CodeTable(OntologyRegistry(office_suite()))
+        for a in taxonomy.concepts():
+            for b in taxonomy.concepts():
+                assert table.subsumes(a, b) == taxonomy.subsumes(a, b), (a, b)
+
+    def test_inferred_subsumption_survives_encoding(self):
+        table = CodeTable(OntologyRegistry(office_suite()))
+        assert table.subsumes(device("ColorPrinter"), device("InkjetPrinter"))

@@ -1,0 +1,82 @@
+"""Tests for the synthetic ontology generator."""
+
+import pytest
+
+from repro.ontology.generator import (
+    OntologyShape,
+    PAPER_REASONER_SHAPE,
+    generate_ontology,
+    generate_ontology_suite,
+    media_home_ontologies,
+)
+from repro.ontology.reasoner import Reasoner
+
+
+class TestGenerateOntology:
+    def test_shape_respected(self):
+        onto = generate_ontology("http://x.org/o", OntologyShape(concepts=30, properties=7), seed=1)
+        assert len(onto.concepts) == 30
+        assert len(onto.properties) == 7
+
+    def test_paper_shape(self):
+        onto = generate_ontology("http://x.org/paper", PAPER_REASONER_SHAPE, seed=1)
+        stats = onto.stats()
+        assert stats["concepts"] == 99
+        assert stats["properties"] == 39
+
+    def test_deterministic(self):
+        a = generate_ontology("http://x.org/o", seed=9)
+        b = generate_ontology("http://x.org/o", seed=9)
+        assert a.concepts == b.concepts
+        assert a.properties == b.properties
+
+    def test_different_seeds_differ(self):
+        a = generate_ontology("http://x.org/o", seed=1)
+        b = generate_ontology("http://x.org/o", seed=2)
+        assert a.concepts != b.concepts
+
+    def test_generated_is_valid_and_classifiable(self):
+        onto = generate_ontology("http://x.org/o", OntologyShape(concepts=40, properties=8), seed=3)
+        onto.validate()
+        taxonomy = Reasoner().load([onto]).classify()
+        assert len(taxonomy) == 40
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            generate_ontology("http://x.org/o", OntologyShape(concepts=0))
+
+    def test_has_defined_concepts(self):
+        onto = generate_ontology(
+            "http://x.org/o", OntologyShape(concepts=80, defined_fraction=0.3), seed=4
+        )
+        assert any(c.defined for c in onto.concepts.values())
+
+
+class TestGenerateSuite:
+    def test_suite_size_and_uris(self):
+        suite = generate_ontology_suite(count=5, seed=0)
+        assert len(suite) == 5
+        assert len({o.uri for o in suite}) == 5
+
+    def test_paper_setting_22_ontologies(self):
+        suite = generate_ontology_suite(count=22, shape=OntologyShape(concepts=10, properties=3))
+        assert len(suite) == 22
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            generate_ontology_suite(count=0)
+
+
+class TestMediaHome:
+    def test_structure(self):
+        resources, servers = media_home_ontologies()
+        assert "VideoResource" in str(sorted(resources.concepts))
+        assert "DigitalServer" in str(sorted(servers.concepts))
+        resources.validate()
+        servers.validate()
+
+    def test_classification_levels(self):
+        resources, servers = media_home_ontologies()
+        taxonomy = Reasoner().load([resources, servers]).classify()
+        ns = resources.uri
+        assert taxonomy.depth(f"{ns}#VideoResource") == 3  # Resource > Digital > Video

@@ -1,0 +1,153 @@
+"""Tests for the ontology model (concepts, properties, validation)."""
+
+import pytest
+
+from repro.ontology.model import (
+    Concept,
+    ObjectProperty,
+    Ontology,
+    OntologyError,
+    Restriction,
+    THING,
+)
+
+
+def make_ontology() -> Ontology:
+    onto = Ontology(uri="http://x.org/o")
+    onto.object_property("http://x.org/o#hasPart")
+    onto.concept("http://x.org/o#A")
+    onto.concept("http://x.org/o#B", parents=("http://x.org/o#A",))
+    return onto
+
+
+class TestConcept:
+    def test_rejects_self_parent(self):
+        with pytest.raises(OntologyError):
+            Concept(uri="http://x.org/o#A", parents=("http://x.org/o#A",))
+
+    def test_rejects_invalid_uri(self):
+        with pytest.raises(ValueError):
+            Concept(uri="not a uri")
+
+    def test_restriction_validates_uris(self):
+        with pytest.raises(ValueError):
+            Restriction(prop="bad uri", filler="http://x.org/o#A")
+
+
+class TestOntologyConstruction:
+    def test_duplicate_concept_rejected(self):
+        onto = make_ontology()
+        with pytest.raises(OntologyError):
+            onto.concept("http://x.org/o#A")
+
+    def test_duplicate_property_rejected(self):
+        onto = make_ontology()
+        with pytest.raises(OntologyError):
+            onto.object_property("http://x.org/o#hasPart")
+
+    def test_contains_thing(self):
+        onto = make_ontology()
+        assert THING in onto
+
+    def test_len_counts_concepts(self):
+        assert len(make_ontology()) == 2
+
+    def test_stats(self):
+        onto = make_ontology()
+        onto.concept(
+            "http://x.org/o#C",
+            parents=("http://x.org/o#B",),
+            restrictions=(Restriction("http://x.org/o#hasPart", "http://x.org/o#A"),),
+        )
+        stats = onto.stats()
+        assert stats["concepts"] == 3
+        assert stats["properties"] == 1
+        assert stats["restrictions"] == 1
+        assert stats["axioms"] == 3  # two subclass + one restriction
+
+
+class TestValidation:
+    def test_valid_ontology_passes(self):
+        make_ontology().validate()
+
+    def test_unknown_parent_rejected(self):
+        onto = make_ontology()
+        onto.concept("http://x.org/o#C", parents=("http://x.org/o#Missing",))
+        with pytest.raises(OntologyError, match="unknown parent"):
+            onto.validate()
+
+    def test_thing_parent_allowed(self):
+        onto = make_ontology()
+        onto.concept("http://x.org/o#C", parents=(THING,))
+        onto.validate()
+
+    def test_unknown_restriction_property_rejected(self):
+        onto = make_ontology()
+        onto.concept(
+            "http://x.org/o#C",
+            restrictions=(Restriction("http://x.org/o#missing", "http://x.org/o#A"),),
+        )
+        with pytest.raises(OntologyError, match="unknown property"):
+            onto.validate()
+
+    def test_unknown_filler_rejected(self):
+        onto = make_ontology()
+        onto.concept(
+            "http://x.org/o#C",
+            restrictions=(Restriction("http://x.org/o#hasPart", "http://x.org/o#Missing"),),
+        )
+        with pytest.raises(OntologyError, match="unknown filler"):
+            onto.validate()
+
+    def test_told_cycle_rejected(self):
+        onto = Ontology(uri="http://x.org/o")
+        onto.add_concept(Concept("http://x.org/o#A", parents=("http://x.org/o#B",)))
+        onto.add_concept(Concept("http://x.org/o#B", parents=("http://x.org/o#A",)))
+        with pytest.raises(OntologyError, match="cycle"):
+            onto.validate()
+
+    def test_property_cycle_rejected(self):
+        onto = Ontology(uri="http://x.org/o")
+        onto.add_property(ObjectProperty("http://x.org/o#p", parents=("http://x.org/o#q",)))
+        onto.add_property(ObjectProperty("http://x.org/o#q", parents=("http://x.org/o#p",)))
+        with pytest.raises(OntologyError, match="cycle"):
+            onto.validate()
+
+    def test_unknown_property_parent_rejected(self):
+        onto = make_ontology()
+        onto.object_property("http://x.org/o#p", parents=("http://x.org/o#missing",))
+        with pytest.raises(OntologyError):
+            onto.validate()
+
+
+class TestToldQueries:
+    def test_ancestors_transitive(self):
+        onto = make_ontology()
+        onto.concept("http://x.org/o#C", parents=("http://x.org/o#B",))
+        ancestors = onto.told_concept_ancestors("http://x.org/o#C")
+        assert "http://x.org/o#B" in ancestors
+        assert "http://x.org/o#A" in ancestors
+        assert THING in ancestors
+
+    def test_ancestors_excludes_self(self):
+        onto = make_ontology()
+        assert "http://x.org/o#B" not in onto.told_concept_ancestors("http://x.org/o#B")
+
+    def test_ancestors_unknown_concept(self):
+        with pytest.raises(KeyError):
+            make_ontology().told_concept_ancestors("http://x.org/o#Missing")
+
+    def test_property_ancestors_include_self(self):
+        onto = make_ontology()
+        onto.object_property("http://x.org/o#sub", parents=("http://x.org/o#hasPart",))
+        ancestors = onto.told_property_ancestors("http://x.org/o#sub")
+        assert ancestors == {"http://x.org/o#sub", "http://x.org/o#hasPart"}
+
+    def test_multi_parent_ancestors(self):
+        onto = make_ontology()
+        onto.concept("http://x.org/o#D")
+        onto.concept(
+            "http://x.org/o#E", parents=("http://x.org/o#B", "http://x.org/o#D")
+        )
+        ancestors = onto.told_concept_ancestors("http://x.org/o#E")
+        assert {"http://x.org/o#A", "http://x.org/o#B", "http://x.org/o#D"} <= ancestors

@@ -1,0 +1,72 @@
+"""Tests for the ontology XML codec."""
+
+import pytest
+
+from repro.ontology.generator import OntologyShape, generate_ontology
+from repro.ontology.model import Ontology, Restriction
+from repro.ontology.owl_xml import OwlSyntaxError, ontology_from_xml, ontology_to_xml
+
+
+@pytest.fixture()
+def onto() -> Ontology:
+    onto = Ontology(uri="http://x.org/o", version="3")
+    onto.object_property("http://x.org/o#p", domain="http://x.org/o#A")
+    onto.object_property("http://x.org/o#q", parents=("http://x.org/o#p",))
+    onto.concept("http://x.org/o#A", label="A")
+    onto.concept(
+        "http://x.org/o#B",
+        parents=("http://x.org/o#A",),
+        restrictions=(Restriction("http://x.org/o#p", "http://x.org/o#A"),),
+        defined=True,
+    )
+    onto.validate()
+    return onto
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_everything(self, onto):
+        restored = ontology_from_xml(ontology_to_xml(onto))
+        assert restored.uri == onto.uri
+        assert restored.version == onto.version
+        assert restored.concepts == onto.concepts
+        assert restored.properties == onto.properties
+
+    def test_roundtrip_generated(self):
+        onto = generate_ontology(
+            "http://x.org/gen", OntologyShape(concepts=50, properties=10), seed=2
+        )
+        restored = ontology_from_xml(ontology_to_xml(onto))
+        assert restored.concepts == onto.concepts
+        assert restored.properties == onto.properties
+
+    def test_defined_flag_roundtrips(self, onto):
+        restored = ontology_from_xml(ontology_to_xml(onto))
+        assert restored.concepts["http://x.org/o#B"].defined
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(OwlSyntaxError, match="not well-formed"):
+            ontology_from_xml("<Ontology uri='x'")
+
+    def test_wrong_root(self):
+        with pytest.raises(OwlSyntaxError, match="expected <Ontology>"):
+            ontology_from_xml("<Wrong/>")
+
+    def test_missing_uri(self):
+        with pytest.raises(OwlSyntaxError, match="missing required attribute"):
+            ontology_from_xml("<Ontology><Class uri='http://x.org/o#A'/></Ontology>")
+
+    def test_unexpected_element(self):
+        with pytest.raises(OwlSyntaxError, match="unexpected element"):
+            ontology_from_xml("<Ontology uri='http://x.org/o'><Bogus/></Ontology>")
+
+    def test_dangling_reference_caught_by_validate(self):
+        doc = (
+            "<Ontology uri='http://x.org/o'>"
+            "<Class uri='http://x.org/o#A'>"
+            "<subClassOf resource='http://x.org/o#Missing'/>"
+            "</Class></Ontology>"
+        )
+        with pytest.raises(Exception, match="unknown parent"):
+            ontology_from_xml(doc)

@@ -1,0 +1,197 @@
+"""Tests for structural subsumption and the three classification strategies."""
+
+import pytest
+
+from repro.ontology.model import Ontology, OntologyError, Restriction, THING
+from repro.ontology.reasoner import (
+    ClassificationStrategy,
+    Reasoner,
+    StructuralSubsumption,
+)
+
+NS = "http://x.org/o#"
+
+
+def u(name: str) -> str:
+    return NS + name
+
+
+@pytest.fixture()
+def onto() -> Ontology:
+    """Told chain + a defined concept enabling inference.
+
+    Animal ⊐ Dog; hasOwner property; Pet is *defined* as ∃hasOwner.Person;
+    Dog carries ∃hasOwner.Person, so Pet ⊒ Dog must be inferred.
+    """
+    onto = Ontology(uri="http://x.org/o")
+    onto.object_property(u("hasOwner"))
+    onto.object_property(u("hasGuardian"), parents=(u("hasOwner"),))
+    onto.concept(u("Person"))
+    onto.concept(u("Child"), parents=(u("Person"),))
+    onto.concept(u("Animal"))
+    onto.concept(
+        u("Dog"),
+        parents=(u("Animal"),),
+        restrictions=(Restriction(u("hasOwner"), u("Person")),),
+    )
+    onto.concept(
+        u("Pet"),
+        restrictions=(Restriction(u("hasOwner"), u("Person")),),
+        defined=True,
+    )
+    onto.concept(
+        u("ChildsPet"),
+        restrictions=(Restriction(u("hasOwner"), u("Child")),),
+        defined=True,
+    )
+    onto.concept(
+        u("Stray"),
+        parents=(u("Animal"),),
+    )
+    onto.concept(
+        u("GuardedDog"),
+        parents=(u("Animal"),),
+        restrictions=(Restriction(u("hasGuardian"), u("Child")),),
+    )
+    onto.validate()
+    return onto
+
+
+class TestStructuralSubsumption:
+    def test_told_ancestor_subsumes(self, onto):
+        core = StructuralSubsumption([onto])
+        assert core.subsumes(u("Animal"), u("Dog"))
+
+    def test_thing_subsumes_everything(self, onto):
+        core = StructuralSubsumption([onto])
+        assert core.subsumes(THING, u("Dog"))
+        assert not core.subsumes(u("Dog"), THING)
+
+    def test_defined_concept_inferred(self, onto):
+        core = StructuralSubsumption([onto])
+        assert core.subsumes(u("Pet"), u("Dog"))
+
+    def test_primitive_not_inferred(self, onto):
+        # Stray is an Animal with no owner restriction: not a Pet.
+        core = StructuralSubsumption([onto])
+        assert not core.subsumes(u("Pet"), u("Stray"))
+
+    def test_definition_with_specific_filler_not_entailed(self, onto):
+        # ChildsPet needs hasOwner.Child; Dog only guarantees Person.
+        core = StructuralSubsumption([onto])
+        assert not core.subsumes(u("ChildsPet"), u("Dog")
+        )
+
+    def test_property_hierarchy_entailment(self, onto):
+        # GuardedDog has ∃hasGuardian.Child and hasGuardian ⊑ hasOwner,
+        # Child ⊑ Person ⇒ Pet (∃hasOwner.Person) subsumes GuardedDog.
+        core = StructuralSubsumption([onto])
+        assert core.subsumes(u("Pet"), u("GuardedDog"))
+        assert core.subsumes(u("ChildsPet"), u("GuardedDog"))
+
+    def test_unknown_concept_raises(self, onto):
+        core = StructuralSubsumption([onto])
+        with pytest.raises(KeyError):
+            core.subsumes(u("Missing"), u("Dog"))
+        with pytest.raises(KeyError):
+            core.subsumes(u("Dog"), u("Missing"))
+
+    def test_duplicate_concept_across_ontologies_rejected(self, onto):
+        clone = Ontology(uri="http://x.org/other")
+        clone.concept(u("Dog"))
+        with pytest.raises(OntologyError):
+            StructuralSubsumption([onto, clone])
+
+    def test_property_subsumes(self, onto):
+        core = StructuralSubsumption([onto])
+        assert core.property_subsumes(u("hasOwner"), u("hasGuardian"))
+        assert not core.property_subsumes(u("hasGuardian"), u("hasOwner"))
+
+    def test_restriction_inherited_from_parent(self, onto):
+        # A subclass of Dog inherits ∃hasOwner.Person, hence is a Pet.
+        onto.concept(u("Puppy"), parents=(u("Dog"),))
+        onto.validate()
+        core = StructuralSubsumption([onto])
+        assert core.subsumes(u("Pet"), u("Puppy"))
+
+
+class TestDefinitionalCycles:
+    def test_cycle_through_fillers_terminates(self):
+        onto = Ontology(uri="http://x.org/c")
+        onto.object_property(u("p"))
+        onto.concept(u("A"), restrictions=(Restriction(u("p"), u("B")),), defined=True)
+        onto.concept(u("B"), restrictions=(Restriction(u("p"), u("A")),), defined=True)
+        onto.validate()
+        core = StructuralSubsumption([onto])
+        # Least fixpoint: the mutual definition is not entailed.
+        assert not core.subsumes(u("A"), u("B"))
+        assert not core.subsumes(u("B"), u("A"))
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("strategy", list(ClassificationStrategy))
+    def test_taxonomy_matches_enumerative(self, onto, strategy):
+        reference = Reasoner(strategy=ClassificationStrategy.ENUMERATIVE).load([onto]).classify()
+        taxonomy = Reasoner(strategy=strategy).load([onto]).classify()
+        for concept in reference.concepts():
+            assert taxonomy.ancestors(concept) == reference.ancestors(concept), concept
+
+    def test_generated_ontology_agreement(self):
+        from repro.ontology.generator import OntologyShape, generate_ontology
+
+        onto = generate_ontology(
+            "http://x.org/gen", OntologyShape(concepts=60, properties=12), seed=5
+        )
+        reference = Reasoner(strategy=ClassificationStrategy.ENUMERATIVE).load([onto]).classify()
+        for strategy in (ClassificationStrategy.TRAVERSAL, ClassificationStrategy.MEMOIZED):
+            taxonomy = Reasoner(strategy=strategy).load([onto]).classify()
+            for concept in reference.concepts():
+                assert taxonomy.ancestors(concept) == reference.ancestors(concept), (
+                    strategy,
+                    concept,
+                )
+
+    def test_traversal_does_fewer_tests_than_enumerative(self, onto):
+        enum = Reasoner(strategy=ClassificationStrategy.ENUMERATIVE)
+        enum.load([onto]).classify()
+        trav = Reasoner(strategy=ClassificationStrategy.TRAVERSAL)
+        trav.load([onto]).classify()
+        assert trav.stats.subsumption_tests < enum.stats.subsumption_tests
+
+
+class TestEquivalenceDetection:
+    def test_mutually_defined_concepts_merge(self):
+        onto = Ontology(uri="http://x.org/e")
+        onto.object_property(u("p"))
+        onto.concept(u("Base"))
+        onto.concept(u("X"), restrictions=(Restriction(u("p"), u("Base")),), defined=True)
+        onto.concept(u("Y"), restrictions=(Restriction(u("p"), u("Base")),), defined=True)
+        onto.validate()
+        for strategy in ClassificationStrategy:
+            taxonomy = Reasoner(strategy=strategy).load([onto]).classify()
+            assert taxonomy.canonical(u("X")) == taxonomy.canonical(u("Y")), strategy
+            assert taxonomy.distance(u("X"), u("Y")) == 0
+
+
+class TestReasonerFacade:
+    def test_classify_before_load_raises(self):
+        with pytest.raises(RuntimeError):
+            Reasoner().classify()
+
+    def test_loaded_flag(self, onto):
+        reasoner = Reasoner()
+        assert not reasoner.loaded
+        reasoner.load([onto])
+        assert reasoner.loaded
+
+    def test_distance_query(self, onto):
+        reasoner = Reasoner().load([onto])
+        assert reasoner.distance(u("Animal"), u("Dog")) == 1
+        assert reasoner.distance(u("Dog"), u("Animal")) is None
+
+    def test_stats_accumulate(self, onto):
+        reasoner = Reasoner().load([onto])
+        reasoner.classify()
+        assert reasoner.stats.load_seconds > 0
+        assert reasoner.stats.classify_seconds > 0
+        assert reasoner.stats.subsumption_tests > 0

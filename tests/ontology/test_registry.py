@@ -1,0 +1,72 @@
+"""Tests for the ontology registry and snapshot versioning."""
+
+import pytest
+
+from repro.ontology.generator import OntologyShape, generate_ontology
+from repro.ontology.registry import OntologyRegistry, UnknownOntologyError
+
+
+def make(uri="http://x.org/a", seed=0):
+    return generate_ontology(uri, OntologyShape(concepts=5, properties=2), seed=seed)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = OntologyRegistry()
+        onto = make()
+        registry.register(onto)
+        assert registry.get(onto.uri) is onto
+        assert onto.uri in registry
+        assert len(registry) == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownOntologyError):
+            OntologyRegistry().get("http://x.org/missing")
+
+    def test_remove(self):
+        onto = make()
+        registry = OntologyRegistry([onto])
+        registry.remove(onto.uri)
+        assert onto.uri not in registry
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownOntologyError):
+            OntologyRegistry().remove("http://x.org/missing")
+
+    def test_get_many_sorted(self):
+        a, b = make("http://x.org/a"), make("http://x.org/b", seed=1)
+        registry = OntologyRegistry([b, a])
+        result = registry.get_many([b.uri, a.uri])
+        assert [o.uri for o in result] == [a.uri, b.uri]
+
+    def test_owner_of(self):
+        onto = make()
+        registry = OntologyRegistry([onto])
+        concept = next(iter(onto.concepts))
+        assert registry.owner_of(concept) is onto
+
+    def test_owner_of_unknown(self):
+        with pytest.raises(UnknownOntologyError):
+            OntologyRegistry([make()]).owner_of("http://x.org/a#Nope")
+
+
+class TestSnapshotVersioning:
+    def test_register_bumps(self):
+        registry = OntologyRegistry()
+        v0 = registry.snapshot_version
+        registry.register(make())
+        assert registry.snapshot_version == v0 + 1
+
+    def test_replace_bumps(self):
+        onto = make()
+        registry = OntologyRegistry([onto])
+        v = registry.snapshot_version
+        registry.register(make(onto.uri, seed=2))
+        assert registry.snapshot_version == v + 1
+
+    def test_remove_bumps(self):
+        onto = make()
+        registry = OntologyRegistry([onto])
+        v = registry.snapshot_version
+        registry.remove(onto.uri)
+        assert registry.snapshot_version == v + 1

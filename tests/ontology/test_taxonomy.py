@@ -1,0 +1,150 @@
+"""Tests for the classified taxonomy and the §2.3 distance function."""
+
+import pytest
+
+from repro.ontology.model import THING
+from repro.ontology.taxonomy import Taxonomy
+
+
+def build(concepts, subsumers):
+    return Taxonomy.from_subsumptions(concepts, {k: set(v) for k, v in subsumers.items()})
+
+
+URI = "http://x.org/o#"
+
+
+def u(name: str) -> str:
+    return URI + name
+
+
+class TestChain:
+    """A ⊐ B ⊐ C chain."""
+
+    @pytest.fixture()
+    def taxonomy(self):
+        return build([u("A"), u("B"), u("C")], {u("B"): [u("A")], u("C"): [u("A"), u("B")]})
+
+    def test_subsumes_transitive(self, taxonomy):
+        assert taxonomy.subsumes(u("A"), u("C"))
+
+    def test_subsumes_reflexive(self, taxonomy):
+        assert taxonomy.subsumes(u("B"), u("B"))
+
+    def test_not_subsumes_upward(self, taxonomy):
+        assert not taxonomy.subsumes(u("C"), u("A"))
+
+    def test_distance_counts_levels(self, taxonomy):
+        assert taxonomy.distance(u("A"), u("B")) == 1
+        assert taxonomy.distance(u("A"), u("C")) == 2
+
+    def test_distance_zero_on_self(self, taxonomy):
+        assert taxonomy.distance(u("B"), u("B")) == 0
+
+    def test_distance_null_when_unrelated(self, taxonomy):
+        assert taxonomy.distance(u("C"), u("A")) is None
+
+    def test_depth(self, taxonomy):
+        assert taxonomy.depth(u("A")) == 1
+        assert taxonomy.depth(u("C")) == 3
+
+    def test_thing_subsumes_all(self, taxonomy):
+        assert taxonomy.subsumes(THING, u("C"))
+        assert taxonomy.distance(THING, u("A")) == 1
+
+    def test_parents_children(self, taxonomy):
+        assert taxonomy.parents(u("C")) == {u("B")}
+        assert taxonomy.children(u("A")) == {u("B")}
+
+    def test_roots_and_leaves(self, taxonomy):
+        assert taxonomy.roots() == {u("A")}
+        assert taxonomy.leaves() == [u("C")]
+
+    def test_len_excludes_thing(self, taxonomy):
+        assert len(taxonomy) == 3
+
+    def test_unknown_concept_raises(self, taxonomy):
+        with pytest.raises(KeyError):
+            taxonomy.subsumes(u("A"), u("Nope"))
+
+
+class TestEquivalence:
+    @pytest.fixture()
+    def taxonomy(self):
+        # A ≡ B (mutual subsumption), C below both.
+        return build(
+            [u("A"), u("B"), u("C")],
+            {u("A"): [u("B")], u("B"): [u("A")], u("C"): [u("A"), u("B")]},
+        )
+
+    def test_equivalents_grouped(self, taxonomy):
+        assert taxonomy.equivalents(u("A")) == {u("A"), u("B")}
+
+    def test_canonical_is_shared(self, taxonomy):
+        assert taxonomy.canonical(u("A")) == taxonomy.canonical(u("B"))
+
+    def test_distance_zero_between_equivalents(self, taxonomy):
+        assert taxonomy.distance(u("A"), u("B")) == 0
+        assert taxonomy.distance(u("B"), u("A")) == 0
+
+    def test_subsumption_through_either_member(self, taxonomy):
+        assert taxonomy.subsumes(u("B"), u("C"))
+        assert taxonomy.distance(u("B"), u("C")) == 1
+
+
+class TestDiamond:
+    """A over B and C, D under both: multi-parent DAG."""
+
+    @pytest.fixture()
+    def taxonomy(self):
+        return build(
+            [u("A"), u("B"), u("C"), u("D")],
+            {
+                u("B"): [u("A")],
+                u("C"): [u("A")],
+                u("D"): [u("A"), u("B"), u("C")],
+            },
+        )
+
+    def test_d_has_two_parents(self, taxonomy):
+        assert taxonomy.parents(u("D")) == {u("B"), u("C")}
+
+    def test_transitive_reduction_drops_direct_edge(self, taxonomy):
+        # A→D is implied via B (and C); it must not be a direct edge.
+        assert u("D") not in taxonomy.children(u("A"))
+
+    def test_distance_shortest_path(self, taxonomy):
+        assert taxonomy.distance(u("A"), u("D")) == 2
+
+    def test_unrelated_siblings(self, taxonomy):
+        assert taxonomy.distance(u("B"), u("C")) is None
+        assert not taxonomy.subsumes(u("B"), u("C"))
+
+
+class TestFig1Distances:
+    """The paper's worked example relies on these level counts."""
+
+    def test_media_distances(self, media_taxonomy):
+        ns = "http://repro.example.org/media"
+        assert (
+            media_taxonomy.distance(
+                f"{ns}/resources#DigitalResource", f"{ns}/resources#VideoResource"
+            )
+            == 1
+        )
+        assert (
+            media_taxonomy.distance(f"{ns}/servers#DigitalServer", f"{ns}/servers#VideoServer")
+            == 1
+        )
+        assert (
+            media_taxonomy.distance(f"{ns}/resources#Stream", f"{ns}/resources#VideoStream")
+            == 1
+        )
+
+    def test_media_subsumption_direction(self, media_taxonomy):
+        ns = "http://repro.example.org/media"
+        assert media_taxonomy.subsumes(
+            f"{ns}/servers#Server", f"{ns}/servers#VideoServer"
+        )
+        assert not media_taxonomy.subsumes(
+            f"{ns}/servers#VideoServer", f"{ns}/servers#Server"
+        )

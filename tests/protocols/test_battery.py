@@ -1,0 +1,155 @@
+"""Tests for the energy model and battery-driven directory replacement."""
+
+import pytest
+
+from repro.core.codes import CodeTable
+from repro.network.election import ElectionConfig
+from repro.network.messages import PublishService
+from repro.network.node import Network
+from repro.network.simulator import Simulator
+from repro.network.topology import Position
+from repro.ontology.registry import OntologyRegistry
+from repro.protocols.deployment import Deployment, DeploymentConfig
+from repro.services.xml_codec import profile_to_xml, request_to_xml
+
+FAST_ELECTION = ElectionConfig(
+    advert_interval=5.0,
+    advert_hops=2,
+    directory_timeout=10.0,
+    check_interval=2.0,
+    reply_window=1.0,
+    election_hops=2,
+)
+
+
+class TestDrainModel:
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        network = Network(sim, radio_range=200.0)
+        a = network.add_node(0, Position(0, 0))
+        network.add_node(1, Position(50, 0))
+        for _ in range(100):
+            a.unicast(1, PublishService("<x/>" * 100))
+        sim.run()
+        assert a.battery == 1.0
+
+    def test_sender_and_receiver_drain(self):
+        sim = Simulator()
+        network = Network(sim, radio_range=200.0)
+        network.battery_cost_per_kb = 0.01
+        a = network.add_node(0, Position(0, 0))
+        b = network.add_node(1, Position(50, 0))
+        for _ in range(50):
+            a.unicast(1, PublishService("x" * 1024))
+        sim.run()
+        assert a.battery < 1.0
+        assert b.battery < 1.0
+
+    def test_battery_floors_at_zero(self):
+        sim = Simulator()
+        network = Network(sim, radio_range=200.0)
+        network.battery_cost_per_kb = 1.0
+        a = network.add_node(0, Position(0, 0))
+        network.add_node(1, Position(50, 0))
+        for _ in range(10):
+            a.unicast(1, PublishService("x" * 4096))
+        sim.run()
+        assert a.battery == 0.0
+
+    def test_flood_drains_participants(self):
+        sim = Simulator()
+        network = Network(sim, radio_range=200.0)
+        network.battery_cost_per_kb = 0.05
+        nodes = [network.add_node(i, Position(50.0 * i, 0)) for i in range(4)]
+        network.start()
+        nodes[0].broadcast(PublishService("x" * 2048), ttl=4)
+        sim.run()
+        assert all(node.battery < 1.0 for node in nodes)
+
+
+class TestBatteryManagedDeployment:
+    def test_low_battery_directory_replaced(self, small_workload):
+        table = CodeTable(OntologyRegistry(small_workload.ontologies))
+        deployment = Deployment(
+            DeploymentConfig(
+                node_count=25,
+                protocol="sariadne",
+                election=FAST_ELECTION,
+                seed=3,
+                directory_capable_fraction=1.0,
+            ),
+            table=table,
+        )
+        deployment.run_until_directories(minimum=1)
+        deployment.enable_battery_management(threshold=0.3, check_interval=5.0)
+        # Publish some content to one directory, then drain it manually.
+        profile = small_workload.make_service(0)
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        deployment.publish_from(5, document, service_uri=profile.uri)
+        victim = deployment.directory_ids()[0]
+        held = len(deployment.directory_agents[victim].cached_documents())
+        deployment.network.nodes[victim].battery = 0.05
+        deployment.sim.run(until=deployment.sim.now + 20.0)
+        # The drained node no longer serves; its content moved on.
+        assert victim not in deployment.directory_agents
+        if held:
+            moved = any(
+                len(agent.cached_documents()) >= held
+                for agent in deployment.directory_agents.values()
+            )
+            assert moved
+        # Discovery still works end to end.
+        request = small_workload.matching_request(profile)
+        request_doc = request_to_xml(
+            request,
+            annotations=table.annotate(request.capabilities),
+            codes_version=table.version,
+        )
+        response = deployment.query_from(9, request_doc)
+        assert response is not None
+        _latency, results = response
+        assert any(row[0] == profile.uri for row in results)
+
+    def test_no_capable_successor_keeps_serving(self, small_workload):
+        table = CodeTable(OntologyRegistry(small_workload.ontologies))
+        deployment = Deployment(
+            DeploymentConfig(
+                node_count=10,
+                protocol="sariadne",
+                election=FAST_ELECTION,
+                seed=4,
+                radio_range=400.0,
+                directory_capable_fraction=1.0,
+            ),
+            table=table,
+        )
+        deployment.run_until_directories(minimum=1)
+        deployment.enable_battery_management(threshold=0.5, check_interval=5.0)
+        # Drain EVERYONE below the takeover threshold.
+        for node in deployment.network.nodes.values():
+            node.battery = 0.1
+        directories_before = set(deployment.directory_ids())
+        deployment.sim.run(until=deployment.sim.now + 20.0)
+        # Nobody qualified as successor: the directories keep serving.
+        assert set(deployment.directory_ids()) == directories_before
+
+
+class TestSimulatorReentrancy:
+    def test_run_inside_callback_rejected(self):
+        sim = Simulator()
+
+        failures = []
+
+        def bad_callback():
+            try:
+                sim.run(until=sim.now + 1.0)
+            except RuntimeError as exc:
+                failures.append(str(exc))
+
+        sim.schedule(1.0, bad_callback)
+        sim.run()
+        assert failures and "re-entrantly" in failures[0]

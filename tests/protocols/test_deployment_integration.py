@@ -1,0 +1,216 @@
+"""End-to-end integration tests: full §4 scenarios over the simulator.
+
+These are the slowest tests in the suite; they exercise election,
+backbone formation, publication, summary exchange and multi-directory
+query forwarding for both protocols.
+"""
+
+import pytest
+
+from repro.core.codes import CodeTable
+from repro.network.election import ElectionConfig
+from repro.network.topology import RandomWaypoint
+from repro.ontology.registry import OntologyRegistry
+from repro.protocols.deployment import Deployment, DeploymentConfig
+from repro.services.generator import ServiceWorkload
+from repro.services.xml_codec import profile_to_xml, request_to_xml, wsdl_to_xml
+
+FAST_ELECTION = ElectionConfig(
+    advert_interval=5.0,
+    advert_hops=2,
+    directory_timeout=10.0,
+    check_interval=2.0,
+    reply_window=1.0,
+    election_hops=2,
+)
+
+
+@pytest.fixture(scope="module")
+def table(small_workload):
+    return CodeTable(OntologyRegistry(small_workload.ontologies))
+
+
+def semantic_deployment(table, **overrides):
+    config = DeploymentConfig(
+        node_count=overrides.pop("node_count", 25),
+        protocol="sariadne",
+        election=FAST_ELECTION,
+        seed=overrides.pop("seed", 3),
+        **overrides,
+    )
+    return Deployment(config, table=table)
+
+
+class TestSemanticDeployment:
+    def test_discovery_across_directories(self, small_workload, table):
+        deployment = semantic_deployment(table)
+        assert deployment.run_until_directories(minimum=2) >= 2
+        services = small_workload.make_services(8)
+        for index, profile in enumerate(services):
+            document = profile_to_xml(
+                profile,
+                annotations=table.annotate(profile.provided),
+                codes_version=table.version,
+            )
+            assert deployment.publish_from(index % 25, document)
+        request = small_workload.matching_request(services[3])
+        document = request_to_xml(
+            request,
+            annotations=table.annotate(request.capabilities),
+            codes_version=table.version,
+        )
+        response = deployment.query_from(20, document)
+        assert response is not None
+        latency, results = response
+        assert any(row[0] == services[3].uri for row in results)
+        assert latency < 5.0
+
+    def test_coverage_reaches_all_nodes(self, table):
+        deployment = semantic_deployment(table)
+        deployment.run_until_directories(minimum=1)
+        deployment.sim.run(until=deployment.sim.now + 60.0)
+        assert deployment.coverage() == 1.0
+
+    def test_withdrawn_service_not_found(self, small_workload, table):
+        deployment = semantic_deployment(table)
+        deployment.run_until_directories(minimum=1)
+        profile = small_workload.make_service(0)
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        deployment.publish_from(5, document, service_uri=profile.uri)
+        deployment.clients[5].withdraw(profile.uri)
+        deployment.sim.run(until=deployment.sim.now + 3.0)
+        request = small_workload.matching_request(profile)
+        request_doc = request_to_xml(
+            request,
+            annotations=table.annotate(request.capabilities),
+            codes_version=table.version,
+        )
+        response = deployment.query_from(5, request_doc)
+        assert response is not None
+        _latency, results = response
+        assert not any(row[0] == profile.uri for row in results)
+
+    def test_mobile_deployment_still_discovers(self, small_workload, table):
+        config = DeploymentConfig(
+            node_count=20,
+            protocol="sariadne",
+            election=FAST_ELECTION,
+            seed=5,
+            radio_range=220.0,
+        )
+        deployment = Deployment(
+            config,
+            table=table,
+            mobility=RandomWaypoint(min_speed=0.5, max_speed=1.5, pause_time=10.0),
+        )
+        deployment.run_until_directories(minimum=1)
+        profile = small_workload.make_service(2)
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        deployment.publish_from(3, document)
+        request = small_workload.matching_request(profile)
+        request_doc = request_to_xml(
+            request,
+            annotations=table.annotate(request.capabilities),
+            codes_version=table.version,
+        )
+        response = deployment.query_from(7, request_doc, settle=10.0)
+        assert response is not None
+        _latency, results = response
+        assert any(row[0] == profile.uri for row in results)
+
+
+class TestSyntacticDeployment:
+    def test_discovery_with_exact_interfaces(self, small_workload):
+        config = DeploymentConfig(
+            node_count=25, protocol="ariadne", election=FAST_ELECTION, seed=3
+        )
+        deployment = Deployment(config)
+        assert deployment.run_until_directories(minimum=2) >= 2
+        services = small_workload.make_services(8)
+        for index, profile in enumerate(services):
+            document = wsdl_to_xml(ServiceWorkload.wsdl_twin(profile))
+            assert deployment.publish_from(index % 25, document)
+        request = ServiceWorkload.wsdl_request_for(services[3])
+        response = deployment.query_from(20, wsdl_to_xml(request))
+        assert response is not None
+        _latency, results = response
+        assert any(row[0] == services[3].uri for row in results)
+
+    def test_synonym_request_finds_nothing(self, small_workload):
+        """The openness failure the paper motivates with: a client using a
+        different interface vocabulary discovers nothing syntactically."""
+        from repro.services.wsdl import WsdlOperation, WsdlRequest
+
+        config = DeploymentConfig(
+            node_count=25, protocol="ariadne", election=FAST_ELECTION, seed=4
+        )
+        deployment = Deployment(config)
+        deployment.run_until_directories(minimum=1)
+        profile = small_workload.make_service(1)
+        deployment.publish_from(2, wsdl_to_xml(ServiceWorkload.wsdl_twin(profile)))
+        original = ServiceWorkload.wsdl_request_for(profile)
+        renamed = WsdlRequest(
+            uri=original.uri,
+            operations=tuple(
+                WsdlOperation("fetch" + op.name, op.inputs, op.outputs)
+                for op in original.operations
+            ),
+            keywords=original.keywords,
+        )
+        response = deployment.query_from(8, wsdl_to_xml(renamed))
+        assert response is not None
+        _latency, results = response
+        assert results == ()
+
+
+class TestDeploymentConfig:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(protocol="gossip")
+
+    def test_semantic_requires_table(self):
+        with pytest.raises(ValueError, match="CodeTable"):
+            Deployment(DeploymentConfig(protocol="sariadne"))
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(node_count=1)
+
+
+class TestMobilityReassociation:
+    def test_moving_node_changes_directory(self, table):
+        """A node drifting across the area re-associates with whichever
+        directory's adverts now reach it."""
+        from repro.network.topology import Position
+
+        config = DeploymentConfig(
+            node_count=25,
+            protocol="sariadne",
+            election=FAST_ELECTION,
+            seed=3,
+            directory_capable_fraction=1.0,
+        )
+        deployment = Deployment(config, table=table)
+        deployment.run_until_directories(minimum=2)
+        deployment.sim.run(until=deployment.sim.now + 30.0)
+        mover = 24  # grid corner
+        first = deployment.clients[mover]._resolve_directory(mover)
+        assert first is not None
+        # Teleport the node to the opposite corner and let adverts re-run.
+        deployment.network.nodes[mover].position = Position(5.0, 5.0)
+        deployment.elections[mover].current_directory = None
+        deployment.sim.run(until=deployment.sim.now + 60.0)
+        second = deployment.clients[mover]._resolve_directory(mover)
+        assert second is not None
+        # Either a different directory or, at minimum, still resolvable.
+        origin = deployment.network.nodes[mover]
+        second_pos = deployment.network.nodes[second].position
+        assert origin.position.distance_to(second_pos) < 400.0

@@ -1,0 +1,117 @@
+"""Tests for hybrid ad hoc + infrastructure deployments (§1)."""
+
+import pytest
+
+from repro.core.codes import CodeTable
+from repro.network.election import ElectionConfig
+from repro.ontology.registry import OntologyRegistry
+from repro.protocols.deployment import Deployment, DeploymentConfig
+from repro.services.xml_codec import profile_to_xml, request_to_xml
+
+FAST_ELECTION = ElectionConfig(
+    advert_interval=5.0,
+    advert_hops=2,
+    directory_timeout=10.0,
+    check_interval=2.0,
+    reply_window=1.0,
+    election_hops=2,
+)
+
+
+@pytest.fixture(scope="module")
+def table(small_workload):
+    return CodeTable(OntologyRegistry(small_workload.ontologies))
+
+
+class TestConfigValidation:
+    def test_negative_infrastructure_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(infrastructure_nodes=-1)
+
+    def test_too_many_infrastructure_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(node_count=5, infrastructure_nodes=6)
+
+
+class TestHybridTopology:
+    def test_backbone_wired_pairwise(self, table):
+        deployment = Deployment(
+            DeploymentConfig(
+                node_count=16,
+                protocol="sariadne",
+                election=FAST_ELECTION,
+                infrastructure_nodes=3,
+                seed=2,
+            ),
+            table=table,
+        )
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    assert deployment.network.is_wired(a, b)
+        assert not deployment.network.is_wired(0, 5)
+
+    def test_infrastructure_nodes_always_capable(self, table):
+        deployment = Deployment(
+            DeploymentConfig(
+                node_count=16,
+                protocol="sariadne",
+                election=FAST_ELECTION,
+                infrastructure_nodes=3,
+                directory_capable_fraction=0.0,  # only infra may serve
+                seed=2,
+            ),
+            table=table,
+        )
+        for node_id in range(3):
+            assert deployment.elections[node_id].directory_capable
+        for node_id in range(3, 16):
+            assert not deployment.elections[node_id].directory_capable
+
+    def test_elections_prefer_infrastructure(self, table):
+        deployment = Deployment(
+            DeploymentConfig(
+                node_count=16,
+                protocol="sariadne",
+                election=FAST_ELECTION,
+                infrastructure_nodes=3,
+                directory_capable_fraction=0.0,
+                seed=2,
+            ),
+            table=table,
+        )
+        deployment.run_until_directories(minimum=1)
+        assert set(deployment.directory_ids()) <= {0, 1, 2}
+
+    def test_end_to_end_discovery_over_backbone(self, small_workload, table):
+        deployment = Deployment(
+            DeploymentConfig(
+                node_count=20,
+                protocol="sariadne",
+                election=FAST_ELECTION,
+                infrastructure_nodes=4,
+                directory_capable_fraction=0.0,
+                radio_range=180.0,  # 20-node grid spacing is 160 m
+                seed=3,
+            ),
+            table=table,
+        )
+        assert deployment.network.is_connected()
+        deployment.run_until_directories(minimum=1)
+        profile = small_workload.make_service(0)
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        assert deployment.publish_from(10, document, service_uri=profile.uri)
+        request = small_workload.matching_request(profile)
+        request_doc = request_to_xml(
+            request,
+            annotations=table.annotate(request.capabilities),
+            codes_version=table.version,
+        )
+        response = deployment.query_from(17, request_doc)
+        assert response is not None
+        _latency, results = response
+        assert any(row[0] == profile.uri for row in results)

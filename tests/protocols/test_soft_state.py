@@ -1,0 +1,119 @@
+"""Tests for soft-state advertising and directory-crash recovery."""
+
+import pytest
+
+from repro.core.codes import CodeTable
+from repro.network.election import ElectionConfig
+from repro.ontology.registry import OntologyRegistry
+from repro.protocols.deployment import Deployment, DeploymentConfig
+from repro.services.xml_codec import profile_to_xml, request_to_xml
+
+FAST_ELECTION = ElectionConfig(
+    advert_interval=5.0,
+    advert_hops=2,
+    directory_timeout=10.0,
+    check_interval=2.0,
+    reply_window=1.0,
+    election_hops=2,
+)
+
+
+@pytest.fixture(scope="module")
+def table(small_workload):
+    return CodeTable(OntologyRegistry(small_workload.ontologies))
+
+
+def build(table, seed=3, capable=1.0):
+    deployment = Deployment(
+        DeploymentConfig(
+            node_count=25,
+            protocol="sariadne",
+            election=FAST_ELECTION,
+            seed=seed,
+            directory_capable_fraction=capable,
+        ),
+        table=table,
+    )
+    deployment.run_until_directories(minimum=1)
+    return deployment
+
+
+class TestSoftState:
+    def test_refresh_republishes(self, small_workload, table):
+        deployment = build(table)
+        profile = small_workload.make_service(0)
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        client = deployment.clients[7]
+        assert client.advertise(document, profile.uri, refresh_interval=10.0)
+        deployment.sim.run(until=deployment.sim.now + 2.0)
+        # Simulate content loss at the directory without a crash.
+        holder = next(
+            agent
+            for agent in deployment.directory_agents.values()
+            if agent.cached_documents()
+        )
+        holder.directory.unpublish(profile.uri)
+        holder._documents_by_service.clear()
+        deployment.sim.run(until=deployment.sim.now + 15.0)  # one refresh round
+        assert any(
+            agent.cached_documents()
+            for agent in deployment.directory_agents.values()
+        )
+
+    def test_withdraw_stops_refresh(self, small_workload, table):
+        deployment = build(table, seed=4)
+        profile = small_workload.make_service(1)
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        client = deployment.clients[3]
+        client.advertise(document, profile.uri, refresh_interval=5.0)
+        deployment.sim.run(until=deployment.sim.now + 2.0)
+        client.withdraw(profile.uri)
+        deployment.sim.run(until=deployment.sim.now + 20.0)
+        assert all(
+            profile.uri not in {row for row in agent._documents_by_service}
+            for agent in deployment.directory_agents.values()
+        )
+
+    def test_crash_recovery_via_refresh(self, small_workload, table):
+        deployment = build(table, seed=5)
+        profile = small_workload.make_service(2)
+        document = profile_to_xml(
+            profile,
+            annotations=table.annotate(profile.provided),
+            codes_version=table.version,
+        )
+        client = deployment.clients[11]
+        client.advertise(document, profile.uri, refresh_interval=10.0)
+        deployment.sim.run(until=deployment.sim.now + 2.0)
+        # Crash every current directory: cached state is gone.
+        for directory_id in list(deployment.directory_ids()):
+            deployment.crash_directory(directory_id)
+        # Re-election + refresh restore discoverability.
+        deployment.run_until_directories(minimum=1, deadline=deployment.sim.now + 200.0)
+        deployment.sim.run(until=deployment.sim.now + 30.0)
+        request = small_workload.matching_request(profile)
+        request_doc = request_to_xml(
+            request,
+            annotations=table.annotate(request.capabilities),
+            codes_version=table.version,
+        )
+        response = deployment.query_from(18, request_doc)
+        assert response is not None
+        _latency, results = response
+        assert any(row[0] == profile.uri for row in results)
+
+    def test_crash_non_directory_rejected(self, table):
+        deployment = build(table, seed=6)
+        non_directory = next(
+            nid for nid in range(25) if nid not in deployment.directory_agents
+        )
+        with pytest.raises(KeyError):
+            deployment.crash_directory(non_directory)

@@ -1,0 +1,108 @@
+"""Tests for the GiST/R-tree numeric index ([3], §3.1 background)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registry.gist import GistIndex, Rect
+from repro.services.profile import Capability
+
+NS = "http://repro.example.org/media"
+
+
+def r(name: str) -> str:
+    return f"{NS}/resources#{name}"
+
+
+class TestRect:
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_intersects(self):
+        assert Rect(0, 1, 0, 1).intersects(Rect(0.5, 2, 0.5, 2))
+        assert not Rect(0, 1, 0, 1).intersects(Rect(2, 3, 0, 1))
+
+    def test_union_and_enlargement(self):
+        a, b = Rect(0, 1, 0, 1), Rect(2, 3, 0, 1)
+        assert a.union(b) == Rect(0, 3, 0, 1)
+        assert a.enlargement(b) == pytest.approx(2.0)
+
+
+class TestInsertSearch:
+    def test_inserted_rect_found(self):
+        index = GistIndex()
+        index.insert(Rect(0.1, 0.2, 0.0, 1.0), "svc1")
+        assert index.search(Rect(0.15, 0.16, 0.5, 0.6)) == {"svc1"}
+
+    def test_disjoint_rect_not_found(self):
+        index = GistIndex()
+        index.insert(Rect(0.1, 0.2, 0.0, 1.0), "svc1")
+        assert index.search(Rect(0.5, 0.6, 0.0, 1.0)) == set()
+
+    def test_splits_preserve_entries(self):
+        index = GistIndex(max_entries=4)
+        rng = random.Random(0)
+        keys = {}
+        for i in range(200):
+            x = rng.random()
+            rect = Rect(x, x + 0.01, 0.0, 1.0)
+            index.insert(rect, f"svc{i}")
+            keys[f"svc{i}"] = rect
+        assert len(index) == 200
+        assert index.depth() > 1
+        for key, rect in keys.items():
+            assert key in index.search(rect), key
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.99), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_search_complete_property(self, xs):
+        index = GistIndex(max_entries=4)
+        for i, x in enumerate(xs):
+            index.insert(Rect(x, x + 0.01, 0.0, 1.0), f"k{i}")
+        for i, x in enumerate(xs):
+            assert f"k{i}" in index.search(Rect(x, x + 0.005, 0.0, 1.0))
+
+    def test_min_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            GistIndex(max_entries=2)
+
+
+class TestCapabilityIndexing:
+    def test_preselection_is_sound(self, media_table, small_workload, small_table):
+        """Every true match must survive GiST preselection (no false
+        dismissals), per the [3] design."""
+        from repro.core.matching import CodeMatcher
+
+        index = GistIndex()
+        matcher = CodeMatcher(table=small_table)
+        services = small_workload.make_services(25)
+        for profile in services:
+            for cap in profile.provided:
+                index.insert_capability(cap, small_table, profile.uri)
+        for target in services[:10]:
+            request = small_workload.matching_request(target).capabilities[0]
+            candidates = index.search_capability(request, small_table)
+            for profile in services:
+                for cap in profile.provided:
+                    if matcher.match(cap, request):
+                        assert profile.uri in candidates, profile.uri
+
+    def test_rectangles_for_roles(self, media_table):
+        cap = Capability.build(
+            "urn:x:c",
+            "C",
+            inputs=[r("DigitalResource")],
+            outputs=[r("Stream")],
+        )
+        probe_rects = GistIndex.rectangles_for(cap, media_table, probe=True)
+        assert len(probe_rects) == 2
+        assert {(rect.y_lo, rect.y_hi) for rect in probe_rects} == {(0.0, 1.0), (1.0, 2.0)}
+        index_rects = GistIndex.rectangles_for(cap, media_table, probe=False)
+        assert len(index_rects) >= 2  # one per merged code interval
+
+    def test_unknown_concepts_skipped(self, media_table):
+        cap = Capability.build("urn:x:c", "C", outputs=["http://elsewhere.org/x#Y"])
+        assert GistIndex.rectangles_for(cap, media_table) == []

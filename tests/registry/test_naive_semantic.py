@@ -1,0 +1,96 @@
+"""Tests for the on-line-reasoning matchmaker (Fig. 2 baseline)."""
+
+import pytest
+
+from repro.ontology.owl_xml import ontology_to_xml
+from repro.ontology.reasoner import ClassificationStrategy
+from repro.registry.naive_semantic import OnlineMatchmaker, OnlineSemanticRegistry
+from repro.services.generator import ServiceWorkload
+from repro.services.xml_codec import profile_to_xml, request_to_xml
+
+
+@pytest.fixture(scope="module")
+def documents(small_workload):
+    profile = small_workload.make_service(0)
+    request = small_workload.matching_request(profile)
+    return {
+        "profile": profile_to_xml(profile),
+        "request": request_to_xml(request),
+        "ontologies": [ontology_to_xml(o) for o in small_workload.ontologies],
+    }
+
+
+class TestOnlineMatchmaker:
+    @pytest.mark.parametrize("strategy", list(ClassificationStrategy))
+    def test_all_strategies_match(self, documents, strategy):
+        report = OnlineMatchmaker(strategy=strategy).match_documents(
+            documents["profile"], documents["request"], documents["ontologies"]
+        )
+        assert report.outcome.matched
+        assert report.outcome.distance is not None
+
+    def test_phase_breakdown_populated(self, documents):
+        report = OnlineMatchmaker().match_documents(
+            documents["profile"], documents["request"], documents["ontologies"]
+        )
+        assert report.parse_seconds > 0
+        assert report.load_seconds > 0
+        assert report.classify_seconds > 0
+        assert report.total_seconds == pytest.approx(
+            report.parse_seconds
+            + report.load_seconds
+            + report.classify_seconds
+            + report.match_seconds
+        )
+
+    def test_reasoning_dominates(self, documents):
+        """The §2.4 finding: loading + classifying is the dominant phase of
+        an on-line match (paper: 76–78 %)."""
+        report = OnlineMatchmaker(strategy=ClassificationStrategy.ENUMERATIVE).match_documents(
+            documents["profile"], documents["request"], documents["ontologies"]
+        )
+        assert report.reasoning_share > 0.5
+
+    def test_subsumption_tests_counted(self, documents):
+        report = OnlineMatchmaker().match_documents(
+            documents["profile"], documents["request"], documents["ontologies"]
+        )
+        assert report.subsumption_tests > 0
+
+
+class TestOnlineSemanticRegistry:
+    def test_query_finds_advertised_service(self, small_workload):
+        registry = OnlineSemanticRegistry(small_workload.ontologies)
+        services = small_workload.make_services(8)
+        for profile in services:
+            registry.publish_xml(profile_to_xml(profile))
+        assert len(registry) == 8
+        request = small_workload.matching_request(services[2])
+        hits = registry.query_xml(request_to_xml(request))
+        assert any(uri == services[2].uri for uri, _distance in hits)
+
+    def test_results_sorted_by_distance(self, small_workload):
+        registry = OnlineSemanticRegistry(small_workload.ontologies)
+        for profile in small_workload.make_services(8):
+            registry.publish_xml(profile_to_xml(profile))
+        request = small_workload.matching_request(small_workload.make_service(2))
+        hits = registry.query_xml(request_to_xml(request))
+        assert hits == sorted(hits, key=lambda pair: pair[1])
+
+    def test_agrees_with_optimized_directory(self, small_workload, small_table):
+        """Same Match semantics: the on-line registry and the optimized
+        directory must find the same best service."""
+        from repro.core.directory import SemanticDirectory
+
+        registry = OnlineSemanticRegistry(small_workload.ontologies)
+        directory = SemanticDirectory(small_table)
+        services = small_workload.make_services(10)
+        for profile in services:
+            registry.publish_xml(profile_to_xml(profile))
+            directory.publish(profile)
+        request = small_workload.matching_request(services[7])
+        online_hits = registry.query_xml(request_to_xml(request))
+        optimized_hits = directory.query(request)
+        assert online_hits, "online registry found nothing"
+        assert optimized_hits, "optimized directory found nothing"
+        assert online_hits[0][1] == optimized_hits[0].distance

@@ -1,0 +1,119 @@
+"""Tests for the annotated-taxonomy registry ([13], §3.1 background)."""
+
+import pytest
+
+from repro.registry.srinivasan import AnnotatedTaxonomyRegistry, MatchDegree
+from repro.services.profile import Capability, ServiceProfile
+
+NS = "http://repro.example.org/media"
+
+
+def r(name: str) -> str:
+    return f"{NS}/resources#{name}"
+
+
+def service(uri, outputs, inputs=()) -> ServiceProfile:
+    cap = Capability.build(f"{uri}:cap", "C", inputs=inputs, outputs=outputs)
+    return ServiceProfile(uri=uri, name="S", provided=(cap,))
+
+
+def request(outputs, inputs=()) -> Capability:
+    return Capability.build("urn:x:req:cap", "R", inputs=inputs, outputs=outputs)
+
+
+@pytest.fixture()
+def registry(media_taxonomy):
+    return AnnotatedTaxonomyRegistry(media_taxonomy)
+
+
+class TestDegrees:
+    def test_exact(self, registry):
+        registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
+        ranked = registry.query(request(outputs=[r("Stream")]))
+        assert ranked[0].degree is MatchDegree.EXACT
+
+    def test_plugin_when_advert_more_specific(self, registry):
+        registry.publish(service("urn:x:s1", outputs=[r("VideoResource")]))
+        ranked = registry.query(request(outputs=[r("DigitalResource")]))
+        assert ranked and ranked[0].degree is MatchDegree.PLUGIN
+
+    def test_subsumes_when_advert_more_general(self, registry):
+        registry.publish(service("urn:x:s1", outputs=[r("DigitalResource")]))
+        ranked = registry.query(request(outputs=[r("VideoResource")]))
+        assert ranked and ranked[0].degree is MatchDegree.SUBSUMES
+
+    def test_fail_when_unrelated(self, registry):
+        registry.publish(service("urn:x:s1", outputs=[r("Title")]))
+        assert registry.query(request(outputs=[r("Stream")])) == []
+
+    def test_best_degree_ranked_first(self, registry):
+        registry.publish(service("urn:x:exact", outputs=[r("VideoResource")]))
+        registry.publish(service("urn:x:general", outputs=[r("DigitalResource")]))
+        ranked = registry.query(request(outputs=[r("VideoResource")]))
+        assert ranked[0].service_uri == "urn:x:exact"
+        assert ranked[1].degree is MatchDegree.SUBSUMES
+
+
+class TestIntersection:
+    def test_all_outputs_required(self, registry):
+        registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
+        registry.publish(service("urn:x:s2", outputs=[r("Stream"), r("Title")]))
+        ranked = registry.query(request(outputs=[r("Stream"), r("Title")]))
+        assert [x.service_uri for x in ranked] == ["urn:x:s2"]
+
+    def test_aggregate_degree_is_worst(self, registry):
+        registry.publish(
+            service("urn:x:s1", outputs=[r("Stream"), r("DigitalResource")])
+        )
+        ranked = registry.query(request(outputs=[r("Stream"), r("VideoResource")]))
+        # Stream exact + VideoResource via subsumes ⇒ aggregate SUBSUMES.
+        assert ranked[0].degree is MatchDegree.SUBSUMES
+
+    def test_inputs_filter(self, registry):
+        registry.publish(
+            service("urn:x:s1", outputs=[r("Stream")], inputs=[r("DigitalResource")])
+        )
+        ranked = registry.query(
+            request(outputs=[r("Stream")], inputs=[r("DigitalResource")])
+        )
+        assert ranked
+        # A request offering an input the service never declared acceptable.
+        assert (
+            registry.query(request(outputs=[r("Stream")], inputs=[r("Title")])) == []
+        )
+
+    def test_input_descendants_acceptable(self, registry):
+        """An advert expecting DigitalResource accepts offered VideoResource."""
+        registry.publish(
+            service("urn:x:s1", outputs=[r("Stream")], inputs=[r("DigitalResource")])
+        )
+        ranked = registry.query(
+            request(outputs=[r("Stream")], inputs=[r("VideoResource")])
+        )
+        assert ranked
+
+
+class TestLifecycle:
+    def test_unpublish_strips_annotations(self, registry):
+        registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
+        assert registry.unpublish("urn:x:s1")
+        assert registry.query(request(outputs=[r("Stream")])) == []
+
+    def test_unpublish_unknown(self, registry):
+        assert not registry.unpublish("urn:x:s1")
+
+    def test_republish_replaces(self, registry):
+        registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
+        registry.publish(service("urn:x:s1", outputs=[r("Title")]))
+        assert registry.query(request(outputs=[r("Stream")])) == []
+        assert registry.query(request(outputs=[r("Title")]))
+
+    def test_publish_work_counted(self, registry):
+        before = registry.publish_work
+        registry.publish(service("urn:x:s1", outputs=[r("VideoResource")]))
+        # EXACT + PLUGIN for each ancestor + SUBSUMES for descendants.
+        assert registry.publish_work - before >= 4
+
+    def test_unknown_concept_request_rejected(self, registry):
+        registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
+        assert registry.query(request(outputs=["http://other.org/o#X"])) == []

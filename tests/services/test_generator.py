@@ -1,0 +1,108 @@
+"""Tests for the service workload generator."""
+
+import pytest
+
+from repro.core.matching import TaxonomyMatcher
+from repro.services.generator import PAPER_FIG2_SHAPE, ServiceWorkload, WorkloadShape
+from repro.ontology.generator import OntologyShape
+
+
+class TestShapes:
+    def test_default_shape_matches_paper_setting(self):
+        shape = WorkloadShape()
+        assert shape.ontology_count == 22  # §5: "22 different ontologies"
+        assert shape.capabilities_per_service == 1  # "a single provided capability"
+
+    def test_fig2_shape(self):
+        assert PAPER_FIG2_SHAPE.inputs_per_capability == 7
+        assert PAPER_FIG2_SHAPE.outputs_per_capability == 3
+        assert PAPER_FIG2_SHAPE.ontology_shape.concepts == 99
+        assert PAPER_FIG2_SHAPE.ontology_shape.properties == 39
+
+
+class TestServiceGeneration:
+    def test_service_shape(self, small_workload):
+        profile = small_workload.make_service(0)
+        cap = profile.provided[0]
+        assert len(cap.inputs) == small_workload.shape.inputs_per_capability
+        assert len(cap.outputs) == small_workload.shape.outputs_per_capability
+        assert cap.category is not None
+
+    def test_deterministic_per_index(self, small_workload):
+        assert small_workload.make_service(17) == small_workload.make_service(17)
+
+    def test_distinct_indices_distinct_services(self, small_workload):
+        assert small_workload.make_service(1) != small_workload.make_service(2)
+
+    def test_make_services_count(self, small_workload):
+        services = small_workload.make_services(12)
+        assert len(services) == 12
+        assert len({p.uri for p in services}) == 12
+
+    def test_concepts_come_from_workload_ontologies(self, small_workload):
+        profile = small_workload.make_service(3)
+        namespaces = {o.uri for o in small_workload.ontologies}
+        for cap in profile.provided:
+            assert cap.ontologies() <= namespaces
+
+
+class TestRequestDerivation:
+    def test_matching_request_matches_by_construction(self, small_workload):
+        matcher = TaxonomyMatcher(small_workload.taxonomy)
+        for index in range(25):
+            profile = small_workload.make_service(index)
+            request = small_workload.matching_request(profile)
+            distance = matcher.semantic_distance(
+                profile.provided[0], request.capabilities[0]
+            )
+            assert distance is not None, profile.uri
+
+    def test_matching_request_deterministic(self, small_workload):
+        profile = small_workload.make_service(5)
+        assert small_workload.matching_request(profile) == small_workload.matching_request(
+            profile
+        )
+
+    def test_unrelated_request_rarely_matches(self, small_workload):
+        matcher = TaxonomyMatcher(small_workload.taxonomy)
+        request = small_workload.unrelated_request(0)
+        services = small_workload.make_services(10)
+        hits = sum(
+            1
+            for profile in services
+            if matcher.match(profile.provided[0], request.capabilities[0])
+        )
+        assert hits <= 2  # statistically near zero
+
+
+class TestWsdlTwins:
+    def test_twin_mirrors_capability(self, small_workload):
+        profile = small_workload.make_service(4)
+        twin = ServiceWorkload.wsdl_twin(profile)
+        assert twin.uri == profile.uri
+        assert len(twin.operations) == len(profile.provided)
+        assert profile.provided[0].name in twin.keywords
+
+    def test_twin_request_conforms_to_twin(self, small_workload):
+        profile = small_workload.make_service(4)
+        twin = ServiceWorkload.wsdl_twin(profile)
+        request = ServiceWorkload.wsdl_request_for(profile)
+        assert twin.conforms_to(request)
+
+    def test_twin_request_fails_against_other_services(self, small_workload):
+        request = ServiceWorkload.wsdl_request_for(small_workload.make_service(4))
+        other = ServiceWorkload.wsdl_twin(small_workload.make_service(5))
+        assert not other.conforms_to(request)
+
+
+class TestValidationErrors:
+    def test_concept_pool_too_small(self):
+        shape = WorkloadShape(
+            ontology_count=1,
+            ontology_shape=OntologyShape(concepts=3, properties=1),
+            ontologies_per_service=1,
+            inputs_per_capability=10,
+        )
+        workload = ServiceWorkload(shape=shape, seed=0)
+        with pytest.raises(ValueError, match="cannot pick"):
+            workload.make_service(0)

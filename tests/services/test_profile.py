@@ -1,0 +1,97 @@
+"""Tests for the Amigo-S service model."""
+
+import pytest
+
+from repro.services.profile import (
+    Capability,
+    Grounding,
+    ServiceProfile,
+    ServiceRequest,
+    ontology_of,
+)
+
+
+class TestOntologyOf:
+    def test_splits_on_hash(self):
+        assert ontology_of("http://x.org/onto#Concept") == "http://x.org/onto"
+
+    def test_no_fragment_returns_whole(self):
+        assert ontology_of("http://x.org/onto") == "http://x.org/onto"
+
+
+class TestCapability:
+    def test_category_folded_into_properties(self):
+        cap = Capability.build(
+            "urn:x:c", "C", category="http://x.org/o#Cat", properties=[]
+        )
+        assert "http://x.org/o#Cat" in cap.properties
+        assert cap.category == "http://x.org/o#Cat"
+
+    def test_concepts_union(self):
+        cap = Capability.build(
+            "urn:x:c",
+            "C",
+            inputs=["http://x.org/o#I"],
+            outputs=["http://x.org/o#O"],
+            category="http://x.org/o#Cat",
+        )
+        assert cap.concepts() == {
+            "http://x.org/o#I",
+            "http://x.org/o#O",
+            "http://x.org/o#Cat",
+        }
+
+    def test_ontologies_footprint(self):
+        cap = Capability.build(
+            "urn:x:c",
+            "C",
+            inputs=["http://a.org/o#I"],
+            outputs=["http://b.org/o#O"],
+        )
+        assert cap.ontologies() == {"http://a.org/o", "http://b.org/o"}
+
+    def test_invalid_concept_uri_rejected(self):
+        with pytest.raises(ValueError):
+            Capability.build("urn:x:c", "C", inputs=["not a uri"])
+
+    def test_immutable(self):
+        cap = Capability.build("urn:x:c", "C")
+        with pytest.raises(AttributeError):
+            cap.name = "other"
+
+
+class TestServiceProfile:
+    def test_duplicate_capability_uris_rejected(self):
+        cap = Capability.build("urn:x:c", "C")
+        with pytest.raises(ValueError, match="duplicate capability"):
+            ServiceProfile(uri="urn:x:s", name="S", provided=(cap, cap))
+
+    def test_capability_lookup(self):
+        cap = Capability.build("urn:x:c", "C")
+        profile = ServiceProfile(uri="urn:x:s", name="S", provided=(cap,))
+        assert profile.capability("urn:x:c") is cap
+        with pytest.raises(KeyError):
+            profile.capability("urn:x:other")
+
+    def test_ontologies_aggregates_provided_and_required(self):
+        provided = Capability.build("urn:x:p", "P", outputs=["http://a.org/o#O"])
+        required = Capability.build("urn:x:r", "R", outputs=["http://b.org/o#O"])
+        profile = ServiceProfile(
+            uri="urn:x:s", name="S", provided=(provided,), required=(required,)
+        )
+        assert profile.ontologies() == {"http://a.org/o", "http://b.org/o"}
+
+    def test_grounding_defaults(self):
+        profile = ServiceProfile(uri="urn:x:s", name="S")
+        assert profile.grounding == Grounding()
+
+
+class TestServiceRequest:
+    def test_requires_capabilities(self):
+        with pytest.raises(ValueError, match="no capabilities"):
+            ServiceRequest(uri="urn:x:r", capabilities=())
+
+    def test_ontologies(self):
+        cap = Capability.build("urn:x:c", "C", outputs=["http://a.org/o#O"])
+        request = ServiceRequest(uri="urn:x:r", capabilities=(cap,))
+        assert request.ontologies() == {"http://a.org/o"}

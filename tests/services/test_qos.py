@@ -1,0 +1,144 @@
+"""Tests for the QoS/context model (Amigo-S §2.2 extension)."""
+
+import pytest
+
+from repro.services.qos import (
+    ContextCondition,
+    ContextSnapshot,
+    Direction,
+    QosConstraint,
+    QosOffer,
+    QosProfile,
+    QosRequirement,
+    UnknownAttributeError,
+    direction_of,
+)
+
+
+class TestDirections:
+    def test_well_known(self):
+        assert direction_of("latency_ms") is Direction.LOWER_IS_BETTER
+        assert direction_of("throughput_kbps") is Direction.HIGHER_IS_BETTER
+
+    def test_extra_declaration(self):
+        assert (
+            direction_of("frobnication", {"frobnication": Direction.HIGHER_IS_BETTER})
+            is Direction.HIGHER_IS_BETTER
+        )
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownAttributeError):
+            direction_of("mystery_metric")
+
+
+class TestQosOffer:
+    def test_value_lookup(self):
+        offer = QosOffer.of(latency_ms=20.0, reliability=0.99)
+        assert offer.value("latency_ms") == 20.0
+        assert offer.value("price") is None
+
+    def test_truthiness(self):
+        assert QosOffer.of(latency_ms=1.0)
+        assert not QosOffer()
+
+
+class TestSatisfaction:
+    def test_lower_is_better_bound(self):
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 50.0))
+        assert requirement.satisfied_by(QosOffer.of(latency_ms=20.0))
+        assert not requirement.satisfied_by(QosOffer.of(latency_ms=80.0))
+
+    def test_higher_is_better_bound(self):
+        requirement = QosRequirement.where(QosConstraint("throughput_kbps", 500.0))
+        assert requirement.satisfied_by(QosOffer.of(throughput_kbps=800.0))
+        assert not requirement.satisfied_by(QosOffer.of(throughput_kbps=300.0))
+
+    def test_missing_attribute_fails_hard_constraint(self):
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 50.0))
+        assert not requirement.satisfied_by(QosOffer())
+
+    def test_soft_constraint_never_disqualifies(self):
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 50.0, hard=False))
+        assert requirement.satisfied_by(QosOffer.of(latency_ms=500.0))
+        assert requirement.satisfied_by(QosOffer())
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            QosConstraint("latency_ms", 50.0, weight=0.0)
+
+
+class TestUtility:
+    def test_unconstrained_is_one(self):
+        assert QosRequirement().utility(QosOffer.of(latency_ms=10.0)) == 1.0
+
+    def test_better_offers_score_higher(self):
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 100.0))
+        fast = requirement.utility(QosOffer.of(latency_ms=10.0))
+        slow = requirement.utility(QosOffer.of(latency_ms=90.0))
+        assert fast > slow
+
+    def test_at_bound_scores_half(self):
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 100.0))
+        assert requirement.utility(QosOffer.of(latency_ms=100.0)) == pytest.approx(0.5)
+        higher = QosRequirement.where(QosConstraint("throughput_kbps", 100.0))
+        assert higher.utility(QosOffer.of(throughput_kbps=100.0)) == pytest.approx(0.5)
+
+    def test_higher_is_better_saturates(self):
+        requirement = QosRequirement.where(QosConstraint("throughput_kbps", 100.0))
+        assert requirement.utility(QosOffer.of(throughput_kbps=10_000.0)) == pytest.approx(1.0)
+
+    def test_weights_blend(self):
+        requirement = QosRequirement.where(
+            QosConstraint("latency_ms", 100.0, weight=3.0),
+            QosConstraint("reliability", 0.5, weight=1.0),
+        )
+        offer = QosOffer.of(latency_ms=100.0, reliability=0.5)
+        assert requirement.utility(offer) == pytest.approx(0.5)
+
+    def test_violating_soft_scores_zero_for_attribute(self):
+        requirement = QosRequirement.where(QosConstraint("latency_ms", 50.0, hard=False))
+        assert requirement.utility(QosOffer.of(latency_ms=500.0)) == 0.0
+
+    def test_utility_in_unit_interval(self):
+        requirement = QosRequirement.where(
+            QosConstraint("latency_ms", 10.0),
+            QosConstraint("throughput_kbps", 100.0),
+        )
+        for latency in (0.1, 5.0, 10.0):
+            for throughput in (100.0, 500.0, 10_000.0):
+                utility = requirement.utility(
+                    QosOffer.of(latency_ms=latency, throughput_kbps=throughput)
+                )
+                assert 0.0 <= utility <= 1.0
+
+
+class TestContext:
+    def test_empty_condition_always_holds(self):
+        assert ContextCondition().holds_in(ContextSnapshot())
+
+    def test_single_value(self):
+        condition = ContextCondition.requires(location="home")
+        assert condition.holds_in(ContextSnapshot.of(location="home"))
+        assert not condition.holds_in(ContextSnapshot.of(location="office"))
+        assert not condition.holds_in(ContextSnapshot())
+
+    def test_alternatives(self):
+        condition = ContextCondition.requires(location=("home", "office"))
+        assert condition.holds_in(ContextSnapshot.of(location="office"))
+
+    def test_conjunction(self):
+        condition = ContextCondition.requires(location="home", power="mains")
+        assert condition.holds_in(ContextSnapshot.of(location="home", power="mains"))
+        assert not condition.holds_in(ContextSnapshot.of(location="home", power="battery"))
+
+
+class TestQosProfile:
+    def test_lookup(self):
+        profile = QosProfile.build(
+            {
+                "urn:x:cap:a": (QosOffer.of(latency_ms=5.0), ContextCondition()),
+            }
+        )
+        assert profile.offer_for("urn:x:cap:a").value("latency_ms") == 5.0
+        assert profile.offer_for("urn:x:cap:other").value("latency_ms") is None
+        assert profile.condition_for("urn:x:cap:other").holds_in(ContextSnapshot())

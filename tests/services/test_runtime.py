@@ -1,0 +1,134 @@
+"""Tests for conversation sessions and the service runtime."""
+
+import pytest
+
+from repro.services.process import Invoke, Repeat, choice, sequence
+from repro.services.profile import Capability, ServiceProfile
+from repro.services.runtime import (
+    ProtocolViolation,
+    ServiceRuntime,
+    ServiceSession,
+    UnknownOperationError,
+)
+
+
+def media_process():
+    return sequence(
+        Invoke("login"),
+        Repeat(body=choice(Invoke("browse"), Invoke("play"))),
+        Invoke("logout"),
+    )
+
+
+class TestServiceSession:
+    def test_valid_run_completes(self):
+        session = ServiceSession(media_process())
+        for operation in ("login", "browse", "play", "logout"):
+            session.invoke(operation)
+        assert session.can_finish
+        session.close()
+        assert session.finished
+
+    def test_out_of_order_rejected(self):
+        session = ServiceSession(media_process())
+        with pytest.raises(ProtocolViolation, match="expected one of: login"):
+            session.invoke("play")
+
+    def test_close_mid_protocol_rejected(self):
+        session = ServiceSession(media_process())
+        session.invoke("login")
+        assert not session.can_finish
+        with pytest.raises(ProtocolViolation, match="incomplete"):
+            session.close()
+
+    def test_closed_session_rejects_invocations(self):
+        session = ServiceSession(media_process())
+        session.invoke("login")
+        session.invoke("logout")
+        session.close()
+        with pytest.raises(ProtocolViolation, match="closed"):
+            session.invoke("login")
+
+    def test_allowed_operations_track_state(self):
+        session = ServiceSession(media_process())
+        assert session.allowed_operations() == {"login"}
+        session.invoke("login")
+        assert session.allowed_operations() == {"browse", "play", "logout"}
+
+    def test_unconstrained_service(self):
+        session = ServiceSession(None)
+        session.invoke("anything")
+        session.invoke("whatever")
+        assert session.can_finish
+        session.close()
+
+    def test_invocation_log(self):
+        session = ServiceSession(media_process())
+        session.invoke("login")
+        session.invoke("play")
+        assert session.state.invocations == ["login", "play"]
+
+
+class TestServiceRuntime:
+    @pytest.fixture()
+    def runtime(self):
+        profile = ServiceProfile(
+            uri="urn:x:svc:media",
+            name="Media",
+            provided=(Capability.build("urn:x:cap:m", "M", outputs=["http://o.org/x#Stream"]),),
+            process=media_process(),
+        )
+        runtime = ServiceRuntime(profile)
+        runtime.on("login", lambda user="guest": f"hello {user}")
+        runtime.on("play", lambda title="": f"playing {title}")
+        runtime.on("browse", lambda: ["a", "b"])
+        runtime.on("logout", lambda: "bye")
+        return runtime
+
+    def test_dispatch_with_arguments(self, runtime):
+        session = runtime.open_session()
+        assert runtime.call(session, "login", user="ada") == "hello ada"
+        assert runtime.call(session, "play", title="video1") == "playing video1"
+
+    def test_protocol_enforced_before_dispatch(self, runtime):
+        session = runtime.open_session()
+        with pytest.raises(ProtocolViolation):
+            runtime.call(session, "play", title="x")
+        # The failed call must not have advanced the session.
+        assert session.state.invocations == []
+        assert runtime.call(session, "login") == "hello guest"
+
+    def test_allowed_but_unimplemented_operation(self):
+        profile = ServiceProfile(
+            uri="urn:x:svc:stub",
+            name="Stub",
+            provided=(Capability.build("urn:x:cap:s", "S", outputs=["http://o.org/x#Y"]),),
+            process=Invoke("ping"),
+        )
+        runtime = ServiceRuntime(profile)
+        session = runtime.open_session()
+        with pytest.raises(UnknownOperationError):
+            runtime.call(session, "ping")
+
+    def test_unallowed_and_unimplemented_raises_protocol_first(self, runtime):
+        session = runtime.open_session()
+        with pytest.raises(ProtocolViolation):
+            runtime.call(session, "burnDvd")
+
+    def test_sessions_are_independent(self, runtime):
+        first = runtime.open_session()
+        second = runtime.open_session()
+        runtime.call(first, "login")
+        # Second session still requires login.
+        with pytest.raises(ProtocolViolation):
+            runtime.call(second, "play")
+        assert len(runtime.sessions) == 2
+
+    def test_full_conversation_end_to_end(self, runtime):
+        session = runtime.open_session()
+        runtime.call(session, "login")
+        runtime.call(session, "browse")
+        runtime.call(session, "play", title="movie")
+        runtime.call(session, "logout")
+        session.close()
+        assert session.finished

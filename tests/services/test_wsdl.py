@@ -1,0 +1,102 @@
+"""Tests for the WSDL model and syntactic conformance."""
+
+import pytest
+
+from repro.services.wsdl import WsdlDescription, WsdlOperation, WsdlRequest
+
+
+def description(**kwargs) -> WsdlDescription:
+    defaults = dict(
+        uri="urn:x:svc:1",
+        port_type="MediaServer",
+        operations=(
+            WsdlOperation("getStream", inputs=("title",), outputs=("stream",)),
+            WsdlOperation("listTitles", inputs=(), outputs=("titles",)),
+        ),
+        keywords=("media", "stream"),
+    )
+    defaults.update(kwargs)
+    return WsdlDescription(**defaults)
+
+
+class TestModel:
+    def test_duplicate_operation_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate operation"):
+            description(
+                operations=(
+                    WsdlOperation("op", inputs=("a",)),
+                    WsdlOperation("op", inputs=("b",)),
+                )
+            )
+
+    def test_operation_lookup(self):
+        desc = description()
+        assert desc.operation("getStream").outputs == ("stream",)
+        with pytest.raises(KeyError):
+            desc.operation("missing")
+
+    def test_signature(self):
+        op = WsdlOperation("f", inputs=("a", "b"), outputs=("c",))
+        assert op.signature() == ("f", frozenset({"a", "b"}), frozenset({"c"}))
+
+    def test_request_requires_operations(self):
+        with pytest.raises(ValueError):
+            WsdlRequest(uri="urn:x:r", operations=())
+
+
+class TestConformance:
+    def test_exact_interface_conforms(self):
+        desc = description()
+        request = WsdlRequest(
+            uri="urn:x:r",
+            operations=(WsdlOperation("getStream", inputs=("title",), outputs=("stream",)),),
+        )
+        assert desc.conforms_to(request)
+
+    def test_missing_operation_fails(self):
+        request = WsdlRequest(
+            uri="urn:x:r", operations=(WsdlOperation("burnDvd", outputs=("disc",)),)
+        )
+        assert not description().conforms_to(request)
+
+    def test_different_input_parts_fail(self):
+        """Syntactic matching is brittle: a renamed part breaks discovery —
+        the paper's motivation for semantics."""
+        request = WsdlRequest(
+            uri="urn:x:r",
+            operations=(
+                WsdlOperation("getStream", inputs=("videoTitle",), outputs=("stream",)),
+            ),
+        )
+        assert not description().conforms_to(request)
+
+    def test_extra_provided_outputs_ok(self):
+        desc = description(
+            operations=(
+                WsdlOperation("getStream", inputs=("title",), outputs=("stream", "meta")),
+            )
+        )
+        request = WsdlRequest(
+            uri="urn:x:r",
+            operations=(WsdlOperation("getStream", inputs=("title",), outputs=("stream",)),),
+        )
+        assert desc.conforms_to(request)
+
+    def test_missing_output_fails(self):
+        request = WsdlRequest(
+            uri="urn:x:r",
+            operations=(
+                WsdlOperation("getStream", inputs=("title",), outputs=("stream", "subtitles")),
+            ),
+        )
+        assert not description().conforms_to(request)
+
+    def test_multi_operation_request(self):
+        request = WsdlRequest(
+            uri="urn:x:r",
+            operations=(
+                WsdlOperation("getStream", inputs=("title",), outputs=("stream",)),
+                WsdlOperation("listTitles", inputs=(), outputs=("titles",)),
+            ),
+        )
+        assert description().conforms_to(request)

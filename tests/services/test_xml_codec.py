@@ -1,0 +1,144 @@
+"""Tests for the service XML codec (profiles, requests, WSDL, codes)."""
+
+import pytest
+
+from repro.services.profile import Capability, Grounding, ServiceProfile, ServiceRequest
+from repro.services.wsdl import WsdlDescription, WsdlOperation, WsdlRequest
+from repro.services.xml_codec import (
+    ServiceSyntaxError,
+    profile_from_xml,
+    profile_to_xml,
+    request_from_xml,
+    request_to_xml,
+    wsdl_from_xml,
+    wsdl_to_xml,
+)
+
+NS = "http://repro.example.org/media"
+
+
+def sample_profile() -> ServiceProfile:
+    provided = Capability.build(
+        "urn:x:cap:send",
+        "SendDigitalStream",
+        inputs=[f"{NS}/resources#DigitalResource"],
+        outputs=[f"{NS}/resources#Stream"],
+        category=f"{NS}/servers#DigitalServer",
+        includes=("urn:x:cap:game",),
+    )
+    required = Capability.build(
+        "urn:x:cap:need",
+        "NeedClock",
+        outputs=[f"{NS}/resources#Title"],
+    )
+    return ServiceProfile(
+        uri="urn:x:svc:ws",
+        name="Workstation",
+        provided=(provided,),
+        required=(required,),
+        device="workstation-1",
+        middleware="upnp-bridge",
+        qos=(("latency", "low"),),
+        grounding=Grounding(endpoint="http://10.0.0.2/svc", wsdl_uri="http://10.0.0.2/svc?wsdl"),
+    )
+
+
+class TestProfileRoundtrip:
+    def test_roundtrip_complete(self):
+        profile = sample_profile()
+        restored, annotations = profile_from_xml(profile_to_xml(profile))
+        assert restored == profile
+        assert not annotations
+
+    def test_codes_roundtrip(self, media_table):
+        profile = sample_profile()
+        codes = media_table.annotate(profile.provided)
+        doc = profile_to_xml(profile, annotations=codes, codes_version=media_table.version)
+        restored, annotations = profile_from_xml(doc)
+        assert restored == profile
+        assert annotations.version == media_table.version
+        assert set(annotations.codes) == set(codes)
+        resolved = media_table.resolve_annotations(annotations.codes, annotations.version)
+        for uri, code in resolved.items():
+            assert code == media_table.code(uri)
+
+    def test_unannotated_concepts_carry_no_codes(self):
+        profile = sample_profile()
+        doc = profile_to_xml(profile, annotations={}, codes_version=7)
+        _restored, annotations = profile_from_xml(doc)
+        assert annotations.version == 7
+        assert annotations.codes == {}
+
+
+class TestRequestRoundtrip:
+    def test_roundtrip(self):
+        request = ServiceRequest(
+            uri="urn:x:req:1",
+            capabilities=(
+                Capability.build(
+                    "urn:x:cap:r", "GetVideoStream", outputs=[f"{NS}/resources#Stream"]
+                ),
+            ),
+            requester="urn:x:svc:pda",
+        )
+        restored, _ = request_from_xml(request_to_xml(request))
+        assert restored == request
+
+
+class TestWsdlRoundtrip:
+    def test_description_roundtrip(self):
+        desc = WsdlDescription(
+            uri="urn:x:svc:1",
+            port_type="MediaServer",
+            operations=(WsdlOperation("get", inputs=("a",), outputs=("b",)),),
+            keywords=("media",),
+        )
+        assert wsdl_from_xml(wsdl_to_xml(desc)) == desc
+
+    def test_request_roundtrip(self):
+        request = WsdlRequest(
+            uri="urn:x:req:1",
+            operations=(WsdlOperation("get", inputs=("a",), outputs=("b",)),),
+            keywords=("media",),
+        )
+        assert wsdl_from_xml(wsdl_to_xml(request)) == request
+
+
+class TestErrors:
+    def test_malformed_profile(self):
+        with pytest.raises(ServiceSyntaxError, match="not well-formed"):
+            profile_from_xml("<Service")
+
+    def test_wrong_root(self):
+        with pytest.raises(ServiceSyntaxError, match="expected <Service>"):
+            profile_from_xml("<Request uri='urn:x:r'/>")
+
+    def test_request_wrong_root(self):
+        with pytest.raises(ServiceSyntaxError, match="expected <Request>"):
+            request_from_xml("<Service uri='urn:x:s' name='s'/>")
+
+    def test_unexpected_element_in_service(self):
+        with pytest.raises(ServiceSyntaxError, match="unexpected element"):
+            profile_from_xml("<Service uri='urn:x:s' name='s'><Bogus/></Service>")
+
+    def test_unexpected_element_in_capability(self):
+        doc = (
+            "<Service uri='urn:x:s' name='s'>"
+            "<Capability uri='urn:x:c' name='c'><bogus concept='urn:x:x'/></Capability>"
+            "</Service>"
+        )
+        with pytest.raises(ServiceSyntaxError, match="unexpected element"):
+            profile_from_xml(doc)
+
+    def test_missing_concept_attribute(self):
+        doc = (
+            "<Service uri='urn:x:s' name='s'>"
+            "<Capability uri='urn:x:c' name='c'><input/></Capability>"
+            "</Service>"
+        )
+        with pytest.raises(ServiceSyntaxError, match="missing required attribute"):
+            profile_from_xml(doc)
+
+    def test_wsdl_unknown_root(self):
+        with pytest.raises(ServiceSyntaxError, match="expected <Definitions>"):
+            wsdl_from_xml("<Nope/>")

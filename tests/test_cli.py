@@ -1,0 +1,184 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCapacity:
+    def test_prints_capacities(self, capsys):
+        assert main(["capacity", "--p", "2", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "first-level entries" in out
+        assert "nesting levels" in out
+
+
+class TestWorkload:
+    def test_writes_documents(self, tmp_path, capsys):
+        rc = main(
+            [
+                "workload",
+                "--services",
+                "3",
+                "--ontologies",
+                "4",
+                "--seed",
+                "5",
+                "--outdir",
+                str(tmp_path),
+                "--wsdl",
+            ]
+        )
+        assert rc == 0
+        assert len(list(tmp_path.glob("ontology_*.xml"))) == 4
+        assert len(list(tmp_path.glob("service_*.xml"))) == 3 + 3  # incl. wsdl twins
+        assert len(list(tmp_path.glob("request_*.xml"))) == 3
+
+    def test_documents_parse_back(self, tmp_path):
+        main(
+            ["workload", "--services", "2", "--ontologies", "3", "--seed", "1", "--outdir", str(tmp_path)]
+        )
+        from repro.ontology.owl_xml import ontology_from_xml
+        from repro.services.xml_codec import profile_from_xml
+
+        for path in tmp_path.glob("ontology_*.xml"):
+            ontology_from_xml(path.read_text())
+        for path in tmp_path.glob("service_*.xml"):
+            profile, annotations = profile_from_xml(path.read_text())
+            assert profile.provided
+            assert annotations  # workload embeds codes
+
+
+class TestMatch:
+    @pytest.fixture()
+    def workload_dir(self, tmp_path) -> pathlib.Path:
+        main(
+            ["workload", "--services", "2", "--ontologies", "3", "--seed", "2", "--outdir", str(tmp_path)]
+        )
+        return tmp_path
+
+    def test_derived_request_matches(self, workload_dir, capsys):
+        rc = main(
+            [
+                "match",
+                str(workload_dir / "service_001.xml"),
+                str(workload_dir / "request_001.xml"),
+                "--ontologies",
+                str(workload_dir),
+            ]
+        )
+        assert rc == 0
+        assert "distance=" in capsys.readouterr().out
+
+    def test_cross_request_usually_fails(self, workload_dir, capsys):
+        rc = main(
+            [
+                "match",
+                str(workload_dir / "service_000.xml"),
+                str(workload_dir / "request_001.xml"),
+                "--ontologies",
+                str(workload_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert ("NO MATCH" in out) == (rc == 1)
+
+    def test_missing_ontologies_dir(self, workload_dir, tmp_path_factory, capsys):
+        empty = tmp_path_factory.mktemp("empty")
+        rc = main(
+            [
+                "match",
+                str(workload_dir / "service_000.xml"),
+                str(workload_dir / "request_000.xml"),
+                "--ontologies",
+                str(empty),
+            ]
+        )
+        assert rc == 2
+
+
+class TestExperimentCommand:
+    def test_e7_runs_quickly(self, capsys):
+        assert main(["experiment", "e7"]) == 0
+        out = capsys.readouterr().out
+        assert "first-level entries" in out
+        assert "===== e7 =====" in out
+
+
+class TestInspect:
+    def test_inspect_prints_graphs(self, tmp_path, capsys):
+        main(
+            ["workload", "--services", "3", "--ontologies", "3", "--seed", "4", "--outdir", str(tmp_path)]
+        )
+        capsys.readouterr()
+        rc = main(["inspect", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "loaded 3 service(s)" in out
+        assert "graph over" in out
+        assert "Capability_" in out
+
+    def test_inspect_empty_dir(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path)]) == 2
+
+
+class TestValidate:
+    def test_clean_workload_passes(self, tmp_path, capsys):
+        main(
+            ["workload", "--services", "3", "--ontologies", "3", "--seed", "6", "--outdir", str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert main(["validate", str(tmp_path)]) == 0
+        assert "no problems found" in capsys.readouterr().out
+
+    def test_unknown_concept_flagged(self, tmp_path, capsys):
+        main(
+            ["workload", "--services", "2", "--ontologies", "3", "--seed", "6", "--outdir", str(tmp_path)]
+        )
+        rogue = (
+            "<Service uri='urn:x:svc:rogue' name='r'>"
+            "<Capability uri='urn:x:cap:r' name='c' provided='true'>"
+            "<output concept='http://unknown.org/onto#X'/>"
+            "</Capability></Service>"
+        )
+        (tmp_path / "service_zz.xml").write_text(rogue)
+        capsys.readouterr()
+        assert main(["validate", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "unknown concept http://unknown.org/onto#X" in out
+
+    def test_stale_codes_flagged(self, tmp_path, capsys):
+        main(
+            ["workload", "--services", "1", "--ontologies", "3", "--seed", "6", "--outdir", str(tmp_path)]
+        )
+        doc = (tmp_path / "service_000.xml").read_text()
+        import re
+
+        stale = re.sub(r'codesVersion="\d+"', 'codesVersion="999"', doc)
+        (tmp_path / "service_000.xml").write_text(stale)
+        capsys.readouterr()
+        assert main(["validate", str(tmp_path)]) == 1
+        assert "stale codes" in capsys.readouterr().out
+
+    def test_malformed_document_flagged(self, tmp_path, capsys):
+        main(
+            ["workload", "--services", "1", "--ontologies", "3", "--seed", "6", "--outdir", str(tmp_path)]
+        )
+        (tmp_path / "service_bad.xml").write_text("<Service")
+        capsys.readouterr()
+        assert main(["validate", str(tmp_path)]) == 1
+
+    def test_empty_dir(self, tmp_path):
+        assert main(["validate", str(tmp_path)]) == 2

@@ -1,0 +1,39 @@
+"""Regression tests: every example script must run to completion.
+
+The examples double as executable documentation and end-to-end smoke
+tests; each contains its own assertions (worked-example distances, recall,
+plan resolution), so a zero exit code means the scenario's claims held.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "media_home.py",
+        "manet_discovery.py",
+        "reasoner_comparison.py",
+        "smart_home_composition.py",
+        "pervasive_office.py",
+    }
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,90 @@
+"""Tests for phase timing instrumentation."""
+
+import pytest
+
+from repro.util.timing import PhaseTimer, TimingReport
+
+
+class TestPhaseTimer:
+    def test_phase_records_positive_duration(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            sum(range(1000))
+        assert timer.seconds("work") > 0
+
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        timer.record("parse", 0.5)
+        timer.record("parse", 0.25)
+        assert timer.seconds("parse") == pytest.approx(0.75)
+
+    def test_total_sums_phases(self):
+        timer = PhaseTimer()
+        timer.record("a", 1.0)
+        timer.record("b", 3.0)
+        assert timer.total() == pytest.approx(4.0)
+
+    def test_share(self):
+        timer = PhaseTimer()
+        timer.record("a", 1.0)
+        timer.record("b", 3.0)
+        assert timer.share("b") == pytest.approx(0.75)
+
+    def test_share_of_empty_timer_is_zero(self):
+        assert PhaseTimer().share("missing") == 0.0
+
+    def test_unknown_phase_is_zero(self):
+        assert PhaseTimer().seconds("nope") == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().record("a", -0.1)
+
+    def test_phase_records_on_exception(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("failing"):
+                raise RuntimeError("boom")
+        assert timer.seconds("failing") >= 0
+
+
+class TestTimingReport:
+    def _timer(self, **phases):
+        timer = PhaseTimer()
+        for name, value in phases.items():
+            timer.record(name, value)
+        return timer
+
+    def test_mean_over_runs(self):
+        report = TimingReport()
+        report.add(self._timer(parse=1.0))
+        report.add(self._timer(parse=3.0))
+        assert report.mean("parse") == pytest.approx(2.0)
+
+    def test_missing_phase_counts_zero(self):
+        report = TimingReport()
+        report.add(self._timer(parse=2.0))
+        report.add(self._timer(classify=2.0))
+        assert report.mean("parse") == pytest.approx(1.0)
+
+    def test_phase_order_is_first_seen(self):
+        report = TimingReport()
+        report.add(self._timer(parse=1.0, classify=1.0))
+        report.add(self._timer(match=1.0))
+        assert report.phases() == ["parse", "classify", "match"]
+
+    def test_mean_share(self):
+        report = TimingReport()
+        report.add(self._timer(load=3.0, match=1.0))
+        assert report.mean_share("load") == pytest.approx(0.75)
+
+    def test_table_renders_all_phases(self):
+        report = TimingReport()
+        report.add(self._timer(parse=0.010, match=0.002))
+        table = report.table()
+        assert "parse" in table and "match" in table and "TOTAL" in table
+
+    def test_empty_report(self):
+        report = TimingReport()
+        assert report.mean_total() == 0.0
+        assert report.mean("x") == 0.0
