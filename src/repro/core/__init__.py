@@ -22,7 +22,8 @@ from repro.core.capability_graph import CapabilityDag, QueryMode
 from repro.core.composition import Binding, Composer, CompositionError, CompositionPlan
 from repro.core.directory import DirectoryMatch, FlatDirectory, SemanticDirectory
 from repro.core.encoding import Interval, IntervalEncoder, linkinvexp
-from repro.core.matching import CodeMatcher, MatchOutcome, Matcher, TaxonomyMatcher
+from repro.core.interval_index import CandidateIndex, IntervalIndex
+from repro.core.matching import CodeMatcher, MatchOutcome, Matcher, MatcherStats, TaxonomyMatcher
 from repro.core.selection import QosAwareSelector, RankedMatch
 from repro.core.summaries import DirectorySummary
 
@@ -45,9 +46,12 @@ __all__ = [
     "Interval",
     "IntervalEncoder",
     "linkinvexp",
+    "CandidateIndex",
+    "IntervalIndex",
     "CodeMatcher",
     "MatchOutcome",
     "Matcher",
+    "MatcherStats",
     "TaxonomyMatcher",
     "DirectorySummary",
 ]

@@ -33,6 +33,7 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
+from repro.core.interval_index import CandidateIndex
 from repro.core.matching import Matcher
 from repro.services.profile import Capability
 
@@ -74,12 +75,24 @@ class GraphMatch:
     distance: int
 
 
+#: Below this vertex count a linear scan beats the interval-index stab
+#: (building the candidate set costs a few matcher evaluations' worth of
+#: set work), so preselection only engages on graphs at least this big.
+PRESELECT_MIN_NODES = 4
+
+
 class CapabilityDag:
     """One classified graph of capabilities (vertices + reduction edges)."""
 
     def __init__(self) -> None:
         self._nodes: dict[int, DagNode] = {}
         self._ids = itertools.count(1)
+        # Interval index over the vertices' representative capabilities:
+        # preselects, per requested capability, the vertices whose
+        # representative *may* match, so insertions and queries skip the
+        # guaranteed-miss semantic matches (code-backed matchers only;
+        # taxonomy matchers carry no codes and keep the full scan).
+        self._index = CandidateIndex()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -117,7 +130,15 @@ class CapabilityDag:
     # ------------------------------------------------------------------
     def insert(self, capability: Capability, service_uri: str, matcher: Matcher) -> int:
         """Classify one capability into the graph; returns its vertex id."""
-        uppers = self._minimal_subsumers(capability, matcher)
+        lookup = getattr(matcher, "lookup", None)
+        # Vertices that can subsume the newcomer (``Match(N, capability)``)
+        # are exactly the query-direction candidates for it.
+        candidates = (
+            self._index.candidates(capability, lookup)
+            if lookup is not None and len(self._nodes) >= PRESELECT_MIN_NODES
+            else None
+        )
+        uppers = self._minimal_subsumers(capability, matcher, candidates)
         equal = next(
             (
                 node_id
@@ -134,6 +155,7 @@ class CapabilityDag:
         node = DagNode(node_id=next(self._ids), representative=capability)
         node.entries.append(DagEntry(capability, service_uri))
         self._nodes[node.node_id] = node
+        self._index.insert(node.node_id, capability, lookup)
 
         # Remove reduction edges that the new vertex now interposes.
         for lower_id in lowers:
@@ -164,15 +186,22 @@ class CapabilityDag:
             stack.extend(parents)
         return False
 
-    def _minimal_subsumers(self, capability: Capability, matcher: Matcher) -> set[int]:
+    def _minimal_subsumers(
+        self, capability: Capability, matcher: Matcher, candidates: set[int] | None = None
+    ) -> set[int]:
         """Vertices N with ``Match(N, capability)`` minimal in the order.
 
         Top search from the roots: subsumers are ancestor-closed (Match is
         transitive), so children of a non-matching vertex never match.
+        ``candidates`` (when not ``None``) is a sound superset of the
+        matching vertices from the interval index; vertices outside it are
+        rejected without a semantic match.
         """
         matching_memo: dict[int, bool] = {}
 
         def matches(node_id: int) -> bool:
+            if candidates is not None and node_id not in candidates:
+                return False
             if node_id not in matching_memo:
                 matching_memo[node_id] = matcher.match(
                     self._nodes[node_id].representative, capability
@@ -248,6 +277,7 @@ class CapabilityDag:
 
     def _delete_node(self, node_id: int) -> None:
         node = self._nodes.pop(node_id)
+        self._index.discard(node_id)
         for parent_id in node.parents:
             self._nodes[parent_id].children.discard(node_id)
         for child_id in node.children:
@@ -286,15 +316,33 @@ class CapabilityDag:
         ``GREEDY`` mode (the paper's algorithm) each root that matches is
         descended toward strictly smaller distances; in ``EXHAUSTIVE`` mode
         every vertex is evaluated.
+
+        Code-backed matchers first narrow both scans through the interval
+        index: a vertex outside the candidate set cannot match (its
+        distance would be ``None``), so skipping it changes no result —
+        only the number of semantic matches evaluated.
         """
+        lookup = getattr(matcher, "lookup", None)
+        candidates = (
+            self._index.candidates(requested, lookup)
+            if lookup is not None and len(self._nodes) >= PRESELECT_MIN_NODES
+            else None
+        )
         hits: dict[int, int] = {}
         if mode is QueryMode.EXHAUSTIVE:
-            for node in self._nodes.values():
+            nodes = (
+                self._nodes.values()
+                if candidates is None
+                else (self._nodes[node_id] for node_id in candidates)
+            )
+            for node in nodes:
                 distance = matcher.semantic_distance(node.representative, requested)
                 if distance is not None:
                     hits[node.node_id] = distance
         else:
             for root in self.roots():
+                if candidates is not None and root.node_id not in candidates:
+                    continue
                 distance = matcher.semantic_distance(root.representative, requested)
                 if distance is None:
                     continue
@@ -304,6 +352,8 @@ class CapabilityDag:
                 while improved and current_distance > 0:
                     improved = False
                     for child_id in self._nodes[current_id].children:
+                        if candidates is not None and child_id not in candidates:
+                            continue
                         child_distance = matcher.semantic_distance(
                             self._nodes[child_id].representative, requested
                         )

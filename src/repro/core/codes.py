@@ -209,32 +209,34 @@ class CodeTable:
     # Snapshot distribution (newly elected directories need the codes but
     # not the reasoner — §3.2's whole point)
     # ------------------------------------------------------------------
-    def to_xml(self) -> str:
-        """Serialize the full table for transfer to another directory."""
+    def to_element(self):
+        """The ``<CodeTable>`` element tree (for embedding in snapshots
+        without a serialize/re-parse round-trip)."""
         import xml.etree.ElementTree as ET
 
         root = ET.Element("CodeTable", {"version": str(self.version)})
         for uri, code in self._codes.items():
             ET.SubElement(root, "Code", {"uri": uri, "data": code.serialize()})
-        return ET.tostring(root, encoding="unicode")
+        return root
+
+    def to_xml(self) -> str:
+        """Serialize the full table for transfer to another directory."""
+        import xml.etree.ElementTree as ET
+
+        return ET.tostring(self.to_element(), encoding="unicode")
 
     @classmethod
-    def from_xml(cls, document: str) -> "CodeTable":
-        """Reconstruct a table from :meth:`to_xml` output.
+    def from_element(cls, root) -> "CodeTable":
+        """Reconstruct a table from an already-parsed ``<CodeTable>``
+        element (counterpart of :meth:`to_element`).
 
         The result answers every code/subsumption/distance/annotation
         query without any reasoning, but carries no :attr:`taxonomy`
         (set to ``None``) — receiving directories never need one.
 
         Raises:
-            ValueError: on malformed documents.
+            ValueError: on malformed elements.
         """
-        import xml.etree.ElementTree as ET
-
-        try:
-            root = ET.fromstring(document)
-        except ET.ParseError as exc:
-            raise ValueError(f"not well-formed XML: {exc}") from exc
         if root.tag != "CodeTable":
             raise ValueError(f"expected <CodeTable> root, got <{root.tag}>")
         table = cls.__new__(cls)
@@ -251,6 +253,21 @@ class CodeTable:
                 raise ValueError("<Code> needs uri and data attributes")
             table._codes[uri] = ConceptCode.deserialize(uri, data)
         return table
+
+    @classmethod
+    def from_xml(cls, document: str) -> "CodeTable":
+        """Reconstruct a table from :meth:`to_xml` output.
+
+        Raises:
+            ValueError: on malformed documents.
+        """
+        import xml.etree.ElementTree as ET
+
+        try:
+            root = ET.fromstring(document)
+        except ET.ParseError as exc:
+            raise ValueError(f"not well-formed XML: {exc}") from exc
+        return cls.from_element(root)
 
     def __repr__(self) -> str:
         return f"CodeTable({len(self._codes)} concepts, version={self.version})"

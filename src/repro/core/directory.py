@@ -7,7 +7,17 @@ concepts with the code table, classifies their capabilities into
 ontology sets they use*, and answers requests with a handful of numeric
 matches.  :class:`FlatDirectory` is the unclassified baseline of Fig. 9:
 same code-based matching, but every cached capability is evaluated per
-request.
+request (optionally narrowed by a sorted interval index — see
+``docs/PERFORMANCE.md``).
+
+The query engine shares two directory-owned structures across all the
+short-lived matchers it creates (``docs/PERFORMANCE.md`` quantifies both):
+
+* a :class:`~repro.util.cache.DistanceCache` memoizing ``d(over, under)``
+  pairs across queries, publications and DAG insertions, flushed whenever
+  the code-table snapshot changes (§3.2 code versioning);
+* a :class:`~repro.util.cache.CacheStats`/:class:`MatcherStats` pair
+  aggregating comparison and cache counters for the §5 experiments.
 
 Timing: ``publish``/``query`` record per-phase durations (parse / encode /
 classify / match) in a :class:`~repro.util.timing.PhaseTimer`, which is
@@ -16,14 +26,24 @@ exactly the decomposition plotted in Figs. 7–9.
 
 from __future__ import annotations
 
+import itertools
+import xml.etree.ElementTree as ET
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.capability_graph import CapabilityDag, GraphMatch, QueryMode
 from repro.core.codes import CodeTable, StaleCodesError
-from repro.core.matching import CodeMatcher, Matcher
+from repro.core.interval_index import CandidateIndex
+from repro.core.matching import CodeMatcher, Matcher, MatcherStats
 from repro.core.summaries import DirectorySummary
-from repro.services.profile import Capability, ServiceProfile, ServiceRequest
-from repro.services.xml_codec import profile_from_xml, request_from_xml
+from repro.services.profile import Capability, ServiceProfile, ServiceRequest, ontology_of
+from repro.services.xml_codec import (
+    profile_from_element,
+    profile_from_xml,
+    profile_to_element,
+    request_from_xml,
+)
+from repro.util.cache import DEFAULT_MAXSIZE, DistanceCache
 from repro.util.timing import PhaseTimer
 
 
@@ -44,6 +64,10 @@ class SemanticDirectory:
         table: code table snapshotting the ontologies in force.
         query_mode: how graphs are searched (paper default: greedy).
         summary_bits / summary_hashes: Bloom summary parameters (§4).
+        preselection: graph-index filter strength (see
+            :meth:`_candidate_graphs`).
+        distance_cache_size: capacity of the shared concept-distance memo;
+            0 disables it (every pair recomputed, as in the seed code).
     """
 
     def __init__(
@@ -53,6 +77,7 @@ class SemanticDirectory:
         summary_bits: int = 512,
         summary_hashes: int = 4,
         preselection: str = "superset",
+        distance_cache_size: int = DEFAULT_MAXSIZE,
     ) -> None:
         if preselection not in ("superset", "intersection"):
             raise ValueError(f"unknown preselection {preselection!r}")
@@ -62,7 +87,17 @@ class SemanticDirectory:
         self.summary = DirectorySummary(m=summary_bits, k=summary_hashes)
         self._graphs: dict[frozenset[str], CapabilityDag] = {}
         self._profiles: dict[str, ServiceProfile] = {}
+        # Graph preselection depends only on the *keys* of the ontology
+        # index, which change far less often than their contents: memoize
+        # per request signature, flush when a graph is created or dropped.
+        self._graph_select_memo: dict[tuple[frozenset[str], frozenset[str]], list[CapabilityDag]] = {}
         self.timer = PhaseTimer()
+        #: Aggregated matcher counters across every publish/query this
+        #: directory served (each call used to get throwaway counters).
+        self.stats = MatcherStats()
+        self.distance_cache: DistanceCache | None = (
+            DistanceCache(maxsize=distance_cache_size) if distance_cache_size else None
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -93,7 +128,16 @@ class SemanticDirectory:
         return [cap for profile in self._profiles.values() for cap in profile.provided]
 
     def _matcher(self, extra_codes: dict | None = None) -> Matcher:
-        return CodeMatcher(table=self.table, extra_codes=extra_codes)
+        cache = self.distance_cache
+        if cache is not None:
+            # Cached distances are pure functions of the table snapshot
+            # (§3.2): re-encoding — a new version or a swapped table —
+            # must flush them, at the same moment stale documents start
+            # being rejected with StaleCodesError.
+            cache.ensure_version((id(self.table), self.table.version))
+        return CodeMatcher(
+            table=self.table, extra_codes=extra_codes, cache=cache, stats=self.stats
+        )
 
     # ------------------------------------------------------------------
     # Publication (§3.3 insertion, Figs. 7–8)
@@ -114,24 +158,77 @@ class SemanticDirectory:
         self._publish(profile, extra)
         return profile
 
+    def publish_xml_batch(self, documents: Iterable[str]) -> list[ServiceProfile]:
+        """Parse and publish many advertisement documents in one call.
+
+        All documents are parsed (and their codes validated) before the
+        first one is published, so a malformed or stale document aborts the
+        batch without partial insertions.
+
+        Raises:
+            ServiceSyntaxError: a malformed document.
+            StaleCodesError: a document with codes from another snapshot.
+        """
+        with self.timer.phase("parse"):
+            parsed = [profile_from_xml(document) for document in documents]
+        resolved: list[tuple[ServiceProfile, dict | None]] = []
+        for profile, annotations in parsed:
+            extra = None
+            if annotations:
+                with self.timer.phase("encode"):
+                    extra = self.table.resolve_annotations(
+                        annotations.codes, annotations.version
+                    )
+            resolved.append((profile, extra))
+        for profile, extra in resolved:
+            self._publish(profile, extra)
+        return [profile for profile, _extra in resolved]
+
     def publish(self, profile: ServiceProfile) -> None:
         """Publish an already-parsed advertisement."""
         self._publish(profile, None)
 
-    def _publish(self, profile: ServiceProfile, extra_codes: dict | None) -> None:
+    def publish_batch(self, profiles: Iterable[ServiceProfile]) -> int:
+        """Publish many already-parsed advertisements; returns the count.
+
+        One matcher (and one cache-version check) serves the whole batch —
+        the per-call setup the one-at-a-time path pays per profile.
+        """
+        matcher = self._matcher(None)
+        count = 0
+        for profile in profiles:
+            self._publish(profile, None, matcher=matcher)
+            count += 1
+        return count
+
+    def _publish(
+        self,
+        profile: ServiceProfile,
+        extra_codes: dict | None,
+        matcher: Matcher | None = None,
+    ) -> None:
         if profile.uri in self._profiles:
             self.unpublish(profile.uri)
-        matcher = self._matcher(extra_codes)
+        if matcher is None or extra_codes:
+            matcher = self._matcher(extra_codes)
         with self.timer.phase("classify"):
             for capability in profile.provided:
                 key = capability.ontologies()
-                graph = self._graphs.setdefault(key, CapabilityDag())
+                graph = self._graphs.get(key)
+                if graph is None:
+                    graph = self._graphs[key] = CapabilityDag()
+                    self._graph_select_memo.clear()
                 graph.insert(capability, profile.uri, matcher)
                 self.summary.add_capability(capability)
         self._profiles[profile.uri] = profile
 
     def unpublish(self, service_uri: str) -> int:
-        """Withdraw a service; rebuilds the Bloom summary.
+        """Withdraw a service.
+
+        Cost is proportional to the withdrawn service itself: only the
+        graphs its ontology sets index are touched, and the Bloom summary
+        is decremented per capability (counting filter) instead of rebuilt
+        over the remaining content.
 
         Returns the number of capability entries removed.
         """
@@ -139,12 +236,16 @@ class SemanticDirectory:
         if profile is None:
             return 0
         removed = 0
-        for key in [k for k in self._graphs]:
-            graph = self._graphs[key]
+        for key in {capability.ontologies() for capability in profile.provided}:
+            graph = self._graphs.get(key)
+            if graph is None:
+                continue
             removed += graph.remove_service(service_uri)
             if len(graph) == 0:
                 del self._graphs[key]
-        self.summary.rebuild(self.capabilities())
+                self._graph_select_memo.clear()
+        for capability in profile.provided:
+            self.summary.remove_capability(capability)
         return removed
 
     # ------------------------------------------------------------------
@@ -165,12 +266,14 @@ class SemanticDirectory:
         (Fig. 9).  ``intersection`` mode keeps the weaker filter for
         ontology suites with cross-namespace bridging axioms.
         """
-        from repro.services.profile import ontology_of
-
         wanted = capability.ontologies()
         required = frozenset(
             ontology_of(c) for c in capability.outputs | capability.properties
         )
+        memo_key = (wanted, required)
+        memoized = self._graph_select_memo.get(memo_key)
+        if memoized is not None:
+            return memoized
         scored: list[tuple[int, int, CapabilityDag]] = []
         for key, graph in self._graphs.items():
             overlap = len(key & wanted)
@@ -181,7 +284,11 @@ class SemanticDirectory:
             exact = 0 if key == wanted else 1
             scored.append((exact, -overlap, graph))
         scored.sort(key=lambda item: (item[0], item[1]))
-        return [graph for _exact, _overlap, graph in scored]
+        selected = [graph for _exact, _overlap, graph in scored]
+        if len(self._graph_select_memo) >= 1024:  # bound stale-request growth
+            self._graph_select_memo.clear()
+        self._graph_select_memo[memo_key] = selected
+        return selected
 
     def query_xml(self, document: str) -> list[DirectoryMatch]:
         """Parse a request document and answer it.
@@ -196,15 +303,21 @@ class SemanticDirectory:
         if annotations:
             with self.timer.phase("encode"):
                 extra = self.table.resolve_annotations(annotations.codes, annotations.version)
-        return self._query(request, extra)
+        return self._query(request, self._matcher(extra))
 
     def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
         """Answer an already-parsed request: best matches per requested
         capability, each list sorted by ascending semantic distance."""
-        return self._query(request, None)
+        return self._query(request, self._matcher(None))
 
-    def _query(self, request: ServiceRequest, extra_codes: dict | None) -> list[DirectoryMatch]:
-        matcher = self._matcher(extra_codes)
+    def query_batch(self, requests: Iterable[ServiceRequest]) -> list[list[DirectoryMatch]]:
+        """Answer many requests with one matcher; returns per-request
+        results in order.  Amortizes matcher setup and keeps the shared
+        distance cache hot across the whole batch."""
+        matcher = self._matcher(None)
+        return [self._query(request, matcher) for request in requests]
+
+    def _query(self, request: ServiceRequest, matcher: Matcher) -> list[DirectoryMatch]:
         results: list[DirectoryMatch] = []
         with self.timer.phase("match"):
             for capability in request.capabilities:
@@ -243,16 +356,12 @@ class SemanticDirectory:
         successor re-creates graphs from the snapshot without ever running
         a reasoner.
         """
-        import xml.etree.ElementTree as ET
-
-        from repro.services.xml_codec import profile_to_xml
-
         root = ET.Element("DirectoryState", {"version": str(self.table.version)})
-        table_el = ET.SubElement(root, "Codes")
-        table_el.append(ET.fromstring(self.table.to_xml()))
+        codes_el = ET.SubElement(root, "Codes")
+        codes_el.append(self.table.to_element())
         services_el = ET.SubElement(root, "Services")
         for profile in self._profiles.values():
-            services_el.append(ET.fromstring(profile_to_xml(profile)))
+            services_el.append(profile_to_element(profile))
         return ET.tostring(root, encoding="unicode")
 
     @classmethod
@@ -262,10 +371,6 @@ class SemanticDirectory:
         Raises:
             ValueError: on malformed snapshots.
         """
-        import xml.etree.ElementTree as ET
-
-        from repro.services.xml_codec import profile_from_xml
-
         try:
             root = ET.fromstring(document)
         except ET.ParseError as exc:
@@ -276,13 +381,11 @@ class SemanticDirectory:
         services_el = root.find("Services")
         if codes_el is None or len(codes_el) != 1 or services_el is None:
             raise ValueError("snapshot must contain <Codes> and <Services>")
-        table = CodeTable.from_xml(ET.tostring(codes_el[0], encoding="unicode"))
+        table = CodeTable.from_element(codes_el[0])
         directory = cls(table, **kwargs)
-        for service_el in services_el:
-            profile, _annotations = profile_from_xml(
-                ET.tostring(service_el, encoding="unicode")
-            )
-            directory.publish(profile)
+        directory.publish_batch(
+            profile_from_element(service_el)[0] for service_el in services_el
+        )
         return directory
 
     def __repr__(self) -> str:
@@ -297,13 +400,28 @@ class FlatDirectory:
 
     Same parsing and encoded matching as :class:`SemanticDirectory`, but no
     capability graphs: every cached capability is matched per request.
+
+    Args:
+        table: code table snapshotting the ontologies in force.
+        use_interval_index: preselect candidate entries with a sorted
+            interval index over the cached capabilities' code intervals
+            (:class:`~repro.core.interval_index.CandidateIndex`) instead of
+            evaluating every entry.  Result sets are identical (the index
+            is a sound filter; a property test proves the equality) — only
+            the number of matcher evaluations changes.  The Fig. 9 "flat"
+            baseline disables this to keep the paper's linear scan.
     """
 
-    def __init__(self, table: CodeTable) -> None:
+    def __init__(self, table: CodeTable, use_interval_index: bool = True) -> None:
         self.table = table
-        self._entries: list[tuple[Capability, str]] = []
+        self.use_interval_index = use_interval_index
+        self._entries: dict[int, tuple[Capability, str]] = {}
+        self._by_service: dict[str, list[int]] = {}
+        self._ids = itertools.count(1)
+        self._index = CandidateIndex() if use_interval_index else None
         self._profiles: dict[str, ServiceProfile] = {}
         self.timer = PhaseTimer()
+        self.stats = MatcherStats()
 
     def __len__(self) -> int:
         return len(self._profiles)
@@ -318,8 +436,22 @@ class FlatDirectory:
         if profile.uri in self._profiles:
             self.unpublish(profile.uri)
         self._profiles[profile.uri] = profile
+        entry_ids = self._by_service.setdefault(profile.uri, [])
+        lookup = self._lookup if self._index is not None else None
         for capability in profile.provided:
-            self._entries.append((capability, profile.uri))
+            entry_id = next(self._ids)
+            self._entries[entry_id] = (capability, profile.uri)
+            entry_ids.append(entry_id)
+            if self._index is not None:
+                self._index.insert(entry_id, capability, lookup)
+
+    def publish_batch(self, profiles: Iterable[ServiceProfile]) -> int:
+        """Cache many advertisements; returns the count."""
+        count = 0
+        for profile in profiles:
+            self.publish(profile)
+            count += 1
+        return count
 
     def publish_xml(self, document: str) -> ServiceProfile:
         """Parse and cache an advertisement document."""
@@ -328,21 +460,43 @@ class FlatDirectory:
         self.publish(profile)
         return profile
 
+    def _lookup(self, concept: str):
+        if concept in self.table:
+            return self.table.code(concept)
+        return None
+
     def unpublish(self, service_uri: str) -> int:
         """Withdraw a service."""
-        before = len(self._entries)
-        self._entries = [(c, s) for c, s in self._entries if s != service_uri]
+        entry_ids = self._by_service.pop(service_uri, [])
+        for entry_id in entry_ids:
+            del self._entries[entry_id]
+            if self._index is not None:
+                self._index.discard(entry_id)
         self._profiles.pop(service_uri, None)
-        return before - len(self._entries)
+        return len(entry_ids)
 
     def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
-        """Match every cached capability against every requested one."""
-        matcher = CodeMatcher(table=self.table)
+        """Match cached capabilities against every requested one."""
+        matcher = CodeMatcher(table=self.table, stats=self.stats)
+        return self._query(request, matcher)
+
+    def query_batch(self, requests: Iterable[ServiceRequest]) -> list[list[DirectoryMatch]]:
+        """Answer many requests with one matcher; per-request results."""
+        matcher = CodeMatcher(table=self.table, stats=self.stats)
+        return [self._query(request, matcher) for request in requests]
+
+    def _query(self, request: ServiceRequest, matcher: CodeMatcher) -> list[DirectoryMatch]:
         results: list[DirectoryMatch] = []
         with self.timer.phase("match"):
             for requested in request.capabilities:
+                if self._index is not None:
+                    candidates = self._index.candidates(requested, matcher.lookup)
+                    entry_ids = self._entries.keys() if candidates is None else candidates
+                else:
+                    entry_ids = self._entries.keys()
                 hits = []
-                for capability, service_uri in self._entries:
+                for entry_id in entry_ids:
+                    capability, service_uri = self._entries[entry_id]
                     distance = matcher.semantic_distance(capability, requested)
                     if distance is not None:
                         hits.append(DirectoryMatch(requested, capability, service_uri, distance))

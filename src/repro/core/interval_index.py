@@ -1,0 +1,241 @@
+"""Sorted interval indexes over concept tree-intervals (§3.2 codes).
+
+The encoded matcher decides ``provider ⊒ requested`` by checking that the
+requested concept's *tree interval* is contained in one of the provider
+concept's *code intervals* (:meth:`repro.core.codes.ConceptCode.subsumes`).
+The flat directory and the DAG root scan both evaluate that containment
+against every cached entry per request — an O(n) scan of mostly guaranteed
+misses.  This module turns the scan into a stabbing query: index the code
+intervals of all cached provider concepts once, then find the entries whose
+intervals *contain* a requested tree interval by binary search.
+
+:class:`IntervalIndex` is a nested containment list (Alekseyenko & Lee's
+NCList): intervals sorted by ``(lo, -hi)`` are threaded into sibling lists
+where no sibling contains another, so within a list both ``lo`` and ``hi``
+are strictly increasing and the intervals containing a query form one
+contiguous slice findable with two bisects.  Containment recursion then
+descends only into the children of stabbed intervals.  Code intervals are
+*not* laminar (merged DAG codes can partially overlap), which is exactly
+the case NCLists handle and plain nesting trees do not.
+
+:class:`CandidateIndex` layers the §2.3 match semantics on top: an entry
+can only satisfy ``Match(provided, requested)`` if, for *every* requested
+output, some provided output subsumes it (and likewise for properties), so
+the candidate set is the intersection of per-concept stab results — a
+sound preselection whose survivors are then confirmed by the real matcher.
+The property tests in ``tests/core/test_interval_index.py`` prove the
+result sets identical to the linear scan.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.core.codes import ConceptCode
+from repro.services.profile import Capability
+
+
+class _Node:
+    """One distinct interval with its payload ids and nested children.
+
+    ``child_los``/``child_his`` are the children's bounds frozen into
+    plain lists at rebuild time so a stab bisects without materializing
+    them per query.
+    """
+
+    __slots__ = ("lo", "hi", "ids", "children", "child_los", "child_his")
+
+    def __init__(self, lo: float, hi: float, ids: set[int]) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.ids = ids
+        self.children: list[_Node] = []
+        self.child_los: list[float] = []
+        self.child_his: list[float] = []
+
+
+class IntervalIndex:
+    """Static stabbing index from intervals to item ids, rebuilt lazily.
+
+    Items are inserted/discarded freely; the sorted structure is rebuilt
+    on the first query after a mutation (directories mutate in bursts and
+    query in storms, so lazy rebuilds amortize to nothing).
+    """
+
+    def __init__(self) -> None:
+        #: item id -> its intervals (an item matches if ANY contains the query)
+        self._intervals: dict[int, tuple[tuple[float, float], ...]] = {}
+        self._roots: list[_Node] = []
+        self._root_los: list[float] = []
+        self._root_his: list[float] = []
+        self._dirty = False
+        self.rebuilds = 0
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def insert(self, item_id: int, intervals: tuple[tuple[float, float], ...]) -> None:
+        """Register ``item_id`` under every ``(lo, hi)`` in ``intervals``."""
+        if not intervals:
+            return
+        self._intervals[item_id] = intervals
+        self._dirty = True
+
+    def discard(self, item_id: int) -> None:
+        """Remove ``item_id`` (no-op if absent)."""
+        if self._intervals.pop(item_id, None) is not None:
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    # NCList construction
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        grouped: dict[tuple[float, float], set[int]] = {}
+        for item_id, intervals in self._intervals.items():
+            for interval in intervals:
+                grouped.setdefault(interval, set()).add(item_id)
+        nodes = [_Node(lo, hi, ids) for (lo, hi), ids in grouped.items()]
+        nodes.sort(key=lambda n: (n.lo, -n.hi))
+        self._roots = []
+        stack: list[_Node] = []
+        for node in nodes:
+            while stack and not (stack[-1].lo <= node.lo and node.hi <= stack[-1].hi):
+                stack.pop()
+            (stack[-1].children if stack else self._roots).append(node)
+            stack.append(node)
+        self._root_los = [n.lo for n in self._roots]
+        self._root_his = [n.hi for n in self._roots]
+        for node in nodes:
+            if node.children:
+                node.child_los = [n.lo for n in node.children]
+                node.child_his = [n.hi for n in node.children]
+        self._dirty = False
+        self.rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # Stabbing
+    # ------------------------------------------------------------------
+    def stab(self, lo: float, hi: float) -> set[int]:
+        """Ids of items with an interval containing ``[lo, hi]``.
+
+        Containment mirrors :meth:`ConceptCode.subsumes`: ``ilo <= lo`` and
+        ``hi <= ihi``.
+        """
+        if self._dirty:
+            self._rebuild()
+        result: set[int] = set()
+        # Each sibling list has strictly increasing lo AND hi (equal-lo
+        # intervals nest), so its containers of [lo, hi] are the slice with
+        # ilo <= lo (a prefix) intersected with ihi >= hi (a suffix).  The
+        # invariant holds per list, not across lists — descend into each
+        # stabbed node's children as its own list.
+        work: list[tuple[list[_Node], list[float], list[float]]] = [
+            (self._roots, self._root_los, self._root_his)
+        ]
+        while work:
+            siblings, los, his = work.pop()
+            first = bisect_left(his, hi)
+            last = bisect_right(los, lo)
+            for node in siblings[first:last]:
+                result |= node.ids
+                if node.children:
+                    work.append((node.children, node.child_los, node.child_his))
+        return result
+
+
+class CandidateIndex:
+    """Match-aware preselection over cached capabilities.
+
+    For each indexed entry, the *code intervals* of its output concepts
+    and (separately) its property concepts are stored.  A requested
+    capability's candidates are::
+
+        ⋂ over requested outputs    stab(output index,  out.tree)
+      ∩ ⋂ over requested properties stab(property index, prop.tree)
+
+    which is a superset of the entries the §2.3 ``Match`` relation accepts
+    (each stab is a necessary condition).  Entries whose concepts could not
+    be resolved to codes at insertion time are kept as always-candidates so
+    the filter never produces a false negative, even for concepts that only
+    resolve through a later request's embedded codes.
+
+    ``lookup`` callables map a concept URI to its :class:`ConceptCode` (or
+    ``None``) and must agree with the matcher that later confirms the
+    candidates — pass :meth:`repro.core.matching.CodeMatcher.lookup`.
+    """
+
+    def __init__(self) -> None:
+        self._outputs = IntervalIndex()
+        self._properties = IntervalIndex()
+        self._unindexed_outputs: set[int] = set()
+        self._unindexed_properties: set[int] = set()
+        self._all: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def insert(self, item_id: int, capability: Capability, lookup) -> None:
+        """Index one provided capability under ``item_id``."""
+        self._all.add(item_id)
+        self._index_field(item_id, capability.outputs, self._outputs, self._unindexed_outputs, lookup)
+        self._index_field(
+            item_id, capability.properties, self._properties, self._unindexed_properties, lookup
+        )
+
+    def _index_field(
+        self,
+        item_id: int,
+        concepts: frozenset[str],
+        index: IntervalIndex,
+        unindexed: set[int],
+        lookup,
+    ) -> None:
+        intervals: list[tuple[float, float]] = []
+        for concept in concepts:
+            code: ConceptCode | None = lookup(concept) if lookup is not None else None
+            if code is None:
+                # Unknown code now ≠ unmatchable forever: a future request
+                # may carry this concept's code (§3.2 embedded annotations).
+                unindexed.add(item_id)
+            else:
+                intervals.extend(code.code)
+        index.insert(item_id, tuple(intervals))
+
+    def discard(self, item_id: int) -> None:
+        """Drop an entry from every sub-index."""
+        self._all.discard(item_id)
+        self._outputs.discard(item_id)
+        self._properties.discard(item_id)
+        self._unindexed_outputs.discard(item_id)
+        self._unindexed_properties.discard(item_id)
+
+    def candidates(self, requested: Capability, lookup) -> set[int] | None:
+        """Entries that may match ``requested``; ``None`` = no filtering.
+
+        Returns ``None`` when the request carries neither outputs nor
+        properties (inputs alone give no sound interval condition), and the
+        empty set when a requested concept has no code anywhere (then the
+        matcher cannot pair it, so nothing matches — same as the scan).
+        """
+        result: set[int] | None = None
+        for concepts, index, unindexed in (
+            (requested.outputs, self._outputs, self._unindexed_outputs),
+            (requested.properties, self._properties, self._unindexed_properties),
+        ):
+            for concept in concepts:
+                code: ConceptCode | None = lookup(concept) if lookup is not None else None
+                if code is None:
+                    return set()
+                hits = index.stab(code.tree_lo, code.tree_hi)
+                if unindexed:
+                    hits = hits | unindexed
+                result = hits if result is None else result & hits
+                if not result:
+                    return result
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateIndex({len(self._all)} entries, "
+            f"{len(self._outputs)} output / {len(self._properties)} property indexed)"
+        )

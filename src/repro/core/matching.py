@@ -47,14 +47,23 @@ from dataclasses import dataclass
 from repro.core.codes import CodeTable, ConceptCode
 from repro.ontology.taxonomy import Taxonomy
 from repro.services.profile import Capability
+from repro.util.cache import MISS, DistanceCache
 
 
 @dataclass
 class MatcherStats:
-    """Counters: how many capability matches / concept comparisons ran."""
+    """Counters: how many capability matches / concept comparisons ran.
+
+    ``cache_hits``/``cache_misses`` count shared distance-cache probes
+    (:class:`repro.util.cache.DistanceCache`); their sum is at most
+    ``concept_comparisons`` (pairs involving document-embedded codes
+    bypass the shared cache).
+    """
 
     capability_matches: int = 0
     concept_comparisons: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class Matcher:
@@ -62,10 +71,15 @@ class Matcher:
 
     Subclasses supply :meth:`concept_distance`; everything else — the
     ``Match`` relation, ``SemanticDistance``, detailed outcomes — is shared.
+
+    Args:
+        stats: counter object to record into; pass a shared instance to
+            aggregate across many short-lived matchers (the directory
+            batch APIs do), or leave ``None`` for a private one.
     """
 
-    def __init__(self) -> None:
-        self.stats = MatcherStats()
+    def __init__(self, stats: MatcherStats | None = None) -> None:
+        self.stats = stats if stats is not None else MatcherStats()
 
     # -- oracle ---------------------------------------------------------
     def concept_distance(self, over: str, under: str) -> int | None:
@@ -195,8 +209,8 @@ class MatchDegree(enum.IntEnum):
 class TaxonomyMatcher(Matcher):
     """``d`` backed by a classified taxonomy (on-line reasoning path)."""
 
-    def __init__(self, taxonomy: Taxonomy) -> None:
-        super().__init__()
+    def __init__(self, taxonomy: Taxonomy, stats: MatcherStats | None = None) -> None:
+        super().__init__(stats=stats)
         self._taxonomy = taxonomy
 
     def concept_distance(self, over: str, under: str) -> int | None:
@@ -215,20 +229,36 @@ class CodeMatcher(Matcher):
             validated against the table version via
             :meth:`repro.core.codes.CodeTable.resolve_annotations`; lets a
             directory match concepts it has not locally encoded.
+        cache: shared :class:`~repro.util.cache.DistanceCache` owned by the
+            directory; pairs resolved purely from ``table`` are memoized
+            across matcher instances.  Pairs touching ``extra_codes`` skip
+            the cache (extras shadow the table per document, so their
+            results are not globally reusable).
+        stats: shared counter object (see :class:`Matcher`).
     """
 
     def __init__(
         self,
         table: CodeTable | None = None,
         extra_codes: dict[str, ConceptCode] | None = None,
+        cache: DistanceCache | None = None,
+        stats: MatcherStats | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(stats=stats)
         if table is None and not extra_codes:
             raise ValueError("CodeMatcher needs a code table and/or embedded codes")
         self._table = table
         self._extra = extra_codes or {}
+        self._cache = cache
 
-    def _lookup(self, concept: str) -> ConceptCode | None:
+    def lookup(self, concept: str) -> ConceptCode | None:
+        """The code this matcher uses for ``concept`` (embedded codes
+        shadow the table), or ``None`` when neither source covers it.
+
+        Public because the interval indexes
+        (:mod:`repro.core.interval_index`) must preselect with exactly the
+        resolution the confirming matcher will use.
+        """
         code = self._extra.get(concept)
         if code is not None:
             return code
@@ -236,9 +266,22 @@ class CodeMatcher(Matcher):
             return self._table.code(concept)
         return None
 
-    def concept_distance(self, over: str, under: str) -> int | None:
-        code_over = self._lookup(over)
-        code_under = self._lookup(under)
+    def _compute_distance(self, over: str, under: str) -> int | None:
+        code_over = self.lookup(over)
+        code_under = self.lookup(under)
         if code_over is None or code_under is None:
             return None
         return code_over.distance_to(code_under)
+
+    def concept_distance(self, over: str, under: str) -> int | None:
+        cache = self._cache
+        if cache is None or over in self._extra or under in self._extra:
+            return self._compute_distance(over, under)
+        cached = cache.lookup(over, under)
+        if cached is not MISS:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        distance = self._compute_distance(over, under)
+        cache.store(over, under, distance)
+        return distance

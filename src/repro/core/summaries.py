@@ -17,7 +17,7 @@ increase in false positives; the E10 benchmark quantifies both.
 from __future__ import annotations
 
 from repro.services.profile import Capability, ServiceRequest
-from repro.util.bloom import BloomFilter
+from repro.util.bloom import BloomFilter, CountingBloomFilter
 
 #: Default summary parameters; E10 sweeps them.
 DEFAULT_BITS = 512
@@ -29,37 +29,67 @@ def _canonical_set(ontologies: frozenset[str]) -> str:
 
 
 class DirectorySummary:
-    """Compact overview of one directory's content for query forwarding."""
+    """Compact overview of one directory's content for query forwarding.
+
+    A directory-owned summary is backed by a *counting* Bloom filter so a
+    capability withdrawal is O(its concepts) — decrement and clear — rather
+    than a rebuild over the whole remaining content (brutal under §2.4
+    churn).  The bits exchanged with peers (:attr:`bloom`, :meth:`snapshot`)
+    are identical to a from-scratch rebuild.  Summaries wrapped from
+    *received* bits (:meth:`from_bloom`) carry no counters and do not
+    support removal — peers only ever test them.
+    """
 
     def __init__(self, m: int = DEFAULT_BITS, k: int = DEFAULT_HASHES) -> None:
-        self._filter = BloomFilter(m=m, k=k)
+        self._counts: CountingBloomFilter | None = CountingBloomFilter(m=m, k=k)
+        self._filter: BloomFilter | None = None
 
     @classmethod
     def from_bloom(cls, bloom: BloomFilter) -> "DirectorySummary":
         """Wrap a filter received from a peer directory (exchanged bits)."""
         summary = cls(m=bloom.m, k=bloom.k)
+        summary._counts = None
         summary._filter = bloom
         return summary
 
     @property
     def bloom(self) -> BloomFilter:
-        """The underlying filter (exchanged between directories)."""
+        """The plain filter form (exchanged between directories)."""
+        if self._counts is not None:
+            return self._counts.to_filter()
         return self._filter
+
+    def _items_of(self, capability: Capability) -> list[str]:
+        ontologies = capability.ontologies()
+        return [_canonical_set(ontologies), *ontologies]
 
     def add_capability(self, capability: Capability) -> None:
         """Record a cached capability's ontology footprint."""
-        ontologies = capability.ontologies()
-        self._filter.add(_canonical_set(ontologies))
-        for uri in ontologies:
-            self._filter.add(uri)
+        backing = self._counts if self._counts is not None else self._filter
+        for item in self._items_of(capability):
+            backing.add(item)
+
+    def remove_capability(self, capability: Capability) -> None:
+        """Withdraw one previously-added capability's footprint — the O(1)
+        (per concept) path :meth:`rebuild` existed for.
+
+        Raises:
+            TypeError: on summaries wrapped from exchanged bits, which
+                carry no counters (peers never withdraw from them).
+        """
+        if self._counts is None:
+            raise TypeError("cannot remove from a summary wrapped from exchanged bits")
+        for item in self._items_of(capability):
+            self._counts.remove(item)
 
     def might_hold(self, capability: Capability) -> bool:
         """Could the summarized directory hold a match for this required
         capability?  False ⇒ definitely not; True ⇒ probably (§4)."""
+        backing = self._counts if self._counts is not None else self._filter
         ontologies = capability.ontologies()
-        if _canonical_set(ontologies) in self._filter:
+        if _canonical_set(ontologies) in backing:
             return True
-        return all(uri in self._filter for uri in ontologies)
+        return all(uri in backing for uri in ontologies)
 
     def might_answer(self, request: ServiceRequest) -> bool:
         """True iff the directory may hold a match for *any* requested
@@ -67,8 +97,15 @@ class DirectorySummary:
         return any(self.might_hold(cap) for cap in request.capabilities)
 
     def rebuild(self, capabilities: list[Capability]) -> None:
-        """Recompute the summary from scratch (after withdrawals)."""
-        self._filter.clear()
+        """Recompute the summary from scratch.
+
+        Kept for recovery paths (e.g. adopting a foreign content dump);
+        the directory hot path uses :meth:`remove_capability` instead.
+        """
+        if self._counts is not None:
+            self._counts.clear()
+        else:
+            self._filter.clear()
         for capability in capabilities:
             self.add_capability(capability)
 
@@ -76,11 +113,13 @@ class DirectorySummary:
     def saturated(self) -> bool:
         """True when false positives exceed ~10% — time to re-exchange with
         larger parameters (the paper's reactive exchange trigger)."""
-        return self._filter.false_positive_probability() > 0.1
+        return self.bloom.false_positive_probability() > 0.1
 
     def snapshot(self) -> BloomFilter:
         """An immutable copy suitable for sending to peer directories."""
-        return self._filter.copy()
+        bloom = self.bloom
+        return bloom.copy() if bloom is self._filter else bloom
 
     def __repr__(self) -> str:
-        return f"DirectorySummary({self._filter!r})"
+        backing = self._counts if self._counts is not None else self._filter
+        return f"DirectorySummary({backing!r})"

@@ -114,6 +114,17 @@ class DirectoryAgentBase(ProtocolAgent):
         """Cache one advertisement document; returns the service URI."""
         raise NotImplementedError
 
+    def local_publish_batch(self, documents: list[str]) -> list[str]:
+        """Cache many advertisement documents; returns their service URIs.
+
+        The default loops :meth:`local_publish`; protocols with a bulk
+        directory path (S-Ariadne's ``publish_xml_batch``) override it so
+        a handoff ingests the whole transfer in one directory call.  A
+        failing document fails the whole batch — the caller falls back to
+        per-document publication for isolation.
+        """
+        return [self.local_publish(document) for document in documents]
+
     def local_withdraw(self, service_uri: str) -> None:
         """Remove a cached service."""
         raise NotImplementedError
@@ -259,6 +270,23 @@ class DirectoryAgentBase(ProtocolAgent):
         self._documents_by_service[service_uri] = document
         self._mark_content_changed()
 
+    def _handle_publish_batch(self, source: int, documents: tuple[str, ...]) -> None:
+        """Ingest a document batch (handoff transfers) through the bulk
+        hook, falling back to per-document publication when any document
+        is rejected so one bad advertisement cannot sink the rest."""
+        if not documents:
+            return
+        try:
+            service_uris = self.local_publish_batch(list(documents))
+        except (StaleCodesError, ServiceSyntaxError):
+            for document in documents:
+                self._handle_publish(source, document)
+            return
+        for service_uri, document in zip(service_uris, documents):
+            self.node.network.record(self.node.node_id, "publish", service_uri)
+            self._documents_by_service[service_uri] = document
+        self._mark_content_changed()
+
     # ------------------------------------------------------------------
     # Query orchestration (Fig. 6)
     # ------------------------------------------------------------------
@@ -314,8 +342,7 @@ class DirectoryAgentBase(ProtocolAgent):
             self._documents_by_service.pop(payload.service_uri, None)
             self._mark_content_changed()
         elif isinstance(payload, DirectoryHandoff):
-            for document in payload.documents:
-                self._handle_publish(envelope.source, document)
+            self._handle_publish_batch(envelope.source, payload.documents)
         elif isinstance(payload, QueryRequest):
             self._handle_client_query(envelope.source, payload)
         elif isinstance(payload, RemoteQuery):

@@ -41,6 +41,12 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
     def local_publish(self, document: str) -> str:
         return self.directory.publish_xml(document).uri
 
+    def local_publish_batch(self, documents: list[str]) -> list[str]:
+        """Bulk ingestion for handoff transfers: one directory call parses,
+        validates and classifies the whole batch (all-or-nothing — the base
+        class falls back to per-document publication on rejection)."""
+        return [profile.uri for profile in self.directory.publish_xml_batch(documents)]
+
     def local_withdraw(self, service_uri: str) -> None:
         self.directory.unpublish(service_uri)
 
@@ -49,10 +55,10 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
         return [(m.service_uri, m.capability.uri, m.distance) for m in matches]
 
     def build_summary(self) -> BloomFilter:
-        summary = DirectorySummary(m=self.summary_bits, k=self.summary_hashes)
-        for capability in self.directory.capabilities():
-            summary.add_capability(capability)
-        return summary.bloom
+        # The directory maintains its counting summary incrementally on
+        # publish/withdraw; snapshotting it replaces the former rebuild
+        # over every cached capability (same bits — tested).
+        return self.directory.summary.snapshot()
 
     def summary_admits(self, summary: BloomFilter, document: str) -> bool:
         try:

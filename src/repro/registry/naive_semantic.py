@@ -134,6 +134,11 @@ class OnlineSemanticRegistry:
         whole cost is deferred to query time)."""
         self._documents.append(document)
 
+    def publish_xml_batch(self, documents: list[str]) -> None:
+        """Store many advertisement documents (batch parity with the
+        optimized directories; storage-only here)."""
+        self._documents.extend(documents)
+
     def query_xml(self, request_document: str) -> list[tuple[str, int]]:
         """Answer a request with fresh reasoning; returns
         ``(service_uri, distance)`` pairs sorted by distance."""

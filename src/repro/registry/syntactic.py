@@ -54,6 +54,13 @@ class SyntacticRegistry:
         for keyword in description.keywords:
             self._by_keyword[keyword].add(description.uri)
 
+    def publish_batch(self, descriptions: list[WsdlDescription]) -> int:
+        """Cache many descriptions; returns the count (batch parity with
+        :meth:`repro.core.directory.SemanticDirectory.publish_batch`)."""
+        for description in descriptions:
+            self.publish(description)
+        return len(descriptions)
+
     def publish_xml(self, document: str) -> WsdlDescription:
         """Parse and cache a WSDL document.
 
@@ -65,6 +72,22 @@ class SyntacticRegistry:
         if not isinstance(parsed, WsdlDescription):
             raise ServiceSyntaxError("expected a <Definitions> document, got a request")
         self.publish(parsed)
+        return parsed
+
+    def publish_xml_batch(self, documents: list[str]) -> list[WsdlDescription]:
+        """Parse and cache many WSDL documents; all are parsed before the
+        first is cached, so a malformed document aborts the whole batch.
+
+        Raises:
+            ServiceSyntaxError: a malformed or request document.
+        """
+        with self.timer.phase("parse"):
+            parsed = [wsdl_from_xml(document) for document in documents]
+        for description in parsed:
+            if not isinstance(description, WsdlDescription):
+                raise ServiceSyntaxError("expected a <Definitions> document, got a request")
+        for description in parsed:
+            self.publish(description)
         return parsed
 
     def unpublish(self, uri: str) -> bool:

@@ -92,16 +92,26 @@ class Capability:
         )
 
     def concepts(self) -> frozenset[str]:
-        """Every concept URI this capability references."""
-        return self.inputs | self.outputs | self.properties
+        """Every concept URI this capability references (memoized — the
+        capability is immutable and the directory hot path asks per query)."""
+        cached = self.__dict__.get("_concepts")
+        if cached is None:
+            cached = self.inputs | self.outputs | self.properties
+            object.__setattr__(self, "_concepts", cached)
+        return cached
 
     def ontologies(self) -> frozenset[str]:
         """The set ``O(C)`` of ontology URIs used by this capability (§4).
 
         This set indexes capability graphs (§3.3) and feeds the Bloom
-        filter summaries (§4).
+        filter summaries (§4); memoized for the same reason as
+        :meth:`concepts`.
         """
-        return frozenset(ontology_of(c) for c in self.concepts())
+        cached = self.__dict__.get("_ontologies")
+        if cached is None:
+            cached = frozenset(ontology_of(c) for c in self.concepts())
+            object.__setattr__(self, "_ontologies", cached)
+        return cached
 
     def __repr__(self) -> str:
         return (

@@ -189,12 +189,18 @@ def _process_from_element(el: ET.Element) -> ProcessTerm:
 # ---------------------------------------------------------------------------
 
 
-def profile_to_xml(
+def profile_to_element(
     profile: ServiceProfile,
     annotations: dict[str, str] | None = None,
     codes_version: int | None = None,
-) -> str:
-    """Serialize a service profile, optionally embedding interval codes."""
+) -> ET.Element:
+    """Build the ``<Service>`` element tree for a profile.
+
+    The :class:`~repro.core.directory.SemanticDirectory` state snapshot
+    embeds profiles into a larger document; exposing the element avoids a
+    serialize-then-reparse round-trip per profile (use
+    :func:`profile_to_xml` when a string is actually needed).
+    """
     attrs = {"uri": profile.uri, "name": profile.name}
     if profile.device:
         attrs["device"] = profile.device
@@ -223,21 +229,30 @@ def profile_to_xml(
         root.append(_capability_to_element(cap, provided=True, annotations=annotations))
     for cap in profile.required:
         root.append(_capability_to_element(cap, provided=False, annotations=annotations))
-    return ET.tostring(root, encoding="unicode")
+    return root
 
 
-def profile_from_xml(document: str) -> tuple[ServiceProfile, CodeAnnotations]:
-    """Parse a service profile document.
+def profile_to_xml(
+    profile: ServiceProfile,
+    annotations: dict[str, str] | None = None,
+    codes_version: int | None = None,
+) -> str:
+    """Serialize a service profile, optionally embedding interval codes."""
+    return ET.tostring(
+        profile_to_element(profile, annotations=annotations, codes_version=codes_version),
+        encoding="unicode",
+    )
 
-    Returns the profile and any interval-code annotations it carried.
+
+def profile_from_element(root: ET.Element) -> tuple[ServiceProfile, CodeAnnotations]:
+    """Parse an already-built ``<Service>`` element.
+
+    Counterpart of :func:`profile_to_element`; the directory snapshot
+    importer hands sub-elements straight in instead of re-serializing.
 
     Raises:
-        ServiceSyntaxError: on malformed XML or missing attributes.
+        ServiceSyntaxError: on a wrong root tag or missing attributes.
     """
-    try:
-        root = ET.fromstring(document)
-    except ET.ParseError as exc:
-        raise ServiceSyntaxError(f"not well-formed XML: {exc}") from exc
     if root.tag != "Service":
         raise ServiceSyntaxError(f"expected <Service> root, got <{root.tag}>")
     version_attr = root.get("codesVersion")
@@ -279,30 +294,10 @@ def profile_from_xml(document: str) -> tuple[ServiceProfile, CodeAnnotations]:
     return profile, annotations
 
 
-# ---------------------------------------------------------------------------
-# Service requests
-# ---------------------------------------------------------------------------
+def profile_from_xml(document: str) -> tuple[ServiceProfile, CodeAnnotations]:
+    """Parse a service profile document.
 
-
-def request_to_xml(
-    request: ServiceRequest,
-    annotations: dict[str, str] | None = None,
-    codes_version: int | None = None,
-) -> str:
-    """Serialize a discovery request, optionally embedding interval codes."""
-    attrs = {"uri": request.uri}
-    if request.requester:
-        attrs["requester"] = request.requester
-    if codes_version is not None:
-        attrs["codesVersion"] = str(codes_version)
-    root = ET.Element("Request", attrs)
-    for cap in request.capabilities:
-        root.append(_capability_to_element(cap, provided=False, annotations=annotations))
-    return ET.tostring(root, encoding="unicode")
-
-
-def request_from_xml(document: str) -> tuple[ServiceRequest, CodeAnnotations]:
-    """Parse a discovery request document.
+    Returns the profile and any interval-code annotations it carried.
 
     Raises:
         ServiceSyntaxError: on malformed XML or missing attributes.
@@ -311,6 +306,49 @@ def request_from_xml(document: str) -> tuple[ServiceRequest, CodeAnnotations]:
         root = ET.fromstring(document)
     except ET.ParseError as exc:
         raise ServiceSyntaxError(f"not well-formed XML: {exc}") from exc
+    return profile_from_element(root)
+
+
+# ---------------------------------------------------------------------------
+# Service requests
+# ---------------------------------------------------------------------------
+
+
+def request_to_element(
+    request: ServiceRequest,
+    annotations: dict[str, str] | None = None,
+    codes_version: int | None = None,
+) -> ET.Element:
+    """Build the ``<Request>`` element tree for a discovery request."""
+    attrs = {"uri": request.uri}
+    if request.requester:
+        attrs["requester"] = request.requester
+    if codes_version is not None:
+        attrs["codesVersion"] = str(codes_version)
+    root = ET.Element("Request", attrs)
+    for cap in request.capabilities:
+        root.append(_capability_to_element(cap, provided=False, annotations=annotations))
+    return root
+
+
+def request_to_xml(
+    request: ServiceRequest,
+    annotations: dict[str, str] | None = None,
+    codes_version: int | None = None,
+) -> str:
+    """Serialize a discovery request, optionally embedding interval codes."""
+    return ET.tostring(
+        request_to_element(request, annotations=annotations, codes_version=codes_version),
+        encoding="unicode",
+    )
+
+
+def request_from_element(root: ET.Element) -> tuple[ServiceRequest, CodeAnnotations]:
+    """Parse an already-built ``<Request>`` element.
+
+    Raises:
+        ServiceSyntaxError: on a wrong root tag or missing attributes.
+    """
     if root.tag != "Request":
         raise ServiceSyntaxError(f"expected <Request> root, got <{root.tag}>")
     version_attr = root.get("codesVersion")
@@ -327,6 +365,19 @@ def request_from_xml(document: str) -> tuple[ServiceRequest, CodeAnnotations]:
         requester=root.get("requester", ""),
     )
     return request, annotations
+
+
+def request_from_xml(document: str) -> tuple[ServiceRequest, CodeAnnotations]:
+    """Parse a discovery request document.
+
+    Raises:
+        ServiceSyntaxError: on malformed XML or missing attributes.
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ServiceSyntaxError(f"not well-formed XML: {exc}") from exc
+    return request_from_element(root)
 
 
 # ---------------------------------------------------------------------------

@@ -4,13 +4,18 @@ These are small, dependency-free building blocks used across the ontology
 substrate, the directories and the network simulator.
 """
 
-from repro.util.bloom import BloomFilter, optimal_parameters
+from repro.util.bloom import BloomFilter, CountingBloomFilter, optimal_parameters
+from repro.util.cache import CacheStats, DistanceCache, VersionedLruCache
 from repro.util.ids import uri_fragment, make_urn, validate_uri
 from repro.util.timing import PhaseTimer, TimingReport
 
 __all__ = [
     "BloomFilter",
+    "CountingBloomFilter",
     "optimal_parameters",
+    "CacheStats",
+    "DistanceCache",
+    "VersionedLruCache",
     "uri_fragment",
     "make_urn",
     "validate_uri",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+from array import array
 from collections.abc import Iterable
 
 
@@ -164,4 +165,97 @@ class BloomFilter:
         return (
             f"BloomFilter(m={self.m}, k={self.k}, "
             f"items~{self._count}, fill={self.fill_ratio:.3f})"
+        )
+
+
+class CountingBloomFilter:
+    """A Bloom filter whose positions are counters, enabling *removal*.
+
+    §2.4's churn means directories withdraw capabilities all the time; a
+    plain Bloom summary can only be rebuilt from the full content after a
+    withdrawal (O(directory size)).  Counting positions make removal
+    O(k) per item: decrement the k counters and clear a bit only when its
+    counter reaches zero.  The projected plain filter (:meth:`to_filter`)
+    is bit-for-bit identical to one rebuilt from the surviving items, so
+    exchanged summaries are unchanged on the wire.
+
+    Counters saturate at 2^16-1; a saturated counter is never decremented
+    (the standard safeguard: the bit then stays set forever, which only
+    costs false positives, never false negatives).
+    """
+
+    __slots__ = ("m", "k", "_counts", "_bits", "_adds")
+
+    _MAX_COUNT = 0xFFFF
+
+    def __init__(self, m: int = 256, k: int = 4) -> None:
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.m = m
+        self.k = k
+        self._counts = array("H", bytes(2 * m))
+        self._bits = 0
+        self._adds = 0
+
+    def _positions(self, item: str) -> list[int]:
+        h1, h2 = _base_hashes(item)
+        return [(h1 + i * h2) % self.m for i in range(self.k)]
+
+    def add(self, item: str) -> None:
+        """Increment the k counters for ``item`` and set their bits."""
+        for pos in set(self._positions(item)):
+            if self._counts[pos] < self._MAX_COUNT:
+                self._counts[pos] += 1
+            self._bits |= 1 << pos
+        self._adds += 1
+
+    def remove(self, item: str) -> bool:
+        """Decrement ``item``'s counters; clear bits that reach zero.
+
+        Returns False (and changes nothing) when any position is already
+        zero — removing a never-added item would corrupt other entries.
+        """
+        positions = set(self._positions(item))
+        if any(self._counts[pos] == 0 for pos in positions):
+            return False
+        for pos in positions:
+            if self._counts[pos] < self._MAX_COUNT:
+                self._counts[pos] -= 1
+                if self._counts[pos] == 0:
+                    self._bits &= ~(1 << pos)
+        self._adds = max(0, self._adds - 1)
+        return True
+
+    def __contains__(self, item: str) -> bool:
+        return all(self._bits >> pos & 1 for pos in self._positions(item))
+
+    @property
+    def approximate_items(self) -> int:
+        """Net ``add`` minus successful ``remove`` calls."""
+        return self._adds
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits currently set."""
+        return self._bits.bit_count() / self.m
+
+    def to_filter(self) -> BloomFilter:
+        """Project to a plain :class:`BloomFilter` (for wire exchange)."""
+        bloom = BloomFilter(self.m, self.k)
+        bloom._bits = self._bits
+        bloom._count = self._adds
+        return bloom
+
+    def clear(self) -> None:
+        """Reset every counter and bit."""
+        self._counts = array("H", bytes(2 * self.m))
+        self._bits = 0
+        self._adds = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingBloomFilter(m={self.m}, k={self.k}, "
+            f"items~{self._adds}, fill={self.fill_ratio:.3f})"
         )

@@ -1,0 +1,93 @@
+"""Version-keyed LRU caches (the query engine's distance memo)."""
+
+from __future__ import annotations
+
+from repro.util.cache import MISS, CacheStats, DistanceCache, VersionedLruCache
+
+
+class TestVersionedLruCache:
+    def test_get_put_roundtrip(self):
+        cache = VersionedLruCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b", "fallback") == "fallback"
+        assert "a" in cache and "b" not in cache
+
+    def test_rejects_nonpositive_maxsize(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            VersionedLruCache(maxsize=0)
+
+    def test_lru_eviction_order(self):
+        cache = VersionedLruCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_existing_key_does_not_evict(self):
+        cache = VersionedLruCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.stats.evictions == 0
+
+    def test_version_change_flushes(self):
+        cache = VersionedLruCache()
+        cache.ensure_version(("t", 1))
+        cache.put("a", 1)
+        cache.ensure_version(("t", 1))  # same version: keep
+        assert cache.get("a") == 1
+        cache.ensure_version(("t", 2))  # new version: flush
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_version_change_on_empty_cache_not_counted(self):
+        cache = VersionedLruCache()
+        cache.ensure_version(1)
+        cache.ensure_version(2)
+        assert cache.stats.invalidations == 0
+
+    def test_clear_keeps_counters(self):
+        cache = VersionedLruCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestDistanceCache:
+    def test_miss_sentinel_distinguishes_cached_none(self):
+        cache = DistanceCache()
+        assert cache.lookup("x", "y") is MISS
+        cache.store("x", "y", None)  # "does not subsume" is a real result
+        assert cache.lookup("x", "y") is None
+        cache.store("x", "z", 3)
+        assert cache.lookup("x", "z") == 3
+
+    def test_pairs_are_directional(self):
+        cache = DistanceCache()
+        cache.store("a", "b", 2)
+        assert cache.lookup("b", "a") is MISS
+
+    def test_stats_hit_rate(self):
+        cache = DistanceCache()
+        cache.store("a", "b", 1)
+        cache.lookup("a", "b")
+        cache.lookup("a", "c")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestCacheStats:
+    def test_hit_rate_zero_when_untouched(self):
+        assert CacheStats().hit_rate == 0.0
