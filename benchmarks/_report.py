@@ -7,6 +7,7 @@ pytest's output capture.  ``EXPERIMENTS.md`` quotes these files.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import time
 from collections.abc import Callable
@@ -14,12 +15,46 @@ from collections.abc import Callable
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def save_report(name: str, text: str) -> None:
-    """Print a report block and persist it under ``benchmarks/results``."""
+def save_report(
+    name: str,
+    text: str,
+    metrics: dict[str, object] | None = None,
+    config: dict[str, object] | None = None,
+    units: str | dict[str, str] = "",
+) -> None:
+    """Print a report block and persist it under ``benchmarks/results``.
+
+    Alongside the human-readable ``<name>.txt``, a machine-readable
+    ``BENCH_<name>.json`` is written whenever ``metrics`` is given — one
+    ``{"name", "value", "units"}`` record per metric plus the benchmark
+    ``config`` — so CI can collect and diff results without scraping
+    tables.
+
+    Args:
+        metrics: ``{metric: value}``; a value may also be a
+            ``(value, units)`` pair overriding the blanket ``units``.
+        config: benchmark parameters (sizes, repeats, seeds).
+        units: blanket units for all metrics, or ``{metric: units}``.
+    """
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if metrics is None:
+        return
+    entries = []
+    for metric, value in metrics.items():
+        if isinstance(value, tuple) and len(value) == 2 and isinstance(value[1], str):
+            value, metric_units = value
+        elif isinstance(units, dict):
+            metric_units = units.get(metric, "")
+        else:
+            metric_units = units
+        entries.append({"name": metric, "value": value, "units": metric_units})
+    payload = {"benchmark": name, "config": config or {}, "metrics": entries}
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def time_call(fn: Callable[[], object]) -> tuple[float, object]:

@@ -85,5 +85,15 @@ def test_ablation_report(benchmark, directories, directory_workload, directory_t
         rows,
     )
     table += "\ngreedy answers matched exhaustive answers (same best distances) on this workload"
-    save_report("ablation_greedy_vs_exhaustive", table)
+    metrics = {}
+    for row in rows:
+        metrics[f"greedy_matches_{row[0]}"] = row[1]
+        metrics[f"exhaustive_matches_{row[0]}"] = row[2]
+    save_report(
+        "ablation_greedy_vs_exhaustive",
+        table,
+        metrics=metrics,
+        config={"sizes": [row[0] for row in rows]},
+        units="capability matches",
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -108,5 +108,16 @@ def test_preselection_report(benchmark, directories, directory_workload, directo
         rows,
     )
     table += "\nidentical recall on disjoint-namespace ontologies; superset visits far fewer graphs"
-    save_report("ablation_preselection", table)
+    metrics = {}
+    for row in rows:
+        metrics[f"graphs_superset_{row[0]}"] = (row[1], "graphs visited")
+        metrics[f"graphs_intersection_{row[0]}"] = (row[2], "graphs visited")
+        metrics[f"matches_superset_{row[0]}"] = (row[3], "capability matches")
+        metrics[f"matches_intersection_{row[0]}"] = (row[4], "capability matches")
+    save_report(
+        "ablation_preselection",
+        table,
+        metrics=metrics,
+        config={"sizes": [row[0] for row in rows]},
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

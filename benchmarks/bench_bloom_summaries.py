@@ -78,5 +78,18 @@ def test_e10_report(benchmark, directory_workload: ServiceWorkload):
         f" directories per query (>= {relevant_total / queries:.1f} holding a match;"
         " extras are Bloom false positives + genuinely overlapping content)"
     )
-    save_report("e10_bloom_summaries", sweep_table + forwarding)
+    metrics = {name: (value, "rate") for name, value in sweep.extras.items()}
+    metrics["contacted_per_query"] = (contacted_total / queries, "directories")
+    metrics["relevant_per_query"] = (relevant_total / queries, "directories")
+    save_report(
+        "e10_bloom_summaries",
+        sweep_table + forwarding,
+        metrics=metrics,
+        config={
+            "stored": STORED,
+            "probes": PROBES,
+            "directories": directories,
+            "queries": queries,
+        },
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -130,5 +130,11 @@ def test_churn_report(benchmark, directory_workload, table):
         f"\nsoft-state refresh every {REFRESH:.0f}s restores content on surviving/"
         "newly elected directories after each crash"
     )
-    save_report("churn_availability", table_text)
+    save_report(
+        "churn_availability",
+        table_text,
+        metrics={f"recall_{label}": value for label, value in recalls.items()},
+        config={"refresh_interval": REFRESH},
+        units="fraction",
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

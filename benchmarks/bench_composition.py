@@ -91,5 +91,11 @@ def test_composition_report(benchmark, composed_directory, directory_workload):
     # Global planning never produces worse total distance than greedy.
     assert central_distance <= p2p_distance
     table += "\ncentral planning never yields a worse total distance than the greedy p2p scheme"
-    save_report("composition_schemes", table)
+    metrics = {}
+    for row in rows:
+        metrics[f"total_distance_{row[0]}"] = (row[3], "semantic distance")
+        metrics[f"bindings_{row[0]}"] = (row[2], "bindings")
+    save_report(
+        "composition_schemes", table, metrics=metrics, config={"tasks": TASKS}
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -47,5 +47,19 @@ def test_e7_report(benchmark):
     assert result.extras["depth_p2k5"] >= 200
     # Exact arithmetic trades CPU for unlimited capacity.
     assert result.extras["exact_seconds"] > result.extras["float_seconds"]
-    save_report("e7_encoding_scalability", result.render())
+    units = {
+        name: "seconds"
+        if name.endswith("_seconds")
+        else "entries"
+        if name.startswith("first_")
+        else "levels"
+        for name in result.extras
+    }
+    save_report(
+        "e7_encoding_scalability",
+        result.render(),
+        metrics=result.extras,
+        config={"seed": 9, "concepts": 300},
+        units=units,
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

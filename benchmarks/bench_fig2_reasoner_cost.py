@@ -78,5 +78,19 @@ def test_fig2_report(benchmark):
     # The headline gap: on-line semantic matching is orders of magnitude
     # slower than syntactic conformance checking.
     assert result.extras["semantic_syntactic_ratio"] > 20
-    save_report("fig2_reasoner_cost", result.render())
+    units = {
+        name: "seconds"
+        if name.endswith("_seconds")
+        else "ratio"
+        if name.endswith("_ratio")
+        else "fraction"
+        for name in result.extras
+    }
+    save_report(
+        "fig2_reasoner_cost",
+        result.render(),
+        metrics=result.extras,
+        config={"seed": 42, "repeats": 5},
+        units=units,
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

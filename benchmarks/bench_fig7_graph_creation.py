@@ -63,5 +63,11 @@ def test_fig7_report(benchmark):
         assert result.extras[f"classify_{count}"] < 5 * result.extras[f"parse_{count}"]
     # Linear-ish growth, not super-linear blow-up.
     assert result.extras["classify_100"] < 10 * result.extras["classify_20"]
-    save_report("fig7_graph_creation", result.render())
+    save_report(
+        "fig7_graph_creation",
+        result.render(),
+        metrics=result.extras,
+        config={"sizes": [1, 20, 40, 60, 80, 100], "seed": 42},
+        units="seconds",
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

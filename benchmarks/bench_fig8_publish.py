@@ -65,5 +65,11 @@ def test_fig8_report(benchmark):
     # require the largest directory to stay within 5x of the smallest
     # (Ariadne-style linear growth would be ~100x).
     assert max(insert_times) < 5 * max(min(insert_times), 1e-5)
-    save_report("fig8_publish", result.render())
+    save_report(
+        "fig8_publish",
+        result.render(),
+        metrics=result.extras,
+        config={"sizes": DIRECTORY_SIZES, "seed": 42},
+        units="seconds",
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

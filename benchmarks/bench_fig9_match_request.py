@@ -99,5 +99,15 @@ def test_fig9_report(benchmark):
     optimized_growth = optimized_times[-1] / max(optimized_times[0], 1e-9)
     assert optimized_growth < flat_growth
     assert flat_times[-1] > 1.5 * indexed_times[-1]
-    save_report("fig9_match_request", result.render())
+    units = {
+        name: "ratio" if name.endswith("_at_max") else "seconds"
+        for name in result.extras
+    }
+    save_report(
+        "fig9_match_request",
+        result.render(),
+        metrics=result.extras,
+        config={"sizes": DIRECTORY_SIZES, "seed": 42},
+        units=units,
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -112,5 +112,15 @@ def test_forwarding_report(benchmark, directory_workload, table):
         ["policy", "directories", "remote queries", "recall", "KiB sent"], rows
     )
     table_text += "\nBloom preselection cuts remote queries at equal recall; the peer cap cuts further"
-    save_report("forwarding_policies", table_text)
+    metrics = {}
+    for policy, stats in results.items():
+        metrics[f"forwarded_{policy}"] = (stats["forwarded"], "remote queries")
+        metrics[f"recall_{policy}"] = (stats["recall"], "fraction")
+        metrics[f"kib_{policy}"] = (stats["kib"], "KiB")
+    save_report(
+        "forwarding_policies",
+        table_text,
+        metrics=metrics,
+        config={"policies": list(results)},
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -69,5 +69,11 @@ def test_e8_report(benchmark):
         # costs orders of magnitude more than one search.
         assert result.extras[f"search_{size}"] < 0.005
         assert result.extras[f"build_{size}"] > 50 * result.extras[f"search_{size}"]
-    save_report("e8_gist_directory", result.render())
+    save_report(
+        "e8_gist_directory",
+        result.render(),
+        metrics=result.extras,
+        config={"sizes": SIZES},
+        units="seconds",
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

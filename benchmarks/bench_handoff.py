@@ -43,6 +43,7 @@ def test_import_state_100(benchmark, populated):
 
 def test_handoff_report(benchmark, populated, directory_workload):
     rows = []
+    metrics = {}
     for size in SIZES:
         directory = populated[size]
         start = time.perf_counter()
@@ -66,9 +67,14 @@ def test_handoff_report(benchmark, populated, directory_workload):
                 ms(import_seconds),
             ]
         )
+        metrics[f"snapshot_kib_{size}"] = (len(snapshot) / 1024, "KiB")
+        metrics[f"export_{size}"] = (export_seconds, "seconds")
+        metrics[f"import_{size}"] = (import_seconds, "seconds")
     table = series_table(
         ["services", "snapshot KiB", "export(ms)", "import(ms)"], rows
     )
     table += "\nthe successor rebuilds graphs from the snapshot without running a reasoner"
-    save_report("handoff_state_transfer", table)
+    save_report(
+        "handoff_state_transfer", table, metrics=metrics, config={"sizes": SIZES}
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

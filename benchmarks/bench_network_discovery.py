@@ -99,7 +99,18 @@ def test_e11_report(benchmark, scenario, directory_workload, directory_table):
         f"\ntraffic: {stats.broadcasts} broadcasts, {stats.unicasts} unicasts,"
         f" {stats.bytes_sent / 1024:.0f} KiB, {stats.drops_unreachable} drops"
     )
-    save_report("e11_network_discovery", table)
+    save_report(
+        "e11_network_discovery",
+        table,
+        metrics={
+            "recall": (found / queries, "fraction"),
+            "coverage": (deployment.coverage(), "fraction"),
+            "mean_latency": (sum(latencies) / len(latencies), "seconds"),
+            "directories_elected": (len(deployment.directory_ids()), "nodes"),
+            "kib_sent": (stats.bytes_sent / 1024, "KiB"),
+        },
+        config={"nodes": 36, "queries": queries},
+    )
     assert found == queries, "every advertised service must be discoverable"
     assert deployment.coverage() == 1.0
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -143,5 +143,23 @@ def test_query_cache_report(benchmark, directory_table, query_workload):
             f"interval-index speedup over linear flat scan: {linear_us / indexed_us:.1f}x",
         ]
     )
-    save_report("query_cache", f"{table}\n\n{notes}")
+    save_report(
+        "query_cache",
+        f"{table}\n\n{notes}",
+        metrics={
+            "cold_us_per_query": (cold_us, "us"),
+            "warm_us_per_query": (warm_us, "us"),
+            "flat_linear_us_per_query": (linear_us, "us"),
+            "flat_indexed_us_per_query": (indexed_us, "us"),
+            "semantic_loop_us_per_query": (loop_us, "us"),
+            "semantic_batch_us_per_query": (batch_us, "us"),
+            "warm_hit_rate": (warm_hit_rate, "fraction"),
+        },
+        config={
+            "services": SERVICES,
+            "distinct_requests": DISTINCT_REQUESTS,
+            "zipf_exponent": ZIPF_EXPONENT,
+            "stream_length": STREAM_LENGTH,
+        },
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -62,5 +62,11 @@ def test_e9_report(benchmark):
     # queries stay far below a single on-line reasoning pass (~10 ms).
     assert result.extras["publish_ratio"] > 2.0
     assert result.extras["query_seconds"] < 0.005
-    save_report("e9_srinivasan_registry", result.render())
+    save_report(
+        "e9_srinivasan_registry",
+        result.render(),
+        metrics=result.extras,
+        config={"services": SERVICES, "seed": 42},
+        units={"publish_ratio": "ratio", "query_seconds": "seconds"},
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

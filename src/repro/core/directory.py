@@ -305,10 +305,18 @@ class SemanticDirectory:
                 extra = self.table.resolve_annotations(annotations.codes, annotations.version)
         return self._query(request, self._matcher(extra))
 
-    def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
+    def query(
+        self, request: ServiceRequest, extra_codes: dict | None = None
+    ) -> list[DirectoryMatch]:
         """Answer an already-parsed request: best matches per requested
-        capability, each list sorted by ascending semantic distance."""
-        return self._query(request, self._matcher(None))
+        capability, each list sorted by ascending semantic distance.
+
+        ``extra_codes`` carries pre-resolved embedded request codes (the
+        parse-once protocol fast path resolves a document's annotations
+        once and reuses them here, instead of re-parsing per query via
+        :meth:`query_xml`).
+        """
+        return self._query(request, self._matcher(extra_codes))
 
     def query_batch(self, requests: Iterable[ServiceRequest]) -> list[list[DirectoryMatch]]:
         """Answer many requests with one matcher; returns per-request

@@ -12,8 +12,10 @@ See ``EXPERIMENTS.md`` for the paper-vs-measured discussion of each.
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.directory import FlatDirectory, SemanticDirectory
@@ -563,3 +565,110 @@ def run_experiment(name: str) -> ExperimentResult:
             f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
         ) from None
     return runner()
+
+
+# ---------------------------------------------------------------------------
+# Parallel multi-trial runner
+# ---------------------------------------------------------------------------
+
+
+def _call_trial(task: tuple[Callable[[int], object], int]) -> object:
+    """Worker entry point: unpack and run one ``(trial_fn, seed)`` task.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    trial_fn, seed = task
+    return trial_fn(seed)
+
+
+def run_trials(
+    trial_fn: Callable[[int], object],
+    seeds: Iterable[int],
+    processes: int | None = None,
+) -> list[object]:
+    """Run ``trial_fn(seed)`` for every seed, in parallel when possible.
+
+    Results come back in seed order, so for a deterministic ``trial_fn``
+    (one whose output depends only on the seed, not on wall-clock or
+    process identity) the returned list is identical to the sequential
+    ``[trial_fn(s) for s in seeds]`` — the execution backend is invisible.
+
+    Parallelism is opportunistic: ``trial_fn`` must be picklable (a
+    module-level function or ``functools.partial`` of one), and the host
+    must allow worker processes.  When either fails — sandboxes that deny
+    semaphores, lambdas, interactive-only functions — the runner falls
+    back to the in-process sequential loop rather than erroring.
+
+    Args:
+        trial_fn: one experiment trial; receives the trial's seed.
+        seeds: per-trial seeds; also defines result order.
+        processes: worker-pool size (default: CPU count, capped at the
+            number of trials).  ``1`` forces the sequential path.
+    """
+    seed_list = list(seeds)
+    if not seed_list:
+        return []
+    if processes is None:
+        processes = os.cpu_count() or 1
+    processes = max(1, min(processes, len(seed_list)))
+    if processes > 1:
+        tasks = [(trial_fn, seed) for seed in seed_list]
+        try:
+            import multiprocessing
+
+            try:
+                # fork shares the already-imported library with workers;
+                # fall back to the platform default (spawn) elsewhere.
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = multiprocessing.get_context()
+            with context.Pool(processes) as pool:
+                return pool.map(_call_trial, tasks)
+        except (
+            OSError,  # no semaphores / fds in restricted environments
+            PermissionError,
+            ImportError,
+            ValueError,
+            AttributeError,  # unpicklable local function
+            pickle.PicklingError,
+        ):
+            pass
+    return [trial_fn(seed) for seed in seed_list]
+
+
+def merge_trial_results(results: Sequence[object]) -> dict[str, dict[str, object]]:
+    """Deterministically aggregate per-trial metrics.
+
+    Args:
+        results: per-trial outputs in seed order — either plain
+            ``{metric: value}`` mappings or :class:`ExperimentResult`
+            objects (whose ``extras`` are used).
+
+    Returns:
+        ``{metric: {"mean", "min", "max", "values"}}`` for every metric
+        present in *all* trials, with ``values`` in trial order.  The mean
+        is accumulated in trial order, so the merge is bitwise identical
+        whether the trials ran sequentially or in a worker pool.
+    """
+    metric_maps = [
+        result.extras if isinstance(result, ExperimentResult) else dict(result)
+        for result in results
+    ]
+    if not metric_maps:
+        return {}
+    shared = [
+        key for key in metric_maps[0] if all(key in m for m in metric_maps[1:])
+    ]
+    merged: dict[str, dict[str, object]] = {}
+    for key in shared:
+        values = [m[key] for m in metric_maps]
+        total = 0.0
+        for value in values:
+            total += value
+        merged[key] = {
+            "mean": total / len(values),
+            "min": min(values),
+            "max": max(values),
+            "values": values,
+        }
+    return merged

@@ -8,7 +8,7 @@ messages use small constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 
 
 @dataclass(frozen=True)
@@ -34,18 +34,56 @@ class Envelope:
     hops: int = 0
 
 
+#: Fixed per-message framing overhead (headers, discriminator).
+_FRAME_BYTES = 32
+#: Encoded size of a scalar field (ids, counters, flags, floats).
+_SCALAR_BYTES = 8
+#: Minimum wire size: small control frames are padded to the historical
+#: 64-byte constant, so the latency model for beacons/acks is unchanged.
+_MIN_PAYLOAD_BYTES = 64
+
+
+def _field_size(value: object) -> int:
+    """Recursive encoded size of one payload field."""
+    if value is None:
+        return 0
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (bool, int, float)):
+        return _SCALAR_BYTES
+    if isinstance(value, (list, tuple, set, frozenset)):
+        # A small length prefix plus every element.
+        return _SCALAR_BYTES + sum(_field_size(item) for item in value)
+    if isinstance(value, dict):
+        return _SCALAR_BYTES + sum(
+            _field_size(k) + _field_size(v) for k, v in value.items()
+        )
+    if is_dataclass(value):
+        return sum(_field_size(getattr(value, f.name)) for f in fields(value))
+    return _SCALAR_BYTES
+
+
 def payload_size(payload: object) -> int:
-    """Approximate wire size in bytes (drives transmission delay)."""
-    for attr in ("document", "documents"):
-        value = getattr(payload, attr, None)
-        if isinstance(value, str):
-            return 64 + len(value)
-        if isinstance(value, (list, tuple)):
-            return 64 + sum(len(v) for v in value)
-    data = getattr(payload, "bloom_bits", None)
-    if isinstance(data, bytes):
-        return 32 + len(data)
-    return 64
+    """Approximate wire size in bytes (drives transmission delay).
+
+    Every payload dataclass is measured structurally — strings and bytes
+    count their length, scalars a fixed word, and containers recurse — so
+    result tuples (``QueryResponse``/``RemoteResponse``), code-refresh
+    tables (``CodeRefreshResponse``), handoff batches and Bloom summary
+    pushes all pay for the bytes they actually carry.  The former
+    implementation special-cased ``document``/``bloom_bits`` fields and
+    silently billed everything else a 64-byte constant; that constant
+    survives only as the padded floor for small control frames.
+    """
+    if is_dataclass(payload):
+        size = _FRAME_BYTES + sum(
+            _field_size(getattr(payload, f.name)) for f in fields(payload)
+        )
+    else:
+        size = _FRAME_BYTES + _field_size(payload)
+    return max(size, _MIN_PAYLOAD_BYTES)
 
 
 # --- directory deployment (§4) --------------------------------------------
@@ -152,11 +190,42 @@ class WithdrawService:
 
 
 @dataclass(frozen=True)
+class EncodedRequest:
+    """Parse-once wire form of a discovery request (backbone fast path).
+
+    The §4 forwarding scheme used to make every receiving directory
+    re-parse the same XML document.  The origin directory now attaches
+    this pre-parsed, pre-encoded form to the messages it forwards:
+
+    Args:
+        protocol: minting agent family (``"sariadne"`` / ``"ariadne"``);
+            receivers ignore wire forms minted by another protocol.
+        codes_version: the §3.2 code-table snapshot the embedded codes
+            were resolved against; a receiver whose table disagrees falls
+            back to parsing ``document`` (and from there to the existing
+            ``refresh_codes_for`` machinery).
+        data: protocol-specific nested tuples — the parsed request's
+            capabilities plus resolved concept codes.  Plain tuples keep
+            the message layer free of service-model imports.
+    """
+
+    protocol: str
+    codes_version: int | None
+    data: tuple = ()
+
+
+@dataclass(frozen=True)
 class QueryRequest:
-    """A client's discovery request (XML document)."""
+    """A client's discovery request (XML document).
+
+    ``wire`` optionally carries the :class:`EncodedRequest` fast-path
+    form; the XML document always travels too, as the fallback and the
+    source of truth for re-parsing on code-table mismatch.
+    """
 
     query_id: int
     document: str
+    wire: EncodedRequest | None = None
 
 
 @dataclass(frozen=True)
@@ -173,11 +242,16 @@ class QueryResponse:
 
 @dataclass(frozen=True)
 class RemoteQuery:
-    """Directory → peer directory: forwarded query (§4 step 3)."""
+    """Directory → peer directory: forwarded query (§4 step 3).
+
+    Carries the origin's :class:`EncodedRequest` when the fast path is
+    on, so the peer answers without re-parsing the XML document.
+    """
 
     query_id: int
     document: str
     origin_directory: int
+    wire: EncodedRequest | None = None
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.network.messages import Envelope, payload_size
 from repro.network.simulator import Simulator
-from repro.network.topology import Bounds, Position, StaticPlacement
+from repro.network.topology import Bounds, Position, RouteCache, StaticPlacement
 
 
 class ProtocolAgent:
@@ -162,6 +162,17 @@ class Network:
         self._wired: dict[int, set[int]] = {}
         self.wired_latency = per_hop_latency / 4
         self._started = False
+        #: Backbone fast path: memoized hop counts / parent trees, one
+        #: BFS per source per topology epoch instead of one per send.
+        #: ``use_route_cache = False`` restores the per-call BFS (the
+        #: before/after axis of ``bench_backbone_fastpath``).
+        self.routes = RouteCache(self._adjacency_snapshot, self._topology_fingerprint)
+        self.use_route_cache = True
+        #: Uncached BFS invocations (only grows with use_route_cache off);
+        #: together with ``routes.stats.bfs_runs`` this gives the total
+        #: route-computation count either way — the benchmarks' route-cost
+        #: metric.
+        self.bfs_fallback_runs = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -179,6 +190,7 @@ class Network:
         node = NetNode(node_id, position, battery)
         node.network = self
         self.nodes[node_id] = node
+        self.routes.invalidate()
         return node
 
     def start(self) -> None:
@@ -197,6 +209,7 @@ class Network:
             node.position = self.mobility.step(
                 node.node_id, node.position, self.mobility_interval, self.bounds, self.rng
             )
+        self.routes.invalidate()
 
     def add_wired_link(self, a: int, b: int) -> None:
         """Connect two nodes with an infrastructure (wired) link.
@@ -215,10 +228,26 @@ class Network:
             raise ValueError("cannot wire a node to itself")
         self._wired.setdefault(a, set()).add(b)
         self._wired.setdefault(b, set()).add(a)
+        self.routes.invalidate()
+
+    def remove_wired_link(self, a: int, b: int) -> None:
+        """Tear down an infrastructure link (no-op when absent)."""
+        self._wired.get(a, set()).discard(b)
+        self._wired.get(b, set()).discard(a)
+        self.routes.invalidate()
 
     def is_wired(self, a: int, b: int) -> bool:
         """True iff a wired link exists between the two nodes."""
         return b in self._wired.get(a, ())
+
+    def move_node(self, node_id: int, position: Position) -> None:
+        """Reposition a node, invalidating cached routes.
+
+        Direct writes to ``node.position`` are still caught by the route
+        cache's fingerprint check; this helper just makes intent explicit.
+        """
+        self.nodes[node_id].position = position
+        self.routes.invalidate()
 
     # ------------------------------------------------------------------
     # Topology queries
@@ -237,8 +266,62 @@ class Network:
             )
         ]
 
+    def _adjacency_snapshot(self) -> dict[int, list[int]]:
+        """One-hop adjacency for every node (route-cache snapshot)."""
+        return {
+            node_id: [n.node_id for n in self.neighbors(node_id)]
+            for node_id in self.nodes
+        }
+
+    def _topology_fingerprint(self) -> int:
+        """Cheap O(n) token identifying the current connectivity graph.
+
+        Hashes every node's position plus the wired link set and radio
+        range: equal fingerprints imply identical adjacency, so the route
+        cache stays sound even when positions are written directly
+        (mobility models, tests) without an explicit invalidation.
+        """
+        return hash(
+            (
+                self.radio_range,
+                tuple(
+                    (node_id, node.position.x, node.position.y)
+                    for node_id, node in self.nodes.items()
+                ),
+                tuple(
+                    (node_id, tuple(sorted(links)))
+                    for node_id, links in sorted(self._wired.items())
+                ),
+            )
+        )
+
     def shortest_path(self, source: int, dest: int) -> list[int] | None:
-        """Hop-shortest path between two nodes on the current topology."""
+        """Hop-shortest path between two nodes on the current topology.
+
+        Served from the lazy route cache (one BFS per source per topology
+        epoch); set :attr:`use_route_cache` to False for the historical
+        fresh-BFS-per-call behaviour.
+        """
+        if self.use_route_cache:
+            return self.routes.path(source, dest)
+        return self._bfs_shortest_path(source, dest)
+
+    def hop_count(self, source: int, dest: int) -> int | None:
+        """Hops on the shortest path, ``None`` when unreachable.
+
+        O(1) amortized on a stable topology — the peer-ranking fast path
+        (`DirectoryAgentBase._rank_forward_peers`) asks this per peer per
+        query and must not pay a BFS each time.
+        """
+        if self.use_route_cache:
+            return self.routes.hops(source, dest)
+        path = self._bfs_shortest_path(source, dest)
+        return None if path is None else len(path) - 1
+
+    def _bfs_shortest_path(self, source: int, dest: int) -> list[int] | None:
+        """Uncached BFS (reference implementation the route cache must
+        agree with; the churn property test asserts exactly that)."""
+        self.bfs_fallback_runs += 1
         if source == dest:
             return [source]
         parents: dict[int, int] = {source: source}

@@ -1,15 +1,24 @@
-"""Positions, placement and mobility for the wireless substrate.
+"""Positions, placement, mobility and route caching for the wireless
+substrate.
 
 Connectivity uses the unit-disc model: two nodes hear each other iff their
 Euclidean distance is at most the radio range.  Mobility follows the
 random-waypoint model standard in MANET evaluations: each node picks a
 random destination and speed, travels there, pauses, and repeats.
+
+:class:`RouteCache` is the backbone fast path's routing memo: hop counts
+and parent trees computed lazily per source over an adjacency snapshot,
+validated against a topology fingerprint so link/node churn (mobility,
+wired-link changes, even direct position writes in tests) invalidates
+exactly when the graph actually changed.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from collections import deque
+from collections.abc import Callable, Hashable
 from dataclasses import dataclass
 
 
@@ -110,6 +119,129 @@ class RandomWaypoint:
             self._pick_waypoint(node_id, bounds, rng)
             self._pause_left[node_id] = self.pause_time
         return new_position
+
+
+@dataclass
+class RouteCacheStats:
+    """Counters describing a route cache's lifetime behaviour."""
+
+    hits: int = 0
+    bfs_runs: int = 0
+    invalidations: int = 0
+    validations: int = 0
+
+
+class RouteCache:
+    """Lazy all-pairs routing memo over a changing topology.
+
+    The simulated fabric used to run a fresh O(n²) breadth-first search
+    for *every* unicast and every peer-ranking probe.  On a stable
+    backbone the topology changes rarely while routes are asked for
+    constantly, so this cache:
+
+    * snapshots the adjacency map once per topology epoch (the single
+      O(n²) cost the per-call BFS used to pay every time);
+    * runs one BFS per *source* on demand, caching hop counts and parent
+      trees for that source's whole connected component;
+    * validates against a caller-supplied topology fingerprint before
+      every read, so any churn — mobility ticks, wired-link changes,
+      node insertion, or direct position writes — flushes it exactly
+      when the graph really changed.
+
+    Args:
+        adjacency_fn: returns ``{node_id: [neighbor_id, ...]}`` for the
+            current topology.
+        fingerprint_fn: cheap hashable token identifying the current
+            topology; two equal tokens must imply an identical graph.
+    """
+
+    def __init__(
+        self,
+        adjacency_fn: Callable[[], dict[int, list[int]]],
+        fingerprint_fn: Callable[[], Hashable],
+    ) -> None:
+        self._adjacency_fn = adjacency_fn
+        self._fingerprint_fn = fingerprint_fn
+        self._fingerprint: Hashable = None
+        self._adjacency: dict[int, list[int]] | None = None
+        self._hops: dict[int, dict[int, int]] = {}
+        self._parents: dict[int, dict[int, int]] = {}
+        self.stats = RouteCacheStats()
+        #: Monotonic topology generation; bumps on every flush.
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached route (next read re-snapshots the topology)."""
+        if self._adjacency is not None or self._hops:
+            self.stats.invalidations += 1
+        self._fingerprint = None
+        self._adjacency = None
+        self._hops.clear()
+        self._parents.clear()
+        self.epoch += 1
+
+    def _validate(self) -> dict[int, list[int]]:
+        """Flush if the topology changed; returns the adjacency snapshot."""
+        self.stats.validations += 1
+        fingerprint = self._fingerprint_fn()
+        if self._adjacency is None or fingerprint != self._fingerprint:
+            if self._adjacency is not None:
+                self.stats.invalidations += 1
+                self.epoch += 1
+            self._adjacency = self._adjacency_fn()
+            self._fingerprint = fingerprint
+            self._hops.clear()
+            self._parents.clear()
+        return self._adjacency
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def _bfs_from(self, source: int, adjacency: dict[int, list[int]]) -> None:
+        self.stats.bfs_runs += 1
+        hops = {source: 0}
+        parents = {source: source}
+        queue: deque[int] = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in adjacency.get(current, ()):
+                if neighbor in hops:
+                    continue
+                hops[neighbor] = hops[current] + 1
+                parents[neighbor] = current
+                queue.append(neighbor)
+        self._hops[source] = hops
+        self._parents[source] = parents
+
+    def hops(self, source: int, dest: int) -> int | None:
+        """Hop count of the shortest path, ``None`` when unreachable."""
+        adjacency = self._validate()
+        if source not in adjacency and source != dest:
+            return None
+        cached = self._hops.get(source)
+        if cached is None:
+            self._bfs_from(source, adjacency)
+            cached = self._hops[source]
+        else:
+            self.stats.hits += 1
+        return cached.get(dest)
+
+    def path(self, source: int, dest: int) -> list[int] | None:
+        """Shortest hop path (inclusive), ``None`` when unreachable."""
+        if source == dest:
+            self._validate()
+            return [source]
+        if self.hops(source, dest) is None:
+            return None
+        parents = self._parents[source]
+        path = [dest]
+        while path[-1] != source:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return path
 
 
 def grid_positions(count: int, bounds: Bounds, margin: float = 10.0) -> list[Position]:

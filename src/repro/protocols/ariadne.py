@@ -9,11 +9,15 @@ keywords are present in the peer's summary.
 
 from __future__ import annotations
 
+from repro.network.messages import EncodedRequest
 from repro.protocols.base import ClientAgentBase, DirectoryAgentBase, ResultRow
 from repro.registry.syntactic import SyntacticRegistry
-from repro.services.wsdl import WsdlRequest
+from repro.services.wsdl import WsdlOperation, WsdlRequest
 from repro.services.xml_codec import ServiceSyntaxError, wsdl_from_xml
 from repro.util.bloom import BloomFilter
+
+#: Wire-form discriminator for :class:`EncodedRequest` payloads.
+WIRE_PROTOCOL = "ariadne"
 
 
 class AriadneDirectoryAgent(DirectoryAgentBase):
@@ -49,6 +53,61 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
         if not isinstance(parsed, WsdlRequest) or not parsed.keywords:
             return True  # nothing to preselect on; must forward
         return all(keyword in summary for keyword in parsed.keywords)
+
+    # ------------------------------------------------------------------
+    # Backbone fast path: parse/encode once, test/match many times
+    # ------------------------------------------------------------------
+    def parse_request(self, document: str) -> WsdlRequest | None:
+        try:
+            parsed = wsdl_from_xml(document)
+        except ServiceSyntaxError:
+            return None
+        return parsed if isinstance(parsed, WsdlRequest) else None
+
+    def local_query_parsed(
+        self, document: str, parsed: WsdlRequest | None
+    ) -> list[ResultRow]:
+        if parsed is None:
+            return self.local_query(document)
+        hits = self.registry.query(parsed)
+        return [(description.uri, description.port_type, 0) for description in hits]
+
+    def summary_admits_parsed(
+        self, summary: BloomFilter, document: str, parsed: WsdlRequest | None
+    ) -> bool:
+        if parsed is None:
+            return self.summary_admits(summary, document)
+        if not parsed.keywords:
+            return True  # nothing to preselect on; must forward
+        return all(keyword in summary for keyword in parsed.keywords)
+
+    def encode_request(self, document: str, parsed: WsdlRequest) -> EncodedRequest | None:
+        operations = tuple(
+            (op.name, tuple(op.inputs), tuple(op.outputs)) for op in parsed.operations
+        )
+        return EncodedRequest(
+            protocol=WIRE_PROTOCOL,
+            codes_version=None,  # syntactic matching has no §3.2 code table
+            data=(parsed.uri, operations, tuple(parsed.keywords)),
+        )
+
+    def decode_request(self, wire: EncodedRequest) -> WsdlRequest | None:
+        if wire.protocol != WIRE_PROTOCOL or len(wire.data) != 3:
+            return None
+        uri, operations, keywords = wire.data
+        return WsdlRequest(
+            uri=uri,
+            operations=tuple(
+                WsdlOperation(name=name, inputs=tuple(inputs), outputs=tuple(outputs))
+                for name, inputs, outputs in operations
+            ),
+            keywords=tuple(keywords),
+        )
+
+    def request_cache_version(self):
+        # Syntactic parses never go stale; a constant token keeps the
+        # version-keyed cache warm for the agent's lifetime.
+        return 0
 
 
 class AriadneClientAgent(ClientAgentBase):

@@ -22,6 +22,7 @@ from repro.network.messages import (
     CodeRefreshResponse,
     DirectoryAnnounce,
     DirectoryHandoff,
+    EncodedRequest,
     Envelope,
     PublishService,
     QueryRequest,
@@ -35,6 +36,11 @@ from repro.network.messages import (
 from repro.network.node import ProtocolAgent
 from repro.services.xml_codec import ServiceSyntaxError
 from repro.util.bloom import BloomFilter
+from repro.util.cache import RequestCache
+
+#: Distinguishes "no cached parse for this document" from a cached
+#: ``None`` ("protocol has no parse-once form / document malformed").
+_UNCACHED = object()
 
 #: Hop budget for backbone formation floods (network-wide reach).
 BACKBONE_TTL = 16
@@ -106,6 +112,15 @@ class DirectoryAgentBase(ProtocolAgent):
         self._peer_forwarded: dict[int, int] = {}
         self._peer_empty: dict[int, int] = {}
         self.summary_refreshes_requested = 0
+        # Backbone fast path: a request document is parsed/encoded at most
+        # once per node and carried pre-parsed on forwarded messages.
+        # ``use_fastpath = False`` restores the historical parse-per-call
+        # behaviour (the before/after axis of bench_backbone_fastpath).
+        self.use_fastpath = True
+        self.request_cache = RequestCache()
+        self.requests_parsed = 0
+        self.wire_decodes = 0
+        self.wire_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Hooks
@@ -150,6 +165,92 @@ class DirectoryAgentBase(ProtocolAgent):
         return None
 
     # ------------------------------------------------------------------
+    # Fast-path hooks (parse-once forwarding)
+    #
+    # Protocols that support the backbone fast path implement these five;
+    # the defaults degrade to the historical parse-per-call behaviour, so
+    # existing subclasses (and the toy directories in tests) keep working
+    # unchanged.
+    # ------------------------------------------------------------------
+    def parse_request(self, document: str) -> object | None:
+        """One-time parsed form of a request document.
+
+        Returns ``None`` when the protocol has no parse-once support or
+        the document is malformed; the ``*_parsed`` hooks then fall back
+        to their document-based counterparts.
+        """
+        return None
+
+    def local_query_parsed(self, document: str, parsed: object | None) -> list[ResultRow]:
+        """Answer a request from the cache, reusing ``parsed`` when given."""
+        return self.local_query(document)
+
+    def summary_admits_parsed(
+        self, summary: BloomFilter, document: str, parsed: object | None
+    ) -> bool:
+        """Summary test reusing the parse-once form when available."""
+        return self.summary_admits(summary, document)
+
+    def encode_request(self, document: str, parsed: object) -> EncodedRequest | None:
+        """Wire form of a parsed request for forwarded messages, or None."""
+        return None
+
+    def decode_request(self, wire: EncodedRequest) -> object | None:
+        """Rebuild the parsed form from a received wire form.
+
+        Returns ``None`` on protocol or code-table-version mismatch — the
+        receiver then falls back to parsing the XML document.
+        """
+        return None
+
+    def request_cache_version(self):
+        """Version token guarding the request cache (None = unversioned).
+
+        Semantic protocols return their ``(id(table), table.version)``
+        snapshot so §3.2 re-encoding flushes memoized parses at the same
+        moment stale codes start being rejected.
+        """
+        return None
+
+    def _parsed_request(self, document: str) -> object | None:
+        """Parse-once: the cached parsed form of ``document``.
+
+        Content-addressed (document hash) and version-keyed, so the same
+        request — re-issued, retried, or probed against N peer summaries —
+        is parsed exactly once per code-table snapshot.
+        """
+        if not self.use_fastpath:
+            return None
+        cache = self.request_cache
+        cache.ensure_version(self.request_cache_version())
+        parsed = cache.get_document(document, _UNCACHED)
+        if parsed is _UNCACHED:
+            self.requests_parsed += 1
+            parsed = self.parse_request(document)
+            cache.put_document(document, parsed)
+        return parsed
+
+    def _request_from_wire(
+        self, wire: EncodedRequest | None, document: str
+    ) -> object | None:
+        """Parsed form of an incoming request, preferring the wire form.
+
+        A decodable wire form skips the XML parse entirely; decode
+        failures (foreign protocol, §3.2 code-table mismatch) fall back
+        to the content-addressed parse of the document.
+        """
+        if self.use_fastpath and wire is not None:
+            decoded = self.decode_request(wire)
+            if decoded is not None:
+                self.wire_decodes += 1
+                cache = self.request_cache
+                cache.ensure_version(self.request_cache_version())
+                cache.put_document(document, decoded)
+                return decoded
+            self.wire_fallbacks += 1
+        return self._parsed_request(document)
+
+    # ------------------------------------------------------------------
     # Backbone membership
     # ------------------------------------------------------------------
     def join_backbone(self) -> None:
@@ -191,22 +292,32 @@ class DirectoryAgentBase(ProtocolAgent):
 
         self.node.network.sim.schedule(self.summary_push_delay, flush)
 
-    def _rank_forward_peers(self, document: str) -> list[int]:
+    def _rank_forward_peers(self, document: str, parsed: object | None = None) -> list[int]:
         """Peers to forward a request to: Bloom-admitted, ranked by hop
         distance then by remaining battery, capped at
-        :attr:`max_forward_peers`."""
+        :attr:`max_forward_peers`.
+
+        The ranking sort key ends in the peer id, so iteration order over
+        ``known_peers`` (a set) cannot affect the result — no pre-sort
+        needed.  Hop distances come from the network's route cache, one
+        O(1) lookup per peer on a stable topology.
+        """
         network = self.node.network
+        if parsed is None:
+            parsed = self._parsed_request(document)
         admitted = []
-        for peer_id in sorted(self.known_peers):
+        for peer_id in self.known_peers:
             if self.use_summaries:
                 summary = self.peer_summaries.get(peer_id)
-                if summary is not None and not self.summary_admits(summary, document):
+                if summary is not None and not self.summary_admits_parsed(
+                    summary, document, parsed
+                ):
                     continue
-            path = network.shortest_path(self.node.node_id, peer_id)
-            if path is None:
+            hops = network.hop_count(self.node.node_id, peer_id)
+            if hops is None:
                 continue
             battery = network.nodes[peer_id].battery if peer_id in network.nodes else 0.0
-            admitted.append((len(path) - 1, -battery, peer_id))
+            admitted.append((hops, -battery, peer_id))
         admitted.sort()
         ranked = [peer_id for _hops, _battery, peer_id in admitted]
         if self.max_forward_peers is not None:
@@ -290,20 +401,41 @@ class DirectoryAgentBase(ProtocolAgent):
     # ------------------------------------------------------------------
     # Query orchestration (Fig. 6)
     # ------------------------------------------------------------------
+    def _local_results(
+        self, source: int, document: str, parsed: object | None
+    ) -> list[ResultRow]:
+        """Local cache answer with §3.2 stale-code recovery: a request
+        minted against another code-table snapshot gets an empty answer
+        plus a :class:`CodeRefreshResponse` so the sender can re-annotate
+        (the same machinery stale publications already use)."""
+        try:
+            return self.local_query_parsed(document, parsed)
+        except StaleCodesError:
+            refresh = self.refresh_codes_for(document)
+            if refresh is not None:
+                self.node.unicast(source, refresh)
+            return []
+
     def _handle_client_query(self, client_id: int, query: QueryRequest) -> None:
         self.node.network.record(
             self.node.node_id, "query", f"#{query.query_id} from node {client_id}"
         )
-        local = self.local_query(query.document)  # step 2
+        parsed = self._request_from_wire(query.wire, query.document)
+        local = self._local_results(client_id, query.document, parsed)  # step 2
         pending = PendingQuery(query.query_id, client_id, results=list(local))
         self._pending[query.query_id] = pending
         if not local:
             # Step 3: forward to peers whose summaries admit the request,
-            # preferring nearby, well-charged directories (§4).
-            for peer_id in self._rank_forward_peers(query.document):
+            # preferring nearby, well-charged directories (§4).  The wire
+            # form is encoded once and shared by every forwarded copy, so
+            # peers skip the XML parse entirely.
+            wire = None
+            if self.use_fastpath and parsed is not None:
+                wire = self.encode_request(query.document, parsed)
+            for peer_id in self._rank_forward_peers(query.document, parsed):
                 if self.node.unicast(
                     peer_id,
-                    RemoteQuery(query.query_id, query.document, self.node.node_id),
+                    RemoteQuery(query.query_id, query.document, self.node.node_id, wire=wire),
                 ):
                     pending.outstanding.add(peer_id)
                     self.queries_forwarded += 1
@@ -346,7 +478,10 @@ class DirectoryAgentBase(ProtocolAgent):
         elif isinstance(payload, QueryRequest):
             self._handle_client_query(envelope.source, payload)
         elif isinstance(payload, RemoteQuery):
-            results = self.local_query(payload.document)  # step 4
+            parsed = self._request_from_wire(payload.wire, payload.document)
+            results = self._local_results(
+                payload.origin_directory, payload.document, parsed
+            )  # step 4
             self.node.unicast(
                 payload.origin_directory, RemoteResponse(payload.query_id, tuple(results))
             )  # step 5

@@ -12,10 +12,98 @@ from __future__ import annotations
 from repro.core.codes import CodeTable
 from repro.core.directory import SemanticDirectory
 from repro.core.summaries import DirectorySummary
-from repro.network.messages import CodeRefreshResponse
+from repro.network.messages import CodeRefreshResponse, EncodedRequest
 from repro.protocols.base import ClientAgentBase, DirectoryAgentBase, ResultRow
-from repro.services.xml_codec import ServiceSyntaxError, profile_from_xml, request_from_xml
+from repro.services.profile import Capability, ServiceRequest
+from repro.services.xml_codec import (
+    CodeAnnotations,
+    ServiceSyntaxError,
+    profile_from_xml,
+    request_from_xml,
+)
 from repro.util.bloom import BloomFilter
+
+#: Wire-form discriminator for :class:`EncodedRequest` payloads.
+WIRE_PROTOCOL = "sariadne"
+
+
+class ParsedSemanticRequest:
+    """Parse-once form of an Amigo-S request (backbone fast path).
+
+    Bundles the parsed :class:`ServiceRequest` with its §3.2 code
+    annotations; the resolved matcher codes are memoized per code-table
+    snapshot so resolution, like parsing, happens once per node.
+    """
+
+    __slots__ = ("request", "annotations", "_extra", "_extra_key")
+
+    def __init__(self, request: ServiceRequest, annotations: CodeAnnotations) -> None:
+        self.request = request
+        self.annotations = annotations
+        self._extra = None
+        self._extra_key = None
+
+    def resolve(self, table: CodeTable) -> dict | None:
+        """Matcher codes for the embedded annotations (memoized per
+        table snapshot).
+
+        Raises:
+            StaleCodesError: annotations minted against another snapshot.
+        """
+        key = (id(table), table.version)
+        if self._extra_key != key:
+            self._extra = (
+                table.resolve_annotations(self.annotations.codes, self.annotations.version)
+                if self.annotations
+                else None
+            )
+            self._extra_key = key
+        return self._extra
+
+    def to_wire(self) -> EncodedRequest:
+        """Flatten to the protocol-agnostic wire tuples."""
+        request = self.request
+        capabilities = tuple(
+            (
+                cap.uri,
+                cap.name,
+                tuple(sorted(cap.inputs)),
+                tuple(sorted(cap.outputs)),
+                tuple(sorted(cap.properties)),
+                cap.category or "",
+            )
+            for cap in request.capabilities
+        )
+        codes = tuple(sorted(self.annotations.codes.items()))
+        return EncodedRequest(
+            protocol=WIRE_PROTOCOL,
+            codes_version=self.annotations.version,
+            data=(request.uri, request.requester, capabilities, codes),
+        )
+
+    @classmethod
+    def from_wire(cls, wire: EncodedRequest) -> "ParsedSemanticRequest | None":
+        """Rebuild from wire tuples; None when the form is foreign."""
+        if wire.protocol != WIRE_PROTOCOL or len(wire.data) != 4:
+            return None
+        uri, requester, capabilities, codes = wire.data
+        request = ServiceRequest(
+            uri=uri,
+            capabilities=tuple(
+                Capability.build(
+                    uri=cap_uri,
+                    name=name,
+                    inputs=inputs,
+                    outputs=outputs,
+                    properties=properties,
+                    category=category or None,
+                )
+                for cap_uri, name, inputs, outputs, properties, category in capabilities
+            ),
+            requester=requester,
+        )
+        annotations = CodeAnnotations(version=wire.codes_version, codes=dict(codes))
+        return cls(request, annotations)
 
 
 class SAriadneDirectoryAgent(DirectoryAgentBase):
@@ -67,20 +155,72 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
             return False
         return DirectorySummary.from_bloom(summary).might_answer(request)
 
-    def refresh_codes_for(self, document: str) -> CodeRefreshResponse | None:
-        """Answer a stale-coded publication with the current codes (§3.2).
+    # ------------------------------------------------------------------
+    # Backbone fast path: parse/encode once, test/match many times
+    # ------------------------------------------------------------------
+    def parse_request(self, document: str) -> ParsedSemanticRequest | None:
+        try:
+            request, annotations = request_from_xml(document)
+        except ServiceSyntaxError:
+            return None
+        return ParsedSemanticRequest(request, annotations)
 
-        The concepts are read from the document itself; codes are returned
-        for every concept this directory's table covers, so the publisher
-        can re-annotate and retry.
+    def local_query_parsed(
+        self, document: str, parsed: ParsedSemanticRequest | None
+    ) -> list[ResultRow]:
+        if parsed is None:
+            return self.local_query(document)
+        extra = parsed.resolve(self.directory.table)
+        matches = self.directory.query(parsed.request, extra)
+        return [(m.service_uri, m.capability.uri, m.distance) for m in matches]
+
+    def summary_admits_parsed(
+        self, summary: BloomFilter, document: str, parsed: ParsedSemanticRequest | None
+    ) -> bool:
+        if parsed is None:
+            return self.summary_admits(summary, document)
+        return DirectorySummary.from_bloom(summary).might_answer(parsed.request)
+
+    def encode_request(
+        self, document: str, parsed: ParsedSemanticRequest
+    ) -> EncodedRequest | None:
+        return parsed.to_wire()
+
+    def decode_request(self, wire: EncodedRequest) -> ParsedSemanticRequest | None:
+        if (
+            wire.codes_version is not None
+            and wire.codes_version != self.directory.table.version
+        ):
+            # §3.2 code-table mismatch: fall back to the XML document, whose
+            # re-parse feeds the refresh_codes_for recovery machinery.
+            return None
+        return ParsedSemanticRequest.from_wire(wire)
+
+    def request_cache_version(self):
+        table = self.directory.table
+        return (id(table), table.version)
+
+    def refresh_codes_for(self, document: str) -> CodeRefreshResponse | None:
+        """Answer a stale-coded publication or query with the current codes
+        (§3.2).
+
+        The concepts are read from the document itself — an advertisement's
+        provided/required capabilities or a request's requirements; codes
+        are returned for every concept this directory's table covers, so
+        the sender can re-annotate and retry.
         """
         try:
             profile, _annotations = profile_from_xml(document)
+            capabilities = (*profile.provided, *profile.required)
         except ServiceSyntaxError:
-            return None
+            try:
+                request, _annotations = request_from_xml(document)
+            except ServiceSyntaxError:
+                return None
+            capabilities = request.capabilities
         table = self.directory.table
         codes: list[tuple[str, str]] = []
-        for capability in (*profile.provided, *profile.required):
+        for capability in capabilities:
             for concept in sorted(capability.concepts()):
                 if concept in table:
                     codes.append((concept, table.code(concept).serialize()))

@@ -46,6 +46,34 @@ class ServiceSyntaxError(ValueError):
 
 
 @dataclass
+class CodecStats:
+    """Process-wide XML parse counters.
+
+    The backbone fast path exists to make these numbers small: a request
+    should be parsed once per node, not once per peer per hop.
+    ``bench_backbone_fastpath`` reads them before/after to quantify the
+    parse work a query actually triggered.
+    """
+
+    profile_parses: int = 0
+    request_parses: int = 0
+    wsdl_parses: int = 0
+
+    @property
+    def total(self) -> int:
+        """All document parses performed so far."""
+        return self.profile_parses + self.request_parses + self.wsdl_parses
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """Immutable view for before/after deltas."""
+        return (self.profile_parses, self.request_parses, self.wsdl_parses)
+
+
+#: Global counters — parsing is stateless, so one tally serves everyone.
+CODEC_STATS = CodecStats()
+
+
+@dataclass
 class CodeAnnotations:
     """Interval codes embedded in a service document (§3.2).
 
@@ -302,6 +330,7 @@ def profile_from_xml(document: str) -> tuple[ServiceProfile, CodeAnnotations]:
     Raises:
         ServiceSyntaxError: on malformed XML or missing attributes.
     """
+    CODEC_STATS.profile_parses += 1
     try:
         root = ET.fromstring(document)
     except ET.ParseError as exc:
@@ -373,6 +402,7 @@ def request_from_xml(document: str) -> tuple[ServiceRequest, CodeAnnotations]:
     Raises:
         ServiceSyntaxError: on malformed XML or missing attributes.
     """
+    CODEC_STATS.request_parses += 1
     try:
         root = ET.fromstring(document)
     except ET.ParseError as exc:
@@ -433,6 +463,7 @@ def wsdl_from_xml(document: str) -> WsdlDescription | WsdlRequest:
     Raises:
         ServiceSyntaxError: on malformed XML or missing attributes.
     """
+    CODEC_STATS.wsdl_parses += 1
     try:
         root = ET.fromstring(document)
     except ET.ParseError as exc:

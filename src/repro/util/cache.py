@@ -19,6 +19,7 @@ stale documents start being rejected with
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
@@ -140,3 +141,47 @@ class DistanceCache(VersionedLruCache):
 #: Returned by :meth:`DistanceCache.lookup` when the pair is not cached
 #: (``None`` is a legitimate cached value meaning "no subsumption").
 MISS = _ABSENT
+
+
+#: Default request-cache capacity: a backbone directory sees a working set
+#: of distinct request documents far smaller than its distance-pair space.
+DEFAULT_REQUEST_MAXSIZE = 1024
+
+
+def document_key(document: str) -> bytes:
+    """Content address of a service document (16-byte BLAKE2 digest).
+
+    Request caching is keyed by the document *content*, not by message
+    identity: the same request forwarded to N peers, retried by a client,
+    or re-issued by another node hits the same entry.
+    """
+    return hashlib.blake2b(document.encode("utf-8"), digest_size=16).digest()
+
+
+class RequestCache(VersionedLruCache):
+    """Content-addressed memo of parsed/encoded request documents.
+
+    The backbone fast path parses and encodes a request document exactly
+    once per node: ``local_query``, ``summary_admits`` (once per admitted
+    peer) and ``_rank_forward_peers`` all share the entry.  Keys are
+    :func:`document_key` digests; values are whatever parsed form the
+    protocol produces (S-Ariadne: the request plus its resolved interval
+    codes).
+
+    Like :class:`DistanceCache`, validity is tied to the §3.2 code
+    versioning: the owner presents its ``(id(table), table.version)``
+    token via :meth:`ensure_version` and any snapshot change flushes the
+    whole cache — exactly when embedded codes would start being rejected
+    with :class:`~repro.core.codes.StaleCodesError`.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_REQUEST_MAXSIZE) -> None:
+        super().__init__(maxsize=maxsize)
+
+    def get_document(self, document: str, default=None):
+        """Cached parsed form for ``document`` (marks it recently used)."""
+        return self.get(document_key(document), default)
+
+    def put_document(self, document: str, value) -> None:
+        """Record the parsed form of ``document``."""
+        self.put(document_key(document), value)

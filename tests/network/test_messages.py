@@ -1,0 +1,123 @@
+"""Payload size audit: every payload kind is measured structurally.
+
+The latency model bills transmission delay per byte, so a payload whose
+size is under-reported gets an unrealistically cheap ride — result
+tuples, code-refresh tables and handoff batches used to travel for a
+flat 64 bytes no matter how much they carried.
+"""
+
+import dataclasses
+import inspect
+
+import pytest
+
+import repro.network.messages as messages
+from repro.network.messages import (
+    Appointment,
+    CodeRefreshResponse,
+    DirectoryAdvert,
+    DirectoryAnnounce,
+    DirectoryHandoff,
+    ElectionCall,
+    ElectionReply,
+    EncodedRequest,
+    Envelope,
+    PublishService,
+    QueryRequest,
+    QueryResponse,
+    RemoteQuery,
+    RemoteResponse,
+    SummaryExchange,
+    SummaryRequest,
+    WithdrawService,
+    payload_size,
+)
+
+#: Padded floor for small control frames (the historical flat estimate).
+FLOOR = 64
+
+_DOC = "<Profile>" + "x" * 200 + "</Profile>"
+_ROWS = tuple((f"urn:x:svc:{i}", f"urn:x:cap:{i}", i) for i in range(10))
+_WIRE = EncodedRequest(
+    protocol="sariadne",
+    codes_version=3,
+    data=("urn:x:req:1", "urn:x:client:1", (("urn:x:cap:1", "Cap", ("a", "b"), ("c",), (), ""),), (("concept", "code"),)),
+)
+
+#: One representative *content-bearing* instance per payload kind, paired
+#: with a strictly smaller instance of the same kind.  The parametrized
+#: test asserts the large one is billed above both the floor and its
+#: small sibling — i.e. the size actually tracks the carried content.
+GROWABLE = {
+    SummaryExchange: (
+        SummaryExchange(1, b"\x00" * 8, 64, 4),
+        SummaryExchange(1, b"\x00" * 256, 2048, 4),
+    ),
+    DirectoryHandoff: (
+        DirectoryHandoff(documents=(), from_directory=1),
+        DirectoryHandoff(documents=(_DOC,) * 5, from_directory=1),
+    ),
+    CodeRefreshResponse: (
+        CodeRefreshResponse(version=1, codes=()),
+        CodeRefreshResponse(version=1, codes=tuple(("concept-%d" % i, "code-%d" % i) for i in range(20))),
+    ),
+    PublishService: (PublishService("<x/>"), PublishService(_DOC)),
+    WithdrawService: (WithdrawService("urn:x"), WithdrawService("urn:x:" + "s" * 120)),
+    EncodedRequest: (EncodedRequest("sariadne", 1), _WIRE),
+    QueryRequest: (QueryRequest(1, "<x/>"), QueryRequest(1, _DOC, wire=_WIRE)),
+    QueryResponse: (QueryResponse(1), QueryResponse(1, _ROWS)),
+    RemoteQuery: (RemoteQuery(1, "<x/>", 0), RemoteQuery(1, _DOC, 0, wire=_WIRE)),
+    RemoteResponse: (RemoteResponse(1), RemoteResponse(1, _ROWS)),
+}
+
+#: Fixed-form control frames: no growable content, billed at the floor.
+FIXED = [
+    DirectoryAdvert(1),
+    ElectionCall(1, 2),
+    ElectionReply(1, 2, 0.5),
+    Appointment(1, 2),
+    DirectoryAnnounce(1),
+    SummaryRequest(1),
+]
+
+
+def all_payload_classes():
+    """Every payload dataclass defined in the messages module."""
+    return {
+        obj
+        for _name, obj in inspect.getmembers(messages, inspect.isclass)
+        if dataclasses.is_dataclass(obj) and obj is not Envelope
+    }
+
+
+class TestPayloadAudit:
+    def test_every_payload_kind_is_covered(self):
+        covered = set(GROWABLE) | {type(p) for p in FIXED}
+        assert covered == all_payload_classes(), (
+            "new payload dataclass not covered by the size audit"
+        )
+
+    @pytest.mark.parametrize(
+        "small,large", GROWABLE.values(), ids=[cls.__name__ for cls in GROWABLE]
+    )
+    def test_content_bearing_payloads_scale(self, small, large):
+        assert payload_size(large) > FLOOR  # not the old flat default
+        assert payload_size(large) > payload_size(small)
+
+    @pytest.mark.parametrize("payload", FIXED, ids=[type(p).__name__ for p in FIXED])
+    def test_fixed_payloads_pay_the_floor(self, payload):
+        assert payload_size(payload) == FLOOR
+
+    def test_results_tuple_billed_per_row(self):
+        one = payload_size(QueryResponse(1, _ROWS[:1]))
+        ten = payload_size(QueryResponse(1, _ROWS))
+        assert ten - one >= 9 * min(len(r[0]) + len(r[1]) for r in _ROWS)
+
+    def test_handoff_billed_per_document(self):
+        one = payload_size(DirectoryHandoff(documents=(_DOC,), from_directory=1))
+        five = payload_size(DirectoryHandoff(documents=(_DOC,) * 5, from_directory=1))
+        assert five - one == 4 * len(_DOC)
+
+    def test_non_dataclass_payload_measured(self):
+        assert payload_size("z" * 100) == messages._FRAME_BYTES + 100
+        assert payload_size(None) == FLOOR

@@ -1,0 +1,90 @@
+"""Parallel multi-trial runner: worker-pool execution must be invisible.
+
+``run_trials`` promises that for a deterministic trial function the
+result list is identical — bitwise, element for element — whether the
+trials ran sequentially, in a process pool, or fell back from one to the
+other.  ``merge_trial_results`` promises the aggregation is equally
+order-stable.
+"""
+
+import random
+
+from repro.experiments import ExperimentResult, merge_trial_results, run_trials
+
+
+def deterministic_trial(seed: int) -> dict[str, float]:
+    """A seed-only trial: accumulates floats in a fixed order."""
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(100):
+        total += rng.random() * 0.1
+    return {"total": total, "first": rng.random(), "seed": float(seed)}
+
+
+def experiment_trial(seed: int) -> ExperimentResult:
+    result = ExperimentResult(name="toy", header=["seed", "value"])
+    rng = random.Random(seed)
+    result.extras["value"] = rng.random()
+    result.rows.append([seed, result.extras["value"]])
+    return result
+
+
+class TestRunTrials:
+    def test_parallel_bitwise_identical_to_sequential(self):
+        seeds = list(range(8))
+        sequential = [deterministic_trial(seed) for seed in seeds]
+        parallel = run_trials(deterministic_trial, seeds, processes=4)
+        assert parallel == sequential  # dict/float equality is exact here
+
+    def test_result_order_follows_seed_order(self):
+        seeds = [7, 3, 11, 1]
+        results = run_trials(deterministic_trial, seeds, processes=4)
+        assert [r["seed"] for r in results] == [7.0, 3.0, 11.0, 1.0]
+
+    def test_single_process_path(self):
+        seeds = [1, 2]
+        assert run_trials(deterministic_trial, seeds, processes=1) == [
+            deterministic_trial(1),
+            deterministic_trial(2),
+        ]
+
+    def test_empty_seed_list(self):
+        assert run_trials(deterministic_trial, []) == []
+
+    def test_unpicklable_trial_falls_back_to_sequential(self):
+        # A lambda cannot cross a process boundary; the runner must fall
+        # back silently and still return correct, ordered results.
+        results = run_trials(lambda seed: seed * 2, [1, 2, 3], processes=2)
+        assert results == [2, 4, 6]
+
+
+class TestMergeTrialResults:
+    def test_merge_is_order_stable(self):
+        seeds = list(range(6))
+        sequential = [deterministic_trial(seed) for seed in seeds]
+        parallel = run_trials(deterministic_trial, seeds, processes=3)
+        assert merge_trial_results(parallel) == merge_trial_results(sequential)
+
+    def test_merge_shape(self):
+        merged = merge_trial_results([deterministic_trial(s) for s in (1, 2, 3)])
+        assert set(merged) == {"total", "first", "seed"}
+        stats = merged["total"]
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert len(stats["values"]) == 3
+        # Mean accumulated in trial order: recompute exactly.
+        expected = 0.0
+        for value in stats["values"]:
+            expected += value
+        assert stats["mean"] == expected / 3
+
+    def test_merge_accepts_experiment_results(self):
+        merged = merge_trial_results([experiment_trial(s) for s in (4, 5)])
+        assert "value" in merged
+        assert len(merged["value"]["values"]) == 2
+
+    def test_merge_empty(self):
+        assert merge_trial_results([]) == {}
+
+    def test_merge_keeps_only_shared_metrics(self):
+        merged = merge_trial_results([{"a": 1.0, "b": 2.0}, {"a": 3.0}])
+        assert set(merged) == {"a"}

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-from repro.util.cache import MISS, CacheStats, DistanceCache, VersionedLruCache
+from repro.util.cache import (
+    MISS,
+    CacheStats,
+    DistanceCache,
+    RequestCache,
+    VersionedLruCache,
+    document_key,
+)
 
 
 class TestVersionedLruCache:
@@ -86,6 +93,35 @@ class TestDistanceCache:
         assert cache.stats.hits == 1
         assert cache.stats.misses == 1
         assert cache.stats.hit_rate == 0.5
+
+
+class TestRequestCache:
+    def test_content_addressing(self):
+        cache = RequestCache()
+        cache.put_document("<doc/>", "parsed")
+        assert cache.get_document("<doc/>") == "parsed"
+        # Same text, different str object: same content key.
+        other = "<doc" + "/>"
+        assert document_key(other) == document_key("<doc/>")
+        assert cache.get_document(other) == "parsed"
+        assert cache.get_document("<other/>", MISS) is MISS
+
+    def test_cached_none_distinct_from_miss(self):
+        cache = RequestCache()
+        cache.put_document("<bad", None)  # "unparseable" is a real result
+        sentinel = object()
+        assert cache.get_document("<bad", sentinel) is None
+
+    def test_version_flush(self):
+        cache = RequestCache()
+        cache.ensure_version((1, 7))
+        cache.put_document("<doc/>", "parsed")
+        cache.ensure_version((1, 8))  # §3.2 code-table bump
+        assert cache.get_document("<doc/>", MISS) is MISS
+
+    def test_keys_are_fixed_size_digests(self):
+        key = document_key("x" * 100_000)
+        assert isinstance(key, bytes) and len(key) == 16
 
 
 class TestCacheStats:
