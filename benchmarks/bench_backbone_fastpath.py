@@ -36,6 +36,9 @@ from repro.protocols.sariadne import SAriadneClientAgent, SAriadneDirectoryAgent
 from repro.services.xml_codec import CODEC_STATS, profile_to_xml, request_to_xml
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+#: Traced mode: repeat the fast workload with observability enabled and
+#: write a JSONL trace with the per-hop breakdown of every forwarded query.
+TRACE = bool(os.environ.get("REPRO_BENCH_TRACE"))
 NODE_COUNT = 50
 DIRECTORY_COUNT = 4
 SERVICES = 8 if SMOKE else 20
@@ -120,12 +123,20 @@ def build_backbone(table, seed: int, fastpath: bool):
     return sim, network, directories, clients, directory_ids
 
 
-def run_workload(table, documents, seed: int, fastpath: bool):
-    """Publish, settle, query; returns (per-query rows, counters)."""
+def run_workload(table, documents, seed: int, fastpath: bool, obs=None):
+    """Publish, settle, query; returns (per-query rows, counters).
+
+    When ``obs`` is given it is installed over the deployment before the
+    workload runs, so the trace captures every forwarding hop.
+    """
     adverts, requests = documents
     sim, network, directories, clients, directory_ids = build_backbone(
         table, seed, fastpath
     )
+    if obs is not None:
+        from repro.obs import install
+
+        install(obs, network)
     rng = random.Random(seed + 1000)
     client_ids = sorted(clients)
     for index, (_uri, document) in enumerate(adverts):
@@ -270,6 +281,46 @@ def test_backbone_fastpath_report(benchmark, directory_table, documents):
         },
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.skipif(not TRACE, reason="set REPRO_BENCH_TRACE=1 for the traced mode")
+def test_backbone_fastpath_traced(directory_table, documents):
+    """Traced mode: one fast-path workload with observability enabled.
+
+    Writes ``benchmarks/results/trace_backbone_fastpath.jsonl`` and
+    asserts the rendered report shows per-hop spans for every forwarded
+    query (hop.forward at the origin, hop.remote at each answering peer).
+    """
+    import pathlib
+
+    from repro.obs import JsonlSink, Observability, RingBufferSink
+    from repro.obs.report import load_trace, render_trace_report
+
+    outdir = pathlib.Path(__file__).parent / "results"
+    outdir.mkdir(exist_ok=True)
+    trace_path = outdir / "trace_backbone_fastpath.jsonl"
+    ring = RingBufferSink()
+    with JsonlSink(trace_path) as jsonl:
+        obs = Observability(sinks=[ring, jsonl])
+        _results, counters = run_workload(
+            directory_table, documents, SEEDS[0], True, obs=obs
+        )
+        obs.close()
+    assert counters["recall"] == 1.0
+    spans, metrics = load_trace(trace_path)
+    report = render_trace_report(spans, metrics)
+    def names(record):
+        yield record["name"]
+        for child in record.get("children", []):
+            yield from names(child)
+
+    handled = [s for s in spans if s["name"] == "query.handle"]
+    assert handled
+    forwarded = [s for s in handled if "hop.forward" in set(names(s))]
+    assert forwarded, "no forwarded queries captured in the trace"
+    assert "hop.forward" in report and "hop.remote" in report
+    assert "net.messages" in report
+    print(report)
 
 
 def test_route_cache_amortizes_bfs(directory_table, documents):

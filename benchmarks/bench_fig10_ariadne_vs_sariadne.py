@@ -27,6 +27,9 @@ from repro.services.xml_codec import profile_to_xml, request_to_xml, wsdl_to_xml
 #: Smoke mode (CI): one small size sweep, one seed — exercises the whole
 #: pipeline in seconds instead of regenerating the full paper series.
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+#: Traced mode: re-run the Fig. 10 scenario over the simulated backbone
+#: with observability enabled and emit the hop-level breakdown as JSONL.
+TRACE = bool(os.environ.get("REPRO_BENCH_TRACE"))
 DIRECTORY_SIZES = [1, 20] if SMOKE else [1, 20, 40, 60, 80, 100]
 REPEATS = 2 if SMOKE else 10
 TRIAL_SEEDS = [42] if SMOKE else [42, 43, 44]
@@ -127,3 +130,36 @@ def test_fig10_report(benchmark):
         units="seconds",
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.skipif(not TRACE, reason="set REPRO_BENCH_TRACE=1 for the traced mode")
+def test_fig10_traced():
+    """Traced Fig. 10 run over the simulated backbone.
+
+    Writes ``benchmarks/results/trace_fig10.jsonl`` with the per-hop
+    breakdown of every forwarded query and asserts the rendered report
+    shows hop spans for each of them.
+    """
+    import pathlib
+
+    from repro.experiments import fig10_traced_run
+    from repro.obs import JsonlSink, Observability
+    from repro.obs.report import load_trace, render_trace_report
+
+    outdir = pathlib.Path(__file__).parent / "results"
+    outdir.mkdir(exist_ok=True)
+    trace_path = outdir / "trace_fig10.jsonl"
+    with JsonlSink(trace_path) as sink:
+        obs = Observability(sinks=[sink])
+        summary = fig10_traced_run(obs, seed=TRIAL_SEEDS[0], services=4)
+        obs.close()
+    assert summary["answered"] == summary["issued"]
+    spans, metrics = load_trace(trace_path)
+    report = render_trace_report(spans, metrics)
+    for trace_id in summary["trace_ids"]:
+        assert f"query {trace_id}" in report
+    # Every query was published remotely, so every one forwarded.
+    assert report.count("hop.forward") >= summary["issued"]
+    assert "hop.remote" in report and "hop.response" in report
+    assert "dir.queries" in report and "net.messages" in report
+    print(report)

@@ -50,7 +50,7 @@ def test_annotated_query(benchmark, directory_workload, population):
     for profile in profiles:
         registry.publish(profile)
     request = directory_workload.matching_request(profiles[3]).capabilities[0]
-    ranked = benchmark(registry.query, request)
+    ranked = benchmark(registry.query_capability, request)
     assert any(r.service_uri == profiles[3].uri for r in ranked)
 
 

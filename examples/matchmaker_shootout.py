@@ -20,9 +20,8 @@ Run:  python examples/matchmaker_shootout.py
 
 import time
 
-from repro import CodeMatcher, CodeTable, OntologyRegistry, SemanticDirectory, ServiceWorkload
-from repro.ontology.owl_xml import ontology_to_xml
-from repro.registry.gist import GistIndex
+from repro import CodeTable, OntologyRegistry, SemanticDirectory, ServiceWorkload
+from repro.registry.gist import GistDirectory
 from repro.registry.naive_semantic import OnlineSemanticRegistry
 from repro.registry.srinivasan import AnnotatedTaxonomyRegistry
 from repro.registry.syntactic import SyntacticRegistry
@@ -76,45 +75,37 @@ def main() -> None:
     start = time.perf_counter()
     annotated_hits = 0
     for request, uri in zip(requests, expected):
-        ranked = annotated.query(request.capabilities[0])
+        ranked = annotated.query_capability(request.capabilities[0])
         annotated_hits += any(r.service_uri == uri for r in ranked)
     annotated_query = time.perf_counter() - start
     record("annotated taxonomy [13]", annotated_publish, annotated_query, annotated_hits, True)
 
-    # --- GiST numeric index ([3]) + code matching -----------------------
-    gist = GistIndex()
-    matcher = CodeMatcher(table=table)
+    # --- GiST numeric directory ([3]) -----------------------------------
+    gist = GistDirectory(table)
     start = time.perf_counter()
     for profile in services:
-        for capability in profile.provided:
-            gist.insert_capability(capability, table, profile.uri)
+        gist.publish(profile)
     gist_publish = time.perf_counter() - start
-    capability_by_service = {p.uri: p.provided[0] for p in services}
     start = time.perf_counter()
     gist_hits = 0
     for request, uri in zip(requests, expected):
-        candidates = gist.search_capability(request.capabilities[0], table)
-        confirmed = [
-            c
-            for c in candidates
-            if matcher.match(capability_by_service[c], request.capabilities[0])
-        ]
-        gist_hits += uri in confirmed
+        matches = gist.query(request)
+        gist_hits += any(m.service_uri == uri for m in matches)
     gist_query = time.perf_counter() - start
-    record("GiST index [3] + codes", gist_publish, gist_query, gist_hits, True)
+    record("GiST directory [3]", gist_publish, gist_query, gist_hits, True)
 
     # --- syntactic WSDL ---------------------------------------------------
     syntactic = SyntacticRegistry()
     start = time.perf_counter()
     for profile in services:
-        syntactic.publish(ServiceWorkload.wsdl_twin(profile))
+        syntactic.publish_wsdl(ServiceWorkload.wsdl_twin(profile))
     syntactic_publish = time.perf_counter() - start
     start = time.perf_counter()
     syntactic_hits = 0
     for index, uri in enumerate(expected):
         # The syntactic client must already know the exact interface.
         request = ServiceWorkload.wsdl_request_for(services[index * 2])
-        found = syntactic.query(request)
+        found = syntactic.query_wsdl(request)
         syntactic_hits += any(d.uri == uri for d in found)
     syntactic_query = time.perf_counter() - start
     record("syntactic WSDL (Ariadne)", syntactic_publish, syntactic_query, syntactic_hits, False)

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli workload --services 20 --seed 7 --outdir /tmp/wl
     python -m repro.cli capacity --p 2 --k 5   # §3.2 float64 limits
     python -m repro.cli match <profile.xml> <request.xml> --ontologies dir/
+    python -m repro.cli trace-report trace.jsonl  # render a recorded trace
 
 The same functions back the benchmark harness, so CLI output matches the
 ``benchmarks/results/`` artefacts.
@@ -184,6 +185,21 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_trace, render_trace_report
+
+    path = pathlib.Path(args.trace_file)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 2
+    spans, metrics = load_trace(path)
+    if not spans and not metrics:
+        print(f"{path} contains no spans or metrics", file=sys.stderr)
+        return 1
+    print(render_trace_report(spans, metrics))
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.core.directory import SemanticDirectory
 
@@ -254,6 +270,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("workload_dir", help="output of the 'workload' command")
     inspect.set_defaults(func=_cmd_inspect)
+
+    trace_report = subparsers.add_parser(
+        "trace-report",
+        help="render a JSONL trace (per-query hop timeline + node metrics)",
+    )
+    trace_report.add_argument("trace_file", help="JSONL file written by JsonlSink")
+    trace_report.set_defaults(func=_cmd_trace_report)
 
     validate = subparsers.add_parser(
         "validate",

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.core.interval_index import CandidateIndex
 from repro.core.matching import Matcher
+from repro.obs import NULL_OBS
 from repro.services.profile import Capability
 
 
@@ -93,6 +94,7 @@ class CapabilityDag:
         # guaranteed-miss semantic matches (code-backed matchers only;
         # taxonomy matchers carry no codes and keep the full scan).
         self._index = CandidateIndex()
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # Introspection
@@ -322,6 +324,20 @@ class CapabilityDag:
         distance would be ``None``), so skipping it changes no result —
         only the number of semantic matches evaluated.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._query_impl(requested, matcher, mode)
+        with obs.span("dag.descend", mode=mode.name.lower(), vertices=len(self._nodes)) as span:
+            results = self._query_impl(requested, matcher, mode)
+            span.attrs["hits"] = len(results)
+        return results
+
+    def _query_impl(
+        self,
+        requested: Capability,
+        matcher: Matcher,
+        mode: QueryMode,
+    ) -> list[GraphMatch]:
         lookup = getattr(matcher, "lookup", None)
         candidates = (
             self._index.candidates(requested, lookup)

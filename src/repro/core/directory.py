@@ -29,6 +29,7 @@ from __future__ import annotations
 import itertools
 import xml.etree.ElementTree as ET
 from collections.abc import Iterable
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.capability_graph import CapabilityDag, GraphMatch, QueryMode
@@ -36,6 +37,7 @@ from repro.core.codes import CodeTable, StaleCodesError
 from repro.core.interval_index import CandidateIndex
 from repro.core.matching import CodeMatcher, Matcher, MatcherStats
 from repro.core.summaries import DirectorySummary
+from repro.obs import NULL_OBS
 from repro.services.profile import Capability, ServiceProfile, ServiceRequest, ontology_of
 from repro.services.xml_codec import (
     profile_from_element,
@@ -49,10 +51,15 @@ from repro.util.timing import PhaseTimer
 
 @dataclass(frozen=True)
 class DirectoryMatch:
-    """One ranked answer to a discovery request."""
+    """One ranked answer to a discovery request.
 
-    requested: Capability
-    capability: Capability
+    ``requested``/``capability`` are None for backends that do not carry
+    capability detail in their answers (the syntactic baseline matches
+    whole interfaces; the on-line matchmaker reports URIs + distances).
+    """
+
+    requested: Capability | None
+    capability: Capability | None
     service_uri: str
     distance: int
 
@@ -98,6 +105,29 @@ class SemanticDirectory:
         self.distance_cache: DistanceCache | None = (
             DistanceCache(maxsize=distance_cache_size) if distance_cache_size else None
         )
+        self._obs = NULL_OBS
+
+    @property
+    def obs(self):
+        """The observability sink for this directory (NULL_OBS when off)."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
+        for graph in self._graphs.values():
+            graph.obs = value
+
+    def export_metrics(self) -> None:
+        """Mirror the directory's accumulated counters (matcher stats,
+        distance-cache stats) into the observability metric registry.
+        Pull-based: traced runs call this right before flushing sinks."""
+        obs = self._obs
+        obs.counter("dir.capability_matches").set(self.stats.capability_matches)
+        obs.counter("dir.concept_comparisons").set(self.stats.concept_comparisons)
+        cache = self.distance_cache
+        if cache is not None:
+            cache.stats.publish_to(obs.metrics, "dir.distance_cache")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -217,10 +247,13 @@ class SemanticDirectory:
                 graph = self._graphs.get(key)
                 if graph is None:
                     graph = self._graphs[key] = CapabilityDag()
+                    graph.obs = self._obs
                     self._graph_select_memo.clear()
                 graph.insert(capability, profile.uri, matcher)
                 self.summary.add_capability(capability)
         self._profiles[profile.uri] = profile
+        if self._obs.enabled:
+            self._obs.counter("dir.publishes").inc()
 
     def unpublish(self, service_uri: str) -> int:
         """Withdraw a service.
@@ -297,12 +330,15 @@ class SemanticDirectory:
             ServiceSyntaxError: malformed document.
             StaleCodesError: embedded codes minted against another snapshot.
         """
-        with self.timer.phase("parse"):
-            request, annotations = request_from_xml(document)
+        obs = self._obs
+        with obs.span("query.parse") if obs.enabled else nullcontext():
+            with self.timer.phase("parse"):
+                request, annotations = request_from_xml(document)
         extra = None
         if annotations:
-            with self.timer.phase("encode"):
-                extra = self.table.resolve_annotations(annotations.codes, annotations.version)
+            with obs.span("query.encode") if obs.enabled else nullcontext():
+                with self.timer.phase("encode"):
+                    extra = self.table.resolve_annotations(annotations.codes, annotations.version)
         return self._query(request, self._matcher(extra))
 
     def query(
@@ -326,11 +362,21 @@ class SemanticDirectory:
         return [self._query(request, matcher) for request in requests]
 
     def _query(self, request: ServiceRequest, matcher: Matcher) -> list[DirectoryMatch]:
+        obs = self._obs
+        if obs.enabled:
+            obs.counter("dir.queries").inc()
         results: list[DirectoryMatch] = []
         with self.timer.phase("match"):
             for capability in request.capabilities:
+                if obs.enabled:
+                    with obs.span("graph.select") as span:
+                        graphs = self._candidate_graphs(capability)
+                        span.attrs["graphs"] = len(graphs)
+                        span.attrs["indexed"] = self.graph_count
+                else:
+                    graphs = self._candidate_graphs(capability)
                 hits: list[GraphMatch] = []
-                for graph in self._candidate_graphs(capability):
+                for graph in graphs:
                     hits.extend(graph.query(capability, matcher, self.query_mode))
                     if self.query_mode is QueryMode.GREEDY and any(
                         hit.distance == 0 for hit in hits
@@ -511,6 +557,14 @@ class FlatDirectory:
                 hits.sort(key=lambda m: (m.distance, m.service_uri))
                 results.extend(hits)
         return results
+
+    def describe(self) -> str:
+        """One-line backend summary."""
+        index = "interval-indexed" if self.use_interval_index else "linear-scan"
+        return (
+            f"FlatDirectory: {len(self)} services, "
+            f"{self.capability_count} capabilities, {index}"
+        )
 
     def __repr__(self) -> str:
         return f"FlatDirectory({len(self)} services, {self.capability_count} capabilities)"

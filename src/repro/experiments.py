@@ -162,9 +162,9 @@ def fig2_reasoner_cost(seed: int = 42, repeats: int = 5) -> ExperimentResult:
             enumerative_total = report.total_seconds
 
     registry = SyntacticRegistry()
-    registry.publish(ServiceWorkload.wsdl_twin(profile))
+    registry.publish_wsdl(ServiceWorkload.wsdl_twin(profile))
     wsdl_request = ServiceWorkload.wsdl_request_for(profile)
-    syntactic_seconds = _mean_seconds(lambda: registry.query(wsdl_request), repeats=50)
+    syntactic_seconds = _mean_seconds(lambda: registry.query_wsdl(wsdl_request), repeats=50)
     ratio = enumerative_total / max(syntactic_seconds, 1e-9)
     result.extras["syntactic_seconds"] = syntactic_seconds
     result.extras["semantic_syntactic_ratio"] = ratio
@@ -351,6 +351,71 @@ def fig10_ariadne_vs_sariadne(
     return result
 
 
+def fig10_traced_run(
+    obs,
+    seed: int = 42,
+    directory_count: int = 3,
+    services: int = 4,
+) -> dict[str, object]:
+    """An instrumented Fig. 10-style backbone run for tracing.
+
+    Builds a full-mesh S-Ariadne backbone, publishes every advertisement
+    on a *remote* directory, then queries each from a client homed on
+    directory 0 — so every query crosses the backbone (Fig. 6 steps 3–5)
+    and produces forwarding-hop spans.  All spans/metrics flow into
+    ``obs``; the run is fully deterministic for a given ``seed`` so two
+    runs yield identical span trees modulo wall-clock timestamps.
+
+    Returns a summary dict: issued/answered query counts and the trace
+    ids of the issued queries.
+    """
+    from repro.network.messages import PublishService
+    from repro.network.node import Network
+    from repro.network.simulator import Simulator
+    from repro.network.topology import Bounds, Position
+    from repro.obs import install
+    from repro.protocols.sariadne import SAriadneClientAgent, SAriadneDirectoryAgent
+
+    workload = directory_workload(seed)
+    table = _table_for(workload)
+    sim = Simulator()
+    network = Network(sim, bounds=Bounds(100, 100), radio_range=500.0, seed=seed)
+    directories = {}
+    for nid in range(directory_count):
+        node = network.add_node(nid, Position(10.0 * nid, 10.0))
+        directories[nid] = node.add_agent(
+            SAriadneDirectoryAgent(table, forward_window=0.5)
+        )
+    client_node = network.add_node(directory_count, Position(10.0 * directory_count, 20.0))
+    client = client_node.add_agent(SAriadneClientAgent(lambda: 0))
+    network.start()
+    install(obs, network)
+    for agent in directories.values():
+        agent.join_backbone()
+    sim.run(until=5.0)
+
+    remote_ids = [nid for nid in directories if nid != 0] or [0]
+    for index in range(services):
+        document = _annotated_profile_doc(workload, table, index)
+        target = remote_ids[index % len(remote_ids)]
+        client_node.unicast(target, PublishService(document))
+    sim.run(until=sim.now + 3.0)
+
+    tickets = []
+    for index in range(services):
+        document = _annotated_request_doc(workload, table, index)
+        tickets.append(client.query(document))
+        sim.run(until=sim.now + 5.0)
+    for directory in directories.values():
+        directory.directory.export_metrics()
+    obs.flush()
+    return {
+        "issued": len(tickets),
+        "answered": sum(1 for t in tickets if t in client.responses),
+        "trace_ids": [f"q0.{t.query_id}" for t in tickets if t],
+    }
+
+
 # ---------------------------------------------------------------------------
 # E7 — §3.2 encoding scalability
 # ---------------------------------------------------------------------------
@@ -459,7 +524,7 @@ def e9_srinivasan_registry(seed: int = 42, services: int = 100) -> ExperimentRes
         start = time.perf_counter()
         syntactic = SyntacticRegistry()
         for twin in twins:
-            syntactic.publish(twin)
+            syntactic.publish_wsdl(twin)
         syntactic_publish = min(
             syntactic_publish, (time.perf_counter() - start) / services
         )
@@ -476,7 +541,7 @@ def e9_srinivasan_registry(seed: int = 42, services: int = 100) -> ExperimentRes
         )
 
     request = workload.matching_request(profiles[3]).capabilities[0]
-    query_seconds = _mean_seconds(lambda: annotated.query(request), repeats=200)
+    query_seconds = _mean_seconds(lambda: annotated.query_capability(request), repeats=200)
     ratio = annotated_publish / max(syntactic_publish, 1e-9)
     result = ExperimentResult(name="e9", header=["metric", "value"])
     result.rows = [

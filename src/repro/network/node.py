@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.network.messages import Envelope, payload_size
 from repro.network.simulator import Simulator
 from repro.network.topology import Bounds, Position, RouteCache, StaticPlacement
+from repro.obs import NULL_OBS
 
 
 class ProtocolAgent:
@@ -36,6 +37,15 @@ class ProtocolAgent:
 
     def __init__(self) -> None:
         self.node: NetNode | None = None
+
+    @property
+    def obs(self):
+        """The network's observability instance (NULL_OBS when detached or
+        when none is installed)."""
+        node = self.node
+        if node is not None and node.network is not None:
+            return node.network.obs
+        return NULL_OBS
 
     def attach(self, node: "NetNode") -> None:
         """Bind the agent to its node (done by ``NetNode.add_agent``)."""
@@ -155,6 +165,9 @@ class Network:
         #: Optional :class:`repro.network.trace.EventTrace` recording fabric
         #: and protocol events.
         self.trace = None
+        #: Observability (tracing + metrics); ``repro.obs.install`` swaps
+        #: in a live instance, the default null object costs one flag check.
+        self.obs = NULL_OBS
         self.rng = random.Random(seed)
         self.nodes: dict[int, NetNode] = {}
         self.stats = TrafficStats()
@@ -389,6 +402,9 @@ class Network:
         self.stats.broadcasts += 1
         size = payload_size(envelope.payload)
         self.stats.bytes_sent += size
+        if self.obs.enabled:
+            self.obs.counter("net.messages", node=sender.node_id).inc()
+            self.obs.counter("net.bytes", node=sender.node_id).inc(size)
         self._drain(sender, size)
         delay = self._delay(envelope.payload)
         for neighbor in self.neighbors(sender.node_id):
@@ -442,6 +458,9 @@ class Network:
         self.stats.unicasts += 1
         size = payload_size(payload)
         self.stats.bytes_sent += size * hops
+        if self.obs.enabled:
+            self.obs.counter("net.messages", node=origin.node_id).inc()
+            self.obs.counter("net.bytes", node=origin.node_id).inc(size * hops)
         self._drain(origin, size)
         # Per-hop independent loss: the message dies if any hop loses it.
         if self.loss_rate:

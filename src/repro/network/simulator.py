@@ -12,6 +12,8 @@ import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.obs import NULL_OBS
+
 
 @dataclass(order=True)
 class _QueueEntry:
@@ -43,6 +45,9 @@ class Simulator:
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        #: Observability hook; the null object keeps the event loop free of
+        #: instrumentation cost unless a real backend is installed.
+        self.obs = NULL_OBS
         #: True while :meth:`run` is executing (re-entrancy guard for
         #: callbacks that would otherwise call ``run`` recursively).
         self.running = False
@@ -137,6 +142,8 @@ class Simulator:
                 self.events_processed += 1
             if until is not None and self.now < until:
                 self.now = until
+            if processed and self.obs.enabled:
+                self.obs.counter("sim.events").inc(processed)
         finally:
             self.running = False
 

@@ -1,0 +1,227 @@
+"""Observability for the discovery stack: tracing + metrics + sinks.
+
+The paper's evaluation (§2.4, §5) is entirely about *where time goes* —
+reasoner cost vs. encoded matching, per-hop forwarding overhead, Bloom
+false-positive rates.  This package gives the stack one first-class
+telemetry layer instead of ad-hoc counters:
+
+* :class:`~repro.obs.spans.Tracer` — hierarchical spans covering parse →
+  concept encoding → Bloom admission → graph selection → DAG descent, plus
+  one span per §4 forwarding hop (directory id, hop count, admit/reject
+  verdict, cache hit/miss flags), grouped across asynchronous hops by a
+  per-query trace id;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters and histograms
+  (publishes, queries, cache hits, Bloom false positives, messages/bytes
+  per node) with label-bound per-directory / per-simulation scopes;
+* :mod:`~repro.obs.sinks` — in-memory ring buffer and JSONL file sinks;
+  ``repro.cli trace-report`` renders the JSONL form.
+
+Everything hangs off an :class:`Observability` façade.  The default wired
+through the stack is :data:`NULL_OBS`, a null object whose ``enabled``
+flag is False: every instrumented hot path guards with
+``if obs.enabled:``, so disabled observability costs one attribute check
+(the <5 % regression budget of the benchmarks).  See
+``docs/OBSERVABILITY.md`` for the span schema and metric names.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, MetricsScope
+from repro.obs.sinks import JsonlSink, RingBufferSink
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "install",
+    "Span",
+    "Tracer",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "RingBufferSink",
+    "JsonlSink",
+]
+
+
+class Observability:
+    """Tracing + metrics façade threaded through the discovery stack.
+
+    Args:
+        sinks: objects with ``emit(span)`` (and optionally
+            ``emit_metrics(snapshot)`` / ``close()``) receiving finished
+            root spans.
+        metrics: share an existing registry/scope instead of a fresh one.
+        tracer: share an existing tracer (used by :meth:`scoped` views so
+            spans from every scope land in one stream).
+    """
+
+    enabled = True
+
+    def __init__(self, sinks=(), metrics=None, tracer=None) -> None:
+        self.sinks = list(sinks)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self._emit_span)
+
+    def _emit_span(self, span: Span) -> None:
+        for sink in self.sinks:
+            sink.emit(span)
+
+    # -- tracing ---------------------------------------------------------
+    def span(self, name: str, **kwargs):
+        """Open a timed span (context manager); see :meth:`Tracer.span`."""
+        return self.tracer.span(name, **kwargs)
+
+    def event(self, name: str, **kwargs) -> Span:
+        """Record a zero-duration span; see :meth:`Tracer.event`."""
+        return self.tracer.event(name, **kwargs)
+
+    # -- metrics ---------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        """Shorthand for ``self.metrics.counter(...)``."""
+        return self.metrics.counter(name, **labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """Shorthand for ``self.metrics.histogram(...)``."""
+        return self.metrics.histogram(name, **labels)
+
+    def scoped(self, **labels) -> "Observability":
+        """A view sharing this instance's tracer and sinks but stamping
+        ``labels`` on every metric it records (per-directory and
+        per-simulation scopes)."""
+        return Observability(sinks=self.sinks, metrics=self.metrics.scope(**labels), tracer=self.tracer)
+
+    # -- lifecycle -------------------------------------------------------
+    def flush(self) -> None:
+        """Push the current metrics snapshot to every capable sink."""
+        snapshot = self.metrics.snapshot()
+        for sink in self.sinks:
+            emit_metrics = getattr(sink, "emit_metrics", None)
+            if emit_metrics is not None:
+                emit_metrics(snapshot)
+
+    def close(self) -> None:
+        """Flush metrics, then close every sink that supports it."""
+        self.flush()
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def __repr__(self) -> str:
+        return f"Observability({len(self.sinks)} sinks, {self.metrics!r})"
+
+
+class _NullSeries:
+    """Accepts any metric operation and does nothing."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: int) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    """Accepts attribute writes and discards them."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self) -> None:
+        self.attrs: dict = {}
+
+
+class _NullMetrics:
+    """Registry stand-in returning the shared null series."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, **labels) -> _NullSeries:
+        return _NULL_SERIES
+
+    def histogram(self, name: str, **labels) -> _NullSeries:
+        return _NULL_SERIES
+
+    def scope(self, **labels) -> "_NullMetrics":
+        return self
+
+    def snapshot(self) -> list:
+        return []
+
+
+_NULL_SERIES = _NullSeries()
+
+
+class _NullObservability:
+    """The no-op default: ``enabled`` is False and every operation is free.
+
+    Instrumented hot paths guard with ``if obs.enabled:`` so the disabled
+    cost is one attribute load; the methods below still exist so unguarded
+    call sites (cold paths, tests) stay safe.
+    """
+
+    enabled = False
+    sinks: tuple = ()
+
+    def __init__(self) -> None:
+        self.metrics = _NullMetrics()
+        self._span = _NullSpan()
+
+    @contextmanager
+    def span(self, name: str, **kwargs):
+        yield self._span
+
+    def event(self, name: str, **kwargs) -> _NullSpan:
+        return self._span
+
+    def counter(self, name: str, **labels) -> _NullSeries:
+        return _NULL_SERIES
+
+    def histogram(self, name: str, **labels) -> _NullSeries:
+        return _NULL_SERIES
+
+    def scoped(self, **labels) -> "_NullObservability":
+        return self
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_OBS"
+
+
+#: The shared disabled instance every instrumented module defaults to.
+NULL_OBS = _NullObservability()
+
+
+def install(obs: Observability, network) -> None:
+    """Wire an observability instance through a running deployment.
+
+    Sets ``network.obs`` and ``network.sim.obs``, and points every
+    directory agent's backing :class:`~repro.core.directory.SemanticDirectory`
+    (anything exposing a ``directory`` attribute with an ``obs`` slot) at
+    the same instance, so protocol-level hop spans and directory-level
+    match spans land in one trace stream.
+    """
+    network.obs = obs
+    network.sim.obs = obs
+    for node in network.nodes.values():
+        for agent in node.agents:
+            directory = getattr(agent, "directory", None)
+            if directory is not None and hasattr(directory, "obs"):
+                directory.obs = obs

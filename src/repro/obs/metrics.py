@@ -1,0 +1,172 @@
+"""Counters and histograms for the discovery stack (§5 measurements).
+
+A :class:`MetricsRegistry` keys every metric by ``(name, labels)``:
+``counter("net.messages", node=3)`` and ``counter("net.messages", node=7)``
+are distinct series, which is how per-node and per-directory breakdowns
+fall out of one flat registry.  :meth:`MetricsRegistry.scope` binds a label
+set once (e.g. ``scope(node=3)``) so instrumented code does not repeat it.
+
+Everything is plain Python ints/floats — no dependencies, no locks (the
+simulation is single-threaded), no background collection.  Sinks read the
+registry through :meth:`MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonic (or settable) integer series."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+    def set(self, value: int) -> None:
+        """Overwrite the value (mirroring an externally kept counter)."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{dict(self.labels)}={self.value})"
+
+
+class Histogram:
+    """A streaming summary: count / total / min / max of observations."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: tuple) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}{dict(self.labels)}: n={self.count}, "
+            f"mean={self.mean:.4g})"
+        )
+
+
+class MetricsRegistry:
+    """All metric series of one observability instance."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, tuple], Counter | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple[str, tuple]:
+        return (name, tuple(sorted(labels.items())))
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter for ``(name, labels)``, created on first use.
+
+        Raises:
+            TypeError: the series exists with a different metric type.
+        """
+        key = self._key(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = Counter(name, key[1])
+        elif not isinstance(series, Counter):
+            raise TypeError(f"{name}{labels} is a {type(series).__name__}, not a Counter")
+        return series
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use.
+
+        Raises:
+            TypeError: the series exists with a different metric type.
+        """
+        key = self._key(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = Histogram(name, key[1])
+        elif not isinstance(series, Histogram):
+            raise TypeError(f"{name}{labels} is a {type(series).__name__}, not a Histogram")
+        return series
+
+    def scope(self, **labels) -> "MetricsScope":
+        """A view that stamps ``labels`` on every series it touches."""
+        return MetricsScope(self, labels)
+
+    def snapshot(self) -> list[dict]:
+        """All series as JSON-serializable records, deterministically
+        ordered by (name, labels)."""
+        records = []
+        for (name, labels), series in sorted(self._series.items()):
+            record = {"name": name, "labels": dict(labels)}
+            if isinstance(series, Counter):
+                record["type"] = "counter"
+                record["value"] = series.value
+            else:
+                record["type"] = "histogram"
+                record.update(
+                    count=series.count,
+                    total=series.total,
+                    mean=series.mean,
+                    min=series.min if series.count else None,
+                    max=series.max if series.count else None,
+                )
+            records.append(record)
+        return records
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._series)} series)"
+
+
+class MetricsScope:
+    """A label-binding view over a :class:`MetricsRegistry`.
+
+    Scopes nest (``registry.scope(sim=1).scope(node=3)``) and merely merge
+    label dicts — the underlying series live in the parent registry, so a
+    per-simulation snapshot still sees every per-directory series.
+    """
+
+    def __init__(self, registry: MetricsRegistry, labels: dict) -> None:
+        self._registry = registry
+        self._labels = dict(labels)
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Scoped counter (bound labels + call labels)."""
+        return self._registry.counter(name, **{**self._labels, **labels})
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """Scoped histogram (bound labels + call labels)."""
+        return self._registry.histogram(name, **{**self._labels, **labels})
+
+    def scope(self, **labels) -> "MetricsScope":
+        """A nested scope with additional bound labels."""
+        return MetricsScope(self._registry, {**self._labels, **labels})
+
+    def snapshot(self) -> list[dict]:
+        """Snapshot of the *whole* underlying registry."""
+        return self._registry.snapshot()
+
+    def __repr__(self) -> str:
+        return f"MetricsScope({self._labels} over {self._registry!r})"

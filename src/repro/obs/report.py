@@ -1,0 +1,122 @@
+"""Render JSONL traces: per-query hop timelines + per-node metric tables.
+
+``repro.cli trace-report`` feeds a :class:`~repro.obs.sinks.JsonlSink`
+output file through :func:`load_trace` and :func:`render_trace_report`.
+Span records are grouped by ``trace_id`` (one group per logical query,
+spanning every forwarding hop), ordered by ``(sim_time, seq)``, and
+printed as an indented timeline; the final ``metrics`` record becomes a
+per-node / per-directory table.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def load_trace(path) -> tuple[list[dict], list[dict]]:
+    """Read a JSONL trace file.
+
+    Returns:
+        ``(spans, metrics)`` — the span records in file order and the
+        series of the *last* metrics snapshot (empty if none was written).
+    """
+    spans: list[dict] = []
+    metrics: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                spans.append(record)
+            elif kind == "metrics":
+                metrics = record.get("metrics", [])
+    return spans, metrics
+
+
+def strip_timestamps(record: dict) -> dict:
+    """The deterministic projection of a span record: everything except
+    wall-clock durations (the dict analogue of ``Span.signature``)."""
+    return {
+        "name": record.get("name"),
+        "seq": record.get("seq"),
+        "trace_id": record.get("trace_id"),
+        "sim_time": record.get("sim_time"),
+        "attrs": record.get("attrs", {}),
+        "children": [strip_timestamps(child) for child in record.get("children", [])],
+    }
+
+
+def _flatten(record: dict, depth: int = 0):
+    yield depth, record
+    for child in record.get("children", []):
+        yield from _flatten(child, depth + 1)
+
+
+def _format_attrs(attrs: dict) -> str:
+    return " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+
+
+def _span_sort_key(record: dict):
+    sim_time = record.get("sim_time")
+    return (sim_time if sim_time is not None else -1.0, record.get("seq", 0))
+
+
+def render_trace_report(spans: list[dict], metrics: list[dict]) -> str:
+    """Human-readable report: one hop timeline per trace id, then the
+    per-node metric table."""
+    lines: list[str] = []
+
+    groups: dict[str, list[dict]] = {}
+    ungrouped: list[dict] = []
+    for record in spans:
+        trace_id = record.get("trace_id")
+        if trace_id is None:
+            ungrouped.append(record)
+        else:
+            groups.setdefault(trace_id, []).append(record)
+
+    lines.append(f"trace report: {len(spans)} root spans, {len(groups)} traced queries")
+    lines.append("")
+
+    for trace_id in sorted(groups, key=lambda tid: _span_sort_key(groups[tid][0])):
+        roots = sorted(groups[trace_id], key=_span_sort_key)
+        hops = sum(1 for root in roots for _, rec in _flatten(root) if rec["name"].startswith("hop."))
+        lines.append(f"query {trace_id} ({len(roots)} root spans, {hops} hop records)")
+        for root in roots:
+            for depth, record in _flatten(root):
+                sim_time = record.get("sim_time")
+                clock = f"{sim_time:9.4f}s" if sim_time is not None else " " * 10
+                duration = record.get("duration_us")
+                took = f" [{duration:.0f}us]" if duration else ""
+                attrs = _format_attrs(record.get("attrs", {}))
+                attrs = f"  {attrs}" if attrs else ""
+                lines.append(f"  {clock}  {'  ' * depth}{record['name']}{took}{attrs}")
+        lines.append("")
+
+    if ungrouped:
+        lines.append(f"untraced spans: {len(ungrouped)}")
+        names: dict[str, int] = {}
+        for record in ungrouped:
+            for _, rec in _flatten(record):
+                names[rec["name"]] = names.get(rec["name"], 0) + 1
+        for name in sorted(names):
+            lines.append(f"  {name}: {names[name]}")
+        lines.append("")
+
+    if metrics:
+        lines.append("metrics")
+        name_width = max(len(record["name"]) for record in metrics)
+        for record in metrics:
+            labels = _format_attrs(record.get("labels", {}))
+            if record.get("type") == "counter":
+                value = str(record.get("value", 0))
+            else:
+                mean = record.get("mean", 0.0)
+                value = f"n={record.get('count', 0)} mean={mean:.4g}"
+            lines.append(f"  {record['name']:<{name_width}}  {value:<18} {labels}")
+        lines.append("")
+
+    return "\n".join(lines)

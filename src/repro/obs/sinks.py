@@ -1,0 +1,98 @@
+"""Span/metric sinks: where finished traces go.
+
+Two zero-dependency sinks:
+
+* :class:`RingBufferSink` keeps the last N finished root spans in memory —
+  what tests and interactive sessions use;
+* :class:`JsonlSink` appends one JSON record per finished root span (and,
+  on flush, one ``metrics`` record) to a file — what the traced benchmark
+  modes write and what ``repro.cli trace-report`` reads back.
+
+The JSONL format is line-oriented on purpose: a crashed run still leaves a
+readable prefix, and grouping/filters are one ``json.loads`` per line.
+
+Record shapes::
+
+    {"type": "span", "name": ..., "seq": ..., "trace_id": ..., "sim_time": ...,
+     "attrs": {...}, "duration_us": ..., "children": [...]}
+    {"type": "metrics", "metrics": [{"name": ..., "labels": {...}, ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+from repro.obs.spans import Span
+
+
+class RingBufferSink:
+    """Keeps the most recent finished root spans (and metric snapshots).
+
+    Args:
+        capacity: root spans retained; older ones are dropped silently.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.spans: deque[Span] = deque(maxlen=capacity)
+        self.metrics: list[dict] | None = None
+
+    def emit(self, span: Span) -> None:
+        """Record one finished root span."""
+        self.spans.append(span)
+
+    def emit_metrics(self, snapshot: list[dict]) -> None:
+        """Record the latest metrics snapshot (replaces the previous)."""
+        self.metrics = snapshot
+
+    def close(self) -> None:
+        """No-op (memory sink)."""
+
+    def __repr__(self) -> str:
+        return f"RingBufferSink({len(self.spans)} spans)"
+
+
+class JsonlSink:
+    """Streams spans (and metric snapshots) to a JSON-lines file.
+
+    Args:
+        path: output file; opened lazily on the first record.
+        timestamps: include wall-clock durations in span records.  The
+            deterministic projection (``timestamps=False``) is what the
+            trace-determinism test diffs across runs.
+    """
+
+    def __init__(self, path, timestamps: bool = True) -> None:
+        self.path = path
+        self.timestamps = timestamps
+        self._file = None
+        self.records_written = 0
+
+    def _write(self, record: dict) -> None:
+        if self._file is None:
+            self._file = open(self.path, "w", encoding="utf-8")
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+
+    def emit(self, span: Span) -> None:
+        """Append one finished root span."""
+        self._write({"type": "span", **span.to_dict(timestamps=self.timestamps)})
+
+    def emit_metrics(self, snapshot: list[dict]) -> None:
+        """Append a metrics snapshot record."""
+        self._write({"type": "metrics", "metrics": snapshot})
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlSink({self.path}, {self.records_written} records)"

@@ -1,0 +1,164 @@
+"""Structured query tracing: hierarchical spans over the discovery stack.
+
+A :class:`Span` is one timed step of answering (or publishing) a request —
+parsing a document, resolving concept codes, selecting candidate graphs,
+descending a capability DAG, or processing one forwarding hop of the §4
+backbone.  Spans nest: whatever is opened while another span is active
+becomes its child, so a single ``query.handle`` span at the origin
+directory carries the whole local decomposition beneath it.
+
+Forwarding is asynchronous (each hop is a separate simulator event), so a
+query's spans cannot all share one stack.  They share a **trace id**
+instead: the origin directory stamps ``q<node>.<query_id>`` on its
+top-level span, and every remote-hop span minted while serving the same
+query carries the same id.  Grouping by trace id reconstructs the per-query
+hop timeline that :mod:`repro.obs.report` renders.
+
+Determinism: every span carries a monotonically increasing ``seq`` number
+and the simulated time it was opened at.  Both are pure functions of the
+(seeded, deterministic) simulation, unlike the wall-clock ``start``/``end``
+stamps — :meth:`Span.signature` therefore folds everything *except* the
+wall clock, which is what the trace-determinism test compares.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One traced step; children are the steps taken while it was open.
+
+    Args:
+        name: step name (``query.parse``, ``dag.descend``, ``hop.remote``…).
+        seq: tracer-wide monotonic sequence number (deterministic order).
+        trace_id: groups the spans of one logical query across hops.
+        sim_time: simulated clock when opened (None outside a simulation).
+        attrs: free-form details (directory id, hop count, verdicts, flags).
+    """
+
+    name: str
+    seq: int
+    trace_id: str | None = None
+    sim_time: float | None = None
+    attrs: dict = field(default_factory=dict)
+    start: float = 0.0
+    end: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between open and close (0 for events)."""
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self, timestamps: bool = True) -> dict:
+        """JSON-serializable form; ``timestamps=False`` drops wall-clock
+        fields (the deterministic projection sinks and tests use)."""
+        record = {
+            "name": self.name,
+            "seq": self.seq,
+            "trace_id": self.trace_id,
+            "sim_time": self.sim_time,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict(timestamps) for child in self.children],
+        }
+        if timestamps:
+            record["duration_us"] = round(self.duration * 1e6, 3)
+        return record
+
+    def signature(self) -> tuple:
+        """Hashable tree identity *modulo wall-clock timestamps*."""
+        return (
+            self.name,
+            self.seq,
+            self.trace_id,
+            self.sim_time,
+            tuple(sorted((key, repr(value)) for key, value in self.attrs.items())),
+            tuple(child.signature() for child in self.children),
+        )
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, seq={self.seq}, trace={self.trace_id}, "
+            f"{len(self.children)} children)"
+        )
+
+
+class Tracer:
+    """Builds span trees; completed top-level spans are handed to ``emit``.
+
+    Args:
+        emit: callback receiving each finished root span (sink fan-out).
+    """
+
+    def __init__(self, emit: Callable[[Span], None] | None = None) -> None:
+        self._seq = itertools.count(1)
+        self._stack: list[Span] = []
+        self._emit = emit
+        self.finished = 0
+
+    def _open(self, name: str, trace_id: str | None, sim_time: float | None, attrs: dict) -> Span:
+        if trace_id is None and self._stack:
+            trace_id = self._stack[-1].trace_id
+        span = Span(
+            name=name,
+            seq=next(self._seq),
+            trace_id=trace_id,
+            sim_time=sim_time,
+            attrs=attrs,
+        )
+        span.start = time.perf_counter()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace_id: str | None = None,
+        sim_time: float | None = None,
+        **attrs,
+    ):
+        """Open a timed span; nested opens become children.  The yielded
+        span's ``attrs`` may be filled while it is open."""
+        span = self._open(name, trace_id, sim_time, attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = time.perf_counter()
+            if not self._stack:
+                self._finish(span)
+
+    def event(
+        self,
+        name: str,
+        trace_id: str | None = None,
+        sim_time: float | None = None,
+        **attrs,
+    ) -> Span:
+        """A zero-duration span: a point fact (a Bloom verdict, a forward
+        decision, a response arrival).  Nests like :meth:`span`."""
+        span = self._open(name, trace_id, sim_time, attrs)
+        span.end = span.start
+        if not self._stack:
+            self._finish(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        self.finished += 1
+        if self._emit is not None:
+            self._emit(span)

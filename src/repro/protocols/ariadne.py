@@ -69,7 +69,7 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
     ) -> list[ResultRow]:
         if parsed is None:
             return self.local_query(document)
-        hits = self.registry.query(parsed)
+        hits = self.registry.query_wsdl(parsed)
         return [(description.uri, description.port_type, 0) for description in hits]
 
     def summary_admits_parsed(

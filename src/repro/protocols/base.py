@@ -14,6 +14,7 @@ Concrete protocols plug in three things: how to *match locally*, how to
 
 from __future__ import annotations
 
+import enum
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -46,6 +47,52 @@ _UNCACHED = object()
 BACKBONE_TTL = 16
 
 ResultRow = tuple[str, str, int]
+
+
+class QueryOutcome(enum.Enum):
+    """Lifecycle of a client query (see :meth:`ClientAgentBase.query`)."""
+
+    #: Sent; no response yet (and no retry budget has run out).
+    PENDING = "pending"
+    #: A :class:`QueryResponse` arrived (possibly with zero results).
+    ANSWERED = "answered"
+    #: No directory was known/reachable when the query was issued.
+    NO_DIRECTORY = "no_directory"
+    #: A directory was known but the initial send failed.
+    SEND_FAILED = "send_failed"
+    #: Every retry elapsed without a response (lossy-network loss).
+    EXHAUSTED = "exhausted"
+
+
+class QueryTicket:
+    """Typed result of :meth:`ClientAgentBase.query`.
+
+    Replaces the old ``int | None`` return, which conflated "no directory"
+    with nothing else and made retry exhaustion invisible.  The ticket is
+    truthy when the query was actually sent, and hashes/compares as its
+    ``query_id`` so existing ``client.responses[ticket]`` lookups (the
+    dict is keyed by the integer id) keep working.
+    """
+
+    __slots__ = ("query_id", "outcome")
+
+    def __init__(self, query_id: int | None, outcome: QueryOutcome) -> None:
+        self.query_id = query_id
+        self.outcome = outcome
+
+    def __bool__(self) -> bool:
+        return self.outcome not in (QueryOutcome.NO_DIRECTORY, QueryOutcome.SEND_FAILED)
+
+    def __hash__(self) -> int:
+        return hash(self.query_id)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QueryTicket):
+            return self.query_id == other.query_id
+        return self.query_id == other
+
+    def __repr__(self) -> str:
+        return f"QueryTicket(#{self.query_id}, {self.outcome.value})"
 
 
 @dataclass
@@ -226,7 +273,15 @@ class DirectoryAgentBase(ProtocolAgent):
         parsed = cache.get_document(document, _UNCACHED)
         if parsed is _UNCACHED:
             self.requests_parsed += 1
-            parsed = self.parse_request(document)
+            obs = self.obs
+            if obs.enabled:
+                with obs.span(
+                    "query.parse", sim_time=self.node.network.sim.now
+                ) as span:
+                    parsed = self.parse_request(document)
+                    span.attrs["bytes"] = len(document)
+            else:
+                parsed = self.parse_request(document)
             cache.put_document(document, parsed)
         return parsed
 
@@ -303,16 +358,19 @@ class DirectoryAgentBase(ProtocolAgent):
         O(1) lookup per peer on a stable topology.
         """
         network = self.node.network
+        obs = self.obs
         if parsed is None:
             parsed = self._parsed_request(document)
         admitted = []
         for peer_id in self.known_peers:
             if self.use_summaries:
                 summary = self.peer_summaries.get(peer_id)
-                if summary is not None and not self.summary_admits_parsed(
-                    summary, document, parsed
-                ):
-                    continue
+                if summary is not None:
+                    admits = self.summary_admits_parsed(summary, document, parsed)
+                    if obs.enabled:
+                        obs.event("bloom.test", peer=peer_id, admitted=admits)
+                    if not admits:
+                        continue
             hops = network.hop_count(self.node.node_id, peer_id)
             if hops is None:
                 continue
@@ -328,6 +386,8 @@ class DirectoryAgentBase(ProtocolAgent):
         """A forwarded query to ``peer_id`` returned nothing: its summary
         admitted a miss.  Past the threshold, request a fresh summary —
         the §4 reactive exchange."""
+        if self.obs.enabled:
+            self.obs.counter("bloom.false_positives", node=self.node.node_id).inc()
         self._peer_empty[peer_id] = self._peer_empty.get(peer_id, 0) + 1
         forwarded = self._peer_forwarded.get(peer_id, 0)
         empty = self._peer_empty[peer_id]
@@ -377,6 +437,8 @@ class DirectoryAgentBase(ProtocolAgent):
         except ServiceSyntaxError:
             self.publish_errors += 1
             return
+        if self.obs.enabled:
+            self.obs.counter("dir.publishes", node=self.node.node_id).inc()
         self.node.network.record(self.node.node_id, "publish", service_uri)
         self._documents_by_service[service_uri] = document
         self._mark_content_changed()
@@ -416,12 +478,49 @@ class DirectoryAgentBase(ProtocolAgent):
                 self.node.unicast(source, refresh)
             return []
 
+    def _trace_id(self, origin_directory: int, query_id: int) -> str:
+        """The id grouping every hop span of one logical query: stamped by
+        the origin directory, reconstructed by remote directories from the
+        forwarded message's origin + query id."""
+        return f"q{origin_directory}.{query_id}"
+
+    def _cache_verdict(self, parsed_before: int, decoded_before: int) -> str:
+        """How the request's parsed form was obtained, judged from the
+        parse/decode counter movement across ``_request_from_wire``."""
+        if self.wire_decodes > decoded_before:
+            return "wire"
+        if self.requests_parsed > parsed_before:
+            return "miss"
+        return "hit"
+
     def _handle_client_query(self, client_id: int, query: QueryRequest) -> None:
+        obs = self.obs
+        if not obs.enabled:
+            self._handle_client_query_impl(client_id, query, None)
+            return
+        with obs.span(
+            "query.handle",
+            trace_id=self._trace_id(self.node.node_id, query.query_id),
+            sim_time=self.node.network.sim.now,
+            directory=self.node.node_id,
+            client=client_id,
+            query_id=query.query_id,
+        ) as span:
+            self._handle_client_query_impl(client_id, query, span)
+
+    def _handle_client_query_impl(self, client_id: int, query: QueryRequest, span) -> None:
         self.node.network.record(
             self.node.node_id, "query", f"#{query.query_id} from node {client_id}"
         )
+        obs = self.obs
+        if obs.enabled:
+            obs.counter("dir.queries", node=self.node.node_id).inc()
+        parsed_before, decoded_before = self.requests_parsed, self.wire_decodes
         parsed = self._request_from_wire(query.wire, query.document)
         local = self._local_results(client_id, query.document, parsed)  # step 2
+        if span is not None:
+            span.attrs["cache"] = self._cache_verdict(parsed_before, decoded_before)
+            span.attrs["local_results"] = len(local)
         pending = PendingQuery(query.query_id, client_id, results=list(local))
         self._pending[query.query_id] = pending
         if not local:
@@ -440,9 +539,13 @@ class DirectoryAgentBase(ProtocolAgent):
                     pending.outstanding.add(peer_id)
                     self.queries_forwarded += 1
                     self._peer_forwarded[peer_id] = self._peer_forwarded.get(peer_id, 0) + 1
+                    if obs.enabled:
+                        obs.event("hop.forward", peer=peer_id)
                     self.node.network.record(
                         self.node.node_id, "forward", f"#{query.query_id} -> directory {peer_id}"
                     )
+        if span is not None:
+            span.attrs["forwarded"] = len(pending.outstanding)
         if pending.outstanding:
             self.node.network.sim.schedule(
                 self.forward_window, lambda: self._conclude(query.query_id)
@@ -457,6 +560,14 @@ class DirectoryAgentBase(ProtocolAgent):
         pending.concluded = True
         ranked = sorted(set(pending.results), key=lambda row: (row[2], row[0]))
         self.queries_answered += 1
+        if self.obs.enabled:
+            self.obs.event(
+                "query.respond",
+                trace_id=self._trace_id(self.node.node_id, query_id),
+                sim_time=self.node.network.sim.now,
+                directory=self.node.node_id,
+                results=len(ranked),
+            )
         self.node.network.record(
             self.node.node_id, "respond", f"#{query_id}: {len(ranked)} result(s)"
         )
@@ -478,14 +589,43 @@ class DirectoryAgentBase(ProtocolAgent):
         elif isinstance(payload, QueryRequest):
             self._handle_client_query(envelope.source, payload)
         elif isinstance(payload, RemoteQuery):
-            parsed = self._request_from_wire(payload.wire, payload.document)
-            results = self._local_results(
-                payload.origin_directory, payload.document, parsed
-            )  # step 4
+            obs = self.obs
+            if obs.enabled:
+                network = self.node.network
+                with obs.span(
+                    "hop.remote",
+                    trace_id=self._trace_id(payload.origin_directory, payload.query_id),
+                    sim_time=network.sim.now,
+                    directory=self.node.node_id,
+                    origin=payload.origin_directory,
+                    hops=network.hop_count(payload.origin_directory, self.node.node_id),
+                ) as span:
+                    parsed_before, decoded_before = self.requests_parsed, self.wire_decodes
+                    parsed = self._request_from_wire(payload.wire, payload.document)
+                    results = self._local_results(
+                        payload.origin_directory, payload.document, parsed
+                    )  # step 4
+                    span.attrs["cache"] = self._cache_verdict(parsed_before, decoded_before)
+                    span.attrs["results"] = len(results)
+                    span.attrs["admitted"] = bool(results)
+            else:
+                parsed = self._request_from_wire(payload.wire, payload.document)
+                results = self._local_results(
+                    payload.origin_directory, payload.document, parsed
+                )  # step 4
             self.node.unicast(
                 payload.origin_directory, RemoteResponse(payload.query_id, tuple(results))
             )  # step 5
         elif isinstance(payload, RemoteResponse):
+            if self.obs.enabled:
+                self.obs.event(
+                    "hop.response",
+                    trace_id=self._trace_id(self.node.node_id, payload.query_id),
+                    sim_time=self.node.network.sim.now,
+                    directory=self.node.node_id,
+                    peer=envelope.source,
+                    results=len(payload.results),
+                )
             if not payload.results:
                 self._note_false_positive(envelope.source)
             pending = self._pending.get(payload.query_id)
@@ -533,6 +673,7 @@ class ClientAgentBase(ProtocolAgent):
         self.retries_sent = 0
         self._advertised: dict[str, str] = {}
         self._refresh_cancel = None
+        self._tickets: dict[int, QueryTicket] = {}
 
     def directory_id(self) -> int | None:
         """The directory currently responsible for this node's area."""
@@ -590,10 +731,17 @@ class ClientAgentBase(ProtocolAgent):
             self._published_at.pop(service_uri, None)
             self.publish(document, service_uri=service_uri)
 
-    def query(self, document: str, retries: int = 0, retry_timeout: float = 3.0) -> int | None:
-        """Issue a discovery request; returns the query id (None if no
-        directory is reachable).  The response arrives asynchronously in
-        :attr:`responses` as ``query_id -> (latency_seconds, results)``.
+    def query(self, document: str, retries: int = 0, retry_timeout: float = 3.0) -> QueryTicket:
+        """Issue a discovery request; returns a :class:`QueryTicket`.
+
+        The ticket is falsy when nothing was sent, and its ``outcome``
+        says *why* — ``NO_DIRECTORY`` (no directory known/reachable) vs
+        ``SEND_FAILED`` (a directory was known but the send failed) — the
+        two cases the old ``int | None`` return collapsed.  On success the
+        ticket starts ``PENDING``, turns ``ANSWERED`` when the response
+        arrives in :attr:`responses` (keyed by query id; the ticket itself
+        works as the key), and — when ``retries`` were requested — turns
+        ``EXHAUSTED`` once the whole retry budget elapses silently.
 
         Args:
             retries: how many times to re-send when no response arrives
@@ -603,16 +751,27 @@ class ClientAgentBase(ProtocolAgent):
         """
         directory = self.directory_id()
         if directory is None:
-            return None
+            return QueryTicket(None, QueryOutcome.NO_DIRECTORY)
         query_id = self._next_query_id
         self._next_query_id += 1
         self._issue_times[query_id] = self.node.network.sim.now
         if not self.node.unicast(directory, QueryRequest(query_id, document)):
             del self._issue_times[query_id]
-            return None
+            return QueryTicket(query_id, QueryOutcome.SEND_FAILED)
+        ticket = QueryTicket(query_id, QueryOutcome.PENDING)
+        self._tickets[query_id] = ticket
         if retries > 0:
             self._schedule_retry(query_id, document, retries, retry_timeout)
-        return query_id
+            # The whole budget: the initial window plus one per re-send.
+            self.node.network.sim.schedule(
+                (retries + 1) * retry_timeout, lambda: self._mark_exhausted(query_id)
+            )
+        return ticket
+
+    def _mark_exhausted(self, query_id: int) -> None:
+        ticket = self._tickets.get(query_id)
+        if ticket is not None and ticket.outcome is QueryOutcome.PENDING:
+            ticket.outcome = QueryOutcome.EXHAUSTED
 
     def _schedule_retry(
         self, query_id: int, document: str, retries_left: int, retry_timeout: float
@@ -637,6 +796,9 @@ class ClientAgentBase(ProtocolAgent):
             if issued is not None:
                 latency = self.node.network.sim.now - issued
                 self.responses[payload.query_id] = (latency, payload.results)
+                ticket = self._tickets.pop(payload.query_id, None)
+                if ticket is not None:
+                    ticket.outcome = QueryOutcome.ANSWERED
         elif isinstance(payload, CodeRefreshResponse):
             self.latest_code_version = payload.version
             self.code_updates.update(payload.codes)

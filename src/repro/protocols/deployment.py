@@ -189,11 +189,11 @@ class Deployment:
         """Issue a request from a node; returns ``(latency, results)`` or
         ``None`` when no directory was reachable / no response arrived."""
         client = self.clients[node_id]
-        query_id = client.query(document)
-        if query_id is None:
+        ticket = client.query(document)
+        if not ticket:
             return None
         self.sim.run(until=self.sim.now + settle)
-        return client.responses.get(query_id)
+        return client.responses.get(ticket)
 
     def transfer_directory(self, from_id: int, to_id: int) -> bool:
         """Retire the directory on ``from_id``, handing its cached

@@ -170,7 +170,13 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
     ) -> list[ResultRow]:
         if parsed is None:
             return self.local_query(document)
-        extra = parsed.resolve(self.directory.table)
+        obs = self.obs
+        if obs.enabled:
+            with obs.span("query.encode", sim_time=self.node.network.sim.now) as span:
+                extra = parsed.resolve(self.directory.table)
+                span.attrs["annotated"] = extra is not None
+        else:
+            extra = parsed.resolve(self.directory.table)
         matches = self.directory.query(parsed.request, extra)
         return [(m.service_uri, m.capability.uri, m.distance) for m in matches]
 

@@ -1,5 +1,7 @@
 """Baseline matchmakers and registries the paper compares against.
 
+* :mod:`repro.registry.base` — the unified :class:`DiscoveryBackend`
+  protocol all registries (and the core directories) conform to;
 * :mod:`repro.registry.naive_semantic` — the on-line-reasoning matchmaker
   whose cost breakdown is the paper's Fig. 2 (parse / load+classify /
   match per request);
@@ -8,21 +10,26 @@
 * :mod:`repro.registry.srinivasan` — the annotated-taxonomy registry of
   Srinivasan et al. [13] (§3.1: slow publish, millisecond queries);
 * :mod:`repro.registry.gist` — the numeric-rectangle directory index of
-  Constantinescu & Faltings [3] (§3.1: an R-tree-style GiST).
+  Constantinescu & Faltings [3] (§3.1: an R-tree-style GiST), plus
+  :class:`GistDirectory`, the full backend wrapped around it.
 """
 
+from repro.registry.base import DirectoryMatch, DiscoveryBackend
 from repro.registry.naive_semantic import MatchCostReport, OnlineMatchmaker, OnlineSemanticRegistry
 from repro.registry.syntactic import SyntacticRegistry
 from repro.registry.srinivasan import AnnotatedTaxonomyRegistry, MatchDegree
-from repro.registry.gist import GistIndex, Rect
+from repro.registry.gist import GistDirectory, GistIndex, Rect
 
 __all__ = [
+    "DiscoveryBackend",
+    "DirectoryMatch",
     "MatchCostReport",
     "OnlineMatchmaker",
     "OnlineSemanticRegistry",
     "SyntacticRegistry",
     "AnnotatedTaxonomyRegistry",
     "MatchDegree",
+    "GistDirectory",
     "GistIndex",
     "Rect",
 ]

@@ -1,0 +1,70 @@
+"""The unified discovery-backend API every registry conforms to.
+
+The repo grew five registry families — the §3 semantic directory, the flat
+baseline, the GiST index, the Srinivasan-style annotated taxonomy, and the
+naive online matchmaker — each with its own publish/query spelling.  The
+:class:`DiscoveryBackend` protocol pins one contract across all of them so
+experiments, benchmarks, and the conformance suite can swap backends
+freely:
+
+* ``publish(profile)`` / ``publish_batch(profiles) -> int`` — register
+  the capabilities of a :class:`~repro.services.profile.ServiceProfile`;
+* ``unpublish(service_uri) -> int`` — withdraw a service, returning the
+  number of capability entries removed (0 when unknown; the int is
+  truthiness-compatible with the old bool forms);
+* ``query(request)`` / ``query_batch(requests)`` — match a
+  :class:`~repro.services.profile.ServiceRequest`, returning
+  :class:`DirectoryMatch` rows sorted best-first;
+* ``capability_count`` / ``describe()`` — introspection.
+
+The protocol is ``runtime_checkable`` so the conformance suite can assert
+``isinstance(backend, DiscoveryBackend)``; structural typing keeps the
+registries free of a shared base class.  Legacy type-specific spellings
+(``publish(WsdlDescription)``, ``query(Capability)``, XML-document lists)
+remain as shims that raise :class:`DeprecationWarning` — the test suite
+escalates such warnings from ``repro``-internal frames to errors.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.directory import DirectoryMatch
+from repro.services.profile import ServiceProfile, ServiceRequest
+
+__all__ = ["DiscoveryBackend", "DirectoryMatch"]
+
+
+@runtime_checkable
+class DiscoveryBackend(Protocol):
+    """Structural contract shared by every discovery registry."""
+
+    def publish(self, profile: ServiceProfile) -> None:
+        """Register ``profile``'s provided capabilities (replacing any
+        earlier advertisement for the same service URI)."""
+        ...
+
+    def publish_batch(self, profiles) -> int:
+        """Publish many profiles; returns how many were accepted."""
+        ...
+
+    def unpublish(self, service_uri: str) -> int:
+        """Withdraw ``service_uri``; returns capability entries removed."""
+        ...
+
+    def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
+        """Match ``request``; best matches first."""
+        ...
+
+    def query_batch(self, requests) -> list[list[DirectoryMatch]]:
+        """Match many requests; one result list per request, in order."""
+        ...
+
+    @property
+    def capability_count(self) -> int:
+        """Number of capability entries currently registered."""
+        ...
+
+    def describe(self) -> str:
+        """One-line human-readable summary (backend kind + sizes)."""
+        ...

@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.codes import CodeTable
-from repro.services.profile import Capability
+from repro.core.directory import DirectoryMatch
+from repro.core.matching import CodeMatcher
+from repro.services.profile import Capability, ServiceProfile, ServiceRequest
 
 #: Role dimensions: rectangles separate inputs, outputs and properties on
 #: the y axis so a query only meets rectangles of the same role.
@@ -218,6 +220,124 @@ class GistIndex:
 
     def __repr__(self) -> str:
         return f"GistIndex({self._size} rectangles, depth={self.depth()})"
+
+
+class GistDirectory:
+    """A full discovery backend over a :class:`GistIndex` (after [3]).
+
+    The raw index only preselects: it maps query rectangles to candidate
+    keys and supports no deletion (classic R-trees handle removal with
+    rebuilds).  This wrapper adds what the unified
+    :class:`~repro.registry.base.DiscoveryBackend` contract needs:
+
+    * exact verification — preselected candidates are confirmed with the
+      §3.2 interval-code matcher, so answers carry true semantic distances;
+    * withdrawal — republishing bumps a per-service generation so stale
+      index keys become tombstones, filtered at query time; the index is
+      rebuilt from live entries once tombstones outnumber them.
+
+    Args:
+        table: the interval-code table rectangles are derived from.
+        max_entries: R-tree node capacity (GiST M).
+    """
+
+    #: Rebuild the R-tree when dead rectangles outnumber live ones and
+    #: there are at least this many of them.
+    _COMPACT_MIN_DEAD = 64
+
+    def __init__(self, table: CodeTable, max_entries: int = 8) -> None:
+        self.table = table
+        self.max_entries = max_entries
+        self._index = GistIndex(max_entries)
+        self._generation = 0
+        # key -> (service_uri, capability) for keys currently advertised.
+        self._live: dict[str, tuple[str, Capability]] = {}
+        self._keys_by_service: dict[str, list[str]] = {}
+        self._dead_rects = 0
+        self.rebuilds = 0
+
+    def __len__(self) -> int:
+        return len(self._keys_by_service)
+
+    def publish(self, profile: ServiceProfile) -> None:
+        """Index the profile's capability rectangles (republish replaces)."""
+        self.unpublish(profile.uri)
+        self._generation += 1
+        keys: list[str] = []
+        for position, capability in enumerate(profile.provided):
+            key = f"{profile.uri}#{self._generation}:{position}"
+            self._index.insert_capability(capability, self.table, key)
+            self._live[key] = (profile.uri, capability)
+            keys.append(key)
+        self._keys_by_service[profile.uri] = keys
+
+    def publish_batch(self, profiles) -> int:
+        """Publish many profiles; returns the count."""
+        count = 0
+        for profile in profiles:
+            self.publish(profile)
+            count += 1
+        return count
+
+    def unpublish(self, service_uri: str) -> int:
+        """Withdraw a service; its index keys become tombstones.  Returns
+        the number of capability entries removed (0 when unknown)."""
+        keys = self._keys_by_service.pop(service_uri, None)
+        if keys is None:
+            return 0
+        for key in keys:
+            self._live.pop(key, None)
+            self._dead_rects += 1
+        if self._dead_rects >= self._COMPACT_MIN_DEAD and self._dead_rects > len(self._live):
+            self._rebuild()
+        return len(keys)
+
+    def _rebuild(self) -> None:
+        index = GistIndex(self.max_entries)
+        for key, (_, capability) in self._live.items():
+            index.insert_capability(capability, self.table, key)
+        self._index = index
+        self._dead_rects = 0
+        self.rebuilds += 1
+
+    def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
+        """Preselect via rectangle intersection, then confirm candidates
+        with the interval-code matcher; best matches first."""
+        matcher = CodeMatcher(table=self.table)
+        matches: list[DirectoryMatch] = []
+        for requested in request.capabilities:
+            candidates = self._index.search_capability(requested, self.table)
+            for key in sorted(candidates):
+                entry = self._live.get(key)
+                if entry is None:
+                    continue  # tombstone from an unpublished generation
+                service_uri, capability = entry
+                distance = matcher.semantic_distance(capability, requested)
+                if distance is not None:
+                    matches.append(DirectoryMatch(requested, capability, service_uri, distance))
+        matches.sort(key=lambda m: (m.distance, m.service_uri))
+        return matches
+
+    def query_batch(self, requests) -> list[list[DirectoryMatch]]:
+        """Match many requests; one result list per request, in order."""
+        return [self.query(request) for request in requests]
+
+    @property
+    def capability_count(self) -> int:
+        """Capability entries currently advertised (live keys)."""
+        return len(self._live)
+
+    def describe(self) -> str:
+        """One-line backend summary."""
+        return (
+            f"GistDirectory: {len(self)} services, {self.capability_count} "
+            f"capabilities, {len(self._index)} rectangles "
+            f"(depth {self._index.depth()}, {self._dead_rects} tombstoned, "
+            f"{self.rebuilds} rebuilds)"
+        )
+
+    def __repr__(self) -> str:
+        return f"GistDirectory({len(self)} services, {len(self._index)} rectangles)"
 
 
 def _mbr_of(node: _Node) -> Rect | None:

@@ -22,12 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.directory import DirectoryMatch
 from repro.core.matching import MatchOutcome, TaxonomyMatcher
 from repro.ontology.model import Ontology
 from repro.ontology.owl_xml import ontology_from_xml
 from repro.ontology.reasoner import ClassificationStrategy, Reasoner
-from repro.services.profile import ontology_of
-from repro.services.xml_codec import profile_from_xml, request_from_xml
+from repro.services.profile import ServiceProfile, ServiceRequest, ontology_of
+from repro.services.xml_codec import profile_from_xml, profile_to_xml, request_from_xml, request_to_xml
 from repro.util.timing import PhaseTimer
 
 
@@ -123,28 +124,84 @@ class OnlineSemanticRegistry:
     ) -> None:
         self._ontology_by_uri = {onto.uri: onto for onto in ontologies}
         self.strategy = strategy
-        self._documents: list[str] = []
+        self._documents: dict[str, str] = {}
+        self._cap_counts: dict[str, int] = {}
         self.timer = PhaseTimer()
 
     def __len__(self) -> int:
         return len(self._documents)
 
     def publish_xml(self, document: str) -> None:
-        """Store an advertisement document (publication is cheap here; the
-        whole cost is deferred to query time)."""
-        self._documents.append(document)
+        """Store an advertisement document (republish replaces).  The
+        document is parsed once here only to learn its URI and capability
+        count; query-time reasoning still re-parses everything, preserving
+        the on-line cost model."""
+        profile, _ = profile_from_xml(document)
+        self._documents[profile.uri] = document
+        self._cap_counts[profile.uri] = len(profile.provided)
 
     def publish_xml_batch(self, documents: list[str]) -> None:
         """Store many advertisement documents (batch parity with the
-        optimized directories; storage-only here)."""
-        self._documents.extend(documents)
+        optimized directories)."""
+        for document in documents:
+            self.publish_xml(document)
+
+    def publish(self, profile: ServiceProfile) -> None:
+        """Register a profile, stored as its XML rendering (this registry's
+        native representation is the raw document)."""
+        self.publish_xml(profile_to_xml(profile))
+
+    def publish_batch(self, profiles) -> int:
+        """Publish many profiles; returns the count."""
+        count = 0
+        for profile in profiles:
+            self.publish(profile)
+            count += 1
+        return count
+
+    def unpublish(self, service_uri: str) -> int:
+        """Drop a stored advertisement; returns the number of capability
+        entries removed (0 when unknown)."""
+        if self._documents.pop(service_uri, None) is None:
+            return 0
+        return max(1, self._cap_counts.pop(service_uri, 1))
+
+    def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
+        """Match a request with fresh reasoning (the full §2.4 cost: the
+        request is serialized and everything re-parsed, as an on-line
+        matchmaker without caching would)."""
+        best: dict[str, int] = {}
+        for uri, distance in self.query_xml(request_to_xml(request)):
+            if uri not in best or distance < best[uri]:
+                best[uri] = distance
+        return [
+            DirectoryMatch(requested=None, capability=None, service_uri=uri, distance=distance)
+            for uri, distance in sorted(best.items(), key=lambda pair: (pair[1], pair[0]))
+        ]
+
+    def query_batch(self, requests) -> list[list[DirectoryMatch]]:
+        """Match many requests; one result list per request, in order."""
+        return [self.query(request) for request in requests]
+
+    @property
+    def capability_count(self) -> int:
+        """Capability entries across all stored advertisements."""
+        return sum(self._cap_counts.values())
+
+    def describe(self) -> str:
+        """One-line backend summary."""
+        return (
+            f"OnlineSemanticRegistry: {len(self)} documents, "
+            f"{self.capability_count} capabilities, "
+            f"strategy={self.strategy.name.lower()}"
+        )
 
     def query_xml(self, request_document: str) -> list[tuple[str, int]]:
         """Answer a request with fresh reasoning; returns
         ``(service_uri, distance)`` pairs sorted by distance."""
         with self.timer.phase("parse"):
             request, _ = request_from_xml(request_document)
-            profiles = [profile_from_xml(doc)[0] for doc in self._documents]
+            profiles = [profile_from_xml(doc)[0] for doc in self._documents.values()]
         hits: list[tuple[str, int]] = []
         for profile in profiles:
             used = {

@@ -25,11 +25,13 @@ Match degrees follow Paolucci et al.:
 from __future__ import annotations
 
 import enum
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.core.directory import DirectoryMatch
 from repro.ontology.taxonomy import Taxonomy
-from repro.services.profile import Capability, ServiceProfile
+from repro.services.profile import Capability, ServiceProfile, ServiceRequest
 
 
 class MatchDegree(enum.IntEnum):
@@ -137,20 +139,29 @@ class AnnotatedTaxonomyRegistry:
         if existing is None or degree < existing:
             self._annotations[concept].inputs[service_uri] = degree
 
-    def unpublish(self, service_uri: str) -> bool:
-        """Withdraw a service and strip its annotations."""
-        if service_uri not in self._services:
-            return False
-        del self._services[service_uri]
+    def publish_batch(self, profiles) -> int:
+        """Publish many profiles; returns how many were annotated."""
+        count = 0
+        for profile in profiles:
+            self.publish(profile)
+            count += 1
+        return count
+
+    def unpublish(self, service_uri: str) -> int:
+        """Withdraw a service and strip its annotations; returns the
+        number of capability entries removed (0 when unknown)."""
+        profile = self._services.pop(service_uri, None)
+        if profile is None:
+            return 0
         for annotations in self._annotations.values():
             annotations.outputs.pop(service_uri, None)
             annotations.inputs.pop(service_uri, None)
-        return True
+        return max(1, len(profile.provided))
 
     # ------------------------------------------------------------------
     # Query (lookups + intersections only)
     # ------------------------------------------------------------------
-    def query(self, requested: Capability) -> list[RankedService]:
+    def query_capability(self, requested: Capability) -> list[RankedService]:
         """Answer a request without any reasoning.
 
         Every requested output concept must be covered by the
@@ -183,6 +194,54 @@ class AnnotatedTaxonomyRegistry:
         ranked = [RankedService(uri, degree) for uri, degree in candidates.items()]
         ranked.sort(key=lambda r: (r.degree, r.service_uri))
         return ranked
+
+    def query(self, request: ServiceRequest | Capability) -> list[DirectoryMatch]:
+        """Match a service request; the match degree becomes the distance
+        (EXACT=0, PLUGIN=1, SUBSUMES=2), best-first.
+
+        .. deprecated::
+            Passing a bare :class:`Capability` still works but warns (and
+            returns the legacy ``list[RankedService]``); use
+            :meth:`query_capability`.
+        """
+        if isinstance(request, Capability):
+            warnings.warn(
+                "AnnotatedTaxonomyRegistry.query(Capability) is deprecated; "
+                "use query_capability()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.query_capability(request)
+        matches: list[DirectoryMatch] = []
+        for capability in request.capabilities:
+            for ranked in self.query_capability(capability):
+                matches.append(
+                    DirectoryMatch(
+                        requested=capability,
+                        capability=None,
+                        service_uri=ranked.service_uri,
+                        distance=int(ranked.degree),
+                    )
+                )
+        matches.sort(key=lambda m: (m.distance, m.service_uri))
+        return matches
+
+    def query_batch(self, requests) -> list[list[DirectoryMatch]]:
+        """Match many requests; one result list per request, in order."""
+        return [self.query(request) for request in requests]
+
+    @property
+    def capability_count(self) -> int:
+        """Capability entries currently annotated into the taxonomy."""
+        return sum(len(profile.provided) for profile in self._services.values())
+
+    def describe(self) -> str:
+        """One-line backend summary."""
+        return (
+            f"AnnotatedTaxonomyRegistry: {len(self)} services, "
+            f"{self.capability_count} capabilities, "
+            f"{len(self._annotations)} annotated concepts"
+        )
 
     @staticmethod
     def _intersect(

@@ -14,11 +14,53 @@ the directory to rule services out without inspecting them.
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
 
-from repro.services.wsdl import WsdlDescription, WsdlRequest
+from repro.core.directory import DirectoryMatch
+from repro.services.profile import ServiceProfile, ServiceRequest
+from repro.services.wsdl import WsdlDescription, WsdlOperation, WsdlRequest
 from repro.services.xml_codec import ServiceSyntaxError, wsdl_from_xml
+from repro.util.ids import uri_fragment
 from repro.util.timing import PhaseTimer
+
+
+def _wsdl_of_profile(profile: ServiceProfile) -> WsdlDescription:
+    """The WSDL rendering of a semantic profile (mirrors the workload
+    generator's ``wsdl_twin``): one operation per provided capability,
+    concept URIs reduced to their fragments, keywords from names and
+    fragments."""
+    operations = tuple(
+        WsdlOperation(
+            name=cap.name,
+            inputs=tuple(sorted(uri_fragment(c) for c in cap.inputs)),
+            outputs=tuple(sorted(uri_fragment(c) for c in cap.outputs)),
+        )
+        for cap in profile.provided
+    )
+    keywords = {cap.name for cap in profile.provided}
+    keywords.update(uri_fragment(c) for cap in profile.provided for c in cap.concepts())
+    return WsdlDescription(
+        uri=profile.uri,
+        port_type=profile.name,
+        operations=operations,
+        keywords=tuple(sorted(keywords)),
+    )
+
+
+def _wsdl_of_request(request: ServiceRequest) -> WsdlRequest:
+    """The syntactic rendering of a semantic request: the literal interface
+    a requester sharing the provider's vocabulary would ask for."""
+    operations = tuple(
+        WsdlOperation(
+            name=cap.name,
+            inputs=tuple(sorted(uri_fragment(c) for c in cap.inputs)),
+            outputs=tuple(sorted(uri_fragment(c) for c in cap.outputs)),
+        )
+        for cap in request.capabilities
+    )
+    keywords = tuple(sorted(cap.name for cap in request.capabilities))
+    return WsdlRequest(uri=request.uri, operations=operations, keywords=keywords)
 
 
 class SyntacticRegistry:
@@ -47,19 +89,49 @@ class SyntacticRegistry:
     # ------------------------------------------------------------------
     # Publication
     # ------------------------------------------------------------------
-    def publish(self, description: WsdlDescription) -> None:
+    def publish_wsdl(self, description: WsdlDescription) -> None:
         """Cache a WSDL description (republish replaces)."""
         self.unpublish(description.uri)
         self._services[description.uri] = description
         for keyword in description.keywords:
             self._by_keyword[keyword].add(description.uri)
 
-    def publish_batch(self, descriptions: list[WsdlDescription]) -> int:
-        """Cache many descriptions; returns the count (batch parity with
+    def publish(self, profile: ServiceProfile | WsdlDescription) -> None:
+        """Register a service profile, cached as its WSDL rendering.
+
+        .. deprecated::
+            Passing a :class:`WsdlDescription` still works but warns; use
+            :meth:`publish_wsdl` for raw WSDL.
+        """
+        if isinstance(profile, WsdlDescription):
+            warnings.warn(
+                "SyntacticRegistry.publish(WsdlDescription) is deprecated; "
+                "use publish_wsdl()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.publish_wsdl(profile)
+            return
+        self.publish_wsdl(_wsdl_of_profile(profile))
+
+    def publish_batch(self, profiles) -> int:
+        """Publish many profiles (or WSDL descriptions, deprecated per
+        item); returns the count (batch parity with
         :meth:`repro.core.directory.SemanticDirectory.publish_batch`)."""
-        for description in descriptions:
-            self.publish(description)
-        return len(descriptions)
+        count = 0
+        for profile in profiles:
+            if isinstance(profile, WsdlDescription):
+                warnings.warn(
+                    "SyntacticRegistry.publish_batch(WsdlDescription) is "
+                    "deprecated; use publish_wsdl() per description",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                self.publish_wsdl(profile)
+            else:
+                self.publish_wsdl(_wsdl_of_profile(profile))
+            count += 1
+        return count
 
     def publish_xml(self, document: str) -> WsdlDescription:
         """Parse and cache a WSDL document.
@@ -71,7 +143,7 @@ class SyntacticRegistry:
             parsed = wsdl_from_xml(document)
         if not isinstance(parsed, WsdlDescription):
             raise ServiceSyntaxError("expected a <Definitions> document, got a request")
-        self.publish(parsed)
+        self.publish_wsdl(parsed)
         return parsed
 
     def publish_xml_batch(self, documents: list[str]) -> list[WsdlDescription]:
@@ -87,17 +159,18 @@ class SyntacticRegistry:
             if not isinstance(description, WsdlDescription):
                 raise ServiceSyntaxError("expected a <Definitions> document, got a request")
         for description in parsed:
-            self.publish(description)
+            self.publish_wsdl(description)
         return parsed
 
-    def unpublish(self, uri: str) -> bool:
-        """Withdraw a service; returns True if it was cached."""
+    def unpublish(self, uri: str) -> int:
+        """Withdraw a service; returns the number of capability entries
+        (operations) removed, 0 when the service was not cached."""
         description = self._services.pop(uri, None)
         if description is None:
-            return False
+            return 0
         for keyword in description.keywords:
             self._by_keyword[keyword].discard(uri)
-        return True
+        return max(1, len(description.operations))
 
     # ------------------------------------------------------------------
     # Matching
@@ -112,7 +185,7 @@ class SyntacticRegistry:
             return [self._services[uri] for uri in sorted(uris)]
         return list(self._services.values())
 
-    def query(self, request: WsdlRequest) -> list[WsdlDescription]:
+    def query_wsdl(self, request: WsdlRequest) -> list[WsdlDescription]:
         """All cached services whose interface conforms to the request."""
         with self.timer.phase("match"):
             return [
@@ -120,6 +193,38 @@ class SyntacticRegistry:
                 for description in self._candidates(request)
                 if description.conforms_to(request)
             ]
+
+    def query(self, request: ServiceRequest | WsdlRequest) -> list[DirectoryMatch]:
+        """Match a semantic request against the cached WSDL interfaces.
+
+        The request is rendered syntactically (the interface a requester
+        sharing the provider's vocabulary would ask for) and matched by
+        string conformance — so only exact-vocabulary requests hit, which
+        is the syntactic baseline's defining limitation.  Matches carry
+        distance 0 and no capability detail (WSDL has neither).
+
+        .. deprecated::
+            Passing a :class:`WsdlRequest` still works but warns (and
+            returns the legacy ``list[WsdlDescription]``); use
+            :meth:`query_wsdl` for raw WSDL requests.
+        """
+        if isinstance(request, WsdlRequest):
+            warnings.warn(
+                "SyntacticRegistry.query(WsdlRequest) is deprecated; "
+                "use query_wsdl()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.query_wsdl(request)
+        hits = self.query_wsdl(_wsdl_of_request(request))
+        return [
+            DirectoryMatch(requested=None, capability=None, service_uri=description.uri, distance=0)
+            for description in sorted(hits, key=lambda d: d.uri)
+        ]
+
+    def query_batch(self, requests) -> list[list[DirectoryMatch]]:
+        """Match many requests; one result list per request, in order."""
+        return [self.query(request) for request in requests]
 
     def query_xml(self, document: str) -> list[WsdlDescription]:
         """Parse a request document and answer it.
@@ -132,7 +237,20 @@ class SyntacticRegistry:
             parsed = wsdl_from_xml(document)
         if not isinstance(parsed, WsdlRequest):
             raise ServiceSyntaxError("expected an <InterfaceRequest> document")
-        return self.query(parsed)
+        return self.query_wsdl(parsed)
+
+    @property
+    def capability_count(self) -> int:
+        """Total cached operations (WSDL's analogue of capabilities)."""
+        return sum(len(description.operations) for description in self._services.values())
+
+    def describe(self) -> str:
+        """One-line backend summary."""
+        index = "keyword-indexed" if self.use_keyword_index else "linear-scan"
+        return (
+            f"SyntacticRegistry: {len(self)} services, "
+            f"{self.capability_count} operations, {index}"
+        )
 
     def __repr__(self) -> str:
         return f"SyntacticRegistry({len(self)} services)"

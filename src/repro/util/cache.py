@@ -47,6 +47,17 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def publish_to(self, metrics, prefix: str, **labels) -> None:
+        """Mirror these counters into an observability metric registry
+        (``<prefix>.hits`` etc.).  Pull-based on purpose: the cache keeps
+        its own cheap ints on the hot path and traced runs copy them out
+        once before flushing, instead of paying registry lookups per probe.
+        """
+        metrics.counter(f"{prefix}.hits", **labels).set(self.hits)
+        metrics.counter(f"{prefix}.misses", **labels).set(self.misses)
+        metrics.counter(f"{prefix}.evictions", **labels).set(self.evictions)
+        metrics.counter(f"{prefix}.invalidations", **labels).set(self.invalidations)
+
 
 class VersionedLruCache:
     """An LRU mapping whose whole content is keyed by a version token.

@@ -11,7 +11,12 @@ from repro.network.messages import (
 from repro.network.node import Network
 from repro.network.simulator import Simulator
 from repro.network.topology import Bounds, Position
-from repro.protocols.base import DirectoryAgentBase, ClientAgentBase
+from repro.protocols.base import (
+    ClientAgentBase,
+    DirectoryAgentBase,
+    QueryOutcome,
+    QueryTicket,
+)
 from repro.util.bloom import BloomFilter
 
 
@@ -175,7 +180,59 @@ class TestClientWithoutDirectory:
         client = node.add_agent(ClientAgentBase(lambda: None))
         network.start()
         assert not client.publish("doc")
-        assert client.query("doc") is None
+        ticket = client.query("doc")
+        assert not ticket
+        assert ticket.outcome is QueryOutcome.NO_DIRECTORY
+
+
+class TestQueryTicketOutcomes:
+    def test_answered_query_resolves_ticket(self):
+        sim, _network, directories, clients = mesh()
+        client = next(iter(clients.values()))
+        client.publish("service-alpha")
+        sim.run(until=sim.now + 3.0)
+        ticket = client.query("service-alpha")
+        assert ticket  # dispatched successfully
+        assert ticket.outcome is QueryOutcome.PENDING
+        sim.run(until=sim.now + 3.0)
+        assert ticket.outcome is QueryOutcome.ANSWERED
+        # Backwards-compatible lookup: tickets hash/compare as their id.
+        assert ticket in client.responses
+        assert client.responses[ticket] == client.responses[ticket.query_id]
+
+    def test_send_failure_distinguished_from_no_directory(self):
+        sim = Simulator()
+        network = Network(sim, bounds=Bounds(1000, 1000), radio_range=50.0)
+        node = network.add_node(0, Position(0, 0))
+        # The known directory sits out of radio range: the unicast has no
+        # route and fails immediately.
+        network.add_node(7, Position(900, 900))
+        client = node.add_agent(ClientAgentBase(lambda: 7))
+        network.start()
+        ticket = client.query("doc")
+        assert not ticket
+        assert ticket.outcome is QueryOutcome.SEND_FAILED
+
+    def test_exhausted_after_retries_without_answer(self):
+        sim, network, directories, clients = mesh()
+        client = next(iter(clients.values()))
+        # Sever the link after dispatch by making the directory drop
+        # queries: it never concludes, so the client's retry horizon
+        # passes without a response.
+        directories[0].on_message = lambda envelope: None
+        ticket = client.query("service-gone", retries=2, retry_timeout=1.0)
+        assert ticket.outcome is QueryOutcome.PENDING
+        sim.run(until=sim.now + 60.0)
+        assert ticket.outcome is QueryOutcome.EXHAUSTED
+        assert ticket not in client.responses
+
+    def test_ticket_equality_and_repr(self):
+        answered = QueryTicket(3, QueryOutcome.ANSWERED)
+        assert answered == QueryTicket(3, QueryOutcome.PENDING)
+        assert answered == 3
+        assert answered != QueryTicket(4, QueryOutcome.ANSWERED)
+        assert hash(answered) == hash(3)
+        assert "3" in repr(answered)
 
 
 class TestReactiveSummaryExchange:

@@ -117,10 +117,10 @@ class TestDiscoveryUnderLoss:
         client = deployment.clients[20]
         answered = 0
         for _ in range(10):
-            query_id = client.query(request_document, retries=8, retry_timeout=2.0)
-            assert query_id is not None
+            ticket = client.query(request_document, retries=8, retry_timeout=2.0)
+            assert ticket
             deployment.sim.run(until=deployment.sim.now + 25.0)
-            if query_id in client.responses:
+            if ticket in client.responses:
                 answered += 1
         # Single attempts would regularly vanish; retries recover them.
         assert answered >= 9, (answered, client.retries_sent)

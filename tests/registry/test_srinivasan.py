@@ -29,27 +29,27 @@ def registry(media_taxonomy):
 class TestDegrees:
     def test_exact(self, registry):
         registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
-        ranked = registry.query(request(outputs=[r("Stream")]))
+        ranked = registry.query_capability(request(outputs=[r("Stream")]))
         assert ranked[0].degree is MatchDegree.EXACT
 
     def test_plugin_when_advert_more_specific(self, registry):
         registry.publish(service("urn:x:s1", outputs=[r("VideoResource")]))
-        ranked = registry.query(request(outputs=[r("DigitalResource")]))
+        ranked = registry.query_capability(request(outputs=[r("DigitalResource")]))
         assert ranked and ranked[0].degree is MatchDegree.PLUGIN
 
     def test_subsumes_when_advert_more_general(self, registry):
         registry.publish(service("urn:x:s1", outputs=[r("DigitalResource")]))
-        ranked = registry.query(request(outputs=[r("VideoResource")]))
+        ranked = registry.query_capability(request(outputs=[r("VideoResource")]))
         assert ranked and ranked[0].degree is MatchDegree.SUBSUMES
 
     def test_fail_when_unrelated(self, registry):
         registry.publish(service("urn:x:s1", outputs=[r("Title")]))
-        assert registry.query(request(outputs=[r("Stream")])) == []
+        assert registry.query_capability(request(outputs=[r("Stream")])) == []
 
     def test_best_degree_ranked_first(self, registry):
         registry.publish(service("urn:x:exact", outputs=[r("VideoResource")]))
         registry.publish(service("urn:x:general", outputs=[r("DigitalResource")]))
-        ranked = registry.query(request(outputs=[r("VideoResource")]))
+        ranked = registry.query_capability(request(outputs=[r("VideoResource")]))
         assert ranked[0].service_uri == "urn:x:exact"
         assert ranked[1].degree is MatchDegree.SUBSUMES
 
@@ -58,14 +58,14 @@ class TestIntersection:
     def test_all_outputs_required(self, registry):
         registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
         registry.publish(service("urn:x:s2", outputs=[r("Stream"), r("Title")]))
-        ranked = registry.query(request(outputs=[r("Stream"), r("Title")]))
+        ranked = registry.query_capability(request(outputs=[r("Stream"), r("Title")]))
         assert [x.service_uri for x in ranked] == ["urn:x:s2"]
 
     def test_aggregate_degree_is_worst(self, registry):
         registry.publish(
             service("urn:x:s1", outputs=[r("Stream"), r("DigitalResource")])
         )
-        ranked = registry.query(request(outputs=[r("Stream"), r("VideoResource")]))
+        ranked = registry.query_capability(request(outputs=[r("Stream"), r("VideoResource")]))
         # Stream exact + VideoResource via subsumes ⇒ aggregate SUBSUMES.
         assert ranked[0].degree is MatchDegree.SUBSUMES
 
@@ -73,13 +73,13 @@ class TestIntersection:
         registry.publish(
             service("urn:x:s1", outputs=[r("Stream")], inputs=[r("DigitalResource")])
         )
-        ranked = registry.query(
+        ranked = registry.query_capability(
             request(outputs=[r("Stream")], inputs=[r("DigitalResource")])
         )
         assert ranked
         # A request offering an input the service never declared acceptable.
         assert (
-            registry.query(request(outputs=[r("Stream")], inputs=[r("Title")])) == []
+            registry.query_capability(request(outputs=[r("Stream")], inputs=[r("Title")])) == []
         )
 
     def test_input_descendants_acceptable(self, registry):
@@ -87,7 +87,7 @@ class TestIntersection:
         registry.publish(
             service("urn:x:s1", outputs=[r("Stream")], inputs=[r("DigitalResource")])
         )
-        ranked = registry.query(
+        ranked = registry.query_capability(
             request(outputs=[r("Stream")], inputs=[r("VideoResource")])
         )
         assert ranked
@@ -97,7 +97,7 @@ class TestLifecycle:
     def test_unpublish_strips_annotations(self, registry):
         registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
         assert registry.unpublish("urn:x:s1")
-        assert registry.query(request(outputs=[r("Stream")])) == []
+        assert registry.query_capability(request(outputs=[r("Stream")])) == []
 
     def test_unpublish_unknown(self, registry):
         assert not registry.unpublish("urn:x:s1")
@@ -105,8 +105,8 @@ class TestLifecycle:
     def test_republish_replaces(self, registry):
         registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
         registry.publish(service("urn:x:s1", outputs=[r("Title")]))
-        assert registry.query(request(outputs=[r("Stream")])) == []
-        assert registry.query(request(outputs=[r("Title")]))
+        assert registry.query_capability(request(outputs=[r("Stream")])) == []
+        assert registry.query_capability(request(outputs=[r("Title")]))
 
     def test_publish_work_counted(self, registry):
         before = registry.publish_work
@@ -116,4 +116,4 @@ class TestLifecycle:
 
     def test_unknown_concept_request_rejected(self, registry):
         registry.publish(service("urn:x:s1", outputs=[r("Stream")]))
-        assert registry.query(request(outputs=["http://other.org/o#X"])) == []
+        assert registry.query_capability(request(outputs=["http://other.org/o#X"])) == []

@@ -28,19 +28,19 @@ def req(name="getStream", keywords=()) -> WsdlRequest:
 class TestPublish:
     def test_publish_and_len(self):
         registry = SyntacticRegistry()
-        registry.publish(desc())
+        registry.publish_wsdl(desc())
         assert len(registry) == 1
 
     def test_republish_replaces(self):
         registry = SyntacticRegistry()
-        registry.publish(desc(keywords=("old",)))
-        registry.publish(desc(keywords=("new",)))
+        registry.publish_wsdl(desc(keywords=("old",)))
+        registry.publish_wsdl(desc(keywords=("new",)))
         assert len(registry) == 1
-        assert not registry.query(req(keywords=("old",)))
+        assert not registry.query_wsdl(req(keywords=("old",)))
 
     def test_unpublish(self):
         registry = SyntacticRegistry()
-        registry.publish(desc())
+        registry.publish_wsdl(desc())
         assert registry.unpublish("urn:x:svc:1")
         assert not registry.unpublish("urn:x:svc:1")
         assert len(registry) == 0
@@ -59,26 +59,26 @@ class TestPublish:
 class TestQuery:
     def test_conforming_service_found(self):
         registry = SyntacticRegistry()
-        registry.publish(desc())
-        assert [d.uri for d in registry.query(req())] == ["urn:x:svc:1"]
+        registry.publish_wsdl(desc())
+        assert [d.uri for d in registry.query_wsdl(req())] == ["urn:x:svc:1"]
 
     def test_non_conforming_rejected(self):
         registry = SyntacticRegistry()
-        registry.publish(desc(name="getStream"))
-        assert registry.query(req(name="fetchStream")) == []
+        registry.publish_wsdl(desc(name="getStream"))
+        assert registry.query_wsdl(req(name="fetchStream")) == []
 
     def test_keyword_index_shortlists(self):
         registry = SyntacticRegistry(use_keyword_index=True)
-        registry.publish(desc(uri="urn:x:svc:1", keywords=("media",)))
-        registry.publish(desc(uri="urn:x:svc:2", keywords=("printer",)))
-        hits = registry.query(req(keywords=("media",)))
+        registry.publish_wsdl(desc(uri="urn:x:svc:1", keywords=("media",)))
+        registry.publish_wsdl(desc(uri="urn:x:svc:2", keywords=("printer",)))
+        hits = registry.query_wsdl(req(keywords=("media",)))
         assert [d.uri for d in hits] == ["urn:x:svc:1"]
 
     def test_no_keywords_scans_all(self):
         registry = SyntacticRegistry()
-        registry.publish(desc(uri="urn:x:svc:1"))
-        registry.publish(desc(uri="urn:x:svc:2"))
-        assert len(registry.query(req(keywords=()))) == 2
+        registry.publish_wsdl(desc(uri="urn:x:svc:1"))
+        registry.publish_wsdl(desc(uri="urn:x:svc:2"))
+        assert len(registry.query_wsdl(req(keywords=()))) == 2
 
     def test_query_xml_rejects_description_document(self):
         registry = SyntacticRegistry()
@@ -89,9 +89,9 @@ class TestQuery:
         registry = SyntacticRegistry()
         services = small_workload.make_services(20)
         for profile in services:
-            registry.publish(ServiceWorkload.wsdl_twin(profile))
+            registry.publish_wsdl(ServiceWorkload.wsdl_twin(profile))
         request = ServiceWorkload.wsdl_request_for(services[9])
-        hits = registry.query(request)
+        hits = registry.query_wsdl(request)
         assert [d.uri for d in hits] == [services[9].uri]
 
 
@@ -100,8 +100,8 @@ class TestBrittleness:
         """The paper's core motivation: a requester using a synonymous
         interface finds nothing syntactically."""
         registry = SyntacticRegistry()
-        registry.publish(desc(name="getVideoStream"))
-        assert registry.query(req(name="fetchVideoStream")) == []
+        registry.publish_wsdl(desc(name="getVideoStream"))
+        assert registry.query_wsdl(req(name="fetchVideoStream")) == []
 
 
 class TestWsdlDocumentRegistry:

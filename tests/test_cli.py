@@ -182,3 +182,29 @@ class TestValidate:
 
     def test_empty_dir(self, tmp_path):
         assert main(["validate", str(tmp_path)]) == 2
+
+
+class TestTraceReport:
+    def test_renders_jsonl_trace(self, tmp_path, capsys):
+        from repro.obs import JsonlSink, Observability
+
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            obs = Observability(sinks=[sink])
+            with obs.span("query.handle", trace_id="q0.1", sim_time=0.5):
+                obs.event("hop.forward", peer=2)
+            obs.counter("dir.queries", node=0).inc()
+            obs.close()
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "query q0.1" in out
+        assert "hop.forward" in out
+        assert "dir.queries" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace-report", str(path)]) == 1

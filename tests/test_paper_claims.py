@@ -36,7 +36,7 @@ class TestSection1Claims:
         from repro.services.wsdl import WsdlDescription, WsdlOperation, WsdlRequest
 
         registry = SyntacticRegistry()
-        registry.publish(
+        registry.publish_wsdl(
             WsdlDescription(
                 uri="urn:x:svc:1",
                 port_type="Media",
@@ -51,8 +51,8 @@ class TestSection1Claims:
             uri="urn:x:r2",
             operations=(WsdlOperation("fetchVideoStream", ("title",), ("stream",)),),
         )
-        assert registry.query(same)
-        assert not registry.query(synonym)
+        assert registry.query_wsdl(same)
+        assert not registry.query_wsdl(synonym)
 
     def test_semantic_discovery_survives_vocabulary_mismatch(self, media_table):
         """'Ontology-based semantic reasoning enables discovering ...
