@@ -12,6 +12,8 @@ import pathlib
 import time
 from collections.abc import Callable
 
+from repro.obs.export import run_manifest
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -27,8 +29,9 @@ def save_report(
     Alongside the human-readable ``<name>.txt``, a machine-readable
     ``BENCH_<name>.json`` is written whenever ``metrics`` is given — one
     ``{"name", "value", "units"}`` record per metric plus the benchmark
-    ``config`` — so CI can collect and diff results without scraping
-    tables.
+    ``config`` and a provenance ``manifest`` (git SHA, interpreter,
+    platform) — so CI can collect, diff and regression-gate results
+    without scraping tables.
 
     Args:
         metrics: ``{metric: value}``; a value may also be a
@@ -51,7 +54,12 @@ def save_report(
         else:
             metric_units = units
         entries.append({"name": metric, "value": value, "units": metric_units})
-    payload = {"benchmark": name, "config": config or {}, "metrics": entries}
+    payload = {
+        "benchmark": name,
+        "config": config or {},
+        "metrics": entries,
+        "manifest": run_manifest(config=config),
+    }
     (RESULTS_DIR / f"BENCH_{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

@@ -200,6 +200,116 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_run, render_timeline
+
+    path = pathlib.Path(args.run_file)
+    if not path.exists():
+        print(f"no such run file: {path}", file=sys.stderr)
+        return 2
+    run = load_run(path)
+    if not any(run[key] for key in ("events", "timeseries", "spans", "metrics")):
+        print(f"{path} contains no telemetry records", file=sys.stderr)
+        return 1
+    print(render_timeline(run))
+    if args.csv:
+        from repro.obs.export import timeseries_to_csv
+
+        pathlib.Path(args.csv).write_text(timeseries_to_csv(run["timeseries"]))
+        print(f"wrote time-series CSV to {args.csv}")
+    if args.openmetrics:
+        from repro.obs.export import to_openmetrics
+
+        pathlib.Path(args.openmetrics).write_text(to_openmetrics(run["metrics"]))
+        print(f"wrote OpenMetrics exposition to {args.openmetrics}")
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.export import diff_runs, load_bench_dir, load_bench_file
+
+    def load(path_str: str) -> dict:
+        path = pathlib.Path(path_str)
+        if path.is_dir():
+            return load_bench_dir(path)
+        if not path.is_file():
+            return {}
+        name, metrics = load_bench_file(path)
+        return {name: metrics}
+
+    baseline, candidate = load(args.baseline), load(args.candidate)
+    if not baseline or not candidate:
+        empty = args.baseline if not baseline else args.candidate
+        print(f"no BENCH_*.json results under {empty}", file=sys.stderr)
+        return 2
+    rows = diff_runs(baseline, candidate, threshold=args.threshold)
+    width = max(len(f"{row['benchmark']}/{row['metric']}") for row in rows)
+    flagged = 0
+    for row in rows:
+        label = f"{row['benchmark']}/{row['metric']}"
+        before = "-" if row["baseline"] is None else f"{row['baseline']:.6g}"
+        after = "-" if row["candidate"] is None else f"{row['candidate']:.6g}"
+        if row["change"] is None:
+            change = "     n/a"
+        else:
+            change = f"{row['change']:+8.1%}"
+        mark = ""
+        if row["flag"]:
+            flagged += 1
+            mark = "  <<<"
+        print(f"  {label:<{width}}  {before:>12} -> {after:>12}  {change}{mark}")
+    print(
+        f"\n{len(rows)} metric(s) compared, {flagged} beyond the "
+        f"{args.threshold:.0%} threshold"
+    )
+    return 0
+
+
+def _cmd_obs_regress(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.export import check_regressions, load_bench_dir
+
+    baseline = load_bench_dir(args.baseline)
+    candidate = load_bench_dir(args.candidate)
+    if not baseline:
+        print(f"no baseline BENCH_*.json results under {args.baseline}", file=sys.stderr)
+        return 2
+    if not candidate:
+        print(f"no candidate BENCH_*.json results under {args.candidate}", file=sys.stderr)
+        return 2
+    config = {}
+    config_path = pathlib.Path(args.config)
+    if config_path.exists():
+        config = _json.loads(config_path.read_text())
+    findings = check_regressions(baseline, candidate, config)
+    regressed = [f for f in findings if f["status"] == "regressed"]
+    compared = [f for f in findings if f["status"] in ("ok", "regressed")]
+    skipped = [f for f in findings if f["status"] == "skipped"]
+    for finding in regressed:
+        print(
+            f"  REGRESSED {finding['benchmark']}/{finding['metric']}: "
+            f"{finding['candidate']:.6g} vs baseline {finding['baseline']:.6g} "
+            f"(limit {finding['limit']:.6g}, tolerance {finding['tolerance']:.0%}, "
+            f"{finding['direction']} is better)"
+        )
+    if args.verbose:
+        for finding in skipped:
+            print(
+                f"  skipped {finding['benchmark']}/{finding['metric']}: {finding['reason']}"
+            )
+    print(
+        f"{len(compared)} metric(s) gated, {len(regressed)} regressed, "
+        f"{len(skipped)} skipped"
+    )
+    if regressed:
+        return 1
+    if not compared:
+        print("nothing was gated: no benchmark present in both sets", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.core.directory import SemanticDirectory
 
@@ -284,6 +394,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("workload_dir", help="output of the 'workload' command")
     validate.set_defaults(func=_cmd_validate)
+
+    obs = subparsers.add_parser(
+        "obs", help="observatory tools: timelines, run diffs, regression gates"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    timeline = obs_sub.add_parser(
+        "timeline",
+        help="merged lifecycle events + windowed metric deltas from a JSONL run",
+    )
+    timeline.add_argument("run_file", help="JSONL file written by JsonlSink")
+    timeline.add_argument("--csv", help="also write the time-series windows as CSV")
+    timeline.add_argument(
+        "--openmetrics", help="also write the final metrics in OpenMetrics text format"
+    )
+    timeline.set_defaults(func=_cmd_obs_timeline)
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare two benchmark result sets side by side"
+    )
+    diff.add_argument("baseline", help="BENCH_*.json file or directory")
+    diff.add_argument("candidate", help="BENCH_*.json file or directory")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="relative change beyond which a metric is highlighted (default 0.1)",
+    )
+    diff.set_defaults(func=_cmd_obs_diff)
+
+    regress = obs_sub.add_parser(
+        "regress",
+        help="gate fresh bench JSONs against committed baselines (nonzero exit on regression)",
+    )
+    regress.add_argument(
+        "--baseline", required=True, help="directory of committed baseline BENCH_*.json files"
+    )
+    regress.add_argument(
+        "--candidate",
+        default="benchmarks/results",
+        help="directory of freshly produced BENCH_*.json files (default benchmarks/results)",
+    )
+    regress.add_argument(
+        "--config",
+        default="benchmarks/regress_tolerances.json",
+        help="per-benchmark/per-metric tolerance config (JSON)",
+    )
+    regress.add_argument(
+        "--verbose", action="store_true", help="also list skipped benchmarks/metrics"
+    )
+    regress.set_defaults(func=_cmd_obs_regress)
 
     return parser
 

@@ -362,13 +362,20 @@ def fig10_traced_run(
     Builds a full-mesh S-Ariadne backbone, publishes every advertisement
     on a *remote* directory, then queries each from a client homed on
     directory 0 — so every query crosses the backbone (Fig. 6 steps 3–5)
-    and produces forwarding-hop spans.  All spans/metrics flow into
-    ``obs``; the run is fully deterministic for a given ``seed`` so two
-    runs yield identical span trees modulo wall-clock timestamps.
+    and produces forwarding-hop spans.  A windowed time-series recorder
+    runs on the simulated clock throughout, and the run ends with a §4
+    lifecycle episode: a late node joins (churn + route-cache flush),
+    elects itself directory (no advertisements reach it), and receives a
+    handoff from directory 1 — so the timeline carries election, churn,
+    summary-refresh, cache-invalidation and handoff events alongside the
+    metric windows.  All telemetry flows into ``obs``; the run is fully
+    deterministic for a given ``seed`` so two runs yield identical span
+    trees and event signatures modulo wall-clock timestamps.
 
-    Returns a summary dict: issued/answered query counts and the trace
-    ids of the issued queries.
+    Returns a summary dict: issued/answered query counts, the trace ids
+    of the issued queries, and the id of the late-elected directory.
     """
+    from repro.network.election import ElectionAgent, ElectionConfig
     from repro.network.messages import PublishService
     from repro.network.node import Network
     from repro.network.simulator import Simulator
@@ -390,6 +397,8 @@ def fig10_traced_run(
     client = client_node.add_agent(SAriadneClientAgent(lambda: 0))
     network.start()
     install(obs, network)
+    if obs.timeseries is None:
+        obs.start_timeseries(sim, interval=1.0)
     for agent in directories.values():
         agent.join_backbone()
     sim.run(until=5.0)
@@ -406,13 +415,58 @@ def fig10_traced_run(
         document = _annotated_request_doc(workload, table, index)
         tickets.append(client.query(document))
         sim.run(until=sim.now + 5.0)
+
+    # Lifecycle episode: late join -> self-election -> handoff.  The new
+    # node hears no directory advertisements (the static backbone does not
+    # beacon), so its election call finds no rival candidates and it
+    # promotes itself; directory 1 then hands its content over.
+    late_id = directory_count + 1
+    late_node = network.add_node(late_id, Position(10.0 * late_id, 30.0))
+    late_directory: dict[str, object] = {}
+
+    def _install_late_directory() -> None:
+        agent = late_node.add_agent(SAriadneDirectoryAgent(table, forward_window=0.5))
+        agent.join_backbone()
+        late_directory["agent"] = agent
+
+    election = late_node.add_agent(
+        ElectionAgent(
+            ElectionConfig(
+                advert_interval=5.0,
+                directory_timeout=1.0,
+                check_interval=0.5,
+                reply_window=0.5,
+            ),
+            directory_capable=True,
+            on_promoted=_install_late_directory,
+        )
+    )
+    election.on_start()  # the network already started; wire the agent in
+    sim.run(until=sim.now + 4.0)
+    handed_off = False
+    if election.is_directory and 1 in directories:
+        handed_off = directories[1].hand_off_to(late_id)
+        sim.run(until=sim.now + 2.0)
+
+    # One more backbone query after the episode, so the timeline shows
+    # post-handoff load in its trailing windows.
+    final_ticket = client.query(_annotated_request_doc(workload, table, 0))
+    tickets.append(final_ticket)
+    sim.run(until=sim.now + 5.0)
+
     for directory in directories.values():
         directory.directory.export_metrics()
+    if late_directory:
+        late_directory["agent"].directory.export_metrics()
+    if obs.timeseries is not None:
+        obs.timeseries.finalize()
     obs.flush()
     return {
         "issued": len(tickets),
         "answered": sum(1 for t in tickets if t in client.responses),
         "trace_ids": [f"q0.{t.query_id}" for t in tickets if t],
+        "late_directory": late_id if election.is_directory else None,
+        "handed_off": handed_off,
     }
 
 

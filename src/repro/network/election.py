@@ -122,6 +122,16 @@ class ElectionAgent(ProtocolAgent):
 
     def _initiate_election(self) -> None:
         election_id = next(_election_ids)
+        # Deliberately no election_id attr: ids come from a process-global
+        # counter, and lifecycle events must be deterministic per seeded
+        # run (the trace-determinism test compares their signatures).
+        if self.obs.enabled:
+            self.obs.lifecycle(
+                "election.initiated",
+                sim_time=self.node.network.sim.now,
+                node=self.node.node_id,
+                cause="directory_silence",
+            )
         self._initiated.add(election_id)
         self._pending_replies[election_id] = []
         # The initiator is its own first candidate.
@@ -142,14 +152,21 @@ class ElectionAgent(ProtocolAgent):
             return  # nobody can serve; a later check will retry
         winner = max(replies, key=lambda r: (r.fitness, -r.candidate))
         if winner.candidate == self.node.node_id:
-            self._promote()
+            self._promote(cause="self_elected")
         else:
             self.node.unicast(winner.candidate, Appointment(winner.candidate, election_id))
 
-    def _promote(self) -> None:
+    def _promote(self, cause: str = "appointed") -> None:
         if self.is_directory:
             return
         self.node.network.record(self.node.node_id, "promote", "became directory")
+        if self.obs.enabled:
+            self.obs.lifecycle(
+                "election.promoted",
+                sim_time=self.node.network.sim.now,
+                node=self.node.node_id,
+                cause=cause,
+            )
         self.is_directory = True
         self.current_directory = self.node.node_id
         config = self.config
@@ -159,10 +176,17 @@ class ElectionAgent(ProtocolAgent):
         if self.on_promoted is not None:
             self.on_promoted()
 
-    def step_down(self) -> None:
+    def step_down(self, cause: str = "resignation") -> None:
         """Stop acting as a directory (e.g. battery exhausted, departing)."""
         if not self.is_directory:
             return
+        if self.obs.enabled:
+            self.obs.lifecycle(
+                "election.resigned",
+                sim_time=self.node.network.sim.now,
+                node=self.node.node_id,
+                cause=cause,
+            )
         self.is_directory = False
         if self._stop_advertising is not None:
             self._stop_advertising()

@@ -204,6 +204,10 @@ class Network:
         node.network = self
         self.nodes[node_id] = node
         self.routes.invalidate()
+        if self._started and self.obs.enabled:
+            self.obs.lifecycle(
+                "churn.join", sim_time=self.sim.now, node=node_id, cause="late_join"
+            )
         return node
 
     def start(self) -> None:

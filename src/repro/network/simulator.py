@@ -23,18 +23,36 @@ class _QueueEntry:
 
 
 class Event:
-    """A scheduled callback; cancellable until it fires."""
+    """A scheduled callback; cancellable until it fires.
 
-    __slots__ = ("callback", "cancelled", "time")
+    A *daemon* event (``daemon=True``) never keeps the simulation alive:
+    :meth:`Simulator.run` with ``until=None`` stops once only daemon
+    events remain, so periodic bookkeeping (e.g. observability
+    time-series ticks) does not turn a drained run into an infinite loop.
+    """
 
-    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+    __slots__ = ("callback", "cancelled", "daemon", "time", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        sim: "Simulator | None" = None,
+    ) -> None:
         self.time = time
         self.callback = callback
+        self.daemon = daemon
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self.daemon and self._sim is not None:
+            self._sim._live -= 1
 
 
 class Simulator:
@@ -44,6 +62,9 @@ class Simulator:
         self.now = 0.0
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
+        #: Pending non-daemon, non-cancelled events — when it hits zero an
+        #: unbounded :meth:`run` stops even if daemon events remain queued.
+        self._live = 0
         self.events_processed = 0
         #: Observability hook; the null object keeps the event loop free of
         #: instrumentation cost unless a real backend is installed.
@@ -52,7 +73,7 @@ class Simulator:
         #: callbacks that would otherwise call ``run`` recursively).
         self.running = False
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+    def schedule(self, delay: float, callback: Callable[[], None], daemon: bool = False) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
         Raises:
@@ -60,17 +81,24 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        return self.schedule_at(self.now + delay, callback)
+        return self.schedule_at(self.now + delay, callback, daemon=daemon)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], daemon: bool = False
+    ) -> Event:
         """Schedule ``callback`` at an absolute simulation time.
+
+        Daemon events (``daemon=True``) do not keep an unbounded
+        :meth:`run` alive once every regular event has drained.
 
         Raises:
             ValueError: if ``time`` is in the past.
         """
         if time < self.now:
             raise ValueError(f"cannot schedule at {time}, now is {self.now}")
-        event = Event(time, callback)
+        event = Event(time, callback, daemon=daemon, sim=self)
+        if not daemon:
+            self._live += 1
         heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), event))
         return event
 
@@ -80,6 +108,7 @@ class Simulator:
         callback: Callable[[], None],
         jitter: float = 0.0,
         rng=None,
+        daemon: bool = False,
     ) -> Callable[[], None]:
         """Run ``callback`` every ``interval`` seconds (optionally jittered).
 
@@ -99,9 +128,9 @@ class Simulator:
             delay = interval
             if jitter and rng is not None:
                 delay += rng.uniform(-jitter, jitter)
-            state["event"] = self.schedule(max(1e-9, delay), fire)
+            state["event"] = self.schedule(max(1e-9, delay), fire, daemon=daemon)
 
-        state["event"] = self.schedule(interval, fire)
+        state["event"] = self.schedule(interval, fire, daemon=daemon)
 
         def cancel() -> None:
             state["stopped"] = True
@@ -128,6 +157,9 @@ class Simulator:
         try:
             processed = 0
             while self._queue:
+                if until is None and self._live == 0:
+                    # Only daemon events remain — the simulation is drained.
+                    break
                 entry = self._queue[0]
                 if until is not None and entry.time > until:
                     break
@@ -136,6 +168,11 @@ class Simulator:
                     continue
                 if processed >= max_events:
                     raise RuntimeError(f"simulation exceeded {max_events} events")
+                # Mark fired (a late cancel() is then a no-op) and release
+                # the live slot before the callback can schedule successors.
+                entry.event.cancelled = True
+                if not entry.event.daemon:
+                    self._live -= 1
                 self.now = entry.time
                 entry.event.callback()
                 processed += 1

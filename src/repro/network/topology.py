@@ -169,6 +169,11 @@ class RouteCache:
         self.stats = RouteCacheStats()
         #: Monotonic topology generation; bumps on every flush.
         self.epoch = 0
+        #: Optional callback fired with the number of dropped per-source
+        #: route tables whenever a populated cache flushes — the
+        #: observability layer hooks ``cache.invalidate`` events here.
+        #: Checked only on the (rare) invalidation branch, never per read.
+        self.on_invalidate: Callable[[int], None] | None = None
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -177,6 +182,8 @@ class RouteCache:
         """Drop every cached route (next read re-snapshots the topology)."""
         if self._adjacency is not None or self._hops:
             self.stats.invalidations += 1
+            if self.on_invalidate is not None:
+                self.on_invalidate(len(self._hops))
         self._fingerprint = None
         self._adjacency = None
         self._hops.clear()
@@ -191,6 +198,8 @@ class RouteCache:
             if self._adjacency is not None:
                 self.stats.invalidations += 1
                 self.epoch += 1
+                if self.on_invalidate is not None:
+                    self.on_invalidate(len(self._hops))
             self._adjacency = self._adjacency_fn()
             self._fingerprint = fingerprint
             self._hops.clear()

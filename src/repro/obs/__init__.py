@@ -28,9 +28,11 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.events import EventLog, LifecycleEvent
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, MetricsScope
 from repro.obs.sinks import JsonlSink, RingBufferSink
 from repro.obs.spans import Span, Tracer
+from repro.obs.timeseries import TimeSeriesRecorder
 
 __all__ = [
     "Observability",
@@ -42,6 +44,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsScope",
+    "LifecycleEvent",
+    "EventLog",
+    "TimeSeriesRecorder",
     "RingBufferSink",
     "JsonlSink",
 ]
@@ -61,14 +66,29 @@ class Observability:
 
     enabled = True
 
-    def __init__(self, sinks=(), metrics=None, tracer=None) -> None:
+    def __init__(self, sinks=(), metrics=None, tracer=None, events=None) -> None:
         self.sinks = list(sinks)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(self._emit_span)
+        self.events = events if events is not None else EventLog(self._emit_event)
+        self.timeseries: TimeSeriesRecorder | None = None
+        self._closed = False
 
     def _emit_span(self, span: Span) -> None:
         for sink in self.sinks:
             sink.emit(span)
+
+    def _emit_event(self, event: LifecycleEvent) -> None:
+        for sink in self.sinks:
+            emit_event = getattr(sink, "emit_event", None)
+            if emit_event is not None:
+                emit_event(event)
+
+    def _emit_timeseries(self, window: dict) -> None:
+        for sink in self.sinks:
+            emit_timeseries = getattr(sink, "emit_timeseries", None)
+            if emit_timeseries is not None:
+                emit_timeseries(window)
 
     # -- tracing ---------------------------------------------------------
     def span(self, name: str, **kwargs):
@@ -78,6 +98,37 @@ class Observability:
     def event(self, name: str, **kwargs) -> Span:
         """Record a zero-duration span; see :meth:`Tracer.event`."""
         return self.tracer.event(name, **kwargs)
+
+    # -- lifecycle events ------------------------------------------------
+    def lifecycle(
+        self,
+        kind: str,
+        sim_time: float | None = None,
+        node: int | None = None,
+        cause: str | None = None,
+        **attrs,
+    ) -> LifecycleEvent:
+        """Record one protocol lifecycle event; see :meth:`EventLog.record`."""
+        return self.events.record(kind, sim_time=sim_time, node=node, cause=cause, **attrs)
+
+    # -- time series -----------------------------------------------------
+    def start_timeseries(self, sim, interval: float = 1.0) -> TimeSeriesRecorder:
+        """Snapshot windowed metric deltas every ``interval`` *simulated*
+        seconds on ``sim`` (a daemon event — it never keeps a drained
+        simulation alive).  Windows flow to every
+        ``emit_timeseries``-capable sink; :meth:`close` finalizes the
+        trailing partial window.
+
+        Raises:
+            RuntimeError: if a recorder was already started.
+        """
+        if self.timeseries is not None:
+            raise RuntimeError("a time-series recorder is already running")
+        self.timeseries = TimeSeriesRecorder(
+            self.metrics, interval=interval, emit=self._emit_timeseries
+        )
+        self.timeseries.attach(sim)
+        return self.timeseries
 
     # -- metrics ---------------------------------------------------------
     def counter(self, name: str, **labels) -> Counter:
@@ -89,10 +140,15 @@ class Observability:
         return self.metrics.histogram(name, **labels)
 
     def scoped(self, **labels) -> "Observability":
-        """A view sharing this instance's tracer and sinks but stamping
-        ``labels`` on every metric it records (per-directory and
+        """A view sharing this instance's tracer, event log and sinks but
+        stamping ``labels`` on every metric it records (per-directory and
         per-simulation scopes)."""
-        return Observability(sinks=self.sinks, metrics=self.metrics.scope(**labels), tracer=self.tracer)
+        return Observability(
+            sinks=self.sinks,
+            metrics=self.metrics.scope(**labels),
+            tracer=self.tracer,
+            events=self.events,
+        )
 
     # -- lifecycle -------------------------------------------------------
     def flush(self) -> None:
@@ -104,12 +160,29 @@ class Observability:
                 emit_metrics(snapshot)
 
     def close(self) -> None:
-        """Flush metrics, then close every sink that supports it."""
+        """Finalize the time series, flush metrics, then close every sink
+        that supports it.  Idempotent: a second call is a no-op, so a
+        ``finally:``/context-manager close composes with an explicit one.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.timeseries is not None:
+            self.timeseries.finalize()
         self.flush()
         for sink in self.sinks:
             close = getattr(sink, "close", None)
             if close is not None:
                 close()
+
+    def __enter__(self) -> "Observability":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # Close even when the run raised mid-simulation: the line-buffered
+        # JSONL sinks have already flushed every finished record, and the
+        # final metrics snapshot captures the state at the failure point.
+        self.close()
 
     def __repr__(self) -> str:
         return f"Observability({len(self.sinks)} sinks, {self.metrics!r})"
@@ -143,6 +216,16 @@ class _NullSpan:
         self.attrs: dict = {}
 
 
+class _NullEventLog:
+    """Event-log stand-in: records nothing, counts nothing."""
+
+    __slots__ = ()
+    emitted = 0
+
+    def record(self, kind: str, **kwargs) -> None:
+        return None
+
+
 class _NullMetrics:
     """Registry stand-in returning the shared null series."""
 
@@ -174,10 +257,12 @@ class _NullObservability:
 
     enabled = False
     sinks: tuple = ()
+    timeseries = None
 
     def __init__(self) -> None:
         self.metrics = _NullMetrics()
         self._span = _NullSpan()
+        self.events = _NullEventLog()
 
     @contextmanager
     def span(self, name: str, **kwargs):
@@ -185,6 +270,12 @@ class _NullObservability:
 
     def event(self, name: str, **kwargs) -> _NullSpan:
         return self._span
+
+    def lifecycle(self, kind: str, **kwargs) -> None:
+        return None
+
+    def start_timeseries(self, sim, interval: float = 1.0) -> None:
+        return None
 
     def counter(self, name: str, **labels) -> _NullSeries:
         return _NULL_SERIES
@@ -201,6 +292,12 @@ class _NullObservability:
     def close(self) -> None:
         pass
 
+    def __enter__(self) -> "_NullObservability":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
     def __repr__(self) -> str:
         return "NULL_OBS"
 
@@ -212,16 +309,40 @@ NULL_OBS = _NullObservability()
 def install(obs: Observability, network) -> None:
     """Wire an observability instance through a running deployment.
 
-    Sets ``network.obs`` and ``network.sim.obs``, and points every
-    directory agent's backing :class:`~repro.core.directory.SemanticDirectory`
-    (anything exposing a ``directory`` attribute with an ``obs`` slot) at
-    the same instance, so protocol-level hop spans and directory-level
-    match spans land in one trace stream.
+    Sets ``network.obs`` and ``network.sim.obs``, wires the topology
+    route cache to emit ``cache.invalidate`` lifecycle events, and wires
+    every existing agent.  Agents wire in one of two ways:
+
+    * anything exposing ``wire_observability(obs)`` (directory agents) is
+      asked to wire itself — and because
+      :meth:`~repro.protocols.base.DirectoryAgentBase.attach` calls the
+      same hook, directories elected or installed *after* ``install()``
+      inherit the live instance too;
+    * otherwise, a ``directory`` attribute with an ``obs`` slot is
+      pointed at ``obs`` directly (legacy duck-typing),
+
+    so protocol-level hop spans and directory-level match spans land in
+    one trace stream regardless of when the directory appeared.
     """
     network.obs = obs
     network.sim.obs = obs
+    routes = getattr(network, "routes", None)
+    if routes is not None and hasattr(routes, "on_invalidate"):
+        def _route_flushed(dropped: int) -> None:
+            obs.lifecycle(
+                "cache.invalidate",
+                sim_time=network.sim.now,
+                cause="topology_changed",
+                cache="route",
+                dropped=dropped,
+            )
+        routes.on_invalidate = _route_flushed
     for node in network.nodes.values():
         for agent in node.agents:
+            wire = getattr(agent, "wire_observability", None)
+            if wire is not None:
+                wire(obs)
+                continue
             directory = getattr(agent, "directory", None)
             if directory is not None and hasattr(directory, "obs"):
                 directory.obs = obs

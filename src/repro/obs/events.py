@@ -1,0 +1,130 @@
+"""Structured protocol lifecycle events (the run-level §5 narrative).
+
+Spans answer per-query questions; lifecycle events answer *run-level*
+ones: when was each directory elected, when did summaries refresh, when
+did churn hit, when were caches flushed.  Each event carries the
+simulated clock, the acting node and a cause, so a merged timeline
+(``repro.cli obs timeline``) reconstructs the §5 evaluation narrative —
+elections, handoffs, churn, Bloom refreshes — from any instrumented run.
+
+Event kinds emitted by the stack:
+
+==========================  ===============================================
+kind                        emitted when
+==========================  ===============================================
+``election.initiated``      a node starts a §4 directory election
+``election.promoted``       a node becomes a directory (self-elected or
+                            appointed)
+``election.resigned``       a directory steps down (battery, departure)
+``handoff.start``           a directory begins transferring its cached
+                            advertisements to a successor
+``handoff.finish``          the transfer concluded (``accepted`` says how)
+``churn.join``              a node joined a running network
+``churn.leave``             a node left/crashed (no handoff)
+``summary.refresh``         a directory pushed fresh Bloom summaries
+``summary.refresh_requested``  a peer's summary looked stale (§4 reactive
+                            exchange) and a fresh one was requested
+``cache.invalidate``        the route cache (``cache="route"``) or a
+                            request cache (``cache="request"``) flushed
+==========================  ===============================================
+
+Events flow through the same sink abstraction as spans: sinks implement
+``emit_event(event)`` (:class:`~repro.obs.sinks.JsonlSink` writes
+``{"type": "event", ...}`` records; :class:`~repro.obs.sinks.RingBufferSink`
+keeps the most recent ones).  Like spans, events carry a monotonic ``seq``
+and no wall clock, so :meth:`LifecycleEvent.signature` is deterministic
+per seeded run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LifecycleEvent:
+    """One protocol lifecycle fact.
+
+    Args:
+        kind: dotted event name (``election.promoted``, ``churn.join``…).
+        seq: log-wide monotonic sequence number (deterministic order).
+        sim_time: simulated clock when it happened (None outside a run).
+        node: acting node id (None for network-wide events).
+        cause: why it happened (``content_changed``, ``crash``…).
+        attrs: free-form details (successor id, document counts, flags).
+    """
+
+    kind: str
+    seq: int
+    sim_time: float | None = None
+    node: int | None = None
+    cause: str | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the JSONL ``event`` record body)."""
+        return {
+            "kind": self.kind,
+            "seq": self.seq,
+            "sim_time": self.sim_time,
+            "node": self.node,
+            "cause": self.cause,
+            "attrs": dict(self.attrs),
+        }
+
+    def signature(self) -> tuple:
+        """Hashable identity — everything is simulation-deterministic."""
+        return (
+            self.kind,
+            self.seq,
+            self.sim_time,
+            self.node,
+            self.cause,
+            tuple(sorted((key, repr(value)) for key, value in self.attrs.items())),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LifecycleEvent({self.kind!r}, t={self.sim_time}, node={self.node}, "
+            f"cause={self.cause})"
+        )
+
+
+class EventLog:
+    """Mints :class:`LifecycleEvent` records and hands them to ``emit``.
+
+    Args:
+        emit: callback receiving each event (sink fan-out).
+    """
+
+    def __init__(self, emit: Callable[[LifecycleEvent], None] | None = None) -> None:
+        self._seq = itertools.count(1)
+        self._emit = emit
+        self.emitted = 0
+
+    def record(
+        self,
+        kind: str,
+        sim_time: float | None = None,
+        node: int | None = None,
+        cause: str | None = None,
+        **attrs,
+    ) -> LifecycleEvent:
+        """Record one lifecycle event and fan it out to the sinks."""
+        event = LifecycleEvent(
+            kind=kind,
+            seq=next(self._seq),
+            sim_time=sim_time,
+            node=node,
+            cause=cause,
+            attrs=attrs,
+        )
+        self.emitted += 1
+        if self._emit is not None:
+            self._emit(event)
+        return event
+
+    def __repr__(self) -> str:
+        return f"EventLog({self.emitted} events)"

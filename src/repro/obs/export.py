@@ -1,0 +1,353 @@
+"""Exporters and run comparison: metrics out, regressions caught.
+
+Three concerns live here:
+
+* **exposition** — a metrics snapshot (the list-of-dicts form of
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`) rendered as
+  OpenMetrics/Prometheus text (:func:`to_openmetrics`) or CSV
+  (:func:`metrics_to_csv`, :func:`timeseries_to_csv`), so runs plug into
+  standard dashboards and spreadsheets without bespoke parsing;
+* **provenance** — :func:`run_manifest` fingerprints a run (git SHA,
+  interpreter, platform, benchmark config) and is attached to every
+  ``BENCH_*.json`` the harness writes, so a result file alone says where
+  it came from;
+* **comparison** — :func:`diff_runs` puts two benchmark result sets side
+  by side, and :func:`check_regressions` gates fresh results against
+  committed baselines with per-benchmark/per-metric tolerances (the
+  ``repro.cli obs regress`` CI job).
+
+Tolerances are ratios: with ``tolerance = 0.5`` and direction ``lower``
+(lower is better — the default; every shipped benchmark reports times), a
+candidate regresses when it exceeds ``baseline * 1.5``.  Direction
+``higher`` (throughput-style metrics) flags ``candidate < baseline / 1.5``.
+Wall-clock benchmarks vary across machines, so shipped tolerances are
+deliberately loose — the gate catches order-of-magnitude breakage, not
+single-digit noise.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+#: Ratio applied when a benchmark/metric has no explicit tolerance.
+DEFAULT_TOLERANCE = 3.0
+
+
+# ---------------------------------------------------------------------------
+# Exposition
+# ---------------------------------------------------------------------------
+def _metric_name(name: str) -> str:
+    """A Prometheus-legal metric name (dots and dashes become underscores)."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _label_block(labels: dict, extra: dict | None = None) -> str:
+    merged = {**{str(k): v for k, v in labels.items()}, **(extra or {})}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_metric_name(key)}="{value}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def to_openmetrics(snapshot: list[dict]) -> str:
+    """Render a metrics snapshot in OpenMetrics text exposition format.
+
+    Counters become ``<name>_total`` samples; histograms become summaries
+    (``quantile`` series plus ``_count``/``_sum``).  Output order follows
+    the snapshot (already deterministic), grouped per metric name, and
+    ends with the mandatory ``# EOF`` marker.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for record in snapshot:
+        name = _metric_name(record["name"])
+        labels = record["labels"]
+        if record["type"] == "counter":
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total{_label_block(labels)} {_format_value(record['value'])}")
+        else:
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} summary")
+            for quantile in ("p50", "p95", "p99"):
+                if record.get(quantile) is None:
+                    continue
+                q = {"p50": "0.5", "p95": "0.95", "p99": "0.99"}[quantile]
+                lines.append(
+                    f"{name}{_label_block(labels, {'quantile': q})} "
+                    f"{_format_value(record[quantile])}"
+                )
+            lines.append(f"{name}_count{_label_block(labels)} {record['count']}")
+            lines.append(f"{name}_sum{_label_block(labels)} {_format_value(record['total'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+#: Column order of :func:`metrics_to_csv`.
+METRICS_CSV_COLUMNS = (
+    "name", "labels", "type", "value",
+    "count", "total", "mean", "min", "max", "p50", "p95", "p99",
+)
+
+
+def metrics_to_csv(snapshot: list[dict]) -> str:
+    """Render a metrics snapshot as CSV (one row per series).
+
+    Labels are serialized as compact JSON in one column so the row count
+    equals the series count regardless of label cardinality.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(METRICS_CSV_COLUMNS)
+    for record in snapshot:
+        writer.writerow(
+            [
+                record["name"],
+                json.dumps(record["labels"], sort_keys=True),
+                record["type"],
+            ]
+            + [record.get(column, "") for column in METRICS_CSV_COLUMNS[3:]]
+        )
+    return out.getvalue()
+
+
+#: Column order of :func:`timeseries_to_csv`.
+TIMESERIES_CSV_COLUMNS = (
+    "window", "t_start", "t_end", "name", "labels", "type",
+    "delta", "value", "delta_count", "delta_total", "mean",
+)
+
+
+def timeseries_to_csv(windows: list[dict]) -> str:
+    """Flatten time-series windows to CSV (one row per moved series per
+    window) — the spreadsheet-friendly view of a run's trajectory."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(TIMESERIES_CSV_COLUMNS)
+    for window in windows:
+        for delta in window["deltas"]:
+            writer.writerow(
+                [
+                    window["window"],
+                    window["t_start"],
+                    window["t_end"],
+                    delta["name"],
+                    json.dumps(delta["labels"], sort_keys=True),
+                    delta["type"],
+                ]
+                + [delta.get(column, "") for column in TIMESERIES_CSV_COLUMNS[6:]]
+            )
+    return out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Provenance
+# ---------------------------------------------------------------------------
+def _git_describe() -> tuple[str | None, bool | None]:
+    """(HEAD SHA, dirty flag) of the repo containing this file, or Nones
+    when git is unavailable (tarball installs, stripped CI checkouts)."""
+    root = pathlib.Path(__file__).resolve().parent
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+        if sha.returncode != 0:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return sha.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+
+
+def run_manifest(config: dict | None = None) -> dict:
+    """Provenance fingerprint attached to every ``BENCH_*.json``.
+
+    Captures the git SHA (and whether the tree was dirty), the
+    interpreter, the platform, the benchmark's own config (seeds, sizes,
+    repeats) and a wall-clock stamp — enough to answer "where did this
+    number come from" from the result file alone.
+    """
+    sha, dirty = _git_describe()
+    return {
+        "schema": 1,
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "config": config or {},
+        "created_unix": int(time.time()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Benchmark result loading
+# ---------------------------------------------------------------------------
+def load_bench_file(path) -> tuple[str, dict[str, float]]:
+    """(benchmark name, {metric: value}) from one ``BENCH_*.json``.
+
+    Non-numeric metric values are skipped — only numbers can be gated.
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    metrics = {
+        entry["name"]: float(entry["value"])
+        for entry in payload.get("metrics", [])
+        if isinstance(entry.get("value"), (int, float)) and not isinstance(entry["value"], bool)
+    }
+    return payload.get("benchmark", pathlib.Path(path).stem), metrics
+
+
+def load_bench_dir(directory) -> dict[str, dict[str, float]]:
+    """All ``BENCH_*.json`` files under ``directory`` as
+    ``{benchmark: {metric: value}}`` (empty when none exist)."""
+    results: dict[str, dict[str, float]] = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        name, metrics = load_bench_file(path)
+        results[name] = metrics
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+def diff_runs(
+    baseline: dict[str, dict[str, float]],
+    candidate: dict[str, dict[str, float]],
+    threshold: float = 0.1,
+) -> list[dict]:
+    """Side-by-side metric comparison of two result sets.
+
+    Returns one row per metric present in either set, with the relative
+    change and a ``flag`` when it exceeds ``threshold`` (a ratio: 0.1 =
+    10 %).  Metrics missing on one side are rows with ``change = None``.
+    """
+    rows: list[dict] = []
+    for bench in sorted(set(baseline) | set(candidate)):
+        base_metrics = baseline.get(bench, {})
+        cand_metrics = candidate.get(bench, {})
+        for metric in sorted(set(base_metrics) | set(cand_metrics)):
+            before = base_metrics.get(metric)
+            after = cand_metrics.get(metric)
+            change: float | None = None
+            if before is not None and after is not None and before != 0:
+                change = (after - before) / abs(before)
+            rows.append(
+                {
+                    "benchmark": bench,
+                    "metric": metric,
+                    "baseline": before,
+                    "candidate": after,
+                    "change": change,
+                    "flag": change is not None and abs(change) > threshold,
+                }
+            )
+    return rows
+
+
+def _tolerance_for(config: dict, bench: str, metric: str) -> tuple[float, str]:
+    """(tolerance ratio, direction) for one metric from a tolerance config.
+
+    Resolution order: metric override → benchmark override → config
+    default → :data:`DEFAULT_TOLERANCE` with direction ``lower``.
+    """
+    default = config.get("default", {})
+    tolerance = default.get("tolerance", DEFAULT_TOLERANCE)
+    direction = default.get("direction", "lower")
+    bench_cfg = config.get("benchmarks", {}).get(bench, {})
+    tolerance = bench_cfg.get("tolerance", tolerance)
+    direction = bench_cfg.get("direction", direction)
+    metric_cfg = bench_cfg.get("metrics", {}).get(metric, {})
+    tolerance = metric_cfg.get("tolerance", tolerance)
+    direction = metric_cfg.get("direction", direction)
+    return float(tolerance), direction
+
+
+def check_regressions(
+    baseline: dict[str, dict[str, float]],
+    candidate: dict[str, dict[str, float]],
+    config: dict | None = None,
+) -> list[dict]:
+    """Gate candidate results against baselines.
+
+    Only benchmarks/metrics present in *both* sets are gated (CI smoke
+    runs produce a subset of the full suite; absent results are listed as
+    ``skipped`` rather than failed).  Returns one finding per compared
+    metric with ``status`` in ``{"ok", "regressed", "skipped"}`` — the
+    caller fails when any finding regressed.
+    """
+    config = config or {}
+    findings: list[dict] = []
+    for bench in sorted(set(baseline) | set(candidate)):
+        if bench not in baseline or bench not in candidate:
+            findings.append(
+                {
+                    "benchmark": bench,
+                    "metric": "*",
+                    "status": "skipped",
+                    "reason": "baseline missing" if bench not in baseline else "candidate missing",
+                }
+            )
+            continue
+        for metric in sorted(set(baseline[bench]) | set(candidate[bench])):
+            before = baseline[bench].get(metric)
+            after = candidate[bench].get(metric)
+            if before is None or after is None:
+                findings.append(
+                    {
+                        "benchmark": bench,
+                        "metric": metric,
+                        "status": "skipped",
+                        "reason": "baseline missing" if before is None else "candidate missing",
+                    }
+                )
+                continue
+            tolerance, direction = _tolerance_for(config, bench, metric)
+            if direction == "higher":
+                limit = before / (1.0 + tolerance) if before else 0.0
+                regressed = after < limit
+            else:
+                limit = before * (1.0 + tolerance)
+                regressed = after > limit
+            findings.append(
+                {
+                    "benchmark": bench,
+                    "metric": metric,
+                    "status": "regressed" if regressed else "ok",
+                    "baseline": before,
+                    "candidate": after,
+                    "limit": limit,
+                    "tolerance": tolerance,
+                    "direction": direction,
+                }
+            )
+    return findings

@@ -13,6 +13,18 @@ registry through :meth:`MetricsRegistry.snapshot`.
 
 from __future__ import annotations
 
+import math
+from collections import deque
+
+#: Observations kept per histogram for quantile estimation.  Quantiles are
+#: nearest-rank over the most recent window — deterministic (no sampling
+#: RNG) and bounded; ``count``/``total``/``min``/``max`` remain exact over
+#: the full lifetime.
+QUANTILE_WINDOW = 4096
+
+#: The quantiles every histogram snapshot reports.
+QUANTILES = (0.5, 0.95, 0.99)
+
 
 class Counter:
     """A monotonic (or settable) integer series."""
@@ -32,14 +44,25 @@ class Counter:
         """Overwrite the value (mirroring an externally kept counter)."""
         self.value = value
 
+    def snapshot(self) -> dict:
+        """This series as a JSON-serializable record."""
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "type": "counter",
+            "value": self.value,
+        }
+
     def __repr__(self) -> str:
         return f"Counter({self.name}{dict(self.labels)}={self.value})"
 
 
 class Histogram:
-    """A streaming summary: count / total / min / max of observations."""
+    """A streaming summary: count / total / min / max of observations,
+    plus nearest-rank p50/p95/p99 over the most recent
+    :data:`QUANTILE_WINDOW` observations."""
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max")
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_values")
 
     def __init__(self, name: str, labels: tuple) -> None:
         self.name = name
@@ -48,6 +71,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._values: deque[float] = deque(maxlen=QUANTILE_WINDOW)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -57,11 +81,47 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._values.append(value)
 
     @property
     def mean(self) -> float:
         """Average observation (0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Nearest-rank quantile over the retained window (None when empty).
+
+        Raises:
+            ValueError: if ``q`` is outside ``(0, 1]``.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if not self._values:
+            return None
+        ordered = sorted(self._values)
+        rank = math.ceil(q * len(ordered)) - 1
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        """This series as a JSON-serializable record (with quantiles)."""
+        record = {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+        ordered = sorted(self._values)
+        for q in QUANTILES:
+            key = f"p{int(q * 100)}"
+            if ordered:
+                record[key] = ordered[math.ceil(q * len(ordered)) - 1]
+            else:
+                record[key] = None
+        return record
 
     def __repr__(self) -> str:
         return (
@@ -118,23 +178,7 @@ class MetricsRegistry:
     def snapshot(self) -> list[dict]:
         """All series as JSON-serializable records, deterministically
         ordered by (name, labels)."""
-        records = []
-        for (name, labels), series in sorted(self._series.items()):
-            record = {"name": name, "labels": dict(labels)}
-            if isinstance(series, Counter):
-                record["type"] = "counter"
-                record["value"] = series.value
-            else:
-                record["type"] = "histogram"
-                record.update(
-                    count=series.count,
-                    total=series.total,
-                    mean=series.mean,
-                    min=series.min if series.count else None,
-                    max=series.max if series.count else None,
-                )
-            records.append(record)
-        return records
+        return [series.snapshot() for _key, series in sorted(self._series.items())]
 
     def __repr__(self) -> str:
         return f"MetricsRegistry({len(self._series)} series)"
@@ -146,6 +190,12 @@ class MetricsScope:
     Scopes nest (``registry.scope(sim=1).scope(node=3)``) and merely merge
     label dicts — the underlying series live in the parent registry, so a
     per-simulation snapshot still sees every per-directory series.
+
+    Label collisions resolve innermost-wins: a label passed at the call
+    site overrides the same label bound by the scope, and a nested scope
+    overrides its parent — ``scope(node=1).counter("x", node=2)`` is the
+    ``node=2`` series.  Instrumented code can therefore always pin the
+    label it knows best without worrying what the enclosing scope bound.
     """
 
     def __init__(self, registry: MetricsRegistry, labels: dict) -> None:

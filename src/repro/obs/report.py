@@ -6,6 +6,12 @@ Span records are grouped by ``trace_id`` (one group per logical query,
 spanning every forwarding hop), ordered by ``(sim_time, seq)``, and
 printed as an indented timeline; the final ``metrics`` record becomes a
 per-node / per-directory table.
+
+``repro.cli obs timeline`` uses the richer :func:`load_run` /
+:func:`render_timeline` pair: lifecycle events and windowed metric deltas
+merged onto one simulated-clock axis — the run-level §5 narrative
+(elections, handoffs, summary refreshes, cache flushes) with the load
+curve between them.
 """
 
 from __future__ import annotations
@@ -20,8 +26,19 @@ def load_trace(path) -> tuple[list[dict], list[dict]]:
         ``(spans, metrics)`` — the span records in file order and the
         series of the *last* metrics snapshot (empty if none was written).
     """
-    spans: list[dict] = []
-    metrics: list[dict] = []
+    run = load_run(path)
+    return run["spans"], run["metrics"]
+
+
+def load_run(path) -> dict:
+    """Read every record type from a JSONL telemetry file.
+
+    Returns a dict with ``spans`` (file order), ``events`` (lifecycle
+    records, file order), ``timeseries`` (window records, file order) and
+    ``metrics`` (the series of the *last* metrics snapshot; empty when
+    none was written).
+    """
+    run: dict = {"spans": [], "events": [], "timeseries": [], "metrics": []}
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -30,10 +47,14 @@ def load_trace(path) -> tuple[list[dict], list[dict]]:
             record = json.loads(line)
             kind = record.get("type")
             if kind == "span":
-                spans.append(record)
+                run["spans"].append(record)
+            elif kind == "event":
+                run["events"].append(record)
+            elif kind == "timeseries":
+                run["timeseries"].append(record)
             elif kind == "metrics":
-                metrics = record.get("metrics", [])
-    return spans, metrics
+                run["metrics"] = record.get("metrics", [])
+    return run
 
 
 def strip_timestamps(record: dict) -> dict:
@@ -108,15 +129,98 @@ def render_trace_report(spans: list[dict], metrics: list[dict]) -> str:
 
     if metrics:
         lines.append("metrics")
-        name_width = max(len(record["name"]) for record in metrics)
-        for record in metrics:
-            labels = _format_attrs(record.get("labels", {}))
-            if record.get("type") == "counter":
-                value = str(record.get("value", 0))
-            else:
-                mean = record.get("mean", 0.0)
-                value = f"n={record.get('count', 0)} mean={mean:.4g}"
-            lines.append(f"  {record['name']:<{name_width}}  {value:<18} {labels}")
+        lines.extend(_metric_table_lines(metrics))
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def _metric_table_lines(metrics: list[dict]) -> list[str]:
+    """Per-series table rows: counters show the value, histograms show
+    count/mean plus the p50/p95/p99 quantiles when present."""
+    lines: list[str] = []
+    name_width = max(len(record["name"]) for record in metrics)
+    for record in metrics:
+        labels = _format_attrs(record.get("labels", {}))
+        if record.get("type") == "counter":
+            value = str(record.get("value", 0))
+        else:
+            mean = record.get("mean", 0.0)
+            value = f"n={record.get('count', 0)} mean={mean:.4g}"
+            quantiles = " ".join(
+                f"{key}={record[key]:.4g}"
+                for key in ("p50", "p95", "p99")
+                if record.get(key) is not None
+            )
+            if quantiles:
+                value = f"{value} {quantiles}"
+        lines.append(f"  {record['name']:<{name_width}}  {value:<18} {labels}")
+    return lines
+
+
+def render_timeline(run: dict) -> str:
+    """Merged run timeline: lifecycle events and time-series windows on
+    one simulated-clock axis, then the final metric table.
+
+    Events sort by ``(sim_time, seq)`` (clock-less events first); each
+    window prints its boundary and the series that moved inside it.
+    """
+    events = run.get("events", [])
+    windows = run.get("timeseries", [])
+    metrics = run.get("metrics", [])
+    lines: list[str] = [
+        f"run timeline: {len(events)} lifecycle events, "
+        f"{len(windows)} metric windows, {len(run.get('spans', []))} spans"
+    ]
+    lines.append("")
+
+    entries: list[tuple] = []
+    for event in events:
+        sim_time = event.get("sim_time")
+        entries.append(
+            ((sim_time if sim_time is not None else -1.0, 0, event.get("seq", 0)), "event", event)
+        )
+    for window in windows:
+        # Windows sort by end time, after events at the same instant.
+        entries.append(((window.get("t_end", 0.0), 1, window.get("window", 0)), "window", window))
+    entries.sort(key=lambda entry: entry[0])
+
+    for _key, kind, record in entries:
+        if kind == "event":
+            sim_time = record.get("sim_time")
+            clock = f"{sim_time:9.4f}s" if sim_time is not None else " " * 10
+            parts = [record.get("kind", "?")]
+            if record.get("node") is not None:
+                parts.append(f"node={record['node']}")
+            if record.get("cause"):
+                parts.append(f"cause={record['cause']}")
+            attrs = _format_attrs(record.get("attrs", {}))
+            if attrs:
+                parts.append(attrs)
+            lines.append(f"  {clock}  {' '.join(parts)}")
+        else:
+            start, end = record.get("t_start", 0.0), record.get("t_end", 0.0)
+            deltas = record.get("deltas", [])
+            lines.append(
+                f"  {end:9.4f}s  -- window {record.get('window')} "
+                f"[{start:.4f}s..{end:.4f}s] {len(deltas)} series moved --"
+            )
+            for delta in deltas:
+                labels = _format_attrs(delta.get("labels", {}))
+                labels = f" {labels}" if labels else ""
+                if delta.get("type") == "counter":
+                    movement = f"+{delta.get('delta')} (={delta.get('value')})"
+                else:
+                    movement = (
+                        f"+{delta.get('delta_count')} obs "
+                        f"mean={delta.get('mean', 0.0):.4g}"
+                    )
+                lines.append(f"              . {delta['name']}{labels} {movement}")
+    lines.append("")
+
+    if metrics:
+        lines.append("final metrics")
+        lines.extend(_metric_table_lines(metrics))
         lines.append("")
 
     return "\n".join(lines)

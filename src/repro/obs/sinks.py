@@ -1,20 +1,27 @@
-"""Span/metric sinks: where finished traces go.
+"""Span/metric/event/time-series sinks: where telemetry goes.
 
 Two zero-dependency sinks:
 
-* :class:`RingBufferSink` keeps the last N finished root spans in memory —
-  what tests and interactive sessions use;
-* :class:`JsonlSink` appends one JSON record per finished root span (and,
-  on flush, one ``metrics`` record) to a file — what the traced benchmark
-  modes write and what ``repro.cli trace-report`` reads back.
+* :class:`RingBufferSink` keeps the last N finished root spans (plus
+  lifecycle events, time-series windows and the latest metrics snapshot)
+  in memory — what tests and interactive sessions use;
+* :class:`JsonlSink` appends one JSON record per telemetry item to a
+  file — what the traced benchmark modes write and what
+  ``repro.cli trace-report`` / ``repro.cli obs timeline`` read back.
 
 The JSONL format is line-oriented on purpose: a crashed run still leaves a
-readable prefix, and grouping/filters are one ``json.loads`` per line.
+readable prefix (the file is line-buffered, so every finished record is
+flushed to disk as it is written), and grouping/filters are one
+``json.loads`` per line.
 
 Record shapes::
 
     {"type": "span", "name": ..., "seq": ..., "trace_id": ..., "sim_time": ...,
      "attrs": {...}, "duration_us": ..., "children": [...]}
+    {"type": "event", "kind": ..., "seq": ..., "sim_time": ..., "node": ...,
+     "cause": ..., "attrs": {...}}
+    {"type": "timeseries", "window": ..., "t_start": ..., "t_end": ...,
+     "deltas": [...]}
     {"type": "metrics", "metrics": [{"name": ..., "labels": {...}, ...}, ...]}
 """
 
@@ -23,23 +30,35 @@ from __future__ import annotations
 import json
 from collections import deque
 
+from repro.obs.events import LifecycleEvent
 from repro.obs.spans import Span
 
 
 class RingBufferSink:
-    """Keeps the most recent finished root spans (and metric snapshots).
+    """Keeps the most recent telemetry in memory.
 
     Args:
-        capacity: root spans retained; older ones are dropped silently.
+        capacity: root spans (and, separately, lifecycle events) retained;
+            older ones are dropped silently.
     """
 
     def __init__(self, capacity: int = 4096) -> None:
         self.spans: deque[Span] = deque(maxlen=capacity)
+        self.events: deque[LifecycleEvent] = deque(maxlen=capacity)
+        self.timeseries: list[dict] = []
         self.metrics: list[dict] | None = None
 
     def emit(self, span: Span) -> None:
         """Record one finished root span."""
         self.spans.append(span)
+
+    def emit_event(self, event: LifecycleEvent) -> None:
+        """Record one lifecycle event."""
+        self.events.append(event)
+
+    def emit_timeseries(self, window: dict) -> None:
+        """Record one finished time-series window."""
+        self.timeseries.append(window)
 
     def emit_metrics(self, snapshot: list[dict]) -> None:
         """Record the latest metrics snapshot (replaces the previous)."""
@@ -49,28 +68,42 @@ class RingBufferSink:
         """No-op (memory sink)."""
 
     def __repr__(self) -> str:
-        return f"RingBufferSink({len(self.spans)} spans)"
+        return (
+            f"RingBufferSink({len(self.spans)} spans, {len(self.events)} events, "
+            f"{len(self.timeseries)} windows)"
+        )
 
 
 class JsonlSink:
-    """Streams spans (and metric snapshots) to a JSON-lines file.
+    """Streams telemetry records to a JSON-lines file.
 
     Args:
         path: output file; opened lazily on the first record.
         timestamps: include wall-clock durations in span records.  The
             deterministic projection (``timestamps=False``) is what the
             trace-determinism test diffs across runs.
+
+    The file is opened line-buffered, so every record reaches the OS as
+    soon as it is written — a run that raises mid-simulation leaves a
+    readable prefix even if :meth:`close` is never called.  Writing after
+    :meth:`close` reopens the file in append mode (nothing already
+    flushed is lost).
     """
 
     def __init__(self, path, timestamps: bool = True) -> None:
         self.path = path
         self.timestamps = timestamps
         self._file = None
+        self._opened = False
         self.records_written = 0
 
     def _write(self, record: dict) -> None:
         if self._file is None:
-            self._file = open(self.path, "w", encoding="utf-8")
+            # First open truncates; a reopen after close() appends so a
+            # late flush cannot wipe what an earlier phase already wrote.
+            mode = "a" if self._opened else "w"
+            self._file = open(self.path, mode, encoding="utf-8", buffering=1)
+            self._opened = True
         self._file.write(json.dumps(record, sort_keys=True) + "\n")
         self.records_written += 1
 
@@ -78,9 +111,22 @@ class JsonlSink:
         """Append one finished root span."""
         self._write({"type": "span", **span.to_dict(timestamps=self.timestamps)})
 
+    def emit_event(self, event: LifecycleEvent) -> None:
+        """Append one lifecycle event."""
+        self._write({"type": "event", **event.to_dict()})
+
+    def emit_timeseries(self, window: dict) -> None:
+        """Append one finished time-series window."""
+        self._write({"type": "timeseries", **window})
+
     def emit_metrics(self, snapshot: list[dict]) -> None:
         """Append a metrics snapshot record."""
         self._write({"type": "metrics", "metrics": snapshot})
+
+    def flush(self) -> None:
+        """Force buffered records to disk (no-op when nothing is open)."""
+        if self._file is not None:
+            self._file.flush()
 
     def close(self) -> None:
         """Flush and close the file (idempotent)."""

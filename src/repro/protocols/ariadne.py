@@ -39,6 +39,8 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
         return [(description.uri, description.port_type, 0) for description in hits]
 
     def build_summary(self) -> BloomFilter:
+        if self.obs.enabled:
+            self.obs.counter("dir.summary_builds", node=self.node.node_id).inc()
         bloom = BloomFilter(self.summary_bits, self.summary_hashes)
         for description in self.registry.descriptions():
             for keyword in description.keywords:

@@ -170,6 +170,46 @@ class DirectoryAgentBase(ProtocolAgent):
         self.wire_fallbacks = 0
 
     # ------------------------------------------------------------------
+    # Observability wiring
+    # ------------------------------------------------------------------
+    def attach(self, node) -> None:
+        """Bind to the node and, when the network already carries a live
+        observability instance, wire it immediately — directories elected
+        or installed *after* ``repro.obs.install()`` ran (election
+        promotions, handoffs, churn recovery) inherit it this way instead
+        of silently tracing into the null object."""
+        super().attach(node)
+        obs = self.obs
+        if obs.enabled:
+            self.wire_observability(obs)
+
+    def wire_observability(self, obs) -> None:
+        """Point this directory's backing store and caches at ``obs``.
+
+        Called by ``repro.obs.install()`` for existing agents and by
+        :meth:`attach` for agents added later.  Wires the backing
+        :class:`~repro.core.directory.SemanticDirectory` (when the
+        protocol has one) and hooks the request cache so §3.2 re-encoding
+        flushes surface as ``cache.invalidate`` lifecycle events.
+        """
+        directory = getattr(self, "directory", None)
+        if directory is not None and hasattr(directory, "obs"):
+            directory.obs = obs
+
+        def _request_cache_flushed(dropped: int) -> None:
+            node = self.node
+            obs.lifecycle(
+                "cache.invalidate",
+                sim_time=node.network.sim.now if node is not None and node.network else None,
+                node=node.node_id if node is not None else None,
+                cause="codes_reencoded",
+                cache="request",
+                dropped=dropped,
+            )
+
+        self.request_cache.on_invalidate = _request_cache_flushed
+
+    # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------
     def local_publish(self, document: str) -> str:
@@ -329,9 +369,18 @@ class DirectoryAgentBase(ProtocolAgent):
             ),
         )
 
-    def broadcast_summary(self) -> None:
+    def broadcast_summary(self, cause: str = "manual") -> None:
         """Push a fresh summary to every known peer (e.g. after churn)."""
-        for peer_id in sorted(self.known_peers):
+        peers = sorted(self.known_peers)
+        if peers and self.obs.enabled:
+            self.obs.lifecycle(
+                "summary.refresh",
+                sim_time=self.node.network.sim.now,
+                node=self.node.node_id,
+                cause=cause,
+                peers=len(peers),
+            )
+        for peer_id in peers:
             self._send_summary_to(peer_id)
 
     def _mark_content_changed(self) -> None:
@@ -343,7 +392,7 @@ class DirectoryAgentBase(ProtocolAgent):
 
         def flush() -> None:
             self._summary_flush_scheduled = False
-            self.broadcast_summary()
+            self.broadcast_summary(cause="content_changed")
 
         self.node.network.sim.schedule(self.summary_push_delay, flush)
 
@@ -398,6 +447,16 @@ class DirectoryAgentBase(ProtocolAgent):
             self._peer_forwarded[peer_id] = 0
             self._peer_empty[peer_id] = 0
             self.summary_refreshes_requested += 1
+            if self.obs.enabled:
+                self.obs.lifecycle(
+                    "summary.refresh_requested",
+                    sim_time=self.node.network.sim.now,
+                    node=self.node.node_id,
+                    cause="false_positive_rate",
+                    peer=peer_id,
+                    empty=empty,
+                    forwarded=forwarded,
+                )
             self.node.unicast(peer_id, SummaryRequest(requester_directory=self.node.node_id))
 
     # ------------------------------------------------------------------
@@ -411,7 +470,17 @@ class DirectoryAgentBase(ProtocolAgent):
         """Transfer all cached advertisements to a successor directory and
         empty this one.  Returns False when the successor is unreachable
         (state is then kept)."""
+        obs = self.obs
         documents = tuple(self._documents_by_service.values())
+        if obs.enabled:
+            obs.lifecycle(
+                "handoff.start",
+                sim_time=self.node.network.sim.now,
+                node=self.node.node_id,
+                cause="resignation",
+                successor=successor_id,
+                documents=len(documents),
+            )
         accepted = self.node.unicast(
             successor_id, DirectoryHandoff(documents=documents, from_directory=self.node.node_id)
         )
@@ -420,6 +489,15 @@ class DirectoryAgentBase(ProtocolAgent):
                 self.local_withdraw(service_uri)
             self._documents_by_service.clear()
             self._mark_content_changed()
+        if obs.enabled:
+            obs.lifecycle(
+                "handoff.finish",
+                sim_time=self.node.network.sim.now,
+                node=self.node.node_id,
+                cause="resignation",
+                successor=successor_id,
+                accepted=accepted,
+            )
         return accepted
 
     # ------------------------------------------------------------------
@@ -640,6 +718,15 @@ class DirectoryAgentBase(ProtocolAgent):
             )
             self.known_peers.add(payload.directory_id)
         elif isinstance(payload, SummaryRequest):
+            if self.obs.enabled:
+                self.obs.lifecycle(
+                    "summary.refresh",
+                    sim_time=self.node.network.sim.now,
+                    node=self.node.node_id,
+                    cause="peer_request",
+                    peers=1,
+                    requester=payload.requester_directory,
+                )
             self._send_summary_to(payload.requester_directory)
         elif isinstance(payload, DirectoryAnnounce):
             if payload.directory_id != self.node.node_id:
@@ -796,6 +883,11 @@ class ClientAgentBase(ProtocolAgent):
             if issued is not None:
                 latency = self.node.network.sim.now - issued
                 self.responses[payload.query_id] = (latency, payload.results)
+                obs = self.obs
+                if obs.enabled:
+                    obs.histogram(
+                        "client.query_latency", node=self.node.node_id
+                    ).observe(latency)
                 ticket = self._tickets.pop(payload.query_id, None)
                 if ticket is not None:
                     ticket.outcome = QueryOutcome.ANSWERED

@@ -229,7 +229,15 @@ class Deployment:
         """
         agent = self.directory_agents.pop(node_id)
         self.network.nodes[node_id].agents.remove(agent)
-        self.elections[node_id].step_down()
+        if self.network.obs.enabled:
+            self.network.obs.lifecycle(
+                "churn.leave",
+                sim_time=self.network.sim.now,
+                node=node_id,
+                cause="crash",
+                documents=len(agent.cached_documents()),
+            )
+        self.elections[node_id].step_down(cause="crash")
         self.elections[node_id].directory_capable = False
 
     def enable_battery_management(

@@ -143,6 +143,8 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
         return [(m.service_uri, m.capability.uri, m.distance) for m in matches]
 
     def build_summary(self) -> BloomFilter:
+        if self.obs.enabled:
+            self.obs.counter("dir.summary_builds", node=self.node.node_id).inc()
         # The directory maintains its counting summary incrementally on
         # publish/withdraw; snapshotting it replaces the former rebuild
         # over every cached capability (same bits — tested).

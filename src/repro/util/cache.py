@@ -72,7 +72,7 @@ class VersionedLruCache:
     versioning).
     """
 
-    __slots__ = ("maxsize", "version", "stats", "_data")
+    __slots__ = ("maxsize", "version", "stats", "on_invalidate", "_data")
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
         if maxsize < 1:
@@ -80,6 +80,10 @@ class VersionedLruCache:
         self.maxsize = maxsize
         self.version: Hashable = None
         self.stats = CacheStats()
+        #: Optional callback fired with the number of dropped entries when
+        #: a populated cache flushes on a version change.  Checked only on
+        #: the invalidation branch — never on the per-lookup hot path.
+        self.on_invalidate = None
         self._data: OrderedDict = OrderedDict()
 
     def __len__(self) -> int:
@@ -90,6 +94,8 @@ class VersionedLruCache:
         if version != self.version:
             if self._data:
                 self.stats.invalidations += 1
+                if self.on_invalidate is not None:
+                    self.on_invalidate(len(self._data))
                 self._data.clear()
             self.version = version
 

@@ -88,6 +88,54 @@ class TestRunUntil:
             sim.run(until=1000.0, max_events=100)
 
 
+class TestDaemonEvents:
+    def test_daemon_events_do_not_keep_run_alive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_every(1.0, lambda: fired.append(sim.now), daemon=True)
+        sim.schedule(3.5, lambda: None)
+        sim.run()  # unbounded: stops once the only regular event drained
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.now == 3.5
+
+    def test_all_daemon_queue_never_runs_unbounded(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1), daemon=True)
+        sim.run()
+        assert fired == []
+        # A bounded run still fires daemon events inside the horizon.
+        sim.run(until=2.0)
+        assert fired == [1]
+
+    def test_cancel_of_last_regular_event_ends_unbounded_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_every(1.0, lambda: fired.append(sim.now), daemon=True)
+        keeper = sim.schedule(100.0, lambda: fired.append("keeper"))
+        keeper.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_double_cancel_is_safe(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()  # must not double-decrement the live count
+        sim.run()
+        assert sim.now == 2.0
+
+    def test_cancel_after_firing_is_a_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        event.cancel()  # already fired; live count must stay balanced
+        sim.run()
+        assert sim.now == 2.0
+
+
 class TestPeriodic:
     def test_schedule_every_fires_repeatedly(self):
         sim = Simulator()

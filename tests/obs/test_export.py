@@ -1,0 +1,173 @@
+"""Tests for exporters (OpenMetrics/CSV), run manifests, diff and the
+regression gate."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import MetricsRegistry
+from repro.obs.export import (
+    check_regressions,
+    diff_runs,
+    load_bench_dir,
+    metrics_to_csv,
+    run_manifest,
+    timeseries_to_csv,
+    to_openmetrics,
+)
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("net.messages", node=0).inc(4)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        registry.histogram("query.latency", node=0).observe(value)
+    return registry.snapshot()
+
+
+class TestOpenMetrics:
+    def test_counters_and_summaries_render(self):
+        text = to_openmetrics(_snapshot())
+        assert "# TYPE net_messages counter" in text
+        assert 'net_messages_total{node="0"} 4' in text
+        assert "# TYPE query_latency summary" in text
+        assert 'query_latency{node="0",quantile="0.5"} 2.0' in text
+        assert 'query_latency_count{node="0"} 4' in text
+        assert 'query_latency_sum{node="0"} 10.0' in text
+        assert text.endswith("# EOF\n")
+
+    def test_empty_snapshot_is_just_eof(self):
+        assert to_openmetrics([]) == "# EOF\n"
+
+
+class TestCsv:
+    def test_metrics_csv_one_row_per_series(self):
+        lines = metrics_to_csv(_snapshot()).splitlines()
+        assert lines[0].startswith("name,labels,type,value")
+        assert len(lines) == 3  # header + counter + histogram
+        assert lines[1].startswith('net.messages,"{""node"": 0}",counter,4')
+
+    def test_timeseries_csv_flattens_windows(self):
+        windows = [
+            {
+                "window": 0,
+                "t_start": 0.0,
+                "t_end": 1.0,
+                "deltas": [
+                    {"name": "a", "labels": {}, "type": "counter", "delta": 2, "value": 2},
+                    {
+                        "name": "h",
+                        "labels": {"node": 1},
+                        "type": "histogram",
+                        "delta_count": 1,
+                        "delta_total": 0.5,
+                        "mean": 0.5,
+                        "count": 1,
+                    },
+                ],
+            }
+        ]
+        lines = timeseries_to_csv(windows).splitlines()
+        assert len(lines) == 3
+        assert lines[1].split(",")[:3] == ["0", "0.0", "1.0"]
+
+
+class TestManifest:
+    def test_manifest_carries_provenance_and_config(self):
+        manifest = run_manifest(config={"seed": 7})
+        assert manifest["config"] == {"seed": 7}
+        assert manifest["python"]
+        assert manifest["platform"]
+        # The repo is a git checkout, so the SHA resolves here.
+        assert manifest["git_sha"] is None or len(manifest["git_sha"]) == 40
+        json.dumps(manifest)
+
+
+def _write_bench(directory, name, metrics):
+    payload = {
+        "benchmark": name,
+        "config": {},
+        "metrics": [{"name": k, "value": v, "units": "seconds"} for k, v in metrics.items()],
+    }
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestDiff:
+    def test_diff_flags_changes_beyond_threshold(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        base.mkdir(), cand.mkdir()
+        _write_bench(base, "fig9", {"match": 1.0, "stable": 1.0})
+        _write_bench(cand, "fig9", {"match": 1.5, "stable": 1.01})
+        rows = diff_runs(load_bench_dir(base), load_bench_dir(cand), threshold=0.1)
+        by_metric = {row["metric"]: row for row in rows}
+        assert by_metric["match"]["flag"] is True
+        assert by_metric["match"]["change"] == 0.5
+        assert by_metric["stable"]["flag"] is False
+
+    def test_missing_metric_is_a_row_without_change(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        base.mkdir(), cand.mkdir()
+        _write_bench(base, "fig9", {"old": 1.0})
+        _write_bench(cand, "fig9", {"new": 2.0})
+        rows = diff_runs(load_bench_dir(base), load_bench_dir(cand))
+        assert {row["metric"]: row["change"] for row in rows} == {"old": None, "new": None}
+
+
+class TestRegressionGate:
+    def test_within_tolerance_passes(self):
+        findings = check_regressions(
+            {"fig9": {"match": 1.0}},
+            {"fig9": {"match": 1.5}},
+            {"default": {"tolerance": 1.0}},
+        )
+        assert [f["status"] for f in findings] == ["ok"]
+
+    def test_beyond_tolerance_regresses(self):
+        findings = check_regressions(
+            {"fig9": {"match": 1.0}},
+            {"fig9": {"match": 2.5}},
+            {"default": {"tolerance": 1.0}},
+        )
+        (finding,) = findings
+        assert finding["status"] == "regressed"
+        assert finding["limit"] == 2.0
+
+    def test_metric_override_beats_benchmark_and_default(self):
+        config = {
+            "default": {"tolerance": 0.1},
+            "benchmarks": {
+                "fig9": {"tolerance": 0.5, "metrics": {"noisy": {"tolerance": 4.0}}}
+            },
+        }
+        findings = check_regressions(
+            {"fig9": {"noisy": 1.0, "steady": 1.0}},
+            {"fig9": {"noisy": 4.0, "steady": 4.0}},
+            config,
+        )
+        by_metric = {f["metric"]: f["status"] for f in findings}
+        assert by_metric == {"noisy": "ok", "steady": "regressed"}
+
+    def test_higher_is_better_direction(self):
+        config = {"default": {"tolerance": 1.0, "direction": "higher"}}
+        findings = check_regressions(
+            {"bench": {"throughput": 100.0}},
+            {"bench": {"throughput": 20.0}},
+            config,
+        )
+        assert findings[0]["status"] == "regressed"
+        ok = check_regressions(
+            {"bench": {"throughput": 100.0}},
+            {"bench": {"throughput": 60.0}},
+            config,
+        )
+        assert ok[0]["status"] == "ok"
+
+    def test_absent_benchmarks_are_skipped_not_failed(self):
+        findings = check_regressions(
+            {"full_only": {"metric": 1.0}, "both": {"metric": 1.0}},
+            {"both": {"metric": 1.0}, "fresh_only": {"metric": 1.0}},
+        )
+        statuses = {(f["benchmark"], f["metric"]): f["status"] for f in findings}
+        assert statuses[("full_only", "*")] == "skipped"
+        assert statuses[("fresh_only", "*")] == "skipped"
+        assert statuses[("both", "metric")] == "ok"

@@ -123,6 +123,39 @@ class TestMetrics:
         assert empty["min"] is None and empty["max"] is None
         json.dumps(snapshot)
 
+    def test_histogram_quantiles_nearest_rank(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("query.latency")
+        for value in range(1, 101):  # 1..100
+            latency.observe(float(value))
+        assert latency.quantile(0.5) == 50.0
+        assert latency.quantile(0.95) == 95.0
+        assert latency.quantile(0.99) == 99.0
+        assert latency.quantile(1.0) == 100.0
+        snapshot = latency.snapshot()
+        assert (snapshot["p50"], snapshot["p95"], snapshot["p99"]) == (50.0, 95.0, 99.0)
+
+    def test_quantiles_empty_and_invalid(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("h")
+        assert latency.quantile(0.5) is None
+        assert latency.snapshot()["p95"] is None
+        with pytest.raises(ValueError):
+            latency.quantile(0.0)
+        with pytest.raises(ValueError):
+            latency.quantile(1.5)
+
+    def test_scope_label_collisions_resolve_innermost_wins(self):
+        registry = MetricsRegistry()
+        scope = registry.scope(node=1)
+        # A call-site label overrides the scope's binding...
+        scope.counter("x", node=2).inc()
+        assert registry.counter("x", node=2).value == 1
+        assert registry.counter("x", node=1).value == 0
+        # ...and a nested scope overrides its parent.
+        scope.scope(node=3).counter("y").inc()
+        assert registry.counter("y", node=3).value == 1
+
 
 class TestSinks:
     def test_ring_buffer_caps_spans(self):
@@ -158,6 +191,39 @@ class TestSinks:
             lines.append(path.read_text())
         assert lines[0] == lines[1]
 
+    def test_ring_buffer_event_wraparound(self):
+        from repro.obs import EventLog
+
+        sink = RingBufferSink(capacity=3)
+        log = EventLog(sink.emit_event)
+        for index in range(5):
+            log.record(f"kind.{index}")
+        # Only the most recent `capacity` events survive, in order.
+        assert [event.kind for event in sink.events] == ["kind.2", "kind.3", "kind.4"]
+        assert [event.seq for event in sink.events] == [3, 4, 5]
+        assert log.emitted == 5
+
+    def test_jsonl_records_are_flushed_line_by_line(self, tmp_path):
+        # A run that dies mid-simulation must leave every finished record
+        # on disk even though close() never ran.
+        path = tmp_path / "crash.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink.emit)
+        tracer.event("before.crash")
+        content = path.read_text()  # sink still open — no close, no flush
+        assert '"before.crash"' in content
+
+    def test_jsonl_write_after_close_appends(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink.emit)
+        tracer.event("first")
+        sink.close()
+        tracer.event("second")  # reopen must append, not truncate
+        sink.close()
+        names = [json.loads(line)["name"] for line in path.read_text().splitlines()]
+        assert names == ["first", "second"]
+
 
 class TestObservabilityFacade:
     def test_scoped_shares_tracer_and_sinks(self):
@@ -178,6 +244,31 @@ class TestObservabilityFacade:
         obs.flush()
         assert sink.metrics[0]["value"] == 3
 
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        obs = Observability(sinks=[sink])
+        obs.counter("a").inc()
+        obs.close()
+        written = path.read_text()
+        obs.close()  # second close: no duplicate metrics snapshot
+        assert path.read_text() == written
+        assert sum(1 for line in written.splitlines() if '"metrics"' in line) == 1
+
+    def test_context_manager_closes_on_exception(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with pytest.raises(RuntimeError, match="mid-simulation"):
+            with Observability(sinks=[JsonlSink(path)]) as obs:
+                obs.event("before.failure", trace_id="t")
+                obs.counter("net.messages").inc(2)
+                raise RuntimeError("mid-simulation failure")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [record["type"] for record in records]
+        # The span written before the crash survived and the final metrics
+        # snapshot was still flushed by __exit__.
+        assert kinds == ["span", "metrics"]
+        assert records[1]["metrics"][0]["value"] == 2
+
 
 class TestNullObservability:
     def test_disabled_and_free(self):
@@ -191,6 +282,58 @@ class TestNullObservability:
         assert NULL_OBS.metrics.snapshot() == []
         NULL_OBS.flush()
         NULL_OBS.close()
+
+
+class TestInstall:
+    def _network(self):
+        from repro.network.node import Network
+        from repro.network.simulator import Simulator
+        from repro.network.topology import Bounds, Position
+
+        network = Network(Simulator(), bounds=Bounds(100, 100), radio_range=500.0)
+        network.add_node(0, Position(0.0, 0.0))
+        return network
+
+    def _toy_directory_agent(self):
+        from repro.protocols.base import DirectoryAgentBase
+
+        class _Store:
+            def __init__(self):
+                self.obs = NULL_OBS
+
+        class _Toy(DirectoryAgentBase):
+            def __init__(self):
+                super().__init__()
+                self.directory = _Store()
+
+        return _Toy()
+
+    def test_install_wires_existing_directories(self):
+        network = self._network()
+        agent = network.nodes[0].add_agent(self._toy_directory_agent())
+        obs = Observability()
+        from repro.obs import install
+
+        install(obs, network)
+        assert agent.directory.obs is obs
+
+    def test_directories_added_after_install_inherit_live_obs(self):
+        # Regression: directories elected/installed *after* install() used
+        # to keep tracing into NULL_OBS (the election/handoff blind spot).
+        network = self._network()
+        obs = Observability()
+        from repro.obs import install
+
+        install(obs, network)
+        agent = network.nodes[0].add_agent(self._toy_directory_agent())
+        assert agent.directory.obs is obs
+        assert agent.request_cache.on_invalidate is not None
+
+    def test_attach_without_installed_obs_stays_null(self):
+        network = self._network()
+        agent = network.nodes[0].add_agent(self._toy_directory_agent())
+        assert agent.directory.obs is NULL_OBS
+        assert agent.request_cache.on_invalidate is None
 
 
 class TestReport:

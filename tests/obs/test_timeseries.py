@@ -1,0 +1,151 @@
+"""Tests for the windowed time-series recorder."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.network.simulator import Simulator
+from repro.obs import MetricsRegistry, Observability, RingBufferSink, TimeSeriesRecorder
+
+
+class TestDeltas:
+    def test_counter_windows_carry_deltas_not_totals(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry)
+        registry.counter("net.messages", node=0).inc(3)
+        first = recorder.snapshot(1.0)
+        registry.counter("net.messages", node=0).inc(2)
+        second = recorder.snapshot(2.0)
+        (d1,) = first["deltas"]
+        (d2,) = second["deltas"]
+        assert (d1["delta"], d1["value"]) == (3, 3)
+        assert (d2["delta"], d2["value"]) == (2, 5)
+        assert (first["t_start"], first["t_end"]) == (0.0, 1.0)
+        assert (second["t_start"], second["t_end"]) == (1.0, 2.0)
+
+    def test_idle_series_are_omitted(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry)
+        registry.counter("a").inc()
+        registry.counter("b").inc()
+        recorder.snapshot(1.0)
+        registry.counter("a").inc()
+        window = recorder.snapshot(2.0)
+        assert [delta["name"] for delta in window["deltas"]] == ["a"]
+
+    def test_histogram_deltas_use_window_mean(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry)
+        registry.histogram("latency").observe(10.0)
+        recorder.snapshot(1.0)
+        registry.histogram("latency").observe(1.0)
+        registry.histogram("latency").observe(3.0)
+        window = recorder.snapshot(2.0)
+        (delta,) = window["deltas"]
+        assert delta["delta_count"] == 2
+        assert delta["delta_total"] == 4.0
+        assert delta["mean"] == 2.0  # the window's mean, not the lifetime one
+        assert delta["count"] == 3
+
+    def test_windows_are_json_serializable(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry)
+        registry.counter("a", node=1).inc()
+        registry.histogram("h").observe(1.5)
+        json.dumps(recorder.snapshot(1.0))
+
+
+class TestOutOfOrder:
+    def test_out_of_order_snapshot_is_refused(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry)
+        registry.counter("a").inc()
+        assert recorder.snapshot(2.0) is not None
+        registry.counter("a").inc()
+        assert recorder.snapshot(1.0) is None  # behind the last window
+        assert recorder.snapshot(2.0) is None  # not strictly after either
+        assert recorder.skipped == 2
+        assert len(recorder.windows) == 1
+
+    def test_deltas_stay_correct_after_a_refused_snapshot(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry)
+        registry.counter("a").inc(5)
+        recorder.snapshot(2.0)
+        registry.counter("a").inc(1)
+        recorder.snapshot(1.0)  # refused: must not touch the baseline
+        registry.counter("a").inc(1)
+        window = recorder.snapshot(3.0)
+        (delta,) = window["deltas"]
+        # Both post-refusal increments fall into the next valid window.
+        assert delta["delta"] == 2 and delta["value"] == 7
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(MetricsRegistry(), interval=0.0)
+
+
+class TestSimulatorBinding:
+    def test_attach_snapshots_periodically_on_sim_clock(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry, interval=1.0)
+        recorder.attach(sim)
+        sim.schedule_every(0.4, lambda: registry.counter("ticks").inc())
+        sim.run(until=3.5)
+        assert [window["t_end"] for window in recorder.windows] == [1.0, 2.0, 3.0]
+
+    def test_recorder_tick_does_not_keep_the_simulation_alive(self):
+        sim = Simulator()
+        recorder = TimeSeriesRecorder(MetricsRegistry(), interval=1.0)
+        recorder.attach(sim)
+        sim.schedule(2.5, lambda: None)
+        sim.run()  # unbounded: must drain, not loop on the daemon tick
+        assert sim.now == 2.5
+
+    def test_finalize_closes_the_trailing_partial_window(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry, interval=1.0)
+        recorder.attach(sim)
+        sim.schedule(2.5, lambda: registry.counter("late").inc())
+        sim.run(until=2.5)
+        final = recorder.finalize()
+        assert final["t_end"] == 2.5
+        assert [delta["name"] for delta in final["deltas"]] == ["late"]
+        # Idempotent: nothing more to close.
+        assert recorder.finalize() is None
+        assert len(recorder.windows) == 3
+
+    def test_double_attach_rejected(self):
+        recorder = TimeSeriesRecorder(MetricsRegistry())
+        recorder.attach(Simulator())
+        with pytest.raises(RuntimeError):
+            recorder.attach(Simulator())
+
+
+class TestFacadeIntegration:
+    def test_start_timeseries_emits_windows_to_sinks(self):
+        sim = Simulator()
+        sink = RingBufferSink()
+        obs = Observability(sinks=[sink])
+        obs.start_timeseries(sim, interval=1.0)
+        sim.schedule(0.5, lambda: obs.counter("net.messages").inc())
+        sim.schedule(1.5, lambda: obs.counter("net.messages").inc())
+        sim.run(until=2.0)
+        assert [window["window"] for window in sink.timeseries] == [0, 1]
+        assert all(len(window["deltas"]) == 1 for window in sink.timeseries)
+
+    def test_second_start_rejected_and_close_finalizes(self):
+        sim = Simulator()
+        sink = RingBufferSink()
+        obs = Observability(sinks=[sink])
+        obs.start_timeseries(sim, interval=1.0)
+        with pytest.raises(RuntimeError):
+            obs.start_timeseries(sim)
+        sim.schedule(0.5, lambda: obs.counter("a").inc())
+        sim.run(until=0.6)
+        obs.close()  # finalizes the partial window before flushing
+        assert sink.timeseries[-1]["t_end"] == 0.6

@@ -208,3 +208,148 @@ class TestTraceReport:
         path = tmp_path / "empty.jsonl"
         path.write_text("")
         assert main(["trace-report", str(path)]) == 1
+
+
+def _traced_run_file(tmp_path) -> pathlib.Path:
+    """Produce a run file with events, windows, and final metrics."""
+    from repro.network.simulator import Simulator
+    from repro.obs import JsonlSink, Observability
+
+    path = tmp_path / "run.jsonl"
+    sim = Simulator()
+    with JsonlSink(path) as sink:
+        obs = Observability(sinks=[sink])
+        obs.start_timeseries(sim, interval=1.0)
+        sim.schedule(0.5, lambda: obs.counter("dir.queries", node=0).inc())
+        sim.schedule(
+            1.5, lambda: obs.histogram("query.latency", node=0).observe(0.25)
+        )
+        sim.run(until=2.0)
+        obs.lifecycle("churn.join", sim_time=1.2, node=7, cause="late_join")
+        obs.close()
+    return path
+
+
+class TestObsTimeline:
+    def test_merges_events_and_windows(self, tmp_path, capsys):
+        path = _traced_run_file(tmp_path)
+        assert main(["obs", "timeline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "churn.join" in out
+        assert "cause=late_join" in out
+        assert "window" in out
+        assert "dir.queries" in out
+        assert "p95" in out  # quantiles render in the final metric table
+
+    def test_export_flags_write_csv_and_openmetrics(self, tmp_path, capsys):
+        path = _traced_run_file(tmp_path)
+        csv_path = tmp_path / "windows.csv"
+        om_path = tmp_path / "metrics.prom"
+        rc = main(
+            [
+                "obs",
+                "timeline",
+                str(path),
+                "--csv",
+                str(csv_path),
+                "--openmetrics",
+                str(om_path),
+            ]
+        )
+        assert rc == 0
+        assert csv_path.read_text().startswith("window,")
+        om = om_path.read_text()
+        assert "dir_queries_total" in om
+        assert om.endswith("# EOF\n")
+
+    def test_missing_file(self, tmp_path):
+        assert main(["obs", "timeline", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_empty_run(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", "timeline", str(path)]) == 1
+
+
+def _bench_file(directory: pathlib.Path, name: str, metrics: dict) -> None:
+    import json
+
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "config": {},
+        "metrics": [
+            {"name": key, "value": value, "units": "seconds"}
+            for key, value in metrics.items()
+        ],
+    }
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestObsDiff:
+    def test_flags_changes_beyond_threshold(self, tmp_path, capsys):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _bench_file(base, "fig9", {"match_s": 1.0, "steady": 1.0})
+        _bench_file(cand, "fig9", {"match_s": 2.0, "steady": 1.01})
+        assert main(["obs", "diff", str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "match_s" in out
+        assert "<<<" in out
+        assert out.count("<<<") == 1  # steady is inside the threshold
+
+    def test_accepts_single_files(self, tmp_path, capsys):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _bench_file(base, "fig9", {"m": 1.0})
+        _bench_file(cand, "fig9", {"m": 1.0})
+        rc = main(
+            [
+                "obs",
+                "diff",
+                str(base / "BENCH_fig9.json"),
+                str(cand / "BENCH_fig9.json"),
+            ]
+        )
+        assert rc == 0
+
+    def test_missing_inputs(self, tmp_path):
+        assert main(["obs", "diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 2
+
+
+class TestObsRegress:
+    def test_self_comparison_passes(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        _bench_file(base, "fig9", {"match_s": 1.0})
+        rc = main(
+            ["obs", "regress", "--baseline", str(base), "--candidate", str(base)]
+        )
+        assert rc == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_injected_regression_fails_nonzero(self, tmp_path, capsys):
+        import json
+
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _bench_file(base, "fig9", {"match_s": 1.0})
+        _bench_file(cand, "fig9", {"match_s": 100.0})
+        config = tmp_path / "tol.json"
+        config.write_text(json.dumps({"default": {"tolerance": 0.5}}))
+        rc = main(
+            [
+                "obs",
+                "regress",
+                "--baseline",
+                str(base),
+                "--candidate",
+                str(cand),
+                "--config",
+                str(config),
+            ]
+        )
+        assert rc == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_empty_dirs_exit_2(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        base.mkdir(), cand.mkdir()
+        rc = main(["obs", "regress", "--baseline", str(base), "--candidate", str(cand)])
+        assert rc == 2
