@@ -1,0 +1,86 @@
+"""Chaos experiment — recovery under the three canned fault plans.
+
+The paper's §4 resilience claims (directory re-election, soft-state
+refresh, Bloom-summary cooperation) are exercised by deterministic fault
+injection: a directory hard-crash, a network partition with healing, and
+a lossy-link chaos window.  For each plan we measure the discovery
+success ratio per 10 s window and the recovery time — how long after the
+fault the ratio returns to its pre-fault level.
+
+The same seeded :class:`~repro.network.faults.FaultPlan` must reproduce
+bit-identical trajectories (asserted below by running one plan twice), so
+the committed baseline in ``benchmarks/baselines/`` gates these metrics
+exactly via ``repro.cli obs regress``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks._report import save_report, series_table
+from repro.experiments import CHAOS_PLANS, chaos_recovery
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SEED = 0
+#: Healing window for the regression gate: every plan must be back at its
+#: pre-fault success ratio within this many seconds of the fault.
+RECOVERY_DEADLINE_S = 60.0
+
+
+def test_chaos_determinism():
+    """Same plan + seed ⇒ identical trajectory, window for window."""
+    first = chaos_recovery("lossy_links", seed=SEED)
+    second = chaos_recovery("lossy_links", seed=SEED)
+    assert first.rows == second.rows
+    assert first.extras == second.extras
+
+
+def test_chaos_recovery_report(benchmark):
+    rows = []
+    metrics: dict[str, float] = {}
+    for plan_name in CHAOS_PLANS:
+        result = chaos_recovery(plan_name, seed=SEED)
+        extras = result.extras
+        # The CI resilience contract: the success ratio returns to >= its
+        # pre-fault baseline within the healing window, for every plan.
+        assert extras["recovered"] == 1.0, f"{plan_name} never recovered"
+        assert extras["recovery_s"] <= RECOVERY_DEADLINE_S
+        assert extras["success_pre"] >= 0.75
+        rows.append(
+            [
+                plan_name,
+                f"{extras['success_pre']:.2f}",
+                f"{extras['success_during']:.2f}",
+                f"{extras['success_post']:.2f}",
+                f"{extras['recovery_s']:.0f}s",
+            ]
+        )
+        for key in ("success_pre", "success_during", "success_post", "recovery_s"):
+            metrics[f"{plan_name}_{key}"] = extras[key]
+        metrics[f"{plan_name}_recovered"] = extras["recovered"]
+    table_text = series_table(
+        ["plan", "pre", "impaired", "post", "recovery"], rows
+    )
+    table_text += (
+        "\nsuccess = fraction of discovery requests answered with results per 10s window;"
+        "\nrecovery = time from the fault to the first window back at the pre-fault ratio"
+    )
+    save_report(
+        "chaos_recovery",
+        table_text,
+        metrics=metrics,
+        config={"seed": SEED, "plans": list(CHAOS_PLANS), "smoke": SMOKE},
+        units="fraction (success_*), seconds (recovery_s)",
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.skipif(SMOKE, reason="full sweep only outside smoke mode")
+def test_chaos_alternate_seed():
+    """A different seed still recovers — the resilience is not a fluke of
+    one placement."""
+    for plan_name in CHAOS_PLANS:
+        result = chaos_recovery(plan_name, seed=3)
+        assert result.extras["recovered"] == 1.0, f"{plan_name} seed=3 never recovered"

@@ -310,6 +310,36 @@ def _cmd_obs_regress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import CHAOS_PLANS, chaos_recovery
+
+    plans = list(CHAOS_PLANS) if args.plan == "all" else [args.plan]
+    failed = 0
+    for plan_name in plans:
+        obs = None
+        sink = None
+        if args.obs:
+            from repro.obs import Observability
+            from repro.obs.sinks import JsonlSink
+
+            out = pathlib.Path(args.obs)
+            if len(plans) > 1:
+                out = out.with_name(f"{out.stem}_{plan_name}{out.suffix}")
+            sink = JsonlSink(out)
+            obs = Observability(sinks=[sink])
+        result = chaos_recovery(plan_name, seed=args.seed, obs=obs)
+        if obs is not None:
+            obs.close()
+            print(f"wrote chaos telemetry to {sink.path}")
+        print(f"===== chaos: {plan_name} =====")
+        print(result.render())
+        print()
+        if not result.extras.get("recovered"):
+            failed += 1
+            print(f"NOT RECOVERED: {plan_name}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.core.directory import SemanticDirectory
 
@@ -373,6 +403,25 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("request")
     match.add_argument("--ontologies", required=True, help="directory of ontology_*.xml")
     match.set_defaults(func=_cmd_match)
+
+    from repro.experiments import CHAOS_PLANS
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a canned fault plan and report recovery (nonzero exit when not recovered)",
+    )
+    chaos.add_argument(
+        "plan",
+        choices=[*CHAOS_PLANS, "all"],
+        help="canned fault plan (or 'all' for the full sweep)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="deployment + fault seed")
+    chaos.add_argument(
+        "--obs",
+        help="write the instrumented run (fault.* chronology included) to this JSONL"
+        " file; feed it to `obs timeline`",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     inspect = subparsers.add_parser(
         "inspect",

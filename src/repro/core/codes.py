@@ -45,6 +45,7 @@ class ConceptCode:
 
     @classmethod
     def from_encoded(cls, encoded: EncodedConcept) -> "ConceptCode":
+        """Build from the encoder's interval form (§3.1)."""
         return cls(
             uri=encoded.uri,
             tree_lo=float(encoded.tree_interval.lo),

@@ -114,6 +114,7 @@ class SemanticDirectory:
 
     @obs.setter
     def obs(self, value) -> None:
+        """Propagate the sink to every capability graph."""
         self._obs = value
         for graph in self._graphs.values():
             graph.obs = value

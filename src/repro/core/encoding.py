@@ -142,6 +142,7 @@ class Interval:
 
     @property
     def width(self) -> Number:
+        """Interval length ``hi - lo``."""
         return self.hi - self.lo
 
     def __repr__(self) -> str:

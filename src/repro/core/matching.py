@@ -214,6 +214,7 @@ class TaxonomyMatcher(Matcher):
         self._taxonomy = taxonomy
 
     def concept_distance(self, over: str, under: str) -> int | None:
+        """Taxonomy walk: subsumption levels, ``None`` if unrelated."""
         if over not in self._taxonomy or under not in self._taxonomy:
             return None
         return self._taxonomy.distance(over, under)
@@ -274,6 +275,7 @@ class CodeMatcher(Matcher):
         return code_over.distance_to(code_under)
 
     def concept_distance(self, over: str, under: str) -> int | None:
+        """Interval-code subsumption test with the §3.1 distance cache."""
         cache = self._cache
         if cache is None or over in self._extra or under in self._extra:
             return self._compute_distance(over, under)

@@ -32,10 +32,12 @@ class RankedMatch:
 
     @property
     def service_uri(self) -> str:
+        """URI of the matched service (delegates to the match)."""
         return self.match.service_uri
 
     @property
     def distance(self) -> int:
+        """Semantic distance of the underlying match."""
         return self.match.distance
 
 

@@ -356,6 +356,7 @@ def fig10_traced_run(
     seed: int = 42,
     directory_count: int = 3,
     services: int = 4,
+    fault_plan=None,
 ) -> dict[str, object]:
     """An instrumented Fig. 10-style backbone run for tracing.
 
@@ -372,8 +373,19 @@ def fig10_traced_run(
     deterministic for a given ``seed`` so two runs yield identical span
     trees and event signatures modulo wall-clock timestamps.
 
-    Returns a summary dict: issued/answered query counts, the trace ids
-    of the issued queries, and the id of the late-elected directory.
+    Args:
+        obs: the :class:`~repro.obs.Observability` receiving telemetry.
+        seed: workload and network seed.
+        directory_count: backbone size.
+        services: advertisements published / queries issued.
+        fault_plan: optional :class:`~repro.network.faults.FaultPlan`
+            installed before traffic starts.  An *empty* plan must leave
+            the run bit-identical to passing ``None`` — the zero-fault
+            determinism guarantee the fault tests pin down.
+
+    Returns:
+        A summary dict: issued/answered query counts, the trace ids of
+        the issued queries, and the id of the late-elected directory.
     """
     from repro.network.election import ElectionAgent, ElectionConfig
     from repro.network.messages import PublishService
@@ -397,6 +409,8 @@ def fig10_traced_run(
     client = client_node.add_agent(SAriadneClientAgent(lambda: 0))
     network.start()
     install(obs, network)
+    if fault_plan is not None:
+        network.install_fault_plan(fault_plan)
     if obs.timeseries is None:
         obs.start_timeseries(sim, interval=1.0)
     for agent in directories.values():
@@ -468,6 +482,228 @@ def fig10_traced_run(
         "late_directory": late_id if election.is_directory else None,
         "handed_off": handed_off,
     }
+
+
+# ---------------------------------------------------------------------------
+# Chaos — recovery under deterministic fault injection
+# ---------------------------------------------------------------------------
+
+#: The canned fault plans the chaos experiment/benchmark/CLI sweep.
+CHAOS_PLANS = ("directory_crash", "partition", "lossy_links")
+
+
+def canned_fault_plan(name: str, deployment, fault_at: float, heal_at: float, seed: int = 0):
+    """Build one of the three canned fault plans for a running deployment.
+
+    The plans cover the three failure families the paper's §4 resilience
+    story leans on:
+
+    * ``directory_crash`` — the first elected directory hard-crashes (no
+      restart); recovery comes from re-election plus the clients'
+      soft-state re-registration.
+    * ``partition`` — the area splits into left/right halves at
+      ``fault_at`` and heals at ``heal_at``; queries inside each island
+      keep working partially (``QueryOutcome.PARTIAL``).
+    * ``lossy_links`` — a stochastic chaos window (30% loss, 5%
+      duplication, up to 10 ms extra delay) between ``fault_at`` and
+      ``heal_at``; client retries with exponential backoff recover.
+
+    Args:
+        name: one of :data:`CHAOS_PLANS`.
+        deployment: the running :class:`~repro.protocols.deployment.Deployment`
+            (the plan targets its current directories/positions).
+        fault_at: simulated time the fault strikes.
+        heal_at: simulated time the fault heals (ignored by
+            ``directory_crash`` — crashes do not heal themselves).
+        seed: the plan's chaos-window RNG seed.
+
+    Returns:
+        A :class:`~repro.network.faults.FaultPlan`.
+
+    Raises:
+        ValueError: on an unknown plan name.
+    """
+    from repro.network.faults import FaultPlan
+
+    plan = FaultPlan(seed=seed)
+    if name == "directory_crash":
+        victims = deployment.directory_ids()
+        if not victims:
+            raise ValueError("no directory elected yet; run the deployment first")
+        plan.crash(at=fault_at, node=victims[0], wipe_state=True)
+    elif name == "partition":
+        network = deployment.network
+        mid_x = deployment.config.bounds.width / 2
+        left = tuple(
+            nid for nid in sorted(network.nodes) if network.nodes[nid].position.x < mid_x
+        )
+        right = tuple(nid for nid in sorted(network.nodes) if nid not in set(left))
+        plan.partition(at=fault_at, groups=(left, right), heal_at=heal_at)
+    elif name == "lossy_links":
+        plan.chaos(
+            start=fault_at, stop=heal_at, loss=0.3, duplicate=0.05, extra_delay=0.01
+        )
+    else:
+        raise ValueError(f"unknown chaos plan {name!r}; expected one of {CHAOS_PLANS}")
+    return plan
+
+
+def chaos_recovery(
+    plan_name: str,
+    seed: int = 0,
+    obs=None,
+    node_count: int = 25,
+    services: int = 8,
+    windows: int = 12,
+    window_seconds: float = 10.0,
+    queries_per_window: int = 4,
+    fault_window: int = 4,
+    heal_window: int = 8,
+) -> ExperimentResult:
+    """Measure discovery success ratio and recovery time under one canned
+    fault plan.
+
+    Builds a 25-node S-Ariadne deployment (fast election timings, every
+    node directory-capable), advertises ``services`` soft-state
+    advertisements, then drives ``windows`` measurement windows of
+    ``window_seconds`` each, issuing ``queries_per_window`` rotating
+    discovery requests per window.  The fault strikes at the start of
+    window ``fault_window`` and (where the plan supports healing) heals
+    at the start of window ``heal_window``.
+
+    Everything runs on the simulated clock from seeded RNGs, so the whole
+    chaos run — fault times, message fates, recovery trajectory — is
+    bit-reproducible for a given ``(plan_name, seed)``.
+
+    Args:
+        plan_name: one of :data:`CHAOS_PLANS`.
+        seed: deployment + fault-plan seed.
+        obs: optional :class:`~repro.obs.Observability`; when given, the
+            run is fully instrumented (the ``fault.*`` chronology lands
+            on the timeline).
+        node_count: deployment size.
+        services: soft-state advertisements (and distinct requests).
+        windows: total measurement windows.
+        window_seconds: length of one window (simulated seconds).
+        queries_per_window: discovery requests issued per window.
+        fault_window: window index at which the fault strikes.
+        heal_window: window index at which healing faults heal.
+
+    Returns:
+        An :class:`ExperimentResult` with one row per window
+        (``[window, t_start, success, phase]``) and extras:
+        ``success_pre`` / ``success_during`` / ``success_post`` (mean
+        success ratios per phase), ``recovery_s`` (seconds from the fault
+        to the first window back at the pre-fault ratio; ``-1`` when it
+        never recovers) and ``recovered`` (0/1).
+    """
+    from repro.network.election import ElectionConfig
+    from repro.protocols.deployment import Deployment, DeploymentConfig
+
+    workload = directory_workload(42)
+    table = _table_for(workload)
+    deployment = Deployment(
+        DeploymentConfig(
+            node_count=node_count,
+            protocol="sariadne",
+            election=ElectionConfig(
+                advert_interval=5.0,
+                advert_hops=2,
+                directory_timeout=10.0,
+                check_interval=2.0,
+                reply_window=1.0,
+                election_hops=2,
+            ),
+            seed=seed,
+            directory_capable_fraction=1.0,
+        ),
+        table=table,
+    )
+    if obs is not None:
+        from repro.obs import install
+
+        install(obs, deployment.network)
+    deployment.run_until_directories(minimum=1)
+
+    request_docs = []
+    for index in range(services):
+        document = _annotated_profile_doc(workload, table, index)
+        provider = deployment.clients[(index * 3) % node_count]
+        provider.advertise(
+            document,
+            workload.make_service(index).uri,
+            refresh_interval=window_seconds,
+        )
+        request_docs.append(_annotated_request_doc(workload, table, index))
+    deployment.sim.run(until=deployment.sim.now + 5.0)
+
+    t0 = deployment.sim.now
+    fault_at = t0 + fault_window * window_seconds
+    heal_at = t0 + heal_window * window_seconds
+    plan = canned_fault_plan(plan_name, deployment, fault_at, heal_at, seed=seed)
+    deployment.install_fault_plan(plan)
+
+    result = ExperimentResult(
+        name=f"chaos_{plan_name}",
+        header=["window", "t_start", "success", "phase"],
+    )
+    ratios: list[float] = []
+    slice_seconds = window_seconds / queries_per_window
+    query_index = 0
+    for window in range(windows):
+        window_start = deployment.sim.now
+        successes = 0
+        for _ in range(queries_per_window):
+            client = deployment.clients[(query_index * 7) % node_count]
+            document = request_docs[query_index % len(request_docs)]
+            ticket = client.query(document, retries=1, retry_timeout=2.0)
+            query_index += 1
+            deployment.sim.run(until=deployment.sim.now + slice_seconds)
+            if ticket:
+                response = client.responses.get(ticket.query_id)
+                if response is not None and response[1]:
+                    successes += 1
+        ratio = successes / queries_per_window
+        ratios.append(ratio)
+        phase = (
+            "pre"
+            if window < fault_window
+            else ("impaired" if window < heal_window else "post")
+        )
+        result.rows.append([window, f"{window_start - t0:.0f}", f"{ratio:.2f}", phase])
+
+    pre = ratios[:fault_window]
+    impaired = ratios[fault_window:heal_window]
+    post = ratios[heal_window:]
+    success_pre = sum(pre) / len(pre) if pre else 0.0
+    success_during = sum(impaired) / len(impaired) if impaired else 0.0
+    success_post = sum(post) / len(post) if post else 0.0
+    recovery_s = -1.0
+    for window in range(fault_window, windows):
+        if ratios[window] >= success_pre:
+            # The window *end* is when the recovered ratio is established.
+            recovery_s = (window + 1) * window_seconds - fault_window * window_seconds
+            break
+    result.extras["success_pre"] = success_pre
+    result.extras["success_during"] = success_during
+    result.extras["success_post"] = success_post
+    result.extras["recovery_s"] = recovery_s
+    result.extras["recovered"] = 1.0 if recovery_s >= 0 else 0.0
+    injector = deployment.network.faults
+    result.notes = [
+        f"plan={plan_name} seed={seed} fault@{fault_at - t0:.0f}s heal@{heal_at - t0:.0f}s",
+        (
+            f"faults executed: crashes={injector.stats.crashes} "
+            f"partitions={injector.stats.partitions} "
+            f"msg_lost={injector.stats.messages_lost} "
+            f"msg_dup={injector.stats.messages_duplicated}"
+        ),
+    ]
+    if obs is not None and obs.timeseries is not None:
+        obs.timeseries.finalize()
+    if obs is not None:
+        obs.flush()
+    return result
 
 
 # ---------------------------------------------------------------------------

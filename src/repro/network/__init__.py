@@ -13,7 +13,10 @@ hardware; this package provides the simulated equivalent:
   (neighbor broadcast, TTL flooding with duplicate suppression, multi-hop
   unicast);
 * :mod:`repro.network.election` — the §4 directory election protocol
-  (vicinity advertisements, on-the-fly elections, fitness-based choice).
+  (vicinity advertisements, on-the-fly elections, fitness-based choice);
+* :mod:`repro.network.faults` — deterministic fault injection (seeded
+  :class:`~repro.network.faults.FaultPlan`: crashes, link cuts,
+  partitions, stochastic message chaos).
 """
 
 from repro.network.simulator import Simulator
@@ -21,6 +24,14 @@ from repro.network.topology import Bounds, Position, RandomWaypoint, StaticPlace
 from repro.network.trace import EventTrace, TraceEvent
 from repro.network.node import Network, NetNode, ProtocolAgent
 from repro.network.election import ElectionAgent, ElectionConfig
+from repro.network.faults import (
+    CrashNode,
+    CutLink,
+    FaultInjector,
+    FaultPlan,
+    MessageChaos,
+    PartitionNetwork,
+)
 
 __all__ = [
     "Simulator",
@@ -35,4 +46,10 @@ __all__ = [
     "TraceEvent",
     "ElectionAgent",
     "ElectionConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "CrashNode",
+    "CutLink",
+    "PartitionNetwork",
+    "MessageChaos",
 ]

@@ -93,6 +93,7 @@ class ElectionAgent(ProtocolAgent):
     # Lifecycle
     # ------------------------------------------------------------------
     def on_start(self) -> None:
+        """Arm the staggered periodic coverage check."""
         sim = self.node.network.sim
         self.last_advert_time = sim.now
         rng = self.node.network.rng
@@ -105,7 +106,11 @@ class ElectionAgent(ProtocolAgent):
         # concurrent initiations would elect a directory per initiator.
         last_activity = max(self.last_advert_time, self._last_election_heard)
         silence = sim.now - last_activity
-        if not self.is_directory and silence >= self.config.directory_timeout:
+        if (
+            not self.is_directory
+            and silence >= self.config.directory_timeout
+            and self.node.network.is_up(self.node.node_id)
+        ):
             self._initiate_election()
         sim.schedule(self.config.check_interval, self._check_coverage)
 
@@ -197,9 +202,25 @@ class ElectionAgent(ProtocolAgent):
         self.last_advert_time = self.node.network.sim.now
 
     # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def on_crash(self, wipe_state: bool) -> None:
+        """A crashed directory resigns; survivors re-elect after the
+        usual silence timeout (the §4 recovery path)."""
+        self.step_down(cause="crash")
+        self.current_directory = None
+        self._pending_replies.clear()
+
+    def on_restart(self) -> None:
+        """Rejoin as an ordinary node: reset the silence clock so the
+        node listens for the (possibly new) directory before bidding."""
+        self.last_advert_time = self.node.network.sim.now
+
+    # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
     def on_message(self, envelope: Envelope) -> None:
+        """Dispatch election traffic (adverts, calls, replies)."""
         payload = envelope.payload
         if isinstance(payload, DirectoryAdvert):
             self.last_advert_time = self.node.network.sim.now

@@ -1,0 +1,500 @@
+"""Deterministic fault injection: the chaos layer of the simulator.
+
+The paper's claim (§4–§5) is that the semi-distributed backbone survives
+the dynamics of hybrid MANETs — directory churn, lossy links, partitions.
+This module turns those dynamics into *reproducible inputs*: a seeded
+:class:`FaultPlan` describes everything that will go wrong in a run, and
+a :class:`FaultInjector` (installed via
+:meth:`~repro.network.node.Network.install_fault_plan`) executes it on
+the discrete-event clock.
+
+Two fault families:
+
+* **Scheduled faults** fire at fixed simulated times — :class:`CrashNode`
+  (with state wipe vs. soft-state recovery and an optional restart),
+  :class:`CutLink` (with optional healing), and
+  :class:`PartitionNetwork` (disjoint node groups, healed later).
+* **Stochastic message chaos** (:class:`MessageChaos`) applies per-message
+  loss / duplication / extra delay / reordering inside a time window,
+  drawn from the plan's *own* seeded RNG — the fabric's RNG is never
+  consulted, so adding chaos does not perturb the rest of the run's
+  random stream, and a zero-fault plan reproduces an uninstrumented run
+  bit for bit.
+
+Every fault the injector executes is emitted as a structured
+:class:`~repro.obs.events.LifecycleEvent` (``fault.*`` kinds), so
+``repro.cli obs timeline`` renders the chaos chronology alongside
+elections, handoffs and summary refreshes.  Determinism contract: for a
+fixed plan (seed + faults) and a fixed scenario, two runs produce
+identical traces — the property-based test in
+``tests/network/test_faults.py`` replays plans and compares signatures.
+
+See ``docs/RESILIENCE.md`` for the plan schema and worked examples.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"{name} must be in [0, 1), got {value}")
+
+
+def _check_time(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class CrashNode:
+    """Take a node down at ``at`` seconds (simulated).
+
+    Args:
+        at: crash time (s).
+        node: node id to crash.
+        wipe_state: True models a hard crash — attached agents drop their
+            volatile state (a directory loses its cached advertisements);
+            False models a reboot that preserves state (soft-state
+            recovery: the node rejoins with its content intact).
+        restart_at: optional restart time; ``None`` keeps the node down
+            for the rest of the run (recovery must come from re-election
+            and soft-state refresh).
+    """
+
+    at: float
+    node: int
+    wipe_state: bool = True
+    restart_at: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_time("at", self.at)
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ValueError(
+                f"restart_at ({self.restart_at}) must be after at ({self.at})"
+            )
+
+
+@dataclass(frozen=True)
+class CutLink:
+    """Sever the link between two nodes at ``at`` seconds.
+
+    Both the radio link and any wired link are cut; traffic reroutes
+    around the cut when an alternative path exists.
+
+    Args:
+        at: cut time (s).
+        a / b: the link's endpoints (order irrelevant).
+        heal_at: optional healing time; ``None`` keeps the link down.
+    """
+
+    at: float
+    a: int
+    b: int
+    heal_at: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_time("at", self.at)
+        if self.a == self.b:
+            raise ValueError("cannot cut a link from a node to itself")
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError(f"heal_at ({self.heal_at}) must be after at ({self.at})")
+
+
+@dataclass(frozen=True)
+class PartitionNetwork:
+    """Split the network into isolated groups at ``at`` seconds.
+
+    While the partition holds, nodes communicate only within their own
+    group; nodes not listed in any group form an implicit shared
+    remainder group.  Healing restores full connectivity.
+
+    Args:
+        at: partition time (s).
+        groups: disjoint tuples of node ids, one per island.
+        heal_at: optional healing time; ``None`` keeps the partition.
+    """
+
+    at: float
+    groups: tuple[tuple[int, ...], ...]
+    heal_at: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_time("at", self.at)
+        if not self.groups:
+            raise ValueError("a partition needs at least one group")
+        seen: set[int] = set()
+        for group in self.groups:
+            for node in group:
+                if node in seen:
+                    raise ValueError(f"node {node} appears in two partition groups")
+                seen.add(node)
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError(f"heal_at ({self.heal_at}) must be after at ({self.at})")
+
+
+@dataclass(frozen=True)
+class MessageChaos:
+    """Stochastic per-message faults inside a time window.
+
+    Every message crossing the fabric while the window is active draws
+    its fate from the plan's seeded RNG; messages outside every window
+    are untouched (and nothing is drawn, preserving determinism).
+
+    Args:
+        start: window start (simulated seconds).
+        stop: window end; ``None`` keeps the chaos on forever.
+        loss: per-message loss probability.
+        duplicate: probability of delivering one extra copy.
+        extra_delay: maximum uniform extra latency added per message (s).
+        reorder: probability of an additional reordering delay, drawn
+            uniformly from ``[0, reorder_window]`` — enough to let a
+            later message overtake this one.
+        reorder_window: maximum reordering delay (s).
+    """
+
+    start: float
+    stop: float | None = None
+    loss: float = 0.0
+    duplicate: float = 0.0
+    extra_delay: float = 0.0
+    reorder: float = 0.0
+    reorder_window: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_time("start", self.start)
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(f"stop ({self.stop}) must be after start ({self.start})")
+        _check_probability("loss", self.loss)
+        _check_probability("duplicate", self.duplicate)
+        _check_probability("reorder", self.reorder)
+        _check_time("extra_delay", self.extra_delay)
+        _check_time("reorder_window", self.reorder_window)
+
+    def active_at(self, now: float) -> bool:
+        """True while the window covers simulated time ``now``."""
+        return now >= self.start and (self.stop is None or now < self.stop)
+
+
+#: The scheduled (timed) fault types, in schema order.
+_FAULT_TYPES = (CrashNode, CutLink, PartitionNetwork, MessageChaos)
+
+
+@dataclass
+class MessageFate:
+    """The injector's verdict on one message."""
+
+    lost: bool = False
+    duplicates: int = 0
+    extra_delay: float = 0.0
+
+
+@dataclass
+class FaultStats:
+    """Counters describing what the injector actually did."""
+
+    crashes: int = 0
+    restarts: int = 0
+    links_cut: int = 0
+    links_healed: int = 0
+    partitions: int = 0
+    partitions_healed: int = 0
+    messages_lost: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    messages_reordered: int = 0
+
+
+class FaultPlan:
+    """A seeded, replayable description of everything that goes wrong.
+
+    Build one with the chainable helpers and hand it to
+    :meth:`~repro.network.node.Network.install_fault_plan`::
+
+        plan = (FaultPlan(seed=7)
+                .crash(at=40.0, node=3, wipe_state=True)
+                .partition(at=90.0, groups=((0, 1, 2), (3, 4)), heal_at=120.0)
+                .chaos(start=150.0, stop=180.0, loss=0.3, duplicate=0.05))
+
+    The plan is pure data: :meth:`signature` is its replayable identity
+    (two runs of the same plan over the same scenario yield identical
+    traces), and :meth:`to_dict` / :meth:`from_dict` round-trip the schema
+    documented in ``docs/RESILIENCE.md``.
+
+    Args:
+        seed: RNG seed for the stochastic message chaos.
+        faults: initial fault records (any of :class:`CrashNode`,
+            :class:`CutLink`, :class:`PartitionNetwork`,
+            :class:`MessageChaos`).
+    """
+
+    def __init__(self, seed: int = 0, faults: Iterable[object] = ()) -> None:
+        self.seed = seed
+        self.faults: list[object] = []
+        for fault in faults:
+            self.add(fault)
+
+    # -- construction ----------------------------------------------------
+    def add(self, fault: object) -> "FaultPlan":
+        """Append one fault record (validated by type); returns ``self``."""
+        if not isinstance(fault, _FAULT_TYPES):
+            names = ", ".join(t.__name__ for t in _FAULT_TYPES)
+            raise TypeError(f"unknown fault {fault!r}; expected one of {names}")
+        self.faults.append(fault)
+        return self
+
+    def crash(
+        self,
+        at: float,
+        node: int,
+        wipe_state: bool = True,
+        restart_at: float | None = None,
+    ) -> "FaultPlan":
+        """Schedule a node crash (see :class:`CrashNode`); returns ``self``."""
+        return self.add(CrashNode(at, node, wipe_state, restart_at))
+
+    def cut_link(self, at: float, a: int, b: int, heal_at: float | None = None) -> "FaultPlan":
+        """Schedule a link cut (see :class:`CutLink`); returns ``self``."""
+        return self.add(CutLink(at, a, b, heal_at))
+
+    def partition(
+        self,
+        at: float,
+        groups: Iterable[Iterable[int]],
+        heal_at: float | None = None,
+    ) -> "FaultPlan":
+        """Schedule a partition (see :class:`PartitionNetwork`); returns ``self``."""
+        frozen = tuple(tuple(group) for group in groups)
+        return self.add(PartitionNetwork(at, frozen, heal_at))
+
+    def chaos(
+        self,
+        start: float,
+        stop: float | None = None,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        extra_delay: float = 0.0,
+        reorder: float = 0.0,
+        reorder_window: float = 0.05,
+    ) -> "FaultPlan":
+        """Open a stochastic chaos window (see :class:`MessageChaos`);
+        returns ``self``."""
+        return self.add(
+            MessageChaos(start, stop, loss, duplicate, extra_delay, reorder, reorder_window)
+        )
+
+    # -- identity --------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan contains no faults (a control plan)."""
+        return not self.faults
+
+    def signature(self) -> tuple:
+        """Hashable replay identity: the seed plus every fault record."""
+        return (self.seed, tuple(repr(fault) for fault in self.faults))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``docs/RESILIENCE.md`` schema)."""
+        records = []
+        for fault in self.faults:
+            record = {"type": type(fault).__name__}
+            for name in fault.__dataclass_fields__:
+                record[name] = getattr(fault, name)
+            records.append(record)
+        return {"seed": self.seed, "faults": records}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: on an unknown fault ``type`` tag.
+        """
+        by_name = {t.__name__: t for t in _FAULT_TYPES}
+        plan = cls(seed=data.get("seed", 0))
+        for record in data.get("faults", ()):
+            record = dict(record)
+            type_name = record.pop("type", None)
+            fault_type = by_name.get(type_name)
+            if fault_type is None:
+                raise ValueError(f"unknown fault type {type_name!r}")
+            if fault_type is PartitionNetwork:
+                record["groups"] = tuple(tuple(group) for group in record["groups"])
+            plan.add(fault_type(**record))
+        return plan
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, {len(self.faults)} fault(s))"
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a running network.
+
+    Created by :meth:`~repro.network.node.Network.install_fault_plan`;
+    not meant to be constructed directly.  The injector owns a dedicated
+    ``random.Random(plan.seed)`` for the stochastic chaos windows, so the
+    fabric's own RNG stream (placement, jitter, baseline loss) is
+    untouched — the cornerstone of the zero-fault-equals-baseline
+    determinism guarantee.
+
+    Args:
+        plan: the fault plan to execute.
+        network: the :class:`~repro.network.node.Network` to inject into.
+    """
+
+    def __init__(self, plan: FaultPlan, network) -> None:
+        self.plan = plan
+        self.network = network
+        self.rng = random.Random(plan.seed)
+        self.stats = FaultStats()
+        self._windows: list[MessageChaos] = [
+            fault for fault in plan.faults if isinstance(fault, MessageChaos)
+        ]
+        #: True while at least one chaos window exists (fast-path guard:
+        #: plans with only scheduled faults never touch the message path).
+        self.has_message_chaos = bool(self._windows)
+        self._armed = False
+
+    # -- scheduling ------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every timed fault on the network's simulator.
+
+        Faults dated before the current simulated time fire immediately.
+        Idempotent: a second call is a no-op.
+        """
+        if self._armed:
+            return
+        self._armed = True
+        sim = self.network.sim
+        for fault in self.plan.faults:
+            if isinstance(fault, CrashNode):
+                sim.schedule_at(
+                    max(sim.now, fault.at), lambda f=fault: self._crash(f)
+                )
+                if fault.restart_at is not None:
+                    sim.schedule_at(
+                        max(sim.now, fault.restart_at),
+                        lambda f=fault: self._restart(f),
+                    )
+            elif isinstance(fault, CutLink):
+                sim.schedule_at(max(sim.now, fault.at), lambda f=fault: self._cut(f))
+                if fault.heal_at is not None:
+                    sim.schedule_at(
+                        max(sim.now, fault.heal_at), lambda f=fault: self._heal_link(f)
+                    )
+            elif isinstance(fault, PartitionNetwork):
+                sim.schedule_at(
+                    max(sim.now, fault.at), lambda f=fault: self._partition(f)
+                )
+                if fault.heal_at is not None:
+                    sim.schedule_at(
+                        max(sim.now, fault.heal_at),
+                        lambda f=fault: self._heal_partition(f),
+                    )
+            elif isinstance(fault, MessageChaos):
+                # Window boundaries are bookkeeping-free (active_at checks
+                # the clock), but emitting boundary events puts the chaos
+                # chronology on the timeline even when no message happens
+                # to be hit.
+                sim.schedule_at(
+                    max(sim.now, fault.start), lambda f=fault: self._window_event(f, "start")
+                )
+                if fault.stop is not None:
+                    sim.schedule_at(
+                        max(sim.now, fault.stop), lambda f=fault: self._window_event(f, "end")
+                    )
+
+    # -- timed fault execution -------------------------------------------
+    def _crash(self, fault: CrashNode) -> None:
+        self.stats.crashes += 1
+        self.network.crash_node(
+            fault.node, wipe_state=fault.wipe_state, cause="fault_plan"
+        )
+
+    def _restart(self, fault: CrashNode) -> None:
+        self.stats.restarts += 1
+        self.network.restart_node(fault.node, cause="fault_plan")
+
+    def _cut(self, fault: CutLink) -> None:
+        self.stats.links_cut += 1
+        self.network.cut_link(fault.a, fault.b, cause="fault_plan")
+
+    def _heal_link(self, fault: CutLink) -> None:
+        self.stats.links_healed += 1
+        self.network.heal_link(fault.a, fault.b, cause="fault_plan")
+
+    def _partition(self, fault: PartitionNetwork) -> None:
+        self.stats.partitions += 1
+        self.network.set_partition(fault.groups, cause="fault_plan")
+
+    def _heal_partition(self, fault: PartitionNetwork) -> None:
+        self.stats.partitions_healed += 1
+        self.network.heal_partition(cause="fault_plan")
+
+    def _window_event(self, window: MessageChaos, edge: str) -> None:
+        obs = self.network.obs
+        if obs.enabled:
+            obs.lifecycle(
+                f"fault.chaos_{edge}",
+                sim_time=self.network.sim.now,
+                cause="fault_plan",
+                loss=window.loss,
+                duplicate=window.duplicate,
+                extra_delay=window.extra_delay,
+                reorder=window.reorder,
+            )
+
+    # -- stochastic message chaos ----------------------------------------
+    def message_fate(self, source: int, dest: int, kind: str) -> MessageFate | None:
+        """Draw one message's fate from the active chaos windows.
+
+        Returns ``None`` (and draws nothing) when no window is active —
+        the zero-cost path the determinism guarantee relies on.
+
+        Args:
+            source: sending node id.
+            dest: receiving node id.
+            kind: payload class name (for the lifecycle event).
+        """
+        now = self.network.sim.now
+        fate: MessageFate | None = None
+        for window in self._windows:
+            if not window.active_at(now):
+                continue
+            rng = self.rng
+            if window.loss and rng.random() < window.loss:
+                self.stats.messages_lost += 1
+                self._message_event("fault.message_lost", source, dest, kind)
+                return MessageFate(lost=True)
+            if fate is None:
+                fate = MessageFate()
+            if window.duplicate and rng.random() < window.duplicate:
+                fate.duplicates += 1
+                self.stats.messages_duplicated += 1
+                self._message_event("fault.message_duplicated", source, dest, kind)
+            if window.extra_delay:
+                fate.extra_delay += rng.uniform(0.0, window.extra_delay)
+                self.stats.messages_delayed += 1
+            if window.reorder and rng.random() < window.reorder:
+                fate.extra_delay += rng.uniform(0.0, window.reorder_window)
+                self.stats.messages_reordered += 1
+                self._message_event("fault.message_reordered", source, dest, kind)
+        return fate
+
+    def _message_event(self, event_kind: str, source: int, dest: int, kind: str) -> None:
+        obs = self.network.obs
+        if obs.enabled:
+            obs.lifecycle(
+                event_kind,
+                sim_time=self.network.sim.now,
+                node=source,
+                cause="fault_plan",
+                dest=dest,
+                message=kind,
+            )
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({self.plan!r}, armed={self._armed})"

@@ -233,11 +233,15 @@ class QueryResponse:
     """Directory → client: matched services for a query.
 
     ``results`` is a tuple of ``(service_uri, capability_uri, distance)``;
-    syntactic directories use a distance of 0 for all hits.
+    syntactic directories use a distance of 0 for all hits.  ``partial``
+    marks answers assembled while one or more forwarded peers stayed
+    silent (partition, crash): the results cover only the reachable part
+    of the backbone.
     """
 
     query_id: int
     results: tuple[tuple[str, str, int], ...] = field(default_factory=tuple)
+    partial: bool = False
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,17 @@ class ProtocolAgent:
     def on_message(self, envelope: Envelope) -> None:
         """Called for every envelope delivered to this node."""
 
+    def on_crash(self, wipe_state: bool) -> None:
+        """Called when the hosting node crashes (fault injection).
+
+        Args:
+            wipe_state: True for a hard crash — the agent must drop its
+                volatile state; False models a reboot that keeps state.
+        """
+
+    def on_restart(self) -> None:
+        """Called when the hosting node comes back up after a crash."""
+
 
 @dataclass
 class TrafficStats:
@@ -69,6 +80,7 @@ class TrafficStats:
     bytes_sent: int = 0
     drops_unreachable: int = 0
     drops_lost: int = 0
+    drops_down: int = 0
 
 
 class NetNode:
@@ -181,6 +193,17 @@ class Network:
         #: before/after axis of ``bench_backbone_fastpath``).
         self.routes = RouteCache(self._adjacency_snapshot, self._topology_fingerprint)
         self.use_route_cache = True
+        #: Deterministic chaos layer (``install_fault_plan``); ``None``
+        #: keeps every fault hook on its zero-cost path.
+        self.faults = None
+        #: Node ids currently crashed: unreachable, non-forwarding, and
+        #: their agents receive nothing until ``restart_node``.
+        self.down: set[int] = set()
+        #: Severed links as sorted ``(a, b)`` pairs (radio *and* wired).
+        self._cut_links: set[tuple[int, int]] = set()
+        #: Active partition: node id -> group index; ``None`` when whole.
+        #: Nodes absent from every group share an implicit extra island.
+        self._partition: dict[int, int] | None = None
         #: Uncached BFS invocations (only grows with use_route_cache off);
         #: together with ``routes.stats.bfs_runs`` this gives the total
         #: route-computation count either way — the benchmarks' route-cost
@@ -267,21 +290,187 @@ class Network:
         self.routes.invalidate()
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_fault_plan(self, plan):
+        """Attach a :class:`~repro.network.faults.FaultPlan` and arm it.
+
+        Schedules every timed fault on the simulator and wires the
+        stochastic chaos windows into the delivery path.  Returns the
+        :class:`~repro.network.faults.FaultInjector` (for its stats).
+
+        Raises:
+            RuntimeError: if a plan is already installed (plans are
+                per-run; compose faults into one plan instead).
+        """
+        from repro.network.faults import FaultInjector
+
+        if self.faults is not None:
+            raise RuntimeError("a fault plan is already installed")
+        injector = FaultInjector(plan, self)
+        self.faults = injector
+        injector.arm()
+        return injector
+
+    def is_up(self, node_id: int) -> bool:
+        """True while the node is registered and not crashed."""
+        return node_id in self.nodes and node_id not in self.down
+
+    def crash_node(self, node_id: int, wipe_state: bool = True, cause: str = "fault") -> None:
+        """Take a node down: unreachable, non-forwarding, agents notified.
+
+        Unlike removing the node, a crash is reversible via
+        :meth:`restart_node`.  Idempotent while already down.
+
+        Args:
+            node_id: node to crash.
+            wipe_state: passed to each agent's ``on_crash`` — True drops
+                volatile agent state, False preserves it (soft reboot).
+            cause: recorded on the ``fault.node_crash`` lifecycle event.
+
+        Raises:
+            KeyError: on an unknown node id.
+        """
+        node = self.nodes[node_id]
+        if node_id in self.down:
+            return
+        self.down.add(node_id)
+        self.routes.invalidate()
+        if self.obs.enabled:
+            self.obs.lifecycle(
+                "fault.node_crash",
+                sim_time=self.sim.now,
+                node=node_id,
+                cause=cause,
+                wipe_state=wipe_state,
+            )
+        for agent in list(node.agents):
+            agent.on_crash(wipe_state)
+
+    def restart_node(self, node_id: int, cause: str = "fault") -> None:
+        """Bring a crashed node back up and notify its agents.
+
+        No-op when the node is not down.
+
+        Raises:
+            KeyError: on an unknown node id.
+        """
+        node = self.nodes[node_id]
+        if node_id not in self.down:
+            return
+        self.down.discard(node_id)
+        self.routes.invalidate()
+        if self.obs.enabled:
+            self.obs.lifecycle(
+                "fault.node_restart", sim_time=self.sim.now, node=node_id, cause=cause
+            )
+        for agent in list(node.agents):
+            agent.on_restart()
+
+    @staticmethod
+    def _link_key(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def cut_link(self, a: int, b: int, cause: str = "fault") -> None:
+        """Sever the link between two nodes (radio and wired alike).
+
+        Raises:
+            KeyError: if either node id is unknown.
+        """
+        if a not in self.nodes or b not in self.nodes:
+            raise KeyError((a, b))
+        key = self._link_key(a, b)
+        if key in self._cut_links:
+            return
+        self._cut_links.add(key)
+        self.routes.invalidate()
+        if self.obs.enabled:
+            self.obs.lifecycle(
+                "fault.link_cut", sim_time=self.sim.now, node=a, cause=cause, peer=b
+            )
+
+    def heal_link(self, a: int, b: int, cause: str = "fault") -> None:
+        """Restore a previously cut link (no-op when not cut)."""
+        key = self._link_key(a, b)
+        if key not in self._cut_links:
+            return
+        self._cut_links.discard(key)
+        self.routes.invalidate()
+        if self.obs.enabled:
+            self.obs.lifecycle(
+                "fault.link_healed", sim_time=self.sim.now, node=a, cause=cause, peer=b
+            )
+
+    def set_partition(self, groups, cause: str = "fault") -> None:
+        """Partition the network into isolated groups.
+
+        Nodes listed in different groups cannot communicate; nodes not
+        listed anywhere form one implicit remainder island together.
+        Replaces any previous partition.
+
+        Args:
+            groups: iterable of iterables of node ids.
+            cause: recorded on the ``fault.partition`` lifecycle event.
+        """
+        partition: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                partition[node_id] = index
+        self._partition = partition
+        self.routes.invalidate()
+        if self.obs.enabled:
+            sizes = [0] * (max(partition.values()) + 1 if partition else 0)
+            for index in partition.values():
+                sizes[index] += 1
+            self.obs.lifecycle(
+                "fault.partition",
+                sim_time=self.sim.now,
+                cause=cause,
+                groups=len(sizes),
+                sizes=tuple(sizes),
+            )
+
+    def heal_partition(self, cause: str = "fault") -> None:
+        """Merge the partition back into one network (no-op when whole)."""
+        if self._partition is None:
+            return
+        self._partition = None
+        self.routes.invalidate()
+        if self.obs.enabled:
+            self.obs.lifecycle(
+                "fault.partition_healed", sim_time=self.sim.now, cause=cause
+            )
+
+    # ------------------------------------------------------------------
     # Topology queries
     # ------------------------------------------------------------------
     def neighbors(self, node_id: int) -> list[NetNode]:
-        """Nodes reachable in one hop: radio range plus wired links."""
+        """Nodes reachable in one hop: radio range plus wired links.
+
+        Crashed nodes, cut links and active partitions (fault injection)
+        all prune the adjacency; an up node with no surviving neighbors
+        is simply unreachable until the fault heals.
+        """
+        if node_id in self.down:
+            return []
         origin = self.nodes[node_id]
         wired = self._wired.get(node_id, set())
-        return [
-            node
-            for node in self.nodes.values()
-            if node.node_id != node_id
-            and (
-                node.node_id in wired
-                or origin.position.distance_to(node.position) <= self.radio_range
-            )
-        ]
+        down = self.down
+        cuts = self._cut_links
+        partition = self._partition
+        group = partition.get(node_id) if partition is not None else None
+        result = []
+        for node in self.nodes.values():
+            nid = node.node_id
+            if nid == node_id or nid in down:
+                continue
+            if partition is not None and partition.get(nid) != group:
+                continue
+            if cuts and self._link_key(node_id, nid) in cuts:
+                continue
+            if nid in wired or origin.position.distance_to(node.position) <= self.radio_range:
+                result.append(node)
+        return result
 
     def _adjacency_snapshot(self) -> dict[int, list[int]]:
         """One-hop adjacency for every node (route-cache snapshot)."""
@@ -293,10 +482,11 @@ class Network:
     def _topology_fingerprint(self) -> int:
         """Cheap O(n) token identifying the current connectivity graph.
 
-        Hashes every node's position plus the wired link set and radio
-        range: equal fingerprints imply identical adjacency, so the route
-        cache stays sound even when positions are written directly
-        (mobility models, tests) without an explicit invalidation.
+        Hashes every node's position plus the wired link set, radio range
+        and the fault state (down nodes, cut links, partition): equal
+        fingerprints imply identical adjacency, so the route cache stays
+        sound even when positions are written directly (mobility models,
+        tests) without an explicit invalidation.
         """
         return hash(
             (
@@ -309,6 +499,11 @@ class Network:
                     (node_id, tuple(sorted(links)))
                     for node_id, links in sorted(self._wired.items())
                 ),
+                tuple(sorted(self.down)),
+                tuple(sorted(self._cut_links)),
+                None
+                if self._partition is None
+                else tuple(sorted(self._partition.items())),
             )
         )
 
@@ -385,7 +580,13 @@ class Network:
             self.trace.record(self.sim.now, actor, kind, detail)
 
     def flood(self, origin: NetNode, payload: object, ttl: int) -> None:
-        """TTL-bounded flooding with per-node duplicate suppression."""
+        """TTL-bounded flooding with per-node duplicate suppression.
+
+        Silently dropped when the origin node is crashed.
+        """
+        if origin.node_id in self.down:
+            self.stats.drops_down += 1
+            return
         self.record(origin.node_id, "flood", f"{type(payload).__name__} ttl={ttl}")
         envelope = Envelope(
             kind=type(payload).__name__,
@@ -411,13 +612,33 @@ class Network:
             self.obs.counter("net.bytes", node=sender.node_id).inc(size)
         self._drain(sender, size)
         delay = self._delay(envelope.payload)
+        faults = self.faults
+        chaos = faults is not None and faults.has_message_chaos
         for neighbor in self.neighbors(sender.node_id):
             if self.loss_rate and self.rng.random() < self.loss_rate:
                 self.stats.drops_lost += 1
                 continue
-            self.sim.schedule(delay, lambda n=neighbor: self._flood_receive(n, envelope))
+            link_delay = delay
+            copies = 1
+            if chaos:
+                fate = faults.message_fate(
+                    sender.node_id, neighbor.node_id, envelope.kind
+                )
+                if fate is not None:
+                    if fate.lost:
+                        self.stats.drops_lost += 1
+                        continue
+                    link_delay += fate.extra_delay
+                    copies += fate.duplicates
+            for _ in range(copies):
+                self.sim.schedule(
+                    link_delay, lambda n=neighbor: self._flood_receive(n, envelope)
+                )
 
     def _flood_receive(self, node: NetNode, envelope: Envelope) -> None:
+        if node.node_id in self.down:
+            self.stats.drops_down += 1
+            return
         if not node.note_flood(envelope.msg_id):
             return
         self.stats.deliveries += 1
@@ -441,10 +662,13 @@ class Network:
         """Route a message along the current shortest path.
 
         Returns False and counts a drop when the destination is
-        unreachable.
+        unreachable (which includes crashed endpoints and severed paths).
         """
         if dest not in self.nodes:
             raise KeyError(dest)
+        if origin.node_id in self.down:
+            self.stats.drops_down += 1
+            return False
         self.record(origin.node_id, "unicast", f"{type(payload).__name__} -> {dest}")
         path = self.shortest_path(origin.node_id, dest)
         if path is None:
@@ -472,6 +696,18 @@ class Network:
             if self.rng.random() > survive:
                 self.stats.drops_lost += 1
                 return True  # sender cannot tell; the message is just gone
+        # Stochastic chaos windows (fault injection): end-to-end fate.
+        extra_delay = 0.0
+        copies = 1
+        faults = self.faults
+        if faults is not None and faults.has_message_chaos:
+            fate = faults.message_fate(origin.node_id, dest, envelope.kind)
+            if fate is not None:
+                if fate.lost:
+                    self.stats.drops_lost += 1
+                    return True  # as with radio loss: sender cannot tell
+                extra_delay = fate.extra_delay
+                copies += fate.duplicates
         # Per-hop latency: wired infrastructure hops are cheaper.
         delay = 0.0
         for a, b in zip(path, path[1:]):
@@ -479,10 +715,16 @@ class Network:
             delay += hop_latency + size / self.bandwidth
         delay = delay if delay > 0 else self._delay(payload)
         target = self.nodes[dest]
-        self.sim.schedule(delay, lambda: self._unicast_receive(target, envelope))
+        for _ in range(copies):
+            self.sim.schedule(
+                delay + extra_delay, lambda: self._unicast_receive(target, envelope)
+            )
         return True
 
     def _unicast_receive(self, node: NetNode, envelope: Envelope) -> None:
+        if node.node_id in self.down:
+            self.stats.drops_down += 1
+            return
         self.stats.deliveries += 1
         self._drain(node, payload_size(envelope.payload))
         node.deliver(envelope)

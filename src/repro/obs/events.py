@@ -26,6 +26,21 @@ kind                        emitted when
                             exchange) and a fresh one was requested
 ``cache.invalidate``        the route cache (``cache="route"``) or a
                             request cache (``cache="request"``) flushed
+``peer.evicted``            a directory evicted an unresponsive peer's
+                            Bloom summary after N silent query timeouts
+``fault.node_crash``        fault injection took a node down
+                            (``wipe_state`` says hard vs. soft)
+``fault.node_restart``      a crashed node came back up
+``fault.link_cut``          a link was severed (``peer`` = other end)
+``fault.link_healed``       a severed link was restored
+``fault.partition``         the network split into isolated groups
+``fault.partition_healed``  the partition merged back together
+``fault.chaos_start``       a stochastic message-chaos window opened
+``fault.chaos_end``         a chaos window closed
+``fault.message_lost``      chaos dropped one message (``dest``,
+                            ``message`` = payload kind)
+``fault.message_duplicated``  chaos delivered an extra copy
+``fault.message_reordered``   chaos delayed a message past its peers
 ==========================  ===============================================
 
 Events flow through the same sink abstraction as spans: sinks implement

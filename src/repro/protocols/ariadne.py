@@ -28,17 +28,21 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
         self.registry = SyntacticRegistry()
 
     def local_publish(self, document: str) -> str:
+        """Cache one WSDL advertisement; returns its service URI."""
         return self.registry.publish_xml(document).uri
 
     def local_withdraw(self, service_uri: str) -> None:
+        """Drop a cached advertisement (idempotent)."""
         self.registry.unpublish(service_uri)
 
     def local_query(self, document: str) -> list[ResultRow]:
+        """Answer a WSDL request from the local cache (keyword match)."""
         hits = self.registry.query_xml(document)
         # Syntactic conformance is binary: every hit gets distance 0.
         return [(description.uri, description.port_type, 0) for description in hits]
 
     def build_summary(self) -> BloomFilter:
+        """Bloom filter over the keywords of every cached description."""
         if self.obs.enabled:
             self.obs.counter("dir.summary_builds", node=self.node.node_id).inc()
         bloom = BloomFilter(self.summary_bits, self.summary_hashes)
@@ -48,6 +52,7 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
         return bloom
 
     def summary_admits(self, summary: BloomFilter, document: str) -> bool:
+        """Forward preselection: all request keywords in the summary?"""
         try:
             parsed = wsdl_from_xml(document)
         except ServiceSyntaxError:
@@ -60,6 +65,7 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
     # Backbone fast path: parse/encode once, test/match many times
     # ------------------------------------------------------------------
     def parse_request(self, document: str) -> WsdlRequest | None:
+        """Parse a request document once; ``None`` if malformed."""
         try:
             parsed = wsdl_from_xml(document)
         except ServiceSyntaxError:
@@ -69,6 +75,7 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
     def local_query_parsed(
         self, document: str, parsed: WsdlRequest | None
     ) -> list[ResultRow]:
+        """Like :meth:`local_query`, reusing an existing parse."""
         if parsed is None:
             return self.local_query(document)
         hits = self.registry.query_wsdl(parsed)
@@ -77,6 +84,7 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
     def summary_admits_parsed(
         self, summary: BloomFilter, document: str, parsed: WsdlRequest | None
     ) -> bool:
+        """Like :meth:`summary_admits`, reusing an existing parse."""
         if parsed is None:
             return self.summary_admits(summary, document)
         if not parsed.keywords:
@@ -84,6 +92,7 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
         return all(keyword in summary for keyword in parsed.keywords)
 
     def encode_request(self, document: str, parsed: WsdlRequest) -> EncodedRequest | None:
+        """Pack the parsed request for forwarding (peers skip the XML)."""
         operations = tuple(
             (op.name, tuple(op.inputs), tuple(op.outputs)) for op in parsed.operations
         )
@@ -94,6 +103,7 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
         )
 
     def decode_request(self, wire: EncodedRequest) -> WsdlRequest | None:
+        """Rebuild a :class:`WsdlRequest` from its wire form."""
         if wire.protocol != WIRE_PROTOCOL or len(wire.data) != 3:
             return None
         uri, operations, keywords = wire.data
@@ -107,6 +117,7 @@ class AriadneDirectoryAgent(DirectoryAgentBase):
         )
 
     def request_cache_version(self):
+        """Version key for the parse cache (constant: nothing goes stale)."""
         # Syntactic parses never go stale; a constant token keeps the
         # version-keyed cache warm for the agent's lifetime.
         return 0

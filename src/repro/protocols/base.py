@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.core.codes import StaleCodesError
 from repro.network.messages import (
     CodeRefreshResponse,
+    DirectoryAdvert,
     DirectoryAnnounce,
     DirectoryHandoff,
     EncodedRequest,
@@ -56,6 +57,10 @@ class QueryOutcome(enum.Enum):
     PENDING = "pending"
     #: A :class:`QueryResponse` arrived (possibly with zero results).
     ANSWERED = "answered"
+    #: A response arrived, but the answering directory could not hear
+    #: from every forwarded peer (partition, crash): the results cover
+    #: only the reachable part of the backbone.
+    PARTIAL = "partial"
     #: No directory was known/reachable when the query was issued.
     NO_DIRECTORY = "no_directory"
     #: A directory was known but the initial send failed.
@@ -159,6 +164,14 @@ class DirectoryAgentBase(ProtocolAgent):
         self._peer_forwarded: dict[int, int] = {}
         self._peer_empty: dict[int, int] = {}
         self.summary_refreshes_requested = 0
+        # Graceful degradation: a peer that stays silent across this many
+        # consecutive forwarded queries is presumed dead (crash, partition)
+        # and its Bloom summary is evicted — forwarding into a black hole
+        # costs a full forward_window per query.  Any message from the
+        # peer resets the count; a later announce/summary re-admits it.
+        self.peer_silence_threshold = 3
+        self._peer_silent: dict[int, int] = {}
+        self.peers_evicted = 0
         # Backbone fast path: a request document is parsed/encoded at most
         # once per node and carried pre-parsed on forwarded messages.
         # ``use_fastpath = False`` restores the historical parse-per-call
@@ -636,6 +649,12 @@ class DirectoryAgentBase(ProtocolAgent):
         if pending is None or pending.concluded:
             return
         pending.concluded = True
+        # Peers still outstanding stayed silent through the whole forward
+        # window: answer anyway (flagged partial) and count the silence
+        # toward eviction rather than leaving the client hanging.
+        partial = bool(pending.outstanding)
+        for peer_id in sorted(pending.outstanding):
+            self._note_peer_silent(peer_id)
         ranked = sorted(set(pending.results), key=lambda row: (row[2], row[0]))
         self.queries_answered += 1
         if self.obs.enabled:
@@ -645,16 +664,75 @@ class DirectoryAgentBase(ProtocolAgent):
                 sim_time=self.node.network.sim.now,
                 directory=self.node.node_id,
                 results=len(ranked),
+                partial=partial,
             )
         self.node.network.record(
             self.node.node_id, "respond", f"#{query_id}: {len(ranked)} result(s)"
         )
-        self.node.unicast(pending.client_id, QueryResponse(query_id, tuple(ranked)))  # step 6
+        self.node.unicast(
+            pending.client_id, QueryResponse(query_id, tuple(ranked), partial=partial)
+        )  # step 6
+
+    def _note_peer_silent(self, peer_id: int) -> None:
+        """A forwarded query to ``peer_id`` timed out unanswered.  After
+        :attr:`peer_silence_threshold` consecutive timeouts the peer is
+        presumed dead and evicted from the backbone view (summary, peer
+        set, health counters); a later announce or summary re-admits it.
+        """
+        count = self._peer_silent.get(peer_id, 0) + 1
+        self._peer_silent[peer_id] = count
+        if count < self.peer_silence_threshold:
+            return
+        was_known = peer_id in self.known_peers
+        self.known_peers.discard(peer_id)
+        self.peer_summaries.pop(peer_id, None)
+        self._peer_silent.pop(peer_id, None)
+        self._peer_forwarded.pop(peer_id, None)
+        self._peer_empty.pop(peer_id, None)
+        if was_known:
+            self.peers_evicted += 1
+            if self.obs.enabled:
+                self.obs.lifecycle(
+                    "peer.evicted",
+                    sim_time=self.node.network.sim.now,
+                    node=self.node.node_id,
+                    cause="silent_timeouts",
+                    peer=peer_id,
+                    timeouts=count,
+                )
+
+    def _note_peer_alive(self, peer_id: int) -> None:
+        """Any traffic from a peer clears its silence strikes."""
+        self._peer_silent.pop(peer_id, None)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def on_crash(self, wipe_state: bool) -> None:
+        """In-flight queries die with the node; a hard crash also loses
+        the cached advertisements and the backbone view (clients restore
+        content via soft-state refresh, §4)."""
+        self._pending.clear()
+        self._peer_silent.clear()
+        self._summary_flush_scheduled = False
+        if not wipe_state:
+            return
+        for service_uri in list(self._documents_by_service):
+            self.local_withdraw(service_uri)
+        self._documents_by_service.clear()
+        self.peer_summaries.clear()
+        self.known_peers.clear()
+
+    def on_restart(self) -> None:
+        """Rejoin the backbone: re-announce so peers re-admit this
+        directory and summaries flow again in both directions."""
+        self.join_backbone()
 
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
     def on_message(self, envelope: Envelope) -> None:
+        """Dispatch directory-side protocol traffic (Fig. 6 steps)."""
         payload = envelope.payload
         if isinstance(payload, PublishService):
             self._handle_publish(envelope.source, payload.document)
@@ -704,6 +782,7 @@ class DirectoryAgentBase(ProtocolAgent):
                     peer=envelope.source,
                     results=len(payload.results),
                 )
+            self._note_peer_alive(envelope.source)
             if not payload.results:
                 self._note_false_positive(envelope.source)
             pending = self._pending.get(payload.query_id)
@@ -717,6 +796,7 @@ class DirectoryAgentBase(ProtocolAgent):
                 payload.bloom_bits, payload.bloom_m, payload.bloom_k
             )
             self.known_peers.add(payload.directory_id)
+            self._note_peer_alive(payload.directory_id)
         elif isinstance(payload, SummaryRequest):
             if self.obs.enabled:
                 self.obs.lifecycle(
@@ -731,6 +811,7 @@ class DirectoryAgentBase(ProtocolAgent):
         elif isinstance(payload, DirectoryAnnounce):
             if payload.directory_id != self.node.node_id:
                 self.known_peers.add(payload.directory_id)
+                self._note_peer_alive(payload.directory_id)
                 self._send_summary_to(payload.directory_id)
                 if payload.reply_expected:
                     self.node.unicast(
@@ -761,6 +842,17 @@ class ClientAgentBase(ProtocolAgent):
         self._advertised: dict[str, str] = {}
         self._refresh_cancel = None
         self._tickets: dict[int, QueryTicket] = {}
+        # Scheduled simulator events per in-flight query, cancelled the
+        # moment the response arrives (leaving them armed leaks one live
+        # event per answered query and keeps drained runs alive).
+        self._exhaust_events: dict[int, object] = {}
+        self._retry_events: dict[int, object] = {}
+        #: Directories this client has heard advertise.  An advert from a
+        #: *previously unseen* directory signals failover (the old one
+        #: crashed or resigned and a successor was elected) and triggers
+        #: immediate re-registration of soft-state advertisements instead
+        #: of waiting for the next refresh tick.
+        self._seen_directories: set[int] = set()
 
     def directory_id(self) -> int | None:
         """The directory currently responsible for this node's area."""
@@ -814,27 +906,47 @@ class ClientAgentBase(ProtocolAgent):
     def _refresh_advertisements(self) -> None:
         for service_uri, document in list(self._advertised.items()):
             # Re-resolve the directory each round: the vicinity may have
-            # changed (election churn, crash, mobility).
-            self._published_at.pop(service_uri, None)
+            # changed (election churn, crash, mobility).  When it has,
+            # withdraw the copy left at the previous directory so a later
+            # :meth:`withdraw` does not miss it.
+            previous = self._published_at.pop(service_uri, None)
             self.publish(document, service_uri=service_uri)
+            current = self._published_at.get(service_uri)
+            if previous is not None and current is not None and previous != current:
+                self.node.unicast(previous, WithdrawService(service_uri))
 
-    def query(self, document: str, retries: int = 0, retry_timeout: float = 3.0) -> QueryTicket:
+    def query(
+        self,
+        document: str,
+        retries: int = 0,
+        retry_timeout: float = 3.0,
+        retry_backoff: float = 2.0,
+    ) -> QueryTicket:
         """Issue a discovery request; returns a :class:`QueryTicket`.
 
         The ticket is falsy when nothing was sent, and its ``outcome``
         says *why* — ``NO_DIRECTORY`` (no directory known/reachable) vs
         ``SEND_FAILED`` (a directory was known but the send failed) — the
         two cases the old ``int | None`` return collapsed.  On success the
-        ticket starts ``PENDING``, turns ``ANSWERED`` when the response
-        arrives in :attr:`responses` (keyed by query id; the ticket itself
-        works as the key), and — when ``retries`` were requested — turns
-        ``EXHAUSTED`` once the whole retry budget elapses silently.
+        ticket starts ``PENDING``, turns ``ANSWERED`` (or ``PARTIAL`` for
+        a response assembled across an impaired backbone) when the
+        response arrives in :attr:`responses` (keyed by query id; the
+        ticket itself works as the key), and — when ``retries`` were
+        requested — turns ``EXHAUSTED`` once the whole retry budget
+        elapses silently.
 
         Args:
             retries: how many times to re-send when no response arrives
-                within ``retry_timeout`` (lossy-network recovery; the
-                latency recorded is from the *first* attempt).
-            retry_timeout: silence window before a re-send (s).
+                within the current silence window (lossy-network
+                recovery; the latency recorded is from the *first*
+                attempt).
+            retry_timeout: initial silence window before a re-send (s).
+            retry_backoff: multiplier applied to the silence window after
+                every re-send (exponential backoff; 1.0 restores the
+                historical fixed interval).
+
+        Returns:
+            A :class:`QueryTicket` tracking the query's lifecycle.
         """
         directory = self.directory_id()
         if directory is None:
@@ -848,22 +960,46 @@ class ClientAgentBase(ProtocolAgent):
         ticket = QueryTicket(query_id, QueryOutcome.PENDING)
         self._tickets[query_id] = ticket
         if retries > 0:
-            self._schedule_retry(query_id, document, retries, retry_timeout)
-            # The whole budget: the initial window plus one per re-send.
-            self.node.network.sim.schedule(
-                (retries + 1) * retry_timeout, lambda: self._mark_exhausted(query_id)
+            self._schedule_retry(query_id, document, retries, retry_timeout, retry_backoff)
+            # The whole budget: the initial window plus one (backed-off)
+            # window per re-send.  Cancelled on resolution — an armed
+            # timer per answered query is a per-query event leak.
+            budget = sum(
+                retry_timeout * retry_backoff**attempt for attempt in range(retries + 1)
+            )
+            self._exhaust_events[query_id] = self.node.network.sim.schedule(
+                budget, lambda: self._mark_exhausted(query_id)
             )
         return ticket
 
     def _mark_exhausted(self, query_id: int) -> None:
+        self._exhaust_events.pop(query_id, None)
+        self._cancel_event(self._retry_events, query_id)
         ticket = self._tickets.get(query_id)
         if ticket is not None and ticket.outcome is QueryOutcome.PENDING:
+            self._tickets.pop(query_id, None)
             ticket.outcome = QueryOutcome.EXHAUSTED
 
+    def _cancel_event(self, store: dict[int, object], query_id: int) -> None:
+        event = store.pop(query_id, None)
+        if event is not None:
+            event.cancel()
+
     def _schedule_retry(
-        self, query_id: int, document: str, retries_left: int, retry_timeout: float
+        self,
+        query_id: int,
+        document: str,
+        retries_left: int,
+        retry_timeout: float,
+        retry_backoff: float = 2.0,
     ) -> None:
+        """Arm the next re-send after ``retry_timeout`` of silence; each
+        subsequent window is ``retry_backoff`` times longer (exponential
+        backoff, so a dead or partitioned directory is probed ever less
+        aggressively instead of being hammered at a fixed rate)."""
+
         def retry() -> None:
+            self._retry_events.pop(query_id, None)
             if query_id in self.responses or query_id not in self._issue_times:
                 return
             directory = self.directory_id()
@@ -872,13 +1008,52 @@ class ClientAgentBase(ProtocolAgent):
             self.retries_sent += 1
             self.node.unicast(directory, QueryRequest(query_id, document))
             if retries_left > 1:
-                self._schedule_retry(query_id, document, retries_left - 1, retry_timeout)
+                self._schedule_retry(
+                    query_id,
+                    document,
+                    retries_left - 1,
+                    retry_timeout * retry_backoff,
+                    retry_backoff,
+                )
 
-        self.node.network.sim.schedule(retry_timeout, retry)
+        self._retry_events[query_id] = self.node.network.sim.schedule(retry_timeout, retry)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def on_crash(self, wipe_state: bool) -> None:
+        """In-flight queries die with the node (tickets turn
+        ``EXHAUSTED``, their timers are disarmed); a hard crash also
+        forgets soft-state advertisements and received results."""
+        for query_id in list(self._tickets):
+            self._cancel_event(self._exhaust_events, query_id)
+            self._cancel_event(self._retry_events, query_id)
+            ticket = self._tickets.pop(query_id)
+            if ticket.outcome is QueryOutcome.PENDING:
+                ticket.outcome = QueryOutcome.EXHAUSTED
+        self._issue_times.clear()
+        if not wipe_state:
+            return
+        self.responses.clear()
+        self._advertised.clear()
+        self._published_at.clear()
+        self.code_updates.clear()
+        if self._refresh_cancel is not None:
+            self._refresh_cancel()
+            self._refresh_cancel = None
+
+    def on_restart(self) -> None:
+        """Re-register surviving soft-state advertisements immediately
+        instead of waiting for the next refresh tick."""
+        if self._advertised:
+            self._refresh_advertisements()
 
     def on_message(self, envelope: Envelope) -> None:
+        """Dispatch client-side traffic (responses, adverts, codes)."""
         payload = envelope.payload
         if isinstance(payload, QueryResponse):
+            self._cancel_event(self._exhaust_events, payload.query_id)
+            self._cancel_event(self._retry_events, payload.query_id)
             issued = self._issue_times.pop(payload.query_id, None)
             if issued is not None:
                 latency = self.node.network.sim.now - issued
@@ -890,7 +1065,21 @@ class ClientAgentBase(ProtocolAgent):
                     ).observe(latency)
                 ticket = self._tickets.pop(payload.query_id, None)
                 if ticket is not None:
-                    ticket.outcome = QueryOutcome.ANSWERED
+                    ticket.outcome = (
+                        QueryOutcome.PARTIAL if payload.partial else QueryOutcome.ANSWERED
+                    )
+        elif isinstance(payload, DirectoryAdvert):
+            # Failover re-registration: a *never-before-seen* directory
+            # advertising in this vicinity means an election replaced a
+            # crashed or resigned one — push the soft-state
+            # advertisements now rather than waiting for the next
+            # refresh interval.  Adverts from already-known directories
+            # (normal beaconing) change nothing.
+            if payload.directory_id not in self._seen_directories:
+                first = not self._seen_directories
+                self._seen_directories.add(payload.directory_id)
+                if self._advertised and not first:
+                    self._refresh_advertisements()
         elif isinstance(payload, CodeRefreshResponse):
             self.latest_code_version = payload.version
             self.code_updates.update(payload.codes)

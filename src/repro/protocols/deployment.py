@@ -270,6 +270,11 @@ class Deployment:
 
         self.sim.schedule_every(check_interval, check)
 
+    def install_fault_plan(self, plan):
+        """Attach a :class:`~repro.network.faults.FaultPlan` to the
+        underlying fabric and arm it; returns the injector (for stats)."""
+        return self.network.install_fault_plan(plan)
+
     def directory_ids(self) -> list[int]:
         """Nodes currently acting as directories."""
         return sorted(self.directory_agents)

@@ -127,6 +127,7 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
         )
 
     def local_publish(self, document: str) -> str:
+        """Cache one Amigo-S advertisement; returns its service URI."""
         return self.directory.publish_xml(document).uri
 
     def local_publish_batch(self, documents: list[str]) -> list[str]:
@@ -136,13 +137,16 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
         return [profile.uri for profile in self.directory.publish_xml_batch(documents)]
 
     def local_withdraw(self, service_uri: str) -> None:
+        """Drop a cached advertisement (idempotent)."""
         self.directory.unpublish(service_uri)
 
     def local_query(self, document: str) -> list[ResultRow]:
+        """Answer a request from the local semantic directory."""
         matches = self.directory.query_xml(document)
         return [(m.service_uri, m.capability.uri, m.distance) for m in matches]
 
     def build_summary(self) -> BloomFilter:
+        """Snapshot the incrementally-maintained ontology summary."""
         if self.obs.enabled:
             self.obs.counter("dir.summary_builds", node=self.node.node_id).inc()
         # The directory maintains its counting summary incrementally on
@@ -151,6 +155,7 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
         return self.directory.summary.snapshot()
 
     def summary_admits(self, summary: BloomFilter, document: str) -> bool:
+        """Forward preselection: may the peer's content answer this?"""
         try:
             request, _annotations = request_from_xml(document)
         except ServiceSyntaxError:
@@ -161,6 +166,7 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
     # Backbone fast path: parse/encode once, test/match many times
     # ------------------------------------------------------------------
     def parse_request(self, document: str) -> ParsedSemanticRequest | None:
+        """Parse a request document once; ``None`` if malformed."""
         try:
             request, annotations = request_from_xml(document)
         except ServiceSyntaxError:
@@ -170,6 +176,7 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
     def local_query_parsed(
         self, document: str, parsed: ParsedSemanticRequest | None
     ) -> list[ResultRow]:
+        """Like :meth:`local_query`, reusing an existing parse."""
         if parsed is None:
             return self.local_query(document)
         obs = self.obs
@@ -185,6 +192,7 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
     def summary_admits_parsed(
         self, summary: BloomFilter, document: str, parsed: ParsedSemanticRequest | None
     ) -> bool:
+        """Like :meth:`summary_admits`, reusing an existing parse."""
         if parsed is None:
             return self.summary_admits(summary, document)
         return DirectorySummary.from_bloom(summary).might_answer(parsed.request)
@@ -192,9 +200,11 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
     def encode_request(
         self, document: str, parsed: ParsedSemanticRequest
     ) -> EncodedRequest | None:
+        """Pack the parsed request for forwarding (peers skip the XML)."""
         return parsed.to_wire()
 
     def decode_request(self, wire: EncodedRequest) -> ParsedSemanticRequest | None:
+        """Rebuild the parse-once form from its wire tuples."""
         if (
             wire.codes_version is not None
             and wire.codes_version != self.directory.table.version
@@ -205,6 +215,7 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
         return ParsedSemanticRequest.from_wire(wire)
 
     def request_cache_version(self):
+        """Parse-cache key: entries go stale when the code table moves."""
         table = self.directory.table
         return (id(table), table.version)
 

@@ -42,9 +42,11 @@ class Rect:
             raise ValueError(f"malformed rectangle {self}")
 
     def area(self) -> float:
+        """Rectangle area (R-tree split heuristic input)."""
         return (self.x_hi - self.x_lo) * (self.y_hi - self.y_lo)
 
     def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
         return Rect(
             min(self.x_lo, other.x_lo),
             max(self.x_hi, other.x_hi),
@@ -53,6 +55,7 @@ class Rect:
         )
 
     def intersects(self, other: "Rect") -> bool:
+        """Closed-rectangle overlap test."""
         return (
             self.x_lo <= other.x_hi
             and other.x_lo <= self.x_hi

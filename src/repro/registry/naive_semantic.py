@@ -54,6 +54,7 @@ class MatchCostReport:
 
     @property
     def total_seconds(self) -> float:
+        """Wall-clock total across all cost phases."""
         return self.parse_seconds + self.load_seconds + self.classify_seconds + self.match_seconds
 
     @property

@@ -47,6 +47,7 @@ class Invoke:
             raise ProcessError("operation name must be non-empty")
 
     def alphabet(self) -> frozenset[str]:
+        """The single invoked operation name."""
         return frozenset({self.operation})
 
 
@@ -61,6 +62,7 @@ class Sequence:
             raise ProcessError("Sequence needs at least one part")
 
     def alphabet(self) -> frozenset[str]:
+        """Union of the parts' operation names."""
         return frozenset().union(*(p.alphabet() for p in self.parts))
 
 
@@ -75,6 +77,7 @@ class Choice:
             raise ProcessError("Choice needs at least two branches")
 
     def alphabet(self) -> frozenset[str]:
+        """Union of the branches' operation names."""
         return frozenset().union(*(b.alphabet() for b in self.branches))
 
 
@@ -85,6 +88,7 @@ class Repeat:
     body: "ProcessTerm"
 
     def alphabet(self) -> frozenset[str]:
+        """Operation names of the repeated body."""
         return self.body.alphabet()
 
 
@@ -105,6 +109,7 @@ class AnyOrder:
             raise ProcessError("AnyOrder supports at most 4 parts (interleaving blow-up)")
 
     def alphabet(self) -> frozenset[str]:
+        """Union of the interleaved parts' operation names."""
         return frozenset().union(*(p.alphabet() for p in self.parts))
 
 
@@ -141,6 +146,7 @@ class Nfa:
     state_count: int = 0
 
     def alphabet(self) -> frozenset[str]:
+        """Every symbol appearing on a transition."""
         return frozenset(symbol for _state, symbol in self.transitions)
 
     # -- construction helpers ------------------------------------------

@@ -196,6 +196,7 @@ class ContextSnapshot:
         return cls(values=tuple(sorted(values.items())))
 
     def get(self, key: str) -> str | None:
+        """Value for a context attribute, ``None`` when unset."""
         for name, value in self.values:
             if name == key:
                 return value

@@ -1,0 +1,348 @@
+"""Deterministic fault injection: plans, fabric integration, replay.
+
+Covers the three contracts the chaos layer makes:
+
+* fabric semantics — crashed nodes are unreachable and non-forwarding,
+  cut links and partitions prune connectivity (and heal), chaos windows
+  lose/duplicate/delay messages;
+* determinism — any seeded plan replayed over the same scenario yields
+  bitwise-identical lifecycle/trace signatures (hypothesis property);
+* zero-fault transparency — installing an *empty* plan leaves an
+  instrumented run identical to running with no plan at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import fig10_traced_run
+from repro.network.faults import (
+    CrashNode,
+    CutLink,
+    FaultPlan,
+    MessageChaos,
+    PartitionNetwork,
+)
+from repro.network.node import Network, ProtocolAgent
+from repro.network.simulator import Simulator
+from repro.network.topology import Bounds, Position
+from repro.obs import Observability, RingBufferSink
+
+
+class Recorder(ProtocolAgent):
+    """Collects every delivered payload."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.received: list[object] = []
+        self.crashes: list[bool] = []
+        self.restarts = 0
+
+    def on_message(self, envelope) -> None:
+        self.received.append(envelope.payload)
+
+    def on_crash(self, wipe_state: bool) -> None:
+        self.crashes.append(wipe_state)
+
+    def on_restart(self) -> None:
+        self.restarts += 1
+
+
+def chain_network(count: int = 4, spacing: float = 50.0):
+    """A line topology: node i at (i*spacing, 0), radio range ~1 hop."""
+    sim = Simulator()
+    network = Network(
+        sim, bounds=Bounds(500, 100), radio_range=spacing * 1.2, seed=1
+    )
+    agents = {}
+    for nid in range(count):
+        node = network.add_node(nid, Position(nid * spacing, 0.0))
+        agents[nid] = node.add_agent(Recorder())
+    network.start()
+    return sim, network, agents
+
+
+class TestFaultPlanSchema:
+    def test_builder_chains_and_validates(self):
+        plan = (
+            FaultPlan(seed=7)
+            .crash(at=10.0, node=2, wipe_state=False, restart_at=20.0)
+            .cut_link(at=5.0, a=0, b=1, heal_at=15.0)
+            .partition(at=30.0, groups=((0, 1), (2, 3)), heal_at=40.0)
+            .chaos(start=1.0, stop=2.0, loss=0.5)
+        )
+        assert len(plan.faults) == 4
+        assert not plan.is_empty
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: CrashNode(at=-1.0, node=0),
+            lambda: CrashNode(at=5.0, node=0, restart_at=5.0),
+            lambda: CutLink(at=0.0, a=1, b=1),
+            lambda: CutLink(at=3.0, a=0, b=1, heal_at=2.0),
+            lambda: PartitionNetwork(at=0.0, groups=()),
+            lambda: PartitionNetwork(at=0.0, groups=((1, 2), (2, 3))),
+            lambda: MessageChaos(start=0.0, loss=1.0),
+            lambda: MessageChaos(start=5.0, stop=4.0),
+        ],
+    )
+    def test_invalid_faults_rejected(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+    def test_unknown_fault_type_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan().add(object())
+
+    def test_dict_round_trip(self):
+        plan = (
+            FaultPlan(seed=3)
+            .crash(at=10.0, node=2, restart_at=20.0)
+            .partition(at=30.0, groups=((0, 1), (2,)), heal_at=40.0)
+            .chaos(start=1.0, loss=0.25, duplicate=0.1)
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.signature() == plan.signature()
+
+    def test_from_dict_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"seed": 0, "faults": [{"type": "Meteor"}]})
+
+
+class TestCrashRestart:
+    def test_crashed_node_receives_nothing(self):
+        sim, network, agents = chain_network()
+        network.crash_node(2)
+        network.nodes[0].broadcast("hello", ttl=4)
+        sim.run(until=1.0)
+        assert agents[2].received == []
+        # The chain is severed at node 2: node 3 is unreachable too.
+        assert agents[3].received == []
+        assert agents[1].received == ["hello"]
+
+    def test_crash_notifies_agents_and_restart_recovers(self):
+        sim, network, agents = chain_network()
+        network.crash_node(2, wipe_state=False)
+        assert agents[2].crashes == [False]
+        assert not network.is_up(2)
+        network.restart_node(2)
+        assert agents[2].restarts == 1
+        assert network.is_up(2)
+        network.nodes[0].broadcast("again", ttl=4)
+        sim.run(until=1.0)
+        assert agents[3].received == ["again"]
+
+    def test_crashed_node_cannot_send(self):
+        sim, network, agents = chain_network()
+        network.crash_node(1)
+        assert not network.nodes[1].unicast(0, "nope")
+        network.nodes[1].broadcast("nope", ttl=2)
+        sim.run(until=1.0)
+        assert agents[0].received == []
+        assert network.stats.drops_down >= 2
+
+    def test_unicast_to_crashed_node_fails(self):
+        _sim, network, _agents = chain_network()
+        network.crash_node(3)
+        assert not network.nodes[2].unicast(3, "anyone home?")
+
+    def test_crash_is_idempotent(self):
+        _sim, network, agents = chain_network()
+        network.crash_node(1)
+        network.crash_node(1)
+        assert agents[1].crashes == [True]
+        network.restart_node(1)
+        network.restart_node(1)
+        assert agents[1].restarts == 1
+
+
+class TestLinkAndPartition:
+    def test_cut_link_reroutes_and_heals(self):
+        sim, network, _agents = chain_network()
+        assert network.hop_count(0, 3) == 3
+        network.cut_link(1, 2)
+        assert network.hop_count(0, 3) is None
+        network.heal_link(1, 2)
+        assert network.hop_count(0, 3) == 3
+        del sim
+
+    def test_cut_wired_link(self):
+        sim, network, agents = chain_network()
+        network.add_wired_link(0, 3)
+        assert network.hop_count(0, 3) == 1
+        network.cut_link(0, 3)
+        assert network.hop_count(0, 3) == 3  # radio path remains
+        del sim, agents
+
+    def test_partition_isolates_and_heals(self):
+        sim, network, agents = chain_network()
+        network.set_partition(((0, 1), (2, 3)))
+        assert network.hop_count(1, 2) is None
+        assert network.hop_count(0, 1) == 1
+        assert network.hop_count(2, 3) == 1
+        network.nodes[0].broadcast("island", ttl=4)
+        sim.run(until=1.0)
+        assert agents[1].received == ["island"]
+        assert agents[2].received == []
+        network.heal_partition()
+        assert network.hop_count(1, 2) == 1
+
+    def test_unlisted_nodes_share_remainder_island(self):
+        _sim, network, _agents = chain_network()
+        network.set_partition(((0,),))
+        # 1, 2, 3 are unlisted: they stay connected to each other.
+        assert network.hop_count(1, 3) == 2
+        assert network.hop_count(0, 1) is None
+
+
+class TestScheduledExecution:
+    def test_timed_faults_fire_and_emit_events(self):
+        sim, network, agents = chain_network()
+        sink = RingBufferSink()
+        obs = Observability(sinks=[sink])
+        from repro.obs import install
+
+        install(obs, network)
+        plan = (
+            FaultPlan()
+            .crash(at=1.0, node=2, restart_at=2.0)
+            .cut_link(at=1.0, a=0, b=1, heal_at=2.0)
+            .partition(at=3.0, groups=((0, 1), (2, 3)), heal_at=4.0)
+        )
+        injector = network.install_fault_plan(plan)
+        sim.run(until=5.0)
+        assert injector.stats.crashes == 1
+        assert injector.stats.restarts == 1
+        assert injector.stats.links_cut == 1
+        assert injector.stats.partitions_healed == 1
+        kinds = [event.kind for event in sink.events]
+        for expected in (
+            "fault.node_crash",
+            "fault.node_restart",
+            "fault.link_cut",
+            "fault.link_healed",
+            "fault.partition",
+            "fault.partition_healed",
+        ):
+            assert expected in kinds
+        assert agents[2].crashes == [True]
+        assert agents[2].restarts == 1
+
+    def test_second_plan_rejected(self):
+        _sim, network, _agents = chain_network()
+        network.install_fault_plan(FaultPlan())
+        with pytest.raises(RuntimeError):
+            network.install_fault_plan(FaultPlan())
+
+
+class TestMessageChaos:
+    def _run_traffic(self, network, sim, messages: int = 200) -> None:
+        for index in range(messages):
+            network.nodes[0].unicast(3, f"msg-{index}")
+            sim.run(until=sim.now + 0.05)
+
+    def test_chaos_window_loses_and_duplicates(self):
+        sim, network, agents = chain_network()
+        plan = FaultPlan(seed=5).chaos(start=0.0, loss=0.3, duplicate=0.2)
+        injector = network.install_fault_plan(plan)
+        self._run_traffic(network, sim)
+        assert injector.stats.messages_lost > 0
+        assert injector.stats.messages_duplicated > 0
+        delivered = len(agents[3].received)
+        assert delivered < 200  # losses happened
+        expected = 200 - injector.stats.messages_lost + injector.stats.messages_duplicated
+        assert delivered == expected
+
+    def test_chaos_outside_window_is_transparent(self):
+        sim, network, agents = chain_network()
+        plan = FaultPlan(seed=5).chaos(start=100.0, stop=200.0, loss=0.9)
+        injector = network.install_fault_plan(plan)
+        self._run_traffic(network, sim, messages=50)
+        assert injector.stats.messages_lost == 0
+        assert len(agents[3].received) == 50
+
+    def test_extra_delay_slows_delivery(self):
+        sim, network, agents = chain_network()
+        network.install_fault_plan(FaultPlan(seed=2).chaos(start=0.0, extra_delay=0.5))
+        network.nodes[0].unicast(3, "slow")
+        sim.run(until=0.1)
+        baseline_arrival = not agents[3].received
+        sim.run(until=2.0)
+        assert agents[3].received == ["slow"]
+        assert baseline_arrival  # it had not arrived at the no-chaos ETA
+
+    def test_chaos_uses_its_own_rng_stream(self):
+        """The injector must not consume ``network.rng`` draws: two runs,
+        one with a (non-firing) chaos plan, keep identical fabric RNG
+        state — the zero-fault determinism cornerstone."""
+        _sim_a, network_a, _ = chain_network()
+        _sim_b, network_b, _ = chain_network()
+        network_b.install_fault_plan(FaultPlan(seed=99).chaos(start=1e9, loss=0.5))
+        assert network_a.rng.getstate() == network_b.rng.getstate()
+        network_b.nodes[0].unicast(3, "x")
+        assert network_a.rng.getstate() == network_b.rng.getstate()
+
+
+def traced_signatures(fault_plan):
+    sink = RingBufferSink()
+    obs = Observability(sinks=[sink])
+    summary = fig10_traced_run(
+        obs, seed=42, directory_count=3, services=2, fault_plan=fault_plan
+    )
+    return (
+        summary,
+        [span.signature() for span in sink.spans],
+        [event.signature() for event in sink.events],
+    )
+
+
+# Strategy: small but structurally diverse plans over the fig10 topology
+# (nodes 0..4; node 3 is the client, 4 joins late).
+_fault_strategy = st.lists(
+    st.one_of(
+        st.builds(
+            CrashNode,
+            at=st.floats(1.0, 20.0),
+            node=st.integers(0, 2),
+            wipe_state=st.booleans(),
+        ),
+        st.builds(
+            CutLink,
+            at=st.floats(1.0, 20.0),
+            a=st.just(0),
+            b=st.integers(1, 2),
+        ),
+        st.builds(
+            MessageChaos,
+            start=st.floats(0.0, 10.0),
+            loss=st.floats(0.0, 0.6),
+            duplicate=st.floats(0.0, 0.4),
+            extra_delay=st.floats(0.0, 0.02),
+        ),
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+
+class TestReplayDeterminism:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16), faults=_fault_strategy)
+    def test_any_seeded_plan_replays_bitwise_identically(self, seed, faults):
+        plan_a = FaultPlan(seed=seed, faults=faults)
+        plan_b = FaultPlan.from_dict(plan_a.to_dict())  # independent copy
+        summary_a, spans_a, events_a = traced_signatures(plan_a)
+        summary_b, spans_b, events_b = traced_signatures(plan_b)
+        assert summary_a == summary_b
+        assert spans_a == spans_b
+        assert events_a == events_b
+
+    def test_zero_fault_plan_reproduces_unfaulted_run_exactly(self):
+        summary_none, spans_none, events_none = traced_signatures(None)
+        summary_empty, spans_empty, events_empty = traced_signatures(FaultPlan(seed=123))
+        assert summary_none == summary_empty
+        assert spans_none == spans_empty
+        assert events_none == events_empty

@@ -1,0 +1,254 @@
+"""Graceful degradation under injected faults (§4 resilience).
+
+End-to-end checks of the failure behaviours the chaos experiment relies
+on: directory crash → re-election → soft-state re-registration; silent
+backbone peers evicted after repeated forward timeouts; partial query
+responses when part of the backbone is unreachable; and retry/exhaustion
+timer hygiene on the client (no leaked events once a query resolves).
+"""
+
+import pytest
+
+from repro.core.codes import CodeTable
+from repro.network.election import ElectionConfig
+from repro.network.faults import FaultPlan
+from repro.obs import Observability, RingBufferSink, install
+from repro.ontology.registry import OntologyRegistry
+from repro.protocols.base import QueryOutcome
+from repro.protocols.deployment import Deployment, DeploymentConfig
+from repro.services.xml_codec import profile_to_xml, request_to_xml
+
+FAST_ELECTION = ElectionConfig(
+    advert_interval=5.0,
+    advert_hops=2,
+    directory_timeout=10.0,
+    check_interval=2.0,
+    reply_window=1.0,
+    election_hops=2,
+)
+
+
+@pytest.fixture(scope="module")
+def table(small_workload):
+    return CodeTable(OntologyRegistry(small_workload.ontologies))
+
+
+def build(table, seed=3):
+    deployment = Deployment(
+        DeploymentConfig(
+            node_count=25,
+            protocol="sariadne",
+            election=FAST_ELECTION,
+            seed=seed,
+            directory_capable_fraction=1.0,
+        ),
+        table=table,
+    )
+    deployment.run_until_directories(minimum=1)
+    return deployment
+
+
+def docs_for(workload, table, index):
+    profile = workload.make_service(index)
+    document = profile_to_xml(
+        profile,
+        annotations=table.annotate(profile.provided),
+        codes_version=table.version,
+    )
+    request = workload.matching_request(profile)
+    request_doc = request_to_xml(
+        request,
+        annotations=table.annotate(request.capabilities),
+        codes_version=table.version,
+    )
+    return profile, document, request_doc
+
+
+def up_directories(deployment):
+    return [
+        nid
+        for nid in deployment.directory_ids()
+        if deployment.network.is_up(nid)
+    ]
+
+
+class TestDirectoryCrashFailover:
+    def test_fault_plan_crash_triggers_reelection_and_reregistration(
+        self, small_workload, table
+    ):
+        deployment = build(table, seed=5)
+        sink = RingBufferSink()
+        install(Observability(sinks=[sink]), deployment.network)
+        profile, document, request_doc = docs_for(small_workload, table, 2)
+        client = deployment.clients[11]
+        assert client.advertise(document, profile.uri, refresh_interval=10.0)
+        deployment.sim.run(until=deployment.sim.now + 2.0)
+
+        victims = up_directories(deployment)
+        plan = FaultPlan(seed=0)
+        for victim in victims:
+            plan.crash(at=deployment.sim.now + 1.0, node=victim, wipe_state=True)
+        deployment.install_fault_plan(plan)
+        # Crash fires, directory timeout expires, a new election runs, the
+        # fresh directory's advert triggers immediate re-registration.
+        deployment.sim.run(until=deployment.sim.now + 60.0)
+
+        survivors = up_directories(deployment)
+        assert survivors, "no directory re-elected after the crash"
+        assert set(survivors).isdisjoint(victims)
+        response = deployment.query_from(18, request_doc)
+        assert response is not None
+        _latency, results = response
+        assert any(row[0] == profile.uri for row in results)
+        kinds = [event.kind for event in sink.events]
+        assert "fault.node_crash" in kinds
+        assert "election.promoted" in kinds
+        # The crash wiped the cache; only re-registration explains the hit.
+        assert all(
+            not deployment.directory_agents[v].cached_documents() for v in victims
+        )
+
+    def test_crash_restart_directory_recovers_via_refresh(
+        self, small_workload, table
+    ):
+        deployment = build(table, seed=7)
+        profile, document, request_doc = docs_for(small_workload, table, 3)
+        client = deployment.clients[9]
+        assert client.advertise(document, profile.uri, refresh_interval=10.0)
+        deployment.sim.run(until=deployment.sim.now + 2.0)
+
+        victim = up_directories(deployment)[0]
+        deployment.network.crash_node(victim, wipe_state=True)
+        deployment.network.restart_node(victim)
+        agent = deployment.directory_agents[victim]
+        assert not agent.cached_documents()  # hard crash wiped the cache
+        # One refresh round re-registers the soft-state advertisement.
+        deployment.sim.run(until=deployment.sim.now + 15.0)
+        response = deployment.query_from(4, request_doc)
+        assert response is not None
+        assert any(row[0] == profile.uri for row in response[1])
+
+
+class TestPartialAndPeerEviction:
+    def _silent_peer_setup(self, table, small_workload, seed=4):
+        deployment = build(table, seed=seed)
+        directory_id = up_directories(deployment)[0]
+        agent = deployment.directory_agents[directory_id]
+        # A plain client node on the backbone view: it will receive the
+        # forwarded RemoteQuery and (having no directory agent) stay
+        # silent — exactly how an unreachable/crashed peer looks.
+        silent_peer = next(
+            nid for nid in range(25) if nid not in deployment.directory_agents
+        )
+        agent.known_peers.add(silent_peer)
+        _profile, _doc, request_doc = docs_for(small_workload, table, 1)
+        return deployment, agent, silent_peer, request_doc
+
+    def test_unanswered_forward_yields_partial_outcome(
+        self, small_workload, table
+    ):
+        deployment, agent, _peer, request_doc = self._silent_peer_setup(
+            table, small_workload
+        )
+        client = deployment.clients[6]
+        ticket = client.query(request_doc)
+        assert ticket
+        deployment.sim.run(until=deployment.sim.now + agent.forward_window + 5.0)
+        assert ticket.outcome is QueryOutcome.PARTIAL
+        assert bool(QueryOutcome.PARTIAL)  # partial still counts as answered
+        assert ticket.query_id in client.responses
+
+    def test_silent_peer_evicted_after_threshold_timeouts(
+        self, small_workload, table
+    ):
+        deployment, agent, silent_peer, request_doc = self._silent_peer_setup(
+            table, small_workload
+        )
+        sink = RingBufferSink()
+        install(Observability(sinks=[sink]), deployment.network)
+        client = deployment.clients[6]
+        for _round in range(agent.peer_silence_threshold):
+            assert silent_peer in agent.known_peers
+            client.query(request_doc)
+            deployment.sim.run(
+                until=deployment.sim.now + agent.forward_window + 5.0
+            )
+        assert silent_peer not in agent.known_peers
+        assert agent.peers_evicted == 1
+        evicted = [e for e in sink.events if e.kind == "peer.evicted"]
+        assert len(evicted) == 1
+        assert evicted[0].attrs["peer"] == silent_peer
+        assert evicted[0].cause == "silent_timeouts"
+        # Queries after eviction are whole again (no outstanding peers).
+        ticket = client.query(request_doc)
+        deployment.sim.run(until=deployment.sim.now + agent.forward_window + 5.0)
+        assert ticket.outcome is QueryOutcome.ANSWERED
+
+    def test_peer_traffic_resets_silence_strikes(self, small_workload, table):
+        deployment, agent, silent_peer, request_doc = self._silent_peer_setup(
+            table, small_workload
+        )
+        client = deployment.clients[6]
+        client.query(request_doc)
+        deployment.sim.run(until=deployment.sim.now + agent.forward_window + 5.0)
+        assert agent._peer_silent.get(silent_peer) == 1
+        agent._note_peer_alive(silent_peer)
+        assert silent_peer not in agent._peer_silent
+        assert silent_peer in agent.known_peers
+
+
+class TestQueryTimerHygiene:
+    def test_answered_query_cancels_exhaustion_and_retry_timers(
+        self, small_workload, table
+    ):
+        deployment = build(table, seed=8)
+        profile, document, request_doc = docs_for(small_workload, table, 0)
+        client = deployment.clients[13]
+        assert deployment.publish_from(13, document, service_uri=profile.uri)
+
+        ticket = client.query(request_doc, retries=3, retry_timeout=5.0)
+        assert ticket
+        deployment.sim.run(until=deployment.sim.now + 3.0)
+        assert ticket.outcome in (QueryOutcome.ANSWERED, QueryOutcome.PARTIAL)
+        # The event leak this guards against: an answered query must leave
+        # no armed exhaustion/retry timer behind.
+        assert client._exhaust_events == {}
+        assert client._retry_events == {}
+        # And silence past every retry window must not re-send anything.
+        deployment.sim.run(until=deployment.sim.now + 120.0)
+        assert client.retries_sent == 0
+        assert ticket.outcome in (QueryOutcome.ANSWERED, QueryOutcome.PARTIAL)
+
+    def test_silent_directory_exhausts_with_backoff(self, small_workload, table):
+        deployment = build(table, seed=9)
+        _profile, _document, request_doc = docs_for(small_workload, table, 4)
+        client = deployment.clients[2]
+        ticket = client.query(request_doc, retries=1, retry_timeout=2.0)
+        assert ticket
+        assert ticket.outcome is QueryOutcome.PENDING
+        # Crash the backbone while the request is in flight: it is dropped
+        # at the down node, every retry goes unanswered.
+        for victim in up_directories(deployment):
+            deployment.network.crash_node(victim, wipe_state=False)
+        # Budget = 2s + 4s (backoff 2.0): exhausted by t+6, not at t+4.
+        deployment.sim.run(until=deployment.sim.now + 5.0)
+        assert ticket.outcome is QueryOutcome.PENDING
+        deployment.sim.run(until=deployment.sim.now + 2.0)
+        assert ticket.outcome is QueryOutcome.EXHAUSTED
+        assert client._exhaust_events == {}
+        assert client._retry_events == {}
+
+    def test_client_crash_disarms_pending_query_timers(
+        self, small_workload, table
+    ):
+        deployment = build(table, seed=10)
+        _profile, _document, request_doc = docs_for(small_workload, table, 5)
+        client = deployment.clients[2]
+        ticket = client.query(request_doc, retries=2, retry_timeout=3.0)
+        assert ticket.outcome is QueryOutcome.PENDING
+        for victim in up_directories(deployment):
+            deployment.network.crash_node(victim, wipe_state=False)
+        deployment.network.crash_node(2, wipe_state=False)
+        assert ticket.outcome is QueryOutcome.EXHAUSTED
+        assert client._exhaust_events == {}
+        assert client._retry_events == {}

@@ -1,0 +1,60 @@
+"""CI gate: the public API keeps its docstrings (>= 90% on src/repro).
+
+Runs the stdlib checker in ``tools/docstring_coverage.py`` (an
+interrogate stand-in — no third-party dependency) in-process, so the
+gate fails locally exactly like in CI.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import docstring_coverage  # noqa: E402
+
+SRC = REPO_ROOT / "src" / "repro"
+THRESHOLD = 90.0
+
+
+def test_public_api_docstring_coverage():
+    reports = docstring_coverage.scan_tree(SRC)
+    total = sum(report.total for report in reports)
+    documented = sum(report.documented for report in reports)
+    assert total > 0
+    coverage = 100.0 * documented / total
+    missing = [
+        f"{report.path.relative_to(REPO_ROOT)}:{name}"
+        for report in reports
+        for name in report.missing
+    ]
+    assert coverage >= THRESHOLD, (
+        f"docstring coverage {coverage:.1f}% < {THRESHOLD}%; missing: {missing}"
+    )
+
+
+def test_cli_exit_codes(tmp_path):
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "documented.py").write_text('"""Module doc."""\n\ndef f():\n    """Doc."""\n')
+    assert docstring_coverage.main([str(package), "--fail-under", "100"]) == 0
+    (package / "bare.py").write_text("def g():\n    pass\n")
+    assert docstring_coverage.main([str(package), "--fail-under", "90"]) == 1
+
+
+def test_private_names_are_ignored(tmp_path):
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "mod.py").write_text(
+        '"""Module doc."""\n\n'
+        "def _helper():\n    pass\n\n"
+        "class Api:\n"
+        '    """Doc."""\n'
+        "    def __init__(self):\n        pass\n"
+        "    def method(self):\n"
+        '        """Doc."""\n'
+    )
+    reports = docstring_coverage.scan_tree(package)
+    assert len(reports) == 1
+    assert reports[0].missing == []
+    assert reports[0].total == 3  # module, Api, Api.method

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Docstring coverage for the public API — a stdlib stand-in for
+`interrogate <https://interrogate.readthedocs.io>`_ (not vendored here).
+
+Walks a package with :mod:`ast` and counts docstrings on every *public*
+definition: modules, classes, functions, and methods whose names do not
+start with ``_`` (dunders like ``__init__`` are private for this
+purpose; their contract belongs on the class).  Nested definitions
+inside functions (closures, local helpers) are implementation detail and
+are skipped, as is anything under a ``tests``/``__pycache__`` directory.
+
+Usage::
+
+    python tools/docstring_coverage.py src/repro --fail-under 90
+    python tools/docstring_coverage.py src/repro --verbose   # list gaps
+
+Exit status is 1 when coverage falls below ``--fail-under`` (CI gate) or
+a source file fails to parse; 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SKIP_DIRS = {"__pycache__", "tests", ".git"}
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass
+class FileReport:
+    """Coverage tally for one source file."""
+
+    path: Path
+    total: int = 0
+    documented: int = 0
+    missing: list[str] = field(default_factory=list)
+
+    def note(self, name: str, has_doc: bool) -> None:
+        self.total += 1
+        if has_doc:
+            self.documented += 1
+        else:
+            self.missing.append(name)
+
+
+def is_public(name: str) -> bool:
+    """Public means no leading underscore (dunders are not public API
+    surface for docstring purposes — the class documents the contract)."""
+    return not name.startswith("_")
+
+
+def scan_file(path: Path) -> FileReport:
+    """Count docstrings on the module and its public defs."""
+    report = FileReport(path)
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    report.note("<module>", ast.get_docstring(tree) is not None)
+    _scan_body(tree.body, prefix="", report=report)
+    return report
+
+
+def _scan_body(body: list[ast.stmt], prefix: str, report: FileReport) -> None:
+    for node in body:
+        if not isinstance(node, _DEF_NODES):
+            continue
+        if not is_public(node.name):
+            continue
+        qualname = f"{prefix}{node.name}"
+        report.note(qualname, ast.get_docstring(node) is not None)
+        # Recurse into classes (methods are API); not into functions
+        # (closures are implementation detail).
+        if isinstance(node, ast.ClassDef):
+            _scan_body(node.body, prefix=f"{qualname}.", report=report)
+
+
+def scan_tree(root: Path) -> list[FileReport]:
+    """Scan every ``.py`` file under ``root``, skipping non-source dirs."""
+    reports = []
+    for path in sorted(root.rglob("*.py")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        reports.append(scan_file(path))
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", type=Path, help="package directory to scan")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=90.0,
+        help="minimum coverage percentage (default: 90)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list every public definition missing a docstring",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.root.is_dir():
+        print(f"error: {args.root} is not a directory", file=sys.stderr)
+        return 1
+    try:
+        reports = scan_tree(args.root)
+    except SyntaxError as error:
+        print(f"error: failed to parse: {error}", file=sys.stderr)
+        return 1
+
+    total = sum(report.total for report in reports)
+    documented = sum(report.documented for report in reports)
+    coverage = 100.0 * documented / total if total else 100.0
+
+    if args.verbose:
+        for report in reports:
+            for name in report.missing:
+                print(f"MISSING  {report.path}:{name}")
+    for report in sorted(reports, key=lambda r: r.documented / max(r.total, 1))[:5]:
+        if report.missing:
+            pct = 100.0 * report.documented / report.total
+            print(f"  {report.path}: {pct:.0f}% ({len(report.missing)} gap(s))")
+    print(
+        f"docstring coverage: {documented}/{total} public definitions "
+        f"= {coverage:.1f}% (threshold {args.fail_under:.0f}%)"
+    )
+    if coverage < args.fail_under:
+        print("FAILED: below threshold (run with --verbose to list gaps)")
+        return 1
+    print("PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
