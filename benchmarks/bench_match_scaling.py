@@ -1,0 +1,169 @@
+"""Batch matching engine scaling: per-query latency from 10² to 10⁵⁺.
+
+The packed engine (``repro.core.packed``) answers one request against the
+whole directory with a few passes over contiguous columns; this sweep
+pits it against the scalar per-entry matcher on identical content:
+
+* ``scalar`` — ``FlatDirectory(use_interval_index=False)``: the paper's
+  linear scan, one ``match_outcome`` per cached capability (measured only
+  up to 10⁴ entries; beyond that it is minutes per point);
+* ``batch`` — the same directory with ``use_batch_engine=True``
+  (auto-detected backend, numpy when available);
+* ``stdlib`` — the engine forced to the pure-stdlib backend, showing the
+  packed layout pays even without numpy.
+
+Gates (hard asserts, also exported for ``obs regress``):
+
+* batch and scalar return identical match sets at every co-measured size;
+* batch is ≥ 3× faster than scalar at 10⁴ capabilities;
+* batch per-query latency stays within 20× from 10² to the largest size
+  measured (near-flat on log-log; the scalar path grows ~100× per decade).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) sweeps 10²–10⁴; the full run adds
+10⁵, and ``REPRO_BENCH_XL=1`` adds 10⁶ (minutes of publish time alone).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks._report import save_report
+from repro.core.codes import CodeTable
+from repro.core.directory import FlatDirectory
+from repro.core.packed import BatchMatchEngine, default_backend
+from repro.ontology.registry import OntologyRegistry
+from repro.services.generator import ServiceWorkload, WorkloadShape
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+XL = bool(os.environ.get("REPRO_BENCH_XL"))
+
+SIZES = [100, 1_000, 10_000] if SMOKE else [100, 1_000, 10_000, 100_000]
+if XL and not SMOKE:
+    SIZES.append(1_000_000)
+#: Largest size the scalar linear scan is measured at.
+SCALAR_CAP = 10_000
+#: The size the ≥3× speedup floor is gated at.
+GATE_SIZE = 10_000
+SPEEDUP_FLOOR = 3.0
+
+
+def _mean_query_seconds(fn, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def _repeats_for(size: int) -> int:
+    return max(3, min(30, 300_000 // size))
+
+
+def _canon(matches) -> list[tuple[str, str, int]]:
+    return sorted((m.service_uri, m.capability.uri, m.distance) for m in matches)
+
+
+def test_match_scaling_report():
+    workload = ServiceWorkload(WorkloadShape(), seed=42)
+    table = CodeTable(OntologyRegistry(workload.ontologies))
+    request = workload.matching_request(workload.make_service(0))
+
+    metrics: dict[str, object] = {}
+    lines = [
+        f"backend (auto) = {default_backend()}",
+        f"{'capabilities':>12} {'scalar ms':>12} {'batch ms':>12} "
+        f"{'stdlib ms':>12} {'speedup':>9} {'pruned %':>9}",
+    ]
+    batch_series: dict[int, float] = {}
+    scalar_series: dict[int, float] = {}
+
+    for size in SIZES:
+        batch_dir = FlatDirectory(table, use_interval_index=False, use_batch_engine=True)
+        scalar_dir = FlatDirectory(table, use_interval_index=False)
+        measure_scalar = size <= SCALAR_CAP
+        # iter_services streams the population: no profile list is ever
+        # materialized, so 10⁵–10⁶ sizes stay within bounded generator
+        # memory (the directory itself holds the published capabilities).
+        for profile in workload.iter_services(size):
+            batch_dir.publish(profile)
+            if measure_scalar:
+                scalar_dir.publish(profile)
+
+        repeats = _repeats_for(size)
+        batch_hits = batch_dir.query(request)  # warm: builds the packed table
+        batch_s = _mean_query_seconds(lambda: batch_dir.query(request), repeats)
+        batch_series[size] = batch_s
+        metrics[f"batch_s_{size}"] = batch_s
+
+        engine_stdlib = BatchMatchEngine(
+            {eid: cap for eid, (cap, _uri) in batch_dir._entries.items()},
+            batch_dir._lookup,
+            backend="stdlib",
+        )
+        requested = request.capabilities[0]
+        stdlib_s = _mean_query_seconds(
+            lambda: engine_stdlib.match_capability(requested, batch_dir._lookup),
+            repeats,
+        )
+        metrics[f"stdlib_s_{size}"] = stdlib_s
+        _pairs, qstats = engine_stdlib.match_capability(requested, batch_dir._lookup)
+        pruned_pct = 100.0 * qstats.pruned / max(1, qstats.batch_size)
+
+        if measure_scalar:
+            scalar_hits = scalar_dir.query(request)
+            assert _canon(batch_hits) == _canon(scalar_hits), (
+                f"batch/scalar result divergence at size {size}"
+            )
+            scalar_repeats = max(3, repeats // 5)
+            scalar_s = _mean_query_seconds(
+                lambda: scalar_dir.query(request), scalar_repeats
+            )
+            scalar_series[size] = scalar_s
+            metrics[f"scalar_s_{size}"] = scalar_s
+            speedup = scalar_s / max(batch_s, 1e-12)
+            speedup_txt = f"{speedup:8.1f}x"
+            scalar_txt = f"{scalar_s * 1e3:12.3f}"
+        else:
+            speedup_txt = f"{'—':>9}"
+            scalar_txt = f"{'—':>12}"
+        lines.append(
+            f"{size:>12} {scalar_txt} {batch_s * 1e3:12.3f} "
+            f"{stdlib_s * 1e3:12.3f} {speedup_txt} {pruned_pct:8.1f}%"
+        )
+
+    # --- gates ---------------------------------------------------------
+    gate_speedup = scalar_series[GATE_SIZE] / max(batch_series[GATE_SIZE], 1e-12)
+    metrics["batch_speedup_at_10000"] = gate_speedup
+    assert gate_speedup >= SPEEDUP_FLOOR, (
+        f"batch engine speedup at {GATE_SIZE} capabilities is "
+        f"{gate_speedup:.1f}x, below the {SPEEDUP_FLOOR}x floor"
+    )
+    largest = max(batch_series)
+    flatness = batch_series[largest] / max(batch_series[min(batch_series)], 1e-12)
+    metrics["batch_latency_growth"] = flatness
+    assert flatness < 20.0 * (largest / min(batch_series)) ** 0.25, (
+        f"batch latency grew {flatness:.1f}x from {min(batch_series)} to "
+        f"{largest} capabilities — no longer near-flat"
+    )
+    lines.append(
+        f"speedup at {GATE_SIZE}: {gate_speedup:.1f}x (floor {SPEEDUP_FLOOR}x); "
+        f"batch latency growth {min(batch_series)}→{largest}: {flatness:.1f}x"
+    )
+
+    units = {
+        name: "ratio" if "speedup" in name or "growth" in name else "seconds"
+        for name in metrics
+    }
+    save_report(
+        "match_scaling",
+        "\n".join(lines),
+        metrics=metrics,
+        config={
+            "sizes": SIZES,
+            "seed": 42,
+            "smoke": SMOKE,
+            "scalar_cap": SCALAR_CAP,
+            "backend": default_backend(),
+        },
+        units=units,
+    )

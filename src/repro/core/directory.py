@@ -36,6 +36,7 @@ from repro.core.capability_graph import CapabilityDag, GraphMatch, QueryMode
 from repro.core.codes import CodeTable, StaleCodesError
 from repro.core.interval_index import CandidateIndex
 from repro.core.matching import CodeMatcher, Matcher, MatcherStats
+from repro.core.packed import BatchMatchEngine
 from repro.core.summaries import DirectorySummary
 from repro.obs import NULL_OBS
 from repro.services.profile import Capability, ServiceProfile, ServiceRequest, ontology_of
@@ -465,21 +466,54 @@ class FlatDirectory:
             is a sound filter; a property test proves the equality) — only
             the number of matcher evaluations changes.  The Fig. 9 "flat"
             baseline disables this to keep the paper's linear scan.
+        use_batch_engine: answer queries with the packed batch engine
+            (:class:`~repro.core.packed.BatchMatchEngine`): the request's
+            concept set is tested against all cached rows in one
+            vectorized containment pass, and survivors are ranked by
+            segmented reductions instead of per-entry scalar matching.
+            Results are identical to the scalar path (property-tested for
+            both the numpy and stdlib backends).  ``None`` (default)
+            follows ``use_interval_index``, so the paper's linear-scan
+            baseline stays scalar.
     """
 
-    def __init__(self, table: CodeTable, use_interval_index: bool = True) -> None:
+    def __init__(
+        self,
+        table: CodeTable,
+        use_interval_index: bool = True,
+        use_batch_engine: bool | None = None,
+    ) -> None:
         self.table = table
         self.use_interval_index = use_interval_index
+        self.use_batch_engine = (
+            use_interval_index if use_batch_engine is None else use_batch_engine
+        )
         self._entries: dict[int, tuple[Capability, str]] = {}
         self._by_service: dict[str, list[int]] = {}
         self._ids = itertools.count(1)
         self._index = CandidateIndex() if use_interval_index else None
         self._profiles: dict[str, ServiceProfile] = {}
+        #: Content epoch: bumped on every publish/unpublish so epoch-keyed
+        #: caches (the packed engine tables) know when to rebuild — the
+        #: same coherence scheme as the version-keyed distance caches.
+        self._epoch = 0
+        self._engine: BatchMatchEngine | None = None
+        self._engine_key: tuple | None = None
+        self._obs = NULL_OBS
         self.timer = PhaseTimer()
         self.stats = MatcherStats()
 
     def __len__(self) -> int:
         return len(self._profiles)
+
+    @property
+    def obs(self):
+        """The observability sink for this directory (NULL_OBS when off)."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
 
     @property
     def capability_count(self) -> int:
@@ -491,6 +525,7 @@ class FlatDirectory:
         if profile.uri in self._profiles:
             self.unpublish(profile.uri)
         self._profiles[profile.uri] = profile
+        self._epoch += 1
         entry_ids = self._by_service.setdefault(profile.uri, [])
         lookup = self._lookup if self._index is not None else None
         for capability in profile.provided:
@@ -523,6 +558,8 @@ class FlatDirectory:
     def unpublish(self, service_uri: str) -> int:
         """Withdraw a service."""
         entry_ids = self._by_service.pop(service_uri, [])
+        if entry_ids:
+            self._epoch += 1
         for entry_id in entry_ids:
             del self._entries[entry_id]
             if self._index is not None:
@@ -540,7 +577,20 @@ class FlatDirectory:
         matcher = CodeMatcher(table=self.table, stats=self.stats)
         return [self._query(request, matcher) for request in requests]
 
+    def _batch_engine(self) -> BatchMatchEngine:
+        """The packed engine for the current content; rebuilt lazily when
+        the content epoch or the code-table version moves (the same
+        coherence rule version-keyed distance caches follow)."""
+        key = (self._epoch, id(self.table), self.table.version)
+        if self._engine is None or self._engine_key != key:
+            entries = {eid: cap for eid, (cap, _uri) in self._entries.items()}
+            self._engine = BatchMatchEngine(entries, self._lookup)
+            self._engine_key = key
+        return self._engine
+
     def _query(self, request: ServiceRequest, matcher: CodeMatcher) -> list[DirectoryMatch]:
+        if self.use_batch_engine:
+            return self._query_batched(request)
         results: list[DirectoryMatch] = []
         with self.timer.phase("match"):
             for requested in request.capabilities:
@@ -549,12 +599,36 @@ class FlatDirectory:
                     entry_ids = self._entries.keys() if candidates is None else candidates
                 else:
                     entry_ids = self._entries.keys()
+                ordered = list(entry_ids)
+                provided = [self._entries[entry_id][0] for entry_id in ordered]
+                distances = matcher.semantic_distance_many(provided, requested)
                 hits = []
-                for entry_id in entry_ids:
-                    capability, service_uri = self._entries[entry_id]
-                    distance = matcher.semantic_distance(capability, requested)
+                for entry_id, capability, distance in zip(ordered, provided, distances):
                     if distance is not None:
+                        service_uri = self._entries[entry_id][1]
                         hits.append(DirectoryMatch(requested, capability, service_uri, distance))
+                hits.sort(key=lambda m: (m.distance, m.service_uri))
+                results.extend(hits)
+        return results
+
+    def _query_batched(self, request: ServiceRequest) -> list[DirectoryMatch]:
+        """Answer via the packed batch engine (identical results to the
+        scalar path; only the evaluation strategy changes)."""
+        results: list[DirectoryMatch] = []
+        obs = self._obs
+        with self.timer.phase("match"):
+            engine = self._batch_engine()
+            for requested in request.capabilities:
+                pairs, qstats = engine.match_capability(requested, self._lookup)
+                self.stats.capability_matches += qstats.evaluated
+                if obs.enabled:
+                    obs.counter("match.batch_queries", backend=engine.backend).inc()
+                    obs.histogram("match.batch_size").observe(qstats.batch_size)
+                    obs.counter("match.candidates_pruned").inc(qstats.pruned)
+                hits = []
+                for entry_id, distance in pairs:
+                    capability, service_uri = self._entries[entry_id]
+                    hits.append(DirectoryMatch(requested, capability, service_uri, distance))
                 hits.sort(key=lambda m: (m.distance, m.service_uri))
                 results.extend(hits)
         return results

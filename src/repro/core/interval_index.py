@@ -34,6 +34,17 @@ from bisect import bisect_left, bisect_right
 from repro.core.codes import ConceptCode
 from repro.services.profile import Capability
 
+try:  # optional vectorized stab backend (see repro.core.packed)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+#: Deferred-rebuild trigger: a rebuild is scheduled once more than this
+#: many *and* more than half of the distinct interval nodes are empty
+#: tombstones.  Below the threshold, discards are O(intervals of the item)
+#: instead of an O(n log n) structure rebuild per removal.
+STALE_NODE_REBUILD_MIN = 32
+
 
 class _Node:
     """One distinct interval with its payload ids and nested children.
@@ -58,8 +69,15 @@ class IntervalIndex:
     """Static stabbing index from intervals to item ids, rebuilt lazily.
 
     Items are inserted/discarded freely; the sorted structure is rebuilt
-    on the first query after a mutation (directories mutate in bursts and
-    query in storms, so lazy rebuilds amortize to nothing).
+    on the first query after a *structural* mutation (directories mutate
+    in bursts and query in storms, so lazy rebuilds amortize to nothing).
+    Mutations touching only existing interval nodes — a discard, or an
+    insert whose intervals are already indexed — are applied **in place**:
+    ids move in and out of the untouched node structure, and emptied nodes
+    stay as tombstones until more than :data:`STALE_NODE_REBUILD_MIN` (and
+    half) of all nodes are empty, which schedules one deferred rebuild.
+    Churny unpublish storms therefore no longer pay an O(n log n) rebuild
+    per removal (``tests/core/test_interval_index.py`` counts the events).
     """
 
     def __init__(self) -> None:
@@ -68,22 +86,67 @@ class IntervalIndex:
         self._roots: list[_Node] = []
         self._root_los: list[float] = []
         self._root_his: list[float] = []
+        self._node_by_interval: dict[tuple[float, float], _Node] = {}
+        self._nodes: list[_Node] = []
+        self._np_los = None
+        self._np_his = None
+        self._stale_nodes = 0
         self._dirty = False
         self.rebuilds = 0
+        #: Mutations absorbed without dirtying the structure.
+        self.inplace_updates = 0
 
     def __len__(self) -> int:
         return len(self._intervals)
 
     def insert(self, item_id: int, intervals: tuple[tuple[float, float], ...]) -> None:
-        """Register ``item_id`` under every ``(lo, hi)`` in ``intervals``."""
+        """Register ``item_id`` under every ``(lo, hi)`` in ``intervals``.
+
+        When the structure is built and every interval already has a node
+        (common under churn: a service re-publishes with codes the table
+        already minted), the ids are added in place with no rebuild.
+        """
         if not intervals:
+            return
+        if (
+            not self._dirty
+            and item_id not in self._intervals
+            and self._node_by_interval
+            and all(interval in self._node_by_interval for interval in intervals)
+        ):
+            self._intervals[item_id] = intervals
+            for interval in intervals:
+                node = self._node_by_interval[interval]
+                if not node.ids:
+                    self._stale_nodes -= 1
+                node.ids.add(item_id)
+            self.inplace_updates += 1
             return
         self._intervals[item_id] = intervals
         self._dirty = True
 
     def discard(self, item_id: int) -> None:
-        """Remove ``item_id`` (no-op if absent)."""
-        if self._intervals.pop(item_id, None) is not None:
+        """Remove ``item_id`` (no-op if absent).
+
+        On a built structure this is O(intervals of the item): the ids are
+        cleared from their nodes, which become tombstones; one deferred
+        rebuild compacts the structure only when tombstones dominate.
+        """
+        intervals = self._intervals.pop(item_id, None)
+        if intervals is None:
+            return
+        if self._dirty:
+            return
+        for interval in intervals:
+            node = self._node_by_interval.get(interval)
+            if node is None:  # structure never built for this interval
+                self._dirty = True
+                return
+            node.ids.discard(item_id)
+            if not node.ids:
+                self._stale_nodes += 1
+        self.inplace_updates += 1
+        if self._stale_nodes > max(STALE_NODE_REBUILD_MIN, len(self._nodes) // 2):
             self._dirty = True
 
     # ------------------------------------------------------------------
@@ -96,6 +159,11 @@ class IntervalIndex:
                 grouped.setdefault(interval, set()).add(item_id)
         nodes = [_Node(lo, hi, ids) for (lo, hi), ids in grouped.items()]
         nodes.sort(key=lambda n: (n.lo, -n.hi))
+        self._nodes = nodes
+        self._node_by_interval = {(n.lo, n.hi): n for n in nodes}
+        self._np_los = None
+        self._np_his = None
+        self._stale_nodes = 0
         self._roots = []
         stack: list[_Node] = []
         for node in nodes:
@@ -141,6 +209,38 @@ class IntervalIndex:
                 if node.children:
                     work.append((node.children, node.child_los, node.child_his))
         return result
+
+    def stab_batch(self, queries: list[tuple[float, float]]) -> list[set[int]]:
+        """One stab result per ``(lo, hi)`` query, in order.
+
+        With numpy available, the whole batch is answered by comparison
+        masks over the packed node-bound columns instead of per-query
+        NCList walks; the stdlib fallback loops :meth:`stab`.  Results are
+        identical by construction (both implement ``ilo <= lo and
+        hi <= ihi`` over the same node set).
+        """
+        if not queries:
+            return []
+        if self._dirty:
+            self._rebuild()
+        if _np is None or not self._nodes:
+            return [self.stab(lo, hi) for lo, hi in queries]
+        if self._np_los is None:
+            self._np_los = _np.fromiter(
+                (n.lo for n in self._nodes), dtype=_np.float64, count=len(self._nodes)
+            )
+            self._np_his = _np.fromiter(
+                (n.hi for n in self._nodes), dtype=_np.float64, count=len(self._nodes)
+            )
+        results: list[set[int]] = []
+        nodes = self._nodes
+        for lo, hi in queries:
+            hit_rows = _np.flatnonzero((self._np_los <= lo) & (hi <= self._np_his))
+            hits: set[int] = set()
+            for row in hit_rows.tolist():
+                hits |= nodes[row].ids
+            results.append(hits)
+        return results
 
 
 class CandidateIndex:
@@ -222,11 +322,15 @@ class CandidateIndex:
             (requested.outputs, self._outputs, self._unindexed_outputs),
             (requested.properties, self._properties, self._unindexed_properties),
         ):
+            if not concepts:
+                continue
+            queries: list[tuple[float, float]] = []
             for concept in concepts:
                 code: ConceptCode | None = lookup(concept) if lookup is not None else None
                 if code is None:
                     return set()
-                hits = index.stab(code.tree_lo, code.tree_hi)
+                queries.append((code.tree_lo, code.tree_hi))
+            for hits in index.stab_batch(queries):
                 if unindexed:
                     hits = hits | unindexed
                 result = hits if result is None else result & hits

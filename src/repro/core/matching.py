@@ -42,6 +42,7 @@ Two interchangeable distance oracles implement ``d``:
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.codes import CodeTable, ConceptCode
@@ -132,6 +133,18 @@ class Matcher:
         """``SemanticDistance(provided, requested)``; ``None`` if no match."""
         outcome = self.match_outcome(provided, requested)
         return outcome.distance if outcome.matched else None
+
+    def semantic_distance_many(
+        self, provided: Iterable[Capability], requested: Capability
+    ) -> list[int | None]:
+        """``SemanticDistance`` of each provided capability, in order.
+
+        The reference implementation loops :meth:`semantic_distance`; it is
+        the scalar oracle the packed batch engine
+        (:class:`repro.core.packed.BatchMatchEngine`) must agree with, and
+        the seam batch-capable callers program against.
+        """
+        return [self.semantic_distance(capability, requested) for capability in provided]
 
     def match_outcome(self, provided: Capability, requested: Capability) -> "MatchOutcome":
         """Full result: match flag, distance, per-concept pairings."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 import zlib
+from collections import deque
 from dataclasses import dataclass
 
 from repro.ontology.model import Ontology, Restriction
@@ -129,6 +130,74 @@ def generate_ontology(
         concept_uris.append(curi)
         children_count[curi] = 0
 
+    onto.validate()
+    return onto
+
+
+def generate_large_ontology(
+    uri: str,
+    concepts: int,
+    seed: int = 0,
+    version: str = "1",
+    max_branching: int = 16,
+    roots: int = 3,
+    window: int = 32,
+) -> Ontology:
+    """Generate a large *primitive* taxonomy in O(concepts) time.
+
+    :func:`generate_ontology` rebuilds its list of attachable parents for
+    every new concept — an O(n²) scan that makes 10⁵–10⁶ concept
+    populations (the batch-matching scaling sweeps) unreachable.  This
+    variant keeps the parents with free child slots in a FIFO deque and
+    attaches each new concept to a random pick from the first ``window``
+    entries: amortized O(1) per concept, and near-breadth-first filling,
+    so the tree depth stays ~``log_b(concepts)``.
+
+    The depth bound is not cosmetic.  Interval codes spend
+    ~``log2(k·p^(i//k+1))`` mantissa bits per level (§3.2's geometric slot
+    widths), so the random-recursive trees a uniform parent pick produces
+    (depth ~2.7·ln n) exhaust float64 precision around 5·10³ concepts,
+    while the balanced shape here encodes 10⁶ concepts with tens of bits
+    to spare.  The output is a pure told tree — no defined concepts or
+    restrictions — keeping traversal classification linear as well.
+    Deterministic for a given ``(uri, concepts, seed)``.
+
+    ``generate_ontology`` is left untouched on purpose: its outputs are
+    seed-stable fixtures for the paper-shaped experiments.
+
+    Raises:
+        ValueError: if ``concepts < 1``, ``max_branching < 2``,
+            ``roots < 1`` or ``window < 1``.
+    """
+    if concepts < 1:
+        raise ValueError(f"concepts must be >= 1, got {concepts}")
+    if max_branching < 2:
+        raise ValueError(f"max_branching must be >= 2, got {max_branching}")
+    if roots < 1:
+        raise ValueError(f"roots must be >= 1, got {roots}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    uri_hash = zlib.crc32(uri.encode("utf-8"))
+    rng = random.Random(uri_hash ^ seed)
+    onto = Ontology(uri=uri, version=version)
+    # FIFO pool of parents with free slots; the head `window` entries are
+    # the attachment frontier.  Swap removals stay inside the window, so
+    # the pool never reorders behind it.
+    pool: deque[list] = deque()  # entries: [uri, remaining_slots]
+    for i in range(concepts):
+        curi = join_namespace(uri, f"C{i}")
+        if i < min(roots, concepts):
+            parents: tuple[str, ...] = ()
+        else:
+            pick = rng.randrange(min(window, len(pool)))
+            entry = pool[pick]
+            parents = (entry[0],)
+            entry[1] -= 1
+            if entry[1] == 0:
+                entry[0], entry[1] = pool[0][0], pool[0][1]
+                pool.popleft()
+        onto.concept(curi, parents=parents, label=f"C{i}")
+        pool.append([curi, max_branching])
     onto.validate()
     return onto
 

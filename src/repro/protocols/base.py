@@ -148,6 +148,10 @@ class DirectoryAgentBase(ProtocolAgent):
         self.summary_hashes = summary_hashes
         self.summary_push_delay = summary_push_delay
         self.peer_summaries: dict[int, BloomFilter] = {}
+        #: Mutation epoch of :attr:`peer_summaries`; bumped on every
+        #: receipt, eviction and wipe so batch admission caches (the
+        #: S-Ariadne summary bank) know when their snapshot went stale.
+        self._peer_summaries_epoch = 0
         self.known_peers: set[int] = set()
         self._pending: dict[int, PendingQuery] = {}
         self._summary_flush_scheduled = False
@@ -291,6 +295,25 @@ class DirectoryAgentBase(ProtocolAgent):
         """Summary test reusing the parse-once form when available."""
         return self.summary_admits(summary, document)
 
+    def summaries_admitting(
+        self, document: str, parsed: object | None, peer_ids: list[int]
+    ) -> dict[int, bool]:
+        """Admission verdict of each peer's summary for one request.
+
+        The default loops :meth:`summary_admits_parsed` per peer;
+        protocols with batch-testable summaries (S-Ariadne's Bloom bank)
+        override this to hash the request once and test all peers in one
+        pass.  Overrides must return exactly the per-peer verdicts of the
+        scalar loop — only the cost may change.
+        """
+        return {
+            peer_id: self.summary_admits_parsed(
+                self.peer_summaries[peer_id], document, parsed
+            )
+            for peer_id in peer_ids
+            if peer_id in self.peer_summaries
+        }
+
     def encode_request(self, document: str, parsed: object) -> EncodedRequest | None:
         """Wire form of a parsed request for forwarded messages, or None."""
         return None
@@ -423,16 +446,18 @@ class DirectoryAgentBase(ProtocolAgent):
         obs = self.obs
         if parsed is None:
             parsed = self._parsed_request(document)
+        verdicts: dict[int, bool] = {}
+        if self.use_summaries and self.peer_summaries:
+            with_summary = [p for p in self.known_peers if p in self.peer_summaries]
+            verdicts = self.summaries_admitting(document, parsed, with_summary)
         admitted = []
         for peer_id in self.known_peers:
-            if self.use_summaries:
-                summary = self.peer_summaries.get(peer_id)
-                if summary is not None:
-                    admits = self.summary_admits_parsed(summary, document, parsed)
-                    if obs.enabled:
-                        obs.event("bloom.test", peer=peer_id, admitted=admits)
-                    if not admits:
-                        continue
+            if self.use_summaries and peer_id in verdicts:
+                admits = verdicts[peer_id]
+                if obs.enabled:
+                    obs.event("bloom.test", peer=peer_id, admitted=admits)
+                if not admits:
+                    continue
             hops = network.hop_count(self.node.node_id, peer_id)
             if hops is None:
                 continue
@@ -685,7 +710,8 @@ class DirectoryAgentBase(ProtocolAgent):
             return
         was_known = peer_id in self.known_peers
         self.known_peers.discard(peer_id)
-        self.peer_summaries.pop(peer_id, None)
+        if self.peer_summaries.pop(peer_id, None) is not None:
+            self._peer_summaries_epoch += 1
         self._peer_silent.pop(peer_id, None)
         self._peer_forwarded.pop(peer_id, None)
         self._peer_empty.pop(peer_id, None)
@@ -721,6 +747,7 @@ class DirectoryAgentBase(ProtocolAgent):
             self.local_withdraw(service_uri)
         self._documents_by_service.clear()
         self.peer_summaries.clear()
+        self._peer_summaries_epoch += 1
         self.known_peers.clear()
 
     def on_restart(self) -> None:
@@ -795,6 +822,7 @@ class DirectoryAgentBase(ProtocolAgent):
             self.peer_summaries[payload.directory_id] = BloomFilter.from_bytes(
                 payload.bloom_bits, payload.bloom_m, payload.bloom_k
             )
+            self._peer_summaries_epoch += 1
             self.known_peers.add(payload.directory_id)
             self._note_peer_alive(payload.directory_id)
         elif isinstance(payload, SummaryRequest):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.core.codes import CodeTable
 from repro.core.directory import SemanticDirectory
-from repro.core.summaries import DirectorySummary
+from repro.core.summaries import DirectorySummary, SummaryBank
 from repro.network.messages import CodeRefreshResponse, EncodedRequest
 from repro.protocols.base import ClientAgentBase, DirectoryAgentBase, ResultRow
 from repro.services.profile import Capability, ServiceRequest
@@ -125,6 +125,8 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
         self.directory = SemanticDirectory(
             table, summary_bits=summary_bits, summary_hashes=summary_hashes
         )
+        self._summary_bank: SummaryBank | None = None
+        self._summary_bank_epoch: int | None = None
 
     def local_publish(self, document: str) -> str:
         """Cache one Amigo-S advertisement; returns its service URI."""
@@ -196,6 +198,27 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
         if parsed is None:
             return self.summary_admits(summary, document)
         return DirectorySummary.from_bloom(summary).might_answer(parsed.request)
+
+    def _peer_summary_bank(self) -> SummaryBank:
+        """The batch tester over the current peer summaries, rebuilt only
+        when :attr:`peer_summaries` mutates (epoch-keyed, like the packed
+        match engine's table cache)."""
+        epoch = self._peer_summaries_epoch
+        if self._summary_bank is None or self._summary_bank_epoch != epoch:
+            self._summary_bank = SummaryBank(self.peer_summaries)
+            self._summary_bank_epoch = epoch
+        return self._summary_bank
+
+    def summaries_admitting(
+        self, document: str, parsed: ParsedSemanticRequest | None, peer_ids: list[int]
+    ) -> dict[int, bool]:
+        """Batch §4 preselection: hash the request's ontology items once
+        and test every peer filter in one pass (identical verdicts to the
+        scalar per-peer loop; only the cost changes)."""
+        if parsed is None:
+            return super().summaries_admitting(document, parsed, peer_ids)
+        verdicts = self._peer_summary_bank().might_answer(parsed.request)
+        return {peer_id: verdicts[peer_id] for peer_id in peer_ids if peer_id in verdicts}
 
     def encode_request(
         self, document: str, parsed: ParsedSemanticRequest

@@ -170,6 +170,18 @@ class ServiceWorkload:
         """Generate ``count`` service profiles."""
         return [self.make_service(i) for i in range(count)]
 
+    def iter_services(self, count: int, start: int = 0):
+        """Stream ``count`` service profiles lazily, starting at ``start``.
+
+        :meth:`make_service` is a pure function of ``(seed, index)``, so a
+        10⁵–10⁶ profile population (the batch-matching scaling sweeps)
+        never needs to exist as a list: consumers publish each profile and
+        drop it.  ``iter_services(n)`` yields exactly the profiles of
+        ``make_services(n)``, in order, with O(1) generator memory.
+        """
+        for index in range(start, start + count):
+            yield self.make_service(index)
+
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------

@@ -30,6 +30,31 @@ def _base_hashes(item: str) -> tuple[int, int]:
     return h1, h2 | 1
 
 
+def item_positions(item: str, m: int, k: int) -> list[int]:
+    """The k probe positions of ``item`` in an (m, k) filter.
+
+    Public so batch testers (:class:`repro.core.summaries.SummaryBank`)
+    can hash an item *once* per (m, k) parameter group and reuse the
+    positions across every peer filter — the per-peer SHA-256 was the
+    dominant cost of testing one request against N summaries.
+    """
+    h1, h2 = _base_hashes(item)
+    return [(h1 + i * h2) % m for i in range(k)]
+
+
+def item_mask(item: str, m: int, k: int) -> int:
+    """``item``'s k probe bits as one integer mask.
+
+    A filter with bit vector ``bits`` contains the item iff
+    ``bits & mask == mask`` — one bitwise subset test instead of k
+    indexed probes.
+    """
+    mask = 0
+    for pos in item_positions(item, m, k):
+        mask |= 1 << pos
+    return mask
+
+
 def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple[int, int]:
     """Return ``(m, k)`` minimizing size for a target false-positive rate.
 
@@ -74,14 +99,22 @@ class BloomFilter:
         return cls(m=m, k=k)
 
     def _positions(self, item: str) -> list[int]:
-        h1, h2 = _base_hashes(item)
-        return [(h1 + i * h2) % self.m for i in range(self.k)]
+        return item_positions(item, self.m, self.k)
 
     def add(self, item: str) -> None:
         """Set the k bit positions for ``item``."""
         for pos in self._positions(item):
             self._bits |= 1 << pos
         self._count += 1
+
+    @property
+    def bits(self) -> int:
+        """The raw bit vector (read-only view for batch testers)."""
+        return self._bits
+
+    def contains_mask(self, mask: int) -> bool:
+        """Membership test against a precomputed :func:`item_mask`."""
+        return self._bits & mask == mask
 
     def update(self, items: Iterable[str]) -> None:
         """Add every item in ``items``."""
@@ -200,8 +233,7 @@ class CountingBloomFilter:
         self._adds = 0
 
     def _positions(self, item: str) -> list[int]:
-        h1, h2 = _base_hashes(item)
-        return [(h1 + i * h2) % self.m for i in range(self.k)]
+        return item_positions(item, self.m, self.k)
 
     def add(self, item: str) -> None:
         """Increment the k counters for ``item`` and set their bits."""

@@ -70,7 +70,51 @@ class TestIntervalIndex:
         assert index.rebuilds == 1  # one rebuild serves the query storm
         index.discard(3)
         index.stab(0.5, 1.0)
-        assert index.rebuilds == 2
+        # A discard tombstones its nodes in place — no O(n log n) rebuild.
+        assert index.rebuilds == 1
+        assert index.inplace_updates >= 1
+        assert index.stab(3.5, 4.0) == {2}  # 3 gone; 4's [4,6] starts too late
+
+    def test_discard_storm_defers_rebuild(self):
+        """Regression for the discard-triggered rebuild storm: withdrawing
+        k services from an n-entry index must not cost k full rebuilds.
+        Discards tombstone in place; one deferred rebuild (at most) fires
+        only once enough nodes have emptied."""
+        from repro.core.interval_index import STALE_NODE_REBUILD_MIN
+
+        index = IntervalIndex()
+        n = 4 * STALE_NODE_REBUILD_MIN
+        for item in range(n):
+            index.insert(item, ((float(item), float(item) + 1.0),))
+        index.stab(0.5, 0.75)
+        assert index.rebuilds == 1
+        # Interleave discards with queries — the old behavior rebuilt on
+        # the first stab after *every* discard.
+        removed = list(range(0, n, 2))
+        for item in removed:
+            index.discard(item)
+            index.stab(float(item) + 1.25, float(item) + 1.5)
+        assert index.rebuilds <= 2  # initial build + at most one deferred
+        assert index.inplace_updates >= len(removed) - 1
+        survivors = {i for i in range(n) if i % 2 == 1}
+        for item in sorted(survivors)[:10]:
+            assert index.stab(float(item) + 0.25, float(item) + 0.5) == {item}
+        for item in removed[:10]:
+            assert item not in index.stab(float(item) + 0.25, float(item) + 0.5)
+
+    def test_inplace_insert_reuses_existing_nodes(self):
+        """Re-inserting an id over interval keys already in the node set
+        (the publish/unpublish churn pattern) skips the rebuild too."""
+        index = IntervalIndex()
+        index.insert(1, ((0.0, 4.0),))
+        index.insert(2, ((0.0, 4.0), (6.0, 8.0)))
+        index.stab(1.0, 2.0)
+        assert index.rebuilds == 1
+        index.discard(1)
+        index.insert(3, ((0.0, 4.0),))  # same interval key: in-place
+        assert index.stab(1.0, 2.0) == {2, 3}
+        assert index.rebuilds == 1
+        assert index.inplace_updates >= 2
 
     interval = st.tuples(
         st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30)
