@@ -93,7 +93,7 @@ def test_ablation_report(benchmark, directories, directory_workload, directory_t
         "ablation_greedy_vs_exhaustive",
         table,
         metrics=metrics,
-        config={"sizes": [row[0] for row in rows]},
+        config={"sizes": [row[0] for row in rows], "workload_seed": 42},
         units="capability matches",
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

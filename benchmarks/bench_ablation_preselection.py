@@ -118,6 +118,6 @@ def test_preselection_report(benchmark, directories, directory_workload, directo
         "ablation_preselection",
         table,
         metrics=metrics,
-        config={"sizes": [row[0] for row in rows]},
+        config={"sizes": [row[0] for row in rows], "workload_seed": 42},
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -90,6 +90,7 @@ def test_e10_report(benchmark, directory_workload: ServiceWorkload):
             "probes": PROBES,
             "directories": directories,
             "queries": queries,
+            "workload_seed": 42,
         },
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -134,7 +134,7 @@ def test_churn_report(benchmark, directory_workload, table):
         "churn_availability",
         table_text,
         metrics={f"recall_{label}": value for label, value in recalls.items()},
-        config={"refresh_interval": REFRESH},
+        config={"refresh_interval": REFRESH, "seed": 8},
         units="fraction",
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -96,6 +96,6 @@ def test_composition_report(benchmark, composed_directory, directory_workload):
         metrics[f"total_distance_{row[0]}"] = (row[3], "semantic distance")
         metrics[f"bindings_{row[0]}"] = (row[2], "bindings")
     save_report(
-        "composition_schemes", table, metrics=metrics, config={"tasks": TASKS}
+        "composition_schemes", table, metrics=metrics, config={"tasks": TASKS, "workload_seed": 42}
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

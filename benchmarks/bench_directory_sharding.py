@@ -1,0 +1,216 @@
+"""Sharded directory tier: sustained QPS and p99 latency vs shard count.
+
+A :class:`~repro.core.sharding.ShardRouter` partitions advertisements
+across K shard directories by ontology-set hash — the same keying the
+Bloom summaries use — so the router can prune shards that cannot answer
+a request before fanning out.  This sweep publishes a large synthetic
+catalog once into an 8-shard router and then measures query throughput
+at K = 8, 4, 2, 1, using :meth:`ShardRouter.resize` merges between
+measurements (8→4→2→1 are whole-shard moves on the power-of-two fast
+path, so the population is bit-identical at every K).
+
+The scale workload draws each service from a *single* large ontology
+(``ontologies_per_service=1`` over ``generate_large_ontology`` suites),
+the regime the shard keying is built for: a request's ontology set then
+admits ~1 of 8 shards, so scatter/gather touches ~1/K of the catalog.
+
+Gates (hard asserts, also exported for ``obs regress``):
+
+* sharded scatter/gather returns **bit-identical ranked results** to a
+  single unsharded directory on the paper-shaped Fig. 10 workload
+  (order included, not just set equality);
+* sustained QPS with 8 shards is ≥ 3× the single-shard QPS at the
+  largest size measured (``qps_speedup_8v1_at_max``);
+* resize merges lose nothing: capability count is invariant across
+  8→4→2→1.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) runs 2·10⁴ capabilities; the full
+run does 10⁵, and ``REPRO_BENCH_XL=1`` does 10⁶ (minutes of publish
+time alone).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks._report import save_report
+from repro.core.codes import CodeTable
+from repro.core.directory import FlatDirectory
+from repro.core.sharding import ShardRouter
+from repro.ontology.generator import generate_large_ontology
+from repro.ontology.registry import OntologyRegistry
+from repro.services.generator import ServiceWorkload, WorkloadShape
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+XL = bool(os.environ.get("REPRO_BENCH_XL"))
+
+SERVICES = 20_000 if SMOKE else (1_000_000 if XL else 100_000)
+#: Shard counts measured, largest first: 8→4→2→1 are fast-path merges.
+SHARD_COUNTS = [8, 4, 2, 1]
+SPEEDUP_FLOOR = 3.0
+
+#: Scale-workload shape: each service's concepts come from one ontology,
+#: so its shard key is that ontology's URI and Bloom pruning can steer a
+#: request to ~1 shard.  64 ontologies spread the keys evenly over 8.
+#: Single-rooted: 64 ontologies × 1 root keeps the top-level slot index
+#: under THING small enough that float64 interval codes still have
+#: mantissa bits left for the per-ontology trees (geometric slot widths
+#: consume ~``i/k`` bits for root index ``i``).
+#: Catalog scale is *services*, not concepts: 200-concept trees keep the
+#: encoded depth well inside the float64 budget under 64 top-level slots
+#: while giving each service plenty of concept diversity.
+ONTOLOGY_COUNT = 64
+CONCEPTS_PER_ONTOLOGY = 200
+ONTOLOGY_SEED = 11
+SCALE_WORKLOAD_SEED = 7
+FIG10_WORKLOAD_SEED = 42
+QUERY_COUNT = 48 if SMOKE else 64
+
+
+def _scale_workload() -> ServiceWorkload:
+    ontologies = [
+        generate_large_ontology(
+            f"http://repro.example.org/scale/{index}",
+            concepts=CONCEPTS_PER_ONTOLOGY,
+            seed=ONTOLOGY_SEED + index,
+            roots=1,
+        )
+        for index in range(ONTOLOGY_COUNT)
+    ]
+    shape = WorkloadShape(ontologies_per_service=1)
+    return ServiceWorkload(shape, seed=SCALE_WORKLOAD_SEED, ontologies=ontologies)
+
+
+def _p99(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1) + 0.999))]
+
+
+def _rows(matches) -> list[tuple[str, str, int]]:
+    """Ranked result rows *in order* — equality below is bit-identical,
+    not set-equal."""
+    return [(m.service_uri, m.capability.uri, m.distance) for m in matches]
+
+
+def test_sharding_equality_fig10():
+    """Sharded scatter/gather ≡ one unsharded directory, ranked order
+    included, on the paper-shaped workload."""
+    workload = ServiceWorkload(WorkloadShape(), seed=FIG10_WORKLOAD_SEED)
+    table = CodeTable(OntologyRegistry(workload.ontologies))
+    router = ShardRouter(table, 8)
+    flat = FlatDirectory(table, use_interval_index=False, use_batch_engine=True)
+    population = 120 if SMOKE else 300
+    for profile in workload.iter_services(population):
+        router.publish(profile)
+        flat.publish(profile)
+    requests = [
+        workload.matching_request(workload.make_service(i)) for i in range(40)
+    ] + [workload.unrelated_request(i) for i in range(5)]
+    batched = router.query_batch(requests)
+    for request, sharded_rows in zip(requests, batched):
+        assert _rows(sharded_rows) == _rows(flat.query(request)), (
+            f"sharded/unsharded divergence for {request.uri}"
+        )
+        assert _rows(router.query(request)) == _rows(sharded_rows)
+
+
+def test_directory_sharding_report():
+    workload = _scale_workload()
+    table = CodeTable(OntologyRegistry(workload.ontologies))
+    router = ShardRouter(table, max(SHARD_COUNTS))
+
+    publish_start = time.perf_counter()
+    # iter_services streams the population — no profile list at 10⁵–10⁶.
+    router.publish_batch(workload.iter_services(SERVICES))
+    publish_s = time.perf_counter() - publish_start
+    assert router.capability_count >= SERVICES
+
+    requests = [
+        workload.matching_request(workload.make_service(index * 97 % SERVICES))
+        for index in range(QUERY_COUNT)
+    ]
+    expected = [_rows(rows) for rows in router.query_batch(requests)]  # warm
+    fanout = sum(len(router.admitted_shards(r)) for r in requests) / len(requests)
+
+    metrics: dict[str, object] = {"publish_s": publish_s}
+    lines = [
+        f"capabilities = {router.capability_count}  "
+        f"(services {SERVICES}, publish {publish_s:.1f}s)",
+        f"mean admitted shards at K=8: {fanout:.2f} of 8",
+        f"{'shards':>7} {'qps':>10} {'p99 ms':>9} {'mean ms':>9} {'skew':>6}",
+    ]
+    qps_by_k: dict[int, float] = {}
+
+    for shard_count in SHARD_COUNTS:
+        if router.shard_count != shard_count:
+            before = router.capability_count
+            router.resize(shard_count, cause="bench_sweep")
+            assert router.capability_count == before, (
+                f"resize to {shard_count} shards lost advertisements"
+            )
+        # Results stay bit-identical at every K (the gates in
+        # test_sharding_equality_fig10 prove order; this proves content
+        # survives the merges on the scale population too).
+        assert [_rows(rows) for rows in router.query_batch(requests)] == expected
+
+        samples: list[float] = []
+        per_query_rounds = max(4, 256 // len(requests))
+        for _ in range(per_query_rounds):
+            for request in requests:
+                start = time.perf_counter()
+                router.query(request)
+                samples.append(time.perf_counter() - start)
+        sustained_rounds = max(3, 1500 // len(requests))
+        start = time.perf_counter()
+        for _ in range(sustained_rounds):
+            router.query_batch(requests)
+        elapsed = time.perf_counter() - start
+        qps = sustained_rounds * len(requests) / elapsed
+        qps_by_k[shard_count] = qps
+        p99 = _p99(samples)
+        mean = sum(samples) / len(samples)
+        metrics[f"qps_s{SERVICES}_k{shard_count}"] = qps
+        metrics[f"p99_s{SERVICES}_k{shard_count}"] = p99
+        lines.append(
+            f"{shard_count:>7} {qps:>10.1f} {p99 * 1e3:>9.3f} "
+            f"{mean * 1e3:>9.3f} {router.skew():>6.2f}"
+        )
+
+    speedup = qps_by_k[8] / max(qps_by_k[1], 1e-12)
+    metrics["qps_speedup_8v1_at_max"] = speedup
+    lines.append(
+        f"sustained QPS speedup 8 vs 1 shards at {SERVICES} services: "
+        f"{speedup:.2f}x (floor {SPEEDUP_FLOOR}x)"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"8-shard sustained QPS is only {speedup:.2f}x the single-shard rate "
+        f"at {SERVICES} services, below the {SPEEDUP_FLOOR}x floor"
+    )
+
+    units = {
+        name: (
+            "ratio"
+            if "speedup" in name
+            else "queries/s" if name.startswith("qps") else "seconds"
+        )
+        for name in metrics
+    }
+    save_report(
+        "directory_sharding",
+        "\n".join(lines),
+        metrics=metrics,
+        config={
+            "services": SERVICES,
+            "shard_counts": SHARD_COUNTS,
+            "queries": QUERY_COUNT,
+            "ontologies": ONTOLOGY_COUNT,
+            "concepts_per_ontology": CONCEPTS_PER_ONTOLOGY,
+            "ontology_seed": ONTOLOGY_SEED,
+            "workload_seed": SCALE_WORKLOAD_SEED,
+            "fig10_seed": FIG10_WORKLOAD_SEED,
+            "smoke": SMOKE,
+            "xl": XL,
+        },
+        units=units,
+    )

@@ -121,6 +121,6 @@ def test_forwarding_report(benchmark, directory_workload, table):
         "forwarding_policies",
         table_text,
         metrics=metrics,
-        config={"policies": list(results)},
+        config={"policies": list(results), "seed": 9, "workload_seed": 42},
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

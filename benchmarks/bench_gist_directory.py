@@ -73,7 +73,7 @@ def test_e8_report(benchmark):
         "e8_gist_directory",
         result.render(),
         metrics=result.extras,
-        config={"sizes": SIZES},
+        config={"sizes": SIZES, "seed": 0, "query_seeds": [99, 7]},
         units="seconds",
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -75,6 +75,6 @@ def test_handoff_report(benchmark, populated, directory_workload):
     )
     table += "\nthe successor rebuilds graphs from the snapshot without running a reasoner"
     save_report(
-        "handoff_state_transfer", table, metrics=metrics, config={"sizes": SIZES}
+        "handoff_state_transfer", table, metrics=metrics, config={"sizes": SIZES, "workload_seed": 42}
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -160,6 +160,8 @@ def test_query_cache_report(benchmark, directory_table, query_workload):
             "distinct_requests": DISTINCT_REQUESTS,
             "zipf_exponent": ZIPF_EXPONENT,
             "stream_length": STREAM_LENGTH,
+            "seed": SEED,
+            "workload_seed": 42,
         },
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -155,6 +155,10 @@ class SemanticDirectory:
         """All cached service profiles."""
         return list(self._profiles.values())
 
+    def profile(self, service_uri: str) -> ServiceProfile | None:
+        """The cached profile for ``service_uri`` (None when absent)."""
+        return self._profiles.get(service_uri)
+
     def capabilities(self) -> list[Capability]:
         """All cached provided capabilities."""
         return [cap for profile in self._profiles.values() for cap in profile.provided]
@@ -219,6 +223,15 @@ class SemanticDirectory:
     def publish(self, profile: ServiceProfile) -> None:
         """Publish an already-parsed advertisement."""
         self._publish(profile, None)
+
+    def publish_profile(
+        self, profile: ServiceProfile, extra_codes: dict | None = None
+    ) -> None:
+        """Publish an already-parsed advertisement with pre-resolved §3.2
+        annotation codes (the parse-once path sharding and protocol layers
+        use: the document was parsed and its annotations resolved upstream,
+        so this directory only classifies)."""
+        self._publish(profile, extra_codes)
 
     def publish_batch(self, profiles: Iterable[ServiceProfile]) -> int:
         """Publish many already-parsed advertisements; returns the count.
@@ -384,7 +397,7 @@ class SemanticDirectory:
                         hit.distance == 0 for hit in hits
                     ):
                         break  # a perfect substitute exists; stop scanning graphs
-                hits.sort(key=lambda m: (m.distance, m.service_uri))
+                hits.sort(key=lambda m: (m.distance, m.service_uri, m.capability.uri))
                 results.extend(
                     DirectoryMatch(capability, hit.capability, hit.service_uri, hit.distance)
                     for hit in hits
@@ -475,6 +488,11 @@ class FlatDirectory:
             both the numpy and stdlib backends).  ``None`` (default)
             follows ``use_interval_index``, so the paper's linear-scan
             baseline stays scalar.
+        packed_backend: pin the batch engine to a specific backend
+            (``"numpy"``/``"stdlib"``) instead of auto-detecting.  Tests
+            use this to exercise both implementations in one process —
+            ``REPRO_PACKED_BACKEND`` is read once at import time, so the
+            environment variable cannot vary per directory.
     """
 
     def __init__(
@@ -482,9 +500,11 @@ class FlatDirectory:
         table: CodeTable,
         use_interval_index: bool = True,
         use_batch_engine: bool | None = None,
+        packed_backend: str | None = None,
     ) -> None:
         self.table = table
         self.use_interval_index = use_interval_index
+        self.packed_backend = packed_backend
         self.use_batch_engine = (
             use_interval_index if use_batch_engine is None else use_batch_engine
         )
@@ -519,6 +539,14 @@ class FlatDirectory:
     def capability_count(self) -> int:
         """Number of cached capabilities."""
         return len(self._entries)
+
+    def services(self) -> list[ServiceProfile]:
+        """All cached service profiles."""
+        return list(self._profiles.values())
+
+    def profile(self, service_uri: str) -> ServiceProfile | None:
+        """The cached profile for ``service_uri`` (None when absent)."""
+        return self._profiles.get(service_uri)
 
     def publish(self, profile: ServiceProfile) -> None:
         """Cache an advertisement (no classification work)."""
@@ -584,7 +612,9 @@ class FlatDirectory:
         key = (self._epoch, id(self.table), self.table.version)
         if self._engine is None or self._engine_key != key:
             entries = {eid: cap for eid, (cap, _uri) in self._entries.items()}
-            self._engine = BatchMatchEngine(entries, self._lookup)
+            self._engine = BatchMatchEngine(
+                entries, self._lookup, backend=self.packed_backend
+            )
             self._engine_key = key
         return self._engine
 
@@ -607,7 +637,7 @@ class FlatDirectory:
                     if distance is not None:
                         service_uri = self._entries[entry_id][1]
                         hits.append(DirectoryMatch(requested, capability, service_uri, distance))
-                hits.sort(key=lambda m: (m.distance, m.service_uri))
+                hits.sort(key=lambda m: (m.distance, m.service_uri, m.capability.uri))
                 results.extend(hits)
         return results
 
@@ -629,17 +659,32 @@ class FlatDirectory:
                 for entry_id, distance in pairs:
                     capability, service_uri = self._entries[entry_id]
                     hits.append(DirectoryMatch(requested, capability, service_uri, distance))
-                hits.sort(key=lambda m: (m.distance, m.service_uri))
+                hits.sort(key=lambda m: (m.distance, m.service_uri, m.capability.uri))
                 results.extend(hits)
         return results
 
+    def export_metrics(self) -> None:
+        """Mirror matcher counters and interval-index health (pending
+        tombstones, rebuilds paid) into the obs metric registry.
+        Pull-based, like :meth:`SemanticDirectory.export_metrics`."""
+        obs = self._obs
+        obs.counter("dir.capability_matches").set(self.stats.capability_matches)
+        obs.counter("dir.concept_comparisons").set(self.stats.concept_comparisons)
+        if self._index is not None:
+            obs.counter("index.tombstones").set(self._index.tombstones)
+            obs.counter("index.rebuilds").set(self._index.rebuilds)
+
     def describe(self) -> str:
-        """One-line backend summary."""
+        """Backend summary, with interval-index health when indexed."""
         index = "interval-indexed" if self.use_interval_index else "linear-scan"
-        return (
+        engine = "packed engine" if self.use_batch_engine else "scalar matcher"
+        line = (
             f"FlatDirectory: {len(self)} services, "
-            f"{self.capability_count} capabilities, {index}"
+            f"{self.capability_count} capabilities, {index}, {engine}"
         )
+        if self._index is not None:
+            line += "\n  " + self._index.describe().replace("\n", "\n  ")
+        return line
 
     def __repr__(self) -> str:
         return f"FlatDirectory({len(self)} services, {self.capability_count} capabilities)"

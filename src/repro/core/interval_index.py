@@ -99,6 +99,31 @@ class IntervalIndex:
     def __len__(self) -> int:
         return len(self._intervals)
 
+    @property
+    def tombstones(self) -> int:
+        """Distinct interval nodes currently emptied in place.
+
+        These are the pending compaction debt of churn (unpublish storms,
+        shard rebalances): each is a node whose ids were all discarded but
+        whose slot still occupies the sorted structure until the deferred
+        rebuild fires (see :data:`STALE_NODE_REBUILD_MIN`).
+        """
+        return self._stale_nodes
+
+    @property
+    def rebuild_pending(self) -> bool:
+        """True when the next query will pay a structure rebuild."""
+        return self._dirty
+
+    def describe(self) -> str:
+        """One-line structural health summary (tombstones, rebuilds)."""
+        return (
+            f"IntervalIndex: {len(self)} items, {len(self._nodes)} nodes, "
+            f"{self.tombstones} tombstones, {self.rebuilds} rebuilds, "
+            f"{self.inplace_updates} in-place updates"
+            f"{', rebuild pending' if self._dirty else ''}"
+        )
+
     def insert(self, item_id: int, intervals: tuple[tuple[float, float], ...]) -> None:
         """Register ``item_id`` under every ``(lo, hi)`` in ``intervals``.
 
@@ -308,6 +333,24 @@ class CandidateIndex:
         self._properties.discard(item_id)
         self._unindexed_outputs.discard(item_id)
         self._unindexed_properties.discard(item_id)
+
+    @property
+    def tombstones(self) -> int:
+        """Pending empty interval nodes across both sub-indexes."""
+        return self._outputs.tombstones + self._properties.tombstones
+
+    @property
+    def rebuilds(self) -> int:
+        """Structure rebuilds paid across both sub-indexes."""
+        return self._outputs.rebuilds + self._properties.rebuilds
+
+    def describe(self) -> str:
+        """Structural health of the output and property sub-indexes."""
+        return (
+            f"CandidateIndex: {len(self._all)} entries\n"
+            f"  outputs:    {self._outputs.describe()}\n"
+            f"  properties: {self._properties.describe()}"
+        )
 
     def candidates(self, requested: Capability, lookup) -> set[int] | None:
         """Entries that may match ``requested``; ``None`` = no filtering.

@@ -706,6 +706,181 @@ def chaos_recovery(
     return result
 
 
+def shard_failover(
+    seed: int = 0,
+    obs=None,
+    node_count: int = 10,
+    services: int = 10,
+    shard_count: int = 4,
+    refresh_interval: float = 10.0,
+    deadline: float = 120.0,
+) -> ExperimentResult:
+    """Crash the primary hosting a sharded directory tier; prove zero-loss
+    recovery via election, soft-state refresh, and a follow-up handoff.
+
+    The scenario deploys S-Ariadne over one radio vicinity (every node in
+    range, so exactly one directory serves at a time) with each elected
+    node hosting a ``shard_count``-way sharded tier
+    (:class:`~repro.core.sharding.ShardedSemanticDirectory`).  After
+    ``services`` soft-state advertisements settle, the canned
+    ``directory_crash`` :class:`~repro.network.faults.FaultPlan` kills the
+    shard primary with ``wipe_state=True`` (all K shards lost at once).
+    Recovery then has to come from the §4 machinery: re-election promotes
+    a successor, whose vicinity advert triggers the clients' immediate
+    re-registration.  Once the capability count is restored, the
+    experiment re-issues every request and demands *row-identical*
+    results, then exercises the §5 handoff path — the recovered primary
+    transfers its state to a named successor — and checks count and
+    results once more.
+
+    Returns:
+        An :class:`ExperimentResult` with one row per phase
+        (``[phase, directory, capabilities, results_ok]``) and extras:
+        ``caps_pre`` / ``caps_post`` / ``caps_handoff`` (capability counts
+        across the tier), ``services_lost`` (post-recovery deficit — the
+        zero-loss assertion), ``results_equal`` / ``handoff_ok`` (0/1 row
+        equality per phase), ``recovery_s`` (simulated seconds from crash
+        to restored count) and ``recovered``.
+    """
+    from repro.network.election import ElectionConfig
+    from repro.network.topology import Bounds
+    from repro.protocols.deployment import Deployment, DeploymentConfig
+
+    workload = directory_workload(42)
+    table = _table_for(workload)
+    deployment = Deployment(
+        DeploymentConfig(
+            node_count=node_count,
+            protocol="sariadne",
+            bounds=Bounds(200.0, 200.0),
+            radio_range=300.0,  # one vicinity: a single directory at a time
+            election=ElectionConfig(
+                advert_interval=5.0,
+                advert_hops=2,
+                directory_timeout=10.0,
+                check_interval=2.0,
+                reply_window=1.0,
+                election_hops=2,
+            ),
+            seed=seed,
+            directory_capable_fraction=1.0,
+            directory_shards=shard_count,
+        ),
+        table=table,
+    )
+    if obs is not None:
+        from repro.obs import install
+
+        install(obs, deployment.network)
+    deployment.run_until_directories(minimum=1)
+
+    primary = deployment.directory_ids()[0]
+    # Providers and requesters live on nodes that survive the crash: the
+    # fault kills the primary *node* (client included), and a provider
+    # dying with its service is departure, not directory data loss.
+    survivors = [nid for nid in sorted(deployment.clients) if nid != primary]
+
+    request_docs = []
+    for index in range(services):
+        document = _annotated_profile_doc(workload, table, index)
+        provider = deployment.clients[survivors[index % len(survivors)]]
+        provider.advertise(
+            document, workload.make_service(index).uri, refresh_interval=refresh_interval
+        )
+        request_docs.append(_annotated_request_doc(workload, table, index))
+    deployment.sim.run(until=deployment.sim.now + 5.0)
+
+    def tier_capabilities() -> int:
+        return sum(
+            agent.local_capability_count()
+            for agent in deployment.directory_agents.values()
+        )
+
+    def query_rows() -> list[tuple]:
+        rows: list[tuple] = []
+        for index, document in enumerate(request_docs):
+            requester = survivors[(index * 3 + 1) % len(survivors)]
+            response = deployment.query_from(requester, document)
+            rows.append(tuple(sorted(response[1])) if response else ())
+        return rows
+
+    caps_pre = tier_capabilities()
+    rows_pre = query_rows()
+
+    result = ExperimentResult(
+        name="shard_failover",
+        header=["phase", "directory", "capabilities", "results_ok"],
+    )
+    result.rows.append(["pre", primary, caps_pre, "-"])
+
+    crash_at = deployment.sim.now + 2.0
+    plan = canned_fault_plan(
+        "directory_crash", deployment, fault_at=crash_at, heal_at=crash_at, seed=seed
+    )
+    deployment.install_fault_plan(plan)
+
+    recovery_s = -1.0
+    start = deployment.sim.now
+    while deployment.sim.now < start + deadline:
+        deployment.sim.run(until=deployment.sim.now + 5.0)
+        directories = [d for d in deployment.directory_ids() if d != primary]
+        if directories and tier_capabilities() >= caps_pre:
+            recovery_s = deployment.sim.now - crash_at
+            break
+    caps_post = tier_capabilities()
+    successor = next(
+        (d for d in deployment.directory_ids() if d != primary), None
+    )
+    rows_post = query_rows() if successor is not None else [()] * len(request_docs)
+    results_equal = 1.0 if rows_post == rows_pre else 0.0
+    result.rows.append(
+        ["post-crash", successor if successor is not None else "-", caps_post,
+         "yes" if results_equal else "NO"]
+    )
+
+    # §5 handoff: the recovered primary transfers its tier to a successor.
+    handoff_ok = 0.0
+    caps_handoff = 0
+    if successor is not None:
+        handoff_target = next(
+            nid
+            for nid in sorted(deployment.clients)
+            if nid not in (primary, successor)
+        )
+        deployment.transfer_directory(successor, handoff_target)
+        deployment.sim.run(until=deployment.sim.now + 10.0)
+        caps_handoff = tier_capabilities()
+        rows_handoff = query_rows()
+        handoff_ok = 1.0 if (
+            caps_handoff >= caps_pre and rows_handoff == rows_pre
+        ) else 0.0
+        result.rows.append(
+            ["post-handoff", handoff_target, caps_handoff, "yes" if handoff_ok else "NO"]
+        )
+
+    result.extras["caps_pre"] = float(caps_pre)
+    result.extras["caps_post"] = float(caps_post)
+    result.extras["caps_handoff"] = float(caps_handoff)
+    result.extras["services_lost"] = float(max(0, caps_pre - caps_post))
+    result.extras["results_equal"] = results_equal
+    result.extras["handoff_ok"] = handoff_ok
+    result.extras["recovery_s"] = recovery_s
+    result.extras["recovered"] = 1.0 if recovery_s >= 0 else 0.0
+    result.notes = [
+        f"seed={seed} shards={shard_count} services={services} "
+        f"primary={primary} recovery={recovery_s:.0f}s",
+        "crash wipes all shards at once; recovery = election + soft-state "
+        "re-registration; handoff transfers the rebuilt tier",
+    ]
+    if obs is not None:
+        for agent in deployment.directory_agents.values():
+            directory = getattr(agent, "directory", None)
+            if directory is not None and hasattr(directory, "export_metrics"):
+                directory.export_metrics()
+        obs.flush()
+    return result
+
+
 # ---------------------------------------------------------------------------
 # E7 — §3.2 encoding scalability
 # ---------------------------------------------------------------------------
@@ -904,6 +1079,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "e8": e8_gist_directory,
     "e9": e9_srinivasan_registry,
     "e10": e10_bloom_summaries,
+    "shard_failover": shard_failover,
 }
 
 

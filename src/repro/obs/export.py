@@ -195,8 +195,28 @@ def run_manifest(config: dict | None = None) -> dict:
     interpreter, the platform, the benchmark's own config (seeds, sizes,
     repeats) and a wall-clock stamp — enough to answer "where did this
     number come from" from the result file alone.
+
+    Generator seeds get first-class treatment: every config key whose
+    name mentions ``seed`` is lifted into a dedicated ``seeds`` mapping,
+    so a scale benchmark's exact population
+    (``generate_large_ontology`` + ``iter_services`` are pure functions
+    of their seeds) can be regenerated from the manifest without
+    spelunking the config blob.
     """
     sha, dirty = _git_describe()
+    config = config or {}
+    def _is_seed_value(value: object) -> bool:
+        if isinstance(value, (int, str)):
+            return True
+        if isinstance(value, (list, tuple)):
+            return all(isinstance(item, (int, str)) for item in value)
+        return False
+
+    seeds = {
+        key: list(value) if isinstance(value, (list, tuple)) else value
+        for key, value in config.items()
+        if "seed" in key.lower() and _is_seed_value(value)
+    }
     return {
         "schema": 1,
         "git_sha": sha,
@@ -205,7 +225,8 @@ def run_manifest(config: dict | None = None) -> dict:
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
-        "config": config or {},
+        "config": config,
+        "seeds": seeds,
         "created_unix": int(time.time()),
     }
 

@@ -248,6 +248,21 @@ class DirectoryAgentBase(ProtocolAgent):
         """Remove a cached service."""
         raise NotImplementedError
 
+    def local_capability_count(self) -> int:
+        """Advertised capabilities currently cached on this node.
+
+        Used by resilience experiments and ``repro.cli dir stats`` to
+        assert zero-loss failover across the whole deployment.  The
+        default reads the backing directory (sharded tiers sum their
+        shards via the same attribute); protocols without one fall back
+        to the raw advertisement documents they hold.
+        """
+        directory = getattr(self, "directory", None)
+        count = getattr(directory, "capability_count", None)
+        if count is not None:
+            return count
+        return len(self._documents_by_service)
+
     def local_query(self, document: str) -> list[ResultRow]:
         """Answer a request document from the local cache."""
         raise NotImplementedError

@@ -41,6 +41,9 @@ class DeploymentConfig:
         forward_window: remote-response collection window (s).
         election: §4 election timing parameters.
         seed: placement / jitter seed.
+        directory_shards: shard count for each hosted semantic directory
+            (> 1 deploys the sharded tier of :mod:`repro.core.sharding`
+            on every elected node; ignored by the syntactic protocol).
     """
 
     node_count: int = 30
@@ -53,6 +56,7 @@ class DeploymentConfig:
     forward_window: float = 1.0
     election: ElectionConfig = field(default_factory=ElectionConfig)
     seed: int = 0
+    directory_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.protocol not in ("sariadne", "ariadne"):
@@ -103,7 +107,11 @@ class Deployment:
     # ------------------------------------------------------------------
     def _make_directory_agent(self) -> DirectoryAgentBase:
         if self.config.protocol == "sariadne":
-            return SAriadneDirectoryAgent(self.table, forward_window=self.config.forward_window)
+            return SAriadneDirectoryAgent(
+                self.table,
+                forward_window=self.config.forward_window,
+                shard_count=self.config.directory_shards,
+            )
         return AriadneDirectoryAgent(forward_window=self.config.forward_window)
 
     def _make_client_agent(self, resolver: Callable[[], int | None]) -> ClientAgentBase:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.codes import CodeTable
 from repro.core.directory import SemanticDirectory
+from repro.core.sharding import ShardedSemanticDirectory
 from repro.core.summaries import DirectorySummary, SummaryBank
 from repro.network.messages import CodeRefreshResponse, EncodedRequest
 from repro.protocols.base import ClientAgentBase, DirectoryAgentBase, ResultRow
@@ -112,6 +113,11 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
     Args:
         table: the code table for the ontologies in force (shared by all
             participants of a deployment — §3.2's versioned codes).
+        shard_count: with a value > 1 the node hosts a sharded tier
+            (:class:`~repro.core.sharding.ShardedSemanticDirectory`)
+            instead of one :class:`SemanticDirectory` — same protocol
+            surface, content partitioned by ontology-set hash and queries
+            scatter/gathered with summary pruning.
     """
 
     def __init__(
@@ -120,11 +126,20 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
         forward_window: float = 1.0,
         summary_bits: int = 512,
         summary_hashes: int = 4,
+        shard_count: int = 1,
     ) -> None:
         super().__init__(forward_window, summary_bits, summary_hashes)
-        self.directory = SemanticDirectory(
-            table, summary_bits=summary_bits, summary_hashes=summary_hashes
-        )
+        if shard_count > 1:
+            self.directory = ShardedSemanticDirectory(
+                table,
+                shard_count,
+                summary_bits=summary_bits,
+                summary_hashes=summary_hashes,
+            )
+        else:
+            self.directory = SemanticDirectory(
+                table, summary_bits=summary_bits, summary_hashes=summary_hashes
+            )
         self._summary_bank: SummaryBank | None = None
         self._summary_bank_epoch: int | None = None
 

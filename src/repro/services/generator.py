@@ -69,6 +69,13 @@ class ServiceWorkload:
         shape: population parameters.
         seed: RNG seed; identical seeds give identical workloads.
         namespace: URI prefix for the generated ontologies.
+        ontologies: pre-built ontology suite to draw concepts from,
+            bypassing ``shape.ontology_count``/``shape.ontology_shape``
+            generation.  The scale benchmarks pass
+            :func:`~repro.ontology.generator.generate_large_ontology`
+            outputs here: 10⁴–10⁵ concept taxonomies the O(n²) default
+            generator cannot reach.  Service/request derivation is still
+            a pure function of ``(seed, index)`` over the given suite.
     """
 
     def __init__(
@@ -76,14 +83,19 @@ class ServiceWorkload:
         shape: WorkloadShape = WorkloadShape(),
         seed: int = 0,
         namespace: str = "http://repro.example.org/onto",
+        ontologies: list[Ontology] | None = None,
     ) -> None:
         self.shape = shape
         self.seed = seed
-        self.ontologies: list[Ontology] = generate_ontology_suite(
-            count=shape.ontology_count,
-            shape=shape.ontology_shape,
-            seed=seed,
-            namespace=namespace,
+        self.ontologies: list[Ontology] = (
+            list(ontologies)
+            if ontologies is not None
+            else generate_ontology_suite(
+                count=shape.ontology_count,
+                shape=shape.ontology_shape,
+                seed=seed,
+                namespace=namespace,
+            )
         )
         self._reasoner = Reasoner().load(self.ontologies)
         self.taxonomy: Taxonomy = self._reasoner.classify()

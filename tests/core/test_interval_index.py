@@ -239,3 +239,84 @@ class TestIndexedFlatDirectoryEquality:
             )
 
         assert canon(indexed.query(request)) == canon(linear.query(request))
+
+
+class TestIntrospection:
+    """Tombstone counts and deferred-rebuild triggers are surfaced for
+    operators: ``describe()`` strings and pull-based obs gauges."""
+
+    def test_tombstones_count_emptied_nodes(self):
+        index = IntervalIndex()
+        for item in range(6):
+            index.insert(item, ((float(item), float(item) + 1.0),))
+        index.stab(0.25, 0.5)
+        assert index.tombstones == 0
+        index.discard(2)
+        index.discard(4)
+        assert index.tombstones == 2
+        assert not index.rebuild_pending
+        text = index.describe()
+        assert "2 tombstones" in text
+        assert "rebuild pending" not in text
+
+    def test_deferred_rebuild_trigger_visible_then_cleared(self):
+        from repro.core.interval_index import STALE_NODE_REBUILD_MIN
+
+        index = IntervalIndex()
+        n = 4 * STALE_NODE_REBUILD_MIN
+        for item in range(n):
+            index.insert(item, ((float(item), float(item) + 1.0),))
+        index.stab(0.5, 0.75)
+        for item in range(0, n - 2, 1):
+            index.discard(item)
+            if index.rebuild_pending:
+                break
+        assert index.rebuild_pending
+        assert "rebuild pending" in index.describe()
+        index.stab(float(n) - 1.5, float(n) - 1.25)  # pays the rebuild
+        assert not index.rebuild_pending
+        assert index.tombstones == 0
+        assert index.rebuilds == 2
+
+    def test_candidate_index_aggregates_sub_indexes(self, small_workload, small_table):
+        from repro.core.matching import CodeMatcher
+
+        # use_batch_engine=False: the packed engine answers without ever
+        # stabbing the interval index, so pin the scalar+index path.
+        directory = FlatDirectory(
+            small_table, use_interval_index=True, use_batch_engine=False
+        )
+        profiles = small_workload.make_services(12)
+        for profile in profiles:
+            directory.publish(profile)
+        matcher = CodeMatcher(table=small_table)
+        request = small_workload.matching_request(profiles[0])
+        directory.query(request)
+        index = directory._index
+        assert index.tombstones == 0
+        for profile in profiles[2:]:
+            directory.unpublish(profile.uri)
+        assert index.tombstones > 0
+        text = index.describe()
+        assert "outputs:" in text and "properties:" in text
+        assert index.rebuilds >= 0
+
+    def test_flat_directory_exports_index_gauges(self, small_workload, small_table):
+        from repro.obs import Observability
+
+        directory = FlatDirectory(
+            small_table, use_interval_index=True, use_batch_engine=False
+        )
+        directory.obs = Observability()
+        for profile in small_workload.iter_services(10):
+            directory.publish(profile)
+        directory.query(small_workload.matching_request(small_workload.make_service(0)))
+        for index in range(1, 10):
+            directory.unpublish(f"urn:repro:service:{index}")
+        directory.export_metrics()
+        names = {series["name"]: series for series in directory.obs.metrics.snapshot()}
+        assert names["index.tombstones"]["value"] == directory._index.tombstones
+        assert names["index.rebuilds"]["value"] == directory._index.rebuilds
+        assert names["index.tombstones"]["value"] > 0
+        assert "index/engine" not in directory.describe()  # describe stays prose
+        assert "tombstones" in directory.describe()

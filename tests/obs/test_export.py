@@ -171,3 +171,28 @@ class TestRegressionGate:
         assert statuses[("full_only", "*")] == "skipped"
         assert statuses[("fresh_only", "*")] == "skipped"
         assert statuses[("both", "metric")] == "ok"
+
+
+class TestManifestSeeds:
+    def test_seed_keys_lifted_into_seeds_block(self):
+        manifest = run_manifest(
+            config={
+                "seed": 7,
+                "ontology_seed": 11,
+                "workload_seed": "scale:3",
+                "sizes": [1, 2],
+                "trial_seeds": [1, 2, 3],  # scalar list: lifted
+                "seed_map": {"a": 1},  # nested structure: stays out
+            }
+        )
+        assert manifest["seeds"] == {
+            "seed": 7,
+            "ontology_seed": 11,
+            "workload_seed": "scale:3",
+            "trial_seeds": [1, 2, 3],
+        }
+        json.dumps(manifest)
+
+    def test_no_seed_keys_gives_empty_block(self):
+        manifest = run_manifest(config={"sizes": [1]})
+        assert manifest["seeds"] == {}

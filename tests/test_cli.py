@@ -353,3 +353,45 @@ class TestObsRegress:
         base.mkdir(), cand.mkdir()
         rc = main(["obs", "regress", "--baseline", str(base), "--candidate", str(cand)])
         assert rc == 2
+
+
+class TestDirStats:
+    def _workload(self, tmp_path):
+        main(
+            [
+                "workload",
+                "--services",
+                "6",
+                "--ontologies",
+                "4",
+                "--seed",
+                "5",
+                "--outdir",
+                str(tmp_path),
+            ]
+        )
+
+    def test_plain_directory_stats(self, tmp_path, capsys):
+        self._workload(tmp_path)
+        capsys.readouterr()
+        assert main(["dir", "stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "6 service(s)" in out
+        assert "SemanticDirectory" in out
+
+    def test_sharded_stats_report_skew(self, tmp_path, capsys):
+        self._workload(tmp_path)
+        capsys.readouterr()
+        assert main(["dir", "stats", str(tmp_path), "--shards", "4", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "skew (max/mean)" in out
+        assert "shard" in out and "share" in out
+        # one table row per shard, plus the per-shard description dump
+        assert "ShardRouter" in out
+        # per-shard capability counts sum to the published total
+        assert "6 service(s)" in out
+
+    def test_missing_workload_dir_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["dir", "stats", str(empty)]) == 2
