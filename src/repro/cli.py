@@ -37,6 +37,93 @@ from repro.services.xml_codec import (
 )
 
 
+def _load_deployment_config(args: argparse.Namespace):
+    """The shared ``--config`` surface of ``serve`` / ``loadgen``."""
+    from repro.protocols.deployment import DeploymentConfig
+
+    if args.config is not None:
+        return DeploymentConfig.load(args.config)
+    return DeploymentConfig(node_count=2)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.protocols.live_deploy import DirectoryServer
+
+    config = _load_deployment_config(args)
+
+    async def run() -> int:
+        server = DirectoryServer(
+            config,
+            listen=args.listen,
+            metrics_listen=args.metrics,
+            node_id=args.node_id,
+        )
+        await server.start()
+        print(f"serve: node {args.node_id} listening on {args.listen}", flush=True)
+        await server.wait_elected(timeout=args.election_timeout)
+        shards = config.directory_shards
+        print(
+            f"serve: elected directory (shards={shards});"
+            + (f" metrics on {args.metrics}" if args.metrics else ""),
+            flush=True,
+        )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.protocols.live_deploy import LoadGenerator, write_bench_report
+
+    config = _load_deployment_config(args)
+
+    async def run() -> int:
+        gen = LoadGenerator(
+            config,
+            connect=args.connect,
+            node_id=args.node_id,
+            directory_node_id=args.directory_node_id,
+        )
+        await gen.start()
+        try:
+            summary = await gen.run(services=args.services, queries=args.queries)
+        finally:
+            await gen.close()
+        print(
+            f"loadgen: {summary['answered']}/{summary['queries']} answered, "
+            f"{summary['qps']:.1f} qps, "
+            f"p50 {summary['latency_p50_ms'] or float('nan'):.2f} ms, "
+            f"p99 {summary['latency_p99_ms'] or float('nan'):.2f} ms "
+            f"(outcomes: {summary['outcomes']})"
+        )
+        if args.out is not None:
+            write_bench_report(summary, config, args.out)
+            print(f"loadgen: wrote {args.out}")
+        return 0 if summary["answered"] > 0 else 1
+
+    try:
+        return asyncio.run(run())
+    except TimeoutError as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
@@ -570,6 +657,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="also list skipped benchmarks/metrics"
     )
     regress.set_defaults(func=_cmd_obs_regress)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="host a live elected directory on a TCP/UDS address (docs/DEPLOYMENT.md)",
+    )
+    serve.add_argument(
+        "--listen", required=True, help="protocol address: unix:<path> or tcp:<host>:<port>"
+    )
+    serve.add_argument(
+        "--metrics", default=None, help="optional OpenMetrics HTTP address (unix:/tcp:)"
+    )
+    serve.add_argument(
+        "--config", default=None, help="DeploymentConfig file (.toml/.json); seeds the shared catalog"
+    )
+    serve.add_argument("--node-id", type=int, default=0, help="this directory's node id")
+    serve.add_argument(
+        "--duration", type=float, default=None, help="exit after N seconds (default: run until killed)"
+    )
+    serve.add_argument(
+        "--election-timeout",
+        type=float,
+        default=30.0,
+        help="max seconds to wait for the §4 election to conclude",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive closed-loop queries against a live directory (docs/DEPLOYMENT.md)",
+    )
+    loadgen.add_argument(
+        "--connect", required=True, help="the directory's protocol address (unix:/tcp:)"
+    )
+    loadgen.add_argument(
+        "--config", default=None, help="DeploymentConfig file — must match the server's seed"
+    )
+    loadgen.add_argument("--services", type=int, default=8, help="workload profiles to publish")
+    loadgen.add_argument("--queries", type=int, default=50, help="closed-loop queries to issue")
+    loadgen.add_argument("--node-id", type=int, default=1, help="this client's node id")
+    loadgen.add_argument(
+        "--directory-node-id", type=int, default=0, help="node id the server runs as"
+    )
+    loadgen.add_argument(
+        "--out", default=None, help="write a BENCH_deployment_smoke.json summary here"
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -548,6 +548,20 @@ def canned_fault_plan(name: str, deployment, fault_at: float, heal_at: float, se
     return plan
 
 
+def _resolve_deployment_config(config, default_factory):
+    """The shared config surface: accept a ready
+    :class:`~repro.protocols.deployment.DeploymentConfig`, a path to a
+    TOML/JSON file (the same files ``repro.cli serve`` / ``loadgen``
+    read), or ``None`` for the experiment's built-in default."""
+    from repro.protocols.deployment import DeploymentConfig
+
+    if config is None:
+        return default_factory()
+    if isinstance(config, DeploymentConfig):
+        return config
+    return DeploymentConfig.load(config)
+
+
 def chaos_recovery(
     plan_name: str,
     seed: int = 0,
@@ -559,6 +573,7 @@ def chaos_recovery(
     queries_per_window: int = 4,
     fault_window: int = 4,
     heal_window: int = 8,
+    config=None,
 ) -> ExperimentResult:
     """Measure discovery success ratio and recovery time under one canned
     fault plan.
@@ -588,6 +603,11 @@ def chaos_recovery(
         queries_per_window: discovery requests issued per window.
         fault_window: window index at which the fault strikes.
         heal_window: window index at which healing faults heal.
+        config: optional deployment override — a
+            :class:`~repro.protocols.deployment.DeploymentConfig` or a
+            path to the same TOML/JSON files ``repro.cli serve`` and
+            ``loadgen`` read; when given it replaces the built-in
+            deployment (and ``node_count``/``seed`` follow it).
 
     Returns:
         An :class:`ExperimentResult` with one row per window
@@ -602,8 +622,9 @@ def chaos_recovery(
 
     workload = directory_workload(42)
     table = _table_for(workload)
-    deployment = Deployment(
-        DeploymentConfig(
+    deployment_config = _resolve_deployment_config(
+        config,
+        lambda: DeploymentConfig(
             node_count=node_count,
             protocol="sariadne",
             election=ElectionConfig(
@@ -617,8 +638,9 @@ def chaos_recovery(
             seed=seed,
             directory_capable_fraction=1.0,
         ),
-        table=table,
     )
+    node_count = deployment_config.node_count
+    deployment = Deployment(deployment_config, table=table)
     if obs is not None:
         from repro.obs import install
 
@@ -714,6 +736,7 @@ def shard_failover(
     shard_count: int = 4,
     refresh_interval: float = 10.0,
     deadline: float = 120.0,
+    config=None,
 ) -> ExperimentResult:
     """Crash the primary hosting a sharded directory tier; prove zero-loss
     recovery via election, soft-state refresh, and a follow-up handoff.
@@ -748,8 +771,9 @@ def shard_failover(
 
     workload = directory_workload(42)
     table = _table_for(workload)
-    deployment = Deployment(
-        DeploymentConfig(
+    deployment_config = _resolve_deployment_config(
+        config,
+        lambda: DeploymentConfig(
             node_count=node_count,
             protocol="sariadne",
             bounds=Bounds(200.0, 200.0),
@@ -766,8 +790,8 @@ def shard_failover(
             directory_capable_fraction=1.0,
             directory_shards=shard_count,
         ),
-        table=table,
     )
+    deployment = Deployment(deployment_config, table=table)
     if obs is not None:
         from repro.obs import install
 

@@ -94,25 +94,25 @@ class ElectionAgent(ProtocolAgent):
     # ------------------------------------------------------------------
     def on_start(self) -> None:
         """Arm the staggered periodic coverage check."""
-        sim = self.node.network.sim
-        self.last_advert_time = sim.now
+        runtime = self.runtime
+        self.last_advert_time = runtime.now
         rng = self.node.network.rng
         # Stagger the first check so the whole network does not fire at once.
-        sim.schedule(rng.uniform(0.0, self.config.check_interval), self._check_coverage)
+        runtime.schedule(rng.uniform(0.0, self.config.check_interval), self._check_coverage)
 
     def _check_coverage(self) -> None:
-        sim = self.node.network.sim
+        runtime = self.runtime
         # An election call heard recently counts as coverage activity:
         # concurrent initiations would elect a directory per initiator.
         last_activity = max(self.last_advert_time, self._last_election_heard)
-        silence = sim.now - last_activity
+        silence = runtime.now - last_activity
         if (
             not self.is_directory
             and silence >= self.config.directory_timeout
             and self.node.network.is_up(self.node.node_id)
         ):
             self._initiate_election()
-        sim.schedule(self.config.check_interval, self._check_coverage)
+        runtime.schedule(self.config.check_interval, self._check_coverage)
 
     # ------------------------------------------------------------------
     # Election
@@ -133,7 +133,7 @@ class ElectionAgent(ProtocolAgent):
         if self.obs.enabled:
             self.obs.lifecycle(
                 "election.initiated",
-                sim_time=self.node.network.sim.now,
+                sim_time=self.runtime.now,
                 node=self.node.node_id,
                 cause="directory_silence",
             )
@@ -147,7 +147,7 @@ class ElectionAgent(ProtocolAgent):
         self.node.broadcast(
             ElectionCall(self.node.node_id, election_id), ttl=self.config.election_hops
         )
-        self.node.network.sim.schedule(
+        self.runtime.schedule(
             self.config.reply_window, lambda: self._conclude_election(election_id)
         )
 
@@ -168,16 +168,16 @@ class ElectionAgent(ProtocolAgent):
         if self.obs.enabled:
             self.obs.lifecycle(
                 "election.promoted",
-                sim_time=self.node.network.sim.now,
+                sim_time=self.runtime.now,
                 node=self.node.node_id,
                 cause=cause,
             )
         self.is_directory = True
         self.current_directory = self.node.node_id
         config = self.config
-        sim = self.node.network.sim
+        runtime = self.runtime
         self._advertise()
-        self._stop_advertising = sim.schedule_every(config.advert_interval, self._advertise)
+        self._stop_advertising = runtime.schedule_every(config.advert_interval, self._advertise)
         if self.on_promoted is not None:
             self.on_promoted()
 
@@ -188,7 +188,7 @@ class ElectionAgent(ProtocolAgent):
         if self.obs.enabled:
             self.obs.lifecycle(
                 "election.resigned",
-                sim_time=self.node.network.sim.now,
+                sim_time=self.runtime.now,
                 node=self.node.node_id,
                 cause=cause,
             )
@@ -199,7 +199,7 @@ class ElectionAgent(ProtocolAgent):
 
     def _advertise(self) -> None:
         self.node.broadcast(DirectoryAdvert(self.node.node_id), ttl=self.config.advert_hops)
-        self.last_advert_time = self.node.network.sim.now
+        self.last_advert_time = self.runtime.now
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -214,7 +214,7 @@ class ElectionAgent(ProtocolAgent):
     def on_restart(self) -> None:
         """Rejoin as an ordinary node: reset the silence clock so the
         node listens for the (possibly new) directory before bidding."""
-        self.last_advert_time = self.node.network.sim.now
+        self.last_advert_time = self.runtime.now
 
     # ------------------------------------------------------------------
     # Message handling
@@ -223,10 +223,10 @@ class ElectionAgent(ProtocolAgent):
         """Dispatch election traffic (adverts, calls, replies)."""
         payload = envelope.payload
         if isinstance(payload, DirectoryAdvert):
-            self.last_advert_time = self.node.network.sim.now
+            self.last_advert_time = self.runtime.now
             self.current_directory = payload.directory_id
         elif isinstance(payload, ElectionCall):
-            self._last_election_heard = self.node.network.sim.now
+            self._last_election_heard = self.runtime.now
             if self.directory_capable and not self.is_directory:
                 self.node.unicast(
                     payload.initiator,

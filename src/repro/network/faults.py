@@ -368,30 +368,30 @@ class FaultInjector:
         if self._armed:
             return
         self._armed = True
-        sim = self.network.sim
+        runtime = self.network.runtime
         for fault in self.plan.faults:
             if isinstance(fault, CrashNode):
-                sim.schedule_at(
-                    max(sim.now, fault.at), lambda f=fault: self._crash(f)
+                runtime.schedule_at(
+                    max(runtime.now, fault.at), lambda f=fault: self._crash(f)
                 )
                 if fault.restart_at is not None:
-                    sim.schedule_at(
-                        max(sim.now, fault.restart_at),
+                    runtime.schedule_at(
+                        max(runtime.now, fault.restart_at),
                         lambda f=fault: self._restart(f),
                     )
             elif isinstance(fault, CutLink):
-                sim.schedule_at(max(sim.now, fault.at), lambda f=fault: self._cut(f))
+                runtime.schedule_at(max(runtime.now, fault.at), lambda f=fault: self._cut(f))
                 if fault.heal_at is not None:
-                    sim.schedule_at(
-                        max(sim.now, fault.heal_at), lambda f=fault: self._heal_link(f)
+                    runtime.schedule_at(
+                        max(runtime.now, fault.heal_at), lambda f=fault: self._heal_link(f)
                     )
             elif isinstance(fault, PartitionNetwork):
-                sim.schedule_at(
-                    max(sim.now, fault.at), lambda f=fault: self._partition(f)
+                runtime.schedule_at(
+                    max(runtime.now, fault.at), lambda f=fault: self._partition(f)
                 )
                 if fault.heal_at is not None:
-                    sim.schedule_at(
-                        max(sim.now, fault.heal_at),
+                    runtime.schedule_at(
+                        max(runtime.now, fault.heal_at),
                         lambda f=fault: self._heal_partition(f),
                     )
             elif isinstance(fault, MessageChaos):
@@ -399,12 +399,12 @@ class FaultInjector:
                 # the clock), but emitting boundary events puts the chaos
                 # chronology on the timeline even when no message happens
                 # to be hit.
-                sim.schedule_at(
-                    max(sim.now, fault.start), lambda f=fault: self._window_event(f, "start")
+                runtime.schedule_at(
+                    max(runtime.now, fault.start), lambda f=fault: self._window_event(f, "start")
                 )
                 if fault.stop is not None:
-                    sim.schedule_at(
-                        max(sim.now, fault.stop), lambda f=fault: self._window_event(f, "end")
+                    runtime.schedule_at(
+                        max(runtime.now, fault.stop), lambda f=fault: self._window_event(f, "end")
                     )
 
     # -- timed fault execution -------------------------------------------
@@ -439,7 +439,7 @@ class FaultInjector:
         if obs.enabled:
             obs.lifecycle(
                 f"fault.chaos_{edge}",
-                sim_time=self.network.sim.now,
+                sim_time=self.network.runtime.now,
                 cause="fault_plan",
                 loss=window.loss,
                 duplicate=window.duplicate,
@@ -459,7 +459,7 @@ class FaultInjector:
             dest: receiving node id.
             kind: payload class name (for the lifecycle event).
         """
-        now = self.network.sim.now
+        now = self.network.runtime.now
         fate: MessageFate | None = None
         for window in self._windows:
             if not window.active_at(now):
@@ -489,7 +489,7 @@ class FaultInjector:
         if obs.enabled:
             obs.lifecycle(
                 event_kind,
-                sim_time=self.network.sim.now,
+                sim_time=self.network.runtime.now,
                 node=source,
                 cause="fault_plan",
                 dest=dest,

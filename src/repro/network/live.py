@@ -1,0 +1,542 @@
+"""Wall-clock asyncio fabric: the protocol agents on real sockets.
+
+This module is the second implementation of the structural
+:class:`~repro.network.runtime.Runtime` / :class:`~repro.network.runtime.Transport`
+surfaces (the first is the discrete-event pair
+:class:`~repro.network.simulator.Simulator` + :class:`~repro.network.node.Network`).
+The agents in :mod:`repro.protocols` and :mod:`repro.network.election`
+run on it **unmodified**: a :class:`LiveFabric` hosts one local
+:class:`LiveNode` per process, peers are other processes reached over
+TCP or unix-domain sockets, and every
+:class:`~repro.network.messages.Envelope` travels as a
+:mod:`repro.network.wire` frame instead of a Python reference.
+
+Topology model: the live overlay is a *fully connected* clique — every
+configured or handshaken peer is one hop away, broadcasts are fanned out
+to each connected peer exactly once (no re-flooding; the clique makes it
+redundant), and ``hop_count`` is 1 for every known peer.  This matches
+the infrastructure-backed deployments of §1; simulating multi-hop radio
+topologies remains the simulator's job.
+
+Connection handling:
+
+* one full-duplex socket per peer pair, reused for all traffic in both
+  directions.  The first frame on every socket is a
+  :class:`~repro.network.messages.Hello` naming the dialing node, so the
+  accepting side can route replies back over the same socket — a pure
+  client (``repro.cli loadgen``) never listens.
+* outbound sends queue on a per-peer outbox; a link task connects with
+  exponential backoff and drains it.  Connect refusals and socket
+  timeouts are **never** raised to agents: after ``connect_retries``
+  consecutive failures the link is marked dead and ``unicast`` returns
+  ``False``, which the client machinery in
+  :mod:`repro.protocols.base` already maps to
+  ``QueryOutcome.SEND_FAILED`` (immediately) or ``EXHAUSTED`` (when the
+  failure happens after an optimistic accept).  That keeps transport
+  fault semantics identical across both fabrics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+from collections.abc import Callable
+
+from repro.network.messages import Envelope, Hello, payload_size
+from repro.network.node import ProtocolAgent, TrafficStats
+from repro.network.wire import WireError, encode_frame, read_frame
+from repro.obs import NULL_OBS
+
+
+class LiveRuntime:
+    """:class:`~repro.network.runtime.Runtime` over the asyncio clock.
+
+    ``now`` is wall-clock seconds since the runtime was created (the
+    loop's monotonic clock, so it never goes backwards).  Scheduling maps
+    one-to-one onto ``loop.call_later``.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._t0 = self._loop.time()
+        #: Mirrors ``Simulator.obs`` so ``repro.obs.install`` can wire
+        #: either engine without knowing which one it got.
+        self.obs = NULL_OBS
+
+    @property
+    def now(self) -> float:
+        """Seconds of wall clock since fabric start."""
+        return self._loop.time() - self._t0
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], daemon: bool = False
+    ):
+        """Run ``callback`` after ``delay`` wall-clock seconds.
+
+        ``daemon`` is accepted for signature compatibility; a live
+        process has no drained-heap termination condition, so the flag
+        has nothing to mean here.
+        """
+        return self._loop.call_later(max(0.0, delay), callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], daemon: bool = False):
+        """Run ``callback`` at an absolute :attr:`now` timestamp."""
+        return self.schedule(time - self.now, callback)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+        rng: random.Random | None = None,
+        daemon: bool = False,
+    ) -> Callable[[], None]:
+        """Run ``callback`` every ``interval`` (+ uniform jitter) seconds.
+
+        Returns a zero-argument cancel function, like the simulator.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        draw = (rng or random).uniform
+        state = {"handle": None, "cancelled": False}
+
+        def arm() -> None:
+            delay = interval + (draw(0.0, jitter) if jitter else 0.0)
+            state["handle"] = self._loop.call_later(delay, fire)
+
+        def fire() -> None:
+            if state["cancelled"]:
+                return
+            callback()
+            if not state["cancelled"]:
+                arm()
+
+        def cancel() -> None:
+            state["cancelled"] = True
+            if state["handle"] is not None:
+                state["handle"].cancel()
+
+        arm()
+        return cancel
+
+
+class RemotePeer:
+    """Directory-facing stub for a node living in another process.
+
+    Appears in :attr:`LiveFabric.nodes` so peer-ranking code
+    (``network.nodes[peer].battery``) works unchanged; the battery is a
+    neutral constant because live deployments are mains-powered.
+    """
+
+    def __init__(self, node_id: int, battery: float = 1.0) -> None:
+        self.node_id = node_id
+        self.battery = battery
+
+    def __repr__(self) -> str:
+        return f"RemotePeer({self.node_id})"
+
+
+class LiveNode:
+    """The one in-process node of a :class:`LiveFabric`.
+
+    Structurally a :class:`~repro.network.node.NetNode` as far as agents
+    are concerned: ``add_agent`` / ``broadcast`` / ``unicast`` /
+    ``deliver`` plus ``battery`` — there is just no position, because the
+    live overlay has no radio geometry.
+    """
+
+    def __init__(self, node_id: int, battery: float = 1.0) -> None:
+        self.node_id = node_id
+        self.battery = battery
+        self.agents: list[ProtocolAgent] = []
+        self.network: LiveFabric | None = None
+
+    def add_agent(self, agent: ProtocolAgent) -> ProtocolAgent:
+        """Attach a protocol agent (same contract as ``NetNode``)."""
+        agent.attach(self)
+        self.agents.append(agent)
+        return agent
+
+    def broadcast(self, payload: object, ttl: int = 1) -> None:
+        """Fan ``payload`` out to every connected peer (one overlay hop)."""
+        assert self.network is not None, "node not added to a fabric"
+        self.network.flood(self, payload, ttl)
+
+    def unicast(self, dest: int, payload: object) -> bool:
+        """Send ``payload`` to peer ``dest``; False when unroutable."""
+        assert self.network is not None, "node not added to a fabric"
+        return self.network.unicast(self, dest, payload)
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Hand an envelope to every attached agent."""
+        for agent in list(self.agents):
+            agent.on_message(envelope)
+
+    def __repr__(self) -> str:
+        return f"LiveNode({self.node_id})"
+
+
+def parse_address(address: str) -> tuple[str, ...]:
+    """Parse ``unix:<path>`` / ``tcp:<host>:<port>`` address strings.
+
+    Returns ``("unix", path)`` or ``("tcp", host, port_str)``.
+
+    Raises:
+        ValueError: on any other scheme or shape.
+    """
+    scheme, sep, rest = address.partition(":")
+    if not sep or not rest:
+        raise ValueError(f"address must be unix:<path> or tcp:<host>:<port>, got {address!r}")
+    if scheme == "unix":
+        return ("unix", rest)
+    if scheme == "tcp":
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ValueError(f"tcp address must be tcp:<host>:<port>, got {address!r}")
+        return ("tcp", host, port)
+    raise ValueError(f"unknown address scheme {scheme!r} in {address!r}")
+
+
+class _PeerLink:
+    """One peer's send side: outbox, current socket, liveness."""
+
+    def __init__(self, peer_id: int, address: str | None) -> None:
+        self.peer_id = peer_id
+        #: Dial target; ``None`` for inbound-only peers (they dialed us).
+        self.address = address
+        self.outbox: asyncio.Queue[Envelope] = asyncio.Queue()
+        self.writer: asyncio.StreamWriter | None = None
+        #: Set after ``connect_retries`` consecutive dial failures; a
+        #: dead link refuses sends (→ ``SEND_FAILED``) instead of
+        #: queueing into the void.
+        self.dead = False
+        self.task: asyncio.Task | None = None
+
+
+class LiveFabric:
+    """A process's view of the live deployment: one node, many sockets.
+
+    Satisfies the slice of the :class:`~repro.network.node.Network`
+    surface the agents actually touch — ``runtime``, ``obs``, ``nodes``,
+    ``rng``, ``stats``, ``record``, ``hop_count``, ``neighbors``,
+    ``is_up``, ``down`` — so directory, client, and election agents are
+    bit-for-bit the same code objects that run in the simulator.
+
+    Args:
+        node_id: this process's node id (must differ from every peer).
+        listen: ``unix:``/``tcp:`` address to accept connections on, or
+            ``None`` for a client-only fabric.
+        peers: mapping of peer node id → dial address.  Peers that dial
+            *us* are learned dynamically from their ``Hello``.
+        seed: seeds :attr:`rng` (election stagger jitter).
+        battery: local node battery (election fitness input).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        listen: str | None = None,
+        peers: dict[int, str] | None = None,
+        seed: int = 0,
+        battery: float = 1.0,
+    ) -> None:
+        self.runtime = LiveRuntime()
+        self.obs = NULL_OBS
+        self.trace = None
+        self.faults = None
+        self.rng = random.Random(seed)
+        self.stats = TrafficStats()
+        self.down: set[int] = set()
+        self.listen_address = listen
+        self.node = LiveNode(node_id, battery)
+        self.node.network = self
+        self.nodes: dict[int, LiveNode | RemotePeer] = {node_id: self.node}
+        self._links: dict[int, _PeerLink] = {}
+        for peer_id, address in (peers or {}).items():
+            if peer_id == node_id:
+                raise ValueError(f"peer id {peer_id} collides with the local node")
+            self.nodes[peer_id] = RemotePeer(peer_id)
+            self._links[peer_id] = _PeerLink(peer_id, address)
+        self._msg_ids = itertools.count(1)
+        self._server: asyncio.AbstractServer | None = None
+        self._reader_tasks: set[asyncio.Task] = set()
+        #: Dial policy: ``connect_retries`` attempts with exponential
+        #: backoff starting at ``connect_backoff`` seconds, each attempt
+        #: bounded by ``connect_timeout``.
+        self.connect_retries = 5
+        self.connect_backoff = 0.05
+        self.connect_timeout = 2.0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (if any), start link tasks and agents."""
+        if self._started:
+            return
+        self._started = True
+        if self.listen_address is not None:
+            parts = parse_address(self.listen_address)
+            if parts[0] == "unix":
+                self._server = await asyncio.start_unix_server(
+                    self._accept, path=parts[1]
+                )
+            else:
+                self._server = await asyncio.start_server(
+                    self._accept, host=parts[1], port=int(parts[2])
+                )
+        for link in self._links.values():
+            if link.address is not None:
+                link.task = asyncio.ensure_future(self._run_link(link))
+        for agent in list(self.node.agents):
+            agent.on_start()
+
+    async def close(self) -> None:
+        """Stop the listener, link tasks and reader loops."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        tasks = [link.task for link in self._links.values() if link.task is not None]
+        tasks.extend(self._reader_tasks)
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for link in self._links.values():
+            if link.writer is not None:
+                link.writer.close()
+                link.writer = None
+
+    # ------------------------------------------------------------------
+    # Structural Network surface (what agents touch)
+    # ------------------------------------------------------------------
+    def record(self, actor: int, kind: str, detail: str = "") -> None:
+        """Record a trace event if tracing is enabled (no-op otherwise)."""
+        if self.trace is not None:
+            self.trace.record(self.runtime.now, actor, kind, detail)
+
+    def is_up(self, node_id: int) -> bool:
+        """True for the local node and every peer with a live link."""
+        if node_id == self.node.node_id:
+            return True
+        link = self._links.get(node_id)
+        return link is not None and not link.dead
+
+    def neighbors(self, node_id: int) -> list[RemotePeer]:
+        """Every known live peer (the overlay is one-hop complete).
+
+        Only answerable for the local node; a live process cannot see
+        another process's adjacency.
+        """
+        if node_id != self.node.node_id:
+            return []
+        return [
+            self.nodes[peer_id]
+            for peer_id, link in sorted(self._links.items())
+            if not link.dead
+        ]
+
+    def hop_count(self, source: int, dest: int) -> int | None:
+        """0 to self, 1 to any known live peer, ``None`` otherwise."""
+        if source == dest:
+            return 0
+        if dest == self.node.node_id or self.is_up(dest):
+            return 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def unicast(self, origin: LiveNode, dest: int, payload: object) -> bool:
+        """Queue ``payload`` for peer ``dest``.
+
+        Returns False — the agents' existing unreachable signal — when
+        the peer is unknown, its link has been declared dead after
+        exhausting connect retries, or it is inbound-only and its socket
+        is gone.  Never raises transport errors.
+        """
+        if dest == self.node.node_id:
+            envelope = self._wrap(payload, dest=dest, hops=0)
+            self.runtime.schedule(0.0, lambda: self._deliver_local(envelope))
+            return True
+        link = self._links.get(dest)
+        if link is None or link.dead or (link.address is None and link.writer is None):
+            self.stats.drops_unreachable += 1
+            return False
+        self.record(origin.node_id, "unicast", f"{type(payload).__name__} -> {dest}")
+        envelope = self._wrap(payload, dest=dest, hops=1)
+        self.stats.unicasts += 1
+        size = payload_size(payload)
+        self.stats.bytes_sent += size
+        if self.obs.enabled:
+            self.obs.counter("net.messages", node=origin.node_id).inc()
+            self.obs.counter("net.bytes", node=origin.node_id).inc(size)
+        link.outbox.put_nowait(envelope)
+        return True
+
+    def flood(self, origin: LiveNode, payload: object, ttl: int) -> None:
+        """Fan out to every live peer once (clique overlay — no relay)."""
+        self.record(origin.node_id, "flood", f"{type(payload).__name__} ttl={ttl}")
+        envelope = self._wrap(payload, dest=None, hops=0, ttl=ttl)
+        self.stats.broadcasts += 1
+        size = payload_size(payload)
+        for peer_id, link in sorted(self._links.items()):
+            if link.dead or (link.address is None and link.writer is None):
+                continue
+            self.stats.bytes_sent += size
+            if self.obs.enabled:
+                self.obs.counter("net.messages", node=origin.node_id).inc()
+                self.obs.counter("net.bytes", node=origin.node_id).inc(size)
+            link.outbox.put_nowait(envelope)
+
+    def _wrap(self, payload: object, dest: int | None, hops: int, ttl: int = 0) -> Envelope:
+        return Envelope(
+            kind=type(payload).__name__,
+            payload=payload,
+            source=self.node.node_id,
+            dest=dest,
+            msg_id=next(self._msg_ids),
+            ttl=ttl,
+            hops=hops,
+        )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _deliver_local(self, envelope: Envelope) -> None:
+        self.stats.deliveries += 1
+        self.node.deliver(envelope)
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """Handle one inbound connection: Hello handshake, then frames."""
+        try:
+            hello = await asyncio.wait_for(read_frame(reader), self.connect_timeout)
+        except (WireError, OSError, asyncio.TimeoutError):
+            writer.close()
+            return
+        if hello is None or not isinstance(hello.payload, Hello):
+            writer.close()
+            return
+        peer_id = hello.payload.node_id
+        link = self._links.get(peer_id)
+        if link is None:
+            link = _PeerLink(peer_id, address=None)
+            self._links[peer_id] = link
+            self.nodes.setdefault(peer_id, RemotePeer(peer_id))
+        if link.address is None:
+            # Inbound-only peer: replies go back over this socket.
+            link.writer = writer
+            link.dead = False
+            if link.task is None or link.task.done():
+                link.task = asyncio.ensure_future(self._drain_outbox(link))
+        await self._read_loop(reader, peer_id)
+        if link.writer is writer:
+            link.writer = None
+
+    async def _read_loop(self, reader: asyncio.StreamReader, peer_id: int) -> None:
+        """Deliver every inbound frame to the local node's agents."""
+        while True:
+            try:
+                envelope = await read_frame(reader)
+            except (WireError, OSError):
+                return
+            if envelope is None:
+                return
+            delivered = Envelope(
+                kind=envelope.kind,
+                payload=envelope.payload,
+                source=envelope.source,
+                dest=envelope.dest,
+                msg_id=envelope.msg_id,
+                ttl=max(0, envelope.ttl - 1),
+                hops=envelope.hops + 1,
+            )
+            self._deliver_local(delivered)
+
+    # ------------------------------------------------------------------
+    # Link maintenance
+    # ------------------------------------------------------------------
+    async def _dial(self, address: str):
+        parts = parse_address(address)
+        if parts[0] == "unix":
+            connect = asyncio.open_unix_connection(path=parts[1])
+        else:
+            connect = asyncio.open_connection(host=parts[1], port=int(parts[2]))
+        return await asyncio.wait_for(connect, self.connect_timeout)
+
+    async def _run_link(self, link: _PeerLink) -> None:
+        """Own an outbound link: dial with backoff, then drain the outbox.
+
+        A broken connection is re-dialed with a fresh retry budget; only
+        ``connect_retries`` *consecutive* failures kill the link.  Death
+        is what surfaces to agents — as ``unicast() -> False``, never as
+        an exception.
+        """
+        while True:
+            reader = writer = None
+            backoff = self.connect_backoff
+            for attempt in range(self.connect_retries):
+                try:
+                    reader, writer = await self._dial(link.address)
+                    break
+                except (OSError, asyncio.TimeoutError):
+                    await asyncio.sleep(backoff)
+                    backoff *= 2
+            if writer is None:
+                link.dead = True
+                if self.obs.enabled:
+                    self.obs.lifecycle(
+                        "link.dead",
+                        sim_time=self.runtime.now,
+                        node=self.node.node_id,
+                        peer=link.peer_id,
+                        cause="connect_failed",
+                    )
+                return
+            link.writer = writer
+            link.dead = False
+            try:
+                writer.write(encode_frame(self._wrap(Hello(self.node.node_id), dest=link.peer_id, hops=0)))
+                await writer.drain()
+                read_task = asyncio.ensure_future(self._read_loop(reader, link.peer_id))
+                self._reader_tasks.add(read_task)
+                read_task.add_done_callback(self._reader_tasks.discard)
+                await self._drain_outbox(link)
+            except (OSError, asyncio.TimeoutError):
+                pass
+            finally:
+                if link.writer is writer:
+                    link.writer = None
+                writer.close()
+            # Loop to re-dial with a fresh backoff schedule.
+
+    async def _drain_outbox(self, link: _PeerLink) -> None:
+        """Write queued envelopes to the link's current socket."""
+        while True:
+            envelope = await link.outbox.get()
+            writer = link.writer
+            if writer is None:
+                # Socket vanished between queue and write: the message is
+                # gone, like a radio loss — the sender cannot tell.
+                self.stats.drops_lost += 1
+                if link.address is None:
+                    return
+                continue
+            try:
+                writer.write(encode_frame(envelope))
+                await writer.drain()
+            except (OSError, asyncio.TimeoutError):
+                self.stats.drops_lost += 1
+                if link.address is None:
+                    link.writer = None
+                    return
+                raise
+
+    def __repr__(self) -> str:
+        return f"LiveFabric(node={self.node.node_id}, peers={sorted(self._links)})"

@@ -86,6 +86,23 @@ def payload_size(payload: object) -> int:
     return max(size, _MIN_PAYLOAD_BYTES)
 
 
+# --- live transport -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Live-fabric connection handshake: the first frame on every socket.
+
+    The simulated fabric knows who every node is; a freshly accepted
+    TCP/UDS connection does not.  ``Hello`` binds the connection to the
+    sender's node id so the receiver can route replies back over the same
+    socket — which is what lets a pure client (``repro.cli loadgen``)
+    query a directory without listening on an address of its own.
+    """
+
+    node_id: int
+
+
 # --- directory deployment (§4) --------------------------------------------
 
 

@@ -39,6 +39,23 @@ class ProtocolAgent:
         self.node: NetNode | None = None
 
     @property
+    def runtime(self):
+        """The fabric's :class:`~repro.network.runtime.Runtime` clock.
+
+        Agents schedule and timestamp exclusively through this surface,
+        never through a concrete engine — the same agent code runs on the
+        discrete-event :class:`~repro.network.simulator.Simulator` and on
+        the wall-clock :class:`~repro.network.live.LiveRuntime`.
+
+        Raises:
+            RuntimeError: when the agent is not attached to a fabric yet.
+        """
+        node = self.node
+        if node is None or node.network is None:
+            raise RuntimeError("agent is not attached to a network fabric")
+        return node.network.runtime
+
+    @property
     def obs(self):
         """The network's observability instance (NULL_OBS when detached or
         when none is installed)."""
@@ -164,6 +181,11 @@ class Network:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.sim = sim
+        #: The structural :class:`~repro.network.runtime.Runtime` clock
+        #: agents schedule against.  Here it *is* the simulator; the live
+        #: fabric exposes a :class:`~repro.network.live.LiveRuntime`
+        #: instead.  Agent code must only ever touch ``network.runtime``.
+        self.runtime = sim
         self.bounds = bounds
         self.radio_range = radio_range
         self.per_hop_latency = per_hop_latency

@@ -1,0 +1,102 @@
+"""The structural ``Runtime`` API both fabrics implement.
+
+Agents never talk to a concrete engine: everything they need from the
+world below them is two small structural surfaces —
+
+* :class:`Runtime` — the **clock**: ``now``, ``schedule``,
+  ``schedule_every`` (plus ``schedule_at``, used by the fault injector).
+  The discrete-event :class:`~repro.network.simulator.Simulator` satisfies
+  it on simulated time; :class:`~repro.network.live.LiveRuntime` satisfies
+  it on the asyncio wall clock.
+* :class:`Transport` — the **fabric**: ``send`` (multi-hop unicast),
+  ``broadcast`` (TTL flood) and ``on_receive`` (attach a receiving
+  agent).  :class:`~repro.network.node.NetNode` satisfies it over the
+  simulated radio fabric; :class:`~repro.network.live.LiveNode` over real
+  TCP/UDS sockets speaking the :mod:`repro.network.wire` frame format.
+
+Both are :func:`typing.runtime_checkable` :class:`typing.Protocol` types —
+duck typing with a name, exactly like
+:class:`~repro.registry.base.DiscoveryBackend`.  Protocol agents reach the
+clock through ``self.runtime`` (provided by
+:class:`~repro.network.node.ProtocolAgent`), so the same unmodified agent
+code runs on either engine; nothing in :mod:`repro.protocols` or
+:mod:`repro.network.election` imports :class:`Simulator`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Cancellable(Protocol):
+    """A scheduled callback that can be revoked until it fires.
+
+    :meth:`Simulator.schedule` returns an :class:`~repro.network.simulator.Event`;
+    :meth:`LiveRuntime.schedule` returns a thin wrapper over
+    :class:`asyncio.TimerHandle` — both satisfy this shape.
+    """
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op once fired)."""
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """The clock surface agents schedule against.
+
+    ``now`` is seconds on the engine's own timeline — simulated seconds
+    under the :class:`~repro.network.simulator.Simulator`, wall-clock
+    seconds since fabric start under
+    :class:`~repro.network.live.LiveRuntime`.  Agent code must only ever
+    *difference* timestamps from one runtime, never compare across
+    runtimes.
+    """
+
+    now: float
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], daemon: bool = False
+    ) -> Cancellable:
+        """Run ``callback`` once, ``delay`` seconds from :attr:`now`."""
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], daemon: bool = False
+    ) -> Cancellable:
+        """Run ``callback`` once at an absolute timeline instant."""
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+        rng=None,
+        daemon: bool = False,
+    ) -> Callable[[], None]:
+        """Run ``callback`` periodically; returns a cancel function."""
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The per-node message surface agents send through.
+
+    The attribute names mirror what a protocol agent actually calls on
+    its node: ``unicast`` is the structural ``send`` (returns False when
+    the destination is unknown/unreachable — the fabric never raises
+    transport errors into agents), ``broadcast`` the structural TTL
+    flood, and ``add_agent`` the structural ``on_receive`` registration
+    (each attached agent's ``on_message`` receives every delivered
+    :class:`~repro.network.messages.Envelope`).
+    """
+
+    node_id: int
+
+    def unicast(self, dest: int, payload: object) -> bool:
+        """Send ``payload`` to ``dest``; False when it cannot be routed."""
+
+    def broadcast(self, payload: object, ttl: int = 1) -> None:
+        """Flood ``payload`` up to ``ttl`` hops."""
+
+    def add_agent(self, agent):
+        """Attach a receiving agent (its ``on_message`` gets deliveries)."""

@@ -309,7 +309,7 @@ NULL_OBS = _NullObservability()
 def install(obs: Observability, network) -> None:
     """Wire an observability instance through a running deployment.
 
-    Sets ``network.obs`` and ``network.sim.obs``, wires the topology
+    Sets ``network.obs`` and ``network.runtime.obs``, wires the topology
     route cache to emit ``cache.invalidate`` lifecycle events, and wires
     every existing agent.  Agents wire in one of two ways:
 
@@ -325,20 +325,21 @@ def install(obs: Observability, network) -> None:
     one trace stream regardless of when the directory appeared.
     """
     network.obs = obs
-    network.sim.obs = obs
+    network.runtime.obs = obs
     routes = getattr(network, "routes", None)
     if routes is not None and hasattr(routes, "on_invalidate"):
         def _route_flushed(dropped: int) -> None:
             obs.lifecycle(
                 "cache.invalidate",
-                sim_time=network.sim.now,
+                sim_time=network.runtime.now,
                 cause="topology_changed",
                 cache="route",
                 dropped=dropped,
             )
         routes.on_invalidate = _route_flushed
     for node in network.nodes.values():
-        for agent in node.agents:
+        # Live fabrics list remote peers as agent-less stubs.
+        for agent in getattr(node, "agents", ()):
             wire = getattr(agent, "wire_observability", None)
             if wire is not None:
                 wire(obs)

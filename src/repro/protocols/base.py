@@ -217,7 +217,7 @@ class DirectoryAgentBase(ProtocolAgent):
             node = self.node
             obs.lifecycle(
                 "cache.invalidate",
-                sim_time=node.network.sim.now if node is not None and node.network else None,
+                sim_time=node.network.runtime.now if node is not None and node.network else None,
                 node=node.node_id if node is not None else None,
                 cause="codes_reencoded",
                 cache="request",
@@ -367,7 +367,7 @@ class DirectoryAgentBase(ProtocolAgent):
             obs = self.obs
             if obs.enabled:
                 with obs.span(
-                    "query.parse", sim_time=self.node.network.sim.now
+                    "query.parse", sim_time=self.runtime.now
                 ) as span:
                     parsed = self.parse_request(document)
                     span.attrs["bytes"] = len(document)
@@ -426,7 +426,7 @@ class DirectoryAgentBase(ProtocolAgent):
         if peers and self.obs.enabled:
             self.obs.lifecycle(
                 "summary.refresh",
-                sim_time=self.node.network.sim.now,
+                sim_time=self.runtime.now,
                 node=self.node.node_id,
                 cause=cause,
                 peers=len(peers),
@@ -445,7 +445,7 @@ class DirectoryAgentBase(ProtocolAgent):
             self._summary_flush_scheduled = False
             self.broadcast_summary(cause="content_changed")
 
-        self.node.network.sim.schedule(self.summary_push_delay, flush)
+        self.runtime.schedule(self.summary_push_delay, flush)
 
     def _rank_forward_peers(self, document: str, parsed: object | None = None) -> list[int]:
         """Peers to forward a request to: Bloom-admitted, ranked by hop
@@ -503,7 +503,7 @@ class DirectoryAgentBase(ProtocolAgent):
             if self.obs.enabled:
                 self.obs.lifecycle(
                     "summary.refresh_requested",
-                    sim_time=self.node.network.sim.now,
+                    sim_time=self.runtime.now,
                     node=self.node.node_id,
                     cause="false_positive_rate",
                     peer=peer_id,
@@ -528,7 +528,7 @@ class DirectoryAgentBase(ProtocolAgent):
         if obs.enabled:
             obs.lifecycle(
                 "handoff.start",
-                sim_time=self.node.network.sim.now,
+                sim_time=self.runtime.now,
                 node=self.node.node_id,
                 cause="resignation",
                 successor=successor_id,
@@ -545,7 +545,7 @@ class DirectoryAgentBase(ProtocolAgent):
         if obs.enabled:
             obs.lifecycle(
                 "handoff.finish",
-                sim_time=self.node.network.sim.now,
+                sim_time=self.runtime.now,
                 node=self.node.node_id,
                 cause="resignation",
                 successor=successor_id,
@@ -632,7 +632,7 @@ class DirectoryAgentBase(ProtocolAgent):
         with obs.span(
             "query.handle",
             trace_id=self._trace_id(self.node.node_id, query.query_id),
-            sim_time=self.node.network.sim.now,
+            sim_time=self.runtime.now,
             directory=self.node.node_id,
             client=client_id,
             query_id=query.query_id,
@@ -678,7 +678,7 @@ class DirectoryAgentBase(ProtocolAgent):
         if span is not None:
             span.attrs["forwarded"] = len(pending.outstanding)
         if pending.outstanding:
-            self.node.network.sim.schedule(
+            self.runtime.schedule(
                 self.forward_window, lambda: self._conclude(query.query_id)
             )
         else:
@@ -701,7 +701,7 @@ class DirectoryAgentBase(ProtocolAgent):
             self.obs.event(
                 "query.respond",
                 trace_id=self._trace_id(self.node.node_id, query_id),
-                sim_time=self.node.network.sim.now,
+                sim_time=self.runtime.now,
                 directory=self.node.node_id,
                 results=len(ranked),
                 partial=partial,
@@ -735,7 +735,7 @@ class DirectoryAgentBase(ProtocolAgent):
             if self.obs.enabled:
                 self.obs.lifecycle(
                     "peer.evicted",
-                    sim_time=self.node.network.sim.now,
+                    sim_time=self.runtime.now,
                     node=self.node.node_id,
                     cause="silent_timeouts",
                     peer=peer_id,
@@ -793,7 +793,7 @@ class DirectoryAgentBase(ProtocolAgent):
                 with obs.span(
                     "hop.remote",
                     trace_id=self._trace_id(payload.origin_directory, payload.query_id),
-                    sim_time=network.sim.now,
+                    sim_time=network.runtime.now,
                     directory=self.node.node_id,
                     origin=payload.origin_directory,
                     hops=network.hop_count(payload.origin_directory, self.node.node_id),
@@ -819,7 +819,7 @@ class DirectoryAgentBase(ProtocolAgent):
                 self.obs.event(
                     "hop.response",
                     trace_id=self._trace_id(self.node.node_id, payload.query_id),
-                    sim_time=self.node.network.sim.now,
+                    sim_time=self.runtime.now,
                     directory=self.node.node_id,
                     peer=envelope.source,
                     results=len(payload.results),
@@ -844,7 +844,7 @@ class DirectoryAgentBase(ProtocolAgent):
             if self.obs.enabled:
                 self.obs.lifecycle(
                     "summary.refresh",
-                    sim_time=self.node.network.sim.now,
+                    sim_time=self.runtime.now,
                     node=self.node.node_id,
                     cause="peer_request",
                     peers=1,
@@ -941,7 +941,7 @@ class ClientAgentBase(ProtocolAgent):
         self._advertised[service_uri] = document
         accepted = self.publish(document, service_uri=service_uri)
         if not self._refresh_cancel:
-            self._refresh_cancel = self.node.network.sim.schedule_every(
+            self._refresh_cancel = self.runtime.schedule_every(
                 refresh_interval, self._refresh_advertisements
             )
         return accepted
@@ -996,7 +996,7 @@ class ClientAgentBase(ProtocolAgent):
             return QueryTicket(None, QueryOutcome.NO_DIRECTORY)
         query_id = self._next_query_id
         self._next_query_id += 1
-        self._issue_times[query_id] = self.node.network.sim.now
+        self._issue_times[query_id] = self.runtime.now
         if not self.node.unicast(directory, QueryRequest(query_id, document)):
             del self._issue_times[query_id]
             return QueryTicket(query_id, QueryOutcome.SEND_FAILED)
@@ -1010,7 +1010,7 @@ class ClientAgentBase(ProtocolAgent):
             budget = sum(
                 retry_timeout * retry_backoff**attempt for attempt in range(retries + 1)
             )
-            self._exhaust_events[query_id] = self.node.network.sim.schedule(
+            self._exhaust_events[query_id] = self.runtime.schedule(
                 budget, lambda: self._mark_exhausted(query_id)
             )
         return ticket
@@ -1059,7 +1059,7 @@ class ClientAgentBase(ProtocolAgent):
                     retry_backoff,
                 )
 
-        self._retry_events[query_id] = self.node.network.sim.schedule(retry_timeout, retry)
+        self._retry_events[query_id] = self.runtime.schedule(retry_timeout, retry)
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -1099,7 +1099,7 @@ class ClientAgentBase(ProtocolAgent):
             self._cancel_event(self._retry_events, payload.query_id)
             issued = self._issue_times.pop(payload.query_id, None)
             if issued is not None:
-                latency = self.node.network.sim.now - issued
+                latency = self.runtime.now - issued
                 self.responses[payload.query_id] = (latency, payload.results)
                 obs = self.obs
                 if obs.enabled:

@@ -22,6 +22,11 @@ from repro.protocols.ariadne import AriadneClientAgent, AriadneDirectoryAgent
 from repro.protocols.base import ClientAgentBase, DirectoryAgentBase
 from repro.protocols.sariadne import SAriadneClientAgent, SAriadneDirectoryAgent
 
+#: Schema version stamped into every serialized config; bumped whenever a
+#: field changes meaning so stale files fail loudly instead of silently
+#: reconfiguring an experiment.
+CONFIG_SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class DeploymentConfig:
@@ -67,6 +72,106 @@ class DeploymentConfig:
             raise ValueError(
                 f"infrastructure_nodes must be in [0, node_count], got {self.infrastructure_nodes}"
             )
+
+    # ------------------------------------------------------------------
+    # Serialization: the one config surface serve / loadgen / experiments
+    # share, instead of per-entrypoint kwargs.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Versioned plain-dict form (JSON/TOML-expressible values only)."""
+        return {
+            "config_version": CONFIG_SCHEMA_VERSION,
+            "node_count": self.node_count,
+            "protocol": self.protocol,
+            "bounds": {"width": self.bounds.width, "height": self.bounds.height},
+            "radio_range": self.radio_range,
+            "grid": self.grid,
+            "directory_capable_fraction": self.directory_capable_fraction,
+            "infrastructure_nodes": self.infrastructure_nodes,
+            "forward_window": self.forward_window,
+            "election": {
+                "advert_interval": self.election.advert_interval,
+                "advert_hops": self.election.advert_hops,
+                "directory_timeout": self.election.directory_timeout,
+                "check_interval": self.election.check_interval,
+                "reply_window": self.election.reply_window,
+                "election_hops": self.election.election_hops,
+                "mobility_penalty": self.election.mobility_penalty,
+            },
+            "seed": self.seed,
+            "directory_shards": self.directory_shards,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unspecified keys keep their defaults, so config files only name
+        what they change.
+
+        Raises:
+            ValueError: on an unsupported ``config_version`` or unknown
+                keys (typos in a config file must not pass silently).
+        """
+        data = dict(data)
+        version = data.pop("config_version", CONFIG_SCHEMA_VERSION)
+        if version != CONFIG_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported config_version {version!r} (this build reads "
+                f"version {CONFIG_SCHEMA_VERSION})"
+            )
+        kwargs: dict = {}
+        if "bounds" in data:
+            raw = data.pop("bounds")
+            kwargs["bounds"] = Bounds(float(raw["width"]), float(raw["height"]))
+        if "election" in data:
+            kwargs["election"] = ElectionConfig(**data.pop("election"))
+        simple = {
+            "node_count",
+            "protocol",
+            "radio_range",
+            "grid",
+            "directory_capable_fraction",
+            "infrastructure_nodes",
+            "forward_window",
+            "seed",
+            "directory_shards",
+        }
+        unknown = set(data) - simple
+        if unknown:
+            raise ValueError(f"unknown DeploymentConfig keys: {sorted(unknown)}")
+        kwargs.update(data)
+        return cls(**kwargs)
+
+    @classmethod
+    def load(cls, path) -> "DeploymentConfig":
+        """Load a config from a ``.toml`` or ``.json`` file.
+
+        TOML files may either put the keys at the top level or under a
+        ``[deployment]`` table (so one file can carry other sections,
+        e.g. loadgen knobs, without confusing the parser).
+
+        Raises:
+            ValueError: for extensions other than ``.toml`` / ``.json``,
+                and for schema violations (via :meth:`from_dict`).
+        """
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        if path.suffix == ".toml":
+            import tomllib
+
+            with path.open("rb") as handle:
+                data = tomllib.load(handle)
+            data = data.get("deployment", data)
+        elif path.suffix == ".json":
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            data = data.get("deployment", data)
+        else:
+            raise ValueError(f"config files must be .toml or .json, got {path.name!r}")
+        return cls.from_dict(data)
 
 
 class Deployment:
@@ -240,7 +345,7 @@ class Deployment:
         if self.network.obs.enabled:
             self.network.obs.lifecycle(
                 "churn.leave",
-                sim_time=self.network.sim.now,
+                sim_time=self.network.runtime.now,
                 node=node_id,
                 cause="crash",
                 documents=len(agent.cached_documents()),

@@ -198,7 +198,7 @@ class SAriadneDirectoryAgent(DirectoryAgentBase):
             return self.local_query(document)
         obs = self.obs
         if obs.enabled:
-            with obs.span("query.encode", sim_time=self.node.network.sim.now) as span:
+            with obs.span("query.encode", sim_time=self.runtime.now) as span:
                 extra = parsed.resolve(self.directory.table)
                 span.attrs["annotated"] = extra is not None
         else:

@@ -19,10 +19,12 @@ freely:
 
 The protocol is ``runtime_checkable`` so the conformance suite can assert
 ``isinstance(backend, DiscoveryBackend)``; structural typing keeps the
-registries free of a shared base class.  Legacy type-specific spellings
-(``publish(WsdlDescription)``, ``query(Capability)``, XML-document lists)
-remain as shims that raise :class:`DeprecationWarning` — the test suite
-escalates such warnings from ``repro``-internal frames to errors.
+registries free of a shared base class.  The legacy type-specific
+spellings (``publish(WsdlDescription)``, ``query(Capability)``) that
+survived one release as :class:`DeprecationWarning` shims are gone: the
+canonical surface above is the only one, and raw-WSDL/raw-capability
+callers use the explicit ``publish_wsdl`` / ``query_wsdl`` /
+``query_capability`` methods.
 """
 
 from __future__ import annotations

@@ -25,7 +25,6 @@ Match degrees follow Paolucci et al.:
 from __future__ import annotations
 
 import enum
-import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -195,23 +194,14 @@ class AnnotatedTaxonomyRegistry:
         ranked.sort(key=lambda r: (r.degree, r.service_uri))
         return ranked
 
-    def query(self, request: ServiceRequest | Capability) -> list[DirectoryMatch]:
+    def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
         """Match a service request; the match degree becomes the distance
         (EXACT=0, PLUGIN=1, SUBSUMES=2), best-first.
 
-        .. deprecated::
-            Passing a bare :class:`Capability` still works but warns (and
-            returns the legacy ``list[RankedService]``); use
-            :meth:`query_capability`.
+        Bare :class:`Capability` objects go through
+        :meth:`query_capability`; the deprecated shim that accepted them
+        here was removed with the live-runtime release.
         """
-        if isinstance(request, Capability):
-            warnings.warn(
-                "AnnotatedTaxonomyRegistry.query(Capability) is deprecated; "
-                "use query_capability()",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return self.query_capability(request)
         matches: list[DirectoryMatch] = []
         for capability in request.capabilities:
             for ranked in self.query_capability(capability):

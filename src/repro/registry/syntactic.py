@@ -14,7 +14,6 @@ the directory to rule services out without inspecting them.
 
 from __future__ import annotations
 
-import warnings
 from collections import defaultdict
 
 from repro.core.directory import DirectoryMatch
@@ -96,40 +95,21 @@ class SyntacticRegistry:
         for keyword in description.keywords:
             self._by_keyword[keyword].add(description.uri)
 
-    def publish(self, profile: ServiceProfile | WsdlDescription) -> None:
+    def publish(self, profile: ServiceProfile) -> None:
         """Register a service profile, cached as its WSDL rendering.
 
-        .. deprecated::
-            Passing a :class:`WsdlDescription` still works but warns; use
-            :meth:`publish_wsdl` for raw WSDL.
+        Raw :class:`WsdlDescription` objects go through
+        :meth:`publish_wsdl`; the deprecated shim that accepted them here
+        was removed with the live-runtime release.
         """
-        if isinstance(profile, WsdlDescription):
-            warnings.warn(
-                "SyntacticRegistry.publish(WsdlDescription) is deprecated; "
-                "use publish_wsdl()",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            self.publish_wsdl(profile)
-            return
         self.publish_wsdl(_wsdl_of_profile(profile))
 
     def publish_batch(self, profiles) -> int:
-        """Publish many profiles (or WSDL descriptions, deprecated per
-        item); returns the count (batch parity with
+        """Publish many profiles; returns the count (batch parity with
         :meth:`repro.core.directory.SemanticDirectory.publish_batch`)."""
         count = 0
         for profile in profiles:
-            if isinstance(profile, WsdlDescription):
-                warnings.warn(
-                    "SyntacticRegistry.publish_batch(WsdlDescription) is "
-                    "deprecated; use publish_wsdl() per description",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-                self.publish_wsdl(profile)
-            else:
-                self.publish_wsdl(_wsdl_of_profile(profile))
+            self.publish_wsdl(_wsdl_of_profile(profile))
             count += 1
         return count
 
@@ -194,7 +174,7 @@ class SyntacticRegistry:
                 if description.conforms_to(request)
             ]
 
-    def query(self, request: ServiceRequest | WsdlRequest) -> list[DirectoryMatch]:
+    def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
         """Match a semantic request against the cached WSDL interfaces.
 
         The request is rendered syntactically (the interface a requester
@@ -203,19 +183,10 @@ class SyntacticRegistry:
         is the syntactic baseline's defining limitation.  Matches carry
         distance 0 and no capability detail (WSDL has neither).
 
-        .. deprecated::
-            Passing a :class:`WsdlRequest` still works but warns (and
-            returns the legacy ``list[WsdlDescription]``); use
-            :meth:`query_wsdl` for raw WSDL requests.
+        Raw :class:`WsdlRequest` objects go through :meth:`query_wsdl`;
+        the deprecated shim that accepted them here was removed with the
+        live-runtime release.
         """
-        if isinstance(request, WsdlRequest):
-            warnings.warn(
-                "SyntacticRegistry.query(WsdlRequest) is deprecated; "
-                "use query_wsdl()",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return self.query_wsdl(request)
         hits = self.query_wsdl(_wsdl_of_request(request))
         return [
             DirectoryMatch(requested=None, capability=None, service_uri=description.uri, distance=0)

@@ -22,6 +22,7 @@ from repro.network.messages import (
     ElectionReply,
     EncodedRequest,
     Envelope,
+    Hello,
     PublishService,
     QueryRequest,
     QueryResponse,
@@ -72,6 +73,7 @@ GROWABLE = {
 
 #: Fixed-form control frames: no growable content, billed at the floor.
 FIXED = [
+    Hello(1),
     DirectoryAdvert(1),
     ElectionCall(1, 2),
     ElectionReply(1, 2, 0.5),

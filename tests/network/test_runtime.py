@@ -1,0 +1,128 @@
+"""Both engines satisfy the structural Runtime/Transport protocols.
+
+These are the API-redesign invariants: agents only touch the structural
+surface, so anything satisfying it hosts them.  The conformance is
+checked with ``isinstance`` against the ``runtime_checkable`` protocols
+plus behavioural probes for the parts ``isinstance`` cannot see
+(cancellation, periodic rearming, monotonic ``now``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.network.node import Network, ProtocolAgent
+from repro.network.runtime import Cancellable, Runtime, Transport
+from repro.network.simulator import Simulator
+
+
+def test_simulator_satisfies_runtime():
+    sim = Simulator()
+    assert isinstance(sim, Runtime)
+    assert isinstance(sim.schedule(1.0, lambda: None), Cancellable)
+
+
+def test_live_runtime_satisfies_runtime():
+    from repro.network.live import LiveRuntime
+
+    async def check():
+        runtime = LiveRuntime()
+        assert isinstance(runtime, Runtime)
+        assert isinstance(runtime.schedule(1.0, lambda: None), Cancellable)
+
+    asyncio.run(check())
+
+
+def test_net_node_satisfies_transport():
+    network = Network(Simulator())
+    node = network.add_node(0)
+    network.add_node(1)
+    assert isinstance(node, Transport)
+
+
+def test_live_node_satisfies_transport():
+    from repro.network.live import LiveFabric
+
+    async def check():
+        fabric = LiveFabric(0)
+        assert isinstance(fabric.node, Transport)
+
+    asyncio.run(check())
+
+
+def test_network_exposes_runtime_alias():
+    """``network.runtime`` is the one clock agents may touch."""
+    sim = Simulator()
+    network = Network(sim)
+    assert network.runtime is sim
+
+
+def test_agent_runtime_property():
+    network = Network(Simulator())
+    node = network.add_node(0)
+    agent = node.add_agent(ProtocolAgent())
+    assert agent.runtime is network.runtime
+
+
+def test_detached_agent_runtime_raises():
+    import pytest
+
+    with pytest.raises(RuntimeError):
+        ProtocolAgent().runtime
+
+
+def test_agents_do_not_import_simulator():
+    """The redesign's point: protocol modules never name the engine."""
+    import repro.network.election as election
+    import repro.protocols.ariadne as ariadne
+    import repro.protocols.base as base
+    import repro.protocols.sariadne as sariadne
+
+    for module in (base, ariadne, sariadne, election):
+        assert not hasattr(module, "Simulator"), module.__name__
+        source = open(module.__file__, encoding="utf-8").read()
+        assert "network.sim." not in source, module.__name__
+        assert "network.sim\n" not in source, module.__name__
+
+
+def test_live_runtime_clock_and_timers():
+    from repro.network.live import LiveRuntime
+
+    async def check():
+        runtime = LiveRuntime()
+        t0 = runtime.now
+        await asyncio.sleep(0.02)
+        assert runtime.now > t0
+
+        fired = []
+        runtime.schedule(0.01, lambda: fired.append("once"))
+        cancelled = runtime.schedule(0.01, lambda: fired.append("never"))
+        cancelled.cancel()
+        runtime.schedule_at(runtime.now + 0.015, lambda: fired.append("at"))
+        await asyncio.sleep(0.05)
+        assert fired == ["once", "at"]
+
+        ticks = []
+        cancel = runtime.schedule_every(0.01, lambda: ticks.append(runtime.now))
+        await asyncio.sleep(0.06)
+        cancel()
+        count = len(ticks)
+        assert count >= 2
+        await asyncio.sleep(0.03)
+        assert len(ticks) == count  # cancelled: no further rearm
+
+    asyncio.run(check())
+
+
+def test_live_runtime_negative_delay_fires_soon():
+    """schedule_at in the past must fire, not wedge (fault-plan arm path)."""
+    from repro.network.live import LiveRuntime
+
+    async def check():
+        runtime = LiveRuntime()
+        fired = []
+        runtime.schedule_at(runtime.now - 5.0, lambda: fired.append(True))
+        await asyncio.sleep(0.02)
+        assert fired == [True]
+
+    asyncio.run(check())

@@ -1,0 +1,127 @@
+"""In-process serve + loadgen: the tier-1 twin of the CI smoke job.
+
+Runs a :class:`DirectoryServer` and a :class:`LoadGenerator` in one
+event loop over a unix socket — real election, real wire frames, real
+latency histograms — and checks the whole closed loop: election →
+advert discovery → publish → answered queries → metrics scrape → BENCH
+report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.network.election import ElectionConfig
+from repro.protocols.deployment import DeploymentConfig
+from repro.protocols.live_deploy import (
+    DirectoryServer,
+    LoadGenerator,
+    annotated_profile_doc,
+    annotated_request_doc,
+    build_catalog,
+    write_bench_report,
+)
+
+
+def fast_config(**overrides) -> DeploymentConfig:
+    return DeploymentConfig(
+        node_count=2,
+        protocol="sariadne",
+        seed=7,
+        election=ElectionConfig(
+            advert_interval=0.2,
+            directory_timeout=0.15,
+            check_interval=0.05,
+            reply_window=0.05,
+        ),
+        **overrides,
+    )
+
+
+def test_build_catalog_is_seed_deterministic():
+    """Server and client must derive interchangeable codes from the seed."""
+    config = fast_config()
+    workload_a, table_a = build_catalog(config)
+    workload_b, table_b = build_catalog(config)
+    assert table_a.version == table_b.version
+    profile_a, doc_a = annotated_profile_doc(workload_a, table_a, 0)
+    profile_b, doc_b = annotated_profile_doc(workload_b, table_b, 0)
+    assert profile_a.uri == profile_b.uri
+    assert doc_a == doc_b
+    assert annotated_request_doc(workload_a, table_a, 2) == annotated_request_doc(
+        workload_b, table_b, 2
+    )
+
+
+def test_serve_loadgen_closed_loop(tmp_path):
+    """Election, publish, queries, scrape, and the BENCH report."""
+    config = fast_config(directory_shards=2)
+    address = f"unix:{os.path.join(str(tmp_path), 'serve.sock')}"
+    metrics = f"unix:{os.path.join(str(tmp_path), 'metrics.sock')}"
+
+    async def scenario():
+        server = DirectoryServer(config, listen=address, metrics_listen=metrics)
+        await server.start()
+        await server.wait_elected(timeout=10.0)
+        assert server.election.is_directory
+        assert server.directory is not None
+        assert server.directory.directory.shard_count == 2
+
+        loadgen = LoadGenerator(config, connect=address)
+        await loadgen.start()
+        summary = await loadgen.run(services=3, queries=6, settle=0.2)
+
+        # Scrape the live metrics endpoint like CI's curl would.
+        reader, writer = await asyncio.open_unix_connection(
+            os.path.join(str(tmp_path), "metrics.sock")
+        )
+        writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        await writer.drain()
+        scrape = await reader.read()
+        writer.close()
+
+        await loadgen.close()
+        await server.close()
+        return summary, scrape.decode("utf-8")
+
+    summary, scrape = asyncio.run(scenario())
+    assert summary["directory"] == 0
+    assert summary["published"] == 3
+    assert summary["answered"] == 6
+    assert summary["outcomes"] == {"answered": 6}
+    assert summary["qps"] > 0
+    assert summary["latency_p50_ms"] is not None
+    assert summary["latency_p99_ms"] >= summary["latency_p50_ms"]
+
+    assert scrape.startswith("HTTP/1.1 200 OK")
+    body = scrape.split("\r\n\r\n", 1)[1]
+    assert "# EOF" in body
+    assert "dir_publishes_total" in body
+
+    out = tmp_path / "BENCH_deployment_smoke.json"
+    write_bench_report(summary, config, out)
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "deployment_smoke"
+    names = {metric["name"] for metric in report["metrics"]}
+    assert {"qps", "answered", "latency_p50_ms", "latency_p99_ms"} <= names
+    assert report["config"]["seed"] == config.seed
+    assert report["config"]["queries"] == 6
+    assert "manifest" in report
+
+
+def test_loadgen_times_out_without_server(tmp_path):
+    config = fast_config()
+    nowhere = f"unix:{os.path.join(str(tmp_path), 'absent.sock')}"
+
+    async def scenario():
+        loadgen = LoadGenerator(config, connect=nowhere)
+        await loadgen.start()
+        with pytest.raises(TimeoutError):
+            await loadgen.wait_directory(timeout=0.4)
+        await loadgen.close()
+
+    asyncio.run(scenario())

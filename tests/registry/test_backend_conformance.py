@@ -148,27 +148,36 @@ class TestDiscoveryBackendConformance:
             backend.describe()
 
 
-class TestDeprecatedShims:
-    """The pre-unification signatures still work but warn."""
+class TestShimsRemoved:
+    """The deprecated pre-unification signatures are gone for good.
 
-    def test_syntactic_publish_and_query_wsdl_forms(self, small_workload):
+    ``publish``/``query`` accept only the canonical profile/request
+    types now; raw WSDL and bare capabilities must use the explicit
+    ``publish_wsdl`` / ``query_wsdl`` / ``query_capability`` spellings.
+    The misuse failure mode is an immediate ``AttributeError`` from the
+    semantic accessors the canonical path calls — not a silent
+    wrong-type match.
+    """
+
+    def test_syntactic_rejects_raw_wsdl_forms(self, small_workload):
         registry = SyntacticRegistry()
         profile = small_workload.make_service(0)
         twin = ServiceWorkload.wsdl_twin(profile)
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(AttributeError):
             registry.publish(twin)
         request = ServiceWorkload.wsdl_request_for(profile)
-        with pytest.warns(DeprecationWarning):
-            hits = registry.query(request)
-        assert hits == registry.query_wsdl(request)
-        assert any(d.uri == profile.uri for d in hits)
+        with pytest.raises(AttributeError):
+            registry.query(request)
+        # The explicit raw-WSDL spellings are the supported path.
+        registry.publish_wsdl(twin)
+        assert any(d.uri == profile.uri for d in registry.query_wsdl(request))
 
-    def test_annotated_query_capability_form(self, small_workload):
+    def test_annotated_rejects_bare_capability(self, small_workload):
         registry = AnnotatedTaxonomyRegistry(small_workload.taxonomy)
         profile = small_workload.make_service(0)
         registry.publish(profile)
         capability = profile.provided[0]
-        with pytest.warns(DeprecationWarning):
-            ranked = registry.query(capability)
-        assert ranked == registry.query_capability(capability)
+        with pytest.raises(AttributeError):
+            registry.query(capability)
+        ranked = registry.query_capability(capability)
         assert any(r.service_uri == profile.uri for r in ranked)
