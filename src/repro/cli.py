@@ -46,12 +46,34 @@ def _load_deployment_config(args: argparse.Namespace):
     return DeploymentConfig(node_count=2)
 
 
+def _parse_peer_args(pairs: list[str] | None) -> dict[int, str] | None:
+    """``--peer ID=ADDR`` pairs → the LiveFabric peers mapping.
+
+    Raises:
+        ValueError: on a malformed pair.
+    """
+    if not pairs:
+        return None
+    peers: dict[int, str] = {}
+    for pair in pairs:
+        node_id, _, address = pair.partition("=")
+        if not _ or not node_id.strip().lstrip("-").isdigit() or not address:
+            raise ValueError(f"--peer expects ID=ADDR, got {pair!r}")
+        peers[int(node_id)] = address
+    return peers
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.protocols.live_deploy import DirectoryServer
 
     config = _load_deployment_config(args)
+    try:
+        peers = _parse_peer_args(args.peer)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
 
     async def run() -> int:
         server = DirectoryServer(
@@ -59,6 +81,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             listen=args.listen,
             metrics_listen=args.metrics,
             node_id=args.node_id,
+            peers=peers,
+            collector=args.collector,
+            force_directory=args.assume_directory,
         )
         await server.start()
         print(f"serve: node {args.node_id} listening on {args.listen}", flush=True)
@@ -99,10 +124,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             connect=args.connect,
             node_id=args.node_id,
             directory_node_id=args.directory_node_id,
+            collector=args.collector,
         )
         await gen.start()
         try:
-            summary = await gen.run(services=args.services, queries=args.queries)
+            summary = await gen.run(
+                services=args.services,
+                queries=args.queries,
+                query_services=args.query_services,
+            )
         finally:
             await gen.close()
         print(
@@ -115,7 +145,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         if args.out is not None:
             write_bench_report(summary, config, args.out)
             print(f"loadgen: wrote {args.out}")
-        return 0 if summary["answered"] > 0 else 1
+        # A publish-only loadgen (zero queries attempted) succeeded if it
+        # got this far; a querying one must have at least one answer.
+        return 0 if summary["answered"] > 0 or summary["queries"] == 0 else 1
 
     try:
         return asyncio.run(run())
@@ -397,6 +429,93 @@ def _cmd_obs_regress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_collect(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs.collector import TelemetryCollector
+
+    async def run() -> int:
+        collector = TelemetryCollector(args.listen, out=args.out)
+        await collector.start()
+        print(
+            f"collector: listening on {args.listen}"
+            + (f", appending to {args.out}" if args.out else ""),
+            flush=True,
+        )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await collector.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs.collector import query_collector, render_top
+
+    async def run() -> int:
+        while True:
+            snapshot = await query_collector(args.collector, "top")
+            print(render_top(snapshot), flush=True)
+            if args.once:
+                return 0
+            print()
+            await asyncio.sleep(args.interval)
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionError as exc:
+        print(f"obs top: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.obs.collector import query_collector, render_stitched
+
+    async def run() -> int:
+        stitched = await query_collector(args.collector, "trace", args.trace_id)
+        if stitched is None:
+            known = await query_collector(args.collector, "traces")
+            print(f"obs trace: no trace {args.trace_id!r}", file=sys.stderr)
+            if known:
+                print(f"known trace ids: {', '.join(known[-10:])}", file=sys.stderr)
+            return 1
+        print(render_stitched(stitched))
+        if args.out is not None:
+            pathlib.Path(args.out).write_text(json.dumps(stitched, indent=2) + "\n")
+            print(f"wrote stitched trace to {args.out}")
+        if args.min_processes and len(stitched["processes"]) < args.min_processes:
+            print(
+                f"obs trace: trace spans {len(stitched['processes'])} process(es), "
+                f"required {args.min_processes}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except ConnectionError as exc:
+        print(f"obs trace: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments import CHAOS_PLANS, chaos_recovery
 
@@ -658,6 +777,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     regress.set_defaults(func=_cmd_obs_regress)
 
+    collect = obs_sub.add_parser(
+        "collect",
+        help="run the telemetry collector serve/loadgen ship spans and metrics to",
+    )
+    collect.add_argument(
+        "--listen", required=True, help="collector address: unix:<path> or tcp:<host>:<port>"
+    )
+    collect.add_argument(
+        "--out", default=None, help="append every ingested record to this JSONL artifact"
+    )
+    collect.add_argument(
+        "--duration", type=float, default=None, help="exit after N seconds (default: run until killed)"
+    )
+    collect.set_defaults(func=_cmd_obs_collect)
+
+    top = obs_sub.add_parser(
+        "top", help="live fleet view: per-node qps, latency quantiles, span backlog"
+    )
+    top.add_argument(
+        "--collector", required=True, help="a running collector's address (unix:/tcp:)"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes (default 2)"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    top.set_defaults(func=_cmd_obs_top)
+
+    trace = obs_sub.add_parser(
+        "trace", help="render one stitched cross-process trace from the collector"
+    )
+    trace.add_argument(
+        "trace_id", help="a trace id, or 'latest' / 'widest' (most processes)"
+    )
+    trace.add_argument(
+        "--collector", required=True, help="a running collector's address (unix:/tcp:)"
+    )
+    trace.add_argument(
+        "--min-processes",
+        type=int,
+        default=0,
+        help="exit nonzero unless the trace spans at least N processes (CI assertion)",
+    )
+    trace.add_argument(
+        "--out", default=None, help="also write the stitched trace as JSON here"
+    )
+    trace.set_defaults(func=_cmd_obs_trace)
+
     serve = subparsers.add_parser(
         "serve",
         help="host a live elected directory on a TCP/UDS address (docs/DEPLOYMENT.md)",
@@ -672,6 +840,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--config", default=None, help="DeploymentConfig file (.toml/.json); seeds the shared catalog"
     )
     serve.add_argument("--node-id", type=int, default=0, help="this directory's node id")
+    serve.add_argument(
+        "--peer",
+        action="append",
+        default=None,
+        metavar="ID=ADDR",
+        help="dial another directory's fabric address (repeatable; backbone membership)",
+    )
+    serve.add_argument(
+        "--collector", default=None, help="ship spans/events/metrics to this collector address"
+    )
+    serve.add_argument(
+        "--assume-directory",
+        action="store_true",
+        help="promote immediately instead of waiting for the §4 election "
+        "(required for every directory beyond the first)",
+    )
     serve.add_argument(
         "--duration", type=float, default=None, help="exit after N seconds (default: run until killed)"
     )
@@ -695,6 +879,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--services", type=int, default=8, help="workload profiles to publish")
     loadgen.add_argument("--queries", type=int, default=50, help="closed-loop queries to issue")
+    loadgen.add_argument(
+        "--query-services",
+        type=int,
+        default=None,
+        help="query the first N workload services instead of only what this "
+        "process published (0 with --services publishes without querying)",
+    )
+    loadgen.add_argument(
+        "--collector", default=None, help="ship spans/events/metrics to this collector address"
+    )
     loadgen.add_argument("--node-id", type=int, default=1, help="this client's node id")
     loadgen.add_argument(
         "--directory-node-id", type=int, default=0, help="node id the server runs as"

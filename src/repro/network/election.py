@@ -181,6 +181,17 @@ class ElectionAgent(ProtocolAgent):
         if self.on_promoted is not None:
             self.on_promoted()
 
+    def assume_directory(self, cause: str = "configured") -> None:
+        """Promote this node to directory without waiting for an election.
+
+        Multi-directory live deployments use this: a second directory
+        process that hears the backbone's adverts would otherwise treat
+        the vicinity as covered and never self-elect.  Promotion runs
+        the full §4 path (lifecycle event, advert beacon, callback), so
+        downstream wiring is identical to winning an election.
+        """
+        self._promote(cause=cause)
+
     def step_down(self, cause: str = "resignation") -> None:
         """Stop acting as a directory (e.g. battery exhausted, departing)."""
         if not self.is_directory:

@@ -396,6 +396,9 @@ class LiveFabric:
             link.outbox.put_nowait(envelope)
 
     def _wrap(self, payload: object, dest: int | None, hops: int, ttl: int = 0) -> Envelope:
+        # Stamp the ambient trace context (the span this send happens
+        # inside, or a client's activated query context) onto the frame.
+        trace = self.obs.tracer.current_traceparent() if self.obs.enabled else None
         return Envelope(
             kind=type(payload).__name__,
             payload=payload,
@@ -404,6 +407,7 @@ class LiveFabric:
             msg_id=next(self._msg_ids),
             ttl=ttl,
             hops=hops,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -456,6 +460,7 @@ class LiveFabric:
                 msg_id=envelope.msg_id,
                 ttl=max(0, envelope.ttl - 1),
                 hops=envelope.hops + 1,
+                trace=envelope.trace,
             )
             self._deliver_local(delivered)
 

@@ -23,6 +23,12 @@ class Envelope:
         msg_id: globally unique id (duplicate suppression in floods).
         ttl: remaining hops for flooded messages.
         hops: hops travelled so far.
+        trace: serialized :class:`~repro.obs.spans.TraceContext`
+            (traceparent string) of the span that caused this message, or
+            ``None`` when tracing is off or no span was active.  Both
+            fabrics stamp it at send time; receivers parent their spans
+            onto it, which is what stitches one query's spans across
+            processes.
     """
 
     kind: str
@@ -32,6 +38,7 @@ class Envelope:
     msg_id: int
     ttl: int = 0
     hops: int = 0
+    trace: str | None = None
 
 
 #: Fixed per-message framing overhead (headers, discriminator).
@@ -101,6 +108,71 @@ class Hello:
     """
 
     node_id: int
+
+
+# --- telemetry plane --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TelemetryHello:
+    """First frame a process sends the telemetry collector: who am I.
+
+    Args:
+        node_id: the sender's fabric node id.
+        role: operator-facing role label (``"directory"`` / ``"loadgen"``).
+        pid: operating-system process id, for ``obs top``.
+    """
+
+    node_id: int
+    role: str
+    pid: int
+
+
+@dataclass(frozen=True)
+class TelemetryBatch:
+    """A batch of observability records shipped to the collector.
+
+    Args:
+        node_id: the sender's fabric node id.
+        records: JSON-encoded sink records (the same ``{"type": ...}``
+            shapes :class:`~repro.obs.sinks.JsonlSink` writes) — strings
+            because the wire codec serializes dataclasses, not open dicts.
+        backlog: records still buffered at the sender after this batch
+            (``obs top``'s span-backlog column).
+    """
+
+    node_id: int
+    records: tuple[str, ...] = field(default_factory=tuple)
+    backlog: int = 0
+
+
+@dataclass(frozen=True)
+class TelemetryQuery:
+    """An operator tool asking the collector a question.
+
+    Args:
+        kind: ``"top"`` (fleet snapshot), ``"trace"`` (stitched trace;
+            ``arg`` is a trace id, ``latest`` or ``widest``), ``"traces"``
+            (known trace ids) or ``"metrics"`` (merged OpenMetrics text).
+        arg: kind-specific argument.
+    """
+
+    kind: str
+    arg: str = ""
+
+
+@dataclass(frozen=True)
+class TelemetryReply:
+    """The collector's answer to a :class:`TelemetryQuery`.
+
+    Args:
+        kind: echoes the query kind.
+        body: JSON-encoded answer (``"metrics"`` replies carry raw
+            OpenMetrics text instead).
+    """
+
+    kind: str
+    body: str = ""
 
 
 # --- directory deployment (§4) --------------------------------------------

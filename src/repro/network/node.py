@@ -617,6 +617,7 @@ class Network:
             dest=None,
             msg_id=next(self._msg_ids),
             ttl=ttl,
+            trace=self.obs.tracer.current_traceparent() if self.obs.enabled else None,
         )
         origin.note_flood(envelope.msg_id)
         self._radiate(origin, envelope)
@@ -673,6 +674,7 @@ class Network:
             msg_id=envelope.msg_id,
             ttl=envelope.ttl - 1,
             hops=envelope.hops + 1,
+            trace=envelope.trace,
         )
         node.deliver(delivered)
         if delivered.ttl > 0:
@@ -704,6 +706,7 @@ class Network:
             dest=dest,
             msg_id=next(self._msg_ids),
             hops=hops,
+            trace=self.obs.tracer.current_traceparent() if self.obs.enabled else None,
         )
         self.stats.unicasts += 1
         size = payload_size(payload)

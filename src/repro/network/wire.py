@@ -7,8 +7,13 @@ passes by reference travel TCP/UDS as::
     ┌──────────────┬─────────────────────────────────────────────┐
     │ length (u32, │ UTF-8 JSON object:                          │
     │ big-endian)  │ {"kind", "payload", "source", "dest",       │
-    │              │  "msg_id", "ttl", "hops"}                   │
+    │              │  "msg_id", "ttl", "hops"[, "trace"]}        │
     └──────────────┴─────────────────────────────────────────────┘
+
+``trace`` is the optional W3C-traceparent-style context
+(:class:`~repro.obs.spans.TraceContext`) stamped by the sending fabric;
+it is omitted entirely when tracing is off, so untraced frames are
+byte-identical to the previous format.
 
 JSON keeps the codec dependency-free and debuggable on the wire; the two
 payload field types JSON cannot express natively are tagged:
@@ -116,6 +121,8 @@ def encode_frame(envelope: Envelope) -> bytes:
         "ttl": envelope.ttl,
         "hops": envelope.hops,
     }
+    if envelope.trace is not None:
+        body["trace"] = envelope.trace
     data = json.dumps(body, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
     if len(data) > MAX_FRAME:
         raise WireError(f"frame of {len(data)} bytes exceeds MAX_FRAME")
@@ -148,6 +155,7 @@ def decode_frame(data: bytes) -> Envelope:
             msg_id=body["msg_id"],
             ttl=body["ttl"],
             hops=body["hops"],
+            trace=body.get("trace"),
         )
     except WireError:
         raise

@@ -31,7 +31,7 @@ from contextlib import contextmanager
 from repro.obs.events import EventLog, LifecycleEvent
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, MetricsScope
 from repro.obs.sinks import JsonlSink, RingBufferSink
-from repro.obs.spans import Span, Tracer
+from repro.obs.spans import Span, TraceContext, Tracer
 from repro.obs.timeseries import TimeSeriesRecorder
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "NULL_OBS",
     "install",
     "Span",
+    "TraceContext",
     "Tracer",
     "Counter",
     "Histogram",
@@ -216,6 +217,23 @@ class _NullSpan:
         self.attrs: dict = {}
 
 
+class _NullTracer:
+    """Tracer stand-in: no context is ever active, activation is free."""
+
+    __slots__ = ()
+    origin = ""
+
+    @contextmanager
+    def activate(self, context):
+        yield
+
+    def current_context(self):
+        return None
+
+    def current_traceparent(self):
+        return None
+
+
 class _NullEventLog:
     """Event-log stand-in: records nothing, counts nothing."""
 
@@ -263,6 +281,7 @@ class _NullObservability:
         self.metrics = _NullMetrics()
         self._span = _NullSpan()
         self.events = _NullEventLog()
+        self.tracer = _NullTracer()
 
     @contextmanager
     def span(self, name: str, **kwargs):

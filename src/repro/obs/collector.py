@@ -1,0 +1,642 @@
+"""The telemetry plane: ship per-process observability to one collector.
+
+PR 8 turned the reproduction into real processes, which broke the single
+most useful property of the obs layer — one place to look.  A query that
+hops client → backbone directory → peer directory now produces spans in
+three processes.  This module restores the single place:
+
+* :class:`CollectorSink` + :class:`CollectorClient` — the *producer*
+  side.  The sink buffers every record the process's
+  :class:`~repro.obs.Observability` emits (spans, lifecycle events,
+  time-series windows, metric snapshots) as the same JSON shapes
+  :class:`~repro.obs.sinks.JsonlSink` writes; the client ships them to
+  the collector as :class:`~repro.network.messages.TelemetryBatch`
+  frames over the ordinary wire codec (``network/wire.py``).
+* :class:`TelemetryCollector` — the *service*.  An asyncio server that
+  registers processes (:class:`~repro.network.messages.TelemetryHello`),
+  ingests batches, stitches cross-process traces via the
+  ``span_id``/``parent_span_id`` links the W3C-style
+  :class:`~repro.obs.spans.TraceContext` propagation creates, merges
+  fleet metrics (every series relabeled with its ``origin`` node) and
+  appends everything to a JSONL artifact ``repro.cli obs timeline`` /
+  ``obs regress`` already understand.
+* :func:`query_collector` + the render helpers — the *operator* side
+  backing ``repro.cli obs top`` and ``obs trace``.
+
+Latency breakdowns are computed from per-span ``duration_us`` only —
+wall clocks of different processes are never compared, so the stitched
+tree is correct even across machines with unsynchronized clocks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import time
+
+from repro.network.live import parse_address
+from repro.network.messages import (
+    Envelope,
+    TelemetryBatch,
+    TelemetryHello,
+    TelemetryQuery,
+    TelemetryReply,
+)
+from repro.network.wire import WireError, encode_frame, read_frame
+
+#: Records per TelemetryBatch frame (keeps frames far below MAX_FRAME).
+BATCH_RECORDS = 500
+
+#: Producer-side buffer ceiling: beyond this the oldest records are
+#: dropped (and counted) rather than growing without bound when the
+#: collector is slow or gone.
+BUFFER_LIMIT = 100_000
+
+#: Metric names whose movement counts as "query throughput" in obs top.
+_RATE_METRICS = ("dir.queries", "client.query_latency")
+
+
+class CollectorSink:
+    """An observability sink that buffers records for shipping.
+
+    Records are stored pre-serialized (JSON strings) because that is the
+    wire form :class:`~repro.network.messages.TelemetryBatch` carries —
+    the collector re-parses them into the exact shapes a
+    :class:`~repro.obs.sinks.JsonlSink` file would contain.
+    """
+
+    def __init__(self, limit: int = BUFFER_LIMIT) -> None:
+        self.buffer: list[str] = []
+        self.limit = limit
+        self.dropped = 0
+        self.shipped = 0
+
+    def _push(self, record: dict) -> None:
+        if len(self.buffer) >= self.limit:
+            del self.buffer[0]
+            self.dropped += 1
+        self.buffer.append(json.dumps(record, separators=(",", ":")))
+
+    def emit(self, span) -> None:
+        """Buffer one finished root span."""
+        self._push({"type": "span", **span.to_dict()})
+
+    def emit_event(self, event) -> None:
+        """Buffer one lifecycle event."""
+        self._push({"type": "event", **event.to_dict()})
+
+    def emit_timeseries(self, window: dict) -> None:
+        """Buffer one finished time-series window."""
+        self._push({"type": "timeseries", **window})
+
+    def emit_metrics(self, snapshot: list[dict]) -> None:
+        """Buffer a metrics snapshot record."""
+        self._push({"type": "metrics", "metrics": snapshot})
+
+    @property
+    def backlog(self) -> int:
+        """Records waiting to be shipped (obs top's backlog column)."""
+        return len(self.buffer)
+
+    def drain(self, limit: int) -> list[str]:
+        """Remove and return up to ``limit`` buffered records."""
+        batch = self.buffer[:limit]
+        del self.buffer[: len(batch)]
+        self.shipped += len(batch)
+        return batch
+
+    def close(self) -> None:
+        """Sinks are closeable; the buffer needs no teardown."""
+
+
+class CollectorClient:
+    """Ships a process's observability stream to a collector.
+
+    Attach it to a live :class:`~repro.obs.Observability` instance; it
+    appends a :class:`CollectorSink` and periodically flushes metrics and
+    ships everything buffered.  Connection failures are tolerated — the
+    process keeps running, records accumulate (bounded), and nothing is
+    shipped until the collector answers.
+
+    Args:
+        obs: the observability instance to tap.
+        address: collector address (``unix:<path>`` / ``tcp:<host>:<port>``).
+        node_id: this process's fabric node id.
+        role: operator-facing role label (``"directory"`` / ``"loadgen"``).
+        interval: seconds between ship rounds.
+    """
+
+    def __init__(
+        self,
+        obs,
+        address: str,
+        node_id: int,
+        role: str,
+        interval: float = 0.25,
+    ) -> None:
+        self.obs = obs
+        self.address = address
+        self.node_id = node_id
+        self.role = role
+        self.interval = interval
+        self.sink = CollectorSink()
+        obs.sinks.append(self.sink)
+        self._writer: asyncio.StreamWriter | None = None
+        self._task: asyncio.Task | None = None
+        self._msg_ids = itertools.count(1)
+
+    async def _connect(self) -> bool:
+        parts = parse_address(self.address)
+        try:
+            if parts[0] == "unix":
+                _reader, writer = await asyncio.open_unix_connection(parts[1])
+            else:
+                _reader, writer = await asyncio.open_connection(parts[1], int(parts[2]))
+        except OSError:
+            return False
+        self._writer = writer
+        await self._send(TelemetryHello(self.node_id, self.role, os.getpid()))
+        return True
+
+    async def _send(self, payload) -> bool:
+        if self._writer is None:
+            return False
+        envelope = Envelope(
+            kind=type(payload).__name__,
+            payload=payload,
+            source=self.node_id,
+            dest=None,
+            msg_id=next(self._msg_ids),
+        )
+        try:
+            self._writer.write(encode_frame(envelope))
+            await self._writer.drain()
+        except (OSError, WireError):
+            self._writer = None
+            return False
+        return True
+
+    async def start(self) -> None:
+        """Connect (best effort) and start the periodic ship loop."""
+        await self._connect()
+        self._task = asyncio.ensure_future(self._ship_loop())
+
+    async def _ship_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval)
+            await self.ship()
+
+    async def ship(self) -> None:
+        """Flush metrics into the sink, then ship everything buffered."""
+        self.obs.flush()
+        if self._writer is None and not await self._connect():
+            return
+        while self.sink.backlog:
+            records = self.sink.drain(BATCH_RECORDS)
+            batch = TelemetryBatch(
+                self.node_id, records=tuple(records), backlog=self.sink.backlog
+            )
+            if not await self._send(batch):
+                # Connection died mid-ship: requeue so nothing is lost.
+                self.sink.buffer[:0] = records
+                self.sink.shipped -= len(records)
+                return
+
+    async def close(self) -> None:
+        """Final ship, then stop the loop and close the connection."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        await self.ship()
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except OSError:
+                pass
+            self._writer = None
+
+
+# ---------------------------------------------------------------------------
+# Trace stitching (pure functions — unit-testable without sockets)
+# ---------------------------------------------------------------------------
+def _flatten_spans(record: dict, origin: object, out: list[dict]) -> None:
+    """Depth-first flatten of one root span record into plain span dicts."""
+    span = {key: record.get(key) for key in (
+        "name", "seq", "trace_id", "span_id", "parent_span_id", "sim_time",
+        "attrs", "duration_us",
+    )}
+    span["origin_node"] = origin
+    out.append(span)
+    for child in record.get("children", ()) or ():
+        _flatten_spans(child, origin, out)
+
+
+def stitch_trace(span_records: list[dict], trace_id: str) -> dict | None:
+    """Rebuild one query's cross-process span tree.
+
+    ``span_records`` are root span records (the ``{"type": "span"}``
+    JSONL shape) annotated with an ``origin_node``; the tree is rebuilt
+    purely from ``span_id``/``parent_span_id`` links, so a span whose
+    parent lives in another process attaches under it exactly like an
+    in-process child.  Returns ``None`` when the trace id is unknown.
+
+    The result carries the participating processes, the nested ``roots``
+    forest, and a per-stage latency breakdown summed from each span's
+    own ``duration_us`` (never cross-process clock arithmetic).
+    """
+    flat: list[dict] = []
+    for record in span_records:
+        if record.get("trace_id") == trace_id:
+            _flatten_spans(record, record.get("origin_node"), flat)
+    if not flat:
+        return None
+    by_id = {span["span_id"]: span for span in flat if span.get("span_id")}
+    for span in flat:
+        span["children"] = []
+    roots: list[dict] = []
+    for span in flat:
+        parent = by_id.get(span.get("parent_span_id"))
+        if parent is not None and parent is not span:
+            parent["children"].append(span)
+        else:
+            roots.append(span)
+    for span in flat:
+        span["children"].sort(key=lambda s: (str(s.get("origin_node")), s.get("seq") or 0))
+    stages: dict[str, dict] = {}
+    for span in flat:
+        stage = stages.setdefault(span["name"], {"count": 0, "total_us": 0.0})
+        stage["count"] += 1
+        stage["total_us"] += span.get("duration_us") or 0.0
+    processes = sorted(
+        {span["origin_node"] for span in flat if span["origin_node"] is not None}
+    )
+    return {
+        "trace_id": trace_id,
+        "processes": processes,
+        "span_count": len(flat),
+        "roots": roots,
+        "stages": stages,
+    }
+
+
+def render_stitched(trace: dict) -> str:
+    """Human-readable tree of a stitched trace (``obs trace`` output)."""
+    lines = [
+        f"trace {trace['trace_id']}: {trace['span_count']} span(s) across "
+        f"{len(trace['processes'])} process(es) {trace['processes']}"
+    ]
+
+    def _walk(span: dict, depth: int) -> None:
+        duration = span.get("duration_us")
+        timing = f" {duration:.0f}us" if duration else ""
+        attrs = span.get("attrs") or {}
+        detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        lines.append(
+            f"  {'  ' * depth}[n{span['origin_node']}] {span['name']}"
+            f" ({span.get('span_id')}){timing}{(' ' + detail) if detail else ''}"
+        )
+        for child in span.get("children", ()):
+            _walk(child, depth + 1)
+
+    for root in trace["roots"]:
+        _walk(root, 0)
+    lines.append("per-stage totals:")
+    for name, stage in sorted(trace["stages"].items()):
+        lines.append(
+            f"  {name:<16} x{stage['count']:<4} {stage['total_us']:.0f}us"
+        )
+    return "\n".join(lines)
+
+
+def render_top(snapshot: dict) -> str:
+    """One refresh of the fleet view (``obs top`` output)."""
+    lines = [
+        f"{'node':>6} {'role':<10} {'pid':>7} {'qps':>8} {'p50ms':>8} "
+        f"{'p99ms':>8} {'backlog':>8} {'partial%':>9} {'records':>8}"
+    ]
+    for node_id in sorted(snapshot.get("nodes", {}), key=int):
+        node = snapshot["nodes"][node_id]
+        def fmt(value, spec):
+            return format(value, spec) if value is not None else "-"
+        lines.append(
+            f"{node_id:>6} {node.get('role') or '?':<10} {fmt(node.get('pid'), '>7')} "
+            f"{fmt(node.get('qps'), '>8.1f')} {fmt(node.get('p50_ms'), '>8.2f')} "
+            f"{fmt(node.get('p99_ms'), '>8.2f')} {fmt(node.get('backlog'), '>8')} "
+            f"{fmt(node.get('partial_pct'), '>9.1f')} {fmt(node.get('records'), '>8')}"
+        )
+    lines.append(
+        f"traces: {snapshot.get('traces', 0)}  spans: {snapshot.get('spans', 0)}  "
+        f"events: {snapshot.get('events', 0)}"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The collector service
+# ---------------------------------------------------------------------------
+class TelemetryCollector:
+    """Central telemetry service for a live deployment.
+
+    Listens on ``listen`` for :class:`CollectorClient` connections and
+    operator queries, and optionally appends every ingested record —
+    annotated with its ``origin_node`` — to ``out`` (JSONL in the sink
+    format, so ``repro.cli obs timeline`` renders it directly).
+
+    Args:
+        listen: ``unix:<path>`` or ``tcp:<host>:<port>`` to bind.
+        out: optional JSONL artifact path.
+    """
+
+    def __init__(self, listen: str, out: str | None = None) -> None:
+        self.listen = listen
+        self.out = out
+        self.nodes: dict[int, dict] = {}
+        self.spans: list[dict] = []
+        self.events: list[dict] = []
+        self.windows: list[dict] = []
+        self._trace_order: list[str] = []
+        self._trace_seen: set[str] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._out_file = None
+        self._msg_ids = itertools.count(1)
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (and open the artifact file)."""
+        if self.out is not None:
+            parent = os.path.dirname(self.out)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._out_file = open(self.out, "a", encoding="utf-8", buffering=1)
+        parts = parse_address(self.listen)
+        if parts[0] == "unix":
+            self._server = await asyncio.start_unix_server(self._serve, path=parts[1])
+        else:
+            self._server = await asyncio.start_server(
+                self._serve, host=parts[1], port=int(parts[2])
+            )
+
+    async def close(self) -> None:
+        """Stop the listener and close the artifact file."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._out_file is not None:
+            self._out_file.close()
+            self._out_file = None
+
+    # -- the service loop ------------------------------------------------
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    envelope = await read_frame(reader)
+                except (WireError, OSError):
+                    return
+                if envelope is None:
+                    return
+                payload = envelope.payload
+                if isinstance(payload, TelemetryHello):
+                    self._register(payload)
+                elif isinstance(payload, TelemetryBatch):
+                    self._ingest_batch(payload)
+                elif isinstance(payload, TelemetryQuery):
+                    reply = self.answer(payload.kind, payload.arg)
+                    try:
+                        writer.write(
+                            encode_frame(
+                                Envelope(
+                                    kind="TelemetryReply",
+                                    payload=reply,
+                                    source=-1,
+                                    dest=envelope.source,
+                                    msg_id=next(self._msg_ids),
+                                )
+                            )
+                        )
+                        await writer.drain()
+                    except (OSError, WireError):
+                        return
+        finally:
+            writer.close()
+
+    def _register(self, hello: TelemetryHello) -> None:
+        node = self.nodes.setdefault(hello.node_id, {"records": 0})
+        node["role"] = hello.role
+        node["pid"] = hello.pid
+        node["backlog"] = 0
+        node["last_seen"] = time.monotonic()
+
+    def _ingest_batch(self, batch: TelemetryBatch) -> None:
+        node = self.nodes.setdefault(batch.node_id, {"records": 0})
+        node["backlog"] = batch.backlog
+        node["last_seen"] = time.monotonic()
+        for raw in batch.records:
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            self.ingest(batch.node_id, record)
+
+    def ingest(self, node_id: int, record: dict) -> None:
+        """Store one record from ``node_id`` (and append it to the artifact)."""
+        node = self.nodes.setdefault(node_id, {"records": 0})
+        node["records"] += 1
+        record = {**record, "origin_node": node_id}
+        kind = record.get("type")
+        if kind == "span":
+            self.spans.append(record)
+            trace_id = record.get("trace_id")
+            if trace_id:
+                if trace_id in self._trace_seen:
+                    self._trace_order.remove(trace_id)
+                self._trace_seen.add(trace_id)
+                self._trace_order.append(trace_id)
+        elif kind == "event":
+            self.events.append(record)
+        elif kind == "timeseries":
+            self.windows.append(record)
+        elif kind == "metrics":
+            now = time.monotonic()
+            previous = node.get("metrics")
+            if previous is not None:
+                node["qps"] = self._rate(previous, node.get("metrics_at"), record, now)
+            node["metrics"] = record
+            node["metrics_at"] = now
+        if self._out_file is not None:
+            self._out_file.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    @staticmethod
+    def _query_count(metrics_record: dict) -> int:
+        total = 0
+        for series in metrics_record.get("metrics", ()):
+            if series.get("name") == "dir.queries":
+                total += series.get("value", 0)
+            elif series.get("name") == "client.query_latency":
+                total += series.get("count", 0)
+        return total
+
+    @classmethod
+    def _rate(cls, previous: dict, previous_at, current: dict, now: float) -> float | None:
+        if previous_at is None or now <= previous_at:
+            return None
+        delta = cls._query_count(current) - cls._query_count(previous)
+        return max(0.0, delta / (now - previous_at))
+
+    # -- operator queries ------------------------------------------------
+    def trace_ids(self) -> list[str]:
+        """Known trace ids, oldest → most recently touched."""
+        return list(self._trace_order)
+
+    def resolve_trace_id(self, arg: str) -> str | None:
+        """Map an ``obs trace`` argument to a concrete trace id.
+
+        ``latest`` is the most recently touched trace; ``widest`` the one
+        spanning the most processes (ties go to the most recent) — the CI
+        smoke job uses ``widest`` to assert cross-process stitching.
+        """
+        if arg not in ("latest", "widest"):
+            return arg if arg in self._trace_seen else None
+        if not self._trace_order:
+            return None
+        if arg == "latest":
+            return self._trace_order[-1]
+        best, best_width = None, -1
+        for trace_id in self._trace_order:  # later entries win ties
+            stitched = stitch_trace(self.spans, trace_id)
+            width = len(stitched["processes"]) if stitched else 0
+            if width >= best_width:
+                best, best_width = trace_id, width
+        return best
+
+    def stitched(self, arg: str) -> dict | None:
+        """The stitched tree for ``arg`` (an id, ``latest`` or ``widest``)."""
+        trace_id = self.resolve_trace_id(arg)
+        if trace_id is None:
+            return None
+        return stitch_trace(self.spans, trace_id)
+
+    def fleet_snapshot(self) -> dict:
+        """The ``obs top`` view: per-node health plus plane totals."""
+        partial: dict[object, list[int]] = {}
+        flat: list[dict] = []
+        for record in self.spans:
+            _flatten_spans(record, record.get("origin_node"), flat)
+        for span in flat:
+            if span["name"] == "query.respond":
+                bucket = partial.setdefault(span["origin_node"], [0, 0])
+                bucket[0] += 1
+                bucket[1] += 1 if (span.get("attrs") or {}).get("partial") else 0
+        nodes = {}
+        for node_id, node in self.nodes.items():
+            latency = self._latency_quantiles(node.get("metrics"))
+            responded, were_partial = partial.get(node_id, (0, 0))
+            nodes[str(node_id)] = {
+                "role": node.get("role"),
+                "pid": node.get("pid"),
+                "qps": node.get("qps"),
+                "p50_ms": latency[0],
+                "p99_ms": latency[1],
+                "backlog": node.get("backlog"),
+                "records": node.get("records"),
+                "partial_pct": (100.0 * were_partial / responded) if responded else None,
+            }
+        return {
+            "nodes": nodes,
+            "traces": len(self._trace_order),
+            "spans": len(self.spans),
+            "events": len(self.events),
+        }
+
+    @staticmethod
+    def _latency_quantiles(metrics_record: dict | None) -> tuple[float | None, float | None]:
+        if not metrics_record:
+            return (None, None)
+        for series in metrics_record.get("metrics", ()):
+            if series.get("name") == "client.query_latency" and series.get("count"):
+                p50, p99 = series.get("p50"), series.get("p99")
+                return (
+                    p50 * 1000.0 if p50 is not None else None,
+                    p99 * 1000.0 if p99 is not None else None,
+                )
+        return (None, None)
+
+    def merged_metrics(self) -> list[dict]:
+        """Every node's latest snapshot, relabeled with ``origin``."""
+        merged: list[dict] = []
+        for node_id in sorted(self.nodes):
+            record = self.nodes[node_id].get("metrics")
+            if not record:
+                continue
+            for series in record.get("metrics", ()):
+                merged.append(
+                    {**series, "labels": {**series.get("labels", {}), "origin": node_id}}
+                )
+        return merged
+
+    def answer(self, kind: str, arg: str = "") -> TelemetryReply:
+        """Answer one operator query (the ``TelemetryQuery`` dispatch)."""
+        if kind == "top":
+            return TelemetryReply("top", json.dumps(self.fleet_snapshot()))
+        if kind == "trace":
+            return TelemetryReply("trace", json.dumps(self.stitched(arg or "latest")))
+        if kind == "traces":
+            return TelemetryReply("traces", json.dumps(self.trace_ids()))
+        if kind == "metrics":
+            from repro.obs.export import to_openmetrics
+
+            return TelemetryReply("metrics", to_openmetrics(self.merged_metrics()))
+        return TelemetryReply("error", json.dumps(f"unknown query kind {kind!r}"))
+
+
+async def query_collector(address: str, kind: str, arg: str = ""):
+    """One-shot operator query against a running collector.
+
+    Returns the decoded reply body (parsed JSON, or raw text for
+    ``metrics``).
+
+    Raises:
+        ConnectionError: when the collector is unreachable or hangs up.
+    """
+    parts = parse_address(address)
+    try:
+        if parts[0] == "unix":
+            reader, writer = await asyncio.open_unix_connection(parts[1])
+        else:
+            reader, writer = await asyncio.open_connection(parts[1], int(parts[2]))
+    except OSError as exc:
+        raise ConnectionError(f"collector at {address} unreachable: {exc}") from exc
+    try:
+        writer.write(
+            encode_frame(
+                Envelope(
+                    kind="TelemetryQuery",
+                    payload=TelemetryQuery(kind, arg),
+                    source=-1,
+                    dest=None,
+                    msg_id=1,
+                )
+            )
+        )
+        await writer.drain()
+        envelope = await read_frame(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+    if envelope is None or not isinstance(envelope.payload, TelemetryReply):
+        raise ConnectionError(f"collector at {address} closed without answering")
+    reply = envelope.payload
+    if reply.kind == "metrics":
+        return reply.body
+    return json.loads(reply.body) if reply.body else None

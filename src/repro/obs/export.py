@@ -71,13 +71,26 @@ def _format_value(value) -> str:
     return repr(float(value)) if isinstance(value, float) else str(value)
 
 
+def _bucket_pairs(record: dict) -> list[tuple[str, int]]:
+    """Normalized ``(le, cumulative_count)`` pairs from a snapshot record.
+
+    Records written before buckets existed lack the key; synthesize the
+    single ``+Inf`` bucket from ``count`` so old recordings still render.
+    """
+    buckets = record.get("buckets")
+    if not buckets:
+        return [("+Inf", record.get("count", 0))]
+    return [(_format_value(le) if le != "+Inf" else "+Inf", count) for le, count in buckets]
+
+
 def to_openmetrics(snapshot: list[dict]) -> str:
     """Render a metrics snapshot in OpenMetrics text exposition format.
 
-    Counters become ``<name>_total`` samples; histograms become summaries
-    (``quantile`` series plus ``_count``/``_sum``).  Output order follows
-    the snapshot (already deterministic), grouped per metric name, and
-    ends with the mandatory ``# EOF`` marker.
+    Counters become ``<name>_total`` samples; histograms are exposed as
+    native Prometheus histograms: cumulative ``<name>_bucket{le="..."}``
+    series (ending at ``le="+Inf"``) plus ``_sum`` and ``_count``.
+    Output order follows the snapshot (already deterministic), grouped
+    per metric name, and ends with the mandatory ``# EOF`` marker.
     """
     lines: list[str] = []
     typed: set[str] = set()
@@ -92,15 +105,9 @@ def to_openmetrics(snapshot: list[dict]) -> str:
         else:
             if name not in typed:
                 typed.add(name)
-                lines.append(f"# TYPE {name} summary")
-            for quantile in ("p50", "p95", "p99"):
-                if record.get(quantile) is None:
-                    continue
-                q = {"p50": "0.5", "p95": "0.95", "p99": "0.99"}[quantile]
-                lines.append(
-                    f"{name}{_label_block(labels, {'quantile': q})} "
-                    f"{_format_value(record[quantile])}"
-                )
+                lines.append(f"# TYPE {name} histogram")
+            for le, count in _bucket_pairs(record):
+                lines.append(f"{name}_bucket{_label_block(labels, {'le': le})} {count}")
             lines.append(f"{name}_count{_label_block(labels)} {record['count']}")
             lines.append(f"{name}_sum{_label_block(labels)} {_format_value(record['total'])}")
     lines.append("# EOF")

@@ -14,6 +14,7 @@ registry through :meth:`MetricsRegistry.snapshot`.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from collections import deque
 
 #: Observations kept per histogram for quantile estimation.  Quantiles are
@@ -24,6 +25,27 @@ QUANTILE_WINDOW = 4096
 
 #: The quantiles every histogram snapshot reports.
 QUANTILES = (0.5, 0.95, 0.99)
+
+#: Upper bounds (seconds) of the cumulative histogram buckets every
+#: histogram also maintains — a Prometheus-style exponential ladder from
+#: 0.5 ms to 10 s, sized for the latency distributions this repo records
+#: (query handling, client round trips).  ``+Inf`` is implicit.
+DEFAULT_BUCKET_BOUNDS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
 
 
 class Counter:
@@ -59,10 +81,12 @@ class Counter:
 
 class Histogram:
     """A streaming summary: count / total / min / max of observations,
-    plus nearest-rank p50/p95/p99 over the most recent
-    :data:`QUANTILE_WINDOW` observations."""
+    nearest-rank p50/p95/p99 over the most recent
+    :data:`QUANTILE_WINDOW` observations, plus exact cumulative bucket
+    counts over :data:`DEFAULT_BUCKET_BOUNDS` (the Prometheus
+    ``_bucket{le=...}`` exposition)."""
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max", "_values")
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_values", "_buckets")
 
     def __init__(self, name: str, labels: tuple) -> None:
         self.name = name
@@ -72,6 +96,9 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._values: deque[float] = deque(maxlen=QUANTILE_WINDOW)
+        # Per-bucket (non-cumulative) counts; the final slot is +Inf.
+        # Exact over the full lifetime, unlike the windowed quantiles.
+        self._buckets = [0] * (len(DEFAULT_BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -82,6 +109,18 @@ class Histogram:
         if value > self.max:
             self.max = value
         self._values.append(value)
+        index = bisect_left(DEFAULT_BUCKET_BOUNDS, value)
+        self._buckets[index] += 1
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs; the last ``le`` is ``+Inf``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        bounds = DEFAULT_BUCKET_BOUNDS + (float("inf"),)
+        for bound, count in zip(bounds, self._buckets):
+            running += count
+            out.append((bound, running))
+        return out
 
     @property
     def mean(self) -> float:
@@ -121,6 +160,9 @@ class Histogram:
                 record[key] = ordered[math.ceil(q * len(ordered)) - 1]
             else:
                 record[key] = None
+        record["buckets"] = [
+            ["+Inf" if math.isinf(le) else le, count] for le, count in self.buckets()
+        ]
         return record
 
     def __repr__(self) -> str:

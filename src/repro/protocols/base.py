@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Callable
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.codes import StaleCodesError
@@ -36,6 +37,7 @@ from repro.network.messages import (
     WithdrawService,
 )
 from repro.network.node import ProtocolAgent
+from repro.obs.spans import TraceContext
 from repro.services.xml_codec import ServiceSyntaxError
 from repro.util.bloom import BloomFilter
 from repro.util.cache import RequestCache
@@ -102,13 +104,20 @@ class QueryTicket:
 
 @dataclass
 class PendingQuery:
-    """Book-keeping for a query awaiting remote responses."""
+    """Book-keeping for a query awaiting remote responses.
+
+    ``trace`` stores the handling ``query.handle`` span's serialized
+    context so the ``query.respond`` event (fired from a forward-window
+    timer, outside any span) and the :class:`QueryResponse` frame still
+    join the query's trace.
+    """
 
     query_id: int
     client_id: int
     results: list[ResultRow] = field(default_factory=list)
     outstanding: set[int] = field(default_factory=set)
     concluded: bool = False
+    trace: str | None = None
 
 
 class DirectoryAgentBase(ProtocolAgent):
@@ -624,7 +633,9 @@ class DirectoryAgentBase(ProtocolAgent):
             return "miss"
         return "hit"
 
-    def _handle_client_query(self, client_id: int, query: QueryRequest) -> None:
+    def _handle_client_query(
+        self, client_id: int, query: QueryRequest, trace: str | None = None
+    ) -> None:
         obs = self.obs
         if not obs.enabled:
             self._handle_client_query_impl(client_id, query, None)
@@ -633,6 +644,7 @@ class DirectoryAgentBase(ProtocolAgent):
             "query.handle",
             trace_id=self._trace_id(self.node.node_id, query.query_id),
             sim_time=self.runtime.now,
+            parent=TraceContext.from_traceparent(trace),
             directory=self.node.node_id,
             client=client_id,
             query_id=query.query_id,
@@ -653,6 +665,10 @@ class DirectoryAgentBase(ProtocolAgent):
             span.attrs["cache"] = self._cache_verdict(parsed_before, decoded_before)
             span.attrs["local_results"] = len(local)
         pending = PendingQuery(query.query_id, client_id, results=list(local))
+        if span is not None:
+            # Remember the handling span so the deferred conclusion (a
+            # forward-window timer, outside any span) can rejoin the trace.
+            pending.trace = obs.tracer.current_traceparent()
         self._pending[query.query_id] = pending
         if not local:
             # Step 3: forward to peers whose summaries admit the request,
@@ -697,11 +713,15 @@ class DirectoryAgentBase(ProtocolAgent):
             self._note_peer_silent(peer_id)
         ranked = sorted(set(pending.results), key=lambda row: (row[2], row[0]))
         self.queries_answered += 1
-        if self.obs.enabled:
-            self.obs.event(
+        obs = self.obs
+        context = None
+        if obs.enabled:
+            context = TraceContext.from_traceparent(pending.trace)
+            obs.event(
                 "query.respond",
                 trace_id=self._trace_id(self.node.node_id, query_id),
                 sim_time=self.runtime.now,
+                parent=context,
                 directory=self.node.node_id,
                 results=len(ranked),
                 partial=partial,
@@ -709,9 +729,10 @@ class DirectoryAgentBase(ProtocolAgent):
         self.node.network.record(
             self.node.node_id, "respond", f"#{query_id}: {len(ranked)} result(s)"
         )
-        self.node.unicast(
-            pending.client_id, QueryResponse(query_id, tuple(ranked), partial=partial)
-        )  # step 6
+        with obs.tracer.activate(context) if obs.enabled else nullcontext():
+            self.node.unicast(
+                pending.client_id, QueryResponse(query_id, tuple(ranked), partial=partial)
+            )  # step 6
 
     def _note_peer_silent(self, peer_id: int) -> None:
         """A forwarded query to ``peer_id`` timed out unanswered.  After
@@ -785,15 +806,18 @@ class DirectoryAgentBase(ProtocolAgent):
         elif isinstance(payload, DirectoryHandoff):
             self._handle_publish_batch(envelope.source, payload.documents)
         elif isinstance(payload, QueryRequest):
-            self._handle_client_query(envelope.source, payload)
+            self._handle_client_query(envelope.source, payload, trace=envelope.trace)
         elif isinstance(payload, RemoteQuery):
             obs = self.obs
             if obs.enabled:
                 network = self.node.network
+                # The RemoteResponse is sent inside the span so its frame
+                # carries this hop's context back to the origin directory.
                 with obs.span(
                     "hop.remote",
                     trace_id=self._trace_id(payload.origin_directory, payload.query_id),
                     sim_time=network.runtime.now,
+                    parent=TraceContext.from_traceparent(envelope.trace),
                     directory=self.node.node_id,
                     origin=payload.origin_directory,
                     hops=network.hop_count(payload.origin_directory, self.node.node_id),
@@ -806,20 +830,25 @@ class DirectoryAgentBase(ProtocolAgent):
                     span.attrs["cache"] = self._cache_verdict(parsed_before, decoded_before)
                     span.attrs["results"] = len(results)
                     span.attrs["admitted"] = bool(results)
+                    self.node.unicast(
+                        payload.origin_directory,
+                        RemoteResponse(payload.query_id, tuple(results)),
+                    )  # step 5
             else:
                 parsed = self._request_from_wire(payload.wire, payload.document)
                 results = self._local_results(
                     payload.origin_directory, payload.document, parsed
                 )  # step 4
-            self.node.unicast(
-                payload.origin_directory, RemoteResponse(payload.query_id, tuple(results))
-            )  # step 5
+                self.node.unicast(
+                    payload.origin_directory, RemoteResponse(payload.query_id, tuple(results))
+                )  # step 5
         elif isinstance(payload, RemoteResponse):
             if self.obs.enabled:
                 self.obs.event(
                     "hop.response",
                     trace_id=self._trace_id(self.node.node_id, payload.query_id),
                     sim_time=self.runtime.now,
+                    parent=TraceContext.from_traceparent(envelope.trace),
                     directory=self.node.node_id,
                     peer=envelope.source,
                     results=len(payload.results),
@@ -869,6 +898,11 @@ class ClientAgentBase(ProtocolAgent):
     Publishes advertisement documents to its vicinity directory and issues
     discovery requests, recording results and simulated response times.
     """
+
+    #: When True (live loadgen), every query also records a ``client.query``
+    #: event — the root span of the distributed trace.  Off by default so
+    #: simulated trace signatures keep their historical span sequence.
+    trace_queries = False
 
     def __init__(self, directory_resolver: Callable[[], int | None]) -> None:
         super().__init__()
@@ -958,6 +992,13 @@ class ClientAgentBase(ProtocolAgent):
             if previous is not None and current is not None and previous != current:
                 self.node.unicast(previous, WithdrawService(service_uri))
 
+    def _trace_id_for(self, directory: int, query_id: int) -> str:
+        """The trace id the directory will stamp for this query — minting
+        it client-side lets the request frame carry the trace context
+        without changing the id scheme
+        (:meth:`DirectoryAgentBase._trace_id`)."""
+        return f"q{directory}.{query_id}"
+
     def query(
         self,
         document: str,
@@ -997,7 +1038,29 @@ class ClientAgentBase(ProtocolAgent):
         query_id = self._next_query_id
         self._next_query_id += 1
         self._issue_times[query_id] = self.runtime.now
-        if not self.node.unicast(directory, QueryRequest(query_id, document)):
+        obs = self.obs
+        context = None
+        if obs.enabled:
+            # Root the distributed trace at the client: the request frame
+            # carries this context so the directory's query.handle span
+            # parents onto it.  The trace id matches what the directory
+            # would stamp anyway, so simulated ids are unchanged.
+            trace_id = self._trace_id_for(directory, query_id)
+            if self.trace_queries:
+                root = obs.event(
+                    "client.query",
+                    trace_id=trace_id,
+                    sim_time=self.runtime.now,
+                    client=self.node.node_id,
+                    directory=directory,
+                    query_id=query_id,
+                )
+                context = root.context()
+            if context is None:
+                context = obs.tracer.new_context(trace_id)
+        with obs.tracer.activate(context) if obs.enabled else nullcontext():
+            sent = self.node.unicast(directory, QueryRequest(query_id, document))
+        if not sent:
             del self._issue_times[query_id]
             return QueryTicket(query_id, QueryOutcome.SEND_FAILED)
         ticket = QueryTicket(query_id, QueryOutcome.PENDING)

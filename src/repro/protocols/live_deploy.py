@@ -32,6 +32,7 @@ from repro.core.codes import CodeTable
 from repro.network.election import ElectionAgent
 from repro.network.live import LiveFabric
 from repro.obs import NULL_OBS, Observability
+from repro.obs.collector import CollectorClient
 from repro.obs.export import run_manifest, to_openmetrics
 from repro.ontology.registry import OntologyRegistry
 from repro.protocols.base import QueryOutcome
@@ -83,6 +84,14 @@ class DirectoryServer:
         node_id: this directory's node id.
         obs: live :class:`~repro.obs.Observability`; defaults to a
             metrics-only instance so the exporter always has substance.
+        peers: extra fabric peers to dial (``{node_id: address}``) —
+            how a second directory process joins the backbone.
+        collector: optional telemetry collector address; when set, every
+            span/event/metric this process records is shipped there.
+        force_directory: promote immediately instead of waiting out the
+            §4 election.  Required for any directory beyond the first:
+            a node hearing the backbone's adverts considers the
+            vicinity covered and would never self-elect.
     """
 
     def __init__(
@@ -92,15 +101,28 @@ class DirectoryServer:
         metrics_listen: str | None = None,
         node_id: int = SERVE_NODE_ID,
         obs: Observability | None = None,
+        peers: dict[int, str] | None = None,
+        collector: str | None = None,
+        force_directory: bool = False,
     ) -> None:
         self.config = config
         self.workload, self.table = build_catalog(config)
         self.obs = obs if obs is not None else Observability()
-        self.fabric = LiveFabric(node_id, listen=listen, seed=config.seed)
+        if self.obs.enabled:
+            # Fleet-unique span ids: stitched traces must never collide
+            # across processes that each count spans from 1.
+            self.obs.tracer.origin = f"n{node_id}."
+        self.fabric = LiveFabric(node_id, listen=listen, peers=peers, seed=config.seed)
         self.fabric.obs = self.obs
         self.fabric.runtime.obs = self.obs
         self.metrics_listen = metrics_listen
+        self.force_directory = force_directory
         self._metrics_server: asyncio.AbstractServer | None = None
+        self.collector: CollectorClient | None = (
+            CollectorClient(self.obs, collector, node_id, "directory")
+            if collector is not None and self.obs.enabled
+            else None
+        )
         self.directory: SAriadneDirectoryAgent | None = None
         self.election = ElectionAgent(
             config=config.election,
@@ -122,8 +144,17 @@ class DirectoryServer:
         agent.join_backbone()
 
     async def start(self) -> None:
-        """Bind listeners and start the election clock."""
+        """Bind listeners, start the election clock (or promote outright),
+        the wall-clock time-series recorder and the telemetry shipper."""
         await self.fabric.start()
+        if self.obs.enabled and self.obs.timeseries is None:
+            # LiveRuntime implements the simulator's schedule_every/now
+            # surface, so `obs timeline` works on live runs too.
+            self.obs.start_timeseries(self.fabric.runtime)
+        if self.force_directory:
+            self.election.assume_directory()
+        if self.collector is not None:
+            await self.collector.start()
         if self.metrics_listen is not None:
             from repro.network.live import parse_address
 
@@ -170,11 +201,14 @@ class DirectoryServer:
             writer.close()
 
     async def close(self) -> None:
-        """Stop both listeners and every link task."""
+        """Stop both listeners, ship the final telemetry batch, and tear
+        down every link task."""
         if self._metrics_server is not None:
             self._metrics_server.close()
             await self._metrics_server.wait_closed()
             self._metrics_server = None
+        if self.collector is not None:
+            await self.collector.close()
         await self.fabric.close()
 
 
@@ -189,6 +223,9 @@ class LoadGenerator:
         directory_node_id: the node id the server listens as.
         obs: live observability; defaults to a metrics-only instance
             (the latency histogram feeds the reported quantiles).
+        collector: optional telemetry collector address; when set, the
+            client's spans (including the ``client.query`` trace roots)
+            ship there for cross-process stitching.
     """
 
     def __init__(
@@ -198,16 +235,24 @@ class LoadGenerator:
         node_id: int = LOADGEN_NODE_ID,
         directory_node_id: int = SERVE_NODE_ID,
         obs: Observability | None = None,
+        collector: str | None = None,
     ) -> None:
         self.config = config
         self.workload, self.table = build_catalog(config)
         self.obs = obs if obs is not None else Observability()
+        if self.obs.enabled:
+            self.obs.tracer.origin = f"n{node_id}."
         self.fabric = LiveFabric(
             node_id, peers={directory_node_id: connect}, seed=config.seed
         )
         self.fabric.obs = self.obs
         self.fabric.runtime.obs = self.obs
         self.node_id = node_id
+        self.collector: CollectorClient | None = (
+            CollectorClient(self.obs, collector, node_id, "loadgen")
+            if collector is not None and self.obs.enabled
+            else None
+        )
         # Track the directory from its live adverts — the resolver is the
         # same election-state lookup the simulated clients use, so a
         # directory that never advertises yields NO_DIRECTORY, not a hang.
@@ -216,11 +261,18 @@ class LoadGenerator:
         )
         self.fabric.node.add_agent(self.election)
         self.client = SAriadneClientAgent(lambda: self.election.current_directory)
+        # Live clients mint a client.query root span per query so the
+        # stitched trace starts at the requester, not the directory.
+        self.client.trace_queries = True
         self.fabric.node.add_agent(self.client)
 
     async def start(self) -> None:
-        """Dial the directory and start the agents."""
+        """Dial the directory and start the agents (and telemetry)."""
         await self.fabric.start()
+        if self.obs.enabled and self.obs.timeseries is None:
+            self.obs.start_timeseries(self.fabric.runtime)
+        if self.collector is not None:
+            await self.collector.start()
 
     async def wait_directory(self, timeout: float = 30.0) -> int:
         """Block until a directory advert names the vicinity directory.
@@ -255,13 +307,20 @@ class LoadGenerator:
         retry_timeout: float = 1.0,
         settle: float = 0.3,
         resolve_timeout: float = 10.0,
+        query_services: int | None = None,
     ) -> dict:
         """Publish, then drive ``queries`` closed-loop discovery requests.
 
-        Each query targets service ``i % services`` (so every one has a
-        known match), waits for its ticket to resolve, and moves on — the
+        Each query targets service ``i % N`` (so every one has a known
+        match), waits for its ticket to resolve, and moves on — the
         classic closed-loop load shape, which makes reported QPS a
         round-trip-throughput number rather than an offered rate.
+
+        ``query_services`` decouples the query mix from what *this*
+        process published: a loadgen pointed at the backbone can query
+        services another loadgen published at a peer directory (the
+        cross-directory forwarding path), including with ``services=0``
+        (publish nothing, query everything).
 
         Returns:
             A summary dict: ``qps``, ``latency_p50_ms`` / ``p99``,
@@ -270,16 +329,19 @@ class LoadGenerator:
         directory = await self.wait_directory()
         published = await self.publish(services)
         await asyncio.sleep(settle)
+        if query_services is None:
+            query_services = services
         request_docs = [
             annotated_request_doc(self.workload, self.table, index)
-            for index in range(services)
+            for index in range(query_services)
         ]
         outcomes: dict[str, int] = {}
         loop = asyncio.get_event_loop()
         started = loop.time()
-        for number in range(queries):
+        attempted = queries if request_docs else 0
+        for number in range(attempted):
             ticket = self.client.query(
-                request_docs[number % services],
+                request_docs[number % query_services],
                 retries=retries,
                 retry_timeout=retry_timeout,
             )
@@ -295,7 +357,7 @@ class LoadGenerator:
         return {
             "directory": directory,
             "published": published,
-            "queries": queries,
+            "queries": attempted,
             "answered": answered,
             "outcomes": outcomes,
             "elapsed_s": elapsed,
@@ -305,7 +367,9 @@ class LoadGenerator:
         }
 
     async def close(self) -> None:
-        """Tear the client fabric down."""
+        """Ship the final telemetry batch and tear the fabric down."""
+        if self.collector is not None:
+            await self.collector.close()
         await self.fabric.close()
 
 

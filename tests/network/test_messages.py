@@ -30,6 +30,10 @@ from repro.network.messages import (
     RemoteResponse,
     SummaryExchange,
     SummaryRequest,
+    TelemetryBatch,
+    TelemetryHello,
+    TelemetryQuery,
+    TelemetryReply,
     WithdrawService,
     payload_size,
 )
@@ -69,6 +73,14 @@ GROWABLE = {
     QueryResponse: (QueryResponse(1), QueryResponse(1, _ROWS)),
     RemoteQuery: (RemoteQuery(1, "<x/>", 0), RemoteQuery(1, _DOC, 0, wire=_WIRE)),
     RemoteResponse: (RemoteResponse(1), RemoteResponse(1, _ROWS)),
+    TelemetryBatch: (
+        TelemetryBatch(1),
+        TelemetryBatch(1, records=('{"type":"span"}',) * 10, backlog=2),
+    ),
+    TelemetryReply: (
+        TelemetryReply("top"),
+        TelemetryReply("top", body='{"nodes":' + "x" * 200 + "}"),
+    ),
 }
 
 #: Fixed-form control frames: no growable content, billed at the floor.
@@ -80,6 +92,8 @@ FIXED = [
     Appointment(1, 2),
     DirectoryAnnounce(1),
     SummaryRequest(1),
+    TelemetryHello(1, "lg", 42),
+    TelemetryQuery("top"),
 ]
 
 

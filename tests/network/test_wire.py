@@ -105,6 +105,24 @@ PAYLOAD_STRATEGIES: dict[str, st.SearchStrategy] = {
         wire=st.none() | encoded_request,
     ),
     "RemoteResponse": st.builds(m.RemoteResponse, query_id=node_id, results=_rows()),
+    "TelemetryHello": st.builds(
+        m.TelemetryHello,
+        node_id=node_id,
+        role=st.sampled_from(["directory", "loadgen", "collector"]),
+        pid=node_id,
+    ),
+    "TelemetryBatch": st.builds(
+        m.TelemetryBatch,
+        node_id=node_id,
+        records=st.lists(text, max_size=4).map(tuple),
+        backlog=st.integers(min_value=0, max_value=2**20),
+    ),
+    "TelemetryQuery": st.builds(
+        m.TelemetryQuery,
+        kind=st.sampled_from(["top", "trace", "traces", "metrics"]),
+        arg=text,
+    ),
+    "TelemetryReply": st.builds(m.TelemetryReply, kind=text, body=text),
 }
 
 envelopes = st.sampled_from(sorted(PAYLOAD_STRATEGIES)).flatmap(
@@ -117,6 +135,7 @@ envelopes = st.sampled_from(sorted(PAYLOAD_STRATEGIES)).flatmap(
         msg_id=node_id,
         ttl=st.integers(min_value=0, max_value=16),
         hops=st.integers(min_value=0, max_value=16),
+        trace=st.none() | st.text(max_size=30),
     )
 )
 
@@ -154,6 +173,10 @@ PAYLOAD_EXAMPLES = [
     m.QueryResponse(5, (("s", "c", 2),), partial=True),
     m.RemoteQuery(5, "<req/>", 0, None),
     m.RemoteResponse(5, ()),
+    m.TelemetryHello(1, "loadgen", 4242),
+    m.TelemetryBatch(1, ('{"type":"span","name":"query.handle"}',), backlog=3),
+    m.TelemetryQuery("trace", "q0.5"),
+    m.TelemetryReply("top", '{"nodes": {}}'),
 ]
 
 
@@ -185,6 +208,23 @@ def test_none_fields_survive():
     back = decode_frame(encode_frame(envelope)[4:])
     assert back.payload.wire is None
     assert back.dest is None
+
+
+def test_trace_context_rides_the_frame():
+    """A stamped traceparent survives; an unstamped frame omits the key."""
+    traced = m.Envelope(
+        "QueryRequest",
+        m.QueryRequest(1, "d"),
+        source=0,
+        dest=1,
+        msg_id=9,
+        trace="00-q0.1-n1.c1-01",
+    )
+    assert decode_frame(encode_frame(traced)[4:]).trace == "00-q0.1-n1.c1-01"
+    untraced = m.Envelope("QueryRequest", m.QueryRequest(1, "d"), 0, 1, 9)
+    frame = encode_frame(untraced)
+    assert b'"trace"' not in frame
+    assert decode_frame(frame[4:]).trace is None
 
 
 def test_decoded_sequences_are_tuples():

@@ -1,0 +1,297 @@
+"""The telemetry plane: sink buffering, trace stitching, the collector
+service's ingest/answer surface, and a real socket round trip."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+from repro.obs import Observability
+from repro.obs.collector import (
+    CollectorClient,
+    CollectorSink,
+    TelemetryCollector,
+    query_collector,
+    render_stitched,
+    render_top,
+    stitch_trace,
+)
+from repro.obs.spans import TraceContext
+
+
+def _span_record(
+    name: str,
+    trace_id: str,
+    span_id: str,
+    parent: str | None = None,
+    origin: int = 0,
+    duration: float = 100.0,
+    children=(),
+    attrs=None,
+):
+    return {
+        "type": "span",
+        "name": name,
+        "seq": int(span_id.rsplit("s", 1)[-1].rsplit("c", 1)[-1] or 0),
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_span_id": parent,
+        "sim_time": 0.0,
+        "duration_us": duration,
+        "attrs": attrs or {},
+        "children": list(children),
+        "origin_node": origin,
+    }
+
+
+class TestCollectorSink:
+    def test_buffers_every_record_kind_in_jsonl_shape(self):
+        obs = Observability()
+        sink = CollectorSink()
+        obs.sinks.append(sink)
+        with obs.span("query.handle", trace_id="q0.1"):
+            pass
+        obs.lifecycle("churn.join", sim_time=0.0, node=3)
+        obs.counter("dir.queries", node=0).inc()
+        obs.flush()
+        kinds = [json.loads(raw)["type"] for raw in sink.buffer]
+        assert kinds == ["span", "event", "metrics"]
+        span = json.loads(sink.buffer[0])
+        assert span["name"] == "query.handle"
+        assert span["span_id"] == "s1"
+
+    def test_drain_and_backlog(self):
+        sink = CollectorSink()
+        for i in range(5):
+            sink._push({"type": "event", "i": i})
+        assert sink.backlog == 5
+        first = sink.drain(3)
+        assert len(first) == 3 and sink.backlog == 2
+        assert sink.shipped == 3
+        assert [json.loads(r)["i"] for r in sink.drain(10)] == [3, 4]
+
+    def test_buffer_is_bounded_and_drops_oldest(self):
+        sink = CollectorSink(limit=3)
+        for i in range(5):
+            sink._push({"type": "event", "i": i})
+        assert sink.backlog == 3
+        assert sink.dropped == 2
+        assert [json.loads(r)["i"] for r in sink.buffer] == [2, 3, 4]
+
+
+class TestStitchTrace:
+    def _three_process_records(self):
+        # Client (node 1) roots the trace; directory A (node 0) parents
+        # onto the client context; directory B (node 2) parents onto A's
+        # hop.remote-side query.handle span.
+        client_root = _span_record(
+            "client.query", "q0.5", "n1.c1", origin=1, duration=0.0
+        )
+        handle = _span_record(
+            "query.handle", "q0.5", "n0.s1", parent="n1.c1", origin=0, duration=900.0
+        )
+        remote = _span_record(
+            "hop.remote", "q0.5", "n2.s1", parent="n0.s1", origin=2, duration=400.0
+        )
+        return [client_root, remote, handle]  # arrival order scrambled
+
+    def test_stitches_across_processes(self):
+        stitched = stitch_trace(self._three_process_records(), "q0.5")
+        assert stitched["processes"] == [0, 1, 2]
+        assert stitched["span_count"] == 3
+        (root,) = stitched["roots"]
+        assert root["name"] == "client.query"
+        (handle,) = root["children"]
+        assert handle["origin_node"] == 0
+        (remote,) = handle["children"]
+        assert remote["origin_node"] == 2
+
+    def test_stage_breakdown_sums_own_durations(self):
+        stitched = stitch_trace(self._three_process_records(), "q0.5")
+        assert stitched["stages"]["query.handle"]["total_us"] == 900.0
+        assert stitched["stages"]["hop.remote"]["total_us"] == 400.0
+
+    def test_nested_children_are_flattened(self):
+        child = _span_record("query.parse", "t", "n0.s2", parent="n0.s1")
+        parent = _span_record("query.handle", "t", "n0.s1", children=[child])
+        stitched = stitch_trace([parent], "t")
+        assert stitched["span_count"] == 2
+        assert stitched["roots"][0]["children"][0]["name"] == "query.parse"
+
+    def test_unknown_trace_is_none(self):
+        assert stitch_trace(self._three_process_records(), "nope") is None
+
+    def test_orphan_parent_becomes_a_root(self):
+        orphan = _span_record("hop.remote", "t", "n2.s1", parent="never-arrived")
+        stitched = stitch_trace([orphan], "t")
+        assert [root["name"] for root in stitched["roots"]] == ["hop.remote"]
+
+    def test_render_mentions_every_process(self):
+        text = render_stitched(stitch_trace(self._three_process_records(), "q0.5"))
+        assert "3 process(es)" in text
+        assert "[n1] client.query" in text
+        assert "per-stage totals:" in text
+
+
+class TestCollectorService:
+    def _collector_with_trace(self):
+        collector = TelemetryCollector("unix:/unused")
+        collector.ingest(1, _span_record("client.query", "q0.5", "n1.c1", duration=0.0))
+        collector.ingest(
+            0, _span_record("query.handle", "q0.5", "n0.s1", parent="n1.c1")
+        )
+        collector.ingest(
+            2, _span_record("hop.remote", "q0.5", "n2.s1", parent="n0.s1")
+        )
+        collector.ingest(0, _span_record("query.handle", "q0.9", "n0.s2"))
+        return collector
+
+    def test_resolve_latest_and_widest(self):
+        collector = self._collector_with_trace()
+        assert collector.resolve_trace_id("latest") == "q0.9"
+        assert collector.resolve_trace_id("widest") == "q0.5"
+        assert collector.resolve_trace_id("q0.5") == "q0.5"
+        assert collector.resolve_trace_id("absent") is None
+
+    def test_answer_trace_returns_stitched_json(self):
+        collector = self._collector_with_trace()
+        reply = collector.answer("trace", "widest")
+        stitched = json.loads(reply.body)
+        assert stitched["trace_id"] == "q0.5"
+        assert stitched["processes"] == [0, 1, 2]
+
+    def test_answer_top_counts_partials(self):
+        collector = TelemetryCollector("unix:/unused")
+        collector.ingest(
+            0,
+            _span_record(
+                "query.respond", "q0.1", "n0.s1", attrs={"partial": True}, duration=0.0
+            ),
+        )
+        collector.ingest(
+            0,
+            _span_record(
+                "query.respond", "q0.2", "n0.s2", attrs={"partial": False}, duration=0.0
+            ),
+        )
+        snapshot = json.loads(collector.answer("top").body)
+        assert snapshot["nodes"]["0"]["partial_pct"] == 50.0
+        assert snapshot["traces"] == 2
+        assert "node" in render_top(snapshot)
+
+    def test_qps_from_successive_metric_snapshots(self):
+        collector = TelemetryCollector("unix:/unused")
+        metrics = lambda total: {  # noqa: E731
+            "type": "metrics",
+            "metrics": [
+                {"name": "dir.queries", "labels": {"node": 0}, "type": "counter", "value": total}
+            ],
+        }
+        collector.ingest(0, metrics(10))
+        collector.nodes[0]["metrics_at"] -= 2.0  # pretend 2 s passed
+        collector.ingest(0, metrics(30))
+        assert collector.nodes[0]["qps"] > 0
+        # ~10 qps modulo timer noise
+        assert 5.0 < collector.nodes[0]["qps"] < 20.0
+
+    def test_merged_metrics_carry_origin_label(self):
+        collector = TelemetryCollector("unix:/unused")
+        record = {
+            "type": "metrics",
+            "metrics": [
+                {"name": "dir.queries", "labels": {"node": 0}, "type": "counter", "value": 3}
+            ],
+        }
+        collector.ingest(0, record)
+        collector.ingest(2, record)
+        merged = collector.merged_metrics()
+        assert [series["labels"]["origin"] for series in merged] == [0, 2]
+        exposition = collector.answer("metrics").body
+        assert 'dir_queries_total{node="0",origin="0"} 3' in exposition
+
+    def test_unknown_query_kind_is_an_error_reply(self):
+        collector = TelemetryCollector("unix:/unused")
+        assert collector.answer("bogus").kind == "error"
+
+    def test_out_artifact_is_timeline_compatible_jsonl(self, tmp_path):
+        out = tmp_path / "fleet.jsonl"
+
+        async def scenario():
+            collector = TelemetryCollector(
+                f"unix:{os.path.join(str(tmp_path), 'c.sock')}", out=str(out)
+            )
+            await collector.start()
+            collector.ingest(0, _span_record("query.handle", "q0.1", "n0.s1"))
+            await collector.close()
+
+        asyncio.run(scenario())
+        (line,) = out.read_text().splitlines()
+        record = json.loads(line)
+        assert record["type"] == "span"
+        assert record["origin_node"] == 0
+
+
+class TestSocketRoundTrip:
+    def test_client_ships_and_operator_queries(self, tmp_path):
+        """CollectorClient → TelemetryCollector → query_collector, all
+        over a real unix socket."""
+        address = f"unix:{os.path.join(str(tmp_path), 'collector.sock')}"
+
+        async def scenario():
+            collector = TelemetryCollector(address)
+            await collector.start()
+
+            obs = Observability()
+            obs.tracer.origin = "n7."
+            client = CollectorClient(obs, address, node_id=7, role="loadgen")
+            await client.start()
+            with obs.tracer.activate(TraceContext("q0.3", "n1.c1")):
+                with obs.span("query.handle", trace_id="q0.3"):
+                    pass
+            await client.ship()
+            await asyncio.sleep(0.05)
+
+            top = await query_collector(address, "top")
+            stitched = await query_collector(address, "trace", "latest")
+            await client.close()
+            await collector.close()
+            return top, stitched
+
+        top, stitched = asyncio.run(scenario())
+        assert top["nodes"]["7"]["role"] == "loadgen"
+        assert top["nodes"]["7"]["records"] >= 1
+        assert stitched["trace_id"] == "q0.3"
+        (root,) = stitched["roots"]
+        assert root["span_id"] == "n7.s1"
+        assert root["parent_span_id"] == "n1.c1"
+        assert root["origin_node"] == 7
+
+    def test_query_collector_raises_when_unreachable(self, tmp_path):
+        address = f"unix:{os.path.join(str(tmp_path), 'absent.sock')}"
+
+        async def scenario():
+            try:
+                await query_collector(address, "top")
+            except ConnectionError:
+                return True
+            return False
+
+        assert asyncio.run(scenario())
+
+    def test_client_survives_missing_collector(self, tmp_path):
+        """A loadgen pointed at a dead collector keeps running; records
+        stay buffered."""
+        address = f"unix:{os.path.join(str(tmp_path), 'dead.sock')}"
+
+        async def scenario():
+            obs = Observability()
+            client = CollectorClient(obs, address, node_id=1, role="loadgen")
+            await client.start()
+            obs.counter("dir.queries", node=1).inc()
+            await client.ship()
+            backlog = client.sink.backlog
+            await client.close()
+            return backlog
+
+        assert asyncio.run(scenario()) >= 1

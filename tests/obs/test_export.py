@@ -26,15 +26,42 @@ def _snapshot():
 
 
 class TestOpenMetrics:
-    def test_counters_and_summaries_render(self):
+    def test_counters_and_histograms_render(self):
         text = to_openmetrics(_snapshot())
         assert "# TYPE net_messages counter" in text
         assert 'net_messages_total{node="0"} 4' in text
-        assert "# TYPE query_latency summary" in text
-        assert 'query_latency{node="0",quantile="0.5"} 2.0' in text
+        assert "# TYPE query_latency histogram" in text
+        assert 'query_latency_bucket{le="+Inf",node="0"} 4' in text
         assert 'query_latency_count{node="0"} 4' in text
         assert 'query_latency_sum{node="0"} 10.0' in text
         assert text.endswith("# EOF\n")
+
+    def test_buckets_are_cumulative_and_end_at_inf(self):
+        text = to_openmetrics(_snapshot())
+        bucket_lines = [
+            line for line in text.splitlines() if line.startswith("query_latency_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert counts[-1] == 4  # +Inf covers every observation
+        assert 'le="+Inf"' in bucket_lines[-1]
+        # 1.0s falls in the le=1.0 bucket, the rest above it.
+        assert 'query_latency_bucket{le="1.0",node="0"} 1' in text
+
+    def test_pre_bucket_records_still_render(self):
+        """Histogram records from old recordings (no ``buckets`` key)."""
+        legacy = [
+            {
+                "name": "query.latency",
+                "labels": {},
+                "type": "histogram",
+                "count": 3,
+                "total": 0.5,
+            }
+        ]
+        text = to_openmetrics(legacy)
+        assert 'query_latency_bucket{le="+Inf"} 3' in text
+        assert "query_latency_count 3" in text
 
     def test_empty_snapshot_is_just_eof(self):
         assert to_openmetrics([]) == "# EOF\n"

@@ -1,0 +1,119 @@
+"""W3C-style trace context: parsing, parenting, and cross-process ids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_OBS, Observability
+from repro.obs.spans import Span, TraceContext, Tracer
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = TraceContext(trace_id="q0.7", span_id="n0.s3")
+        assert context.to_traceparent() == "00-q0.7-n0.s3-01"
+        assert TraceContext.from_traceparent("00-q0.7-n0.s3-01") == context
+
+    def test_unsampled_flag(self):
+        context = TraceContext("t", "s", sampled=False)
+        assert context.to_traceparent().endswith("-00")
+        parsed = TraceContext.from_traceparent(context.to_traceparent())
+        assert parsed is not None and parsed.sampled is False
+
+    @pytest.mark.parametrize(
+        "header",
+        [None, "", "garbage", "00-only-three", "00-a-b-c-d-e", "00--s-01"],
+    )
+    def test_malformed_headers_parse_to_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+
+class TestTracerContext:
+    def test_spans_get_ids_and_in_process_parenting(self):
+        done: list[Span] = []
+        tracer = Tracer(emit=done.append)
+        with tracer.span("outer", trace_id="t1"):
+            with tracer.span("inner"):
+                pass
+        (outer,) = done
+        inner = outer.children[0]
+        assert outer.span_id == "s1"
+        assert inner.span_id == "s2"
+        assert inner.parent_span_id == outer.span_id
+
+    def test_origin_prefixes_span_ids(self):
+        done: list[Span] = []
+        tracer = Tracer(emit=done.append, origin="n4.")
+        with tracer.span("q", trace_id="t"):
+            pass
+        assert done[0].span_id == "n4.s1"
+
+    def test_explicit_parent_beats_ambient(self):
+        done: list[Span] = []
+        tracer = Tracer(emit=done.append)
+        remote = TraceContext(trace_id="q0.9", span_id="n9.s5")
+        with tracer.span("query.handle", trace_id="q0.9", parent=remote):
+            pass
+        assert done[0].trace_id == "q0.9"
+        assert done[0].parent_span_id == "n9.s5"
+
+    def test_activate_sets_ambient_parent_for_root_spans(self):
+        done: list[Span] = []
+        tracer = Tracer(emit=done.append)
+        context = TraceContext(trace_id="q1.2", span_id="n1.c1")
+        with tracer.activate(context):
+            with tracer.span("query.handle"):
+                pass
+        assert done[0].trace_id == "q1.2"
+        assert done[0].parent_span_id == "n1.c1"
+        # The ambient context is popped on exit.
+        assert tracer.current_context() is None
+
+    def test_activate_none_is_a_no_op(self):
+        tracer = Tracer()
+        with tracer.activate(None):
+            assert tracer.current_context() is None
+
+    def test_current_traceparent_tracks_the_open_span(self):
+        tracer = Tracer()
+        assert tracer.current_traceparent() is None
+        with tracer.span("outer", trace_id="t7"):
+            header = tracer.current_traceparent()
+            assert header == "00-t7-s1-01"
+        assert tracer.current_traceparent() is None
+
+    def test_new_context_does_not_consume_span_seq(self):
+        """Minting client contexts must not shift span sequence numbers —
+        sim trace signatures depend on them."""
+        done: list[Span] = []
+        tracer = Tracer(emit=done.append)
+        context = tracer.new_context("q0.1")
+        assert context.span_id == "c1"
+        with tracer.span("s", trace_id="t"):
+            pass
+        assert done[0].span_id == "s1"  # unaffected by the minted context
+
+    def test_signature_excludes_span_ids(self):
+        """Signatures stay byte-compatible with pre-tracing recordings."""
+        done: list[Span] = []
+        tracer = Tracer(emit=done.append)
+        with tracer.span("a", trace_id="t"):
+            pass
+        signature = done[0].signature()
+        assert "span_id" not in signature
+        assert "parent_span_id" not in signature
+        assert "span_id" in done[0].to_dict()
+
+
+class TestNullObservability:
+    def test_null_tracer_has_the_context_surface(self):
+        assert NULL_OBS.tracer.current_context() is None
+        assert NULL_OBS.tracer.current_traceparent() is None
+        with NULL_OBS.tracer.activate(TraceContext("t", "s")):
+            assert NULL_OBS.tracer.current_traceparent() is None
+
+    def test_live_obs_context_surface_matches(self):
+        obs = Observability()
+        context = TraceContext("t", "s")
+        with obs.tracer.activate(context):
+            assert obs.tracer.current_context() == context

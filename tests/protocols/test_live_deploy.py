@@ -113,6 +113,86 @@ def test_serve_loadgen_closed_loop(tmp_path):
     assert "manifest" in report
 
 
+async def _scrape(path: str) -> str:
+    reader, writer = await asyncio.open_unix_connection(path)
+    writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    return raw.decode("utf-8")
+
+
+class TestMetricsListener:
+    def test_concurrent_scrapes_all_answered(self, tmp_path):
+        config = fast_config()
+        address = f"unix:{os.path.join(str(tmp_path), 'serve.sock')}"
+        metrics_path = os.path.join(str(tmp_path), "metrics.sock")
+
+        async def scenario():
+            server = DirectoryServer(
+                config,
+                listen=address,
+                metrics_listen=f"unix:{metrics_path}",
+                force_directory=True,
+            )
+            await server.start()
+            try:
+                return await asyncio.gather(*(_scrape(metrics_path) for _ in range(8)))
+            finally:
+                await server.close()
+
+        scrapes = asyncio.run(scenario())
+        assert len(scrapes) == 8
+        for scrape in scrapes:
+            assert scrape.startswith("HTTP/1.1 200 OK")
+            assert scrape.rstrip().endswith("# EOF")
+
+    def test_bind_failure_surfaces_not_hangs(self, tmp_path):
+        """A metrics address that is already taken: start() raises instead
+        of serving nothing.  TCP, because asyncio replaces existing unix
+        socket paths rather than failing the bind."""
+        config = fast_config()
+
+        async def scenario():
+            squatter = await asyncio.start_server(
+                lambda r, w: None, host="127.0.0.1", port=0
+            )
+            port = squatter.sockets[0].getsockname()[1]
+            server = DirectoryServer(
+                config,
+                listen=f"unix:{os.path.join(str(tmp_path), 'serve.sock')}",
+                metrics_listen=f"tcp:127.0.0.1:{port}",
+            )
+            try:
+                with pytest.raises(OSError):
+                    await server.start()
+            finally:
+                await server.close()
+                squatter.close()
+                await squatter.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_scrape_after_shutdown_is_refused(self, tmp_path):
+        """Once close() returns, the listener is gone — a scrape fails
+        fast instead of hanging on a half-torn-down server."""
+        config = fast_config()
+        address = f"unix:{os.path.join(str(tmp_path), 'serve.sock')}"
+        metrics_path = os.path.join(str(tmp_path), "metrics.sock")
+
+        async def scenario():
+            server = DirectoryServer(
+                config, listen=address, metrics_listen=f"unix:{metrics_path}"
+            )
+            await server.start()
+            assert (await _scrape(metrics_path)).startswith("HTTP/1.1 200 OK")
+            await server.close()
+            with pytest.raises((ConnectionError, FileNotFoundError, OSError)):
+                await _scrape(metrics_path)
+
+        asyncio.run(scenario())
+
+
 def test_loadgen_times_out_without_server(tmp_path):
     config = fast_config()
     nowhere = f"unix:{os.path.join(str(tmp_path), 'absent.sock')}"

@@ -1,0 +1,151 @@
+"""Distributed tracing acceptance: one query, three processes, one trace.
+
+The tier-1 twin of CI's deployment-smoke tracing assertion (the fig10
+topology, §4 forwarding): a client publishes at directory B, a second
+client queries backbone directory A, A's Bloom summary admits B, and the
+collector must stitch client → A → B under a single trace id with
+correct parent/child hop spans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.network.election import ElectionConfig
+from repro.obs.collector import TelemetryCollector, query_collector
+from repro.protocols.deployment import DeploymentConfig
+from repro.protocols.live_deploy import DirectoryServer, LoadGenerator
+
+
+def fast_config(**overrides) -> DeploymentConfig:
+    return DeploymentConfig(
+        node_count=4,
+        protocol="sariadne",
+        seed=7,
+        election=ElectionConfig(
+            advert_interval=0.2,
+            directory_timeout=0.15,
+            check_interval=0.05,
+            reply_window=0.05,
+        ),
+        **overrides,
+    )
+
+
+def test_cross_directory_query_stitches_three_processes(tmp_path):
+    config = fast_config()
+    addr_a = f"unix:{os.path.join(str(tmp_path), 'a.sock')}"
+    addr_b = f"unix:{os.path.join(str(tmp_path), 'b.sock')}"
+    addr_c = f"unix:{os.path.join(str(tmp_path), 'collector.sock')}"
+    artifact = tmp_path / "fleet.jsonl"
+
+    async def scenario():
+        collector = TelemetryCollector(addr_c, out=str(artifact))
+        await collector.start()
+
+        server_a = DirectoryServer(
+            config, listen=addr_a, node_id=0, collector=addr_c, force_directory=True
+        )
+        await server_a.start()
+        # B dials A's fabric and promotes outright: a node hearing the
+        # backbone's adverts would never self-elect.
+        server_b = DirectoryServer(
+            config,
+            listen=addr_b,
+            node_id=2,
+            peers={0: addr_a},
+            collector=addr_c,
+            force_directory=True,
+        )
+        await server_b.start()
+        await server_a.wait_elected(timeout=5.0)
+        await server_b.wait_elected(timeout=5.0)
+
+        # Publisher: advertises services 0..2 at B only.
+        publisher = LoadGenerator(
+            config, connect=addr_b, node_id=1, directory_node_id=2
+        )
+        await publisher.start()
+        await publisher.wait_directory(timeout=5.0)
+        assert await publisher.publish(3) == 3
+        # B's debounced content-changed summary must reach A, or A's
+        # Bloom filter never admits B for forwarding.
+        await asyncio.sleep(config.election.advert_interval + 0.8)
+
+        # Querier: asks A for services only B holds (the §4 remote hop).
+        querier = LoadGenerator(
+            config, connect=addr_a, node_id=3, directory_node_id=0, collector=addr_c
+        )
+        await querier.start()
+        summary = await querier.run(
+            services=0, queries=3, query_services=3, settle=0.1
+        )
+
+        await querier.close()
+        await publisher.close()
+        await server_a.close()
+        await server_b.close()
+
+        stitched = await query_collector(addr_c, "trace", "widest")
+        top = await query_collector(addr_c, "top")
+        await collector.close()
+        return summary, stitched, top
+
+    summary, stitched, top = asyncio.run(scenario())
+
+    assert summary["answered"] == 3, summary
+    # The acceptance criterion: client, backbone directory, and the
+    # second directory under ONE trace id.
+    assert set(stitched["processes"]) >= {0, 2, 3}, stitched["processes"]
+    trace_id = stitched["trace_id"]
+    assert trace_id.startswith("q0.")  # rooted at directory A's query id
+
+    # Correct parent/child hop structure: the client's root span owns
+    # A's query.handle, which owns B's hop.remote.
+    roots = {root["name"]: root for root in stitched["roots"]}
+    client_root = roots["client.query"]
+    assert client_root["origin_node"] == 3
+    handle = next(
+        span for span in client_root["children"] if span["name"] == "query.handle"
+    )
+    assert handle["origin_node"] == 0
+    remote = next(
+        span for span in handle["children"] if span["name"] == "hop.remote"
+    )
+    assert remote["origin_node"] == 2
+    assert remote["parent_span_id"] == handle["span_id"]
+
+    # Per-stage breakdown sums each process's own span clocks.
+    assert stitched["stages"]["query.handle"]["count"] >= 1
+    assert stitched["stages"]["hop.remote"]["count"] >= 1
+
+    # The fleet view saw all three shippers.
+    assert {"0", "2", "3"} <= set(top["nodes"])
+    assert top["nodes"]["0"]["role"] == "directory"
+    assert top["nodes"]["3"]["role"] == "loadgen"
+
+    # The artifact is JSONL in the sink format (obs timeline input).
+    assert artifact.exists() and artifact.stat().st_size > 0
+
+
+def test_live_runs_record_timeseries_windows(tmp_path):
+    """Satellite: the wall-clock runtime drives TimeSeriesRecorder, so
+    ``obs timeline`` works on live runs."""
+    config = fast_config()
+    address = f"unix:{os.path.join(str(tmp_path), 'serve.sock')}"
+
+    async def scenario():
+        server = DirectoryServer(config, listen=address, force_directory=True)
+        await server.start()
+        assert server.obs.timeseries is not None
+        await asyncio.sleep(0.3)
+        await server.close()
+        server.obs.close()
+        return server.obs.timeseries.windows
+
+    windows = asyncio.run(scenario())
+    # close() finalizes the trailing partial window, so at least one
+    # window exists even for a short-lived process.
+    assert windows
+    assert windows[-1]["t_end"] > 0.0

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Keep docs/OBSERVABILITY.md's name tables honest against the code.
+
+The span, metric, and lifecycle-event tables in ``docs/OBSERVABILITY.md``
+are the operator's contract: dashboards, ``obs top``, and the stitched
+trace views key on these names.  Nothing enforces them — an instrumented
+call site renamed or added in ``src/`` silently drifts from the docs and
+vice versa.  This lint closes the loop, **both directions**:
+
+* every name the code emits (``obs.counter(...)``, ``obs.histogram``,
+  ``obs.span``, ``obs.event``, ``obs.lifecycle``) must appear in the
+  documented tables;
+* every documented name must still be emitted somewhere in ``src/``.
+
+Names are collected with :mod:`ast`: plain string first-arguments become
+literals; f-string first-arguments (``f"{prefix}.hits"``,
+``f"fault.chaos_{edge}"``) become ``fnmatch`` patterns (``*.hits``,
+``fault.chaos_*``) so dynamic families stay checkable.  On the docs
+side, table-cell names support brace expansion
+(``dir.distance_cache.{hits,misses}``) and multiple backticked names per
+cell (``handoff.start`` / ``handoff.finish``).
+
+Usage::
+
+    python tools/metrics_lint.py                # repo-root defaults
+    python tools/metrics_lint.py --src src/repro --docs docs/OBSERVABILITY.md
+
+Exit status 1 on any drift (CI gate), 0 when the contract holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+SKIP_DIRS = {"__pycache__", "tests", ".git"}
+
+#: Method names whose first string argument names a span/event/metric.
+EMITTING_CALLS = {
+    "counter",
+    "histogram",
+    "span",
+    "event",
+    "lifecycle",
+    "_message_event",
+}
+
+#: Emitted names that are deliberately undocumented: internal series the
+#: operator tables do not promise (extend sparingly, with a reason).
+ALLOWED_UNDOCUMENTED: set[str] = set()
+
+_BACKTICK = re.compile(r"`([^`]+)`")
+_NAME_SHAPE = re.compile(r"^[a-z0-9_.]+\.[a-z0-9_.{},]+$")
+
+
+def _pattern_from_fstring(node: ast.JoinedStr) -> str | None:
+    """``f"fault.chaos_{edge}"`` → ``"fault.chaos_*"`` (None if pure)."""
+    parts: list[str] = []
+    dynamic = False
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            parts.append("*")
+            dynamic = True
+    pattern = "".join(parts)
+    # Collapse runs of * so adjacent placeholders stay one wildcard.
+    while "**" in pattern:
+        pattern = pattern.replace("**", "*")
+    return pattern if dynamic else None
+
+
+def collect_code_names(src: Path) -> tuple[set[str], set[str]]:
+    """(literal names, fnmatch patterns) emitted under ``src``."""
+    literals: set[str] = set()
+    patterns: set[str] = set()
+    for path in sorted(src.rglob("*.py")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+            if name not in EMITTING_CALLS:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                if "." in first.value:  # name-shaped, not a bare label
+                    literals.add(first.value)
+            elif isinstance(first, ast.JoinedStr):
+                pattern = _pattern_from_fstring(first)
+                if pattern is not None and "." in pattern:
+                    patterns.add(pattern)
+    return literals, patterns
+
+
+def _expand_braces(name: str) -> list[str]:
+    """``a.{x,y}`` → ``["a.x", "a.y"]`` (single level is all the docs use)."""
+    match = re.search(r"\{([^{}]+)\}", name)
+    if match is None:
+        return [name]
+    head, tail = name[: match.start()], name[match.end() :]
+    out: list[str] = []
+    for option in match.group(1).split(","):
+        out.extend(_expand_braces(head + option.strip() + tail))
+    return out
+
+
+def collect_doc_names(docs: Path) -> set[str]:
+    """Backticked names from the first cell of every docs table row."""
+    names: set[str] = set()
+    for line in docs.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        cells = stripped.strip("|").split("|")
+        if not cells:
+            continue
+        first_cell = cells[0]
+        if set(first_cell.strip()) <= {"-", ":", " "}:  # separator row
+            continue
+        for token in _BACKTICK.findall(first_cell):
+            token = token.strip()
+            if _NAME_SHAPE.match(token):
+                names.update(_expand_braces(token))
+    return names
+
+
+def lint(src: Path, docs: Path) -> list[str]:
+    """All drift findings (empty when code and docs agree)."""
+    literals, patterns = collect_code_names(src)
+    documented = collect_doc_names(docs)
+    problems: list[str] = []
+    for name in sorted(literals - documented - ALLOWED_UNDOCUMENTED):
+        problems.append(f"emitted in src/ but missing from {docs.name}: {name}")
+    for pattern in sorted(patterns):
+        if not any(fnmatchcase(name, pattern) for name in documented):
+            problems.append(
+                f"dynamic family emitted in src/ but undocumented: {pattern}"
+            )
+    for name in sorted(documented):
+        if name in literals:
+            continue
+        if any(fnmatchcase(name, pattern) for pattern in patterns):
+            continue
+        problems.append(f"documented in {docs.name} but never emitted in src/: {name}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--src", default="src/repro", help="package root to scan")
+    parser.add_argument(
+        "--docs", default="docs/OBSERVABILITY.md", help="the documented name tables"
+    )
+    args = parser.parse_args(argv)
+    src, docs = Path(args.src), Path(args.docs)
+    if not src.is_dir() or not docs.is_file():
+        print(f"metrics-lint: missing {src} or {docs}", file=sys.stderr)
+        return 2
+    problems = lint(src, docs)
+    for problem in problems:
+        print(f"DRIFT {problem}")
+    literals, patterns = collect_code_names(src)
+    print(
+        f"{len(literals)} literal + {len(patterns)} dynamic name(s) in code, "
+        f"{len(collect_doc_names(docs))} documented, {len(problems)} drift(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
