@@ -60,7 +60,12 @@ def test_fig8_report(benchmark):
         # Same caveat as Fig. 7: our XML parse is relatively much faster
         # than the paper's, so insert and parse are comparable; the claim
         # that survives any stack is that insertion never dwarfs parsing.
-        assert result.extras[f"insert_{size}"] < 5 * result.extras[f"parse_{size}"]
+        # Both sides are sub-millisecond means, so leave an order of
+        # magnitude of headroom (plus a 10 µs floor) for loaded runners —
+        # this bench now runs in CI via tools/make_artifacts.py.
+        assert result.extras[f"insert_{size}"] < 10 * max(
+            result.extras[f"parse_{size}"], 1e-5
+        )
     # Insertion must not grow linearly with directory size: allow noise but
     # require the largest directory to stay within 5x of the smallest
     # (Ariadne-style linear growth would be ~100x).

@@ -65,6 +65,27 @@ class DirectoryMatch:
     distance: int
 
 
+def _build_staged(table: CodeTable, staged, packed_backend: str | None = None):
+    """Resolve a directory's ``staged=`` opt-in into a matchmaker.
+
+    ``None``/``False`` → off; ``True`` → loose cutoffs (results identical
+    to the directory's own path); a
+    :class:`~repro.core.matchmaker.StageCutoffs` → as given.  Imported
+    lazily: :mod:`repro.core.matchmaker` sits above this module.
+
+    Raises:
+        ValueError: on any other ``staged`` value.
+    """
+    if staged is None or staged is False:
+        return None
+    from repro.core.matchmaker import StageCutoffs, StagedMatchmaker
+
+    cutoffs = None if staged is True else staged
+    if cutoffs is not None and not isinstance(cutoffs, StageCutoffs):
+        raise ValueError(f"staged must be a StageCutoffs or bool, got {staged!r}")
+    return StagedMatchmaker(table, cutoffs=cutoffs, packed_backend=packed_backend)
+
+
 class SemanticDirectory:
     """The §3.3 optimized directory: encoded matching + classified graphs.
 
@@ -76,6 +97,16 @@ class SemanticDirectory:
             :meth:`_candidate_graphs`).
         distance_cache_size: capacity of the shared concept-distance memo;
             0 disables it (every pair recomputed, as in the seed code).
+        staged: opt into the multi-phase matchmaker
+            (:class:`~repro.core.matchmaker.StagedMatchmaker`) for plain
+            (non-annotated) queries: pass ``True`` for loose cutoffs
+            (exhaustive-equivalent results) or a
+            :class:`~repro.core.matchmaker.StageCutoffs` to trade recall
+            for latency.  Publication still classifies into graphs —
+            annotated documents and the graph index keep working — so
+            publish pays for both structures; queries carrying embedded
+            §3.2 codes fall back to the classified path (the staged
+            engine resolves codes from the directory's table only).
     """
 
     def __init__(
@@ -86,12 +117,14 @@ class SemanticDirectory:
         summary_hashes: int = 4,
         preselection: str = "superset",
         distance_cache_size: int = DEFAULT_MAXSIZE,
+        staged: "StageCutoffs | bool | None" = None,
     ) -> None:
         if preselection not in ("superset", "intersection"):
             raise ValueError(f"unknown preselection {preselection!r}")
         self.table = table
         self.query_mode = query_mode
         self.preselection = preselection
+        self._staged = _build_staged(table, staged)
         self.summary = DirectorySummary(m=summary_bits, k=summary_hashes)
         self._graphs: dict[frozenset[str], CapabilityDag] = {}
         self._profiles: dict[str, ServiceProfile] = {}
@@ -115,18 +148,28 @@ class SemanticDirectory:
 
     @obs.setter
     def obs(self, value) -> None:
-        """Propagate the sink to every capability graph."""
+        """Propagate the sink to every capability graph (and the staged
+        matchmaker when the opt-in mode is on)."""
         self._obs = value
         for graph in self._graphs.values():
             graph.obs = value
+        if self._staged is not None:
+            self._staged.obs = value
 
     def export_metrics(self) -> None:
         """Mirror the directory's accumulated counters (matcher stats,
         distance-cache stats) into the observability metric registry.
-        Pull-based: traced runs call this right before flushing sinks."""
+        Pull-based: traced runs call this right before flushing sinks.
+        In staged mode the matchmaker's counters fold in — classified
+        publishes and staged queries report as one directory."""
         obs = self._obs
-        obs.counter("dir.capability_matches").set(self.stats.capability_matches)
-        obs.counter("dir.concept_comparisons").set(self.stats.concept_comparisons)
+        matches = self.stats.capability_matches
+        comparisons = self.stats.concept_comparisons
+        if self._staged is not None:
+            matches += self._staged.stats.capability_matches
+            comparisons += self._staged.stats.concept_comparisons
+        obs.counter("dir.capability_matches").set(matches)
+        obs.counter("dir.concept_comparisons").set(comparisons)
         cache = self.distance_cache
         if cache is not None:
             cache.stats.publish_to(obs.metrics, "dir.distance_cache")
@@ -267,6 +310,8 @@ class SemanticDirectory:
                 graph.insert(capability, profile.uri, matcher)
                 self.summary.add_capability(capability)
         self._profiles[profile.uri] = profile
+        if self._staged is not None:
+            self._staged.publish(profile)
         if self._obs.enabled:
             self._obs.counter("dir.publishes").inc()
 
@@ -283,6 +328,8 @@ class SemanticDirectory:
         profile = self._profiles.pop(service_uri, None)
         if profile is None:
             return 0
+        if self._staged is not None:
+            self._staged.unpublish(service_uri)
         removed = 0
         for key in {capability.ontologies() for capability in profile.provided}:
             graph = self._graphs.get(key)
@@ -354,6 +401,8 @@ class SemanticDirectory:
             with obs.span("query.encode") if obs.enabled else nullcontext():
                 with self.timer.phase("encode"):
                     extra = self.table.resolve_annotations(annotations.codes, annotations.version)
+        if self._staged is not None and not extra:
+            return self._staged.query(request)
         return self._query(request, self._matcher(extra))
 
     def query(
@@ -365,14 +414,20 @@ class SemanticDirectory:
         ``extra_codes`` carries pre-resolved embedded request codes (the
         parse-once protocol fast path resolves a document's annotations
         once and reuses them here, instead of re-parsing per query via
-        :meth:`query_xml`).
+        :meth:`query_xml`).  In staged mode, plain requests route through
+        the multi-phase matchmaker; embedded codes force the classified
+        path (see the constructor docs).
         """
+        if self._staged is not None and not extra_codes:
+            return self._staged.query(request)
         return self._query(request, self._matcher(extra_codes))
 
     def query_batch(self, requests: Iterable[ServiceRequest]) -> list[list[DirectoryMatch]]:
         """Answer many requests with one matcher; returns per-request
         results in order.  Amortizes matcher setup and keeps the shared
         distance cache hot across the whole batch."""
+        if self._staged is not None:
+            return self._staged.query_batch(requests)
         matcher = self._matcher(None)
         return [self._query(request, matcher) for request in requests]
 
@@ -404,8 +459,35 @@ class SemanticDirectory:
                 )
         return results
 
+    def describe_info(self) -> dict:
+        """Structured backend summary (the normalized ``describe`` schema:
+        ``kind``/``services``/``capability_count``/``index`` — asserted
+        across all backends by the conformance suite)."""
+        index = (
+            f"{self.graph_count} ontology-indexed graphs, "
+            f"{self.preselection} preselection"
+        )
+        if self._staged is not None:
+            index += "; staged matchmaker on plain queries"
+        return {
+            "kind": type(self).__name__,
+            "services": len(self),
+            "capability_count": self.capability_count,
+            "index": index,
+        }
+
     def describe(self) -> str:
-        """Human-readable dump of the ontology index and every graph."""
+        """One-line backend summary (full graph dump:
+        :meth:`describe_graphs`)."""
+        info = self.describe_info()
+        return (
+            f"{info['kind']}: {info['services']} services, "
+            f"{info['capability_count']} capabilities, {info['index']}"
+        )
+
+    def describe_graphs(self) -> str:
+        """Human-readable dump of the ontology index and every graph (the
+        ``inspect`` CLI's output; ``describe()`` used to return this)."""
         lines = [repr(self)]
         for key in sorted(self._graphs, key=lambda k: sorted(k)):
             graph = self._graphs[key]
@@ -493,6 +575,12 @@ class FlatDirectory:
             use this to exercise both implementations in one process —
             ``REPRO_PACKED_BACKEND`` is read once at import time, so the
             environment variable cannot vary per directory.
+        staged: opt into the multi-phase matchmaker
+            (:class:`~repro.core.matchmaker.StagedMatchmaker`) for all
+            queries: ``True`` for loose cutoffs (results identical to the
+            directory's own path, bit for bit) or a
+            :class:`~repro.core.matchmaker.StageCutoffs` to trade recall
+            for latency.
     """
 
     def __init__(
@@ -501,8 +589,10 @@ class FlatDirectory:
         use_interval_index: bool = True,
         use_batch_engine: bool | None = None,
         packed_backend: str | None = None,
+        staged: "StageCutoffs | bool | None" = None,
     ) -> None:
         self.table = table
+        self._staged = _build_staged(table, staged, packed_backend)
         self.use_interval_index = use_interval_index
         self.packed_backend = packed_backend
         self.use_batch_engine = (
@@ -534,6 +624,8 @@ class FlatDirectory:
     @obs.setter
     def obs(self, value) -> None:
         self._obs = value
+        if self._staged is not None:
+            self._staged.obs = value
 
     @property
     def capability_count(self) -> int:
@@ -562,6 +654,8 @@ class FlatDirectory:
             entry_ids.append(entry_id)
             if self._index is not None:
                 self._index.insert(entry_id, capability, lookup)
+        if self._staged is not None:
+            self._staged.publish(profile)
 
     def publish_batch(self, profiles: Iterable[ServiceProfile]) -> int:
         """Cache many advertisements; returns the count."""
@@ -593,15 +687,22 @@ class FlatDirectory:
             if self._index is not None:
                 self._index.discard(entry_id)
         self._profiles.pop(service_uri, None)
+        if self._staged is not None:
+            self._staged.unpublish(service_uri)
         return len(entry_ids)
 
     def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
-        """Match cached capabilities against every requested one."""
+        """Match cached capabilities against every requested one (via the
+        multi-phase matchmaker in staged mode)."""
+        if self._staged is not None:
+            return self._staged.query(request)
         matcher = CodeMatcher(table=self.table, stats=self.stats)
         return self._query(request, matcher)
 
     def query_batch(self, requests: Iterable[ServiceRequest]) -> list[list[DirectoryMatch]]:
         """Answer many requests with one matcher; per-request results."""
+        if self._staged is not None:
+            return self._staged.query_batch(requests)
         matcher = CodeMatcher(table=self.table, stats=self.stats)
         return [self._query(request, matcher) for request in requests]
 
@@ -666,21 +767,41 @@ class FlatDirectory:
     def export_metrics(self) -> None:
         """Mirror matcher counters and interval-index health (pending
         tombstones, rebuilds paid) into the obs metric registry.
-        Pull-based, like :meth:`SemanticDirectory.export_metrics`."""
+        Pull-based, like :meth:`SemanticDirectory.export_metrics`.  In
+        staged mode the matchmaker's counters fold in."""
         obs = self._obs
-        obs.counter("dir.capability_matches").set(self.stats.capability_matches)
-        obs.counter("dir.concept_comparisons").set(self.stats.concept_comparisons)
+        matches = self.stats.capability_matches
+        comparisons = self.stats.concept_comparisons
+        if self._staged is not None:
+            matches += self._staged.stats.capability_matches
+            comparisons += self._staged.stats.concept_comparisons
+        obs.counter("dir.capability_matches").set(matches)
+        obs.counter("dir.concept_comparisons").set(comparisons)
         if self._index is not None:
             obs.counter("index.tombstones").set(self._index.tombstones)
             obs.counter("index.rebuilds").set(self._index.rebuilds)
 
-    def describe(self) -> str:
-        """Backend summary, with interval-index health when indexed."""
+    def describe_info(self) -> dict:
+        """Structured backend summary (the normalized ``describe`` schema:
+        ``kind``/``services``/``capability_count``/``index``)."""
         index = "interval-indexed" if self.use_interval_index else "linear-scan"
         engine = "packed engine" if self.use_batch_engine else "scalar matcher"
+        detail = f"{index}, {engine}"
+        if self._staged is not None:
+            detail += "; staged matchmaker"
+        return {
+            "kind": type(self).__name__,
+            "services": len(self),
+            "capability_count": self.capability_count,
+            "index": detail,
+        }
+
+    def describe(self) -> str:
+        """Backend summary, with interval-index health when indexed."""
+        info = self.describe_info()
         line = (
-            f"FlatDirectory: {len(self)} services, "
-            f"{self.capability_count} capabilities, {index}, {engine}"
+            f"{info['kind']}: {info['services']} services, "
+            f"{info['capability_count']} capabilities, {info['index']}"
         )
         if self._index is not None:
             line += "\n  " + self._index.describe().replace("\n", "\n  ")

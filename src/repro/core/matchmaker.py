@@ -1,0 +1,490 @@
+"""Multi-phase matchmaker: staged matching with per-stage cutoffs.
+
+Every directory in this repository answers a query in one conceptual step:
+interval-coded subsumption plus distance ranking over whichever candidate
+set its index preselects.  The three-phase matchmakers of the related work
+(PAPERS.md, "A Three Phase Semantic Web Matchmaker", arXiv:2107.05368)
+observe that most candidates can be accepted or rejected far more cheaply
+than that, and stage the pipeline so each phase only sees the survivors of
+the previous one:
+
+1. **prefilter** — a token/keyword syntactic pass over the inverted index
+   the WSDL/UDDI baseline already maintains
+   (:func:`repro.services.profile.capability_tokens`, shared with
+   :mod:`repro.registry.syntactic`).  Tokens are capability names, concept
+   fragments, and ontology fragments, so the filter approximates the §3.3
+   ontology-set preselection without resolving a single code.
+2. **subsume** — interval-coded subsumption over the survivors via the
+   vectorized :class:`~repro.core.packed.BatchMatchEngine`: one containment
+   pass over packed code columns yields the matched set and its distances.
+3. **rank** — the full §2.3 IOPE ``SemanticDistance`` evaluation
+   (:class:`~repro.core.matching.CodeMatcher`), the scalar oracle every
+   other engine in the repo is validated against, over the (bounded)
+   stage-2 survivors.
+
+Each stage has a configurable cutoff (:class:`StageCutoffs`) and the
+pipeline exits early when a stage's survivors already fit the requested
+top-k — the first *quality/latency tradeoff surface* in the system: loose
+cutoffs reproduce the exhaustive ranking bit for bit, strict cutoffs trade
+recall for latency.  ``benchmarks/bench_matchmaker_pareto.py`` sweeps the
+knob and plots precision/recall against per-query latency for every
+backend; ``docs/MATCHMAKING.md`` documents the semantics.
+
+A note on exactness: in this codebase stage 2 is *exact* — the packed
+engine returns precisely the scalar matcher's match set and distances
+(property-tested in ``tests/core/test_packed.py``).  Stage 3 is therefore
+a verification pass re-deriving every survivor's distance from the scalar
+oracle; the staged design keeps it because (a) it bounds the work the
+authoritative oracle ever does to ``stage2_keep`` entries, and (b) any
+future approximate stage 2 (Bloom-only, quantized codes) slots in without
+changing the contract: stage 3 restores exactness over the survivors.
+
+Observability: every stage runs under a ``match.stage.<name>`` span and
+records ``match.stage.candidates`` / ``match.stage.elapsed`` histograms
+and the ``match.stage.early_exit`` counter, labeled by stage (see
+``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from contextlib import nullcontext
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Iterable
+
+from repro.core.codes import CodeTable
+from repro.core.directory import DirectoryMatch
+from repro.core.matching import CodeMatcher, MatcherStats
+from repro.core.packed import BatchMatchEngine, resolve_backend
+from repro.obs import NULL_OBS
+from repro.services.profile import (
+    Capability,
+    ServiceProfile,
+    ServiceRequest,
+    capability_tokens,
+)
+from repro.util.cache import DEFAULT_MAXSIZE, DistanceCache
+from repro.util.timing import PhaseTimer
+
+#: Stage names, pipeline order (also the ``stage`` label on obs metrics).
+STAGE_PREFILTER = "prefilter"
+STAGE_SUBSUME = "subsume"
+STAGE_RANK = "rank"
+STAGES = (STAGE_PREFILTER, STAGE_SUBSUME, STAGE_RANK)
+
+
+@dataclass(frozen=True)
+class StageCutoffs:
+    """The staged pipeline's quality/latency knob.
+
+    Args:
+        top_k: results the caller actually wants per requested capability.
+            Drives early exit — when a stage's survivors already fit
+            ``top_k``, later stages are skipped — and truncates the final
+            ranking.  ``None`` asks for the full ranking (no early exit,
+            no truncation).
+        min_overlap: minimum number of shared tokens (capability name,
+            concept fragments, ontology fragments) an entry must have with
+            the request to survive the prefilter.  ``0`` disables the
+            threshold: every entry survives.
+        stage1_keep: after thresholding, forward only the ``stage1_keep``
+            best prefilter survivors (most shared tokens first, entry
+            order breaking ties).  ``None`` forwards all survivors.
+        stage2_keep: forward only the ``stage2_keep`` best subsumption
+            survivors (smallest distance first, canonical tiebreak) to the
+            full ranking stage.  ``None`` forwards all matches.
+
+    The default instance — all cutoffs off — makes the staged pipeline
+    return exactly the exhaustive backend's ranking, bit for bit (the
+    conformance and property suites assert it).
+
+    Raises:
+        ValueError: on negative or zero-keep cutoffs.
+    """
+
+    top_k: int | None = None
+    min_overlap: int = 0
+    stage1_keep: int | None = None
+    stage2_keep: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_overlap < 0:
+            raise ValueError(f"min_overlap must be >= 0, got {self.min_overlap}")
+        for name in ("top_k", "stage1_keep", "stage2_keep"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {value}")
+
+    @property
+    def is_exhaustive(self) -> bool:
+        """True when no cutoff can drop or reorder anything."""
+        return (
+            self.top_k is None
+            and self.min_overlap == 0
+            and self.stage1_keep is None
+            and self.stage2_keep is None
+        )
+
+
+#: Cutoffs that reproduce the exhaustive ranking exactly.
+LOOSE_CUTOFFS = StageCutoffs()
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """What one pipeline stage did for one requested capability.
+
+    ``candidates_in``/``candidates_out`` count the entries entering and
+    surviving the stage; ``elapsed_s`` is wall-clock; ``early_exit`` marks
+    the stage whose output was returned directly because it already fit
+    the requested top-k (later stages then have no report).
+    """
+
+    stage: str
+    candidates_in: int
+    candidates_out: int
+    elapsed_s: float
+    early_exit: bool = False
+
+
+class StagedMatchmaker:
+    """Three-phase discovery backend: prefilter → subsume → rank.
+
+    A full :class:`~repro.registry.base.DiscoveryBackend`: the seventh
+    backend next to the semantic, flat, syntactic, annotated-taxonomy,
+    on-line and GiST registries, and the engine behind the ``staged=``
+    opt-in mode of :class:`~repro.core.directory.FlatDirectory` /
+    :class:`~repro.core.directory.SemanticDirectory`.
+
+    Args:
+        table: code table snapshotting the ontologies in force.
+        cutoffs: per-stage cutoffs; default :data:`LOOSE_CUTOFFS`
+            (exhaustive-equivalent).
+        packed_backend: pin the stage-2 engine to ``"numpy"``/``"stdlib"``
+            instead of auto-detecting.
+        distance_cache_size: capacity of the stage-3 concept-distance
+            memo; 0 disables it.
+    """
+
+    def __init__(
+        self,
+        table: CodeTable,
+        cutoffs: StageCutoffs | None = None,
+        packed_backend: str | None = None,
+        distance_cache_size: int = DEFAULT_MAXSIZE,
+    ) -> None:
+        self.table = table
+        self.cutoffs = cutoffs if cutoffs is not None else LOOSE_CUTOFFS
+        self.packed_backend = packed_backend
+        self._entries: dict[int, tuple[Capability, str]] = {}
+        self._by_service: dict[str, list[int]] = {}
+        self._profiles: dict[str, ServiceProfile] = {}
+        self._postings: dict[str, set[int]] = defaultdict(set)
+        self._ids = itertools.count(1)
+        self._epoch = 0
+        self._engine: BatchMatchEngine | None = None
+        self._engine_key: tuple | None = None
+        self._obs = NULL_OBS
+        self.timer = PhaseTimer()
+        self.stats = MatcherStats()
+        self.distance_cache: DistanceCache | None = (
+            DistanceCache(maxsize=distance_cache_size) if distance_cache_size else None
+        )
+        #: Stage reports of the most recent :meth:`query`, in pipeline
+        #: order per requested capability (see :meth:`query_with_stages`).
+        self.last_stages: list[StageReport] = []
+
+    @classmethod
+    def from_profiles(
+        cls,
+        table: CodeTable,
+        profiles: Iterable[ServiceProfile],
+        cutoffs: StageCutoffs | None = None,
+        packed_backend: str | None = None,
+    ) -> "StagedMatchmaker":
+        """A matchmaker pre-populated with ``profiles`` (the directories'
+        ``staged=`` opt-in mode rebuilds through this)."""
+        matchmaker = cls(table, cutoffs=cutoffs, packed_backend=packed_backend)
+        matchmaker.publish_batch(profiles)
+        return matchmaker
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def obs(self):
+        """The observability sink for this matchmaker (NULL_OBS when off)."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
+
+    @property
+    def capability_count(self) -> int:
+        """Number of cached capability entries."""
+        return len(self._entries)
+
+    def services(self) -> list[ServiceProfile]:
+        """All cached service profiles."""
+        return list(self._profiles.values())
+
+    def profile(self, service_uri: str) -> ServiceProfile | None:
+        """The cached profile for ``service_uri`` (None when absent)."""
+        return self._profiles.get(service_uri)
+
+    def describe_info(self) -> dict:
+        """Structured backend summary (the normalized ``describe`` schema)."""
+        c = self.cutoffs
+        knobs = (
+            f"min_overlap={c.min_overlap}, stage1_keep={c.stage1_keep}, "
+            f"stage2_keep={c.stage2_keep}, top_k={c.top_k}"
+        )
+        return {
+            "kind": type(self).__name__,
+            "services": len(self),
+            "capability_count": self.capability_count,
+            "index": (
+                f"3-stage pipeline ({knobs}), "
+                f"engine={resolve_backend(self.packed_backend)}"
+            ),
+        }
+
+    def describe(self) -> str:
+        """One-line backend summary."""
+        info = self.describe_info()
+        return (
+            f"{info['kind']}: {info['services']} services, "
+            f"{info['capability_count']} capabilities, {info['index']}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StagedMatchmaker({len(self)} services, "
+            f"{self.capability_count} capabilities)"
+        )
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def publish(self, profile: ServiceProfile) -> None:
+        """Cache an advertisement (republish replaces)."""
+        if profile.uri in self._profiles:
+            self.unpublish(profile.uri)
+        self._profiles[profile.uri] = profile
+        self._epoch += 1
+        entry_ids = self._by_service.setdefault(profile.uri, [])
+        for capability in profile.provided:
+            entry_id = next(self._ids)
+            self._entries[entry_id] = (capability, profile.uri)
+            entry_ids.append(entry_id)
+            for token in capability_tokens(capability, ontologies=True):
+                self._postings[token].add(entry_id)
+
+    def publish_batch(self, profiles: Iterable[ServiceProfile]) -> int:
+        """Cache many advertisements; returns the count."""
+        count = 0
+        for profile in profiles:
+            self.publish(profile)
+            count += 1
+        return count
+
+    def unpublish(self, service_uri: str) -> int:
+        """Withdraw a service; returns capability entries removed."""
+        entry_ids = self._by_service.pop(service_uri, [])
+        profile = self._profiles.pop(service_uri, None)
+        if entry_ids or profile is not None:
+            self._epoch += 1
+        for entry_id in entry_ids:
+            capability, _uri = self._entries.pop(entry_id)
+            for token in capability_tokens(capability, ontologies=True):
+                rows = self._postings.get(token)
+                if rows is not None:
+                    rows.discard(entry_id)
+                    if not rows:
+                        del self._postings[token]
+        return len(entry_ids)
+
+    # ------------------------------------------------------------------
+    # The staged pipeline
+    # ------------------------------------------------------------------
+    def _lookup(self, concept: str):
+        if concept in self.table:
+            return self.table.code(concept)
+        return None
+
+    def _batch_engine(self) -> BatchMatchEngine:
+        """Stage-2 engine, rebuilt lazily on content/table-version moves
+        (the same epoch-keyed coherence as ``FlatDirectory``)."""
+        key = (self._epoch, id(self.table), self.table.version)
+        if self._engine is None or self._engine_key != key:
+            entries = {eid: cap for eid, (cap, _uri) in self._entries.items()}
+            self._engine = BatchMatchEngine(
+                entries, self._lookup, backend=self.packed_backend
+            )
+            self._engine_key = key
+        return self._engine
+
+    def _matcher(self) -> CodeMatcher:
+        cache = self.distance_cache
+        if cache is not None:
+            cache.ensure_version((id(self.table), self.table.version))
+        return CodeMatcher(table=self.table, cache=cache, stats=self.stats)
+
+    def _stage_span(self, stage: str):
+        obs = self._obs
+        if not obs.enabled:
+            return nullcontext()
+        return obs.span(f"match.stage.{stage}")
+
+    def _record_stage(self, report: StageReport) -> None:
+        self.last_stages.append(report)
+        obs = self._obs
+        if obs.enabled:
+            obs.histogram("match.stage.candidates", stage=report.stage).observe(
+                report.candidates_out
+            )
+            obs.histogram("match.stage.elapsed", stage=report.stage).observe(
+                report.elapsed_s
+            )
+            if report.early_exit:
+                obs.counter("match.stage.early_exit", stage=report.stage).inc()
+
+    def _prefilter(self, requested: Capability) -> set[int] | None:
+        """Stage 1: token-overlap shortlist.
+
+        Returns the surviving entry ids, or ``None`` meaning "everything
+        survives" (the no-op fast path when neither the threshold nor the
+        stage-1 cutoff can drop anything — no counting work is done).
+        """
+        cutoffs = self.cutoffs
+        if cutoffs.min_overlap == 0 and cutoffs.stage1_keep is None:
+            return None
+        tokens = capability_tokens(requested, ontologies=True)
+        overlap: dict[int, int] = defaultdict(int)
+        for token in tokens:
+            for entry_id in self._postings.get(token, ()):
+                overlap[entry_id] += 1
+        if cutoffs.min_overlap > 0:
+            eligible = [
+                (count, entry_id)
+                for entry_id, count in overlap.items()
+                if count >= cutoffs.min_overlap
+            ]
+        else:
+            # Threshold off but a keep-cutoff on: zero-overlap entries are
+            # still eligible, ranked after every overlapping one.
+            eligible = [(overlap.get(eid, 0), eid) for eid in self._entries]
+        if cutoffs.stage1_keep is not None and len(eligible) > cutoffs.stage1_keep:
+            eligible.sort(key=lambda pair: (-pair[0], pair[1]))
+            eligible = eligible[: cutoffs.stage1_keep]
+        return {entry_id for _count, entry_id in eligible}
+
+    def _query_capability(self, requested: Capability) -> list[DirectoryMatch]:
+        cutoffs = self.cutoffs
+        population = len(self._entries)
+
+        # -- stage 1: syntactic prefilter --------------------------------
+        start = perf_counter()
+        with self._stage_span(STAGE_PREFILTER):
+            survivors = self._prefilter(requested)
+        survivor_count = population if survivors is None else len(survivors)
+        if survivors is not None and not survivors:
+            self._record_stage(
+                StageReport(
+                    STAGE_PREFILTER, population, 0, perf_counter() - start, True
+                )
+            )
+            return []
+        self._record_stage(
+            StageReport(STAGE_PREFILTER, population, survivor_count, perf_counter() - start)
+        )
+
+        # -- stage 2: interval-coded subsumption -------------------------
+        start = perf_counter()
+        with self._stage_span(STAGE_SUBSUME):
+            engine = self._batch_engine()
+            pairs, _qstats = engine.match_capability(requested, self._lookup)
+            if survivors is not None:
+                pairs = [(eid, dist) for eid, dist in pairs if eid in survivors]
+            ranked = sorted(
+                pairs,
+                key=lambda pair: (
+                    pair[1],
+                    self._entries[pair[0]][1],
+                    self._entries[pair[0]][0].uri,
+                ),
+            )
+            if cutoffs.stage2_keep is not None:
+                ranked = ranked[: cutoffs.stage2_keep]
+        elapsed = perf_counter() - start
+        fits_top_k = cutoffs.top_k is not None and len(ranked) <= cutoffs.top_k
+        if not ranked or fits_top_k:
+            self._record_stage(
+                StageReport(STAGE_SUBSUME, survivor_count, len(ranked), elapsed, True)
+            )
+            return [
+                DirectoryMatch(requested, self._entries[eid][0], self._entries[eid][1], dist)
+                for eid, dist in ranked
+            ]
+        self._record_stage(
+            StageReport(STAGE_SUBSUME, survivor_count, len(ranked), elapsed)
+        )
+
+        # -- stage 3: full IOPE distance ranking -------------------------
+        start = perf_counter()
+        with self._stage_span(STAGE_RANK):
+            matcher = self._matcher()
+            hits: list[DirectoryMatch] = []
+            for entry_id, _engine_distance in ranked:
+                capability, service_uri = self._entries[entry_id]
+                distance = matcher.semantic_distance(capability, requested)
+                if distance is not None:  # engine is exact; kept defensive
+                    hits.append(DirectoryMatch(requested, capability, service_uri, distance))
+            hits.sort(key=lambda m: (m.distance, m.service_uri, m.capability.uri))
+            if cutoffs.top_k is not None:
+                hits = hits[: cutoffs.top_k]
+        self._record_stage(
+            StageReport(STAGE_RANK, len(ranked), len(hits), perf_counter() - start)
+        )
+        return hits
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, request: ServiceRequest) -> list[DirectoryMatch]:
+        """Answer a request through the staged pipeline: best matches per
+        requested capability, canonical ``(distance, service, capability)``
+        order, truncated to ``top_k`` per capability when set."""
+        self.last_stages = []
+        results: list[DirectoryMatch] = []
+        with self.timer.phase("match"):
+            for requested in request.capabilities:
+                results.extend(self._query_capability(requested))
+        return results
+
+    def query_with_stages(
+        self, request: ServiceRequest
+    ) -> tuple[list[DirectoryMatch], list[StageReport]]:
+        """:meth:`query` plus the per-stage reports of that one call."""
+        rows = self.query(request)
+        return rows, list(self.last_stages)
+
+    def query_batch(self, requests: Iterable[ServiceRequest]) -> list[list[DirectoryMatch]]:
+        """Answer many requests; one result list per request, in order."""
+        return [self.query(request) for request in requests]
+
+    def export_metrics(self) -> None:
+        """Mirror matcher counters and the distance-cache stats into the
+        obs metric registry (pull-based, like the directories)."""
+        obs = self._obs
+        obs.counter("dir.capability_matches").set(self.stats.capability_matches)
+        obs.counter("dir.concept_comparisons").set(self.stats.concept_comparisons)
+        cache = self.distance_cache
+        if cache is not None:
+            cache.stats.publish_to(obs.metrics, "dir.distance_cache")

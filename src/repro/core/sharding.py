@@ -613,6 +613,19 @@ class ShardedSemanticDirectory:
             return None
         return self.router.shards[index].profile(service_uri)
 
+    def describe_info(self) -> dict:
+        """Structured backend summary (the normalized ``describe`` schema:
+        ``kind``/``services``/``capability_count``/``index``)."""
+        return {
+            "kind": type(self).__name__,
+            "services": len(self),
+            "capability_count": self.capability_count,
+            "index": (
+                f"{self.shard_count} ontology-routed shards "
+                f"(skew {self.router.skew():.2f})"
+            ),
+        }
+
     def describe(self) -> str:
         """Per-shard content table (see :meth:`ShardRouter.describe`)."""
         return self.router.describe()

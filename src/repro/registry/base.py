@@ -15,7 +15,10 @@ freely:
 * ``query(request)`` / ``query_batch(requests)`` — match a
   :class:`~repro.services.profile.ServiceRequest`, returning
   :class:`DirectoryMatch` rows sorted best-first;
-* ``capability_count`` / ``describe()`` — introspection.
+* ``capability_count`` / ``describe()`` / ``describe_info()`` —
+  introspection.  ``describe_info`` is the normalized schema
+  (``kind``/``services``/``capability_count``/``index``) the conformance
+  suite asserts; ``describe`` renders it for humans.
 
 The protocol is ``runtime_checkable`` so the conformance suite can assert
 ``isinstance(backend, DiscoveryBackend)``; structural typing keeps the
@@ -34,7 +37,17 @@ from typing import Protocol, runtime_checkable
 from repro.core.directory import DirectoryMatch
 from repro.services.profile import ServiceProfile, ServiceRequest
 
-__all__ = ["DiscoveryBackend", "DirectoryMatch"]
+__all__ = ["DiscoveryBackend", "DirectoryMatch", "render_describe"]
+
+
+def render_describe(info: dict) -> str:
+    """The canonical one-line rendering of a ``describe_info()`` dict —
+    backends derive ``describe()`` from their structured summary instead
+    of each hand-rolling a drifting format."""
+    return (
+        f"{info['kind']}: {info['services']} services, "
+        f"{info['capability_count']} capabilities, {info['index']}"
+    )
 
 
 @runtime_checkable
@@ -69,4 +82,11 @@ class DiscoveryBackend(Protocol):
 
     def describe(self) -> str:
         """One-line human-readable summary (backend kind + sizes)."""
+        ...
+
+    def describe_info(self) -> dict:
+        """Structured summary: ``kind`` (class name), ``services`` (int),
+        ``capability_count`` (int), ``index`` (str, how queries are
+        narrowed).  Every backend fills every field — the conformance
+        suite asserts the schema and its consistency with the counters."""
         ...

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.core.codes import CodeTable
 from repro.core.directory import DirectoryMatch
 from repro.core.matching import CodeMatcher
+from repro.registry.base import render_describe
 from repro.services.profile import Capability, ServiceProfile, ServiceRequest
 
 #: Role dimensions: rectangles separate inputs, outputs and properties on
@@ -330,14 +331,23 @@ class GistDirectory:
         """Capability entries currently advertised (live keys)."""
         return len(self._live)
 
+    def describe_info(self) -> dict:
+        """Structured backend summary (the normalized ``describe`` schema:
+        ``kind``/``services``/``capability_count``/``index``)."""
+        return {
+            "kind": type(self).__name__,
+            "services": len(self),
+            "capability_count": self.capability_count,
+            "index": (
+                f"{len(self._index)} GiST rectangles "
+                f"(depth {self._index.depth()}, {self._dead_rects} tombstoned, "
+                f"{self.rebuilds} rebuilds)"
+            ),
+        }
+
     def describe(self) -> str:
         """One-line backend summary."""
-        return (
-            f"GistDirectory: {len(self)} services, {self.capability_count} "
-            f"capabilities, {len(self._index)} rectangles "
-            f"(depth {self._index.depth()}, {self._dead_rects} tombstoned, "
-            f"{self.rebuilds} rebuilds)"
-        )
+        return render_describe(self.describe_info())
 
     def __repr__(self) -> str:
         return f"GistDirectory({len(self)} services, {len(self._index)} rectangles)"

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.core.directory import DirectoryMatch
 from repro.core.matching import MatchOutcome, TaxonomyMatcher
+from repro.registry.base import render_describe
 from repro.ontology.model import Ontology
 from repro.ontology.owl_xml import ontology_from_xml
 from repro.ontology.reasoner import ClassificationStrategy, Reasoner
@@ -189,13 +190,22 @@ class OnlineSemanticRegistry:
         """Capability entries across all stored advertisements."""
         return sum(self._cap_counts.values())
 
+    def describe_info(self) -> dict:
+        """Structured backend summary (the normalized ``describe`` schema:
+        ``kind``/``services``/``capability_count``/``index``)."""
+        return {
+            "kind": type(self).__name__,
+            "services": len(self),
+            "capability_count": self.capability_count,
+            "index": (
+                "none (per-query on-line reasoning, "
+                f"strategy={self.strategy.name.lower()})"
+            ),
+        }
+
     def describe(self) -> str:
         """One-line backend summary."""
-        return (
-            f"OnlineSemanticRegistry: {len(self)} documents, "
-            f"{self.capability_count} capabilities, "
-            f"strategy={self.strategy.name.lower()}"
-        )
+        return render_describe(self.describe_info())
 
     def query_xml(self, request_document: str) -> list[tuple[str, int]]:
         """Answer a request with fresh reasoning; returns

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.core.directory import DirectoryMatch
 from repro.ontology.taxonomy import Taxonomy
+from repro.registry.base import render_describe
 from repro.services.profile import Capability, ServiceProfile, ServiceRequest
 
 
@@ -225,13 +226,19 @@ class AnnotatedTaxonomyRegistry:
         """Capability entries currently annotated into the taxonomy."""
         return sum(len(profile.provided) for profile in self._services.values())
 
+    def describe_info(self) -> dict:
+        """Structured backend summary (the normalized ``describe`` schema:
+        ``kind``/``services``/``capability_count``/``index``)."""
+        return {
+            "kind": type(self).__name__,
+            "services": len(self),
+            "capability_count": self.capability_count,
+            "index": f"{len(self._annotations)} annotated taxonomy concepts",
+        }
+
     def describe(self) -> str:
         """One-line backend summary."""
-        return (
-            f"AnnotatedTaxonomyRegistry: {len(self)} services, "
-            f"{self.capability_count} capabilities, "
-            f"{len(self._annotations)} annotated concepts"
-        )
+        return render_describe(self.describe_info())
 
     @staticmethod
     def _intersect(

@@ -17,7 +17,8 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.core.directory import DirectoryMatch
-from repro.services.profile import ServiceProfile, ServiceRequest
+from repro.registry.base import render_describe
+from repro.services.profile import ServiceProfile, ServiceRequest, capability_tokens
 from repro.services.wsdl import WsdlDescription, WsdlOperation, WsdlRequest
 from repro.services.xml_codec import ServiceSyntaxError, wsdl_from_xml
 from repro.util.ids import uri_fragment
@@ -37,8 +38,9 @@ def _wsdl_of_profile(profile: ServiceProfile) -> WsdlDescription:
         )
         for cap in profile.provided
     )
-    keywords = {cap.name for cap in profile.provided}
-    keywords.update(uri_fragment(c) for cap in profile.provided for c in cap.concepts())
+    keywords: set[str] = set()
+    for cap in profile.provided:
+        keywords |= capability_tokens(cap)
     return WsdlDescription(
         uri=profile.uri,
         port_type=profile.name,
@@ -215,13 +217,24 @@ class SyntacticRegistry:
         """Total cached operations (WSDL's analogue of capabilities)."""
         return sum(len(description.operations) for description in self._services.values())
 
+    def describe_info(self) -> dict:
+        """Structured backend summary (the normalized ``describe`` schema:
+        ``kind``/``services``/``capability_count``/``index``); the
+        capability count is WSDL operations."""
+        return {
+            "kind": type(self).__name__,
+            "services": len(self),
+            "capability_count": self.capability_count,
+            "index": (
+                "keyword inverted index"
+                if self.use_keyword_index
+                else "linear scan"
+            ),
+        }
+
     def describe(self) -> str:
         """One-line backend summary."""
-        index = "keyword-indexed" if self.use_keyword_index else "linear-scan"
-        return (
-            f"SyntacticRegistry: {len(self)} services, "
-            f"{self.capability_count} operations, {index}"
-        )
+        return render_describe(self.describe_info())
 
     def __repr__(self) -> str:
         return f"SyntacticRegistry({len(self)} services)"

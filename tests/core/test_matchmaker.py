@@ -1,0 +1,294 @@
+"""Staged matchmaker: exhaustive-equivalence, cutoffs, early exit, obs.
+
+The contract under test (see ``docs/MATCHMAKING.md``):
+
+* at loose cutoffs the three-stage pipeline returns the exhaustive
+  backend's ranking **bit for bit** — a hand-built 20-case relevance
+  fixture checks every case;
+* stage-3 output is always a prefix-ordered subset of the exhaustive
+  ranking: an exact prefix when only ``top_k`` truncates, an
+  order-preserving subsequence under arbitrary cutoffs (hypothesis
+  property over random IOPE requests and random cutoffs);
+* early exit fires when a stage's survivors fit the requested top-k,
+  and each stage reports candidates/elapsed through obs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.directory import FlatDirectory, SemanticDirectory
+from repro.core.matchmaker import (
+    LOOSE_CUTOFFS,
+    STAGE_PREFILTER,
+    STAGE_RANK,
+    STAGE_SUBSUME,
+    StageCutoffs,
+    StagedMatchmaker,
+)
+from repro.services.profile import Capability, ServiceRequest
+
+POPULATION = 30
+
+
+@pytest.fixture(scope="module")
+def profiles(small_workload):
+    return small_workload.make_services(POPULATION)
+
+
+@pytest.fixture(scope="module")
+def exhaustive(small_table, profiles):
+    """The oracle backend: flat, linear, scalar — the full ranking."""
+    directory = FlatDirectory(small_table, use_interval_index=False)
+    directory.publish_batch(profiles)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def staged_loose(small_table, profiles):
+    return StagedMatchmaker.from_profiles(small_table, profiles)
+
+
+def twenty_cases(workload, profiles):
+    """The 20-case relevance fixture: 16 generator matching requests, two
+    exact self-requests, two unrelated (empty-answer) requests."""
+    cases = [workload.matching_request(profiles[i]) for i in range(16)]
+    for profile in profiles[16:18]:
+        cases.append(
+            ServiceRequest(uri=f"{profile.uri}/exact", capabilities=profile.provided)
+        )
+    cases.append(workload.unrelated_request())
+    cases.append(workload.unrelated_request(index=1))
+    return cases
+
+
+class TestLooseEqualsExhaustive:
+    def test_twenty_case_fixture_bit_for_bit(
+        self, small_workload, profiles, exhaustive, staged_loose
+    ):
+        cases = twenty_cases(small_workload, profiles)
+        assert len(cases) == 20
+        answered = 0
+        for request in cases:
+            expected = exhaustive.query(request)
+            assert staged_loose.query(request) == expected
+            answered += bool(expected)
+        # The fixture is not vacuous: most cases have non-empty answers.
+        assert answered >= 16
+
+    def test_default_cutoffs_are_exhaustive(self):
+        assert LOOSE_CUTOFFS.is_exhaustive
+        assert StagedMatchmaker.__init__.__defaults__  # cutoffs default documented
+        assert not StageCutoffs(top_k=3).is_exhaustive
+
+    def test_query_batch_matches_query(self, small_workload, profiles, staged_loose):
+        requests = twenty_cases(small_workload, profiles)[:5]
+        assert staged_loose.query_batch(requests) == [
+            staged_loose.query(r) for r in requests
+        ]
+
+
+class TestCutoffValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_overlap": -1},
+            {"top_k": 0},
+            {"stage1_keep": 0},
+            {"stage2_keep": -2},
+        ],
+    )
+    def test_bad_cutoffs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StageCutoffs(**kwargs)
+
+    def test_directory_staged_flag_validated(self, small_table):
+        with pytest.raises(ValueError):
+            FlatDirectory(small_table, staged="yes")
+
+
+class TestEarlyExit:
+    def test_top_k_exits_before_rank(self, small_workload, small_table, profiles):
+        matchmaker = StagedMatchmaker.from_profiles(
+            small_table, profiles, cutoffs=StageCutoffs(top_k=100)
+        )
+        request = small_workload.matching_request(profiles[0])
+        rows, stages = matchmaker.query_with_stages(request)
+        assert rows  # the generator guarantees a match
+        by_name = {report.stage: report for report in stages}
+        assert by_name[STAGE_SUBSUME].early_exit
+        assert STAGE_RANK not in by_name  # stage 3 never ran
+
+    def test_empty_prefilter_short_circuits(self, small_workload, small_table, profiles):
+        matchmaker = StagedMatchmaker.from_profiles(
+            small_table, profiles, cutoffs=StageCutoffs(min_overlap=10_000)
+        )
+        request = small_workload.matching_request(profiles[0])
+        rows, stages = matchmaker.query_with_stages(request)
+        assert rows == []
+        assert [report.stage for report in stages] == [STAGE_PREFILTER]
+        assert stages[0].early_exit and stages[0].candidates_out == 0
+
+    def test_full_pipeline_reports_three_stages(
+        self, small_workload, small_table, profiles
+    ):
+        matchmaker = StagedMatchmaker.from_profiles(
+            small_table, profiles, cutoffs=StageCutoffs(min_overlap=1)
+        )
+        request = small_workload.matching_request(profiles[0])
+        rows, stages = matchmaker.query_with_stages(request)
+        assert [report.stage for report in stages] == [
+            STAGE_PREFILTER,
+            STAGE_SUBSUME,
+            STAGE_RANK,
+        ]
+        assert stages[0].candidates_in == matchmaker.capability_count
+        # Candidate counts only shrink along the pipeline.
+        assert (
+            stages[0].candidates_out
+            >= stages[1].candidates_out
+            >= stages[2].candidates_out
+            == len(rows)
+        )
+
+
+def is_ordered_subsequence(sub, full) -> bool:
+    iterator = iter(full)
+    return all(row in iterator for row in sub)
+
+
+class TestPrefixProperty:
+    """Stage-3 output vs the exhaustive ranking, under random cutoffs."""
+
+    @staticmethod
+    def _pool(workload):
+        return sorted({c for onto in workload.ontologies for c in onto.concepts})
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_staged_is_prefix_ordered_subset(
+        self, small_workload, small_table, profiles, exhaustive, data
+    ):
+        pool = self._pool(small_workload)
+        concept_set = st.lists(st.sampled_from(pool), min_size=0, max_size=4)
+        requested = Capability.build(
+            uri="urn:x:probe",
+            name="probe",
+            inputs=data.draw(concept_set, label="inputs"),
+            outputs=data.draw(concept_set, label="outputs"),
+            properties=data.draw(concept_set, label="properties"),
+        )
+        request = ServiceRequest(uri="urn:x:probe-req", capabilities=(requested,))
+        full = exhaustive.query(request)
+
+        maybe_int = st.one_of(st.none(), st.integers(min_value=1, max_value=40))
+        cutoffs = StageCutoffs(
+            top_k=data.draw(maybe_int, label="top_k"),
+            min_overlap=data.draw(st.integers(min_value=0, max_value=3), label="min_overlap"),
+            stage1_keep=data.draw(maybe_int, label="stage1_keep"),
+            stage2_keep=data.draw(maybe_int, label="stage2_keep"),
+        )
+        matchmaker = StagedMatchmaker.from_profiles(
+            small_table, profiles, cutoffs=cutoffs
+        )
+        rows = matchmaker.query(request)
+        # Always: an order-preserving subset of the exhaustive ranking.
+        assert is_ordered_subsequence(rows, full)
+        # Rank-only truncation (no stage-1/2 pruning): an exact prefix.
+        if cutoffs.min_overlap == 0 and cutoffs.stage1_keep is None:
+            keep = [c for c in (cutoffs.stage2_keep, cutoffs.top_k) if c is not None]
+            expected = full[: min(keep)] if keep else full
+            assert rows == expected
+
+
+class TestPublicationCoherence:
+    def test_epoch_tracks_publish_unpublish(self, small_workload, small_table):
+        profiles = small_workload.make_services(6)
+        matchmaker = StagedMatchmaker.from_profiles(small_table, profiles[:4])
+        request = small_workload.matching_request(profiles[4])
+        before = matchmaker.query(request)
+        matchmaker.publish(profiles[4])
+        after = matchmaker.query(request)
+        assert any(m.service_uri == profiles[4].uri for m in after)
+        assert len(after) >= len(before)
+        removed = matchmaker.unpublish(profiles[4].uri)
+        assert removed == len(profiles[4].provided)
+        assert matchmaker.query(request) == before
+        # Token postings shrink back too: no orphan entries keep tokens alive.
+        assert matchmaker.unpublish(profiles[4].uri) == 0
+
+    def test_republish_replaces(self, small_workload, small_table):
+        profiles = small_workload.make_services(3)
+        matchmaker = StagedMatchmaker.from_profiles(small_table, profiles)
+        count_before = matchmaker.capability_count
+        matchmaker.publish(profiles[0])
+        assert matchmaker.capability_count == count_before
+        assert len(matchmaker) == 3
+
+
+class TestObsInstrumentation:
+    def test_stage_metrics_emitted(self, small_workload, small_table, profiles):
+        from repro.obs import Observability
+
+        matchmaker = StagedMatchmaker.from_profiles(
+            small_table, profiles, cutoffs=StageCutoffs(top_k=2, min_overlap=1)
+        )
+        matchmaker.obs = Observability()
+        matchmaker.query(small_workload.matching_request(profiles[0]))
+        series = {
+            (s["name"], dict(s["labels"]).get("stage"))
+            for s in matchmaker.obs.metrics.snapshot()
+        }
+        assert ("match.stage.candidates", STAGE_PREFILTER) in series
+        assert ("match.stage.candidates", STAGE_SUBSUME) in series
+        assert ("match.stage.elapsed", STAGE_PREFILTER) in series
+        assert ("match.stage.early_exit", STAGE_SUBSUME) in series
+
+    def test_null_obs_by_default(self, small_table):
+        from repro.obs import NULL_OBS
+
+        assert StagedMatchmaker(small_table).obs is NULL_OBS
+
+
+class TestDirectoryStagedMode:
+    def test_flat_staged_equals_plain(self, small_workload, small_table, profiles):
+        plain = FlatDirectory(small_table)
+        staged = FlatDirectory(small_table, staged=True)
+        plain.publish_batch(profiles)
+        staged.publish_batch(profiles)
+        for i in range(0, POPULATION, 5):
+            request = small_workload.matching_request(profiles[i])
+            assert staged.query(request) == plain.query(request)
+        assert "staged matchmaker" in staged.describe_info()["index"]
+
+    def test_semantic_staged_equals_exhaustive(
+        self, small_workload, small_table, profiles, exhaustive
+    ):
+        staged = SemanticDirectory(small_table, staged=True)
+        staged.publish_batch(profiles)
+        request = small_workload.matching_request(profiles[1])
+        assert staged.query(request) == exhaustive.query(request)
+        assert staged.query_batch([request]) == [exhaustive.query(request)]
+
+    def test_staged_cutoffs_truncate_directory_answers(
+        self, small_workload, small_table, profiles, exhaustive
+    ):
+        staged = FlatDirectory(small_table, staged=StageCutoffs(top_k=1))
+        staged.publish_batch(profiles)
+        request = small_workload.matching_request(profiles[2])
+        full = exhaustive.query(request)
+        rows = staged.query(request)
+        assert len(rows) <= len(request.capabilities)
+        assert is_ordered_subsequence(rows, full)
+
+    def test_unpublish_reaches_staged_engine(
+        self, small_workload, small_table, profiles
+    ):
+        staged = SemanticDirectory(small_table, staged=True)
+        staged.publish_batch(profiles[:5])
+        victim = profiles[0]
+        staged.unpublish(victim.uri)
+        request = ServiceRequest(uri=f"{victim.uri}/exact", capabilities=victim.provided)
+        assert all(m.service_uri != victim.uri for m in staged.query(request))

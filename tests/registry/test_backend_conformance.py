@@ -1,13 +1,14 @@
 """Conformance suite for the unified :class:`DiscoveryBackend` contract.
 
-Every discovery mechanism in the repository — the core directories and
-all four baseline registries — must expose the same surface: ``publish``
-(profiles), ``unpublish`` returning the removed entry count, ``query``
-(a :class:`ServiceRequest`) returning :class:`DirectoryMatch` rows, the
-batch forms, ``capability_count`` and ``describe``.  The suite runs the
-same scenario over every backend; per-backend matching *quality* differs
-(syntactic matching needs the exact interface), so requests here reuse
-the published profile's own capabilities — an exact request every
+Every discovery mechanism in the repository — the core directories, the
+staged matchmaker, and all four baseline registries — must expose the
+same surface: ``publish`` (profiles), ``unpublish`` returning the removed
+entry count, ``query`` (a :class:`ServiceRequest`) returning
+:class:`DirectoryMatch` rows, the batch forms, ``capability_count``,
+``describe`` and the structured ``describe_info`` schema.  The suite runs
+the same scenario over every backend; per-backend matching *quality*
+differs (syntactic matching needs the exact interface), so requests here
+reuse the published profile's own capabilities — an exact request every
 backend must answer.
 """
 
@@ -18,6 +19,7 @@ import warnings
 import pytest
 
 from repro.core.directory import FlatDirectory, SemanticDirectory
+from repro.core.matchmaker import StagedMatchmaker
 from repro.registry import (
     AnnotatedTaxonomyRegistry,
     DirectoryMatch,
@@ -29,7 +31,7 @@ from repro.registry import (
 from repro.services.generator import ServiceWorkload
 from repro.services.profile import ServiceRequest
 
-BACKENDS = ["semantic", "flat", "syntactic", "annotated", "online", "gist"]
+BACKENDS = ["semantic", "flat", "syntactic", "annotated", "online", "gist", "staged"]
 
 
 @pytest.fixture(scope="module")
@@ -39,7 +41,7 @@ def profiles(small_workload):
 
 @pytest.fixture
 def backend(request, small_workload, small_table):
-    """One fresh backend instance per test, parametrized over all six."""
+    """One fresh backend instance per test, parametrized over all seven."""
     kind = request.param
     if kind == "semantic":
         return SemanticDirectory(small_table)
@@ -53,6 +55,8 @@ def backend(request, small_workload, small_table):
         return OnlineSemanticRegistry(small_workload.ontologies)
     if kind == "gist":
         return GistDirectory(small_table)
+    if kind == "staged":
+        return StagedMatchmaker(small_table)
     raise AssertionError(kind)
 
 
@@ -137,6 +141,24 @@ class TestDiscoveryBackendConformance:
         description = backend.describe()
         assert isinstance(description, str) and description
 
+    def test_describe_info_schema(self, backend, profiles):
+        """The normalized structured summary: every backend fills the same
+        four fields, and the counters agree with the backend's state."""
+        publish_all(backend, profiles)
+        info = backend.describe_info()
+        assert set(info) == {"kind", "services", "capability_count", "index"}
+        assert info["kind"] == type(backend).__name__
+        assert info["services"] == len(profiles)
+        assert isinstance(info["capability_count"], int)
+        assert info["capability_count"] == backend.capability_count
+        assert info["capability_count"] >= len(profiles)
+        assert isinstance(info["index"], str) and info["index"]
+        # describe() renders the same numbers (no drifting dual formats).
+        first_line = backend.describe().splitlines()[0]
+        assert info["kind"] in first_line
+        assert f"{info['services']} services" in first_line
+        assert str(info["capability_count"]) in first_line
+
     def test_canonical_surface_emits_no_warnings(self, backend, profiles):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
@@ -146,6 +168,7 @@ class TestDiscoveryBackendConformance:
             backend.unpublish(profiles[0].uri)
             _ = backend.capability_count
             backend.describe()
+            backend.describe_info()
 
 
 class TestShimsRemoved:
